@@ -1,0 +1,48 @@
+//! Criterion bench behind Figure 11: cost of one cardinality estimate per
+//! mode (the price paid to skip a temporal index scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tthr_bench::{Scale, World};
+use tthr_core::{estimate_cardinality, CardinalityMode, SntConfig, Spq, TimeInterval};
+
+fn bench_estimator(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let index = world.build_index(SntConfig::default());
+    let queries: Vec<Spq> = world
+        .queries
+        .iter()
+        .take(64)
+        .map(|&id| {
+            let tr = world.set.get(id);
+            Spq::new(
+                tr.path(),
+                TimeInterval::periodic_around(tr.start_time(), 1800),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("cardinality_estimate");
+    for mode in CardinalityMode::ALL {
+        group.bench_function(BenchmarkId::from_parameter(mode.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(estimate_cardinality(&index, q, mode))
+            })
+        });
+    }
+    // Reference point: the exact answer via a counting scan.
+    group.bench_function(BenchmarkId::from_parameter("exact-scan"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(index.count_matching(q, u32::MAX))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 10c: index construction time by temporal
+//! tree kind and partitioning width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tthr_bench::{Scale, World};
+use tthr_core::{SntConfig, SntIndex, TreeKind};
+
+fn bench_index_build(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+
+    for tree in [TreeKind::Css, TreeKind::BPlus] {
+        for partition_days in [None, Some(7u32)] {
+            let label = match partition_days {
+                None => "FULL".to_string(),
+                Some(d) => format!("{d}d"),
+            };
+            group.bench_function(BenchmarkId::new(format!("{tree:?}"), label), |b| {
+                b.iter(|| {
+                    std::hint::black_box(SntIndex::build(
+                        world.network(),
+                        &world.set,
+                        SntConfig {
+                            tree,
+                            partition_days,
+                            ..SntConfig::default()
+                        },
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

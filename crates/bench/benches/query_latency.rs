@@ -1,0 +1,51 @@
+//! Criterion micro-bench behind Figure 9: trip-query latency per query type
+//! and partitioning strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tthr_bench::{query_for, QueryType, Scale, World};
+use tthr_core::{PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig};
+
+fn bench_trip_queries(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let index = world.build_index(SntConfig::default());
+    let mut group = c.benchmark_group("trip_query");
+
+    for query_type in [
+        QueryType::TemporalFilters,
+        QueryType::UserFilters,
+        QueryType::SpqOnly,
+    ] {
+        for pi in [PartitionMethod::Zone, PartitionMethod::Regular(1)] {
+            let engine = QueryEngine::new(
+                &index,
+                world.network(),
+                QueryEngineConfig {
+                    partition_method: pi,
+                    ..QueryEngineConfig::default()
+                },
+            );
+            let alpha_min = engine.config().interval_sizes[0];
+            let queries: Vec<_> = world
+                .queries
+                .iter()
+                .take(32)
+                .map(|&id| query_for(&world.set, id, query_type, alpha_min, 20))
+                .collect();
+            group.bench_function(
+                BenchmarkId::new(query_type.name().replace(' ', "_"), pi.name()),
+                |b| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        std::hint::black_box(engine.trip_query(q))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trip_queries);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation bench: CSS-tree vs B+-tree on the temporal-index operations the
+//! SPQ engine performs — bounded range scans (buildMap/probeMap) and range
+//! counts (the CSS-mode estimators' primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use tthr_temporal::{BPlusTree, CssTree, LeafEntry, TemporalIndex};
+
+fn entries(n: usize) -> Vec<LeafEntry> {
+    (0..n)
+        .map(|i| LeafEntry {
+            time: (i as i64) * 13 % (n as i64 * 10),
+            aggregate: i as f64,
+            travel_time: 1.0,
+            isa: i as u32,
+            traj: i as u32,
+            seq: 0,
+            partition: 0,
+        })
+        .collect()
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let n = 100_000;
+    let mut sorted = entries(n);
+    sorted.sort_by_key(|e| e.time);
+    let css = CssTree::from_sorted(sorted.clone());
+    let bt = BPlusTree::from_sorted(sorted);
+    let span = n as i64 * 10;
+
+    let mut scan = c.benchmark_group("range_scan_100s_window");
+    let scan_range = |tree: &dyn TemporalIndex, i: usize| {
+        let lo = (i as i64 * 7919) % span;
+        let mut acc = 0u64;
+        let _ = tree.scan_range(lo, lo + 100, &mut |e| {
+            acc += e.traj as u64;
+            ControlFlow::Continue(())
+        });
+        acc
+    };
+    scan.bench_function(BenchmarkId::from_parameter("css"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(scan_range(&css, i))
+        })
+    });
+    scan.bench_function(BenchmarkId::from_parameter("bplus"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(scan_range(&bt, i))
+        })
+    });
+    scan.finish();
+
+    let mut count = c.benchmark_group("range_count");
+    count.bench_function(BenchmarkId::from_parameter("css_directory"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            let lo = (i as i64 * 7919) % span;
+            std::hint::black_box(css.range_count(lo, lo + 5000))
+        })
+    });
+    count.bench_function(BenchmarkId::from_parameter("bplus_scan"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            let lo = (i as i64 * 7919) % span;
+            std::hint::black_box(bt.range_count(lo, lo + 5000))
+        })
+    });
+    count.finish();
+}
+
+criterion_group!(benches, bench_trees);
+criterion_main!(benches);

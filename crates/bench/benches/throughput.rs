@@ -1,0 +1,51 @@
+//! Extension bench (the paper's future-work Section 7): parallel query
+//! throughput over a shared read-only index. A single query does not
+//! parallelize well, but the index is immutable after construction, so
+//! overall throughput should scale with threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tthr_bench::{query_for, QueryType, Scale, World};
+use tthr_core::{QueryEngine, QueryEngineConfig, SntConfig, Spq};
+
+fn bench_throughput(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let index = world.build_index(SntConfig::default());
+    let queries: Vec<Spq> = world
+        .queries
+        .iter()
+        .take(64)
+        .map(|&id| query_for(&world.set, id, QueryType::TemporalFilters, 900, 20))
+        .collect();
+
+    let mut group = c.benchmark_group("parallel_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for threads in [1usize, 2, 4] {
+        let index_ref = &index;
+        let network_ref = world.network();
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for chunk in queries.chunks(queries.len().div_ceil(threads)) {
+                        scope.spawn(move || {
+                            // Engines are cheap to create; the shared state
+                            // is the immutable index.
+                            let engine = QueryEngine::new(
+                                index_ref,
+                                network_ref,
+                                QueryEngineConfig::default(),
+                            );
+                            for q in chunk {
+                                std::hint::black_box(engine.trip_query(q));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation bench: Huffman-shaped wavelet tree vs balanced wavelet matrix.
+//!
+//! The paper uses sdsl-lite's Huffman-shaped tree; trajectory strings are
+//! highly skewed (arterial segments dominate), so the Huffman shape should
+//! win on rank cost for frequent symbols — this bench quantifies by how
+//! much, plus the memory difference, on a real trajectory string.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tthr_bench::{Scale, World};
+use tthr_core::text::build_text;
+use tthr_fmindex::{HuffmanWaveletTree, SymbolRank, WaveletMatrix};
+
+fn bench_wavelet_rank(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let (text, _) = build_text(world.set.iter());
+    let sigma = world.network().num_edges() as u32 + 1;
+
+    let huff = HuffmanWaveletTree::new(&text, sigma);
+    let matrix = WaveletMatrix::new(&text, sigma);
+    eprintln!(
+        "[wavelet] text = {} symbols, Huffman = {} KiB, Matrix = {} KiB",
+        text.len(),
+        huff.size_bytes() / 1024,
+        matrix.size_bytes() / 1024
+    );
+
+    // Rank probes over symbols weighted as queries see them: symbols that
+    // occur in the text (frequent arterials dominate trajectory strings).
+    let probes: Vec<(u32, usize)> = (0..512)
+        .map(|i| (text[(i * 37) % text.len()], (i * 7919) % text.len()))
+        .collect();
+
+    let mut group = c.benchmark_group("wavelet_rank");
+    group.bench_function(BenchmarkId::from_parameter("huffman"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (sym, pos) = probes[i % probes.len()];
+            i += 1;
+            std::hint::black_box(huff.rank(sym, pos))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("matrix"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (sym, pos) = probes[i % probes.len()];
+            i += 1;
+            std::hint::black_box(matrix.rank(sym, pos))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wavelet_rank);
+criterion_main!(benches);

@@ -1,0 +1,530 @@
+//! The trip-query engine: Procedure 6 with cardinality-estimator gating.
+//!
+//! A trip query is partitioned (π), each sub-query is adapted with
+//! shift-and-enlarge, optionally pre-checked by the cardinality estimator,
+//! dispatched to the SNT-index, and relaxed with σ until it produces travel
+//! times. The per-sub-path histograms are normalized and convolved into the
+//! travel-time distribution of the whole trip.
+
+use crate::cardinality::{estimate_cardinality, CardinalityMode};
+use crate::partition::{partition_query, PartitionMethod};
+use crate::snt::SntIndex;
+use crate::split::{SplitMethod, Splitter};
+use crate::spq::Spq;
+use std::collections::VecDeque;
+use tthr_histogram::Histogram;
+use tthr_network::{Path, RoadNetwork};
+
+/// Per-sub-query cardinality requirements.
+///
+/// The paper's evaluation uses one β for every sub-query; its outlook
+/// (Section 7) suggests varying β per sub-query, "e.g., smaller sample
+/// size requirements in rural zones" — rural traffic is more homogeneous,
+/// so fewer samples suffice and fewer relaxations are triggered.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BetaPolicy {
+    /// The paper's evaluated setting: every sub-query inherits the trip
+    /// query's β.
+    Uniform,
+    /// Sub-queries whose paths lie mostly outside city zones require only
+    /// `ceil(β · rural_factor)` trajectories (clamped to ≥ 1).
+    ZoneScaled {
+        /// Multiplier applied to β on rural/summer-house sub-paths,
+        /// in `(0, 1]`.
+        rural_factor: f64,
+    },
+}
+
+/// Engine configuration: strategy choices and histogram resolution.
+#[derive(Clone, Debug)]
+pub struct QueryEngineConfig {
+    /// Initial partitioning strategy π.
+    pub partition_method: PartitionMethod,
+    /// Path-splitting strategy σ.
+    pub split_method: SplitMethod,
+    /// The interval-size list `A` in seconds (ascending; the paper uses
+    /// 15, 30, 45, 60, 90, 120 minutes).
+    pub interval_sizes: Vec<i64>,
+    /// Histogram bucket width `h` in seconds (the paper's quality metric
+    /// uses 10 s).
+    pub bucket_width: f64,
+    /// Cardinality estimator gating, if any.
+    pub estimator: Option<CardinalityMode>,
+    /// Apply the shift-and-enlarge window adaptation of Dai et al.
+    /// (Procedure 6, line 4).
+    pub shift_and_enlarge: bool,
+    /// Per-sub-query β adaptation (Section 7 extension).
+    pub beta_policy: BetaPolicy,
+}
+
+impl Default for QueryEngineConfig {
+    fn default() -> Self {
+        QueryEngineConfig {
+            partition_method: PartitionMethod::Zone,
+            split_method: SplitMethod::Regular,
+            interval_sizes: vec![900, 1800, 2700, 3600, 5400, 7200],
+            bucket_width: 10.0,
+            estimator: None,
+            shift_and_enlarge: true,
+            beta_policy: BetaPolicy::Uniform,
+        }
+    }
+}
+
+/// The result of one completed (possibly relaxed) sub-query.
+#[derive(Clone, Debug)]
+pub struct SubResult {
+    /// The final sub-path answered.
+    pub path: Path,
+    /// Retrieved travel times.
+    pub values: Vec<f64>,
+    /// Mean travel time `X̄ⱼ`.
+    pub mean: f64,
+    /// The sub-path histogram `Hⱼ` (unnormalized).
+    pub histogram: Histogram,
+    /// Whether the values are the speed-limit fallback estimate.
+    pub fallback: bool,
+}
+
+/// Counters describing how a trip query was processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Sub-queries produced by the initial partitioning.
+    pub initial_subqueries: usize,
+    /// Completed sub-queries (the `k` of the final convolution).
+    pub final_subqueries: usize,
+    /// Interval widenings performed by σ.
+    pub widenings: usize,
+    /// Path splits performed by σ.
+    pub path_splits: usize,
+    /// Non-temporal filters dropped by σ.
+    pub filter_drops: usize,
+    /// Full `[0, t_max)` fallbacks taken by σ.
+    pub full_fallbacks: usize,
+    /// Sub-queries rejected by the cardinality estimator without an index
+    /// scan.
+    pub estimator_rejections: usize,
+    /// `getTravelTimes` dispatches (temporal index scans).
+    pub index_queries: usize,
+    /// Speed-limit estimates in the final result.
+    pub estimate_fallbacks: usize,
+}
+
+/// The answer to a trip query.
+#[derive(Clone, Debug)]
+pub struct TripQuery {
+    /// Travel-time distribution of the whole path: the normalized
+    /// convolution `H = H₁ ∗ … ∗ H_k`.
+    pub histogram: Option<Histogram>,
+    /// Per-sub-query results, in path order.
+    pub subs: Vec<SubResult>,
+    /// Processing counters.
+    pub stats: QueryStats,
+}
+
+impl TripQuery {
+    /// The point estimate for the trip: the sum of sub-query means `Σ X̄ⱼ`.
+    pub fn predicted_duration(&self) -> f64 {
+        self.subs.iter().map(|s| s.mean).sum()
+    }
+
+    /// Average number of segments per final sub-query (Figure 7).
+    pub fn avg_sub_path_len(&self) -> f64 {
+        if self.subs.is_empty() {
+            return 0.0;
+        }
+        self.subs.iter().map(|s| s.path.len()).sum::<usize>() as f64 / self.subs.len() as f64
+    }
+}
+
+/// The trip-query engine: an [`SntIndex`] plus strategy configuration.
+pub struct QueryEngine<'a> {
+    index: &'a SntIndex,
+    network: &'a RoadNetwork,
+    splitter: Splitter,
+    config: QueryEngineConfig,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over an index.
+    pub fn new(index: &'a SntIndex, network: &'a RoadNetwork, config: QueryEngineConfig) -> Self {
+        let splitter = Splitter::new(config.split_method, config.interval_sizes.clone());
+        QueryEngine {
+            index,
+            network,
+            splitter,
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &QueryEngineConfig {
+        &self.config
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &SntIndex {
+        self.index
+    }
+
+    /// Applies the β policy to a sub-query whose path was just (re)derived.
+    fn apply_beta_policy(&self, sub: &mut Spq) {
+        let BetaPolicy::ZoneScaled { rural_factor } = self.config.beta_policy else {
+            return;
+        };
+        let Some(beta) = sub.beta else { return };
+        let rural_len: f64 = sub
+            .path
+            .edges()
+            .iter()
+            .filter(|&&e| self.network.attrs(e).zone != tthr_network::Zone::City)
+            .map(|&e| self.network.attrs(e).length_m)
+            .sum();
+        let total_len: f64 = self.network.path_length_m(&sub.path);
+        if rural_len * 2.0 > total_len {
+            let scaled = ((beta as f64) * rural_factor).ceil().max(1.0) as u32;
+            sub.beta = Some(scaled.min(beta));
+        }
+    }
+
+    /// Executes a trip query (Procedure 6, `tripQuery`).
+    pub fn trip_query(&self, query: &Spq) -> TripQuery {
+        let mut stats = QueryStats::default();
+        let mut initial = partition_query(self.network, query, self.config.partition_method);
+        for sub in &mut initial {
+            self.apply_beta_policy(sub);
+        }
+        stats.initial_subqueries = initial.len();
+
+        // (sub-query, already shift-and-enlarge adapted?)
+        let mut queue: VecDeque<(Spq, bool)> =
+            initial.into_iter().map(|s| (s, false)).collect();
+        let mut subs: Vec<SubResult> = Vec::new();
+        // Shift-and-enlarge accumulators over completed sub-queries:
+        // S = Σ H_min, R = Σ (H_max − H_min).
+        let mut sum_min = 0.0;
+        let mut sum_range = 0.0;
+
+        while let Some((mut sub, adapted)) = queue.pop_front() {
+            // Procedure 6, lines 3–5: adapt the window once per sub-query.
+            if !adapted
+                && self.config.shift_and_enlarge
+                && sub.interval.is_periodic()
+                && !subs.is_empty()
+            {
+                sub = sub.with_interval(sub.interval.shift_and_enlarge(sum_min, sum_range));
+            }
+
+            // Estimator gate: relax without scanning when β̂ < β.
+            if let (Some(mode), Some(beta)) = (self.config.estimator, sub.beta) {
+                if sub.interval.is_periodic()
+                    && estimate_cardinality(self.index, &sub, mode) < beta as f64
+                {
+                    stats.estimator_rejections += 1;
+                    self.relax(&sub, &mut queue, &mut stats);
+                    continue;
+                }
+            }
+
+            stats.index_queries += 1;
+            let times = self.index.get_travel_times(&sub);
+            if times.is_empty() {
+                self.relax(&sub, &mut queue, &mut stats);
+                continue;
+            }
+
+            let histogram = Histogram::from_values(&times.values, self.config.bucket_width);
+            sum_min += histogram.min_edge().expect("non-empty histogram");
+            sum_range += histogram.max_edge().expect("non-empty")
+                - histogram.min_edge().expect("non-empty");
+            if times.fallback {
+                stats.estimate_fallbacks += 1;
+            }
+            subs.push(SubResult {
+                path: sub.path.clone(),
+                mean: times.mean().expect("non-empty travel times"),
+                values: times.values,
+                histogram,
+                fallback: times.fallback,
+            });
+        }
+
+        stats.final_subqueries = subs.len();
+        let normalized: Vec<Histogram> = subs.iter().map(|s| s.histogram.normalize()).collect();
+        let histogram = Histogram::convolve_all(normalized.iter());
+        TripQuery {
+            histogram,
+            subs,
+            stats,
+        }
+    }
+
+    /// Applies σ to a failed sub-query and pushes the replacements to the
+    /// front of the queue (Procedure 6, line 10), classifying the step for
+    /// the stats.
+    fn relax(&self, sub: &Spq, queue: &mut VecDeque<(Spq, bool)>, stats: &mut QueryStats) {
+        let replacements = self.splitter.split(self.index, sub);
+        match replacements.as_slice() {
+            [_, _] => stats.path_splits += 1,
+            [one] if one.interval.is_periodic() && one.interval.size() > sub.interval.size() => {
+                stats.widenings += 1;
+            }
+            [one] if one.filter.is_empty() && !sub.filter.is_empty() => stats.filter_drops += 1,
+            _ => stats.full_fallbacks += 1,
+        }
+        // The relaxed queries replace the failed one in order; they keep the
+        // adapted window, so they are not re-adapted. Path splits re-derive
+        // sub-paths, so the β policy re-applies.
+        for mut r in replacements.into_iter().rev() {
+            if r.path != sub.path {
+                self.apply_beta_policy(&mut r);
+            }
+            queue.push_front((r, true));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::TimeInterval;
+    use crate::snt::{SntConfig, SntIndex};
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_C, EDGE_D, EDGE_E};
+    use tthr_network::RoadNetwork;
+    use tthr_trajectory::examples::example_trajectories;
+    use tthr_trajectory::UserId;
+
+    fn fixture() -> (RoadNetwork, SntIndex) {
+        let net = example_network();
+        let idx = SntIndex::build(&net, &example_trajectories(), SntConfig::default());
+        (net, idx)
+    }
+
+    fn engine_with<'a>(
+        idx: &'a SntIndex,
+        net: &'a RoadNetwork,
+        pi: PartitionMethod,
+    ) -> QueryEngine<'a> {
+        QueryEngine::new(
+            idx,
+            net,
+            QueryEngineConfig {
+                partition_method: pi,
+                bucket_width: 1.0,
+                ..QueryEngineConfig::default()
+            },
+        )
+    }
+
+    /// ⟨A,B,E⟩ with a fixed interval covering the whole example set.
+    fn abe_query() -> Spq {
+        Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 100),
+        )
+        .with_beta(2)
+    }
+
+    #[test]
+    fn whole_path_query_answers_directly() {
+        let (net, idx) = fixture();
+        let engine = engine_with(&idx, &net, PartitionMethod::Whole);
+        let r = engine.trip_query(&abe_query());
+        // tr0 (11 s) and tr3 (10 s) both traverse ⟨A,B,E⟩.
+        assert_eq!(r.subs.len(), 1);
+        assert_eq!(r.stats.initial_subqueries, 1);
+        assert_eq!(r.stats.path_splits, 0);
+        let mean = r.predicted_duration();
+        assert!((mean - 10.5).abs() < 1e-9, "mean of 10 and 11, got {mean}");
+        assert!(r.histogram.is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_beta_relaxes_until_answerable() {
+        let (net, idx) = fixture();
+        let engine = engine_with(&idx, &net, PartitionMethod::Whole);
+        // β = 50 can never be met on a 4-trajectory set with a periodic
+        // window: σ must widen, split, and finally fall back.
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_C, EDGE_D, EDGE_E]),
+            TimeInterval::periodic(0, 900),
+        )
+        .with_beta(50);
+        let r = engine.trip_query(&q);
+        let rebuilt: Vec<_> = r.subs.iter().flat_map(|s| s.path.edges().to_vec()).collect();
+        assert_eq!(rebuilt, q.path.edges().to_vec(), "path coverage preserved");
+        assert!(r.stats.widenings > 0, "widening attempted first");
+        assert!(r.stats.path_splits > 0, "splits follow");
+        assert!(r.stats.full_fallbacks > 0, "single segments fall back");
+        assert!(r.predicted_duration() > 0.0);
+    }
+
+    #[test]
+    fn regular_partitioning_convolves_per_segment() {
+        let (net, idx) = fixture();
+        let engine = engine_with(&idx, &net, PartitionMethod::Regular(1));
+        let q = abe_query();
+        let r = engine.trip_query(&q);
+        assert_eq!(r.subs.len(), 3);
+        // β = 2 keeps the first two traversals per segment in entry-time
+        // order: A → {3, 4}, B → {4, 3}, E → {4, 5} (the tie at t = 12 on E
+        // breaks towards the lower trajectory id, tr1).
+        let want = 3.5 + 3.5 + 4.5;
+        assert!(
+            (r.predicted_duration() - want).abs() < 1e-9,
+            "got {}",
+            r.predicted_duration()
+        );
+        // Convolution exists and is a unit-mass distribution.
+        let h = r.histogram.expect("histogram");
+        assert!((h.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_drop_is_counted() {
+        let (net, idx) = fixture();
+        let engine = engine_with(&idx, &net, PartitionMethod::Whole);
+        // User u2 never drives ⟨A,B,E⟩ fully... tr2 = (A,B,F). With β = 1
+        // and a periodic interval the engine must widen through A, then drop
+        // the filter after splitting to single segments.
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::periodic(0, 900),
+        )
+        .with_beta(5)
+        .with_user(UserId(2));
+        let r = engine.trip_query(&q);
+        assert!(r.stats.filter_drops > 0, "stats: {:?}", r.stats);
+        assert!(r.predicted_duration() > 0.0);
+    }
+
+    #[test]
+    fn shift_and_enlarge_only_affects_later_subqueries() {
+        let (net, idx) = fixture();
+        // With shift-and-enlarge off vs on, the first sub-query is
+        // identical; the example set is dense enough that results only
+        // differ if windows shifted badly — both must succeed.
+        for sae in [false, true] {
+            let engine = QueryEngine::new(
+                &idx,
+                &net,
+                QueryEngineConfig {
+                    partition_method: PartitionMethod::Regular(1),
+                    shift_and_enlarge: sae,
+                    bucket_width: 1.0,
+                    ..QueryEngineConfig::default()
+                },
+            );
+            let q = Spq::new(
+                Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+                TimeInterval::periodic(0, 900),
+            )
+            .with_beta(2);
+            let r = engine.trip_query(&q);
+            assert_eq!(r.subs.len(), 3, "shift_and_enlarge = {sae}");
+            assert!(r.predicted_duration() > 0.0);
+        }
+    }
+
+    #[test]
+    fn estimator_gate_skips_scans_for_hopeless_subqueries() {
+        let (net, idx) = fixture();
+        let gated = QueryEngine::new(
+            &idx,
+            &net,
+            QueryEngineConfig {
+                partition_method: PartitionMethod::Whole,
+                estimator: Some(CardinalityMode::CssAcc),
+                bucket_width: 1.0,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::periodic(12 * 3600, 900), // noon: no data at all
+        )
+        .with_beta(2);
+        let r = gated.trip_query(&q);
+        assert!(
+            r.stats.estimator_rejections > 0,
+            "the accurate estimator must reject the noon window: {:?}",
+            r.stats
+        );
+        // The answer still arrives through relaxation.
+        assert!(r.predicted_duration() > 0.0);
+    }
+
+    #[test]
+    fn trip_query_is_deterministic() {
+        let (net, idx) = fixture();
+        let engine = engine_with(&idx, &net, PartitionMethod::Category);
+        let q = abe_query();
+        let a = engine.trip_query(&q);
+        let b = engine.trip_query(&q);
+        assert_eq!(a.predicted_duration(), b.predicted_duration());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.subs.len(), b.subs.len());
+    }
+
+    #[test]
+    fn zone_scaled_beta_relaxes_rural_subqueries() {
+        let (net, idx) = fixture();
+        // ⟨A⟩ is rural. Uniform β = 3 on a 900 s periodic window misses the
+        // cardinality requirement (all traversals sit in one window but
+        // only 4 exist; pick β = 5 to force relaxation), while the scaled
+        // policy (factor 0.4 → β = 2) answers directly.
+        let q = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::periodic(0, 900)).with_beta(5);
+        let uniform = engine_with(&idx, &net, PartitionMethod::Whole).trip_query(&q);
+        let scaled_engine = QueryEngine::new(
+            &idx,
+            &net,
+            QueryEngineConfig {
+                partition_method: PartitionMethod::Whole,
+                beta_policy: BetaPolicy::ZoneScaled { rural_factor: 0.4 },
+                bucket_width: 1.0,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let scaled = scaled_engine.trip_query(&q);
+        assert!(uniform.stats.widenings > 0, "uniform β must widen");
+        assert_eq!(scaled.stats.widenings, 0, "scaled β answers directly");
+        assert!(scaled.subs[0].values.len() >= 2);
+    }
+
+    #[test]
+    fn zone_scaled_beta_keeps_city_requirements() {
+        let (net, idx) = fixture();
+        // ⟨C,D,E⟩ is city-zoned: the policy must not reduce β there.
+        let q = Spq::new(
+            Path::new(vec![EDGE_C, EDGE_D, EDGE_E]),
+            TimeInterval::periodic(0, 900),
+        )
+        .with_beta(3);
+        let scaled_engine = QueryEngine::new(
+            &idx,
+            &net,
+            QueryEngineConfig {
+                partition_method: PartitionMethod::Whole,
+                beta_policy: BetaPolicy::ZoneScaled { rural_factor: 0.1 },
+                bucket_width: 1.0,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let uniform = engine_with(&idx, &net, PartitionMethod::Whole).trip_query(&q);
+        let scaled = scaled_engine.trip_query(&q);
+        // Identical behaviour on a city path.
+        assert_eq!(uniform.stats, scaled.stats);
+        assert_eq!(uniform.predicted_duration(), scaled.predicted_duration());
+    }
+
+    #[test]
+    fn avg_sub_path_len_matches_subs() {
+        let (net, idx) = fixture();
+        let engine = engine_with(&idx, &net, PartitionMethod::Regular(2));
+        let q = abe_query();
+        let r = engine.trip_query(&q);
+        // π₂ on a 3-segment path → sub-paths of 2 and 1 segments.
+        assert_eq!(r.subs.len(), 2);
+        assert!((r.avg_sub_path_len() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's primary contribution: an SNT-index adapted for travel-time
+//! histogram retrieval, with online strict-path-query processing.
+//!
+//! Layer map (bottom-up):
+//!
+//! * [`text`] — trajectory-string construction over `Σ = E ∪ {$}`.
+//! * [`SntIndex`] — per-partition FM-indexes + extended temporal forests +
+//!   the `U` user table + optional time-of-day histogram store; implements
+//!   `buildMap` / `probeMap` / `getTravelTimes` (Procedures 3–5).
+//! * [`PartitionMethod`] / [`partition_query`] — the π strategies
+//!   (Section 3.2).
+//! * [`SplitMethod`] / [`Splitter`] — the greedy relaxation σ (Procedure 1).
+//! * [`CardinalityMode`] / [`estimate_cardinality`] — the five estimator
+//!   modes (Section 4.4).
+//! * [`QueryEngine`] — the trip-query driver with shift-and-enlarge and
+//!   estimator gating (Procedure 6).
+//! * [`baseline`] — the speed-limit and segment-level reference estimators.
+//!
+//! ```
+//! use tthr_core::{SntConfig, SntIndex, Spq, TimeInterval};
+//! use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
+//! use tthr_network::Path;
+//! use tthr_trajectory::examples::example_trajectories;
+//!
+//! // Section 2.3's example query: spq(⟨A,B,E⟩, [0,15), ∅, 2) → {tr0, tr3}.
+//! let network = example_network();
+//! let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+//! let spq = Spq::new(
+//!     Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+//!     TimeInterval::fixed(0, 15),
+//! )
+//! .with_beta(2);
+//! assert_eq!(index.get_travel_times(&spq).sorted(), vec![10.0, 11.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod cardinality;
+mod engine;
+mod interval;
+mod partition;
+mod probe;
+mod snt;
+mod split;
+mod spq;
+pub mod text;
+
+pub use cardinality::{estimate_cardinality, CardinalityMode};
+pub use engine::{BetaPolicy, QueryEngine, QueryEngineConfig, QueryStats, SubResult, TripQuery};
+pub use interval::TimeInterval;
+pub use partition::{partition_query, PartitionMethod};
+pub use probe::ProbeTable;
+pub use snt::{MemoryReport, SntConfig, SntIndex, TravelTimes, TreeKind, WaveletKind};
+pub use split::{SplitMethod, Splitter};
+pub use spq::{Filter, Spq};

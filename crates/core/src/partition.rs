@@ -1,0 +1,233 @@
+//! Query partitioning strategies (the π methods of Section 3.2).
+//!
+//! A trip query is initially partitioned into sub-queries whose sub-paths
+//! partition the query path. Coarser partitions give longer sub-paths
+//! (better accuracy, implicit turn costs) but fewer matching trajectories;
+//! the σ splitter later relaxes any sub-query that misses its cardinality
+//! requirement.
+
+use crate::spq::{Filter, Spq};
+use tthr_network::{Path, RoadNetwork};
+
+/// The initial query partitioning strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// π_p — fixed-length pieces of `p` segments (the paper's pre-computable
+    /// baseline uses `p ∈ {1, 2, 3}`).
+    Regular(usize),
+    /// π_C — split whenever the segment category changes.
+    Category,
+    /// π_Z — split whenever the zone type changes.
+    Zone,
+    /// π_ZC — split whenever the zone type or the category changes.
+    ZoneCategory,
+    /// π_N — no initial partitioning; the splitter does all the work.
+    Whole,
+    /// π_MDM — partitions like π_C, but keeps the user filter only on
+    /// sub-queries whose paths lie on main roads (motorways and other major
+    /// connecting roads), where user predicates actually help
+    /// (Section 6.1, after Waury et al. 2018).
+    MainRoadUser,
+}
+
+impl PartitionMethod {
+    /// Display name matching the paper's notation.
+    pub fn name(&self) -> String {
+        match self {
+            PartitionMethod::Regular(p) => format!("pi_{p}"),
+            PartitionMethod::Category => "pi_C".into(),
+            PartitionMethod::Zone => "pi_Z".into(),
+            PartitionMethod::ZoneCategory => "pi_ZC".into(),
+            PartitionMethod::Whole => "pi_N".into(),
+            PartitionMethod::MainRoadUser => "pi_MDM".into(),
+        }
+    }
+}
+
+/// Partitions a trip query into its initial sub-queries. Every sub-query
+/// inherits the query's interval, filter, β, and exclusion; π_MDM restricts
+/// the filter to main-road sub-paths.
+pub fn partition_query(network: &RoadNetwork, query: &Spq, method: PartitionMethod) -> Vec<Spq> {
+    let path = &query.path;
+    let boundaries = match method {
+        PartitionMethod::Regular(p) => {
+            assert!(p >= 1, "π_p requires p ≥ 1");
+            let mut b: Vec<usize> = (0..path.len()).step_by(p).collect();
+            b.push(path.len());
+            b
+        }
+        PartitionMethod::Whole => vec![0, path.len()],
+        PartitionMethod::Category | PartitionMethod::MainRoadUser => {
+            attribute_boundaries(path, |i| network.attrs(path.edges()[i]).category as u32)
+        }
+        PartitionMethod::Zone => {
+            attribute_boundaries(path, |i| network.attrs(path.edges()[i]).zone as u32)
+        }
+        PartitionMethod::ZoneCategory => attribute_boundaries(path, |i| {
+            let a = network.attrs(path.edges()[i]);
+            ((a.zone as u32) << 8) | a.category as u32
+        }),
+    };
+
+    boundaries
+        .windows(2)
+        .map(|w| {
+            let sub_path = path.sub_path(w[0]..w[1]);
+            let mut sub = query.with_path(sub_path);
+            if method == PartitionMethod::MainRoadUser {
+                let main = sub
+                    .path
+                    .edges()
+                    .iter()
+                    .all(|&e| network.attrs(e).category.is_main_road());
+                if !main {
+                    sub.filter = Filter::None;
+                }
+            }
+            sub
+        })
+        .collect()
+}
+
+/// Boundary indices where the attribute of consecutive segments changes.
+fn attribute_boundaries(path: &Path, attr: impl Fn(usize) -> u32) -> Vec<usize> {
+    let mut b = vec![0];
+    for i in 1..path.len() {
+        if attr(i) != attr(i - 1) {
+            b.push(i);
+        }
+    }
+    b.push(path.len());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::TimeInterval;
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_C, EDGE_D, EDGE_E};
+    use tthr_trajectory::UserId;
+
+    /// The paper's running example: P = ⟨A,C,D,E⟩.
+    fn example_query() -> Spq {
+        Spq::new(
+            Path::new(vec![EDGE_A, EDGE_C, EDGE_D, EDGE_E]),
+            TimeInterval::periodic(8 * 3600, 900),
+        )
+        .with_beta(20)
+    }
+
+    fn sub_paths(subs: &[Spq]) -> Vec<Vec<u32>> {
+        subs.iter()
+            .map(|s| s.path.edges().iter().map(|e| e.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn regular_partitions_match_section_3_2_1() {
+        let net = example_network();
+        let q = example_query();
+        // π₁ → ⟨⟨A⟩,⟨C⟩,⟨D⟩,⟨E⟩⟩
+        let p1 = partition_query(&net, &q, PartitionMethod::Regular(1));
+        assert_eq!(sub_paths(&p1), vec![vec![0], vec![2], vec![3], vec![4]]);
+        // π₂ → ⟨⟨A,C⟩,⟨D,E⟩⟩
+        let p2 = partition_query(&net, &q, PartitionMethod::Regular(2));
+        assert_eq!(sub_paths(&p2), vec![vec![0, 2], vec![3, 4]]);
+        // π₃ → ⟨⟨A,C,D⟩,⟨E⟩⟩
+        let p3 = partition_query(&net, &q, PartitionMethod::Regular(3));
+        assert_eq!(sub_paths(&p3), vec![vec![0, 2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn category_partition_matches_section_3_2_2() {
+        // A=motorway, C=D=secondary, E=primary → ⟨⟨A⟩,⟨C,D⟩,⟨E⟩⟩.
+        let net = example_network();
+        let subs = partition_query(&net, &example_query(), PartitionMethod::Category);
+        assert_eq!(sub_paths(&subs), vec![vec![0], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn zone_partition_matches_section_3_2_3() {
+        // A=rural, C=D=E=city → ⟨⟨A⟩,⟨C,D,E⟩⟩.
+        let net = example_network();
+        let subs = partition_query(&net, &example_query(), PartitionMethod::Zone);
+        assert_eq!(sub_paths(&subs), vec![vec![0], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn zone_category_partition_matches_section_3_2_4() {
+        let net = example_network();
+        let subs = partition_query(&net, &example_query(), PartitionMethod::ZoneCategory);
+        assert_eq!(sub_paths(&subs), vec![vec![0], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn whole_keeps_single_sub_query() {
+        let net = example_network();
+        let subs = partition_query(&net, &example_query(), PartitionMethod::Whole);
+        assert_eq!(sub_paths(&subs), vec![vec![0, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn mdm_strips_user_filter_off_minor_roads() {
+        let net = example_network();
+        let q = example_query().with_user(UserId(1));
+        let subs = partition_query(&net, &q, PartitionMethod::MainRoadUser);
+        // Same boundaries as π_C: ⟨A⟩ (motorway), ⟨C,D⟩ (secondary), ⟨E⟩
+        // (primary). User filter survives on A and E, not on C,D.
+        assert_eq!(sub_paths(&subs), vec![vec![0], vec![2, 3], vec![4]]);
+        assert_eq!(subs[0].filter, Filter::User(UserId(1)));
+        assert_eq!(subs[1].filter, Filter::None);
+        assert_eq!(subs[2].filter, Filter::User(UserId(1)));
+    }
+
+    #[test]
+    fn sub_queries_inherit_predicates() {
+        let net = example_network();
+        let q = example_query();
+        for m in [
+            PartitionMethod::Regular(2),
+            PartitionMethod::Category,
+            PartitionMethod::Zone,
+            PartitionMethod::ZoneCategory,
+            PartitionMethod::Whole,
+        ] {
+            for sub in partition_query(&net, &q, m) {
+                assert_eq!(sub.beta, q.beta, "{m:?}");
+                assert_eq!(sub.interval, q.interval, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_the_path_exactly() {
+        let net = example_network();
+        let q = example_query();
+        for m in [
+            PartitionMethod::Regular(1),
+            PartitionMethod::Regular(2),
+            PartitionMethod::Regular(3),
+            PartitionMethod::Regular(7),
+            PartitionMethod::Category,
+            PartitionMethod::Zone,
+            PartitionMethod::ZoneCategory,
+            PartitionMethod::Whole,
+            PartitionMethod::MainRoadUser,
+        ] {
+            let subs = partition_query(&net, &q, m);
+            let rebuilt: Vec<u32> = subs
+                .iter()
+                .flat_map(|s| s.path.edges().iter().map(|e| e.0))
+                .collect();
+            let want: Vec<u32> = q.path.edges().iter().map(|e| e.0).collect();
+            assert_eq!(rebuilt, want, "{m:?} must partition the path");
+        }
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(PartitionMethod::Regular(2).name(), "pi_2");
+        assert_eq!(PartitionMethod::Zone.name(), "pi_Z");
+        assert_eq!(PartitionMethod::MainRoadUser.name(), "pi_MDM");
+    }
+}

@@ -1,0 +1,877 @@
+//! The SNT-index, adapted and extended for travel-time retrieval.
+//!
+//! Assembly of the substrates (paper, Section 4):
+//!
+//! * one FM-index per temporal partition over the partition's trajectory
+//!   string (Section 4.1.1, partitioning per Section 4.3.2);
+//! * a forest of temporal indexes — one CSS-tree or B+-tree per segment —
+//!   whose leaves carry the travel-time extensions `(TT, seq, a)` and the
+//!   partition id `w` (Sections 4.1.2–4.1.3);
+//! * the dense user-lookup container `U : d → u` for constant-time filter
+//!   evaluation;
+//! * an optional per-partition, per-segment time-of-day histogram store for
+//!   the accurate cardinality estimator modes (Section 4.4).
+//!
+//! Query execution follows the paper's procedures exactly: `getISARange`
+//! (Procedure 2, in `tthr-fmindex`), `buildMap` (Procedure 3), `probeMap`
+//! (Procedure 4), and `getTravelTimes` (Procedure 5).
+
+use crate::interval::TimeInterval;
+use crate::probe::ProbeTable;
+use crate::spq::{Filter, Spq};
+use crate::text;
+use std::ops::ControlFlow;
+use tthr_fmindex::{FmIndex, HuffmanWaveletTree, IsaRange, WaveletMatrix};
+use tthr_histogram::TimeOfDayHistogram;
+use tthr_network::{EdgeId, RoadNetwork, Timestamp, SECONDS_PER_DAY};
+use tthr_temporal::{BPlusTree, CssTree, LeafEntry, TemporalIndex};
+use tthr_trajectory::{TrajectorySet, UserId};
+
+/// Which temporal tree implementation backs the forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TreeKind {
+    /// Cache-sensitive search trees (the paper's optimized default).
+    #[default]
+    Css,
+    /// B+-trees (the original SNT-index configuration).
+    BPlus,
+}
+
+/// Which wavelet structure stores the BWT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WaveletKind {
+    /// Huffman-shaped wavelet tree (the paper uses sdsl-lite's `wt_huff`).
+    #[default]
+    Huffman,
+    /// Balanced wavelet matrix (ablation alternative).
+    Matrix,
+}
+
+/// Index construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct SntConfig {
+    /// Temporal tree implementation.
+    pub tree: TreeKind,
+    /// Wavelet structure for the BWT.
+    pub wavelet: WaveletKind,
+    /// Temporal partition width in days; `None` builds a single partition
+    /// (the paper's `FULL` configuration).
+    pub partition_days: Option<u32>,
+    /// Bucket width of the per-segment time-of-day histograms in seconds;
+    /// `None` disables the histogram store (no `*-Acc` estimator modes).
+    pub tod_bucket_secs: Option<u32>,
+}
+
+impl Default for SntConfig {
+    fn default() -> Self {
+        SntConfig {
+            tree: TreeKind::Css,
+            wavelet: WaveletKind::Huffman,
+            partition_days: None,
+            tod_bucket_secs: Some(600),
+        }
+    }
+}
+
+/// Travel times retrieved for one SPQ.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TravelTimes {
+    /// The travel-time multiset `X` in index scan order.
+    pub values: Vec<f64>,
+    /// Whether `values` is the single speed-limit estimate `estimateTT(e)`
+    /// (Procedure 5, line 13) rather than measured data.
+    pub fallback: bool,
+}
+
+impl TravelTimes {
+    /// The empty result `∅`.
+    pub fn empty() -> Self {
+        TravelTimes {
+            values: Vec::new(),
+            fallback: false,
+        }
+    }
+
+    /// Whether no travel times were retrieved.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of retrieved travel times.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean travel time `X̄`, if any values were retrieved.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// The values sorted ascending (for deterministic assertions).
+    pub fn sorted(&self) -> Vec<f64> {
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("travel times are finite"));
+        v
+    }
+}
+
+/// Per-component memory accounting (Figure 10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryReport {
+    /// Segment-counter arrays `C`, summed over partitions.
+    pub counts_bytes: usize,
+    /// Wavelet structures (`WT`), summed over partitions.
+    pub wavelet_bytes: usize,
+    /// The `U : d → u` user table.
+    pub user_bytes: usize,
+    /// The temporal forest, as allocated.
+    pub forest_bytes: usize,
+    /// Logical forest payload with the partition id in every leaf.
+    pub forest_logical_bytes: usize,
+    /// Logical forest payload without the partition id (the ≈ 300 MiB
+    /// saving the paper reports for its data set, Section 6.3).
+    pub forest_logical_bytes_no_partition: usize,
+    /// Time-of-day histogram store (Figure 10b).
+    pub tod_bytes: usize,
+    /// Total leaf entries across the forest.
+    pub total_entries: usize,
+}
+
+enum FmVariant {
+    Huffman(FmIndex<HuffmanWaveletTree>),
+    Matrix(FmIndex<WaveletMatrix>),
+}
+
+impl FmVariant {
+    fn build(kind: WaveletKind, txt: &[u32], sigma: u32) -> (Self, Vec<u32>) {
+        match kind {
+            WaveletKind::Huffman => {
+                let (fm, isa) = FmIndex::<HuffmanWaveletTree>::build(txt, sigma);
+                (FmVariant::Huffman(fm), isa)
+            }
+            WaveletKind::Matrix => {
+                let (fm, isa) = FmIndex::<WaveletMatrix>::build(txt, sigma);
+                (FmVariant::Matrix(fm), isa)
+            }
+        }
+    }
+
+    fn isa_range(&self, pattern: &[u32]) -> IsaRange {
+        match self {
+            FmVariant::Huffman(fm) => fm.isa_range(pattern),
+            FmVariant::Matrix(fm) => fm.isa_range(pattern),
+        }
+    }
+
+    fn wavelet_size_bytes(&self) -> usize {
+        match self {
+            FmVariant::Huffman(fm) => fm.wavelet_size_bytes(),
+            FmVariant::Matrix(fm) => fm.wavelet_size_bytes(),
+        }
+    }
+
+    fn counts_size_bytes(&self) -> usize {
+        match self {
+            FmVariant::Huffman(fm) => fm.counts_size_bytes(),
+            FmVariant::Matrix(fm) => fm.counts_size_bytes(),
+        }
+    }
+}
+
+enum Forest {
+    Css(Vec<CssTree>),
+    BPlus(Vec<BPlusTree>),
+}
+
+impl Forest {
+    fn tree(&self, e: EdgeId) -> &dyn TemporalIndex {
+        match self {
+            Forest::Css(trees) => &trees[e.index()],
+            Forest::BPlus(trees) => &trees[e.index()],
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            Forest::Css(trees) => trees.iter().map(|t| t.size_bytes()).sum(),
+            Forest::BPlus(trees) => trees.iter().map(|t| t.size_bytes()).sum(),
+        }
+    }
+
+    /// Appends one edge's batch of time-sorted leaves (merging any overlap
+    /// with the already-indexed tail).
+    fn append(&mut self, edge: usize, leaves: Vec<LeafEntry>) {
+        match self {
+            Forest::Css(trees) => trees[edge].extend_sorted(leaves),
+            Forest::BPlus(trees) => {
+                for leaf in leaves {
+                    trees[edge].insert(leaf);
+                }
+            }
+        }
+    }
+}
+
+/// Per-partition, per-segment time-of-day histograms.
+pub(crate) struct TodStore {
+    bucket_secs: u32,
+    /// `hists[partition][edge]`, allocated lazily for non-empty segments.
+    hists: Vec<Vec<Option<TimeOfDayHistogram>>>,
+}
+
+impl TodStore {
+    /// Histogram for a `(partition, edge)` pair, if any traversals exist.
+    pub(crate) fn get(&self, partition: usize, e: EdgeId) -> Option<&TimeOfDayHistogram> {
+        self.hists[partition][e.index()].as_ref()
+    }
+
+    pub(crate) fn size_bytes(&self) -> usize {
+        let hist_bytes: usize = self
+            .hists
+            .iter()
+            .flatten()
+            .filter_map(|h| h.as_ref().map(|h| h.size_bytes()))
+            .sum();
+        let slot_bytes: usize = self
+            .hists
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<Option<TimeOfDayHistogram>>())
+            .sum();
+        hist_bytes + slot_bytes
+    }
+}
+
+/// The extended SNT-index (paper, Section 4).
+pub struct SntIndex {
+    config: SntConfig,
+    partitions: Vec<FmVariant>,
+    forest: Forest,
+    user_table: Vec<UserId>,
+    tod: Option<TodStore>,
+    /// Copied per-edge speed-limit estimates for the Procedure 5 fallback.
+    estimate_tt: Vec<f64>,
+    data_min: Timestamp,
+    data_max: Timestamp,
+    total_entries: usize,
+}
+
+impl SntIndex {
+    /// Builds the index over a trajectory set.
+    ///
+    /// Construction: trajectories are assigned to temporal partitions by
+    /// start time; each partition's trajectory string is indexed with an
+    /// FM-index; every segment traversal becomes a leaf of its segment's
+    /// temporal tree, carrying its ISA value, trajectory id, sequence
+    /// number, traversal time, aggregate, and partition id.
+    pub fn build(network: &RoadNetwork, trajectories: &TrajectorySet, config: SntConfig) -> Self {
+        let num_edges = network.num_edges();
+        let sigma = text::alphabet_size(num_edges);
+
+        // Data span.
+        let mut data_min = Timestamp::MAX;
+        let mut data_max = Timestamp::MIN;
+        for tr in trajectories {
+            data_min = data_min.min(tr.start_time());
+            let last = tr.entries().last().expect("trajectories are non-empty");
+            data_max = data_max.max(last.enter_time);
+        }
+        if trajectories.is_empty() {
+            data_min = 0;
+            data_max = 0;
+        }
+
+        // Partition assignment by trajectory start time.
+        let width = config
+            .partition_days
+            .map(|d| d as i64 * SECONDS_PER_DAY)
+            .unwrap_or(i64::MAX);
+        let part_of = |t0: Timestamp| -> usize {
+            if width == i64::MAX {
+                0
+            } else {
+                ((t0 - data_min) / width) as usize
+            }
+        };
+        let num_partitions = if trajectories.is_empty() {
+            1
+        } else {
+            trajectories
+                .iter()
+                .map(|tr| part_of(tr.start_time()))
+                .max()
+                .expect("non-empty")
+                + 1
+        };
+        assert!(num_partitions <= u16::MAX as usize, "too many partitions");
+
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+        for tr in trajectories {
+            groups[part_of(tr.start_time())].push(tr.id().0);
+        }
+
+        // Per-partition FM-indexes + leaf accumulation.
+        let mut leaf_acc: Vec<Vec<LeafEntry>> = vec![Vec::new(); num_edges];
+        let mut partitions = Vec::with_capacity(num_partitions);
+        let mut total_entries = 0usize;
+        for (w, group) in groups.iter().enumerate() {
+            let (txt, starts) =
+                text::build_text(group.iter().map(|&id| trajectories.get(tthr_trajectory::TrajId(id))));
+            let (fm, isa) = FmVariant::build(config.wavelet, &txt, sigma);
+            for (gi, &id) in group.iter().enumerate() {
+                let tr = trajectories.get(tthr_trajectory::TrajId(id));
+                let base = starts[gi];
+                let mut aggregate = 0.0;
+                for (k, entry) in tr.entries().iter().enumerate() {
+                    aggregate += entry.travel_time;
+                    leaf_acc[entry.edge.index()].push(LeafEntry {
+                        time: entry.enter_time,
+                        aggregate,
+                        travel_time: entry.travel_time,
+                        isa: isa[base + k],
+                        traj: id,
+                        seq: k as u32,
+                        partition: w as u16,
+                    });
+                    total_entries += 1;
+                }
+            }
+            partitions.push(fm);
+        }
+
+        // Optional time-of-day histogram store.
+        let tod = config.tod_bucket_secs.map(|bucket| {
+            let mut hists: Vec<Vec<Option<TimeOfDayHistogram>>> =
+                (0..num_partitions).map(|_| vec![None; num_edges]).collect();
+            for (edge_idx, per_edge) in leaf_acc.iter().enumerate() {
+                for leaf in per_edge {
+                    hists[leaf.partition as usize][edge_idx]
+                        .get_or_insert_with(|| TimeOfDayHistogram::new(bucket))
+                        .add(leaf.time);
+                }
+            }
+            TodStore {
+                bucket_secs: bucket,
+                hists,
+            }
+        });
+
+        // Temporal forest (leaves sorted by time; stable sort keeps the
+        // trajectory-id order for equal timestamps).
+        let forest = match config.tree {
+            TreeKind::Css => Forest::Css(
+                leaf_acc
+                    .into_iter()
+                    .map(|mut v| {
+                        v.sort_by_key(|e| e.time);
+                        CssTree::from_sorted(v)
+                    })
+                    .collect(),
+            ),
+            TreeKind::BPlus => Forest::BPlus(
+                leaf_acc
+                    .into_iter()
+                    .map(|mut v| {
+                        v.sort_by_key(|e| e.time);
+                        BPlusTree::from_sorted(v)
+                    })
+                    .collect(),
+            ),
+        };
+
+        SntIndex {
+            config,
+            partitions,
+            forest,
+            user_table: trajectories.user_table(),
+            tod,
+            estimate_tt: network.edge_ids().map(|e| network.estimate_tt(e)).collect(),
+            data_min,
+            data_max,
+            total_entries,
+        }
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &SntConfig {
+        &self.config
+    }
+
+    /// Number of temporal partitions `W`.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Earliest trajectory start time in the data set.
+    pub fn data_min(&self) -> Timestamp {
+        self.data_min
+    }
+
+    /// Latest segment entry time in the data set (`t_max`).
+    pub fn data_max(&self) -> Timestamp {
+        self.data_max
+    }
+
+    /// The fixed-interval fallback `[0, t_max)` of Procedure 1, line 12.
+    pub fn full_interval(&self) -> TimeInterval {
+        TimeInterval::fixed(self.data_min.min(0), self.data_max + 1)
+    }
+
+    /// Speed-limit travel-time estimate for a segment (`estimateTT`).
+    pub fn estimate_tt(&self, e: EdgeId) -> f64 {
+        self.estimate_tt[e.index()]
+    }
+
+    /// The user of a trajectory (the `U` container).
+    pub fn user_of(&self, traj: u32) -> UserId {
+        self.user_table[traj as usize]
+    }
+
+    /// The temporal index `Φe` of a segment.
+    pub fn temporal(&self, e: EdgeId) -> &dyn TemporalIndex {
+        self.forest.tree(e)
+    }
+
+    /// Per-partition, per-segment time-of-day histogram, when the store is
+    /// enabled and the segment has traversals in the partition.
+    pub fn tod_histogram(&self, partition: usize, e: EdgeId) -> Option<&TimeOfDayHistogram> {
+        self.tod.as_ref().and_then(|s| s.get(partition, e))
+    }
+
+    /// Bucket width of the ToD store, if enabled.
+    pub fn tod_bucket_secs(&self) -> Option<u32> {
+        self.tod.as_ref().map(|s| s.bucket_secs)
+    }
+
+    /// Per-partition ISA ranges of a path (`getISARange` over every
+    /// partition's FM-index, Section 4.3.2).
+    pub fn isa_ranges(&self, path: &tthr_network::Path) -> Vec<IsaRange> {
+        let pattern = text::path_symbols(path);
+        self.partitions
+            .iter()
+            .map(|fm| fm.isa_range(&pattern))
+            .collect()
+    }
+
+    /// Exact number of traversals of the path across all partitions
+    /// (`cP = ed − st`, the ISA-mode cardinality).
+    pub fn traversal_count(&self, path: &tthr_network::Path) -> usize {
+        self.isa_ranges(path).iter().map(|r| r.len()).sum()
+    }
+
+    fn passes_filter(&self, spq: &Spq, traj: u32) -> bool {
+        if let Some(ex) = spq.exclude {
+            if ex.0 == traj {
+                return false;
+            }
+        }
+        match spq.filter {
+            Filter::None => true,
+            Filter::User(u) => self.user_table[traj as usize] == u,
+        }
+    }
+
+    /// `buildMap` (Procedure 3): scans the temporal index of the first
+    /// segment over the query windows, spatially filters by ISA range,
+    /// evaluates the non-temporal predicate, and maps `(d, seq)` to the
+    /// antecedent aggregate `a − TT`, stopping once β entries are found.
+    fn build_map(&self, spq: &Spq, ranges: &[IsaRange]) -> ProbeTable {
+        let cap = spq.beta_cap() as usize;
+        let mut map = ProbeTable::with_capacity(cap.min(1024));
+        let tree = self.forest.tree(spq.path.first());
+        let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
+            return map;
+        };
+        let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
+            tree.scan_range(lo, hi, &mut |r| {
+                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj)
+                {
+                    map.insert(r.traj, r.seq, r.antecedent());
+                    if map.len() >= cap {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+        });
+        map
+    }
+
+    /// `probeMap` (Procedure 4): scans the temporal index of the last
+    /// segment, probing the map with `(d, seq + 1 − l)`; every hit yields
+    /// the path travel time `a_{l−1} − (a₀ − TT₀)`. The scan stops as soon
+    /// as every map entry has been matched (each spatially filtered entry
+    /// matches exactly once).
+    fn probe_map(&self, spq: &Spq, map: &ProbeTable) -> Vec<f64> {
+        let mut xs = Vec::with_capacity(map.len());
+        if map.is_empty() {
+            return xs;
+        }
+        let l = spq.path.len() as u32;
+        let tree = self.forest.tree(spq.path.last());
+        let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
+            return xs;
+        };
+        let _ = tree.scan_range(kmin, kmax + 1, &mut |r| {
+            if r.seq + 1 >= l {
+                if let Some(diff) = map.get(r.traj, r.seq + 1 - l) {
+                    xs.push(r.aggregate - diff);
+                    if xs.len() == map.len() {
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
+            ControlFlow::Continue(())
+        });
+        xs
+    }
+
+    /// `getTravelTimes` (Procedure 5): retrieves the travel times of up to
+    /// β trajectories matching the SPQ.
+    ///
+    /// * An empty ISA range short-circuits without touching the temporal
+    ///   indexes (the FM-index already proves no trajectory traverses `P`).
+    /// * Periodic queries that cannot satisfy β return `∅`, signalling the
+    ///   splitter to relax the predicates.
+    /// * A single-segment query with a fixed interval that still finds
+    ///   nothing falls back to the speed-limit estimate.
+    pub fn get_travel_times(&self, spq: &Spq) -> TravelTimes {
+        let ranges = self.isa_ranges(&spq.path);
+        let single = spq.path.len() == 1;
+        let estimate = || TravelTimes {
+            values: vec![self.estimate_tt[spq.path.first().index()]],
+            fallback: true,
+        };
+        if ranges.iter().all(|r| r.is_empty()) {
+            // Procedure 5 returns ∅ here; for the terminal fallback query
+            // (single segment, fixed interval) that would strand the
+            // splitter, so line 13's estimate applies directly.
+            if single && !spq.interval.is_periodic() {
+                return estimate();
+            }
+            return TravelTimes::empty();
+        }
+        let map = self.build_map(spq, &ranges);
+        if let Some(beta) = spq.beta {
+            if (map.len() as u32) < beta && spq.interval.is_periodic() {
+                return TravelTimes::empty();
+            }
+        }
+        let values = self.probe_map(spq, &map);
+        if values.is_empty() && single && !spq.interval.is_periodic() {
+            return estimate();
+        }
+        TravelTimes {
+            values,
+            fallback: false,
+        }
+    }
+
+    /// Exact count of traversals matching all SPQ predicates, capped at
+    /// `cap` (σ_L's `|T^{P₁}| ≥ β` test and the q-error ground truth; pass
+    /// `u32::MAX` for the uncapped cardinality).
+    pub fn count_matching(&self, spq: &Spq, cap: u32) -> usize {
+        let ranges = self.isa_ranges(&spq.path);
+        if ranges.iter().all(|r| r.is_empty()) {
+            return 0;
+        }
+        let tree = self.forest.tree(spq.path.first());
+        let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
+            return 0;
+        };
+        let mut n = 0usize;
+        let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
+            tree.scan_range(lo, hi, &mut |r| {
+                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj)
+                {
+                    n += 1;
+                    if n >= cap as usize {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+        });
+        n
+    }
+
+    /// Number of trajectories currently indexed.
+    pub fn num_trajectories(&self) -> usize {
+        self.user_table.len()
+    }
+
+    /// Appends all trajectories of `set` with ids `≥ num_trajectories()` as
+    /// one new temporal partition — the batch-update path that temporal
+    /// partitioning exists for (paper, Section 4.3.2): the new batch gets
+    /// its own FM-index, existing partitions' succinct structures are left
+    /// untouched, and the new leaves are appended to the temporal forest
+    /// (an append-only operation on CSS-trees, ordinary inserts on
+    /// B+-trees).
+    ///
+    /// Returns the number of trajectories appended (0 leaves the index
+    /// unchanged).
+    ///
+    /// Batches whose time range slightly overlaps the indexed data are
+    /// handled by merging the forest tails; β-capped answers remain
+    /// identical to a from-scratch build because timestamp ties keep
+    /// trajectory-id order either way.
+    ///
+    /// # Panics
+    /// Panics if the partition id space (2¹⁶) is exhausted.
+    pub fn append_batch(&mut self, set: &TrajectorySet) -> usize {
+        let from = self.num_trajectories();
+        if set.len() <= from {
+            return 0;
+        }
+        let new_ids: Vec<u32> = (from as u32..set.len() as u32).collect();
+        let w = self.partitions.len();
+        assert!(w < u16::MAX as usize, "partition id space exhausted");
+
+        // FM-index over the batch's own trajectory string.
+        let sigma = self.estimate_tt.len() as u32 + 1;
+        let (txt, starts) =
+            text::build_text(new_ids.iter().map(|&id| set.get(tthr_trajectory::TrajId(id))));
+        let (fm, isa) = FmVariant::build(self.config.wavelet, &txt, sigma);
+
+        // Collect the batch's leaves per edge, then append in time order.
+        let num_edges = self.estimate_tt.len();
+        let mut per_edge: Vec<Vec<LeafEntry>> = vec![Vec::new(); num_edges];
+        for (gi, &id) in new_ids.iter().enumerate() {
+            let tr = set.get(tthr_trajectory::TrajId(id));
+            let base = starts[gi];
+            let mut aggregate = 0.0;
+            for (k, entry) in tr.entries().iter().enumerate() {
+                aggregate += entry.travel_time;
+                per_edge[entry.edge.index()].push(LeafEntry {
+                    time: entry.enter_time,
+                    aggregate,
+                    travel_time: entry.travel_time,
+                    isa: isa[base + k],
+                    traj: id,
+                    seq: k as u32,
+                    partition: w as u16,
+                });
+                self.total_entries += 1;
+                self.data_max = self.data_max.max(entry.enter_time);
+            }
+            self.data_min = self.data_min.min(tr.start_time());
+            self.user_table.push(tr.user());
+        }
+        if let Some(tod) = &mut self.tod {
+            let mut hists: Vec<Option<TimeOfDayHistogram>> = vec![None; num_edges];
+            for (edge_idx, leaves) in per_edge.iter().enumerate() {
+                for leaf in leaves {
+                    hists[edge_idx]
+                        .get_or_insert_with(|| TimeOfDayHistogram::new(tod.bucket_secs))
+                        .add(leaf.time);
+                }
+            }
+            tod.hists.push(hists);
+        }
+        for (edge_idx, mut leaves) in per_edge.into_iter().enumerate() {
+            if leaves.is_empty() {
+                continue;
+            }
+            leaves.sort_by_key(|l| l.time);
+            self.forest.append(edge_idx, leaves);
+        }
+        self.partitions.push(fm);
+        new_ids.len()
+    }
+
+    /// Memory accounting for the Figure 10 experiments.
+    pub fn memory_report(&self) -> MemoryReport {
+        MemoryReport {
+            counts_bytes: self.partitions.iter().map(|p| p.counts_size_bytes()).sum(),
+            wavelet_bytes: self.partitions.iter().map(|p| p.wavelet_size_bytes()).sum(),
+            user_bytes: self.user_table.len() * std::mem::size_of::<UserId>(),
+            forest_bytes: self.forest.size_bytes(),
+            forest_logical_bytes: self.total_entries * LeafEntry::logical_size(true),
+            forest_logical_bytes_no_partition: self.total_entries * LeafEntry::logical_size(false),
+            tod_bytes: self.tod.as_ref().map(|t| t.size_bytes()).unwrap_or(0),
+            total_entries: self.total_entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::ControlFlow;
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E, EDGE_F};
+    use tthr_network::Path;
+    use tthr_trajectory::examples::example_trajectories;
+    use tthr_trajectory::{TrajId, UserId};
+
+    fn index() -> SntIndex {
+        SntIndex::build(
+            &example_network(),
+            &example_trajectories(),
+            SntConfig::default(),
+        )
+    }
+
+    #[test]
+    fn figure_4_temporal_index_of_segment_a() {
+        // The paper's Figure 4: the temporal index Φ_A maps each entry
+        // timestamp to (isa, d, TT, a, seq). All four example trajectories
+        // enter A first (seq 0, a = TT), at t = 0, 2, 4, 6; their ISA
+        // values are the ranks of the suffixes starting at text positions
+        // 0, 4, 9, 13 of ABE$ACDE$ABF$ABE$ — 5, 7, 6, 4 (Figure 3).
+        let idx = index();
+        let phi_a = idx.temporal(EDGE_A);
+        assert_eq!(phi_a.len(), 4);
+        let mut rows = Vec::new();
+        let _ = phi_a.scan_range(i64::MIN, i64::MAX, &mut |r| {
+            rows.push((r.time, r.isa, r.traj, r.travel_time, r.aggregate, r.seq));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(
+            rows,
+            vec![
+                (0, 5, 0, 3.0, 3.0, 0),
+                (2, 7, 1, 4.0, 4.0, 0),
+                (4, 6, 2, 3.0, 3.0, 0),
+                (6, 4, 3, 3.0, 3.0, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates_allow_two_scan_retrieval() {
+        // Dur(tr1, ⟨A,C,D,E⟩) = a_3 − (a_0 − TT_0) = 15 − (4 − 4) = 15,
+        // read off E's leaf (a = 15) and A's leaf (antecedent 0).
+        let idx = index();
+        let phi_e = idx.temporal(EDGE_E);
+        let mut tr1_leaf = None;
+        let _ = phi_e.scan_range(i64::MIN, i64::MAX, &mut |r| {
+            if r.traj == 1 {
+                tr1_leaf = Some(*r);
+            }
+            ControlFlow::Continue(())
+        });
+        let leaf = tr1_leaf.expect("tr1 traverses E");
+        assert_eq!(leaf.aggregate, 15.0);
+        assert_eq!(leaf.seq, 3);
+        assert_eq!(leaf.travel_time, 5.0);
+    }
+
+    #[test]
+    fn section_2_3_example_queries() {
+        let idx = index();
+        // Q = spq(⟨A,B,E⟩, [0,15), u = u1, 2) → {11, 10}.
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        )
+        .with_user(UserId(1))
+        .with_beta(2);
+        assert_eq!(idx.get_travel_times(&q).sorted(), vec![10.0, 11.0]);
+        // Q1 = spq(⟨A,B⟩, [0,15), ∅, 3) → {6, 6, 7} and
+        // Q2 = spq(⟨E⟩, [0,15), ∅, 3) → {4, 4, 5}.
+        let q1 = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B]),
+            TimeInterval::fixed(0, 15),
+        )
+        .with_beta(3);
+        assert_eq!(idx.get_travel_times(&q1).sorted(), vec![6.0, 6.0, 7.0]);
+        let q2 = Spq::new(Path::new(vec![EDGE_E]), TimeInterval::fixed(0, 15)).with_beta(3);
+        assert_eq!(idx.get_travel_times(&q2).sorted(), vec![4.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn isa_ranges_match_figure_3() {
+        let idx = index();
+        let ra = idx.isa_ranges(&Path::new(vec![EDGE_A]));
+        assert_eq!(ra.len(), 1, "FULL config has one partition");
+        assert_eq!((ra[0].start, ra[0].end), (4, 8));
+        let rab = idx.isa_ranges(&Path::new(vec![EDGE_A, EDGE_B]));
+        assert_eq!((rab[0].start, rab[0].end), (4, 7));
+    }
+
+    #[test]
+    fn periodic_beta_miss_returns_empty_but_fixed_does_not() {
+        let idx = index();
+        // Only one trajectory (tr2) traverses F.
+        let periodic = Spq::new(
+            Path::new(vec![EDGE_F]),
+            TimeInterval::periodic(0, 900),
+        )
+        .with_beta(3);
+        assert!(idx.get_travel_times(&periodic).is_empty());
+        // A fixed interval is processed regardless of β (Procedure 5, l. 7).
+        let fixed = Spq::new(Path::new(vec![EDGE_F]), TimeInterval::fixed(0, 100)).with_beta(3);
+        let res = idx.get_travel_times(&fixed);
+        assert_eq!(res.sorted(), vec![6.0]);
+        assert!(!res.fallback);
+    }
+
+    #[test]
+    fn speed_limit_fallback_for_dataless_segment() {
+        // An index over a single trajectory that never touches F: the
+        // fixed-interval fallback answers with estimateTT(F) = 36 s.
+        let net = example_network();
+        let mut set = tthr_trajectory::TrajectorySet::new();
+        set.push(
+            UserId(0),
+            vec![tthr_trajectory::TrajEntry::new(EDGE_A, 0, 3.0)],
+        )
+        .unwrap();
+        let idx = SntIndex::build(&net, &set, SntConfig::default());
+        let q = Spq::new(Path::new(vec![EDGE_F]), TimeInterval::fixed(0, 100));
+        let res = idx.get_travel_times(&q);
+        assert!(res.fallback);
+        assert!((res.values[0] - 36.0).abs() < 0.05);
+        // But a periodic query on the same segment stays empty (σ must
+        // keep relaxing it).
+        let qp = Spq::new(Path::new(vec![EDGE_F]), TimeInterval::periodic(0, 900));
+        assert!(idx.get_travel_times(&qp).is_empty());
+    }
+
+    #[test]
+    fn user_container_maps_ids() {
+        let idx = index();
+        assert_eq!(idx.user_of(0), UserId(1));
+        assert_eq!(idx.user_of(1), UserId(2));
+        assert_eq!(idx.user_of(2), UserId(2));
+        assert_eq!(idx.user_of(3), UserId(1));
+    }
+
+    #[test]
+    fn exclusion_is_honoured_in_counts() {
+        let idx = index();
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 100),
+        );
+        assert_eq!(idx.count_matching(&q, u32::MAX), 2);
+        let q_excl = q.without_trajectory(TrajId(0));
+        assert_eq!(idx.count_matching(&q_excl, u32::MAX), 1);
+    }
+
+    #[test]
+    fn memory_report_accounts_all_components() {
+        let idx = index();
+        let m = idx.memory_report();
+        assert_eq!(m.total_entries, 13);
+        assert_eq!(m.forest_logical_bytes, 13 * LeafEntry::logical_size(true));
+        assert!(m.wavelet_bytes > 0);
+        assert!(m.counts_bytes > 0);
+        assert!(m.user_bytes > 0);
+        assert!(m.tod_bytes > 0, "default config builds the ToD store");
+    }
+
+    #[test]
+    fn empty_index_answers_gracefully() {
+        let net = example_network();
+        let idx = SntIndex::build(&net, &tthr_trajectory::TrajectorySet::new(), SntConfig::default());
+        assert_eq!(idx.num_partitions(), 1);
+        let q = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::periodic(0, 900));
+        assert!(idx.get_travel_times(&q).is_empty());
+        let qf = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::fixed(0, 100));
+        assert!(idx.get_travel_times(&qf).fallback);
+    }
+}

@@ -1,0 +1,113 @@
+//! Re-deriving noisy GPS traces from generated trajectories.
+//!
+//! The paper's pipeline starts from raw 1 Hz GPS points that are
+//! map-matched into network-constrained trajectories. The workload
+//! generator produces NCTs directly (the fast path); this module walks an
+//! NCT's geometry back into a 1 Hz GPS trace with Gaussian position noise,
+//! so the HMM map-matcher can be exercised end to end against known ground
+//! truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tthr_network::{Point, RoadNetwork};
+use tthr_trajectory::{GpsPoint, GpsTrace, Trajectory};
+
+/// Emits a 1 Hz GPS trace along a trajectory's path geometry with Gaussian
+/// noise of standard deviation `sigma_m` meters.
+pub fn trace_from_trajectory(
+    network: &RoadNetwork,
+    trajectory: &Trajectory,
+    sigma_m: f64,
+    seed: u64,
+) -> GpsTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gauss = move |rng: &mut StdRng| {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+
+    let mut points = Vec::new();
+    let start = trajectory.start_time();
+    // Piecewise-linear motion: within each traversal, the vehicle moves at
+    // constant speed from the segment's source to its target.
+    for entry in trajectory.entries() {
+        let a = network.position(network.edge_from(entry.edge));
+        let b = network.position(network.edge_to(entry.edge));
+        // Entry times are rounded to seconds; reconstruct a smooth local
+        // clock from the unrounded durations instead.
+        let t0 = entry.enter_time as f64;
+        let mut s = 0.0;
+        while s < entry.travel_time {
+            let frac = s / entry.travel_time;
+            let pos = a.lerp(&b, frac);
+            let noisy = Point::new(
+                pos.x + gauss(&mut rng) * sigma_m,
+                pos.y + gauss(&mut rng) * sigma_m,
+            );
+            let ts = (t0 + s).round() as i64;
+            if points
+                .last()
+                .map(|p: &GpsPoint| p.time < ts)
+                .unwrap_or(ts >= start)
+            {
+                points.push(GpsPoint::new(noisy, ts));
+            }
+            s += 1.0;
+        }
+    }
+    // Final fix at the end of the last segment.
+    if let Some(last) = trajectory.entries().last() {
+        let b = network.position(network.edge_to(last.edge));
+        let ts = (last.enter_time as f64 + last.travel_time).ceil() as i64;
+        if points.last().map(|p| p.time < ts).unwrap_or(false) {
+            points.push(GpsPoint::new(
+                Point::new(b.x + gauss(&mut rng) * sigma_m, b.y + gauss(&mut rng) * sigma_m),
+                ts,
+            ));
+        }
+    }
+    GpsTrace::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{generate_network, NetworkConfig};
+    use crate::workload::{generate_workload, WorkloadConfig};
+
+    #[test]
+    fn traces_follow_the_trajectory() {
+        let syn = generate_network(&NetworkConfig::small());
+        let set = generate_workload(&syn, &WorkloadConfig::small());
+        let tr = set.iter().find(|t| t.len() >= 10).expect("a long trip");
+        let trace = trace_from_trajectory(&syn.network, tr, 5.0, 1);
+        // Roughly one fix per second of driving.
+        let duration = tr.total_duration();
+        assert!(
+            (trace.len() as f64) > duration * 0.7,
+            "{} fixes for {duration} s",
+            trace.len()
+        );
+        // Fixes are near the path geometry (within a few sigma).
+        let grid = tthr_network::spatial::SpatialGrid::build(&syn.network, 200.0);
+        let mut near = 0usize;
+        for p in trace.points().iter().step_by(5) {
+            if !grid.edges_near(&syn.network, p.position, 30.0).is_empty() {
+                near += 1;
+            }
+        }
+        let checked = trace.points().iter().step_by(5).count();
+        assert!(near * 10 >= checked * 9, "{near}/{checked} fixes near roads");
+    }
+
+    #[test]
+    fn trace_timestamps_strictly_increase() {
+        let syn = generate_network(&NetworkConfig::small());
+        let set = generate_workload(&syn, &WorkloadConfig::small());
+        let tr = set.iter().next().unwrap();
+        let trace = trace_from_trajectory(&syn.network, tr, 5.0, 2);
+        assert!(trace.points().windows(2).all(|w| w[0].time < w[1].time));
+    }
+}

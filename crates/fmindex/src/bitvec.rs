@@ -1,0 +1,195 @@
+//! A plain bit vector with constant-time rank.
+
+/// Bits per rank superblock.
+const SUPER_BITS: usize = 512;
+/// 64-bit words per superblock.
+const WORDS_PER_SUPER: usize = SUPER_BITS / 64;
+
+/// An immutable bit vector supporting `rank1`/`rank0` in O(1).
+///
+/// Layout: raw 64-bit words, a `u64` absolute rank per 512-bit superblock,
+/// and a `u16` relative rank per word — ≈ 37.5 % space overhead over the raw
+/// bits, traded for branch-free rank.
+#[derive(Clone, Debug)]
+pub struct RankBitVec {
+    len: usize,
+    words: Vec<u64>,
+    super_ranks: Vec<u64>,
+    word_ranks: Vec<u16>,
+    ones: usize,
+}
+
+impl RankBitVec {
+    /// Builds from a boolean-producing iterator.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        let mut current = 0u64;
+        for b in bits {
+            if b {
+                current |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(current);
+                current = 0;
+            }
+        }
+        if !len.is_multiple_of(64) {
+            words.push(current);
+        }
+        Self::from_words(words, len)
+    }
+
+    fn from_words(words: Vec<u64>, len: usize) -> Self {
+        let n_words = words.len();
+        let n_super = n_words.div_ceil(WORDS_PER_SUPER);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
+        let mut word_ranks = Vec::with_capacity(n_words);
+        let mut total = 0u64;
+        for s in 0..n_super {
+            super_ranks.push(total);
+            let mut within = 0u16;
+            for w in 0..WORDS_PER_SUPER {
+                let wi = s * WORDS_PER_SUPER + w;
+                if wi >= n_words {
+                    break;
+                }
+                word_ranks.push(within);
+                let ones = words[wi].count_ones();
+                within += ones as u16;
+                total += ones as u64;
+            }
+        }
+        super_ranks.push(total);
+        RankBitVec {
+            len,
+            words,
+            super_ranks,
+            word_ranks,
+            ones: total as usize,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// The bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits in positions `[0, i)`. `i` may equal `len`.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        if i == 0 {
+            return 0;
+        }
+        let word = (i - 1) / 64;
+        let sup = word / WORDS_PER_SUPER;
+        let within_word = i - word * 64; // 1..=64
+        let mask = if within_word == 64 {
+            u64::MAX
+        } else {
+            (1u64 << within_word) - 1
+        };
+        self.super_ranks[sup] as usize
+            + self.word_ranks[word] as usize
+            + (self.words[word] & mask).count_ones() as usize
+    }
+
+    /// Number of clear bits in positions `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8 + self.super_ranks.len() * 8 + self.word_ranks.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_rank(bits: &[bool], i: usize) -> usize {
+        bits[..i].iter().filter(|&&b| b).count()
+    }
+
+    #[test]
+    fn rank_on_small_vector() {
+        let bits = vec![true, false, true, true, false, false, true];
+        let bv = RankBitVec::from_bits(bits.iter().copied());
+        assert_eq!(bv.len(), 7);
+        assert_eq!(bv.count_ones(), 4);
+        for i in 0..=bits.len() {
+            assert_eq!(bv.rank1(i), reference_rank(&bits, i), "rank1({i})");
+            assert_eq!(bv.rank0(i), i - reference_rank(&bits, i), "rank0({i})");
+        }
+        assert!(bv.get(0));
+        assert!(!bv.get(1));
+    }
+
+    #[test]
+    fn rank_across_word_and_superblock_boundaries() {
+        // 1500 bits: every 3rd set — crosses word (64) and superblock (512)
+        // boundaries many times.
+        let bits: Vec<bool> = (0..1500).map(|i| i % 3 == 0).collect();
+        let bv = RankBitVec::from_bits(bits.iter().copied());
+        for i in (0..=1500).step_by(7) {
+            assert_eq!(bv.rank1(i), reference_rank(&bits, i), "rank1({i})");
+        }
+        assert_eq!(bv.rank1(1500), 500);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let bv = RankBitVec::from_bits(std::iter::empty());
+        assert_eq!(bv.len(), 0);
+        assert_eq!(bv.rank1(0), 0);
+        assert!(bv.is_empty());
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let ones = RankBitVec::from_bits((0..777).map(|_| true));
+        assert_eq!(ones.rank1(777), 777);
+        assert_eq!(ones.rank0(777), 0);
+        let zeros = RankBitVec::from_bits((0..777).map(|_| false));
+        assert_eq!(zeros.rank1(777), 0);
+        assert_eq!(zeros.rank0(700), 700);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn rank_matches_reference(bits in proptest::collection::vec(proptest::bool::ANY, 0..2000)) {
+            let bv = RankBitVec::from_bits(bits.iter().copied());
+            for i in 0..=bits.len() {
+                proptest::prop_assert_eq!(bv.rank1(i), reference_rank(&bits, i));
+            }
+            for (i, &b) in bits.iter().enumerate() {
+                proptest::prop_assert_eq!(bv.get(i), b);
+            }
+        }
+    }
+}

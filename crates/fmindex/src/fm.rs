@@ -1,0 +1,291 @@
+//! The FM-index: `C` array + BWT in a wavelet structure, with the backward
+//! search of the paper's Procedure 2 (`getISARange`).
+
+use crate::bwt::{bwt_from_sa, symbol_counts};
+use crate::suffix::{inverse_suffix_array, suffix_array};
+use crate::SymbolRank;
+
+/// A half-open range `[start, end)` of inverse-suffix-array values: the ranks
+/// of all suffixes of the trajectory string that begin with a queried path.
+///
+/// `R(P) = {i | S[SA[i]][0, |P|) = P}` (paper, Section 4.1.1). The *size* of
+/// the range is the exact number of traversals of `P` in the indexed set —
+/// the quantity the ISA-mode cardinality estimator uses directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IsaRange {
+    /// First rank in the range (`st`).
+    pub start: u32,
+    /// One past the last rank (`ed`).
+    pub end: u32,
+}
+
+impl IsaRange {
+    /// The empty range `[0, 0)`.
+    pub const EMPTY: IsaRange = IsaRange { start: 0, end: 0 };
+
+    /// Whether no suffix matches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Number of matching suffixes (= traversal count of the path).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start) as usize
+    }
+
+    /// Whether an ISA value falls inside the range — the spatial filter
+    /// applied during temporal index scans (Procedure 3, line 3).
+    #[inline]
+    pub fn contains(&self, isa: u32) -> bool {
+        self.start <= isa && isa < self.end
+    }
+}
+
+/// Strategy for constructing a wavelet structure from a symbol sequence;
+/// lets [`FmIndex`] be generic over the balanced and Huffman-shaped variants.
+pub trait WaveletBuild: SymbolRank + Sized {
+    /// Builds the structure over `sequence` with symbols in
+    /// `[0, alphabet_size)`.
+    fn build(sequence: &[u32], alphabet_size: u32) -> Self;
+}
+
+impl WaveletBuild for crate::WaveletMatrix {
+    fn build(sequence: &[u32], alphabet_size: u32) -> Self {
+        crate::WaveletMatrix::new(sequence, alphabet_size)
+    }
+}
+
+impl WaveletBuild for crate::HuffmanWaveletTree {
+    fn build(sequence: &[u32], alphabet_size: u32) -> Self {
+        crate::HuffmanWaveletTree::new(sequence, alphabet_size)
+    }
+}
+
+/// The FM-index over a trajectory string.
+///
+/// Consists of the two data structures of the paper's Section 4.1.1: the
+/// cumulative symbol-count array `C` and the Burrows–Wheeler transform
+/// `Tbwt` stored in a wavelet structure for `O(log σ)` rank.
+///
+/// ```
+/// use tthr_fmindex::{FmIndex, HuffmanWaveletTree};
+///
+/// // The paper's trajectory string ABE$ACDE$ABF$ABE$ ($=0, A=1, …, F=6).
+/// let text = [1, 2, 5, 0, 1, 3, 4, 5, 0, 1, 2, 6, 0, 1, 2, 5, 0];
+/// let (fm, isa) = FmIndex::<HuffmanWaveletTree>::build(&text, 7);
+/// // R(⟨A,B⟩) = [4, 7): three trajectories traverse A then B.
+/// let range = fm.isa_range(&[1, 2]);
+/// assert_eq!((range.start, range.end), (4, 7));
+/// // The ISA entries are what the temporal leaves store.
+/// assert_eq!(isa.len(), text.len());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FmIndex<W: SymbolRank> {
+    counts: Vec<u64>,
+    bwt: W,
+    alphabet_size: u32,
+}
+
+impl<W: WaveletBuild> FmIndex<W> {
+    /// Builds the index over `text` (symbols in `[0, alphabet_size)`).
+    ///
+    /// Returns the index together with the inverse suffix array, whose
+    /// entries the SNT-index stores in its temporal leaves; the suffix array
+    /// itself is discarded after construction.
+    pub fn build(text: &[u32], alphabet_size: u32) -> (Self, Vec<u32>) {
+        let sa = suffix_array(text);
+        let isa = inverse_suffix_array(&sa);
+        let bwt_seq = bwt_from_sa(text, &sa);
+        drop(sa);
+        let bwt = W::build(&bwt_seq, alphabet_size);
+        let counts = symbol_counts(text, alphabet_size);
+        (
+            FmIndex {
+                counts,
+                bwt,
+                alphabet_size,
+            },
+            isa,
+        )
+    }
+}
+
+impl<W: SymbolRank> FmIndex<W> {
+    /// Length of the indexed text.
+    #[inline]
+    pub fn text_len(&self) -> usize {
+        self.bwt.len()
+    }
+
+    /// The alphabet size σ.
+    #[inline]
+    pub fn alphabet_size(&self) -> u32 {
+        self.alphabet_size
+    }
+
+    /// `getISARange` (paper, Procedure 2): backward search for the symbol
+    /// pattern, in `O(|pattern| · log σ)` — independent of the text length.
+    ///
+    /// Patterns are matched as plain substrings; the SNT layer guarantees
+    /// they never contain the `$` terminator, so matches never span two
+    /// trajectories.
+    pub fn isa_range(&self, pattern: &[u32]) -> IsaRange {
+        let Some((&last, rest)) = pattern.split_last() else {
+            return IsaRange::EMPTY;
+        };
+        if last >= self.alphabet_size {
+            return IsaRange::EMPTY;
+        }
+        let mut st = self.counts[last as usize];
+        let mut ed = self.counts[last as usize + 1];
+        for &c in rest.iter().rev() {
+            if st >= ed {
+                return IsaRange::EMPTY;
+            }
+            if c >= self.alphabet_size {
+                return IsaRange::EMPTY;
+            }
+            let base = self.counts[c as usize];
+            st = base + self.bwt.rank(c, st as usize) as u64;
+            ed = base + self.bwt.rank(c, ed as usize) as u64;
+        }
+        if st >= ed {
+            IsaRange::EMPTY
+        } else {
+            IsaRange {
+                start: st as u32,
+                end: ed as u32,
+            }
+        }
+    }
+
+    /// Number of occurrences of the pattern in the text.
+    pub fn count(&self, pattern: &[u32]) -> usize {
+        self.isa_range(pattern).len()
+    }
+
+    /// Approximate heap size of the wavelet-structure component, in bytes
+    /// (`WT` in Figure 10a).
+    pub fn wavelet_size_bytes(&self) -> usize {
+        self.bwt.size_bytes()
+    }
+
+    /// Approximate heap size of the `C` array, in bytes (`C` in Figure 10a).
+    pub fn counts_size_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HuffmanWaveletTree, WaveletMatrix};
+
+    /// `ABE$ACDE$ABF$ABE$` with `$=0, A=1, …, F=6`.
+    fn figure3_text() -> Vec<u32> {
+        vec![1, 2, 5, 0, 1, 3, 4, 5, 0, 1, 2, 6, 0, 1, 2, 5, 0]
+    }
+
+    fn naive_count(text: &[u32], pattern: &[u32]) -> usize {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return 0;
+        }
+        text.windows(pattern.len()).filter(|w| *w == pattern).count()
+    }
+
+    #[test]
+    fn figure3_isa_ranges_huffman() {
+        let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&figure3_text(), 7);
+        // R(⟨A⟩) = [4, 8) and R(⟨A,B⟩) = [4, 7) (paper, Section 4.1.1).
+        assert_eq!(fm.isa_range(&[1]), IsaRange { start: 4, end: 8 });
+        assert_eq!(fm.isa_range(&[1, 2]), IsaRange { start: 4, end: 7 });
+        // ⟨A,B,E⟩ matches tr0 and tr3.
+        assert_eq!(fm.count(&[1, 2, 5]), 2);
+        // ⟨A,C,D,E⟩ matches tr1 only.
+        assert_eq!(fm.count(&[1, 3, 4, 5]), 1);
+        // ⟨B,A⟩ never occurs.
+        assert!(fm.isa_range(&[2, 1]).is_empty());
+    }
+
+    #[test]
+    fn figure3_isa_ranges_matrix() {
+        let (fm, _) = FmIndex::<WaveletMatrix>::build(&figure3_text(), 7);
+        assert_eq!(fm.isa_range(&[1]), IsaRange { start: 4, end: 8 });
+        assert_eq!(fm.isa_range(&[1, 2]), IsaRange { start: 4, end: 7 });
+    }
+
+    #[test]
+    fn isa_values_of_traversals_fall_in_range() {
+        // Every text position whose suffix starts with the pattern must have
+        // an ISA value inside the range — the property the temporal-leaf
+        // spatial filter relies on.
+        let text = figure3_text();
+        let (fm, isa) = FmIndex::<HuffmanWaveletTree>::build(&text, 7);
+        let pattern = [1u32, 2]; // ⟨A,B⟩
+        let range = fm.isa_range(&pattern);
+        for i in 0..text.len() {
+            let starts_here = text[i..].starts_with(&pattern);
+            assert_eq!(
+                range.contains(isa[i]),
+                starts_here,
+                "position {i}: isa = {}",
+                isa[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pattern_and_unknown_symbols() {
+        let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&figure3_text(), 7);
+        assert!(fm.isa_range(&[]).is_empty());
+        assert!(fm.isa_range(&[42]).is_empty());
+        assert!(fm.isa_range(&[1, 42]).is_empty());
+    }
+
+    #[test]
+    fn counts_match_naive_substring_search() {
+        let text = figure3_text();
+        let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&text, 7);
+        for a in 1..7u32 {
+            assert_eq!(fm.count(&[a]), naive_count(&text, &[a]));
+            for b in 1..7u32 {
+                assert_eq!(fm.count(&[a, b]), naive_count(&text, &[a, b]));
+                for c in 1..7u32 {
+                    assert_eq!(fm.count(&[a, b, c]), naive_count(&text, &[a, b, c]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isa_range_helpers() {
+        let r = IsaRange { start: 4, end: 7 };
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(4) && r.contains(6));
+        assert!(!r.contains(7) && !r.contains(3));
+        assert!(IsaRange::EMPTY.is_empty());
+        assert_eq!(IsaRange::EMPTY.len(), 0);
+    }
+
+    proptest::proptest! {
+        /// Backward search agrees with naive substring counting on random
+        /// trajectory-like strings (runs of edge symbols separated by $).
+        #[test]
+        fn backward_search_equals_naive(
+            runs in proptest::collection::vec(proptest::collection::vec(1u32..10, 1..10), 1..10),
+            pattern in proptest::collection::vec(1u32..10, 1..4),
+        ) {
+            let mut text = Vec::new();
+            for r in runs {
+                text.extend(r);
+                text.push(0);
+            }
+            let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&text, 10);
+            proptest::prop_assert_eq!(fm.count(&pattern), naive_count(&text, &pattern));
+            let (fm2, _) = FmIndex::<WaveletMatrix>::build(&text, 10);
+            proptest::prop_assert_eq!(fm2.count(&pattern), naive_count(&text, &pattern));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Huffman-shaped wavelet tree.
+//!
+//! The paper's implementation stores the BWT in sdsl-lite's integer-alphabet
+//! *Huffman-shaped* wavelet tree (Section 6.2): frequent symbols get short
+//! code paths, so the expected rank cost is proportional to the zeroth-order
+//! entropy of the sequence rather than `log σ`. Trajectory strings are very
+//! skewed (arterial segments dominate), which is exactly where the Huffman
+//! shape pays off — the `wavelet` bench quantifies this against the balanced
+//! [`crate::WaveletMatrix`].
+
+use crate::bitvec::RankBitVec;
+use crate::SymbolRank;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A node child: another internal node or a leaf symbol.
+#[derive(Clone, Copy, Debug)]
+enum Child {
+    Internal(u32),
+    Leaf(u32),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    bv: RankBitVec,
+    left: Child,
+    right: Child,
+}
+
+/// Huffman-shaped wavelet tree over `u32` symbols.
+#[derive(Clone, Debug)]
+pub struct HuffmanWaveletTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    /// Per-symbol canonical path: `(bits, length)`, MSB-first along the path.
+    /// `None` for symbols absent from the sequence.
+    codes: Vec<Option<(u64, u8)>>,
+    len: usize,
+    /// Set when the sequence contains exactly one distinct symbol (the tree
+    /// then has no internal node).
+    single_symbol: Option<u32>,
+}
+
+impl HuffmanWaveletTree {
+    /// Builds from a symbol sequence; `alphabet_size` must exceed every
+    /// symbol.
+    pub fn new(sequence: &[u32], alphabet_size: u32) -> Self {
+        let sigma = alphabet_size as usize;
+        assert!(
+            sequence.iter().all(|&s| (s as usize) < sigma.max(1)),
+            "symbol out of alphabet range"
+        );
+        let mut counts = vec![0u64; sigma];
+        for &s in sequence {
+            counts[s as usize] += 1;
+        }
+        let present: Vec<u32> = (0..sigma as u32).filter(|&s| counts[s as usize] > 0).collect();
+
+        let mut tree = HuffmanWaveletTree {
+            nodes: Vec::new(),
+            root: None,
+            codes: vec![None; sigma],
+            len: sequence.len(),
+            single_symbol: None,
+        };
+
+        match present.len() {
+            0 => return tree,
+            1 => {
+                tree.single_symbol = Some(present[0]);
+                tree.codes[present[0] as usize] = Some((0, 0));
+                return tree;
+            }
+            _ => {}
+        }
+
+        // --- Huffman merging over (count, tie-break id, child). --------------
+        // `shape` holds internal nodes as (left, right) pairs.
+        let mut shape: Vec<(Child, Child)> = Vec::with_capacity(present.len() - 1);
+        let mut heap: BinaryHeap<Reverse<(u64, u32, ChildKey)>> = BinaryHeap::new();
+        let mut tie = 0u32;
+        for &s in &present {
+            heap.push(Reverse((counts[s as usize], tie, ChildKey::Leaf(s))));
+            tie += 1;
+        }
+        while heap.len() > 1 {
+            let Reverse((c1, _, a)) = heap.pop().expect("len > 1");
+            let Reverse((c2, _, b)) = heap.pop().expect("len > 1");
+            let id = shape.len() as u32;
+            shape.push((a.into(), b.into()));
+            heap.push(Reverse((c1 + c2, tie, ChildKey::Internal(id))));
+            tie += 1;
+        }
+        let Reverse((_, _, root_key)) = heap.pop().expect("one root remains");
+        let root_id = match root_key {
+            ChildKey::Internal(i) => i,
+            ChildKey::Leaf(_) => unreachable!("≥ 2 symbols ⇒ root is internal"),
+        };
+
+        // --- Assign codes by DFS. ---------------------------------------------
+        let mut stack: Vec<(u32, u64, u8)> = vec![(root_id, 0, 0)];
+        while let Some((node, code, depth)) = stack.pop() {
+            assert!(depth < 64, "Huffman code deeper than 64 bits");
+            let (left, right) = shape[node as usize];
+            for (child, bit) in [(left, 0u64), (right, 1u64)] {
+                let ccode = (code << 1) | bit;
+                match child {
+                    Child::Leaf(s) => tree.codes[s as usize] = Some((ccode, depth + 1)),
+                    Child::Internal(i) => stack.push((i, ccode, depth + 1)),
+                }
+            }
+        }
+
+        // --- Build per-node bit vectors by top-down partitioning. -------------
+        // nodes[i] corresponds to shape[i]; we fill them in DFS order with the
+        // subsequence routed through each node.
+        tree.nodes = shape
+            .iter()
+            .map(|&(left, right)| Node {
+                bv: RankBitVec::from_bits(std::iter::empty()),
+                left,
+                right,
+            })
+            .collect();
+        let codes = tree.codes.clone();
+        let mut build_stack: Vec<(u32, Vec<u32>, u8)> = vec![(root_id, sequence.to_vec(), 0)];
+        while let Some((node, elems, depth)) = build_stack.pop() {
+            let bit_of = |s: u32| {
+                let (code, len) = codes[s as usize].expect("present symbol has a code");
+                (code >> (len - 1 - depth)) & 1 == 1
+            };
+            let bv = RankBitVec::from_bits(elems.iter().map(|&s| bit_of(s)));
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            for &s in &elems {
+                if bit_of(s) {
+                    hi.push(s);
+                } else {
+                    lo.push(s);
+                }
+            }
+            let (left, right) = (tree.nodes[node as usize].left, tree.nodes[node as usize].right);
+            tree.nodes[node as usize].bv = bv;
+            if let Child::Internal(i) = left {
+                build_stack.push((i, lo, depth + 1));
+            }
+            if let Child::Internal(i) = right {
+                build_stack.push((i, hi, depth + 1));
+            }
+        }
+        tree.root = Some(root_id);
+        tree
+    }
+
+    /// The code length (tree depth) of a symbol, if present.
+    pub fn code_len(&self, c: u32) -> Option<u8> {
+        self.codes.get(c as usize).copied().flatten().map(|(_, l)| l)
+    }
+}
+
+/// Heap ordering helper: orderable mirror of [`Child`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum ChildKey {
+    Internal(u32),
+    Leaf(u32),
+}
+
+impl From<ChildKey> for Child {
+    fn from(k: ChildKey) -> Child {
+        match k {
+            ChildKey::Internal(i) => Child::Internal(i),
+            ChildKey::Leaf(s) => Child::Leaf(s),
+        }
+    }
+}
+
+impl SymbolRank for HuffmanWaveletTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn access(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len);
+        if let Some(s) = self.single_symbol {
+            return s;
+        }
+        let mut node = self.root.expect("non-empty tree") as usize;
+        let mut pos = i;
+        loop {
+            let n = &self.nodes[node];
+            let child = if n.bv.get(pos) {
+                pos = n.bv.rank1(pos);
+                n.right
+            } else {
+                pos = n.bv.rank0(pos);
+                n.left
+            };
+            match child {
+                Child::Leaf(s) => return s,
+                Child::Internal(i) => node = i as usize,
+            }
+        }
+    }
+
+    fn rank(&self, c: u32, pos: usize) -> usize {
+        debug_assert!(pos <= self.len);
+        if let Some(s) = self.single_symbol {
+            return if c == s { pos } else { 0 };
+        }
+        let Some(Some((code, len))) = self.codes.get(c as usize).copied() else {
+            return 0;
+        };
+        let mut node = self.root.expect("non-empty tree") as usize;
+        let mut p = pos;
+        for depth in 0..len {
+            let n = &self.nodes[node];
+            let bit = (code >> (len - 1 - depth)) & 1 == 1;
+            let child = if bit {
+                p = n.bv.rank1(p);
+                n.right
+            } else {
+                p = n.bv.rank0(p);
+                n.left
+            };
+            if p == 0 {
+                return 0;
+            }
+            match child {
+                Child::Leaf(_) => return p,
+                Child::Internal(i) => node = i as usize,
+            }
+        }
+        unreachable!("code paths always end at a leaf")
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.bv.size_bytes() + std::mem::size_of::<Node>())
+            .sum::<usize>()
+            + self.codes.len() * std::mem::size_of::<Option<(u64, u8)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_rank(seq: &[u32], c: u32, pos: usize) -> usize {
+        seq[..pos].iter().filter(|&&s| s == c).count()
+    }
+
+    #[test]
+    fn rank_and_access_on_small_sequence() {
+        let seq = vec![3, 1, 4, 1, 5, 1, 2, 6, 5, 3, 1, 1, 1];
+        let wt = HuffmanWaveletTree::new(&seq, 8);
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wt.access(i), s, "access({i})");
+        }
+        for c in 0..8 {
+            for pos in 0..=seq.len() {
+                assert_eq!(wt.rank(c, pos), reference_rank(&seq, c, pos), "rank({c},{pos})");
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        // 1 dominates; its code must be no longer than that of the rare 7.
+        let mut seq = vec![1u32; 100];
+        seq.extend_from_slice(&[7, 6, 5, 4, 3, 2]);
+        let wt = HuffmanWaveletTree::new(&seq, 8);
+        let len1 = wt.code_len(1).unwrap();
+        let len7 = wt.code_len(7).unwrap();
+        assert!(len1 < len7, "frequent symbol: {len1} bits, rare: {len7} bits");
+        assert_eq!(wt.code_len(0), None, "absent symbol has no code");
+    }
+
+    #[test]
+    fn figure3_bwt_ranks() {
+        let bwt = vec![5, 6, 5, 5, 0, 0, 0, 0, 1, 1, 1, 1, 3, 2, 4, 2, 2];
+        let wt = HuffmanWaveletTree::new(&bwt, 7);
+        assert_eq!(wt.rank(1, 8), 0);
+        assert_eq!(wt.rank(1, 11), 3);
+    }
+
+    #[test]
+    fn single_symbol_sequence() {
+        let wt = HuffmanWaveletTree::new(&[4, 4, 4, 4], 8);
+        assert_eq!(wt.rank(4, 3), 3);
+        assert_eq!(wt.rank(2, 3), 0);
+        assert_eq!(wt.access(2), 4);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let wt = HuffmanWaveletTree::new(&[], 8);
+        assert_eq!(wt.len(), 0);
+        assert_eq!(wt.rank(1, 0), 0);
+    }
+
+    #[test]
+    fn absent_symbol_ranks_zero() {
+        let wt = HuffmanWaveletTree::new(&[1, 2, 1, 2], 10);
+        assert_eq!(wt.rank(5, 4), 0);
+        assert_eq!(wt.rank(9, 4), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn rank_matches_reference(
+            seq in proptest::collection::vec(0u32..50, 1..400),
+        ) {
+            let wt = HuffmanWaveletTree::new(&seq, 50);
+            for c in [0u32, 1, 7, 25, 49] {
+                for pos in [0, seq.len() / 2, seq.len()] {
+                    proptest::prop_assert_eq!(wt.rank(c, pos), reference_rank(&seq, c, pos));
+                }
+            }
+            for (i, &s) in seq.iter().enumerate().take(64) {
+                proptest::prop_assert_eq!(wt.access(i), s);
+            }
+        }
+
+        #[test]
+        fn agrees_with_wavelet_matrix(
+            seq in proptest::collection::vec(0u32..20, 0..300),
+        ) {
+            use crate::wavelet::WaveletMatrix;
+            let wt = HuffmanWaveletTree::new(&seq, 20);
+            let wm = WaveletMatrix::new(&seq, 20);
+            for c in 0..20u32 {
+                proptest::prop_assert_eq!(wt.rank(c, seq.len()), wm.rank(c, seq.len()));
+            }
+        }
+    }
+}

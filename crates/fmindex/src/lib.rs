@@ -1,0 +1,60 @@
+//! Succinct full-text index substrate for the SNT-index.
+//!
+//! The SNT-index represents the whole trajectory set as one string `T` over
+//! the alphabet `Σ = E ∪ {$}` and answers *which trajectories traverse path
+//! `P`* by substring matching: the suffix array rank range (ISA range) of
+//! `P` is computed by FM-index backward search in `O(|P| log |Σ|)` time,
+//! independent of `|T|` (paper, Section 4.1.1).
+//!
+//! Everything is implemented from scratch:
+//!
+//! * [`suffix`] — linear-time SA-IS suffix array construction for integer
+//!   alphabets, plus the inverse suffix array.
+//! * [`bwt`] — the Burrows–Wheeler transform and the `C` symbol-count array.
+//! * [`RankBitVec`] — a plain bit vector with constant-time `rank`.
+//! * [`WaveletMatrix`] — the balanced wavelet structure (rank in
+//!   `O(log σ)`).
+//! * [`HuffmanWaveletTree`] — the Huffman-shaped wavelet tree the paper's
+//!   implementation uses (sdsl-lite `wt_huff`), with expected rank cost
+//!   proportional to the symbol entropy.
+//! * [`FmIndex`] — `C` + BWT-in-wavelet-structure with the backward search
+//!   of the paper's Procedure 2 (`getISARange`).
+//!
+//! Trajectory-string construction (mapping edges to symbols) lives one layer
+//! up, in `tthr-core`, keeping this crate a pure sequence-index library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+pub mod bwt;
+mod fm;
+mod huffman;
+pub mod suffix;
+mod wavelet;
+
+pub use bitvec::RankBitVec;
+pub use fm::{FmIndex, IsaRange, WaveletBuild};
+pub use huffman::HuffmanWaveletTree;
+pub use wavelet::WaveletMatrix;
+
+/// Common interface of the wavelet structures: positional symbol access and
+/// partial rank over an integer alphabet.
+pub trait SymbolRank {
+    /// Number of symbols in the underlying sequence.
+    fn len(&self) -> usize;
+
+    /// Whether the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The symbol at position `i`.
+    fn access(&self, i: usize) -> u32;
+
+    /// `rank_c(seq, pos)`: occurrences of `c` in `seq[0, pos)`.
+    fn rank(&self, c: u32, pos: usize) -> usize;
+
+    /// Approximate heap size in bytes (for the Figure 10 memory accounting).
+    fn size_bytes(&self) -> usize;
+}

@@ -1,0 +1,24 @@
+//! Travel-time histograms and their operations.
+//!
+//! Travel times along a path are modeled as distributions, and since they
+//! rarely follow a parameterized family, the paper estimates them with
+//! fixed-bucket-width histograms (Section 1). Sub-path histograms are
+//! combined into full-path distributions with the discrete convolution
+//! operator `H = H₁ ∗ H₂ ∗ … ∗ H_k` (Section 2.3).
+//!
+//! * [`Histogram`] — sparse fixed-width bucket counts with convolution.
+//! * [`SmoothedPdf`] — the γ-mixture of a histogram with a uniform
+//!   distribution used by the log-likelihood quality metric (Section 5.3.3).
+//! * [`TimeOfDayHistogram`] — per-segment time-of-day traversal counts used
+//!   by the accurate cardinality estimator modes (Section 4.4, formula 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod pdf;
+mod tod;
+
+pub use hist::Histogram;
+pub use pdf::SmoothedPdf;
+pub use tod::TimeOfDayHistogram;

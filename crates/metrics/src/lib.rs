@@ -1,0 +1,161 @@
+//! The paper's evaluation metrics (Section 5.3).
+//!
+//! * [`smape`] — symmetric mean absolute percentage error of the summed
+//!   sub-query means against the true trip duration.
+//! * [`weighted_error`] — per-sub-query error weighted by the sub-path's
+//!   share of the trip length.
+//! * [`log_likelihood`] — average log-likelihood of the true durations under
+//!   the smoothed result-histogram densities.
+//! * [`q_error`] — order-of-magnitude factor between estimated and actual
+//!   cardinalities (Moerkotte et al.), with the max(·,1) clamping of
+//!   Stefanoni et al. for empty sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tthr_histogram::{Histogram, SmoothedPdf};
+
+/// One sMAPE term: `|pred − actual| / (½ (pred + actual))`, in percent.
+///
+/// `pred` is the sum of the sub-query travel-time means `Σ X̄ⱼ`; `actual`
+/// is the ground-truth trip duration `a_tr`.
+pub fn smape_term(pred: f64, actual: f64) -> f64 {
+    let denom = 0.5 * (pred + actual);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    100.0 * (pred - actual).abs() / denom
+}
+
+/// sMAPE over a query set: the mean of [`smape_term`] over
+/// `(prediction, actual)` pairs (paper, Section 5.3.1).
+pub fn smape(pairs: &[(f64, f64)]) -> f64 {
+    mean(pairs.iter().map(|&(p, a)| smape_term(p, a)))
+}
+
+/// One weighted-error term for a single trip (paper, Section 5.3.2):
+/// `Σⱼ wⱼ · |X̄ⱼ − aⱼ| / (½ (X̄ⱼ + aⱼ))` in percent, where each element of
+/// `subs` is `(weight, predicted mean, actual sub-path duration)` and the
+/// weights are the sub-paths' shares of the trip length.
+pub fn weighted_error_term(subs: &[(f64, f64, f64)]) -> f64 {
+    subs.iter()
+        .map(|&(w, pred, actual)| {
+            let denom = 0.5 * (pred + actual);
+            if denom == 0.0 {
+                0.0
+            } else {
+                100.0 * w * (pred - actual).abs() / denom
+            }
+        })
+        .sum()
+}
+
+/// Weighted error over a query set: mean of [`weighted_error_term`].
+pub fn weighted_error(queries: &[Vec<(f64, f64, f64)>]) -> f64 {
+    mean(queries.iter().map(|q| weighted_error_term(q)))
+}
+
+/// `log L(a, H)` for one query: the log of the smoothed bucket mass of the
+/// true duration under the result histogram (paper, Section 5.3.3).
+pub fn log_likelihood(hist: &Histogram, actual: f64, gamma: f64, t_min: f64, t_max: f64) -> f64 {
+    SmoothedPdf::new(hist, gamma, t_min, t_max).log_likelihood(actual)
+}
+
+/// The q-error of a cardinality estimate (paper, Section 5.3.4):
+/// `max(β̂′/n′, n′/β̂′)` with `n′ = max(n, 1)` and `β̂′ = max(β̂, 1)`.
+pub fn q_error(estimate: f64, actual: u64) -> f64 {
+    let e = estimate.max(1.0);
+    let n = (actual as f64).max(1.0);
+    (e / n).max(n / e)
+}
+
+/// Arithmetic mean of an iterator; 0 for an empty input.
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smape_basics() {
+        assert_eq!(smape_term(100.0, 100.0), 0.0);
+        // |110 − 90| / (½·200) = 20 %.
+        assert!((smape_term(110.0, 90.0) - 20.0).abs() < 1e-12);
+        // Symmetric in its arguments.
+        assert_eq!(smape_term(110.0, 90.0), smape_term(90.0, 110.0));
+        assert_eq!(smape_term(0.0, 0.0), 0.0);
+        // Aggregation is the arithmetic mean of the terms.
+        let s = smape(&[(110.0, 90.0), (100.0, 100.0)]);
+        assert!((s - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_bounded_by_200() {
+        assert!((smape_term(1000.0, 0.0) - 200.0).abs() < 1e-12);
+        assert!(smape_term(1.0, 1e9) <= 200.0);
+    }
+
+    #[test]
+    fn weighted_error_weights_sum() {
+        // Two sub-paths, weights 0.75/0.25; only the first has error.
+        let term = weighted_error_term(&[(0.75, 110.0, 90.0), (0.25, 50.0, 50.0)]);
+        assert!((term - 0.75 * 20.0).abs() < 1e-12);
+        // Perfect prediction ⇒ zero.
+        assert_eq!(weighted_error_term(&[(1.0, 42.0, 42.0)]), 0.0);
+    }
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10.0, 10), 1.0);
+        assert_eq!(q_error(100.0, 10), 10.0);
+        assert_eq!(q_error(1.0, 10), 10.0);
+        // Clamping: empty sets don't divide by zero.
+        assert_eq!(q_error(0.0, 0), 1.0);
+        assert_eq!(q_error(0.0, 5), 5.0);
+        assert_eq!(q_error(5.0, 0), 5.0);
+        // q-error is always ≥ 1.
+        assert!(q_error(3.0, 4) >= 1.0);
+    }
+
+    #[test]
+    fn log_likelihood_prefers_correct_histograms() {
+        let good = Histogram::from_values(&[100.0, 102.0, 98.0], 10.0);
+        let bad = Histogram::from_values(&[500.0, 505.0], 10.0);
+        let a = log_likelihood(&good, 101.0, 0.99, 0.0, 3600.0);
+        let b = log_likelihood(&bad, 101.0, 0.99, 0.0, 3600.0);
+        assert!(a > b);
+        assert!(b.is_finite(), "smoothing keeps the likelihood finite");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(std::iter::empty()), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn q_error_at_least_one(e in 0.0f64..1e6, n in 0u64..1_000_000) {
+            proptest::prop_assert!(q_error(e, n) >= 1.0);
+        }
+
+        #[test]
+        fn smape_symmetric_and_bounded(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+            let s = smape_term(a, b);
+            proptest::prop_assert!((0.0..=200.0 + 1e-9).contains(&s));
+            proptest::prop_assert!((s - smape_term(b, a)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-edge attributes: the function `F : E → Cat × Z × SL × L` of the paper.
+
+use crate::types::{Category, Zone};
+
+/// Attributes of a directed road segment.
+///
+/// `F(e) = (c, z, sl, l)` — category, zone, speed limit in km/h, and length in
+/// meters (paper, Section 2.2, Table 1). A speed limit of `None` models OSM
+/// segments without a tagged limit; [`crate::RoadNetwork`] falls back to the
+/// median of the known limits of the same category when estimating traversal
+/// times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeAttrs {
+    /// Road category (`F(e).c`).
+    pub category: Category,
+    /// Zone type (`F(e).z`).
+    pub zone: Zone,
+    /// Speed limit in kilometers per hour (`F(e).sl`), if known.
+    pub speed_limit_kmh: Option<f64>,
+    /// Segment length in meters (`F(e).l`).
+    pub length_m: f64,
+}
+
+impl EdgeAttrs {
+    /// Creates attributes with a known speed limit.
+    pub fn new(category: Category, zone: Zone, speed_limit_kmh: f64, length_m: f64) -> Self {
+        debug_assert!(speed_limit_kmh > 0.0, "speed limit must be positive");
+        debug_assert!(length_m > 0.0, "length must be positive");
+        EdgeAttrs {
+            category,
+            zone,
+            speed_limit_kmh: Some(speed_limit_kmh),
+            length_m,
+        }
+    }
+
+    /// Creates attributes for a segment without a tagged speed limit.
+    pub fn without_speed_limit(category: Category, zone: Zone, length_m: f64) -> Self {
+        EdgeAttrs {
+            category,
+            zone,
+            speed_limit_kmh: None,
+            length_m,
+        }
+    }
+
+    /// Traversal time in seconds at the given speed: `3.6 · l / v`.
+    ///
+    /// Returns `None` when the speed is unknown; the network-level
+    /// [`crate::RoadNetwork::estimate_tt`] supplies the category-median
+    /// fallback in that case.
+    #[inline]
+    pub fn traversal_secs_at_limit(&self) -> Option<f64> {
+        self.speed_limit_kmh.map(|sl| 3.6 * self.length_m / sl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traversal_time_matches_table_1() {
+        // Table 1 of the paper: segment A, motorway, rural, 110 km/h, 900 m
+        // => 29.5 s (rounded).
+        let a = EdgeAttrs::new(Category::Motorway, Zone::Rural, 110.0, 900.0);
+        let tt = a.traversal_secs_at_limit().unwrap();
+        assert!((tt - 29.4545).abs() < 1e-3, "got {tt}");
+
+        // Segment F: primary, rural, 80 km/h, 800 m => 36.0 s.
+        let f = EdgeAttrs::new(Category::Primary, Zone::Rural, 80.0, 800.0);
+        assert!((f.traversal_secs_at_limit().unwrap() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_speed_limit_yields_none() {
+        let e = EdgeAttrs::without_speed_limit(Category::Residential, Zone::City, 50.0);
+        assert_eq!(e.traversal_secs_at_limit(), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's running example: the road network of Figure 1 with the
+//! attributes of Table 1.
+//!
+//! Used as a fixture across the workspace test suites, so that every worked
+//! example in the paper (ISA ranges, the example query results, the suffix
+//! array of Figure 3, the temporal index of Figure 4) can be asserted
+//! verbatim.
+
+use crate::edge::EdgeAttrs;
+use crate::geometry::Point;
+use crate::graph::{NetworkBuilder, RoadNetwork};
+use crate::types::{Category, EdgeId, Zone};
+
+/// Edge `A`: motorway, rural, 110 km/h, 900 m — `estimateTT` ≈ 29.5 s.
+pub const EDGE_A: EdgeId = EdgeId(0);
+/// Edge `B`: primary, city, 50 km/h, 120 m — `estimateTT` ≈ 8.6 s.
+pub const EDGE_B: EdgeId = EdgeId(1);
+/// Edge `C`: secondary, city, 30 km/h, 40 m — `estimateTT` = 4.8 s.
+pub const EDGE_C: EdgeId = EdgeId(2);
+/// Edge `D`: secondary, city, 30 km/h, 80 m — `estimateTT` = 9.6 s.
+pub const EDGE_D: EdgeId = EdgeId(3);
+/// Edge `E`: primary, city, 50 km/h, 100 m — `estimateTT` = 7.2 s.
+pub const EDGE_E: EdgeId = EdgeId(4);
+/// Edge `F`: primary, rural, 80 km/h, 800 m — `estimateTT` = 36.0 s.
+pub const EDGE_F: EdgeId = EdgeId(5);
+
+/// Builds the example road network of the paper's Figure 1 / Table 1.
+///
+/// Topology (all edges directed left to right):
+///
+/// ```text
+///            ┌─B──▶ v2 ──E──▶ v4
+/// v0 ──A──▶ v1      ▲  └─F──▶ v5
+///            └─C──▶ v3 ──D──┘
+/// ```
+///
+/// so the paths `⟨A,B,E⟩`, `⟨A,C,D,E⟩`, and `⟨A,B,F⟩` used by the example
+/// trajectory set are all traversable. Segment lengths and speed limits come
+/// from Table 1; vertex positions are illustrative.
+pub fn example_network() -> RoadNetwork {
+    let mut b = NetworkBuilder::new();
+    let v0 = b.add_vertex(Point::new(0.0, 0.0));
+    let v1 = b.add_vertex(Point::new(900.0, 0.0));
+    let v2 = b.add_vertex(Point::new(1020.0, 0.0));
+    let v3 = b.add_vertex(Point::new(935.0, -25.0));
+    let v4 = b.add_vertex(Point::new(1120.0, 0.0));
+    let v5 = b.add_vertex(Point::new(1100.0, -790.0));
+
+    let a = b.add_edge(v0, v1, EdgeAttrs::new(Category::Motorway, Zone::Rural, 110.0, 900.0));
+    let bb = b.add_edge(v1, v2, EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 120.0));
+    let c = b.add_edge(v1, v3, EdgeAttrs::new(Category::Secondary, Zone::City, 30.0, 40.0));
+    let d = b.add_edge(v3, v2, EdgeAttrs::new(Category::Secondary, Zone::City, 30.0, 80.0));
+    let e = b.add_edge(v2, v4, EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0));
+    let f = b.add_edge(v2, v5, EdgeAttrs::new(Category::Primary, Zone::Rural, 80.0, 800.0));
+
+    debug_assert_eq!((a, bb, c, d, e, f), (EDGE_A, EDGE_B, EDGE_C, EDGE_D, EDGE_E, EDGE_F));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+
+    #[test]
+    fn table_1_estimate_tt_values() {
+        let net = example_network();
+        let expect = [
+            (EDGE_A, 29.5),
+            (EDGE_B, 8.6),
+            (EDGE_C, 4.8),
+            (EDGE_D, 9.6),
+            (EDGE_E, 7.2),
+            (EDGE_F, 36.0),
+        ];
+        for (e, secs) in expect {
+            assert!(
+                (net.estimate_tt(e) - secs).abs() < 0.05,
+                "estimateTT({e:?}) = {} ≠ {secs}",
+                net.estimate_tt(e)
+            );
+        }
+    }
+
+    #[test]
+    fn example_trajectory_paths_are_traversable() {
+        let net = example_network();
+        for edges in [
+            vec![EDGE_A, EDGE_B, EDGE_E],
+            vec![EDGE_A, EDGE_C, EDGE_D, EDGE_E],
+            vec![EDGE_A, EDGE_B, EDGE_F],
+        ] {
+            let p = Path::new(edges);
+            assert!(net.validate_path(&p), "{p:?} should be traversable");
+        }
+        // A detour path that skips a connector is not traversable.
+        assert!(!net.validate_path(&Path::new(vec![EDGE_A, EDGE_D])));
+    }
+
+    #[test]
+    fn table_1_zones_and_categories() {
+        let net = example_network();
+        assert_eq!(net.attrs(EDGE_A).category, Category::Motorway);
+        assert_eq!(net.attrs(EDGE_A).zone, Zone::Rural);
+        assert_eq!(net.attrs(EDGE_C).category, Category::Secondary);
+        assert_eq!(net.attrs(EDGE_E).zone, Zone::City);
+        assert_eq!(net.attrs(EDGE_F).zone, Zone::Rural);
+    }
+}

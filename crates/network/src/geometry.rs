@@ -1,0 +1,109 @@
+//! Minimal planar geometry for vertex placement, GPS noise, and map-matching.
+//!
+//! The workspace operates in a local planar coordinate system (meters), which
+//! is accurate enough at the regional scale of the paper's Northern Denmark
+//! data set and avoids geodesic math in hot loops.
+
+/// A point in the local planar coordinate system, in meters.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// East-west coordinate in meters.
+    pub x: f64,
+    /// North-south coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, in meters.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation between `self` (at `t = 0`) and `other`
+    /// (at `t = 1`).
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+
+    /// Distance from `self` to the segment `a`–`b`, together with the
+    /// parameter `t ∈ [0, 1]` of the closest point on the segment.
+    pub fn distance_to_segment(&self, a: &Point, b: &Point) -> (f64, f64) {
+        let abx = b.x - a.x;
+        let aby = b.y - a.y;
+        let len2 = abx * abx + aby * aby;
+        if len2 <= f64::EPSILON {
+            return (self.distance(a), 0.0);
+        }
+        let t = (((self.x - a.x) * abx + (self.y - a.y) * aby) / len2).clamp(0.0, 1.0);
+        let proj = a.lerp(b, t);
+        (self.distance(&proj), t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -2.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.x - 5.0).abs() < 1e-12 && (m.y + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_distance_projects_onto_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let p = Point::new(5.0, 3.0);
+        let (d, t) = p.distance_to_segment(&a, &b);
+        assert!((d - 3.0).abs() < 1e-12);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_distance_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let p = Point::new(-4.0, 3.0);
+        let (d, t) = p.distance_to_segment(&a, &b);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+        let q = Point::new(14.0, -3.0);
+        let (d2, t2) = q.distance_to_segment(&a, &b);
+        assert!((d2 - 5.0).abs() < 1e-12);
+        assert_eq!(t2, 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment_falls_back_to_point_distance() {
+        let a = Point::new(2.0, 2.0);
+        let p = Point::new(5.0, 6.0);
+        let (d, t) = p.distance_to_segment(&a, &a);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+    }
+}

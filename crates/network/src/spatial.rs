@@ -1,0 +1,200 @@
+//! A uniform-grid spatial index over edge geometry.
+//!
+//! The HMM map-matcher needs, for every GPS point, the set of candidate
+//! segments within an error radius. A uniform grid over edge bounding boxes
+//! is simple, predictable, and fast enough at regional scale.
+
+use crate::geometry::Point;
+use crate::graph::RoadNetwork;
+use crate::types::EdgeId;
+
+/// Uniform grid mapping cells to the edges whose geometry intersects them.
+#[derive(Debug)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR: `cells[offsets[c]..offsets[c+1]]` are the edges touching cell `c`.
+    offsets: Vec<u32>,
+    cells: Vec<EdgeId>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over the network's edges with the given cell size in
+    /// meters. Each edge is registered in all cells its endpoint bounding box
+    /// overlaps (edges are short relative to sensible cell sizes, so the
+    /// bounding-box approximation is tight).
+    pub fn build(network: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for v in 0..network.num_vertices() {
+            let p = network.position(crate::types::VertexId(v as u32));
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if network.num_vertices() == 0 {
+            return SpatialGrid {
+                cell_size,
+                min_x: 0.0,
+                min_y: 0.0,
+                cols: 0,
+                rows: 0,
+                offsets: vec![0],
+                cells: Vec::new(),
+            };
+        }
+        let cols = (((max_x - min_x) / cell_size).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) / cell_size).floor() as usize + 1).max(1);
+        let ncells = cols * rows;
+
+        let cell_range = |a: Point, b: Point| {
+            let x0 = (((a.x.min(b.x) - min_x) / cell_size).floor() as usize).min(cols - 1);
+            let x1 = (((a.x.max(b.x) - min_x) / cell_size).floor() as usize).min(cols - 1);
+            let y0 = (((a.y.min(b.y) - min_y) / cell_size).floor() as usize).min(rows - 1);
+            let y1 = (((a.y.max(b.y) - min_y) / cell_size).floor() as usize).min(rows - 1);
+            (x0, x1, y0, y1)
+        };
+
+        // Two-pass counting sort into CSR.
+        let mut counts = vec![0u32; ncells + 1];
+        for e in network.edge_ids() {
+            let a = network.position(network.edge_from(e));
+            let b = network.position(network.edge_to(e));
+            let (x0, x1, y0, y1) = cell_range(a, b);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    counts[y * cols + x + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=ncells {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut cells = vec![EdgeId(0); offsets[ncells] as usize];
+        for e in network.edge_ids() {
+            let a = network.position(network.edge_from(e));
+            let b = network.position(network.edge_to(e));
+            let (x0, x1, y0, y1) = cell_range(a, b);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let c = y * cols + x;
+                    cells[cursor[c] as usize] = e;
+                    cursor[c] += 1;
+                }
+            }
+        }
+
+        SpatialGrid {
+            cell_size,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            offsets,
+            cells,
+        }
+    }
+
+    /// Edges whose straight-line geometry lies within `radius` meters of
+    /// `point`, sorted by distance. Each result carries the distance.
+    pub fn edges_near(
+        &self,
+        network: &RoadNetwork,
+        point: Point,
+        radius: f64,
+    ) -> Vec<(EdgeId, f64)> {
+        if self.cols == 0 {
+            return Vec::new();
+        }
+        let x0 = (((point.x - radius - self.min_x) / self.cell_size).floor()).max(0.0) as usize;
+        let y0 = (((point.y - radius - self.min_y) / self.cell_size).floor()).max(0.0) as usize;
+        let x1 = ((((point.x + radius - self.min_x) / self.cell_size).floor()) as usize)
+            .min(self.cols - 1);
+        let y1 = ((((point.y + radius - self.min_y) / self.cell_size).floor()) as usize)
+            .min(self.rows - 1);
+        if x0 > x1 || y0 > y1 {
+            return Vec::new();
+        }
+
+        let mut result: Vec<(EdgeId, f64)> = Vec::new();
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let c = y * self.cols + x;
+                let s = self.offsets[c] as usize;
+                let e = self.offsets[c + 1] as usize;
+                for &edge in &self.cells[s..e] {
+                    let a = network.position(network.edge_from(edge));
+                    let b = network.position(network.edge_to(edge));
+                    let (d, _) = point.distance_to_segment(&a, &b);
+                    if d <= radius {
+                        result.push((edge, d));
+                    }
+                }
+            }
+        }
+        // An edge can appear in several scanned cells; dedup before sorting.
+        result.sort_unstable_by_key(|a| a.0);
+        result.dedup_by_key(|r| r.0);
+        result.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{example_network, EDGE_A, EDGE_B};
+
+    #[test]
+    fn finds_nearby_edges() {
+        let net = example_network();
+        let grid = SpatialGrid::build(&net, 100.0);
+        // A point on the middle of edge A (which runs (0,0) → (900,0)).
+        let hits = grid.edges_near(&net, Point::new(450.0, 5.0), 20.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, EDGE_A);
+        assert!((hits[0].1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_radius() {
+        let net = example_network();
+        let grid = SpatialGrid::build(&net, 100.0);
+        let hits = grid.edges_near(&net, Point::new(450.0, 500.0), 100.0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn results_sorted_by_distance_and_deduped() {
+        let net = example_network();
+        let grid = SpatialGrid::build(&net, 50.0);
+        // Near v1, where A ends and B begins.
+        let hits = grid.edges_near(&net, Point::new(905.0, 3.0), 50.0);
+        assert!(hits.len() >= 2);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let mut ids: Vec<_> = hits.iter().map(|h| h.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), hits.len(), "no duplicate edges");
+        assert!(hits.iter().any(|h| h.0 == EDGE_A));
+        assert!(hits.iter().any(|h| h.0 == EDGE_B));
+    }
+
+    #[test]
+    fn empty_network_yields_empty_results() {
+        let net = crate::graph::NetworkBuilder::new().build();
+        let grid = SpatialGrid::build(&net, 100.0);
+        assert!(grid.edges_near(&net, Point::new(0.0, 0.0), 1000.0).is_empty());
+    }
+}

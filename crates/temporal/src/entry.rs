@@ -1,0 +1,72 @@
+//! The extended temporal-leaf record of the paper's Section 4.1.3.
+
+/// One temporal-index leaf: a segment traversal, keyed by entry timestamp.
+///
+/// Beyond the original SNT-index leaf `(t → isa, d)`, the paper adds the
+/// traversal time `TT`, the sequence number `seq`, and the running aggregate
+/// `a = Σ_{i ≤ seq} TTᵢ`, so that the travel time of a whole query path can
+/// be produced from two index scans without touching the trajectories
+/// (Figure 4). The temporal-partitioning extension (Section 4.3.2) adds the
+/// partition id `w`, because every partition's FM-index assigns different
+/// ISA values to the same path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeafEntry {
+    /// Entry timestamp `t` (seconds since data set epoch) — the key.
+    pub time: i64,
+    /// Travel-time aggregate `a`: prefix sum of the trajectory's traversal
+    /// times up to and including this segment.
+    pub aggregate: f64,
+    /// Traversal time `TT` of this segment, in seconds.
+    pub travel_time: f64,
+    /// Inverse-suffix-array value of this traversal's position in its
+    /// partition's trajectory string.
+    pub isa: u32,
+    /// Trajectory identifier `d`.
+    pub traj: u32,
+    /// Sequence number of the segment within the trajectory (0-based).
+    pub seq: u32,
+    /// Temporal partition id `w`.
+    pub partition: u16,
+}
+
+impl LeafEntry {
+    /// The travel-time aggregate *before* entering this segment:
+    /// `a − TT`, the `diff` value stored in the probe table (Procedure 3).
+    #[inline]
+    pub fn antecedent(&self) -> f64 {
+        self.aggregate - self.travel_time
+    }
+
+    /// Logical record size in bytes, with or without the partition id —
+    /// the paper reports ≈ 300 MiB saved on its data set by dropping `w`
+    /// from the leaves (Section 6.3). Used by the Figure 10a accounting.
+    pub const fn logical_size(with_partition: bool) -> usize {
+        // t + a + TT + isa + d + seq (+ w)
+        8 + 8 + 8 + 4 + 4 + 4 + if with_partition { 2 } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antecedent_is_aggregate_minus_travel_time() {
+        let e = LeafEntry {
+            time: 100,
+            aggregate: 10.5,
+            travel_time: 4.5,
+            isa: 7,
+            traj: 3,
+            seq: 2,
+            partition: 0,
+        };
+        assert_eq!(e.antecedent(), 6.0);
+    }
+
+    #[test]
+    fn logical_sizes() {
+        assert_eq!(LeafEntry::logical_size(true), 38);
+        assert_eq!(LeafEntry::logical_size(false), 36);
+    }
+}

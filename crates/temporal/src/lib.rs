@@ -1,0 +1,81 @@
+//! Temporal index substrate: per-segment indexes keyed by traversal
+//! timestamp.
+//!
+//! The SNT-index keeps one temporal index per road segment (`F = {Φe | e ∈
+//! E}`, paper Section 4.1.2). Each leaf maps an entry timestamp to the
+//! extended record `(isa, d, TT, a, seq, w)` of Section 4.1.3 — the ISA
+//! value for spatial filtering, the trajectory id, the traversal time, the
+//! running travel-time aggregate, the sequence number, and the temporal
+//! partition id.
+//!
+//! Two interchangeable tree implementations are provided, both from scratch:
+//!
+//! * [`BPlusTree`] — a classic in-memory B+-tree multimap (the paper's
+//!   baseline, cpp-btree style) supporting arbitrary-order inserts.
+//! * [`CssTree`] — a cache-sensitive search tree (Rao & Ross, 1999): a
+//!   pointerless directory over a sorted array, append-only, with
+//!   logarithmic-time range *counting* used by the CSS-mode cardinality
+//!   estimators (paper, Section 4.3.1).
+//!
+//! Both implement [`TemporalIndex`]; the SNT layer assembles them into
+//! per-segment forests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bplus;
+mod css;
+mod entry;
+
+pub use bplus::BPlusTree;
+pub use css::CssTree;
+pub use entry::LeafEntry;
+
+use std::ops::ControlFlow;
+
+/// Common interface of the temporal tree implementations.
+pub trait TemporalIndex {
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest timestamp in the index (`F[e]_min`, used by the time-frame
+    /// selectivity formula 3).
+    fn min_key(&self) -> Option<i64>;
+
+    /// Largest timestamp in the index (`F[e]_max`).
+    fn max_key(&self) -> Option<i64>;
+
+    /// Visits entries with `lo ≤ t < hi` in ascending timestamp order until
+    /// the callback breaks. Returns the callback's final flow state.
+    fn scan_range(
+        &self,
+        lo: i64,
+        hi: i64,
+        f: &mut dyn FnMut(&LeafEntry) -> ControlFlow<()>,
+    ) -> ControlFlow<()>;
+
+    /// Number of entries with `lo ≤ t < hi`.
+    ///
+    /// The CSS-tree answers this in `O(log n)` via its directory — the
+    /// property the CSS-mode cardinality estimators exploit; the B+-tree
+    /// falls back to a counting scan.
+    fn range_count(&self, lo: i64, hi: i64) -> usize;
+
+    /// Approximate heap footprint in bytes (Figure 10a `Forest` accounting).
+    fn size_bytes(&self) -> usize;
+
+    /// Collects a range into a vector (convenience for tests and examples).
+    fn collect_range(&self, lo: i64, hi: i64) -> Vec<LeafEntry> {
+        let mut out = Vec::new();
+        let _ = self.scan_range(lo, hi, &mut |e| {
+            out.push(*e);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}

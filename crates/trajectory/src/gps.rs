@@ -1,0 +1,119 @@
+//! Raw GPS observations, before map-matching.
+
+use tthr_network::{Point, Timestamp};
+
+/// A single GPS fix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpsPoint {
+    /// Observed position (local planar coordinates, meters).
+    pub position: Point,
+    /// Observation timestamp (seconds since data set epoch).
+    pub time: Timestamp,
+}
+
+impl GpsPoint {
+    /// Creates a GPS fix.
+    pub fn new(position: Point, time: Timestamp) -> Self {
+        GpsPoint { position, time }
+    }
+}
+
+/// A time-ordered sequence of GPS fixes from one vehicle.
+#[derive(Clone, Debug, Default)]
+pub struct GpsTrace {
+    points: Vec<GpsPoint>,
+}
+
+impl GpsTrace {
+    /// Creates a trace from points, which must be in non-decreasing time
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if timestamps decrease.
+    pub fn new(points: Vec<GpsPoint>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].time <= w[1].time),
+            "GPS points must be time-ordered"
+        );
+        GpsTrace { points }
+    }
+
+    /// The observations.
+    #[inline]
+    pub fn points(&self) -> &[GpsPoint] {
+        &self.points
+    }
+
+    /// Number of fixes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Splits the trace wherever consecutive fixes are more than `max_gap`
+    /// seconds apart — the paper starts a new trajectory whenever more than
+    /// 180 s elapsed since the last GPS point (Section 5.1.3).
+    pub fn split_on_gaps(&self, max_gap: Timestamp) -> Vec<GpsTrace> {
+        let mut result = Vec::new();
+        let mut current: Vec<GpsPoint> = Vec::new();
+        for &p in &self.points {
+            if let Some(last) = current.last() {
+                if p.time - last.time > max_gap {
+                    result.push(GpsTrace {
+                        points: std::mem::take(&mut current),
+                    });
+                }
+            }
+            current.push(p);
+        }
+        if !current.is_empty() {
+            result.push(GpsTrace { points: current });
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, t: Timestamp) -> GpsPoint {
+        GpsPoint::new(Point::new(x, 0.0), t)
+    }
+
+    #[test]
+    fn split_on_gaps_respects_threshold() {
+        let trace = GpsTrace::new(vec![pt(0.0, 0), pt(1.0, 60), pt(2.0, 300), pt(3.0, 360)]);
+        let parts = trace.split_on_gaps(180);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[1].len(), 2);
+        assert_eq!(parts[1].points()[0].time, 300);
+    }
+
+    #[test]
+    fn no_gaps_yields_single_trace() {
+        let trace = GpsTrace::new(vec![pt(0.0, 0), pt(1.0, 1), pt(2.0, 2)]);
+        let parts = trace.split_on_gaps(180);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_trace_splits_to_nothing() {
+        let trace = GpsTrace::new(vec![]);
+        assert!(trace.split_on_gaps(180).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_points_rejected() {
+        GpsTrace::new(vec![pt(0.0, 10), pt(1.0, 5)]);
+    }
+}

@@ -1,0 +1,434 @@
+//! Hidden-Markov-model map-matching (Newson & Krumm style).
+//!
+//! The paper's ITSP data set is produced by map-matching 1 Hz GPS points to
+//! the road network [Newson & Krumm 2009], discarding partially covered
+//! start/end segments so traversal durations are meaningful (Section 5.1.3).
+//! This module reproduces that preprocessing step:
+//!
+//! * **states** — candidate segments within an error radius of each fix;
+//! * **emission** — Gaussian in the point-to-segment distance;
+//! * **transition** — exponential in the difference between straight-line
+//!   and network distance between consecutive candidates;
+//! * **decoding** — Viterbi, followed by gap-filling with shortest paths so
+//!   the result is a connected edge sequence;
+//! * **timing** — segment entry times interpolated from fix timestamps along
+//!   the matched geometry, with partially covered boundary segments trimmed.
+
+use crate::gps::GpsTrace;
+use crate::traj::TrajEntry;
+use tthr_network::route::{Router, Weighting};
+use tthr_network::spatial::SpatialGrid;
+use tthr_network::{EdgeId, RoadNetwork};
+
+/// Tuning parameters of the map-matcher.
+#[derive(Clone, Copy, Debug)]
+pub struct MatcherConfig {
+    /// GPS error standard deviation in meters (emission model).
+    pub gps_sigma_m: f64,
+    /// Candidate search radius around each fix, in meters.
+    pub candidate_radius_m: f64,
+    /// Scale of the exponential transition model, in meters (Newson–Krumm β).
+    pub transition_beta_m: f64,
+    /// Maximum number of candidate segments per fix.
+    pub max_candidates: usize,
+    /// Route-distance search cutoff, as a multiple of the straight-line
+    /// distance between consecutive fixes (plus a constant slack).
+    pub route_cutoff_factor: f64,
+    /// Grid cell size for the candidate index, in meters.
+    pub grid_cell_m: f64,
+    /// Tolerated backward projection movement along one edge, in meters.
+    /// GPS noise makes consecutive fixes jitter backwards at low speeds;
+    /// rejecting that as an impossible transition would push Viterbi onto
+    /// the reverse-direction edge instead. Should be several times
+    /// `gps_sigma_m`.
+    pub backward_slack_m: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            gps_sigma_m: 8.0,
+            candidate_radius_m: 40.0,
+            transition_beta_m: 6.0,
+            max_candidates: 8,
+            route_cutoff_factor: 8.0,
+            grid_cell_m: 250.0,
+            backward_slack_m: 30.0,
+        }
+    }
+}
+
+/// A matched trajectory: a connected edge sequence with entry timestamps and
+/// traversal durations, ready to insert into a [`crate::TrajectorySet`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchedPath {
+    /// Segment traversals in order.
+    pub entries: Vec<TrajEntry>,
+}
+
+#[derive(Clone, Copy)]
+struct Candidate {
+    edge: EdgeId,
+    /// Projection parameter along the edge, in `[0, 1]`.
+    t: f64,
+    /// Point-to-segment distance, meters.
+    dist: f64,
+}
+
+/// An HMM map-matcher bound to a road network.
+pub struct MapMatcher<'a> {
+    network: &'a RoadNetwork,
+    grid: SpatialGrid,
+    router: Router<'a>,
+    config: MatcherConfig,
+}
+
+impl<'a> MapMatcher<'a> {
+    /// Builds a matcher (and its spatial candidate index) for a network.
+    pub fn new(network: &'a RoadNetwork, config: MatcherConfig) -> Self {
+        let grid = SpatialGrid::build(network, config.grid_cell_m);
+        MapMatcher {
+            network,
+            grid,
+            router: Router::new(network),
+            config,
+        }
+    }
+
+    /// Matches a GPS trace to the network. Returns `None` when no connected
+    /// matching with at least one fully covered segment exists (off-network
+    /// noise, teleporting fixes, or a trace too short to cover a segment).
+    pub fn match_trace(&mut self, trace: &GpsTrace) -> Option<MatchedPath> {
+        let points = trace.points();
+        if points.len() < 2 {
+            return None;
+        }
+
+        // --- Candidate generation -------------------------------------------------
+        let mut layers: Vec<Vec<Candidate>> = Vec::with_capacity(points.len());
+        let mut kept_fix: Vec<usize> = Vec::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            let near = self
+                .grid
+                .edges_near(self.network, p.position, self.config.candidate_radius_m);
+            let layer: Vec<Candidate> = near
+                .into_iter()
+                .take(self.config.max_candidates)
+                .map(|(edge, dist)| {
+                    let a = self.network.position(self.network.edge_from(edge));
+                    let b = self.network.position(self.network.edge_to(edge));
+                    let (_, t) = p.position.distance_to_segment(&a, &b);
+                    Candidate { edge, t, dist }
+                })
+                .collect();
+            // Fixes with no nearby segment are skipped rather than breaking
+            // the chain (standard practice for outliers).
+            if !layer.is_empty() {
+                layers.push(layer);
+                kept_fix.push(i);
+            }
+        }
+        if layers.len() < 2 {
+            return None;
+        }
+
+        // --- Viterbi ---------------------------------------------------------------
+        let sigma2 = self.config.gps_sigma_m * self.config.gps_sigma_m;
+        let emission = |c: &Candidate| -0.5 * c.dist * c.dist / sigma2;
+
+        let mut score: Vec<f64> = layers[0].iter().map(emission).collect();
+        let mut back: Vec<Vec<usize>> = vec![Vec::new()];
+
+        for li in 1..layers.len() {
+            let p_prev = points[kept_fix[li - 1]].position;
+            let p_cur = points[kept_fix[li]].position;
+            let straight = p_prev.distance(&p_cur);
+            let cutoff = straight * self.config.route_cutoff_factor + 200.0;
+
+            let (prev_layer, cur_layer) = (&layers[li - 1], &layers[li]);
+            let mut new_score = vec![f64::NEG_INFINITY; cur_layer.len()];
+            let mut new_back = vec![usize::MAX; cur_layer.len()];
+
+            for (ci, cur) in cur_layer.iter().enumerate() {
+                for (pi, prev) in prev_layer.iter().enumerate() {
+                    if score[pi].is_infinite() {
+                        continue;
+                    }
+                    let Some(route_d) = self.route_distance(prev, cur, cutoff) else {
+                        continue;
+                    };
+                    let trans = -(route_d - straight).abs() / self.config.transition_beta_m;
+                    let s = score[pi] + trans + emission(cur);
+                    if s > new_score[ci] {
+                        new_score[ci] = s;
+                        new_back[ci] = pi;
+                    }
+                }
+            }
+            // A broken chain (no transition feasible) aborts the match; the
+            // caller is expected to have split the trace on time gaps first.
+            if new_score.iter().all(|s| s.is_infinite()) {
+                return None;
+            }
+            score = new_score;
+            back.push(new_back);
+        }
+
+        // --- Backtrack -------------------------------------------------------------
+        let mut best = 0;
+        for (i, s) in score.iter().enumerate() {
+            if *s > score[best] {
+                best = i;
+            }
+        }
+        if score[best].is_infinite() {
+            return None;
+        }
+        let mut chosen_rev: Vec<usize> = vec![best];
+        for li in (1..layers.len()).rev() {
+            let b = back[li][*chosen_rev.last().expect("non-empty")];
+            chosen_rev.push(b);
+        }
+        chosen_rev.reverse();
+        let chosen: Vec<Candidate> = chosen_rev
+            .iter()
+            .enumerate()
+            .map(|(li, &ci)| layers[li][ci])
+            .collect();
+
+        // --- Gap-fill into a connected edge sequence -------------------------------
+        let mut edges: Vec<EdgeId> = vec![chosen[0].edge];
+        // For every matched fix: (index into `edges`, param t on that edge).
+        let mut fix_pos: Vec<(usize, f64)> = vec![(0, chosen[0].t)];
+        for w in chosen.windows(2) {
+            let (prev, cur) = (&w[0], &w[1]);
+            if prev.edge == cur.edge {
+                fix_pos.push((edges.len() - 1, cur.t));
+                continue;
+            }
+            let from = self.network.edge_to(prev.edge);
+            let to = self.network.edge_from(cur.edge);
+            if from != to {
+                let route = self.router.shortest_route(
+                    from,
+                    to,
+                    Weighting::Distance,
+                    f64::INFINITY,
+                )?;
+                edges.extend(route.edges);
+            }
+            edges.push(cur.edge);
+            fix_pos.push((edges.len() - 1, cur.t));
+        }
+
+        // --- Interpolate edge entry times ------------------------------------------
+        // Distance coordinate of each edge start along the matched sequence.
+        let mut starts: Vec<f64> = Vec::with_capacity(edges.len() + 1);
+        let mut acc = 0.0;
+        for e in &edges {
+            starts.push(acc);
+            acc += self.network.attrs(*e).length_m;
+        }
+        starts.push(acc);
+
+        // (distance, time) samples from the matched fixes; distances clamped
+        // to be non-decreasing (a fix can project slightly "backwards").
+        let mut samples: Vec<(f64, f64)> = Vec::with_capacity(chosen.len());
+        let mut last_d = f64::NEG_INFINITY;
+        for (i, &(ei, t)) in fix_pos.iter().enumerate() {
+            let d = starts[ei] + t * self.network.attrs(edges[ei]).length_m;
+            let d = d.max(last_d);
+            last_d = d;
+            samples.push((d, points[kept_fix[i]].time as f64));
+        }
+
+        // Entry time at each edge boundary, when covered by the samples.
+        let first_d = samples[0].0;
+        let last_d = samples[samples.len() - 1].0;
+        let mut entries: Vec<TrajEntry> = Vec::new();
+        let mut prev_enter: Option<(usize, f64)> = None; // (edge index, time)
+        for (ei, _e) in edges.iter().enumerate() {
+            let b0 = starts[ei];
+            let b1 = starts[ei + 1];
+            // Keep only fully covered segments (the paper discards partial
+            // boundary traversals).
+            if b0 < first_d - 1e-9 || b1 > last_d + 1e-9 {
+                prev_enter = None;
+                continue;
+            }
+            let t0 = interpolate(&samples, b0);
+            let t1 = interpolate(&samples, b1);
+            if t1 <= t0 {
+                prev_enter = None;
+                continue;
+            }
+            // Require contiguity with the previous kept segment; otherwise
+            // the covered region restarted (shouldn't happen, but keep the
+            // result well-formed).
+            if let Some((pei, _)) = prev_enter {
+                if pei + 1 != ei {
+                    entries.clear();
+                }
+            }
+            entries.push(TrajEntry::new(edges[ei], t0.floor() as i64, t1 - t0));
+            prev_enter = Some((ei, t0));
+        }
+
+        // Enforce strictly increasing integer entry timestamps (rounding two
+        // sub-second boundaries to the same second would otherwise violate
+        // the trajectory invariant).
+        for i in 1..entries.len() {
+            if entries[i].enter_time <= entries[i - 1].enter_time {
+                entries[i].enter_time = entries[i - 1].enter_time + 1;
+            }
+        }
+
+        if entries.is_empty() {
+            return None;
+        }
+        Some(MatchedPath { entries })
+    }
+
+    /// Network distance from a position on `prev` to a position on `cur`.
+    fn route_distance(&mut self, prev: &Candidate, cur: &Candidate, cutoff: f64) -> Option<f64> {
+        let prev_len = self.network.attrs(prev.edge).length_m;
+        let cur_len = self.network.attrs(cur.edge).length_m;
+        if prev.edge == cur.edge {
+            let d = (cur.t - prev.t) * prev_len;
+            // Backwards movement on a directed edge is impossible; tolerate
+            // projection jitter up to the configured slack (anything larger
+            // is a genuine U-turn and must use the reverse edge).
+            return (d >= -self.config.backward_slack_m).then_some(d.max(0.0));
+        }
+        let remaining = (1.0 - prev.t) * prev_len;
+        let lead_in = cur.t * cur_len;
+        let from = self.network.edge_to(prev.edge);
+        let to = self.network.edge_from(cur.edge);
+        let mid = if from == to {
+            0.0
+        } else {
+            self.router
+                .shortest_cost(from, to, Weighting::Distance, cutoff)?
+        };
+        Some(remaining + mid + lead_in)
+    }
+}
+
+/// Piecewise-linear interpolation of time at distance `d` over `(d, t)`
+/// samples sorted by distance.
+fn interpolate(samples: &[(f64, f64)], d: f64) -> f64 {
+    debug_assert!(!samples.is_empty());
+    match samples.binary_search_by(|s| s.0.partial_cmp(&d).expect("finite")) {
+        Ok(i) => samples[i].1,
+        Err(0) => samples[0].1,
+        Err(i) if i == samples.len() => samples[samples.len() - 1].1,
+        Err(i) => {
+            let (d0, t0) = samples[i - 1];
+            let (d1, t1) = samples[i];
+            if (d1 - d0).abs() < 1e-12 {
+                t0
+            } else {
+                t0 + (t1 - t0) * (d - d0) / (d1 - d0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gps::GpsPoint;
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
+    use tthr_network::Point;
+
+    /// Fixes along A (900 m) then B (120 m) then E (100 m), 1 fix per 2 s at
+    /// ~25 m/s, with slight lateral offset.
+    fn trace_along_abe(offset: f64) -> GpsTrace {
+        let mut pts = Vec::new();
+        // Geometry: A spans x ∈ [0, 900], B spans [900, 1020], E [1020, 1120],
+        // all at y = 0.
+        let speed = 25.0;
+        let mut d = 0.0;
+        let mut t = 0i64;
+        // Run one fix past the end of E (x = 1120) so E is fully covered;
+        // the overshooting fix still projects onto E's endpoint.
+        while d <= 1160.0 {
+            pts.push(GpsPoint::new(Point::new(d, offset), t));
+            d += speed * 2.0;
+            t += 2;
+        }
+        GpsTrace::new(pts)
+    }
+
+    #[test]
+    fn matches_straight_run_and_trims_partial_ends() {
+        let net = example_network();
+        let mut matcher = MapMatcher::new(&net, MatcherConfig::default());
+        let matched = matcher.match_trace(&trace_along_abe(3.0)).expect("match");
+        let edges: Vec<EdgeId> = matched.entries.iter().map(|e| e.edge).collect();
+        // The full run covers A, B, E; first fix is at the very start of A
+        // and last past the end of E, so all three are fully covered.
+        assert_eq!(edges, vec![EDGE_A, EDGE_B, EDGE_E]);
+        // Durations ≈ length / 25 m/s.
+        let tts: Vec<f64> = matched.entries.iter().map(|e| e.travel_time).collect();
+        assert!((tts[0] - 36.0).abs() < 2.0, "A ≈ 36 s, got {}", tts[0]);
+        assert!((tts[1] - 4.8).abs() < 1.0, "B ≈ 4.8 s, got {}", tts[1]);
+        // The fix past the end of the network clamps onto E's endpoint,
+        // which stretches E's measured exit by up to one sample period.
+        assert!((tts[2] - 4.0).abs() < 2.0, "E ≈ 4 s, got {}", tts[2]);
+        // Entry timestamps strictly increase.
+        assert!(matched
+            .entries
+            .windows(2)
+            .all(|w| w[0].enter_time < w[1].enter_time));
+    }
+
+    #[test]
+    fn partial_first_segment_is_dropped() {
+        let net = example_network();
+        let mut matcher = MapMatcher::new(&net, MatcherConfig::default());
+        // Start mid-way along A: A is only partially covered and must be
+        // trimmed; B and E stay.
+        let mut pts = Vec::new();
+        let mut d = 450.0;
+        let mut t = 0i64;
+        while d <= 1160.0 {
+            pts.push(GpsPoint::new(Point::new(d, -2.0), t));
+            d += 50.0;
+            t += 2;
+        }
+        let matched = matcher.match_trace(&GpsTrace::new(pts)).expect("match");
+        let edges: Vec<EdgeId> = matched.entries.iter().map(|e| e.edge).collect();
+        assert_eq!(edges, vec![EDGE_B, EDGE_E]);
+    }
+
+    #[test]
+    fn off_network_trace_fails() {
+        let net = example_network();
+        let mut matcher = MapMatcher::new(&net, MatcherConfig::default());
+        let pts = vec![
+            GpsPoint::new(Point::new(0.0, 5000.0), 0),
+            GpsPoint::new(Point::new(50.0, 5000.0), 2),
+        ];
+        assert!(matcher.match_trace(&GpsTrace::new(pts)).is_none());
+    }
+
+    #[test]
+    fn single_point_trace_fails() {
+        let net = example_network();
+        let mut matcher = MapMatcher::new(&net, MatcherConfig::default());
+        let pts = vec![GpsPoint::new(Point::new(10.0, 0.0), 0)];
+        assert!(matcher.match_trace(&GpsTrace::new(pts)).is_none());
+    }
+
+    #[test]
+    fn interpolation_is_piecewise_linear() {
+        let samples = vec![(0.0, 0.0), (100.0, 10.0), (300.0, 20.0)];
+        assert_eq!(interpolate(&samples, 0.0), 0.0);
+        assert_eq!(interpolate(&samples, 50.0), 5.0);
+        assert_eq!(interpolate(&samples, 100.0), 10.0);
+        assert_eq!(interpolate(&samples, 200.0), 15.0);
+        assert_eq!(interpolate(&samples, 400.0), 20.0, "clamps past the end");
+        assert_eq!(interpolate(&samples, -10.0), 0.0, "clamps before start");
+    }
+}

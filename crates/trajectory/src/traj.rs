@@ -1,0 +1,289 @@
+//! The trajectory model: traversal sequences and the `Dur` function.
+
+use crate::types::{TrajId, UserId};
+use std::fmt;
+use tthr_network::{EdgeId, Path, Timestamp};
+
+/// One segment traversal `(e, t, TT)`: the segment, the timestamp it was
+/// entered, and the traversal duration in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajEntry {
+    /// The traversed segment.
+    pub edge: EdgeId,
+    /// Entry timestamp (seconds since data set epoch).
+    pub enter_time: Timestamp,
+    /// Time spent on the segment, in seconds (`TT > 0`).
+    pub travel_time: f64,
+}
+
+impl TrajEntry {
+    /// Creates an entry.
+    pub fn new(edge: EdgeId, enter_time: Timestamp, travel_time: f64) -> Self {
+        TrajEntry {
+            edge,
+            enter_time,
+            travel_time,
+        }
+    }
+}
+
+/// Error produced when constructing an invalid trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// Trajectories must traverse at least one segment.
+    Empty,
+    /// Entry timestamps must be strictly increasing (`i < j ⇒ tᵢ < tⱼ`).
+    NonMonotonicTimestamps {
+        /// Index of the offending entry.
+        at: usize,
+    },
+    /// Traversal durations must be positive (`TTᵢ > 0`).
+    NonPositiveTravelTime {
+        /// Index of the offending entry.
+        at: usize,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::Empty => write!(f, "a trajectory must traverse at least one segment"),
+            TrajectoryError::NonMonotonicTimestamps { at } => {
+                write!(f, "entry timestamps must be strictly increasing (entry {at})")
+            }
+            TrajectoryError::NonPositiveTravelTime { at } => {
+                write!(f, "traversal durations must be positive (entry {at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+/// A network-constrained trajectory `tr = (d, u, s)` (paper, Section 2.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    id: TrajId,
+    user: UserId,
+    entries: Vec<TrajEntry>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory, validating the paper's sequence invariants:
+    /// non-empty, strictly increasing entry timestamps, positive durations.
+    pub fn new(
+        id: TrajId,
+        user: UserId,
+        entries: Vec<TrajEntry>,
+    ) -> Result<Self, TrajectoryError> {
+        if entries.is_empty() {
+            return Err(TrajectoryError::Empty);
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.travel_time <= 0.0 {
+                return Err(TrajectoryError::NonPositiveTravelTime { at: i });
+            }
+            if i > 0 && entries[i - 1].enter_time >= e.enter_time {
+                return Err(TrajectoryError::NonMonotonicTimestamps { at: i });
+            }
+        }
+        Ok(Trajectory { id, user, entries })
+    }
+
+    /// The trajectory id `d`.
+    #[inline]
+    pub fn id(&self) -> TrajId {
+        self.id
+    }
+
+    /// The user id `u`.
+    #[inline]
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The traversal sequence `s`.
+    #[inline]
+    pub fn entries(&self) -> &[TrajEntry] {
+        &self.entries
+    }
+
+    /// Number of segments traversed, `l`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always `false`; trajectories are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Starting time `tr.t₀`.
+    #[inline]
+    pub fn start_time(&self) -> Timestamp {
+        self.entries[0].enter_time
+    }
+
+    /// The path `P_tr` of the trajectory.
+    pub fn path(&self) -> Path {
+        Path::new(self.entries.iter().map(|e| e.edge).collect())
+    }
+
+    /// The edge sequence without allocating a [`Path`].
+    pub fn edge_at(&self, i: usize) -> EdgeId {
+        self.entries[i].edge
+    }
+
+    /// Total duration of the whole trajectory: `Σ TTᵢ`.
+    pub fn total_duration(&self) -> f64 {
+        self.entries.iter().map(|e| e.travel_time).sum()
+    }
+
+    /// The paper's duration function `Dur(tr, P)`: the sum of traversal times
+    /// over the **first** occurrence of `P` as a contiguous sub-path of
+    /// `P_tr`, or `None` when `P_tr` does not contain `P` (the paper leaves
+    /// `Dur` undefined in that case).
+    pub fn duration_over(&self, path: &Path) -> Option<f64> {
+        self.occurrences_of(path).next().map(|i| {
+            self.entries[i..i + path.len()]
+                .iter()
+                .map(|e| e.travel_time)
+                .sum()
+        })
+    }
+
+    /// Entry timestamp into the first occurrence of `P`, if any: the time the
+    /// trajectory entered `P`'s first segment. This is the timestamp the SPQ
+    /// temporal predicate is evaluated against.
+    pub fn enter_time_of(&self, path: &Path) -> Option<Timestamp> {
+        self.occurrences_of(path)
+            .next()
+            .map(|i| self.entries[i].enter_time)
+    }
+
+    /// Iterator over the starting indices of **all** occurrences of `P` as a
+    /// contiguous sub-path (a trajectory with a circular path can traverse
+    /// `P` more than once — the reason the SNT-index keys its probe table by
+    /// `(d, seq)` rather than `d` alone).
+    pub fn occurrences_of<'a>(&'a self, path: &'a Path) -> impl Iterator<Item = usize> + 'a {
+        let needle = path.edges();
+        self.entries
+            .windows(needle.len())
+            .enumerate()
+            .filter(move |(_, w)| w.iter().map(|e| e.edge).eq(needle.iter().copied()))
+            .map(|(i, _)| i)
+    }
+
+    /// Whether the trajectory strictly traverses `P` (no detours inside `P`).
+    pub fn traverses(&self, path: &Path) -> bool {
+        self.occurrences_of(path).next().is_some()
+    }
+
+    /// Prefix sums of traversal times: `a_seq = Σ_{i ≤ seq} TTᵢ`, the
+    /// aggregate the extended SNT-index stores in every temporal leaf
+    /// (paper, Section 4.1.3).
+    pub fn aggregate_times(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.entries
+            .iter()
+            .map(|e| {
+                acc += e.travel_time;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(edge: u32, t: Timestamp, tt: f64) -> TrajEntry {
+        TrajEntry::new(EdgeId(edge), t, tt)
+    }
+
+    /// tr1 from the paper: (1, u2) → ⟨(A,2,4), (C,6,2), (D,8,4), (E,12,5)⟩
+    /// with A=0, C=2, D=3, E=4.
+    fn tr1() -> Trajectory {
+        Trajectory::new(
+            TrajId(1),
+            UserId(2),
+            vec![entry(0, 2, 4.0), entry(2, 6, 2.0), entry(3, 8, 4.0), entry(4, 12, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invariants_are_enforced() {
+        assert_eq!(
+            Trajectory::new(TrajId(0), UserId(0), vec![]),
+            Err(TrajectoryError::Empty)
+        );
+        assert_eq!(
+            Trajectory::new(TrajId(0), UserId(0), vec![entry(0, 5, 1.0), entry(1, 5, 1.0)]),
+            Err(TrajectoryError::NonMonotonicTimestamps { at: 1 })
+        );
+        assert_eq!(
+            Trajectory::new(TrajId(0), UserId(0), vec![entry(0, 5, 0.0)]),
+            Err(TrajectoryError::NonPositiveTravelTime { at: 0 })
+        );
+    }
+
+    #[test]
+    fn duration_matches_paper_example() {
+        // Dur(tr1, ⟨A,C,D,E⟩) = 4+2+4+5 = 15.
+        let tr = tr1();
+        let full = Path::new(vec![EdgeId(0), EdgeId(2), EdgeId(3), EdgeId(4)]);
+        assert_eq!(tr.duration_over(&full), Some(15.0));
+        // Dur over sub-path ⟨C,D⟩ = 2+4 = 6.
+        let cd = Path::new(vec![EdgeId(2), EdgeId(3)]);
+        assert_eq!(tr.duration_over(&cd), Some(6.0));
+        // ⟨A,B⟩ is not contained: undefined.
+        let ab = Path::new(vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(tr.duration_over(&ab), None);
+    }
+
+    #[test]
+    fn enter_time_of_sub_path() {
+        let tr = tr1();
+        let cd = Path::new(vec![EdgeId(2), EdgeId(3)]);
+        assert_eq!(tr.enter_time_of(&cd), Some(6));
+        assert_eq!(tr.start_time(), 2);
+    }
+
+    #[test]
+    fn circular_paths_yield_multiple_occurrences() {
+        // A trajectory looping over edges 0→1→0→1.
+        let tr = Trajectory::new(
+            TrajId(9),
+            UserId(0),
+            vec![entry(0, 0, 1.0), entry(1, 1, 2.0), entry(0, 3, 3.0), entry(1, 6, 4.0)],
+        )
+        .unwrap();
+        let p = Path::new(vec![EdgeId(0), EdgeId(1)]);
+        let occ: Vec<_> = tr.occurrences_of(&p).collect();
+        assert_eq!(occ, vec![0, 2]);
+        // Dur uses the first occurrence.
+        assert_eq!(tr.duration_over(&p), Some(3.0));
+    }
+
+    #[test]
+    fn aggregates_are_prefix_sums() {
+        let tr = tr1();
+        assert_eq!(tr.aggregate_times(), vec![4.0, 6.0, 10.0, 15.0]);
+        assert_eq!(tr.total_duration(), 15.0);
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let tr = tr1();
+        assert_eq!(
+            tr.path().edges(),
+            &[EdgeId(0), EdgeId(2), EdgeId(3), EdgeId(4)]
+        );
+        assert!(tr.traverses(&Path::new(vec![EdgeId(3), EdgeId(4)])));
+        assert!(!tr.traverses(&Path::new(vec![EdgeId(4), EdgeId(3)])));
+    }
+}

@@ -1,0 +1,57 @@
+//! Identifier newtypes for trajectories and users.
+
+use std::fmt;
+
+/// Trajectory identifier `d ∈ D`.
+///
+/// [`crate::TrajectorySet`] assigns dense ids `0..n` in insertion order; the
+/// SNT-index relies on this to store per-trajectory data (like the `U`
+/// user-lookup container) in flat arrays.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrajId(pub u32);
+
+impl TrajId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TrajId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tr{}", self.0)
+    }
+}
+
+/// User (driver / vehicle) identifier `u ∈ U`.
+///
+/// The paper's ITSP data set treats the vehicle id of privately owned cars as
+/// the user id (Section 5.1.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", TrajId(3)), "tr3");
+        assert_eq!(format!("{:?}", UserId(1)), "u1");
+    }
+}

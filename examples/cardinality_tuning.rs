@@ -1,0 +1,92 @@
+//! Cardinality-estimator tuning: compares the five estimator modes of
+//! Section 4.4 on q-error and on their effect on query latency, mirroring
+//! the paper's Figure 11 at example scale.
+//!
+//! Run with: `cargo run --release --example cardinality_tuning`
+
+use std::time::Instant;
+use tthr::core::{
+    estimate_cardinality, CardinalityMode, QueryEngine, QueryEngineConfig, SntConfig, SntIndex,
+    Spq, TimeInterval,
+};
+use tthr::datagen::{generate_network, generate_workload, sample_query_trajectories, NetworkConfig, WorkloadConfig};
+use tthr::metrics::{mean, q_error};
+use tthr::trajectory::Trajectory;
+
+fn main() {
+    let syn = generate_network(&NetworkConfig::small());
+    let set = generate_workload(
+        &syn,
+        &WorkloadConfig {
+            num_drivers: 40,
+            num_days: 60,
+            ..WorkloadConfig::small()
+        },
+    );
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let queries: Vec<&Trajectory> = sample_query_trajectories(&set, 0.3, 10, 3)
+        .into_iter()
+        .take(200)
+        .map(|id| set.get(id))
+        .collect();
+    println!(
+        "{} trajectories indexed, {} estimator probe queries\n",
+        set.len(),
+        queries.len()
+    );
+
+    // --- q-error per estimator mode (Figure 11a) ---------------------------
+    println!("{:<10} {:>12} {:>12}", "mode", "median q", "mean q");
+    for mode in CardinalityMode::ALL {
+        let mut qs: Vec<f64> = Vec::new();
+        for tr in &queries {
+            // Mix periodic and fixed intervals, as both selectivity paths
+            // matter.
+            for interval in [
+                TimeInterval::periodic_around(tr.start_time(), 1800),
+                TimeInterval::fixed(0, tr.start_time()),
+            ] {
+                let spq = Spq::new(tr.path(), interval);
+                let est = estimate_cardinality(&index, &spq, mode);
+                let actual = index.count_matching(&spq, u32::MAX) as u64;
+                qs.push(q_error(est, actual));
+            }
+        }
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "{:<10} {:>12.2} {:>12.2}",
+            mode.name(),
+            qs[qs.len() / 2],
+            mean(qs.iter().copied())
+        );
+    }
+
+    // --- Effect on trip-query latency (Figure 11b) -------------------------
+    println!("\n{:<12} {:>12} {:>16}", "estimator", "ms/query", "index scans");
+    for estimator in [
+        None,
+        Some(CardinalityMode::CssFast),
+        Some(CardinalityMode::CssAcc),
+    ] {
+        let engine = QueryEngine::new(
+            &index,
+            &syn.network,
+            QueryEngineConfig {
+                estimator,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let mut scans = 0usize;
+        let start = Instant::now();
+        for tr in &queries {
+            let q = Spq::new(tr.path(), TimeInterval::periodic_around(tr.start_time(), 900))
+                .with_beta(20)
+                .without_trajectory(tr.id());
+            scans += engine.trip_query(&q).stats.index_queries;
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        let name = estimator.map(|m| m.name()).unwrap_or("none");
+        println!("{name:<12} {ms:>12.3} {scans:>16}");
+    }
+    println!("\nestimator gating skips temporal scans for sub-queries that cannot\nreach β, trading a cheap ISA-range + histogram probe for them");
+}

@@ -1,0 +1,117 @@
+//! Commute analysis on a synthetic city region: compares partitioning
+//! strategies on real trip queries and prints the travel-time distribution
+//! of one commute as an ASCII histogram.
+//!
+//! Run with: `cargo run --release --example commute_histograms`
+
+use tthr::core::baseline::{speed_limit_estimate, SegmentLevelBaseline};
+use tthr::core::{PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::datagen::{generate_network, generate_workload, sample_query_trajectories, NetworkConfig, WorkloadConfig};
+use tthr::metrics::smape;
+use tthr::trajectory::Trajectory;
+
+fn query_for(tr: &Trajectory) -> Spq {
+    Spq::new(tr.path(), TimeInterval::periodic_around(tr.start_time(), 900))
+        .with_beta(20)
+        .without_trajectory(tr.id())
+}
+
+fn main() {
+    // --- A synthetic region and half a year of driving ---------------------
+    let syn = generate_network(&NetworkConfig::small());
+    let workload = WorkloadConfig {
+        num_drivers: 40,
+        num_days: 90,
+        ..WorkloadConfig::small()
+    };
+    let set = generate_workload(&syn, &workload);
+    println!(
+        "world: {} directed segments, {} trajectories, {} traversals",
+        syn.network.num_edges(),
+        set.len(),
+        set.total_traversals()
+    );
+
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let queries: Vec<&Trajectory> = sample_query_trajectories(&set, 0.1, 15, 11)
+        .into_iter()
+        .take(120)
+        .map(|id| set.get(id))
+        .collect();
+    println!("query set: {} sampled commutes\n", queries.len());
+
+    // --- Strategy comparison ------------------------------------------------
+    let strategies = [
+        PartitionMethod::Regular(1),
+        PartitionMethod::Regular(2),
+        PartitionMethod::Category,
+        PartitionMethod::Zone,
+        PartitionMethod::ZoneCategory,
+        PartitionMethod::Whole,
+    ];
+    println!("{:<10} {:>10} {:>14} {:>12}", "pi", "sMAPE %", "avg sub-len", "avg ms");
+    for pi in strategies {
+        let engine = QueryEngine::new(
+            &index,
+            &syn.network,
+            QueryEngineConfig {
+                partition_method: pi,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let mut pairs = Vec::new();
+        let mut sublen = 0.0;
+        let start = std::time::Instant::now();
+        for tr in &queries {
+            let r = engine.trip_query(&query_for(tr));
+            pairs.push((r.predicted_duration(), tr.total_duration()));
+            sublen += r.avg_sub_path_len();
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        println!(
+            "{:<10} {:>10.2} {:>14.1} {:>12.3}",
+            pi.name(),
+            smape(&pairs),
+            sublen / queries.len() as f64,
+            ms
+        );
+    }
+
+    // --- Baselines ----------------------------------------------------------
+    let seg = SegmentLevelBaseline::build(&index, &syn.network, 10.0);
+    let mut sl_pairs = Vec::new();
+    let mut seg_pairs = Vec::new();
+    for tr in &queries {
+        let actual = tr.total_duration();
+        sl_pairs.push((speed_limit_estimate(&syn.network, &tr.path()), actual));
+        seg_pairs.push((seg.predict(&tr.path()), actual));
+    }
+    println!("\nbaselines: speed-limit sMAPE = {:.2} %, segment-level sMAPE = {:.2} %",
+        smape(&sl_pairs), smape(&seg_pairs));
+
+    // --- One commute's distribution -----------------------------------------
+    let engine = QueryEngine::new(&index, &syn.network, QueryEngineConfig::default());
+    let tr = queries
+        .iter()
+        .max_by_key(|t| t.len())
+        .expect("non-empty query set");
+    let result = engine.trip_query(&query_for(tr));
+    let hist = result.histogram.clone().expect("trip produces a histogram");
+    println!(
+        "\nlongest sampled commute: {} segments, actual {:.0} s, predicted {:.0} s,\n{} final sub-queries, stats: {:?}",
+        tr.len(),
+        tr.total_duration(),
+        result.predicted_duration(),
+        result.subs.len(),
+        result.stats
+    );
+    println!("\ntravel-time distribution (10 s buckets):");
+    let max_mass = hist.iter().map(|(_, c)| c).fold(0.0f64, f64::max);
+    for (edge, mass) in hist.iter() {
+        if mass < max_mass / 60.0 {
+            continue; // skip the long convolution tail
+        }
+        let bar = "#".repeat((mass / max_mass * 50.0).ceil() as usize);
+        println!("  [{:>5.0},{:>5.0}) {bar}", edge, edge + hist.bucket_width());
+    }
+}

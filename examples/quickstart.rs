@@ -1,0 +1,86 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the 6-segment road network of Figure 1 / Table 1 and the
+//! 4-trajectory set of Section 2.2, indexes them, and walks through the
+//! worked queries of Section 2.3 — including the sub-query split and the
+//! histogram convolution.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::histogram::Histogram;
+use tthr::network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
+use tthr::network::Path;
+use tthr::trajectory::examples::{example_trajectories, USER_1};
+
+fn print_histogram(name: &str, h: &Histogram) {
+    print!("{name} = {{");
+    for (i, (edge, count)) in h.iter().enumerate() {
+        if i > 0 {
+            print!("; ");
+        }
+        print!("[{edge:.0},{:.0}): {count:.0}", edge + h.bucket_width());
+    }
+    println!("}}");
+}
+
+fn main() {
+    // --- The example world -------------------------------------------------
+    let network = example_network();
+    let trajectories = example_trajectories();
+    println!(
+        "network: {} segments, trajectory set: {} trajectories / {} traversals",
+        network.num_edges(),
+        trajectories.len(),
+        trajectories.total_traversals()
+    );
+    for e in network.edge_ids() {
+        let a = network.attrs(e);
+        println!(
+            "  segment {:?}: {:?} {:?} {} km/h, {} m, estimateTT = {:.1} s",
+            e,
+            a.category,
+            a.zone,
+            a.speed_limit_kmh.unwrap_or(0.0),
+            a.length_m,
+            network.estimate_tt(e)
+        );
+    }
+
+    // --- Build the extended SNT-index --------------------------------------
+    let index = SntIndex::build(&network, &trajectories, SntConfig::default());
+    let abe = Path::new(vec![EDGE_A, EDGE_B, EDGE_E]);
+    println!(
+        "\ntrajectory string indexed; ⟨A,B,E⟩ is traversed {} times (ISA range size)",
+        index.traversal_count(&abe)
+    );
+
+    // --- Section 2.3: Q = spq(⟨A,B,E⟩, [0,15), u = u1, 2) -------------------
+    let q = Spq::new(abe.clone(), TimeInterval::fixed(0, 15))
+        .with_user(USER_1)
+        .with_beta(2);
+    let times = index.get_travel_times(&q);
+    println!("\nQ = spq(⟨A,B,E⟩, [0,15), u=u1, 2)");
+    println!("  travel times: {:?} (tr3 = 10 s, tr0 = 11 s)", times.sorted());
+    let h = Histogram::from_values(&times.values, 1.0);
+    print_histogram("  H", &h);
+
+    // --- The split into Q1, Q2 and the convolution --------------------------
+    let q1 = Spq::new(Path::new(vec![EDGE_A, EDGE_B]), TimeInterval::fixed(0, 15)).with_beta(3);
+    let q2 = Spq::new(Path::new(vec![EDGE_E]), TimeInterval::fixed(0, 15)).with_beta(3);
+    let x1 = index.get_travel_times(&q1);
+    let x2 = index.get_travel_times(&q2);
+    println!("\nsplit: Q1 = spq(⟨A,B⟩, [0,15), ∅, 3), Q2 = spq(⟨E⟩, [0,15), ∅, 3)");
+    println!("  X1 = {:?}", x1.sorted());
+    println!("  X2 = {:?}", x2.sorted());
+    let h1 = Histogram::from_values(&x1.values, 1.0);
+    let h2 = Histogram::from_values(&x2.values, 1.0);
+    print_histogram("  H1", &h1);
+    print_histogram("  H2", &h2);
+    let conv = h1.convolve(&h2);
+    print_histogram("  H1 * H2", &conv);
+    println!(
+        "\nthe convolution spreads mass over [10,13) — exactly the paper's
+{{[10,11): 4; [11,12): 4; [12,13): 1}}"
+    );
+}

@@ -1,0 +1,78 @@
+//! # tthr — Travel-Time Histogram Retrieval
+//!
+//! A complete, from-scratch Rust implementation of the system described in
+//! *Waury, Jensen, Koide, Ishikawa, Xiao: "Indexing Trajectories for
+//! Travel-Time Histogram Retrieval", EDBT 2019*.
+//!
+//! The system answers **strict path queries** (SPQs) over large sets of
+//! network-constrained trajectories: given a path `P` in a road network, a
+//! (periodic or fixed) time interval `I`, an optional filter predicate `f`,
+//! and a cardinality requirement `β`, it returns a travel-time histogram
+//! derived from trajectories that traversed `P` exactly, entering it inside
+//! `I`. Full trip queries are partitioned into sub-queries and greedily
+//! relaxed until each sub-query meets its cardinality requirement; the
+//! per-sub-path histograms are convolved into a distribution for the whole
+//! trip.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! * [`network`] — road network graph (categories, zones, speed limits,
+//!   routing, the paper's Figure 1 example network).
+//! * [`trajectory`] — network-constrained trajectories, GPS traces, and an
+//!   HMM map-matcher.
+//! * [`fmindex`] — the succinct text-index substrate (SA-IS suffix arrays,
+//!   BWT, wavelet trees, FM-index backward search).
+//! * [`temporal`] — temporal index forests (B+-trees and CSS-trees).
+//! * [`histogram`] — travel-time histograms, convolution, time-of-day
+//!   histograms.
+//! * [`core`] — the SNT-index adapted for travel-time retrieval, the SPQ
+//!   engine, partitioning (π) and splitting (σ) strategies, the cardinality
+//!   estimator, and temporal index partitioning.
+//! * [`datagen`] — deterministic synthetic road networks and ITSP-like
+//!   trajectory workloads.
+//! * [`metrics`] — the paper's evaluation metrics (sMAPE, weighted error,
+//!   log-likelihood, q-error).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tthr::prelude::*;
+//!
+//! // The 6-edge example network of the paper's Figure 1 / Table 1 and the
+//! // 4-trajectory example set of Section 2.2.
+//! let network = tthr::network::examples::example_network();
+//! let trajectories = tthr::trajectory::examples::example_trajectories();
+//!
+//! // Build the extended SNT-index.
+//! let index = SntIndex::build(&network, &trajectories, SntConfig::default());
+//!
+//! // Q = spq(<A,B,E>, [0,15), ∅, 2): trajectories tr0 and tr3 match.
+//! let path = Path::new(vec![EdgeId(0), EdgeId(1), EdgeId(4)]);
+//! let spq = Spq::new(path, TimeInterval::fixed(0, 15)).with_beta(2);
+//! let times = index.get_travel_times(&spq);
+//! assert_eq!(times.sorted(), vec![10.0, 11.0]);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tthr_core as core;
+pub use tthr_datagen as datagen;
+pub use tthr_fmindex as fmindex;
+pub use tthr_histogram as histogram;
+pub use tthr_metrics as metrics;
+pub use tthr_network as network;
+pub use tthr_temporal as temporal;
+pub use tthr_trajectory as trajectory;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use tthr_core::{
+        BetaPolicy, CardinalityMode, PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig,
+        SntIndex, SplitMethod, Spq, TimeInterval, TripQuery,
+    };
+    pub use tthr_datagen::{NetworkConfig, WorkloadConfig};
+    pub use tthr_histogram::Histogram;
+    pub use tthr_metrics::{log_likelihood, q_error, smape, weighted_error};
+    pub use tthr_network::{Category, EdgeId, Path, RoadNetwork, Zone};
+    pub use tthr_trajectory::{Trajectory, TrajectorySet, TrajId, UserId};
+}

@@ -1,0 +1,162 @@
+//! Batch appends (Section 4.3.2's update path): building an index over a
+//! prefix of the history and appending the rest batch-wise must answer
+//! every query exactly like an index built over everything at once — the
+//! appended batches get their own FM-index partitions while the existing
+//! succinct structures stay untouched.
+
+mod common;
+
+use common::{small_world, sorted};
+use tthr::core::{CardinalityMode, SntConfig, SntIndex, Spq, TimeInterval, TreeKind};
+use tthr::trajectory::{TrajId, TrajectorySet};
+
+/// Copies the first `n` trajectories into their own set.
+fn prefix_set(set: &TrajectorySet, n: usize) -> TrajectorySet {
+    let mut prefix = TrajectorySet::new();
+    for tr in set.iter().take(n) {
+        prefix
+            .push(tr.user(), tr.entries().to_vec())
+            .expect("valid copy");
+    }
+    prefix
+}
+
+#[test]
+fn append_equals_full_build() {
+    let (syn, set) = small_world();
+    for tree in [TreeKind::Css, TreeKind::BPlus] {
+        let config = SntConfig {
+            tree,
+            ..SntConfig::default()
+        };
+        let full = SntIndex::build(&syn.network, &set, config);
+        let n = set.len() / 2;
+        let mut incremental = SntIndex::build(&syn.network, &prefix_set(&set, n), config);
+        assert_eq!(incremental.num_trajectories(), n);
+        let appended = incremental.append_batch(&set);
+        assert_eq!(appended, set.len() - n);
+        assert_eq!(incremental.num_trajectories(), set.len());
+        assert_eq!(incremental.num_partitions(), 2);
+        assert_eq!(incremental.data_max(), full.data_max());
+
+        for tr in set.iter().step_by(71).take(20) {
+            let path = tr.path();
+            assert_eq!(
+                incremental.traversal_count(&path),
+                full.traversal_count(&path),
+                "{tree:?} {path:?}"
+            );
+            for interval in [
+                TimeInterval::fixed(0, i64::MAX / 2),
+                TimeInterval::periodic(7 * 3600, 7200),
+            ] {
+                for user in [None, Some(tr.user())] {
+                    for beta in [None, Some(5u32)] {
+                        let mut spq = Spq::new(path.clone(), interval);
+                        if let Some(u) = user {
+                            spq = spq.with_user(u);
+                        }
+                        spq.beta = beta;
+                        let a = full.get_travel_times(&spq);
+                        let b = incremental.get_travel_times(&spq);
+                        assert_eq!(sorted(a.values), sorted(b.values), "{tree:?} {spq:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_appends_accumulate_partitions() {
+    let (syn, set) = small_world();
+    let first = prefix_set(&set, set.len() / 3);
+    let two_thirds = prefix_set(&set, set.len() * 2 / 3);
+    let mut index = SntIndex::build(&syn.network, &first, SntConfig::default());
+    index.append_batch(&two_thirds);
+    index.append_batch(&set);
+    assert_eq!(index.num_partitions(), 3);
+    assert_eq!(index.num_trajectories(), set.len());
+    // Appending when nothing is new is a no-op.
+    assert_eq!(index.append_batch(&set), 0);
+    assert_eq!(index.num_partitions(), 3);
+
+    // Equivalence with a from-scratch build over everything.
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default());
+    for tr in set.iter().step_by(113).take(10) {
+        let spq = Spq::new(tr.path(), TimeInterval::fixed(0, i64::MAX / 2));
+        assert_eq!(
+            sorted(index.get_travel_times(&spq).values),
+            sorted(full.get_travel_times(&spq).values)
+        );
+    }
+}
+
+#[test]
+fn appended_partitions_feed_the_accurate_estimator() {
+    let (syn, set) = small_world();
+    let mut index = SntIndex::build(&syn.network, &prefix_set(&set, set.len() / 2), SntConfig::default());
+    index.append_batch(&set);
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default());
+    for tr in set.iter().step_by(97).take(10) {
+        let spq = Spq::new(
+            tr.path(),
+            TimeInterval::periodic_around(tr.start_time(), 1800),
+        );
+        let a = tthr::core::estimate_cardinality(&index, &spq, CardinalityMode::CssAcc);
+        let b = tthr::core::estimate_cardinality(&full, &spq, CardinalityMode::CssAcc);
+        // The appended index aggregates per-partition selectivities
+        // (Σ_w c_w · sel_w) while FULL uses one global histogram
+        // (c · sel) — close but not identical whenever the halves have
+        // different time-of-day mixes. Both must be sane and near.
+        let tol = 0.25 * b.max(1.0);
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn overlapping_batch_times_are_merged() {
+    // Trajectory ids are generated day-by-day but start times interleave
+    // within a day, so an id-prefix cut always produces an overlapping time
+    // range at the boundary — exactly what the forest merge handles.
+    let (syn, set) = small_world();
+    let n = set.len() / 2 + 1;
+    let prefix = prefix_set(&set, n);
+    let overlap_exists = set
+        .iter()
+        .skip(n)
+        .any(|tr| tr.start_time() < prefix.iter().map(|t| t.start_time()).max().unwrap());
+    assert!(overlap_exists, "fixture should produce a boundary overlap");
+    let mut index = SntIndex::build(&syn.network, &prefix, SntConfig::default());
+    index.append_batch(&set);
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default());
+    for tr in set.iter().step_by(37).take(25) {
+        let spq = Spq::new(
+            tr.path(),
+            TimeInterval::periodic_around(tr.start_time(), 7200),
+        )
+        .with_beta(10);
+        assert_eq!(
+            sorted(index.get_travel_times(&spq).values),
+            sorted(full.get_travel_times(&spq).values)
+        );
+    }
+}
+
+#[test]
+fn append_into_empty_index() {
+    let (syn, set) = small_world();
+    let empty = TrajectorySet::new();
+    let mut index = SntIndex::build(&syn.network, &empty, SntConfig::default());
+    let appended = index.append_batch(&set);
+    assert_eq!(appended, set.len());
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let tr = set.iter().next().unwrap();
+    let spq = Spq::new(tr.path(), TimeInterval::fixed(0, i64::MAX / 2));
+    assert_eq!(
+        sorted(index.get_travel_times(&spq).values),
+        sorted(full.get_travel_times(&spq).values)
+    );
+    // User table extended correctly.
+    assert_eq!(index.user_of(0), set.get(TrajId(0)).user());
+}

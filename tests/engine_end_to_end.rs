@@ -1,0 +1,186 @@
+//! End-to-end trip-query processing: every π × σ combination terminates,
+//! covers the full path with its final sub-queries, beats the speed-limit
+//! baseline on accuracy, and is unaffected (in results) by estimator gating.
+
+mod common;
+
+use common::small_world;
+use tthr::core::baseline::speed_limit_estimate;
+use tthr::core::{
+    CardinalityMode, PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig, SntIndex,
+    SplitMethod, Spq, TimeInterval,
+};
+use tthr::datagen::sample_query_trajectories;
+use tthr::metrics::{smape, smape_term};
+use tthr::trajectory::{TrajectorySet, Trajectory};
+
+const ALL_PI: [PartitionMethod; 7] = [
+    PartitionMethod::Regular(1),
+    PartitionMethod::Regular(2),
+    PartitionMethod::Regular(3),
+    PartitionMethod::Category,
+    PartitionMethod::Zone,
+    PartitionMethod::ZoneCategory,
+    PartitionMethod::Whole,
+];
+
+/// Builds the paper's query template for a sampled trajectory.
+fn query_for(tr: &Trajectory, beta: u32) -> Spq {
+    Spq::new(tr.path(), TimeInterval::periodic_around(tr.start_time(), 900))
+        .with_beta(beta)
+        .without_trajectory(tr.id())
+}
+
+fn queries(set: &TrajectorySet, n: usize) -> Vec<&Trajectory> {
+    sample_query_trajectories(set, 1.0, 15, 5)
+        .into_iter()
+        .take(n)
+        .map(|id| set.get(id))
+        .collect()
+}
+
+#[test]
+fn every_strategy_terminates_and_covers_the_path() {
+    let (syn, set) = small_world();
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let sample = queries(&set, 8);
+    assert!(!sample.is_empty(), "need query trajectories");
+    for pi in ALL_PI {
+        for sigma in [SplitMethod::Regular, SplitMethod::LongestPrefix] {
+            let engine = QueryEngine::new(
+                &index,
+                &syn.network,
+                QueryEngineConfig {
+                    partition_method: pi,
+                    split_method: sigma,
+                    ..QueryEngineConfig::default()
+                },
+            );
+            for tr in &sample {
+                let q = query_for(tr, 10);
+                let result = engine.trip_query(&q);
+                // The final sub-paths must concatenate to the query path.
+                let rebuilt: Vec<u32> = result
+                    .subs
+                    .iter()
+                    .flat_map(|s| s.path.edges().iter().map(|e| e.0))
+                    .collect();
+                let want: Vec<u32> = q.path.edges().iter().map(|e| e.0).collect();
+                assert_eq!(rebuilt, want, "{pi:?} {sigma:?} must cover the path");
+                // A histogram must exist and the prediction must be positive
+                // and finite.
+                assert!(result.histogram.is_some());
+                let pred = result.predicted_duration();
+                assert!(pred.is_finite() && pred > 0.0);
+                // Prediction should be within a factor 4 of the truth even on
+                // this tiny fixture.
+                let actual = tr.total_duration();
+                assert!(
+                    pred < actual * 4.0 && pred > actual / 4.0,
+                    "{pi:?} {sigma:?}: predicted {pred:.0}s vs actual {actual:.0}s"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_beats_speed_limit_baseline() {
+    let (syn, set) = small_world();
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let engine = QueryEngine::new(&index, &syn.network, QueryEngineConfig::default());
+    let sample = queries(&set, 25);
+    let mut engine_pairs = Vec::new();
+    let mut baseline_pairs = Vec::new();
+    for tr in &sample {
+        let actual = tr.total_duration();
+        let result = engine.trip_query(&query_for(tr, 20));
+        engine_pairs.push((result.predicted_duration(), actual));
+        baseline_pairs.push((speed_limit_estimate(&syn.network, &tr.path()), actual));
+    }
+    let engine_err = smape(&engine_pairs);
+    let baseline_err = smape(&baseline_pairs);
+    assert!(
+        engine_err < baseline_err,
+        "engine sMAPE {engine_err:.1}% must beat speed-limit {baseline_err:.1}%"
+    );
+}
+
+#[test]
+fn estimator_gating_preserves_results() {
+    let (syn, set) = small_world();
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let sample = queries(&set, 10);
+    let plain = QueryEngine::new(&index, &syn.network, QueryEngineConfig::default());
+    let gated = QueryEngine::new(
+        &index,
+        &syn.network,
+        QueryEngineConfig {
+            estimator: Some(CardinalityMode::CssAcc),
+            ..QueryEngineConfig::default()
+        },
+    );
+    for tr in &sample {
+        let q = query_for(tr, 10);
+        let a = plain.trip_query(&q);
+        let b = gated.trip_query(&q);
+        // Estimates may reject sub-queries earlier (changing split paths),
+        // but the prediction must stay close: gate errors only skip index
+        // scans that would have failed anyway, or split marginally viable
+        // sub-queries (Figure 11c shows a negligible accuracy effect).
+        let d = smape_term(a.predicted_duration(), b.predicted_duration());
+        assert!(d < 20.0, "gating changed the prediction by {d:.1}%");
+        assert!(
+            b.stats.index_queries <= a.stats.index_queries + b.stats.estimator_rejections,
+            "gating must not add index scans"
+        );
+    }
+}
+
+#[test]
+fn stats_reflect_processing() {
+    let (syn, set) = small_world();
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let engine = QueryEngine::new(
+        &index,
+        &syn.network,
+        QueryEngineConfig {
+            partition_method: PartitionMethod::Regular(1),
+            ..QueryEngineConfig::default()
+        },
+    );
+    let tr = queries(&set, 1)[0];
+    let q = query_for(tr, 5);
+    let result = engine.trip_query(&q);
+    let s = result.stats;
+    assert_eq!(s.initial_subqueries, tr.len(), "π₁ makes one sub-query per segment");
+    assert_eq!(s.final_subqueries, result.subs.len());
+    assert!(s.index_queries >= s.final_subqueries);
+    // Fallback accounting matches the sub-results.
+    assert_eq!(
+        s.estimate_fallbacks,
+        result.subs.iter().filter(|x| x.fallback).count()
+    );
+}
+
+#[test]
+fn user_filter_queries_work_end_to_end() {
+    let (syn, set) = small_world();
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    for pi in [PartitionMethod::Category, PartitionMethod::MainRoadUser] {
+        let engine = QueryEngine::new(
+            &index,
+            &syn.network,
+            QueryEngineConfig {
+                partition_method: pi,
+                ..QueryEngineConfig::default()
+            },
+        );
+        for tr in queries(&set, 5) {
+            let q = query_for(tr, 10).with_user(tr.user());
+            let result = engine.trip_query(&q);
+            assert!(result.histogram.is_some(), "{pi:?}");
+            assert!(result.predicted_duration() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The preprocessing pipeline end to end: generated ground-truth
+//! trajectories → 1 Hz noisy GPS traces → HMM map-matching → recovered
+//! NCTs. At realistic noise levels the matcher must recover the traversed
+//! edge sequence (minus trimmed boundary segments) and durations close to
+//! ground truth; the recovered set must be indexable and queryable.
+
+mod common;
+
+use common::small_world;
+use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::datagen::gps::trace_from_trajectory;
+use tthr::trajectory::matcher::{MapMatcher, MatcherConfig};
+use tthr::trajectory::TrajectorySet;
+
+#[test]
+fn matcher_recovers_ground_truth_paths() {
+    let (syn, set) = small_world();
+    let mut matcher = MapMatcher::new(&syn.network, MatcherConfig::default());
+    let mut attempted = 0usize;
+    let mut matched = 0usize;
+    let mut edge_hits = 0usize;
+    let mut edge_total = 0usize;
+    for (i, tr) in set.iter().enumerate().step_by(37).take(20) {
+        if tr.len() < 8 {
+            continue;
+        }
+        attempted += 1;
+        let trace = trace_from_trajectory(&syn.network, tr, 4.0, i as u64);
+        let Some(m) = matcher.match_trace(&trace) else {
+            continue;
+        };
+        matched += 1;
+        // The matched edge sequence must be a contiguous sub-path of the
+        // true path (boundary segments may be trimmed).
+        let truth: Vec<u32> = tr.entries().iter().map(|e| e.edge.0).collect();
+        let got: Vec<u32> = m.entries.iter().map(|e| e.edge.0).collect();
+        edge_total += truth.len();
+        if let Some(pos) = truth
+            .windows(got.len().min(truth.len()).max(1))
+            .position(|w| *w == got[..])
+        {
+            edge_hits += got.len();
+            // Durations within 25 % of truth for interior segments.
+            for (k, entry) in m.entries.iter().enumerate().skip(1).take(m.entries.len().saturating_sub(2)) {
+                let true_tt = tr.entries()[pos + k].travel_time;
+                assert!(
+                    (entry.travel_time - true_tt).abs() < true_tt.max(4.0) * 0.5,
+                    "segment duration {:.1} vs truth {true_tt:.1}",
+                    entry.travel_time
+                );
+            }
+        }
+    }
+    assert!(attempted >= 10, "attempted {attempted}");
+    assert!(
+        matched * 10 >= attempted * 8,
+        "matched only {matched}/{attempted} traces"
+    );
+    assert!(
+        edge_hits * 10 >= edge_total * 7,
+        "recovered {edge_hits}/{edge_total} edges"
+    );
+}
+
+#[test]
+fn matched_trajectories_are_indexable() {
+    let (syn, set) = small_world();
+    let mut matcher = MapMatcher::new(&syn.network, MatcherConfig::default());
+    let mut recovered = TrajectorySet::new();
+    for (i, tr) in set.iter().enumerate().step_by(11).take(50) {
+        let trace = trace_from_trajectory(&syn.network, tr, 4.0, 1000 + i as u64);
+        if let Some(m) = matcher.match_trace(&trace) {
+            // Map-matched output satisfies all trajectory invariants.
+            recovered
+                .push(tr.user(), m.entries)
+                .expect("matched output must be a valid trajectory");
+        }
+    }
+    assert!(recovered.len() >= 30, "recovered {}", recovered.len());
+    // The recovered set builds a working index.
+    let index = SntIndex::build(&syn.network, &recovered, SntConfig::default());
+    let probe = recovered.iter().find(|t| t.len() >= 3).expect("a trip");
+    let spq = Spq::new(probe.path(), TimeInterval::fixed(0, i64::MAX / 2));
+    let times = index.get_travel_times(&spq);
+    assert!(!times.is_empty());
+}

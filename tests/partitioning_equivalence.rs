@@ -1,0 +1,151 @@
+//! Temporal partitioning (Section 4.3.2) must not change query answers:
+//! a partitioned index — per-partition FM-indexes, partition-tagged leaves,
+//! per-partition ISA ranges — returns the same travel-time multisets as the
+//! single-partition (`FULL`) configuration.
+
+mod common;
+
+use common::{small_world, sorted};
+use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::network::Path;
+use tthr::trajectory::UserId;
+
+fn paths(set: &tthr::trajectory::TrajectorySet) -> Vec<Path> {
+    set.iter()
+        .step_by(53)
+        .take(25)
+        .map(|tr| tr.path())
+        .collect()
+}
+
+#[test]
+fn partitioned_index_equals_full_index() {
+    let (syn, set) = small_world();
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default());
+    for days in [3u32, 7] {
+        let partitioned = SntIndex::build(
+            &syn.network,
+            &set,
+            SntConfig {
+                partition_days: Some(days),
+                ..SntConfig::default()
+            },
+        );
+        assert!(
+            partitioned.num_partitions() > 1,
+            "{days}-day partitioning must create several partitions"
+        );
+        for path in paths(&set) {
+            // Traversal counts across partitions sum to the FULL count.
+            assert_eq!(
+                partitioned.traversal_count(&path),
+                full.traversal_count(&path),
+                "{path:?}"
+            );
+            for interval in [
+                TimeInterval::fixed(0, i64::MAX / 2),
+                TimeInterval::periodic(7 * 3600, 7200),
+            ] {
+                for user in [None, Some(UserId(1))] {
+                    let mut spq = Spq::new(path.clone(), interval);
+                    if let Some(u) = user {
+                        spq = spq.with_user(u);
+                    }
+                    let a = full.get_travel_times(&spq);
+                    let b = partitioned.get_travel_times(&spq);
+                    assert_eq!(sorted(a.values), sorted(b.values), "{days} days, {spq:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_count_follows_width() {
+    let (syn, set) = small_world();
+    // The small workload spans 21 days.
+    let p7 = SntIndex::build(
+        &syn.network,
+        &set,
+        SntConfig {
+            partition_days: Some(7),
+            ..SntConfig::default()
+        },
+    );
+    assert_eq!(p7.num_partitions(), 3);
+    let p30 = SntIndex::build(
+        &syn.network,
+        &set,
+        SntConfig {
+            partition_days: Some(30),
+            ..SntConfig::default()
+        },
+    );
+    assert_eq!(p30.num_partitions(), 1);
+}
+
+#[test]
+fn partitioning_memory_shape_matches_figure_10a() {
+    // Smaller partitions blow up the segment counters (C grows linearly
+    // with partition count) and degrade wavelet-tree compression, while the
+    // forest stays the same — the qualitative content of Figure 10a.
+    let (syn, set) = small_world();
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default()).memory_report();
+    let p7 = SntIndex::build(
+        &syn.network,
+        &set,
+        SntConfig {
+            partition_days: Some(7),
+            ..SntConfig::default()
+        },
+    )
+    .memory_report();
+    assert!(p7.counts_bytes > 2 * full.counts_bytes, "C must grow with partitions");
+    assert!(p7.wavelet_bytes > full.wavelet_bytes, "WT compression must degrade");
+    assert_eq!(p7.forest_logical_bytes, full.forest_logical_bytes);
+    assert_eq!(p7.user_bytes, full.user_bytes);
+    assert!(p7.forest_logical_bytes > p7.forest_logical_bytes_no_partition);
+}
+
+#[test]
+fn beta_capped_results_are_valid_under_partitioning() {
+    // With β the tie-breaking order can differ between partitioned and FULL
+    // configurations, but every returned value must still be a real
+    // traversal duration of the path, and the count must match.
+    let (syn, set) = small_world();
+    let full = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let partitioned = SntIndex::build(
+        &syn.network,
+        &set,
+        SntConfig {
+            partition_days: Some(7),
+            ..SntConfig::default()
+        },
+    );
+    for path in paths(&set).into_iter().take(10) {
+        let spq = Spq::new(path.clone(), TimeInterval::fixed(0, i64::MAX / 2)).with_beta(5);
+        let a = full.get_travel_times(&spq);
+        let b = partitioned.get_travel_times(&spq);
+        assert_eq!(a.len(), b.len(), "{spq:?}");
+        // All durations must come from actual traversals.
+        let legal: Vec<f64> = set
+            .iter()
+            .flat_map(|tr| {
+                tr.occurrences_of(&path)
+                    .map(|occ| {
+                        tr.entries()[occ..occ + path.len()]
+                            .iter()
+                            .map(|e| e.travel_time)
+                            .sum::<f64>()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for v in &b.values {
+            assert!(
+                legal.iter().any(|l| (l - v).abs() < 1e-6),
+                "value {v} is not a real traversal duration"
+            );
+        }
+    }
+}
