@@ -1,0 +1,65 @@
+//! Service-layer throughput: batches of trip queries through
+//! `QueryService`, uncached vs warm-cache, at 1 / 4 / 8 worker threads.
+//!
+//! The warm-cache configuration must show a large (> 2×) speedup over the
+//! uncached one on a repeated batch: every relaxed sub-query resolves to a
+//! sharded-LRU lookup instead of FM-index backward search plus temporal
+//! forest scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tthr_bench::{query_for, QueryType, Scale, World};
+use tthr_core::Spq;
+use tthr_service::{QueryService, ServiceConfig};
+
+fn make_service(world: &World, threads: usize, cache_capacity: usize) -> QueryService {
+    QueryService::new(
+        world.build_index(Default::default()),
+        Arc::new(world.network().clone()),
+        ServiceConfig {
+            num_threads: threads,
+            cache_capacity,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let queries: Vec<Spq> = world
+        .queries
+        .iter()
+        .take(64)
+        .enumerate()
+        .map(|(i, &id)| {
+            let query_type = if i % 2 == 0 {
+                QueryType::TemporalFilters
+            } else {
+                QueryType::SpqOnly
+            };
+            query_for(&world.set, id, query_type, 900, 20)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("service_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for threads in [1usize, 4, 8] {
+        let uncached = make_service(&world, threads, 0);
+        group.bench_function(BenchmarkId::new("uncached", threads), |b| {
+            b.iter(|| uncached.batch_trip_queries(&queries))
+        });
+
+        let cached = make_service(&world, threads, 1 << 16);
+        // Warm the cache once; iterations then measure the steady state a
+        // long-running service serves repeated traffic from.
+        let _ = cached.batch_trip_queries(&queries);
+        group.bench_function(BenchmarkId::new("warm_cache", threads), |b| {
+            b.iter(|| cached.batch_trip_queries(&queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

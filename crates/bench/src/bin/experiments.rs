@@ -100,13 +100,25 @@ fn figures(world: &World, query_type: QueryType) {
     };
     println!("\n=== Figure 5{suffix} — sMAPE ({}) ===", query_type.name());
     print_metric_table(&rows, "sMAPE %", |r| r.smape);
-    println!("\n=== Figure 6{suffix} — Weighted Error ({}) ===", query_type.name());
+    println!(
+        "\n=== Figure 6{suffix} — Weighted Error ({}) ===",
+        query_type.name()
+    );
     print_metric_table(&rows, "weighted error %", |r| r.weighted);
-    println!("\n=== Figure 7{suffix} — Sub-query Path Length ({}) ===", query_type.name());
+    println!(
+        "\n=== Figure 7{suffix} — Sub-query Path Length ({}) ===",
+        query_type.name()
+    );
     print_metric_table(&rows, "avg segments", |r| r.sub_len);
-    println!("\n=== Figure 8{suffix} — Log-Likelihood ({}) ===", query_type.name());
+    println!(
+        "\n=== Figure 8{suffix} — Log-Likelihood ({}) ===",
+        query_type.name()
+    );
     print_metric_table(&rows, "avg logL", |r| r.log_likelihood);
-    println!("\n=== Figure 9{suffix} — Processing Time ({}) ===", query_type.name());
+    println!(
+        "\n=== Figure 9{suffix} — Processing Time ({}) ===",
+        query_type.name()
+    );
     print_metric_table(&rows, "ms/query", |r| r.ms_per_query);
 }
 
@@ -171,7 +183,10 @@ fn fig10(world: &World) {
     );
 
     println!("\n=== Figure 10b — Time-of-Day Histogram Memory (MiB) ===");
-    println!("{:>10} {:>10} {:>10} {:>10}", "partition", "h=1min", "h=5min", "h=10min");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "partition", "h=1min", "h=5min", "h=10min"
+    );
     for days in partition_days {
         print!("{:>10}", label(days));
         for bucket in [60u32, 300, 600] {
@@ -197,7 +212,10 @@ fn fig11(world: &World) {
 
     // --- 11a: q-error over a mixed periodic/time-frame query sample. ------
     println!("\n=== Figure 11a — Q-Error by Estimator Mode ===");
-    println!("{:>10} {:>10} {:>10} {:>10}", "mode", "median", "p90", "mean");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "mode", "median", "p90", "mean"
+    );
     let mut probes: Vec<Spq> = Vec::new();
     for &id in &world.queries {
         let tr = world.set.get(id);
@@ -226,7 +244,7 @@ fn fig11(world: &World) {
             .zip(&actuals)
             .map(|(q, &n)| q_error(estimate_cardinality(&index, q, mode), n))
             .collect();
-        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        qs.sort_by(f64::total_cmp);
         println!(
             "{:>10} {:>10.2} {:>10.2} {:>10.2}",
             mode.name(),
@@ -332,7 +350,10 @@ fn beta_policy(world: &World) {
     use tthr_core::BetaPolicy;
     let index = world.build_index(SntConfig::default());
     println!("\n=== Extension — Per-Zone β Policy (π_Z σ_R β=20) ===");
-    println!("{:>24} {:>10} {:>12} {:>12}", "policy", "sMAPE %", "avg logL", "ms/query");
+    println!(
+        "{:>24} {:>10} {:>12} {:>12}",
+        "policy", "sMAPE %", "avg logL", "ms/query"
+    );
     for (name, policy) in [
         ("uniform", BetaPolicy::Uniform),
         ("rural ×0.5", BetaPolicy::ZoneScaled { rural_factor: 0.5 }),
@@ -388,6 +409,12 @@ fn self_exclusion(world: &World) {
         with_self.push((engine.trip_query(&q).predicted_duration(), actual));
     }
     println!("\n=== Extension — Self-Exclusion Ablation (π_Z σ_R β=20) ===");
-    println!("including the query's own trajectory: sMAPE = {:.3} %", smape(&with_self));
-    println!("excluding it (all other experiments): sMAPE = {:.3} %", smape(&without_self));
+    println!(
+        "including the query's own trajectory: sMAPE = {:.3} %",
+        smape(&with_self)
+    );
+    println!(
+        "excluding it (all other experiments): sMAPE = {:.3} %",
+        smape(&without_self)
+    );
 }

@@ -90,7 +90,11 @@ impl World {
         let want = scale.num_queries();
         if queries.len() > want {
             let step = queries.len() / want;
-            queries = queries.into_iter().step_by(step.max(1)).take(want).collect();
+            queries = queries
+                .into_iter()
+                .step_by(step.max(1))
+                .take(want)
+                .collect();
         }
         World { syn, set, queries }
     }

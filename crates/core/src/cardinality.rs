@@ -186,8 +186,8 @@ mod tests {
     #[test]
     fn user_filter_applies_selinger_default() {
         let idx = index();
-        let q = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::periodic(0, 3600))
-            .with_user(UserId(1));
+        let q =
+            Spq::new(Path::new(vec![EDGE_A]), TimeInterval::periodic(0, 3600)).with_user(UserId(1));
         let est = estimate_cardinality(&idx, &q, CardinalityMode::BtFast);
         assert!((est - 4.0 / 24.0 * 0.1).abs() < 1e-12);
     }
@@ -205,7 +205,10 @@ mod tests {
             Path::new(vec![EDGE_A]),
             TimeInterval::periodic(12 * 3600, 900),
         );
-        assert_eq!(estimate_cardinality(&idx, &miss, CardinalityMode::CssAcc), 0.0);
+        assert_eq!(
+            estimate_cardinality(&idx, &miss, CardinalityMode::CssAcc),
+            0.0
+        );
         // The fast mode cannot tell the two windows apart.
         assert_eq!(
             estimate_cardinality(&idx, &hit, CardinalityMode::CssFast),

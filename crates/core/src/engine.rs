@@ -8,12 +8,30 @@
 
 use crate::cardinality::{estimate_cardinality, CardinalityMode};
 use crate::partition::{partition_query, PartitionMethod};
-use crate::snt::SntIndex;
+use crate::snt::{SntIndex, TravelTimes};
 use crate::split::{SplitMethod, Splitter};
 use crate::spq::Spq;
 use std::collections::VecDeque;
 use tthr_histogram::Histogram;
 use tthr_network::{Path, RoadNetwork};
+
+/// A source of SPQ travel times.
+///
+/// The engine dispatches every `getTravelTimes` call through this trait, so
+/// the raw [`SntIndex`] can be wrapped — e.g. by the result cache of
+/// `tthr-service` — without the engine knowing. Implementations must answer
+/// exactly like [`SntIndex::get_travel_times`] on the same index state;
+/// the engine's relaxation logic relies on emptiness meaning "relax more".
+pub trait TravelTimeProvider {
+    /// Travel times matching the SPQ (`getTravelTimes`, Procedure 5).
+    fn travel_times(&self, spq: &Spq) -> TravelTimes;
+}
+
+impl TravelTimeProvider for SntIndex {
+    fn travel_times(&self, spq: &Spq) -> TravelTimes {
+        self.get_travel_times(spq)
+    }
+}
 
 /// Per-sub-query cardinality requirements.
 ///
@@ -110,6 +128,37 @@ pub struct QueryStats {
     pub estimate_fallbacks: usize,
 }
 
+impl QueryStats {
+    /// Accumulates another stats record (all counters are additive; the
+    /// partition-level counters `initial_subqueries` / `final_subqueries`
+    /// are summed too, so merge per-chain records into a zeroed total and
+    /// set those two afterwards).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.initial_subqueries += other.initial_subqueries;
+        self.final_subqueries += other.final_subqueries;
+        self.widenings += other.widenings;
+        self.path_splits += other.path_splits;
+        self.filter_drops += other.filter_drops;
+        self.full_fallbacks += other.full_fallbacks;
+        self.estimator_rejections += other.estimator_rejections;
+        self.index_queries += other.index_queries;
+        self.estimate_fallbacks += other.estimate_fallbacks;
+    }
+}
+
+/// The completed relaxation chain of one initial sub-query: everything the
+/// engine derived from it — in path order — plus the processing counters.
+///
+/// Produced by [`QueryEngine::run_chain_via`]; [`QueryEngine::assemble`]
+/// folds the chains of a trip back into a [`TripQuery`].
+#[derive(Clone, Debug)]
+pub struct ChainOutcome {
+    /// Completed sub-results covering the initial sub-query's path.
+    pub subs: Vec<SubResult>,
+    /// Counters for this chain only.
+    pub stats: QueryStats,
+}
+
 /// The answer to a trip query.
 #[derive(Clone, Debug)]
 pub struct TripQuery {
@@ -189,16 +238,23 @@ impl<'a> QueryEngine<'a> {
 
     /// Executes a trip query (Procedure 6, `tripQuery`).
     pub fn trip_query(&self, query: &Spq) -> TripQuery {
+        self.trip_query_via(self.index, query)
+    }
+
+    /// [`trip_query`](Self::trip_query) with travel times answered by an
+    /// arbitrary [`TravelTimeProvider`] (e.g. a result cache over the same
+    /// index). Identical control flow and results.
+    pub fn trip_query_via<P: TravelTimeProvider + ?Sized>(
+        &self,
+        provider: &P,
+        query: &Spq,
+    ) -> TripQuery {
         let mut stats = QueryStats::default();
-        let mut initial = partition_query(self.network, query, self.config.partition_method);
-        for sub in &mut initial {
-            self.apply_beta_policy(sub);
-        }
+        let initial = self.initial_subqueries(query);
         stats.initial_subqueries = initial.len();
 
         // (sub-query, already shift-and-enlarge adapted?)
-        let mut queue: VecDeque<(Spq, bool)> =
-            initial.into_iter().map(|s| (s, false)).collect();
+        let mut queue: VecDeque<(Spq, bool)> = initial.into_iter().map(|s| (s, false)).collect();
         let mut subs: Vec<SubResult> = Vec::new();
         // Shift-and-enlarge accumulators over completed sub-queries:
         // S = Σ H_min, R = Σ (H_max − H_min).
@@ -215,41 +271,128 @@ impl<'a> QueryEngine<'a> {
                 sub = sub.with_interval(sub.interval.shift_and_enlarge(sum_min, sum_range));
             }
 
-            // Estimator gate: relax without scanning when β̂ < β.
-            if let (Some(mode), Some(beta)) = (self.config.estimator, sub.beta) {
-                if sub.interval.is_periodic()
-                    && estimate_cardinality(self.index, &sub, mode) < beta as f64
-                {
-                    stats.estimator_rejections += 1;
-                    self.relax(&sub, &mut queue, &mut stats);
-                    continue;
-                }
+            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats) {
+                sum_min += done.histogram.min_edge().expect("non-empty histogram");
+                sum_range += done.histogram.max_edge().expect("non-empty")
+                    - done.histogram.min_edge().expect("non-empty");
+                subs.push(done);
             }
-
-            stats.index_queries += 1;
-            let times = self.index.get_travel_times(&sub);
-            if times.is_empty() {
-                self.relax(&sub, &mut queue, &mut stats);
-                continue;
-            }
-
-            let histogram = Histogram::from_values(&times.values, self.config.bucket_width);
-            sum_min += histogram.min_edge().expect("non-empty histogram");
-            sum_range += histogram.max_edge().expect("non-empty")
-                - histogram.min_edge().expect("non-empty");
-            if times.fallback {
-                stats.estimate_fallbacks += 1;
-            }
-            subs.push(SubResult {
-                path: sub.path.clone(),
-                mean: times.mean().expect("non-empty travel times"),
-                values: times.values,
-                histogram,
-                fallback: times.fallback,
-            });
         }
 
         stats.final_subqueries = subs.len();
+        Self::convolve_subs(subs, stats)
+    }
+
+    /// The initial partitioning π of a trip query with the β policy applied
+    /// — the sub-queries [`trip_query`](Self::trip_query) starts from.
+    pub fn initial_subqueries(&self, query: &Spq) -> Vec<Spq> {
+        let mut initial = partition_query(self.network, query, self.config.partition_method);
+        for sub in &mut initial {
+            self.apply_beta_policy(sub);
+        }
+        initial
+    }
+
+    /// Whether sub-queries of this trip depend on each other's results.
+    ///
+    /// With shift-and-enlarge active on a periodic query, every sub-query's
+    /// window is adapted using the histograms of the previously completed
+    /// ones (Procedure 6, line 4), forcing sequential execution. Otherwise
+    /// each initial sub-query's relaxation chain is independent: running
+    /// the chains concurrently via [`run_chain_via`](Self::run_chain_via)
+    /// and folding them with [`assemble`](Self::assemble) is result- and
+    /// stats-identical to the sequential [`trip_query`](Self::trip_query).
+    pub fn chains_are_independent(&self, query: &Spq) -> bool {
+        !(self.config.shift_and_enlarge && query.interval.is_periodic())
+    }
+
+    /// Processes one initial sub-query to completion: relaxations (σ)
+    /// replace it depth-first until every piece of its path is answered.
+    /// No window adaptation is applied — callers fan chains out exactly
+    /// when [`chains_are_independent`](Self::chains_are_independent).
+    pub fn run_chain_via<P: TravelTimeProvider + ?Sized>(
+        &self,
+        provider: &P,
+        sub: Spq,
+    ) -> ChainOutcome {
+        let mut stats = QueryStats::default();
+        let mut queue: VecDeque<(Spq, bool)> = VecDeque::from([(sub, true)]);
+        let mut subs: Vec<SubResult> = Vec::new();
+        while let Some((sub, _)) = queue.pop_front() {
+            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats) {
+                subs.push(done);
+            }
+        }
+        ChainOutcome { subs, stats }
+    }
+
+    /// Folds completed chains (in initial sub-query order) into the trip
+    /// answer, merging stats and convolving the normalized histograms.
+    pub fn assemble(&self, chains: Vec<ChainOutcome>) -> TripQuery {
+        let mut stats = QueryStats {
+            initial_subqueries: chains.len(),
+            ..QueryStats::default()
+        };
+        let mut subs = Vec::new();
+        for chain in chains {
+            stats.merge(&chain.stats);
+            subs.extend(chain.subs);
+        }
+        stats.final_subqueries = subs.len();
+        Self::convolve_subs(subs, stats)
+    }
+
+    /// One engine step: estimator gate → index dispatch → either a
+    /// completed [`SubResult`] or σ-relaxation replacements on the queue.
+    fn step<P: TravelTimeProvider + ?Sized>(
+        &self,
+        provider: &P,
+        sub: &Spq,
+        queue: &mut VecDeque<(Spq, bool)>,
+        stats: &mut QueryStats,
+    ) -> Option<SubResult> {
+        // Estimator gate: relax without scanning when β̂ < β.
+        if let (Some(mode), Some(beta)) = (self.config.estimator, sub.beta) {
+            if sub.interval.is_periodic()
+                && estimate_cardinality(self.index, sub, mode) < beta as f64
+            {
+                stats.estimator_rejections += 1;
+                self.relax(sub, queue, stats);
+                return None;
+            }
+        }
+
+        stats.index_queries += 1;
+        let times = provider.travel_times(sub);
+        if times.is_empty() {
+            self.relax(sub, queue, stats);
+            return None;
+        }
+
+        let histogram = Histogram::from_values(&times.values, self.config.bucket_width);
+        if (histogram.total() as usize) < times.values.len() {
+            // `Histogram::from_values` silently drops non-finite values, so
+            // a mass deficit means the provider returned corrupt data
+            // (impossible through `SntIndex` — `Trajectory::new` rejects
+            // non-finite durations at ingest). Treat it like an empty
+            // answer rather than letting a NaN mean or an empty histogram
+            // poison the trip downstream.
+            self.relax(sub, queue, stats);
+            return None;
+        }
+        if times.fallback {
+            stats.estimate_fallbacks += 1;
+        }
+        Some(SubResult {
+            path: sub.path.clone(),
+            mean: times.mean().expect("non-empty travel times"),
+            values: times.values,
+            histogram,
+            fallback: times.fallback,
+        })
+    }
+
+    fn convolve_subs(subs: Vec<SubResult>, stats: QueryStats) -> TripQuery {
         let normalized: Vec<Histogram> = subs.iter().map(|s| s.histogram.normalize()).collect();
         let histogram = Histogram::convolve_all(normalized.iter());
         TripQuery {
@@ -351,7 +494,11 @@ mod tests {
         )
         .with_beta(50);
         let r = engine.trip_query(&q);
-        let rebuilt: Vec<_> = r.subs.iter().flat_map(|s| s.path.edges().to_vec()).collect();
+        let rebuilt: Vec<_> = r
+            .subs
+            .iter()
+            .flat_map(|s| s.path.edges().to_vec())
+            .collect();
         assert_eq!(rebuilt, q.path.edges().to_vec(), "path coverage preserved");
         assert!(r.stats.widenings > 0, "widening attempted first");
         assert!(r.stats.path_splits > 0, "splits follow");

@@ -21,7 +21,7 @@ use tthr_network::{Timestamp, SECONDS_PER_DAY};
 /// // σ widens it symmetrically to the next size in A.
 /// assert_eq!(rush.widen(3600).size(), 3600);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TimeInterval {
     /// `[start, end)` in absolute seconds.
     Fixed {

@@ -48,10 +48,28 @@ mod spq;
 pub mod text;
 
 pub use cardinality::{estimate_cardinality, CardinalityMode};
-pub use engine::{BetaPolicy, QueryEngine, QueryEngineConfig, QueryStats, SubResult, TripQuery};
+pub use engine::{
+    BetaPolicy, ChainOutcome, QueryEngine, QueryEngineConfig, QueryStats, SubResult,
+    TravelTimeProvider, TripQuery,
+};
 pub use interval::TimeInterval;
 pub use partition::{partition_query, PartitionMethod};
 pub use probe::ProbeTable;
 pub use snt::{MemoryReport, SntConfig, SntIndex, TravelTimes, TreeKind, WaveletKind};
 pub use split::{SplitMethod, Splitter};
 pub use spq::{Filter, Spq};
+
+// The service layer shares one index across worker threads; a regression
+// dropping these auto-traits (e.g. by storing an `Rc` somewhere inside the
+// index) must fail to compile, not deadlock review.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SntIndex>();
+    assert_send_sync::<QueryEngine<'static>>();
+    assert_send_sync::<Spq>();
+    assert_send_sync::<TimeInterval>();
+    assert_send_sync::<Filter>();
+    assert_send_sync::<snt::TravelTimes>();
+    assert_send_sync::<TripQuery>();
+    assert_send_sync::<ChainOutcome>();
+};

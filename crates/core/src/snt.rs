@@ -112,9 +112,13 @@ impl TravelTimes {
     }
 
     /// The values sorted ascending (for deterministic assertions).
+    ///
+    /// Uses [`f64::total_cmp`]: a NaN or negative-zero value slipping in
+    /// through corrupt input data yields a deterministic order instead of a
+    /// panic mid-query.
     pub fn sorted(&self) -> Vec<f64> {
         let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("travel times are finite"));
+        v.sort_by(f64::total_cmp);
         v
     }
 }
@@ -318,8 +322,11 @@ impl SntIndex {
         let mut partitions = Vec::with_capacity(num_partitions);
         let mut total_entries = 0usize;
         for (w, group) in groups.iter().enumerate() {
-            let (txt, starts) =
-                text::build_text(group.iter().map(|&id| trajectories.get(tthr_trajectory::TrajId(id))));
+            let (txt, starts) = text::build_text(
+                group
+                    .iter()
+                    .map(|&id| trajectories.get(tthr_trajectory::TrajId(id))),
+            );
             let (fm, isa) = FmVariant::build(config.wavelet, &txt, sigma);
             for (gi, &id) in group.iter().enumerate() {
                 let tr = trajectories.get(tthr_trajectory::TrajId(id));
@@ -487,8 +494,7 @@ impl SntIndex {
         };
         let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
             tree.scan_range(lo, hi, &mut |r| {
-                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj)
-                {
+                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj) {
                     map.insert(r.traj, r.seq, r.antecedent());
                     if map.len() >= cap {
                         return ControlFlow::Break(());
@@ -585,8 +591,7 @@ impl SntIndex {
         let mut n = 0usize;
         let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
             tree.scan_range(lo, hi, &mut |r| {
-                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj)
-                {
+                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj) {
                     n += 1;
                     if n >= cap as usize {
                         return ControlFlow::Break(());
@@ -632,8 +637,11 @@ impl SntIndex {
 
         // FM-index over the batch's own trajectory string.
         let sigma = self.estimate_tt.len() as u32 + 1;
-        let (txt, starts) =
-            text::build_text(new_ids.iter().map(|&id| set.get(tthr_trajectory::TrajId(id))));
+        let (txt, starts) = text::build_text(
+            new_ids
+                .iter()
+                .map(|&id| set.get(tthr_trajectory::TrajId(id))),
+        );
         let (fm, isa) = FmVariant::build(self.config.wavelet, &txt, sigma);
 
         // Collect the batch's leaves per edge, then append in time order.
@@ -772,11 +780,7 @@ mod tests {
         assert_eq!(idx.get_travel_times(&q).sorted(), vec![10.0, 11.0]);
         // Q1 = spq(⟨A,B⟩, [0,15), ∅, 3) → {6, 6, 7} and
         // Q2 = spq(⟨E⟩, [0,15), ∅, 3) → {4, 4, 5}.
-        let q1 = Spq::new(
-            Path::new(vec![EDGE_A, EDGE_B]),
-            TimeInterval::fixed(0, 15),
-        )
-        .with_beta(3);
+        let q1 = Spq::new(Path::new(vec![EDGE_A, EDGE_B]), TimeInterval::fixed(0, 15)).with_beta(3);
         assert_eq!(idx.get_travel_times(&q1).sorted(), vec![6.0, 6.0, 7.0]);
         let q2 = Spq::new(Path::new(vec![EDGE_E]), TimeInterval::fixed(0, 15)).with_beta(3);
         assert_eq!(idx.get_travel_times(&q2).sorted(), vec![4.0, 4.0, 5.0]);
@@ -796,11 +800,8 @@ mod tests {
     fn periodic_beta_miss_returns_empty_but_fixed_does_not() {
         let idx = index();
         // Only one trajectory (tr2) traverses F.
-        let periodic = Spq::new(
-            Path::new(vec![EDGE_F]),
-            TimeInterval::periodic(0, 900),
-        )
-        .with_beta(3);
+        let periodic =
+            Spq::new(Path::new(vec![EDGE_F]), TimeInterval::periodic(0, 900)).with_beta(3);
         assert!(idx.get_travel_times(&periodic).is_empty());
         // A fixed interval is processed regardless of β (Procedure 5, l. 7).
         let fixed = Spq::new(Path::new(vec![EDGE_F]), TimeInterval::fixed(0, 100)).with_beta(3);
@@ -867,7 +868,11 @@ mod tests {
     #[test]
     fn empty_index_answers_gracefully() {
         let net = example_network();
-        let idx = SntIndex::build(&net, &tthr_trajectory::TrajectorySet::new(), SntConfig::default());
+        let idx = SntIndex::build(
+            &net,
+            &tthr_trajectory::TrajectorySet::new(),
+            SntConfig::default(),
+        );
         assert_eq!(idx.num_partitions(), 1);
         let q = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::periodic(0, 900));
         assert!(idx.get_travel_times(&q).is_empty());

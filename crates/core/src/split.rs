@@ -179,7 +179,11 @@ mod tests {
         .with_beta(5);
         let out = s.split(&idx, &q);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].interval.size(), 1800, "widened to the next size in A");
+        assert_eq!(
+            out[0].interval.size(),
+            1800,
+            "widened to the next size in A"
+        );
         assert_eq!(out[0].path, q.path, "path untouched while widening");
     }
 

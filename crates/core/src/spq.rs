@@ -9,7 +9,7 @@ use tthr_trajectory::{TrajId, UserId};
 /// The paper's experiments use either no predicate or a user (driver)
 /// predicate; the engine evaluates it in constant time against the dense
 /// `U : d → u` table (Section 4.1.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Filter {
     /// No filter: `f = ∅`.
     #[default]
@@ -28,7 +28,11 @@ impl Filter {
 /// A strict path query `spq(P, I, f, β)` (paper, Section 2.3): retrieve the
 /// travel times of up to `β` trajectories that traversed `P` without
 /// detours, entered it during `I`, and satisfy `f`.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Spq` is `Hash + Eq` over all five components, so a query — original or
+/// relaxed — can serve directly as a result-cache key (`tthr-service` keys
+/// its sharded histogram cache on it).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Spq {
     /// The query path `P`.
     pub path: Path,

@@ -63,7 +63,10 @@ pub fn trace_from_trajectory(
         let ts = (last.enter_time as f64 + last.travel_time).ceil() as i64;
         if points.last().map(|p| p.time < ts).unwrap_or(false) {
             points.push(GpsPoint::new(
-                Point::new(b.x + gauss(&mut rng) * sigma_m, b.y + gauss(&mut rng) * sigma_m),
+                Point::new(
+                    b.x + gauss(&mut rng) * sigma_m,
+                    b.y + gauss(&mut rng) * sigma_m,
+                ),
                 ts,
             ));
         }
@@ -99,7 +102,10 @@ mod tests {
             }
         }
         let checked = trace.points().iter().step_by(5).count();
-        assert!(near * 10 >= checked * 9, "{near}/{checked} fixes near roads");
+        assert!(
+            near * 10 >= checked * 9,
+            "{near}/{checked} fixes near roads"
+        );
     }
 
     #[test]

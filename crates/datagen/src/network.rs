@@ -7,7 +7,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tthr_network::{Category, EdgeAttrs, EdgeId, NetworkBuilder, Point, RoadNetwork, VertexId, Zone};
+use tthr_network::{
+    Category, EdgeAttrs, EdgeId, NetworkBuilder, Point, RoadNetwork, VertexId, Zone,
+};
 
 /// Network generator parameters.
 #[derive(Clone, Debug)]
@@ -120,7 +122,7 @@ pub fn generate_network(config: &NetworkConfig) -> SyntheticNetwork {
         let from = cities[ci].east_gate;
         let to = cities[ci + 1].west_gate;
         let attach_summer = config.summer_every > 0 && ci % config.summer_every == 0;
-        let summer = build_corridor(&mut b, &mut rng, from, to, attach_summer);
+        let summer = build_corridor(&mut b, &mut rng, from, to, corridor_len, attach_summer);
         summer_vertices.extend(summer);
     }
 
@@ -192,21 +194,18 @@ fn build_city(
         }
     };
 
-    let add_street = |b: &mut NetworkBuilder,
-                          rng: &mut StdRng,
-                          u: VertexId,
-                          v: VertexId,
-                          line_idx: usize| {
-        let (cat, speed) = class_of(line_idx, rng);
-        // Minor roads are sometimes untagged in OSM; reproduce that so the
-        // category-median fallback is exercised.
-        let minor = matches!(
-            cat,
-            Category::Residential | Category::LivingStreet | Category::Tertiary
-        );
-        let tagged = !(minor && rng.gen_bool(config.untagged_fraction));
-        two_way(b, u, v, cat, Zone::City, tagged.then_some(speed), block);
-    };
+    let add_street =
+        |b: &mut NetworkBuilder, rng: &mut StdRng, u: VertexId, v: VertexId, line_idx: usize| {
+            let (cat, speed) = class_of(line_idx, rng);
+            // Minor roads are sometimes untagged in OSM; reproduce that so the
+            // category-median fallback is exercised.
+            let minor = matches!(
+                cat,
+                Category::Residential | Category::LivingStreet | Category::Tertiary
+            );
+            let tagged = !(minor && rng.gen_bool(config.untagged_fraction));
+            two_way(b, u, v, cat, Zone::City, tagged.then_some(speed), block);
+        };
 
     // Horizontal streets (row gy), vertical streets (column gx).
     for gy in 0..n {
@@ -240,18 +239,38 @@ fn build_corridor(
     rng: &mut StdRng,
     from: VertexId,
     to: VertexId,
+    nominal_len: f64,
     attach_summer: bool,
 ) -> Vec<VertexId> {
     let p_from = b_position(b, from);
     let p_to = b_position(b, to);
     let dist = p_from.distance(&p_to);
-    let segments = ((dist / 800.0).round() as usize).max(2);
+    // Segment counts derive from the nominal (config-determined) corridor
+    // length, not the jittered gate distance: the seed perturbs geometry
+    // only, never the topology.
+    let segments = ((nominal_len / 800.0).round() as usize).max(2);
 
     // Ramp vertices just outside the gates.
     let ramp_a = b.add_vertex(p_from.lerp(&p_to, 120.0 / dist));
     let ramp_b = b.add_vertex(p_to.lerp(&p_from, 120.0 / dist));
-    two_way(b, from, ramp_a, Category::MotorwayLink, Zone::Ambiguous, Some(60.0), 120.0);
-    two_way(b, ramp_b, to, Category::MotorwayLink, Zone::Ambiguous, Some(60.0), 120.0);
+    two_way(
+        b,
+        from,
+        ramp_a,
+        Category::MotorwayLink,
+        Zone::Ambiguous,
+        Some(60.0),
+        120.0,
+    );
+    two_way(
+        b,
+        ramp_b,
+        to,
+        Category::MotorwayLink,
+        Zone::Ambiguous,
+        Some(60.0),
+        120.0,
+    );
 
     // Motorway segments between the ramps.
     let pa = b_position(b, ramp_a);
@@ -261,13 +280,29 @@ fn build_corridor(
     let mut mid_vertex = ramp_a;
     for s in 1..segments {
         let v = b.add_vertex(pa.lerp(&pb, s as f64 / segments as f64));
-        two_way(b, prev, v, Category::Motorway, Zone::Rural, Some(110.0), seg_len);
+        two_way(
+            b,
+            prev,
+            v,
+            Category::Motorway,
+            Zone::Rural,
+            Some(110.0),
+            seg_len,
+        );
         if s == segments / 2 {
             mid_vertex = v;
         }
         prev = v;
     }
-    two_way(b, prev, ramp_b, Category::Motorway, Zone::Rural, Some(110.0), seg_len);
+    two_way(
+        b,
+        prev,
+        ramp_b,
+        Category::Motorway,
+        Zone::Rural,
+        Some(110.0),
+        seg_len,
+    );
 
     // Parallel rural road (offset northwards), slower but ramp-free.
     let offset = 350.0;
@@ -276,20 +311,47 @@ fn build_corridor(
     for s in 1..rural_segments {
         let t = s as f64 / rural_segments as f64;
         let base = p_from.lerp(&p_to, t);
-        let v = b.add_vertex(Point::new(base.x, base.y + offset + rng.gen_range(-30.0..30.0)));
+        let v = b.add_vertex(Point::new(
+            base.x,
+            base.y + offset + rng.gen_range(-30.0..30.0),
+        ));
         let len = p_from.distance(&p_to) / rural_segments as f64;
-        two_way(b, rprev, v, Category::Secondary, Zone::Rural, Some(80.0), len);
+        two_way(
+            b,
+            rprev,
+            v,
+            Category::Secondary,
+            Zone::Rural,
+            Some(80.0),
+            len,
+        );
         rprev = v;
     }
     let len = p_from.distance(&p_to) / rural_segments as f64;
-    two_way(b, rprev, to, Category::Secondary, Zone::Rural, Some(80.0), len);
+    two_way(
+        b,
+        rprev,
+        to,
+        Category::Secondary,
+        Zone::Rural,
+        Some(80.0),
+        len,
+    );
 
     // Summer-house pocket off the middle of the motorway via a spur.
     let mut pocket = Vec::new();
     if attach_summer {
         let anchor = b_position(b, mid_vertex);
         let spur_end = b.add_vertex(Point::new(anchor.x, anchor.y - 900.0));
-        two_way(b, mid_vertex, spur_end, Category::Tertiary, Zone::Ambiguous, Some(60.0), 900.0);
+        two_way(
+            b,
+            mid_vertex,
+            spur_end,
+            Category::Tertiary,
+            Zone::Ambiguous,
+            Some(60.0),
+            900.0,
+        );
         // A 3×3 grid of living streets.
         let m = 3usize;
         let mut grid = vec![vec![VertexId(0); m]; m];
@@ -303,15 +365,39 @@ fn build_corridor(
                 pocket.push(v);
             }
         }
-        two_way(b, spur_end, grid[0][1], Category::LivingStreet, Zone::SummerHouse, Some(30.0), 100.0);
+        two_way(
+            b,
+            spur_end,
+            grid[0][1],
+            Category::LivingStreet,
+            Zone::SummerHouse,
+            Some(30.0),
+            100.0,
+        );
         for gy in 0..m {
             for gx in 0..m - 1 {
-                two_way(b, grid[gy][gx], grid[gy][gx + 1], Category::LivingStreet, Zone::SummerHouse, Some(30.0), 120.0);
+                two_way(
+                    b,
+                    grid[gy][gx],
+                    grid[gy][gx + 1],
+                    Category::LivingStreet,
+                    Zone::SummerHouse,
+                    Some(30.0),
+                    120.0,
+                );
             }
         }
         for gx in 0..m {
             for gy in 0..m - 1 {
-                two_way(b, grid[gy][gx], grid[gy + 1][gx], Category::LivingStreet, Zone::SummerHouse, Some(30.0), 120.0);
+                two_way(
+                    b,
+                    grid[gy][gx],
+                    grid[gy + 1][gx],
+                    Category::LivingStreet,
+                    Zone::SummerHouse,
+                    Some(30.0),
+                    120.0,
+                );
             }
         }
     }

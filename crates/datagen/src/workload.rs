@@ -222,20 +222,28 @@ pub fn generate_workload(syn: &SyntheticNetwork, config: &WorkloadConfig) -> Tra
             let user = UserId(di as u32);
             if weekday {
                 if let Some(route) = driver.home_work.clone() {
-                    let depart =
-                        day as f64 * SECONDS_PER_DAY as f64 + driver.morning_sod + rng.gen_range(-480.0..480.0);
-                    push_trip(&mut set, net, &mut rng, config, driver, user, &route, depart);
+                    let depart = day as f64 * SECONDS_PER_DAY as f64
+                        + driver.morning_sod
+                        + rng.gen_range(-480.0..480.0);
+                    push_trip(
+                        &mut set, net, &mut rng, config, driver, user, &route, depart,
+                    );
                 }
                 if let Some(route) = driver.work_home.clone() {
-                    let depart =
-                        day as f64 * SECONDS_PER_DAY as f64 + driver.evening_sod + rng.gen_range(-600.0..600.0);
-                    push_trip(&mut set, net, &mut rng, config, driver, user, &route, depart);
+                    let depart = day as f64 * SECONDS_PER_DAY as f64
+                        + driver.evening_sod
+                        + rng.gen_range(-600.0..600.0);
+                    push_trip(
+                        &mut set, net, &mut rng, config, driver, user, &route, depart,
+                    );
                 }
                 if rng.gen_bool(config.errand_probability) {
                     if let Some(route) = random_route(syn, &mut rng, &mut router, driver.home) {
-                        let depart = day as f64 * SECONDS_PER_DAY as f64
-                            + rng.gen_range(9.5..20.0) * 3600.0;
-                        push_trip(&mut set, net, &mut rng, config, driver, user, &route, depart);
+                        let depart =
+                            day as f64 * SECONDS_PER_DAY as f64 + rng.gen_range(9.5..20.0) * 3600.0;
+                        push_trip(
+                            &mut set, net, &mut rng, config, driver, user, &route, depart,
+                        );
                     }
                 }
             } else if rng.gen_bool(config.weekend_trip_probability) {
@@ -252,7 +260,9 @@ pub fn generate_workload(syn: &SyntheticNetwork, config: &WorkloadConfig) -> Tra
                 {
                     let depart =
                         day as f64 * SECONDS_PER_DAY as f64 + rng.gen_range(9.0..17.0) * 3600.0;
-                    push_trip(&mut set, net, &mut rng, config, driver, user, &route, depart);
+                    push_trip(
+                        &mut set, net, &mut rng, config, driver, user, &route, depart,
+                    );
                 }
             }
         }
@@ -318,7 +328,8 @@ fn push_trip(
         prev_edge = Some(e);
     }
     if !entries.is_empty() {
-        set.push(user, entries).expect("synthesized trips are valid");
+        set.push(user, entries)
+            .expect("synthesized trips are valid");
     }
 }
 

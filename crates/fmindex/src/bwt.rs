@@ -51,10 +51,7 @@ mod tests {
         let sa = suffix_array(&text);
         let bwt = bwt_from_sa(&text, &sa);
         // EFEE$$$$AAAACBDBB
-        assert_eq!(
-            bwt,
-            vec![5, 6, 5, 5, 0, 0, 0, 0, 1, 1, 1, 1, 3, 2, 4, 2, 2]
-        );
+        assert_eq!(bwt, vec![5, 6, 5, 5, 0, 0, 0, 0, 1, 1, 1, 1, 3, 2, 4, 2, 2]);
     }
 
     #[test]

@@ -192,7 +192,9 @@ mod tests {
         if pattern.is_empty() || pattern.len() > text.len() {
             return 0;
         }
-        text.windows(pattern.len()).filter(|w| *w == pattern).count()
+        text.windows(pattern.len())
+            .filter(|w| *w == pattern)
+            .count()
     }
 
     #[test]

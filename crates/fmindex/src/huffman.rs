@@ -54,7 +54,9 @@ impl HuffmanWaveletTree {
         for &s in sequence {
             counts[s as usize] += 1;
         }
-        let present: Vec<u32> = (0..sigma as u32).filter(|&s| counts[s as usize] > 0).collect();
+        let present: Vec<u32> = (0..sigma as u32)
+            .filter(|&s| counts[s as usize] > 0)
+            .collect();
 
         let mut tree = HuffmanWaveletTree {
             nodes: Vec::new(),
@@ -138,7 +140,10 @@ impl HuffmanWaveletTree {
                     lo.push(s);
                 }
             }
-            let (left, right) = (tree.nodes[node as usize].left, tree.nodes[node as usize].right);
+            let (left, right) = (
+                tree.nodes[node as usize].left,
+                tree.nodes[node as usize].right,
+            );
             tree.nodes[node as usize].bv = bv;
             if let Child::Internal(i) = left {
                 build_stack.push((i, lo, depth + 1));
@@ -153,7 +158,11 @@ impl HuffmanWaveletTree {
 
     /// The code length (tree depth) of a symbol, if present.
     pub fn code_len(&self, c: u32) -> Option<u8> {
-        self.codes.get(c as usize).copied().flatten().map(|(_, l)| l)
+        self.codes
+            .get(c as usize)
+            .copied()
+            .flatten()
+            .map(|(_, l)| l)
     }
 }
 
@@ -258,7 +267,11 @@ mod tests {
         }
         for c in 0..8 {
             for pos in 0..=seq.len() {
-                assert_eq!(wt.rank(c, pos), reference_rank(&seq, c, pos), "rank({c},{pos})");
+                assert_eq!(
+                    wt.rank(c, pos),
+                    reference_rank(&seq, c, pos),
+                    "rank({c},{pos})"
+                );
             }
         }
     }
@@ -271,7 +284,10 @@ mod tests {
         let wt = HuffmanWaveletTree::new(&seq, 8);
         let len1 = wt.code_len(1).unwrap();
         let len7 = wt.code_len(7).unwrap();
-        assert!(len1 < len7, "frequent symbol: {len1} bits, rare: {len7} bits");
+        assert!(
+            len1 < len7,
+            "frequent symbol: {len1} bits, rare: {len7} bits"
+        );
         assert_eq!(wt.code_len(0), None, "absent symbol has no code");
     }
 

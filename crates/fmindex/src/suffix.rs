@@ -181,10 +181,7 @@ fn sais(text: &[usize], k: usize) -> Vec<usize> {
         // LMS position is the sentinel (name 0, unique by construction).
         let reduced: Vec<usize> = lms_positions.iter().map(|&p| name_of[p]).collect();
         let reduced_sa = sais(&reduced, names);
-        reduced_sa
-            .into_iter()
-            .map(|r| lms_positions[r])
-            .collect()
+        reduced_sa.into_iter().map(|r| lms_positions[r]).collect()
     };
 
     // --- Final induction with exactly sorted LMS suffixes. -------------------

@@ -129,7 +129,11 @@ mod tests {
         }
         for c in 0..8 {
             for pos in 0..=seq.len() {
-                assert_eq!(wm.rank(c, pos), reference_rank(&seq, c, pos), "rank({c},{pos})");
+                assert_eq!(
+                    wm.rank(c, pos),
+                    reference_rank(&seq, c, pos),
+                    "rank({c},{pos})"
+                );
             }
         }
     }

@@ -56,10 +56,11 @@ impl Histogram {
         h
     }
 
-    /// Bucket index of a value.
+    /// Bucket index of a value. Negative values (including `-0.0`) clamp to
+    /// bucket 0 via the saturating float→int cast.
     #[inline]
     fn bucket_of(&self, value: f64) -> u64 {
-        debug_assert!(value >= 0.0 && value.is_finite(), "value must be finite non-negative");
+        debug_assert!(value >= 0.0, "value must be non-negative, got {value}");
         (value / self.bucket_width) as u64
     }
 
@@ -69,7 +70,15 @@ impl Histogram {
     }
 
     /// Adds an observation with a fractional weight.
+    ///
+    /// Non-finite values are dropped (debug builds assert): a NaN or
+    /// infinite travel time produced by corrupt input must not panic the
+    /// retrieval path or blow up the bucket range.
     pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        if !value.is_finite() {
+            debug_assert!(false, "non-finite histogram value {value}");
+            return;
+        }
         let b = self.bucket_of(value);
         if self.counts.is_empty() {
             self.start_bucket = b;
@@ -106,9 +115,10 @@ impl Histogram {
         self.total == 0.0
     }
 
-    /// Mass of the bucket containing `value`.
+    /// Mass of the bucket containing `value`. Non-finite and negative
+    /// lookups hold no mass.
     pub fn count_at(&self, value: f64) -> f64 {
-        if self.counts.is_empty() || value < 0.0 {
+        if self.counts.is_empty() || !value.is_finite() || value < 0.0 {
             return 0.0;
         }
         let b = self.bucket_of(value);
@@ -125,7 +135,11 @@ impl Histogram {
         if self.counts.is_empty() || hi <= lo {
             return 0.0;
         }
-        let lo_b = if lo <= 0.0 { 0 } else { (lo / self.bucket_width).ceil() as u64 };
+        let lo_b = if lo <= 0.0 {
+            0
+        } else {
+            (lo / self.bucket_width).ceil() as u64
+        };
         let hi_b = if hi <= 0.0 {
             0
         } else {
@@ -279,7 +293,11 @@ mod tests {
         assert_eq!(h.count_range(30.0, 20.0), 0.0);
         // Partial bucket overlap counts only buckets whose lower edge is in
         // range.
-        assert_eq!(h.count_range(5.0, 15.0), 1.0, "only bucket [10,20) starts in [5,15)");
+        assert_eq!(
+            h.count_range(5.0, 15.0),
+            1.0,
+            "only bucket [10,20) starts in [5,15)"
+        );
     }
 
     #[test]

@@ -98,7 +98,9 @@ mod tests {
         let pdf = SmoothedPdf::new(&h, 0.9, 0.0, 200.0);
         // All histogram mass lies inside [0, 200): summing bucket masses over
         // the 20 support buckets yields γ·1 + (1−γ)·1 = 1.
-        let sum: f64 = (0..20).map(|i| pdf.bucket_mass(i as f64 * 10.0 + 5.0)).sum();
+        let sum: f64 = (0..20)
+            .map(|i| pdf.bucket_mass(i as f64 * 10.0 + 5.0))
+            .sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
     }
 

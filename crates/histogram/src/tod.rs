@@ -124,7 +124,7 @@ mod tests {
         h.add(23 * 3600 + 55 * 60); // 23:55
         h.add(10 * 60); // 00:10
         h.add(12 * 3600); // noon
-        // Window 23:50 → 00:20 catches the two boundary traversals.
+                          // Window 23:50 → 00:20 catches the two boundary traversals.
         assert_eq!(h.count_range(23 * 3600 + 50 * 60, 20 * 60), 2);
         assert!((h.selectivity(23 * 3600 + 50 * 60, 20 * 60) - 2.0 / 3.0).abs() < 1e-12);
     }

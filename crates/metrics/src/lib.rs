@@ -84,9 +84,56 @@ pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of a sample, `p ∈ [0, 100]`; 0 for an empty
+/// sample. Sorts a copy with [`f64::total_cmp`], so NaN inputs cannot
+/// panic (they sort last).
+///
+/// Used by the service layer's latency summaries (p50/p95/p99).
+pub fn percentile<I: IntoIterator<Item = f64>>(values: I, p: f64) -> f64 {
+    let mut v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    percentile_of_sorted(&v, p)
+}
+
+/// [`percentile`] over an already ascending-sorted sample (avoids re-sorting
+/// when several percentiles are read from one sample).
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(v.clone(), 50.0), 50.0);
+        assert_eq!(percentile(v.clone(), 95.0), 95.0);
+        assert_eq!(percentile(v.clone(), 99.0), 99.0);
+        assert_eq!(percentile(v.clone(), 100.0), 100.0);
+        assert_eq!(percentile(v, 0.0), 1.0);
+        // Order-independent, small samples, empties.
+        assert_eq!(percentile([3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile([42.0], 99.0), 42.0);
+        assert_eq!(percentile(std::iter::empty(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_sorted_matches() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0] {
+            assert_eq!(percentile_of_sorted(&v, p), percentile(v, p));
+        }
+    }
 
     #[test]
     fn smape_basics() {

@@ -46,14 +46,41 @@ pub fn example_network() -> RoadNetwork {
     let v4 = b.add_vertex(Point::new(1120.0, 0.0));
     let v5 = b.add_vertex(Point::new(1100.0, -790.0));
 
-    let a = b.add_edge(v0, v1, EdgeAttrs::new(Category::Motorway, Zone::Rural, 110.0, 900.0));
-    let bb = b.add_edge(v1, v2, EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 120.0));
-    let c = b.add_edge(v1, v3, EdgeAttrs::new(Category::Secondary, Zone::City, 30.0, 40.0));
-    let d = b.add_edge(v3, v2, EdgeAttrs::new(Category::Secondary, Zone::City, 30.0, 80.0));
-    let e = b.add_edge(v2, v4, EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0));
-    let f = b.add_edge(v2, v5, EdgeAttrs::new(Category::Primary, Zone::Rural, 80.0, 800.0));
+    let a = b.add_edge(
+        v0,
+        v1,
+        EdgeAttrs::new(Category::Motorway, Zone::Rural, 110.0, 900.0),
+    );
+    let bb = b.add_edge(
+        v1,
+        v2,
+        EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 120.0),
+    );
+    let c = b.add_edge(
+        v1,
+        v3,
+        EdgeAttrs::new(Category::Secondary, Zone::City, 30.0, 40.0),
+    );
+    let d = b.add_edge(
+        v3,
+        v2,
+        EdgeAttrs::new(Category::Secondary, Zone::City, 30.0, 80.0),
+    );
+    let e = b.add_edge(
+        v2,
+        v4,
+        EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0),
+    );
+    let f = b.add_edge(
+        v2,
+        v5,
+        EdgeAttrs::new(Category::Primary, Zone::Rural, 80.0, 800.0),
+    );
 
-    debug_assert_eq!((a, bb, c, d, e, f), (EDGE_A, EDGE_B, EDGE_C, EDGE_D, EDGE_E, EDGE_F));
+    debug_assert_eq!(
+        (a, bb, c, d, e, f),
+        (EDGE_A, EDGE_B, EDGE_C, EDGE_D, EDGE_E, EDGE_F)
+    );
     b.build()
 }
 

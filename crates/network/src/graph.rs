@@ -287,7 +287,7 @@ fn median(values: &mut [f64]) -> Option<f64> {
         return None;
     }
     let mid = (values.len() - 1) / 2;
-    values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN speed limits"));
+    values.sort_unstable_by(f64::total_cmp);
     Some(values[mid])
 }
 
@@ -301,8 +301,16 @@ mod tests {
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(100.0, 0.0));
         let v2 = b.add_vertex(Point::new(200.0, 0.0));
-        let e0 = b.add_edge(v0, v1, EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0));
-        let e1 = b.add_edge(v1, v2, EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0));
+        let e0 = b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0),
+        );
+        let e1 = b.add_edge(
+            v1,
+            v2,
+            EdgeAttrs::new(Category::Primary, Zone::City, 50.0, 100.0),
+        );
         (b.build(), e0, e1)
     }
 
@@ -332,11 +340,26 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(100.0, 0.0));
-        b.add_edge(v0, v1, EdgeAttrs::new(Category::Residential, Zone::City, 30.0, 100.0));
-        b.add_edge(v0, v1, EdgeAttrs::new(Category::Residential, Zone::City, 50.0, 100.0));
-        b.add_edge(v0, v1, EdgeAttrs::new(Category::Residential, Zone::City, 40.0, 100.0));
-        let untagged =
-            b.add_edge(v0, v1, EdgeAttrs::without_speed_limit(Category::Residential, Zone::City, 200.0));
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::new(Category::Residential, Zone::City, 30.0, 100.0),
+        );
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::new(Category::Residential, Zone::City, 50.0, 100.0),
+        );
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::new(Category::Residential, Zone::City, 40.0, 100.0),
+        );
+        let untagged = b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::without_speed_limit(Category::Residential, Zone::City, 200.0),
+        );
         let net = b.build();
         assert_eq!(net.category_fallback_kmh(Category::Residential), 40.0);
         assert_eq!(net.effective_speed_limit_kmh(untagged), 40.0);
@@ -348,9 +371,16 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(100.0, 0.0));
-        b.add_edge(v0, v1, EdgeAttrs::new(Category::Primary, Zone::City, 80.0, 100.0));
-        let track =
-            b.add_edge(v0, v1, EdgeAttrs::without_speed_limit(Category::Track, Zone::Rural, 100.0));
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::new(Category::Primary, Zone::City, 80.0, 100.0),
+        );
+        let track = b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::without_speed_limit(Category::Track, Zone::Rural, 100.0),
+        );
         let net = b.build();
         // No tagged Track segments exist, so the global median (80) applies.
         assert_eq!(net.effective_speed_limit_kmh(track), 80.0);
@@ -362,7 +392,10 @@ mod tests {
         assert_eq!(net.num_edges(), 0);
         assert_eq!(net.num_vertices(), 0);
         // With no data at all the global default applies.
-        assert_eq!(net.category_fallback_kmh(Category::Primary), GLOBAL_FALLBACK_KMH);
+        assert_eq!(
+            net.category_fallback_kmh(Category::Primary),
+            GLOBAL_FALLBACK_KMH
+        );
     }
 
     #[test]

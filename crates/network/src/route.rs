@@ -40,11 +40,11 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on cost; costs are finite non-NaN by construction.
+        // Min-heap on cost. `total_cmp` keeps the heap invariant (and the
+        // search terminating) even if a non-finite weight ever slips in.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("edge weights are finite")
+            .total_cmp(&self.cost)
             .then_with(|| self.vertex.0.cmp(&other.vertex.0))
     }
 }
@@ -192,7 +192,12 @@ mod tests {
         let net = example_network();
         let mut router = Router::new(&net);
         let route = router
-            .shortest_route(VertexId(0), VertexId(4), Weighting::TravelTime, f64::INFINITY)
+            .shortest_route(
+                VertexId(0),
+                VertexId(4),
+                Weighting::TravelTime,
+                f64::INFINITY,
+            )
             .unwrap();
         // A,B,E is the fastest (29.5 + 8.6 + 7.2 ≈ 45.3 s) vs A,C,D,E (≈ 51 s).
         assert_eq!(route.edges, vec![EdgeId(0), EdgeId(1), EdgeId(4)]);
@@ -218,7 +223,12 @@ mod tests {
         let mut router = Router::new(&net);
         // Nothing leads back to v0.
         assert!(router
-            .shortest_route(VertexId(4), VertexId(0), Weighting::TravelTime, f64::INFINITY)
+            .shortest_route(
+                VertexId(4),
+                VertexId(0),
+                Weighting::TravelTime,
+                f64::INFINITY
+            )
             .is_none());
     }
 
@@ -239,7 +249,12 @@ mod tests {
         let net = example_network();
         let mut router = Router::new(&net);
         let r = router
-            .shortest_route(VertexId(2), VertexId(2), Weighting::TravelTime, f64::INFINITY)
+            .shortest_route(
+                VertexId(2),
+                VertexId(2),
+                Weighting::TravelTime,
+                f64::INFINITY,
+            )
             .unwrap();
         assert!(r.edges.is_empty());
         assert_eq!(r.cost, 0.0);
@@ -250,12 +265,27 @@ mod tests {
         let net = example_network();
         let mut router = Router::new(&net);
         let a = router
-            .shortest_cost(VertexId(0), VertexId(4), Weighting::TravelTime, f64::INFINITY)
+            .shortest_cost(
+                VertexId(0),
+                VertexId(4),
+                Weighting::TravelTime,
+                f64::INFINITY,
+            )
             .unwrap();
         // Run an unrelated query, then repeat the first: identical result.
-        let _ = router.shortest_cost(VertexId(1), VertexId(5), Weighting::TravelTime, f64::INFINITY);
+        let _ = router.shortest_cost(
+            VertexId(1),
+            VertexId(5),
+            Weighting::TravelTime,
+            f64::INFINITY,
+        );
         let b = router
-            .shortest_cost(VertexId(0), VertexId(4), Weighting::TravelTime, f64::INFINITY)
+            .shortest_cost(
+                VertexId(0),
+                VertexId(4),
+                Weighting::TravelTime,
+                f64::INFINITY,
+            )
             .unwrap();
         assert_eq!(a, b);
     }

@@ -144,7 +144,7 @@ impl SpatialGrid {
         // An edge can appear in several scanned cells; dedup before sorting.
         result.sort_unstable_by_key(|a| a.0);
         result.dedup_by_key(|r| r.0);
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        result.sort_by(|a, b| a.1.total_cmp(&b.1));
         result
     }
 }
@@ -195,6 +195,8 @@ mod tests {
     fn empty_network_yields_empty_results() {
         let net = crate::graph::NetworkBuilder::new().build();
         let grid = SpatialGrid::build(&net, 100.0);
-        assert!(grid.edges_near(&net, Point::new(0.0, 0.0), 1000.0).is_empty());
+        assert!(grid
+            .edges_near(&net, Point::new(0.0, 0.0), 1000.0)
+            .is_empty());
     }
 }

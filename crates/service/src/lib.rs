@@ -1,0 +1,476 @@
+//! A concurrent, cache-accelerated query service over a shared SNT-index.
+//!
+//! The paper's engine answers one strict path query at a time on one
+//! thread. Production histogram retrieval is the opposite regime: many
+//! concurrent trip queries against one *shared, immutable-between-updates*
+//! index — exactly where result caching and parallel sub-query execution
+//! pay off. This crate adds that serving layer without touching query
+//! semantics:
+//!
+//! * [`QueryService`] — wraps an `RwLock<SntIndex>` + `Arc<RoadNetwork>`
+//!   behind a thread-safe API for single SPQs, single trip queries, and
+//!   batches of trip queries.
+//! * a worker **thread pool** ([`pool`]) fans batches out across threads
+//!   and fans each trip's independent sub-query chains (the
+//!   `QueryEngine::trip_query` decomposition) into parallel
+//!   `get_travel_times` calls; a helper-joining task group makes the
+//!   nesting deadlock-free.
+//! * a **sharded LRU cache** ([`cache`]) keyed by the full SPQ
+//!   `(path, interval, filter, β, exclusion)` with hit/miss/eviction
+//!   counters, one `Mutex` per shard, and whole-cache invalidation on
+//!   [`QueryService::append_batch`].
+//! * [`ServiceStats`] — p50/p95/p99 latency, throughput, and cache hit
+//!   rate, computed with `tthr-metrics`.
+//!
+//! Results are **identical** to the single-threaded engine: the cache key
+//! is the entire query, the cached value is the exact
+//! [`TravelTimes`](tthr_core::TravelTimes) the index returned, and chains
+//! are only executed in parallel when
+//! [`QueryEngine::chains_are_independent`] proves the decomposition order
+//! cannot matter (otherwise the service falls back to the sequential loop
+//! — still cache-accelerated).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tthr_core::{SntConfig, SntIndex, Spq, TimeInterval};
+//! use tthr_network::{examples::example_network, Path};
+//! use tthr_network::examples::{EDGE_A, EDGE_B, EDGE_E};
+//! use tthr_service::{QueryService, ServiceConfig};
+//! use tthr_trajectory::examples::example_trajectories;
+//!
+//! let network = example_network();
+//! let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+//! let service = QueryService::new(index, Arc::new(network), ServiceConfig::default());
+//!
+//! let spq = Spq::new(Path::new(vec![EDGE_A, EDGE_B, EDGE_E]), TimeInterval::fixed(0, 15));
+//! assert_eq!(service.get_travel_times(&spq).sorted(), vec![10.0, 11.0]);
+//! assert_eq!(service.get_travel_times(&spq).sorted(), vec![10.0, 11.0]); // cache hit
+//! assert_eq!(service.stats().cache.hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+mod stats;
+
+pub use cache::{CacheCounters, ShardedCache};
+pub use pool::ThreadPool;
+pub use stats::{LatencySummary, ServiceStats};
+
+use crate::stats::LatencyLog;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use tthr_core::{
+    QueryEngine, QueryEngineConfig, SntIndex, Spq, TravelTimeProvider, TravelTimes, TripQuery,
+};
+use tthr_network::RoadNetwork;
+use tthr_trajectory::TrajectorySet;
+
+/// Service construction options.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (0 = one per available CPU).
+    pub num_threads: usize,
+    /// Result-cache shard count (locks).
+    pub cache_shards: usize,
+    /// Total result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Engine strategy configuration shared by every query.
+    pub engine: QueryEngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            num_threads: 0,
+            cache_shards: 16,
+            cache_capacity: 65_536,
+            engine: QueryEngineConfig::default(),
+        }
+    }
+}
+
+struct Inner {
+    index: RwLock<SntIndex>,
+    network: Arc<RoadNetwork>,
+    cache: ShardedCache,
+    engine_config: QueryEngineConfig,
+    latency: LatencyLog,
+    spq_queries: AtomicU64,
+    trip_queries: AtomicU64,
+    generation: AtomicU64,
+}
+
+/// Routes the engine's `getTravelTimes` dispatches through the shared
+/// cache. Inserts happen while the caller holds the index read lock, so a
+/// concurrent [`QueryService::append_batch`] (write lock, then clear)
+/// can never leave a stale entry behind.
+struct CachedIndex<'a> {
+    index: &'a SntIndex,
+    cache: &'a ShardedCache,
+}
+
+impl TravelTimeProvider for CachedIndex<'_> {
+    fn travel_times(&self, spq: &Spq) -> TravelTimes {
+        if let Some(hit) = self.cache.get(spq) {
+            return hit;
+        }
+        let computed = self.index.get_travel_times(spq);
+        self.cache.insert(spq.clone(), computed.clone());
+        computed
+    }
+}
+
+/// A multi-threaded query service over one shared SNT-index.
+///
+/// The service is `Send + Sync`; share it across threads with `Arc` (or
+/// plain references and scoped threads). All query methods take `&self`.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    pool: Arc<ThreadPool>,
+}
+
+impl QueryService {
+    /// Builds a service owning the index.
+    pub fn new(index: SntIndex, network: Arc<RoadNetwork>, config: ServiceConfig) -> Self {
+        let threads = if config.num_threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            config.num_threads
+        };
+        QueryService {
+            inner: Arc::new(Inner {
+                index: RwLock::new(index),
+                network,
+                cache: ShardedCache::new(config.cache_shards, config.cache_capacity),
+                engine_config: config.engine,
+                latency: LatencyLog::new(),
+                spq_queries: AtomicU64::new(0),
+                trip_queries: AtomicU64::new(0),
+                generation: AtomicU64::new(0),
+            }),
+            pool: Arc::new(ThreadPool::new(threads)),
+        }
+    }
+
+    /// Number of pool worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The engine configuration every query runs under.
+    pub fn engine_config(&self) -> &QueryEngineConfig {
+        &self.inner.engine_config
+    }
+
+    /// Answers a single SPQ through the cache (Procedure 5 semantics,
+    /// byte-identical to [`SntIndex::get_travel_times`]).
+    pub fn get_travel_times(&self, spq: &Spq) -> TravelTimes {
+        let start = Instant::now();
+        let index = self.inner.index.read().expect("index lock");
+        let provider = CachedIndex {
+            index: &index,
+            cache: &self.inner.cache,
+        };
+        let result = provider.travel_times(spq);
+        drop(index);
+        self.inner.spq_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.latency.record(start.elapsed());
+        result
+    }
+
+    /// Answers a trip query, fanning its independent sub-query chains out
+    /// across the pool; identical results to
+    /// [`QueryEngine::trip_query`].
+    pub fn trip_query(&self, query: &Spq) -> TripQuery {
+        let start = Instant::now();
+        let result = self.trip_query_inner(query);
+        self.inner.trip_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.latency.record(start.elapsed());
+        result
+    }
+
+    /// Answers a batch of trip queries, fanned out across the pool; the
+    /// result order matches the input order.
+    ///
+    /// When the batch alone cannot fill the workers, each trip's
+    /// independent sub-query chains additionally fan out as their own pool
+    /// tasks (the pool's helper-joining keeps the nesting deadlock-free);
+    /// a batch that already saturates the pool skips the nesting, since it
+    /// would only add scheduling overhead.
+    pub fn batch_trip_queries(&self, queries: &[Spq]) -> Vec<TripQuery> {
+        let nest_chains = queries.len() < self.pool.threads();
+        let jobs: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let inner = Arc::clone(&self.inner);
+                let pool = nest_chains.then(|| Arc::clone(&self.pool));
+                let query = q.clone();
+                move || {
+                    // Per-query wall time from the moment a worker picks
+                    // the trip up — the same scale `trip_query` records on.
+                    let start = Instant::now();
+                    let result = trip_query_on(&inner, pool.as_deref(), &query);
+                    inner.latency.record(start.elapsed());
+                    result
+                }
+            })
+            .collect();
+        let results = self.pool.run_all(jobs);
+        self.inner
+            .trip_queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        results
+    }
+
+    fn trip_query_inner(&self, query: &Spq) -> TripQuery {
+        trip_query_on(&self.inner, Some(&self.pool), query)
+    }
+
+    /// Appends the new trajectories of `set` as one batch (Section 4.3.2's
+    /// update path) and invalidates the result cache. Returns the number of
+    /// appended trajectories. In-flight sub-query scans finish against the
+    /// old index state before the write lock is granted, and a trip query
+    /// whose parallel chains straddle the update re-executes against the
+    /// new state — every returned `TripQuery` reflects exactly one index
+    /// generation.
+    pub fn append_batch(&self, set: &TrajectorySet) -> usize {
+        let mut index = self.inner.index.write().expect("index lock");
+        let appended = index.append_batch(set);
+        if appended > 0 {
+            // Clear while still holding the write lock: readers that were
+            // blocked behind us see the new index with an empty cache, and
+            // no reader can insert a stale result concurrently (inserts
+            // require the read lock).
+            self.inner.cache.clear();
+            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+        }
+        appended
+    }
+
+    /// Runs a closure against the current index state (read-locked).
+    pub fn with_index<R>(&self, f: impl FnOnce(&SntIndex) -> R) -> R {
+        f(&self.inner.index.read().expect("index lock"))
+    }
+
+    /// Point-in-time service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let (latency, throughput_qps, uptime) = self.inner.latency.summarize();
+        ServiceStats {
+            spq_queries: self.inner.spq_queries.load(Ordering::Relaxed),
+            trip_queries: self.inner.trip_queries.load(Ordering::Relaxed),
+            latency,
+            throughput_qps,
+            cache: self.inner.cache.counters(),
+            generation: self.inner.generation.load(Ordering::SeqCst),
+            uptime,
+        }
+    }
+
+    /// Clears the latency log and restarts the throughput clock (the
+    /// cache and its counters are left untouched).
+    pub fn reset_stats(&self) {
+        self.inner.latency.reset();
+    }
+}
+
+/// Executes one trip query against the shared state. With a pool and ≥ 2
+/// independent chains, the chains run as parallel pool tasks (each takes
+/// its own read lock); otherwise the sequential engine loop runs inline —
+/// both through the cache, both result-identical to the plain engine.
+fn trip_query_on(inner: &Arc<Inner>, pool: Option<&ThreadPool>, query: &Spq) -> TripQuery {
+    let index = inner.index.read().expect("index lock");
+    let engine = QueryEngine::new(&index, &inner.network, inner.engine_config.clone());
+    let provider = CachedIndex {
+        index: &index,
+        cache: &inner.cache,
+    };
+    if !engine.chains_are_independent(query) {
+        return engine.trip_query_via(&provider, query);
+    }
+    let chains = engine.initial_subqueries(query);
+    match pool {
+        Some(pool) if chains.len() > 1 && pool.threads() > 1 => {
+            // Re-acquire per task: pool jobs must own their state. Chain
+            // jobs may therefore interleave with an `append_batch`; the
+            // generation check below detects that and redoes the trip under
+            // one continuous read lock, so a returned TripQuery never mixes
+            // two index generations.
+            let generation_before = inner.generation.load(Ordering::SeqCst);
+            drop(index);
+            let jobs: Vec<_> = chains
+                .into_iter()
+                .map(|sub| {
+                    let inner = Arc::clone(inner);
+                    move || {
+                        let index = inner.index.read().expect("index lock");
+                        let engine =
+                            QueryEngine::new(&index, &inner.network, inner.engine_config.clone());
+                        let provider = CachedIndex {
+                            index: &index,
+                            cache: &inner.cache,
+                        };
+                        engine.run_chain_via(&provider, sub)
+                    }
+                })
+                .collect();
+            let outcomes = pool.run_all(jobs);
+            let index = inner.index.read().expect("index lock");
+            let engine = QueryEngine::new(&index, &inner.network, inner.engine_config.clone());
+            // Writers bump the generation under the write lock, so holding
+            // the read lock here makes the check race-free: if it passes,
+            // every chain above saw this exact index state.
+            if inner.generation.load(Ordering::SeqCst) == generation_before {
+                engine.assemble(outcomes)
+            } else {
+                let provider = CachedIndex {
+                    index: &index,
+                    cache: &inner.cache,
+                };
+                run_chains_inline(&engine, &provider, engine.initial_subqueries(query))
+            }
+        }
+        _ => run_chains_inline(&engine, &provider, chains),
+    }
+}
+
+/// Runs a trip's independent chains sequentially on the calling thread
+/// (shared by the no-pool path and the update-race retry path).
+fn run_chains_inline(
+    engine: &QueryEngine<'_>,
+    provider: &CachedIndex<'_>,
+    chains: Vec<Spq>,
+) -> TripQuery {
+    engine.assemble(
+        chains
+            .into_iter()
+            .map(|sub| engine.run_chain_via(provider, sub))
+            .collect(),
+    )
+}
+
+// The whole point of the service is cross-thread sharing; keep that a
+// compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<ServiceConfig>();
+    assert_send_sync::<ServiceStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tthr_core::{SntConfig, TimeInterval};
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
+    use tthr_network::Path;
+    use tthr_trajectory::examples::example_trajectories;
+
+    fn service(threads: usize) -> QueryService {
+        let network = example_network();
+        let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+        QueryService::new(
+            index,
+            Arc::new(network),
+            ServiceConfig {
+                num_threads: threads,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn abe() -> Spq {
+        Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        )
+        .with_beta(2)
+    }
+
+    #[test]
+    fn single_spq_matches_paper_example_and_caches() {
+        let s = service(2);
+        assert_eq!(s.get_travel_times(&abe()).sorted(), vec![10.0, 11.0]);
+        assert_eq!(s.get_travel_times(&abe()).sorted(), vec![10.0, 11.0]);
+        let stats = s.stats();
+        assert_eq!(stats.spq_queries, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.latency.count, 2);
+    }
+
+    #[test]
+    fn trip_query_matches_sequential_engine() {
+        let s = service(4);
+        let result = s.trip_query(&abe());
+        s.with_index(|index| {
+            let network = example_network();
+            let engine = QueryEngine::new(index, &network, s.engine_config().clone());
+            let expected = engine.trip_query(&abe());
+            assert_eq!(result.predicted_duration(), expected.predicted_duration());
+            assert_eq!(result.stats, expected.stats);
+        });
+    }
+
+    #[test]
+    fn batch_preserves_order() {
+        let s = service(4);
+        let queries = vec![abe(); 12];
+        let results = s.batch_trip_queries(&queries);
+        assert_eq!(results.len(), 12);
+        for r in &results {
+            assert_eq!(r.predicted_duration(), results[0].predicted_duration());
+        }
+        assert_eq!(s.stats().trip_queries, 12);
+    }
+
+    #[test]
+    fn append_invalidates_cache_and_bumps_generation() {
+        let s = service(2);
+        let _ = s.get_travel_times(&abe());
+        assert_eq!(s.stats().cache.entries, 1);
+
+        // Appending the same set is a no-op: no invalidation.
+        assert_eq!(s.append_batch(&example_trajectories()), 0);
+        assert_eq!(s.stats().generation, 0);
+        assert_eq!(s.stats().cache.entries, 1);
+
+        // A genuinely new trajectory invalidates.
+        let mut grown = example_trajectories();
+        grown
+            .push(
+                tthr_trajectory::UserId(9),
+                vec![
+                    tthr_trajectory::TrajEntry::new(EDGE_A, 3, 3.0),
+                    tthr_trajectory::TrajEntry::new(EDGE_B, 6, 3.0),
+                    tthr_trajectory::TrajEntry::new(EDGE_E, 9, 4.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(s.append_batch(&grown), 1);
+        let stats = s.stats();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.cache.entries, 0);
+        assert_eq!(stats.cache.invalidations, 1);
+        // The fresh answer includes the new traversal.
+        assert_eq!(s.get_travel_times(&abe()).len(), 2, "β caps at 2");
+        let uncapped = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        );
+        assert_eq!(
+            s.get_travel_times(&uncapped).sorted(),
+            vec![10.0, 10.0, 11.0]
+        );
+    }
+
+    #[test]
+    fn zero_thread_config_uses_available_parallelism() {
+        let s = service(0);
+        assert!(s.num_threads() >= 1);
+        let _ = s.trip_query(&abe());
+    }
+}

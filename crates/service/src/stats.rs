@@ -1,0 +1,143 @@
+//! Service-level observability: latency percentiles, throughput, cache
+//! effectiveness.
+
+use crate::cache::CacheCounters;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tthr_metrics::{mean, percentile_of_sorted};
+
+/// Latency distribution summary over recorded queries, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded queries.
+    pub count: usize,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Arithmetic mean latency.
+    pub mean_ms: f64,
+    /// Worst recorded latency.
+    pub max_ms: f64,
+}
+
+/// A point-in-time snapshot of the service's behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// Single-SPQ requests served.
+    pub spq_queries: u64,
+    /// Trip queries served (each spans many SPQ dispatches).
+    pub trip_queries: u64,
+    /// Latency summary over all served requests.
+    pub latency: LatencySummary,
+    /// Requests per second since service start (or the last reset).
+    pub throughput_qps: f64,
+    /// Result-cache counters.
+    pub cache: CacheCounters,
+    /// Index generation: number of applied update batches.
+    pub generation: u64,
+    /// Time since service start (or the last reset).
+    pub uptime: Duration,
+}
+
+/// Mutex-guarded latency log feeding [`ServiceStats`].
+///
+/// Stores every sample; at one `f64` per request this stays small for the
+/// workloads this crate targets (an aggregating HDR-style histogram is a
+/// ROADMAP follow-on for long-lived deployments).
+pub(crate) struct LatencyLog {
+    inner: Mutex<LogInner>,
+}
+
+struct LogInner {
+    samples_ms: Vec<f64>,
+    started: Instant,
+}
+
+impl LatencyLog {
+    pub(crate) fn new() -> Self {
+        LatencyLog {
+            inner: Mutex::new(LogInner {
+                samples_ms: Vec::new(),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    pub(crate) fn record(&self, elapsed: Duration) {
+        self.inner
+            .lock()
+            .expect("latency log")
+            .samples_ms
+            .push(elapsed.as_secs_f64() * 1e3);
+    }
+
+    /// Latency summary, throughput, and uptime.
+    pub(crate) fn summarize(&self) -> (LatencySummary, f64, Duration) {
+        let inner = self.inner.lock().expect("latency log");
+        let uptime = inner.started.elapsed();
+        let mut sorted = inner.samples_ms.clone();
+        drop(inner);
+        sorted.sort_by(f64::total_cmp);
+        let summary = LatencySummary {
+            count: sorted.len(),
+            p50_ms: percentile_of_sorted(&sorted, 50.0),
+            p95_ms: percentile_of_sorted(&sorted, 95.0),
+            p99_ms: percentile_of_sorted(&sorted, 99.0),
+            mean_ms: mean(sorted.iter().copied()),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+        };
+        let qps = if uptime.as_secs_f64() > 0.0 {
+            summary.count as f64 / uptime.as_secs_f64()
+        } else {
+            0.0
+        };
+        (summary, qps, uptime)
+    }
+
+    /// Forgets all samples and restarts the throughput clock.
+    pub(crate) fn reset(&self) {
+        let mut inner = self.inner.lock().expect("latency log");
+        inner.samples_ms.clear();
+        inner.started = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles() {
+        let log = LatencyLog::new();
+        for i in 1..=100 {
+            log.record(Duration::from_millis(i));
+        }
+        let (summary, qps, uptime) = log.summarize();
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_ms, 50.0);
+        assert_eq!(summary.p95_ms, 95.0);
+        assert_eq!(summary.p99_ms, 99.0);
+        assert_eq!(summary.max_ms, 100.0);
+        assert!((summary.mean_ms - 50.5).abs() < 1e-9);
+        assert!(qps > 0.0);
+        assert!(uptime > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let (summary, qps, _) = LatencyLog::new().summarize();
+        assert_eq!(summary, LatencySummary::default());
+        assert_eq!(qps, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let log = LatencyLog::new();
+        log.record(Duration::from_millis(5));
+        log.reset();
+        assert_eq!(log.summarize().0.count, 0);
+    }
+}

@@ -82,7 +82,10 @@ impl CssTree {
             .unwrap_or(!self.entries.is_empty() && self.levels.is_empty())
         {
             let top: Vec<i64> = match self.levels.last() {
-                Some(top) => top.chunks(FANOUT).map(|c| *c.last().expect("non-empty")).collect(),
+                Some(top) => top
+                    .chunks(FANOUT)
+                    .map(|c| *c.last().expect("non-empty"))
+                    .collect(),
                 None => self
                     .entries
                     .chunks(FANOUT)
@@ -106,7 +109,12 @@ impl CssTree {
         let Some(first) = batch.first() else {
             return;
         };
-        if self.entries.last().map(|l| l.time <= first.time).unwrap_or(true) {
+        if self
+            .entries
+            .last()
+            .map(|l| l.time <= first.time)
+            .unwrap_or(true)
+        {
             for leaf in batch {
                 self.append(leaf);
             }
@@ -382,7 +390,10 @@ mod tests {
         // Directory still answers correctly after the rebuild: 10 base
         // entries (80, 82, …, 98) + 20 batch entries (80, 82, …, 118).
         assert_eq!(t.range_count(80, 120), 30);
-        assert_eq!(t.lower_bound(100), t.entries().partition_point(|x| x.time < 100));
+        assert_eq!(
+            t.lower_bound(100),
+            t.entries().partition_point(|x| x.time < 100)
+        );
     }
 
     #[test]

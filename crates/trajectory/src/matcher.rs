@@ -108,9 +108,9 @@ impl<'a> MapMatcher<'a> {
         let mut layers: Vec<Vec<Candidate>> = Vec::with_capacity(points.len());
         let mut kept_fix: Vec<usize> = Vec::with_capacity(points.len());
         for (i, p) in points.iter().enumerate() {
-            let near = self
-                .grid
-                .edges_near(self.network, p.position, self.config.candidate_radius_m);
+            let near =
+                self.grid
+                    .edges_near(self.network, p.position, self.config.candidate_radius_m);
             let layer: Vec<Candidate> = near
                 .into_iter()
                 .take(self.config.max_candidates)
@@ -209,12 +209,9 @@ impl<'a> MapMatcher<'a> {
             let from = self.network.edge_to(prev.edge);
             let to = self.network.edge_from(cur.edge);
             if from != to {
-                let route = self.router.shortest_route(
-                    from,
-                    to,
-                    Weighting::Distance,
-                    f64::INFINITY,
-                )?;
+                let route =
+                    self.router
+                        .shortest_route(from, to, Weighting::Distance, f64::INFINITY)?;
                 edges.extend(route.edges);
             }
             edges.push(cur.edge);
@@ -318,7 +315,7 @@ impl<'a> MapMatcher<'a> {
 /// samples sorted by distance.
 fn interpolate(samples: &[(f64, f64)], d: f64) -> f64 {
     debug_assert!(!samples.is_empty());
-    match samples.binary_search_by(|s| s.0.partial_cmp(&d).expect("finite")) {
+    match samples.binary_search_by(|s| s.0.total_cmp(&d)) {
         Ok(i) => samples[i].1,
         Err(0) => samples[0].1,
         Err(i) if i == samples.len() => samples[samples.len() - 1].1,

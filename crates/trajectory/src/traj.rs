@@ -37,7 +37,7 @@ pub enum TrajectoryError {
         /// Index of the offending entry.
         at: usize,
     },
-    /// Traversal durations must be positive (`TTᵢ > 0`).
+    /// Traversal durations must be positive and finite (`TTᵢ > 0`).
     NonPositiveTravelTime {
         /// Index of the offending entry.
         at: usize,
@@ -49,10 +49,16 @@ impl fmt::Display for TrajectoryError {
         match self {
             TrajectoryError::Empty => write!(f, "a trajectory must traverse at least one segment"),
             TrajectoryError::NonMonotonicTimestamps { at } => {
-                write!(f, "entry timestamps must be strictly increasing (entry {at})")
+                write!(
+                    f,
+                    "entry timestamps must be strictly increasing (entry {at})"
+                )
             }
             TrajectoryError::NonPositiveTravelTime { at } => {
-                write!(f, "traversal durations must be positive (entry {at})")
+                write!(
+                    f,
+                    "traversal durations must be positive and finite (entry {at})"
+                )
             }
         }
     }
@@ -70,17 +76,17 @@ pub struct Trajectory {
 
 impl Trajectory {
     /// Creates a trajectory, validating the paper's sequence invariants:
-    /// non-empty, strictly increasing entry timestamps, positive durations.
-    pub fn new(
-        id: TrajId,
-        user: UserId,
-        entries: Vec<TrajEntry>,
-    ) -> Result<Self, TrajectoryError> {
+    /// non-empty, strictly increasing entry timestamps, positive finite
+    /// durations.
+    pub fn new(id: TrajId, user: UserId, entries: Vec<TrajEntry>) -> Result<Self, TrajectoryError> {
         if entries.is_empty() {
             return Err(TrajectoryError::Empty);
         }
         for (i, e) in entries.iter().enumerate() {
-            if e.travel_time <= 0.0 {
+            // NaN slips through a plain `<= 0.0` check; reject all
+            // non-finite durations here, before they can reach the index's
+            // aggregates and histograms.
+            if !e.travel_time.is_finite() || e.travel_time <= 0.0 {
                 return Err(TrajectoryError::NonPositiveTravelTime { at: i });
             }
             if i > 0 && entries[i - 1].enter_time >= e.enter_time {
@@ -210,7 +216,12 @@ mod tests {
         Trajectory::new(
             TrajId(1),
             UserId(2),
-            vec![entry(0, 2, 4.0), entry(2, 6, 2.0), entry(3, 8, 4.0), entry(4, 12, 5.0)],
+            vec![
+                entry(0, 2, 4.0),
+                entry(2, 6, 2.0),
+                entry(3, 8, 4.0),
+                entry(4, 12, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -222,13 +233,25 @@ mod tests {
             Err(TrajectoryError::Empty)
         );
         assert_eq!(
-            Trajectory::new(TrajId(0), UserId(0), vec![entry(0, 5, 1.0), entry(1, 5, 1.0)]),
+            Trajectory::new(
+                TrajId(0),
+                UserId(0),
+                vec![entry(0, 5, 1.0), entry(1, 5, 1.0)]
+            ),
             Err(TrajectoryError::NonMonotonicTimestamps { at: 1 })
         );
         assert_eq!(
             Trajectory::new(TrajId(0), UserId(0), vec![entry(0, 5, 0.0)]),
             Err(TrajectoryError::NonPositiveTravelTime { at: 0 })
         );
+        // Non-finite durations are corrupt input, not "large" ones.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                Trajectory::new(TrajId(0), UserId(0), vec![entry(0, 5, bad)]),
+                Err(TrajectoryError::NonPositiveTravelTime { at: 0 }),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -259,7 +282,12 @@ mod tests {
         let tr = Trajectory::new(
             TrajId(9),
             UserId(0),
-            vec![entry(0, 0, 1.0), entry(1, 1, 2.0), entry(0, 3, 3.0), entry(1, 6, 4.0)],
+            vec![
+                entry(0, 0, 1.0),
+                entry(1, 1, 2.0),
+                entry(0, 3, 3.0),
+                entry(1, 6, 4.0),
+            ],
         )
         .unwrap();
         let p = Path::new(vec![EdgeId(0), EdgeId(1)]);

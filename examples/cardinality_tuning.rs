@@ -9,7 +9,9 @@ use tthr::core::{
     estimate_cardinality, CardinalityMode, QueryEngine, QueryEngineConfig, SntConfig, SntIndex,
     Spq, TimeInterval,
 };
-use tthr::datagen::{generate_network, generate_workload, sample_query_trajectories, NetworkConfig, WorkloadConfig};
+use tthr::datagen::{
+    generate_network, generate_workload, sample_query_trajectories, NetworkConfig, WorkloadConfig,
+};
 use tthr::metrics::{mean, q_error};
 use tthr::trajectory::Trajectory;
 
@@ -52,7 +54,7 @@ fn main() {
                 qs.push(q_error(est, actual));
             }
         }
-        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        qs.sort_by(f64::total_cmp);
         println!(
             "{:<10} {:>12.2} {:>12.2}",
             mode.name(),
@@ -62,7 +64,10 @@ fn main() {
     }
 
     // --- Effect on trip-query latency (Figure 11b) -------------------------
-    println!("\n{:<12} {:>12} {:>16}", "estimator", "ms/query", "index scans");
+    println!(
+        "\n{:<12} {:>12} {:>16}",
+        "estimator", "ms/query", "index scans"
+    );
     for estimator in [
         None,
         Some(CardinalityMode::CssFast),
@@ -79,9 +84,12 @@ fn main() {
         let mut scans = 0usize;
         let start = Instant::now();
         for tr in &queries {
-            let q = Spq::new(tr.path(), TimeInterval::periodic_around(tr.start_time(), 900))
-                .with_beta(20)
-                .without_trajectory(tr.id());
+            let q = Spq::new(
+                tr.path(),
+                TimeInterval::periodic_around(tr.start_time(), 900),
+            )
+            .with_beta(20)
+            .without_trajectory(tr.id());
             scans += engine.trip_query(&q).stats.index_queries;
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;

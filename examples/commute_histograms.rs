@@ -5,15 +5,22 @@
 //! Run with: `cargo run --release --example commute_histograms`
 
 use tthr::core::baseline::{speed_limit_estimate, SegmentLevelBaseline};
-use tthr::core::{PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig, SntIndex, Spq, TimeInterval};
-use tthr::datagen::{generate_network, generate_workload, sample_query_trajectories, NetworkConfig, WorkloadConfig};
+use tthr::core::{
+    PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig, SntIndex, Spq, TimeInterval,
+};
+use tthr::datagen::{
+    generate_network, generate_workload, sample_query_trajectories, NetworkConfig, WorkloadConfig,
+};
 use tthr::metrics::smape;
 use tthr::trajectory::Trajectory;
 
 fn query_for(tr: &Trajectory) -> Spq {
-    Spq::new(tr.path(), TimeInterval::periodic_around(tr.start_time(), 900))
-        .with_beta(20)
-        .without_trajectory(tr.id())
+    Spq::new(
+        tr.path(),
+        TimeInterval::periodic_around(tr.start_time(), 900),
+    )
+    .with_beta(20)
+    .without_trajectory(tr.id())
 }
 
 fn main() {
@@ -49,7 +56,10 @@ fn main() {
         PartitionMethod::ZoneCategory,
         PartitionMethod::Whole,
     ];
-    println!("{:<10} {:>10} {:>14} {:>12}", "pi", "sMAPE %", "avg sub-len", "avg ms");
+    println!(
+        "{:<10} {:>10} {:>14} {:>12}",
+        "pi", "sMAPE %", "avg sub-len", "avg ms"
+    );
     for pi in strategies {
         let engine = QueryEngine::new(
             &index,
@@ -86,8 +96,11 @@ fn main() {
         sl_pairs.push((speed_limit_estimate(&syn.network, &tr.path()), actual));
         seg_pairs.push((seg.predict(&tr.path()), actual));
     }
-    println!("\nbaselines: speed-limit sMAPE = {:.2} %, segment-level sMAPE = {:.2} %",
-        smape(&sl_pairs), smape(&seg_pairs));
+    println!(
+        "\nbaselines: speed-limit sMAPE = {:.2} %, segment-level sMAPE = {:.2} %",
+        smape(&sl_pairs),
+        smape(&seg_pairs)
+    );
 
     // --- One commute's distribution -----------------------------------------
     let engine = QueryEngine::new(&index, &syn.network, QueryEngineConfig::default());
@@ -112,6 +125,10 @@ fn main() {
             continue; // skip the long convolution tail
         }
         let bar = "#".repeat((mass / max_mass * 50.0).ceil() as usize);
-        println!("  [{:>5.0},{:>5.0}) {bar}", edge, edge + hist.bucket_width());
+        println!(
+            "  [{:>5.0},{:>5.0}) {bar}",
+            edge,
+            edge + hist.bucket_width()
+        );
     }
 }

@@ -46,7 +46,7 @@ fn main() {
     let t0 = set.iter().map(|t| t.start_time()).min().unwrap();
     let mut staged = TrajectorySet::new();
     let mut cursor = 0usize;
-    let mut stage_until = |staged: &mut TrajectorySet, cursor: &mut usize, cutoff: i64| {
+    let stage_until = |staged: &mut TrajectorySet, cursor: &mut usize, cutoff: i64| {
         // Trajectory ids are generated day-by-day, so a time cutoff is a
         // (slightly overlapping) id prefix — exactly what append_batch
         // handles.
@@ -74,8 +74,7 @@ fn main() {
             "{label:>12}: partitions = {}, matches for the probe commute = {:>3}, \
              predicted = {:.0} s",
             index.num_partitions(),
-            index
-                .count_matching(&spq.clone().with_beta(u32::MAX - 1), u32::MAX),
+            index.count_matching(&spq.clone().with_beta(u32::MAX - 1), u32::MAX),
             r.predicted_duration(),
         );
     };

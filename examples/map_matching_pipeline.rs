@@ -37,7 +37,9 @@ fn main() {
                 if truth == got {
                     exact_paths += 1;
                 }
-                matched.push(tr.user(), m.entries).expect("valid matched trajectory");
+                matched
+                    .push(tr.user(), m.entries)
+                    .expect("valid matched trajectory");
             }
         }
     }

@@ -61,7 +61,10 @@ fn main() {
         .with_beta(2);
     let times = index.get_travel_times(&q);
     println!("\nQ = spq(⟨A,B,E⟩, [0,15), u=u1, 2)");
-    println!("  travel times: {:?} (tr3 = 10 s, tr0 = 11 s)", times.sorted());
+    println!(
+        "  travel times: {:?} (tr3 = 10 s, tr0 = 11 s)",
+        times.sorted()
+    );
     let h = Histogram::from_values(&times.values, 1.0);
     print_histogram("  H", &h);
 

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace forbids external registry dependencies, so this shim
+//! re-implements the small proptest surface the test suites use: the
+//! [`proptest!`] macro, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`], and the `prop_assert*` macros. Unlike real proptest it
+//! does no shrinking — a failing case panics with the generated inputs left
+//! to the assertion message — but generation is deterministic per test
+//! (seeded from the test name), so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of generated cases per property (real proptest defaults to 256;
+/// 64 keeps the heavier oracle-comparison properties fast).
+pub const CASES: usize = 64;
+
+/// Deterministic SplitMix64 generator seeded from the test name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the property's function name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. Strategies are immutable; sampling draws from the
+/// shared per-test generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range {self:?}");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }` item
+/// becomes a `#[test]` that runs the body over [`CASES`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($p:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    $(let $p = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds (panics with the message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (0i64..50).sample(&mut rng);
+            assert!((0..50).contains(&v));
+            let xs = crate::collection::vec(1u32..8, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| (1..8).contains(&x)));
+            let (a, b, c) = (0u32..3, 5u32..9, -1.0f64..1.0).sample(&mut rng);
+            assert!(a < 3 && (5..9).contains(&b) && (-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // The macro itself, exercised the way the workspace uses it.
+    proptest::proptest! {
+        #[test]
+        fn macro_generates_and_iterates(
+            mut xs in proptest::collection::vec(0u32..10, 1..6),
+            flag in proptest::bool::ANY,
+            (lo, hi) in (0i64..10, 10i64..20),
+        ) {
+            xs.push(3);
+            proptest::prop_assert!(!xs.is_empty());
+            let _ = flag;
+            proptest::prop_assert!(lo < hi);
+            proptest::prop_assert_eq!(xs.last().copied(), Some(3));
+        }
+    }
+}

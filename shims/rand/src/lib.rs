@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace forbids external registry dependencies, so this local shim
+//! provides exactly the subset of the rand 0.8 API the `tthr-datagen` crate
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! integer and float ranges, and `Rng::gen_bool`. The generator is
+//! SplitMix64 — statistically fine for synthetic-data generation and fully
+//! deterministic, which is all the workspace requires. Streams differ from
+//! the real `rand::rngs::StdRng`, so regenerated data sets are reproducible
+//! against this shim, not against upstream rand.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Core uniform-bit generator.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Conversion of raw bits into values and ranges (the `gen_*` subset).
+pub trait Rng: RngCore {
+    /// A uniform value in `range` (half-open).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range values can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// `[0, 1)` from 53 uniform bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo reduction: the bias over spans ≪ 2⁶⁴ is negligible
+                // for synthetic-data purposes.
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: SplitMix64 (Steele, Lea & Flood 2014).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed once so nearby seeds diverge immediately.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let equal = (0..100)
+            .filter(|_| a.gen_range(0u32..1000) == c.gen_range(0u32..1000))
+            .count();
+        assert!(equal < 20, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let f = rng.gen_range(2.5f64..3.25);
+            assert!((2.5..3.25).contains(&f));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -31,7 +31,52 @@
 //! * [`datagen`] — deterministic synthetic road networks and ITSP-like
 //!   trajectory workloads.
 //! * [`metrics`] — the paper's evaluation metrics (sMAPE, weighted error,
-//!   log-likelihood, q-error).
+//!   log-likelihood, q-error) plus latency percentiles.
+//! * [`service`] — the concurrent serving layer (see below).
+//!
+//! ## Architecture: the service layer
+//!
+//! Above the paper-faithful engine sits a production-oriented serving
+//! layer, [`service::QueryService`], designed for many concurrent trip
+//! queries over one shared index:
+//!
+//! ```text
+//!   clients ──► QueryService ──► ThreadPool (N workers, helper-joined fan-out)
+//!                   │                │  batch → one task per trip query
+//!                   │                │  trip  → one task per independent sub-query chain
+//!                   │                ▼
+//!                   │           QueryEngine::run_chain_via / trip_query_via
+//!                   │                │ every getTravelTimes dispatch
+//!                   │                ▼
+//!                   ├──► ShardedCache (LRU per shard, Mutex per shard,
+//!                   │      key = full Spq, hit/miss/eviction counters)
+//!                   │                │ miss
+//!                   │                ▼
+//!                   └──► RwLock<SntIndex>  (readers: queries; writer: append_batch,
+//!                                           which clears the cache ⇒ generation + 1)
+//! ```
+//!
+//! * **Concurrency** — trip queries in a batch run as parallel pool tasks;
+//!   within a trip, each initial sub-query's relaxation chain runs as its
+//!   own task whenever `QueryEngine::chains_are_independent` proves the
+//!   decomposition has no cross-chain data flow (shift-and-enlarge on
+//!   periodic windows is the one dependent case, which runs sequentially)
+//!   — batches that already saturate the workers skip the per-chain
+//!   nesting, which would only add scheduling overhead. The pool's join
+//!   primitive keeps the waiting thread working on its own task set, so
+//!   nested fan-out cannot deadlock.
+//! * **Caching** — results are cached per relaxed SPQ, so two trips
+//!   sharing a sub-path (or one trip repeated) skip the FM-index and
+//!   temporal-forest scans entirely. Updates via
+//!   [`service::QueryService::append_batch`] invalidate the whole cache
+//!   under the index write lock — stale reads are impossible because
+//!   inserts require the read lock.
+//! * **Observability** — [`service::ServiceStats`] snapshots p50/p95/p99
+//!   latency, throughput, and cache hit rate, computed with [`metrics`].
+//!
+//! The service returns byte-identical results to the single-threaded
+//! engine on the same index state (`tests/service_equivalence.rs` enforces
+//! this across a synthetic workload).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +106,7 @@ pub use tthr_fmindex as fmindex;
 pub use tthr_histogram as histogram;
 pub use tthr_metrics as metrics;
 pub use tthr_network as network;
+pub use tthr_service as service;
 pub use tthr_temporal as temporal;
 pub use tthr_trajectory as trajectory;
 
@@ -68,11 +114,12 @@ pub use tthr_trajectory as trajectory;
 pub mod prelude {
     pub use tthr_core::{
         BetaPolicy, CardinalityMode, PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig,
-        SntIndex, SplitMethod, Spq, TimeInterval, TripQuery,
+        SntIndex, SplitMethod, Spq, TimeInterval, TravelTimeProvider, TripQuery,
     };
     pub use tthr_datagen::{NetworkConfig, WorkloadConfig};
     pub use tthr_histogram::Histogram;
-    pub use tthr_metrics::{log_likelihood, q_error, smape, weighted_error};
+    pub use tthr_metrics::{log_likelihood, percentile, q_error, smape, weighted_error};
     pub use tthr_network::{Category, EdgeId, Path, RoadNetwork, Zone};
-    pub use tthr_trajectory::{Trajectory, TrajectorySet, TrajId, UserId};
+    pub use tthr_service::{QueryService, ServiceConfig, ServiceStats};
+    pub use tthr_trajectory::{TrajId, Trajectory, TrajectorySet, UserId};
 }

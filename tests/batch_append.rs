@@ -95,7 +95,11 @@ fn repeated_appends_accumulate_partitions() {
 #[test]
 fn appended_partitions_feed_the_accurate_estimator() {
     let (syn, set) = small_world();
-    let mut index = SntIndex::build(&syn.network, &prefix_set(&set, set.len() / 2), SntConfig::default());
+    let mut index = SntIndex::build(
+        &syn.network,
+        &prefix_set(&set, set.len() / 2),
+        SntConfig::default(),
+    );
     index.append_batch(&set);
     let full = SntIndex::build(&syn.network, &set, SntConfig::default());
     for tr in set.iter().step_by(97).take(10) {

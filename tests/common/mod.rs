@@ -3,7 +3,9 @@
 //! Shared fixtures and the brute-force SPQ oracle for integration tests.
 
 use tthr::core::{Filter, Spq};
-use tthr::datagen::{generate_network, generate_workload, NetworkConfig, SyntheticNetwork, WorkloadConfig};
+use tthr::datagen::{
+    generate_network, generate_workload, NetworkConfig, SyntheticNetwork, WorkloadConfig,
+};
 use tthr::trajectory::TrajectorySet;
 
 /// A small but non-trivial synthetic world shared by the integration tests.
@@ -57,7 +59,7 @@ pub fn brute_force_spq(set: &TrajectorySet, spq: &Spq) -> Vec<f64> {
 
 /// Sorts travel times for multiset comparison.
 pub fn sorted(mut values: Vec<f64>) -> Vec<f64> {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite travel times"));
+    values.sort_by(f64::total_cmp);
     values
 }
 

@@ -12,7 +12,7 @@ use tthr::core::{
 };
 use tthr::datagen::sample_query_trajectories;
 use tthr::metrics::{smape, smape_term};
-use tthr::trajectory::{TrajectorySet, Trajectory};
+use tthr::trajectory::{Trajectory, TrajectorySet};
 
 const ALL_PI: [PartitionMethod; 7] = [
     PartitionMethod::Regular(1),
@@ -26,9 +26,12 @@ const ALL_PI: [PartitionMethod; 7] = [
 
 /// Builds the paper's query template for a sampled trajectory.
 fn query_for(tr: &Trajectory, beta: u32) -> Spq {
-    Spq::new(tr.path(), TimeInterval::periodic_around(tr.start_time(), 900))
-        .with_beta(beta)
-        .without_trajectory(tr.id())
+    Spq::new(
+        tr.path(),
+        TimeInterval::periodic_around(tr.start_time(), 900),
+    )
+    .with_beta(beta)
+    .without_trajectory(tr.id())
 }
 
 fn queries(set: &TrajectorySet, n: usize) -> Vec<&Trajectory> {
@@ -153,7 +156,11 @@ fn stats_reflect_processing() {
     let q = query_for(tr, 5);
     let result = engine.trip_query(&q);
     let s = result.stats;
-    assert_eq!(s.initial_subqueries, tr.len(), "π₁ makes one sub-query per segment");
+    assert_eq!(
+        s.initial_subqueries,
+        tr.len(),
+        "π₁ makes one sub-query per segment"
+    );
     assert_eq!(s.final_subqueries, result.subs.len());
     assert!(s.index_queries >= s.final_subqueries);
     // Fallback accounting matches the sub-results.

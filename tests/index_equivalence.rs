@@ -71,7 +71,10 @@ fn index_matches_brute_force_without_beta() {
         }
     }
     assert!(checked >= 350, "checked {checked} queries");
-    assert!(nonempty >= 50, "only {nonempty} non-empty queries — fixture too sparse");
+    assert!(
+        nonempty >= 50,
+        "only {nonempty} non-empty queries — fixture too sparse"
+    );
 }
 
 #[test]
@@ -189,10 +192,7 @@ fn traversal_counts_match_brute_force() {
     let (syn, set) = small_world();
     let index = SntIndex::build(&syn.network, &set, SntConfig::default());
     for path in sample_paths(&set) {
-        let want: usize = set
-            .iter()
-            .map(|tr| tr.occurrences_of(&path).count())
-            .sum();
+        let want: usize = set.iter().map(|tr| tr.occurrences_of(&path).count()).sum();
         assert_eq!(index.traversal_count(&path), want, "{path:?}");
     }
 }

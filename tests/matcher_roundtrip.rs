@@ -41,7 +41,13 @@ fn matcher_recovers_ground_truth_paths() {
         {
             edge_hits += got.len();
             // Durations within 25 % of truth for interior segments.
-            for (k, entry) in m.entries.iter().enumerate().skip(1).take(m.entries.len().saturating_sub(2)) {
+            for (k, entry) in m
+                .entries
+                .iter()
+                .enumerate()
+                .skip(1)
+                .take(m.entries.len().saturating_sub(2))
+            {
                 let true_tt = tr.entries()[pos + k].travel_time;
                 assert!(
                     (entry.travel_time - true_tt).abs() < true_tt.max(4.0) * 0.5,

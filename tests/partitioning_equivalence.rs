@@ -100,8 +100,14 @@ fn partitioning_memory_shape_matches_figure_10a() {
         },
     )
     .memory_report();
-    assert!(p7.counts_bytes > 2 * full.counts_bytes, "C must grow with partitions");
-    assert!(p7.wavelet_bytes > full.wavelet_bytes, "WT compression must degrade");
+    assert!(
+        p7.counts_bytes > 2 * full.counts_bytes,
+        "C must grow with partitions"
+    );
+    assert!(
+        p7.wavelet_bytes > full.wavelet_bytes,
+        "WT compression must degrade"
+    );
     assert_eq!(p7.forest_logical_bytes, full.forest_logical_bytes);
     assert_eq!(p7.user_bytes, full.user_bytes);
     assert!(p7.forest_logical_bytes > p7.forest_logical_bytes_no_partition);

@@ -1,0 +1,308 @@
+//! The service layer's correctness contract: concurrent, cache-accelerated
+//! answers are byte-identical to the single-threaded engine and index on
+//! the same data — across query shapes, across repeated (warm-cache) runs,
+//! under ≥ 8-thread sharing, and across `append_batch` invalidations.
+
+mod common;
+
+use common::small_world;
+use std::sync::Arc;
+use tthr::core::{
+    QueryEngine, QueryEngineConfig, SntConfig, SntIndex, Spq, TimeInterval, TripQuery,
+};
+use tthr::datagen::sample_query_trajectories;
+use tthr::service::{QueryService, ServiceConfig};
+use tthr::trajectory::TrajectorySet;
+
+/// A mixed query sample: periodic windows (sequential, shift-and-enlarge
+/// dependent), fixed intervals (parallel chains), and user filters.
+fn query_mix(set: &TrajectorySet) -> Vec<Spq> {
+    let ids = sample_query_trajectories(set, 1.0, 10, 4);
+    let mut queries = Vec::new();
+    for (i, &id) in ids.iter().step_by(7).take(24).enumerate() {
+        let tr = set.get(id);
+        let beta = 5 + (i as u32 % 3) * 10;
+        let q = match i % 3 {
+            0 => Spq::new(
+                tr.path(),
+                TimeInterval::periodic_around(tr.start_time(), 900),
+            ),
+            1 => Spq::new(tr.path(), TimeInterval::fixed(0, tr.start_time().max(1))),
+            _ => Spq::new(tr.path(), TimeInterval::fixed(0, tr.start_time().max(1)))
+                .with_user(tr.user()),
+        };
+        queries.push(q.with_beta(beta).without_trajectory(id));
+    }
+    assert!(queries.len() >= 20, "sample must be non-trivial");
+    queries
+}
+
+fn assert_trips_identical(got: &TripQuery, want: &TripQuery, ctx: &str) {
+    assert_eq!(got.stats, want.stats, "{ctx}: stats diverge");
+    assert_eq!(got.subs.len(), want.subs.len(), "{ctx}: sub count");
+    for (g, w) in got.subs.iter().zip(&want.subs) {
+        assert_eq!(g.path, w.path, "{ctx}: sub path");
+        assert_eq!(g.values, w.values, "{ctx}: travel-time multiset");
+        assert_eq!(g.fallback, w.fallback, "{ctx}: fallback flag");
+        assert_eq!(g.histogram, w.histogram, "{ctx}: sub histogram");
+    }
+    assert_eq!(
+        got.predicted_duration(),
+        want.predicted_duration(),
+        "{ctx}: prediction"
+    );
+    assert_eq!(got.histogram, want.histogram, "{ctx}: trip histogram");
+}
+
+/// Equivalence up to scan order: an appended index and a from-scratch
+/// index agree on every answer as a multiset (tests/batch_append.rs), but
+/// may emit the values in different orders, which perturbs float sums in
+/// the last ulp.
+fn assert_trips_equivalent(got: &TripQuery, want: &TripQuery, ctx: &str) {
+    assert_eq!(got.stats, want.stats, "{ctx}: stats diverge");
+    assert_eq!(got.subs.len(), want.subs.len(), "{ctx}: sub count");
+    for (g, w) in got.subs.iter().zip(&want.subs) {
+        assert_eq!(g.path, w.path, "{ctx}: sub path");
+        assert_eq!(
+            common::sorted(g.values.clone()),
+            common::sorted(w.values.clone()),
+            "{ctx}: travel-time multiset"
+        );
+        assert_eq!(g.histogram, w.histogram, "{ctx}: sub histogram");
+    }
+    let (a, b) = (got.predicted_duration(), want.predicted_duration());
+    assert!(
+        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+        "{ctx}: {a} vs {b}"
+    );
+}
+
+#[test]
+fn service_equals_single_threaded_engine() {
+    let (syn, set) = small_world();
+    let queries = query_mix(&set);
+    let reference_index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let engine = QueryEngine::new(&reference_index, &syn.network, QueryEngineConfig::default());
+
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &set, SntConfig::default()),
+        Arc::new(syn.network.clone()),
+        ServiceConfig {
+            num_threads: 4,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Cold pass, warm pass (cache hits), and a batched pass must all equal
+    // the sequential reference.
+    for round in ["cold", "warm"] {
+        for (i, q) in queries.iter().enumerate() {
+            let want = engine.trip_query(q);
+            let got = service.trip_query(q);
+            assert_trips_identical(&got, &want, &format!("{round} trip {i}"));
+
+            let sub = &want.subs[0];
+            let spq = Spq::new(sub.path.clone(), q.interval).with_beta(q.beta_cap().min(50));
+            assert_eq!(
+                service.get_travel_times(&spq),
+                reference_index.get_travel_times(&spq),
+                "{round} spq {i}"
+            );
+        }
+    }
+    let batched = service.batch_trip_queries(&queries);
+    for (i, (got, q)) in batched.iter().zip(&queries).enumerate() {
+        assert_trips_identical(got, &engine.trip_query(q), &format!("batch trip {i}"));
+    }
+
+    let stats = service.stats();
+    assert!(stats.cache.hits > 0, "warm passes must hit the cache");
+    assert!(stats.cache.hit_rate() > 0.0);
+    assert_eq!(
+        stats.trip_queries,
+        2 * queries.len() as u64 + batched.len() as u64
+    );
+    assert!(stats.latency.p50_ms <= stats.latency.p95_ms);
+    assert!(stats.latency.p95_ms <= stats.latency.p99_ms);
+    assert!(stats.throughput_qps > 0.0);
+}
+
+#[test]
+fn eight_thread_stress_stays_consistent() {
+    let (syn, set) = small_world();
+    let queries = query_mix(&set);
+    let index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let engine = QueryEngine::new(&index, &syn.network, QueryEngineConfig::default());
+    let expected: Vec<TripQuery> = queries.iter().map(|q| engine.trip_query(q)).collect();
+
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &set, SntConfig::default()),
+        Arc::new(syn.network.clone()),
+        ServiceConfig {
+            num_threads: 8,
+            cache_capacity: 1 << 14,
+            ..ServiceConfig::default()
+        },
+    );
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let service = &service;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Every client walks the mix from a different offset so
+                    // cache hits and misses interleave across threads.
+                    for i in 0..queries.len() {
+                        let j = (i + client * 5 + round) % queries.len();
+                        let got = service.trip_query(&queries[j]);
+                        assert_trips_identical(
+                            &got,
+                            &expected[j],
+                            &format!("client {client} round {round} query {j}"),
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.trip_queries,
+        (CLIENTS * ROUNDS * queries.len()) as u64
+    );
+    assert!(
+        stats.cache.hits > stats.cache.misses,
+        "repeated mixes must be cache-dominated: {:?}",
+        stats.cache
+    );
+}
+
+#[test]
+fn trips_racing_an_append_match_exactly_one_generation() {
+    let (syn, set) = small_world();
+    // Fixed-interval queries take the parallel-chain path, where an append
+    // can land between chain jobs; the service must detect that and redo
+    // the trip, so every answer equals the pre- or post-append reference —
+    // never a mix.
+    let queries: Vec<Spq> = query_mix(&set)
+        .into_iter()
+        .filter(|q| !q.interval.is_periodic())
+        .collect();
+    assert!(queries.len() >= 10);
+
+    let half = set.len() / 2;
+    let mut prefix = TrajectorySet::new();
+    for tr in set.iter().take(half) {
+        prefix.push(tr.user(), tr.entries().to_vec()).expect("copy");
+    }
+    let before_index = SntIndex::build(&syn.network, &prefix, SntConfig::default());
+    let before = QueryEngine::new(&before_index, &syn.network, QueryEngineConfig::default());
+    let mut after_with_appends = SntIndex::build(&syn.network, &prefix, SntConfig::default());
+    after_with_appends.append_batch(&set);
+    let after = QueryEngine::new(
+        &after_with_appends,
+        &syn.network,
+        QueryEngineConfig::default(),
+    );
+
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &prefix, SntConfig::default()),
+        Arc::new(syn.network.clone()),
+        ServiceConfig {
+            num_threads: 8,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let matches = |got: &TripQuery, want: &TripQuery| {
+        got.stats == want.stats
+            && got.subs.len() == want.subs.len()
+            && got
+                .subs
+                .iter()
+                .zip(&want.subs)
+                .all(|(g, w)| g.histogram == w.histogram)
+    };
+    let want_before: Vec<TripQuery> = queries.iter().map(|q| before.trip_query(q)).collect();
+    let want_after: Vec<TripQuery> = queries.iter().map(|q| after.trip_query(q)).collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let (service, queries) = (&service, &queries);
+            let (want_before, want_after, matches) = (&want_before, &want_after, &matches);
+            scope.spawn(move || {
+                for round in 0..4 {
+                    for i in 0..queries.len() {
+                        let j = (i + client * 3 + round) % queries.len();
+                        let got = service.trip_query(&queries[j]);
+                        assert!(
+                            matches(&got, &want_before[j]) || matches(&got, &want_after[j]),
+                            "client {client} round {round} query {j}: \
+                             result matches neither index generation"
+                        );
+                    }
+                }
+            });
+        }
+        // Land the append while the clients are mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(service.append_batch(&set), set.len() - half);
+    });
+    assert_eq!(service.stats().generation, 1);
+}
+
+#[test]
+fn append_batch_invalidates_and_matches_full_rebuild() {
+    let (syn, set) = small_world();
+    let queries = query_mix(&set);
+
+    // Service over the first half of the history.
+    let half = set.len() / 2;
+    let mut prefix = TrajectorySet::new();
+    for tr in set.iter().take(half) {
+        prefix.push(tr.user(), tr.entries().to_vec()).expect("copy");
+    }
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &prefix, SntConfig::default()),
+        Arc::new(syn.network.clone()),
+        ServiceConfig {
+            num_threads: 4,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Warm the cache on the prefix state.
+    for q in &queries {
+        let _ = service.trip_query(q);
+    }
+    let warm = service.stats();
+    assert!(warm.cache.entries > 0);
+    assert_eq!(warm.generation, 0);
+
+    // Append the second half and re-answer everything: results must match
+    // an index built over the full history from scratch (the append path's
+    // own equivalence is covered by tests/batch_append.rs; here we assert
+    // the *service* serves the new state, i.e. no stale cache survives).
+    assert_eq!(service.append_batch(&set), set.len() - half);
+    let after = service.stats();
+    assert_eq!(after.generation, 1);
+    assert_eq!(after.cache.entries, 0, "append must clear the cache");
+    assert_eq!(after.cache.invalidations, 1);
+
+    let full_index = SntIndex::build(&syn.network, &set, SntConfig::default());
+    let engine = QueryEngine::new(&full_index, &syn.network, QueryEngineConfig::default());
+    for (i, q) in queries.iter().enumerate() {
+        let got = service.trip_query(q);
+        assert_trips_equivalent(
+            &got,
+            &engine.trip_query(q),
+            &format!("post-append trip {i}"),
+        );
+    }
+    service.with_index(|index| assert_eq!(index.num_trajectories(), set.len()));
+}
