@@ -1,0 +1,70 @@
+//! Persistence bench: cold index build vs snapshot serialize / load, plus
+//! the snapshot's on-disk footprint.
+//!
+//! The whole point of `tthr-store` is that `SntIndex::from_snapshot_bytes`
+//! skips suffix-array construction, Huffman shaping, and forest sorting —
+//! a restart pays (roughly) checksum + deserialization cost only. This
+//! bench quantifies the ratio on a deterministic synthetic workload sized
+//! so the asymptotics show (the tiny unit-test scale is dominated by
+//! fixed overhead) and prints the snapshot file size next to the index's
+//! in-memory footprint. The ratio grows with history length; at the
+//! `TTHR_SCALE=medium` experiment scale it is ≈ 5×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use tthr_core::{SntConfig, SntIndex};
+use tthr_datagen::{generate_network, generate_workload, NetworkConfig, WorkloadConfig};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let syn = generate_network(&NetworkConfig::small());
+    let set = generate_workload(
+        &syn,
+        &WorkloadConfig {
+            num_drivers: 30,
+            num_days: 60,
+            ..WorkloadConfig::small()
+        },
+    );
+    let config = SntConfig::default();
+    let build_index = || SntIndex::build(&syn.network, &set, config);
+    let index = build_index();
+    let bytes = index.to_snapshot_bytes();
+
+    // Headline numbers: footprint and a single-shot build-vs-load ratio
+    // (the criterion samples below give the detailed timings).
+    let mem = index.memory_report();
+    let t0 = Instant::now();
+    let rebuilt = build_index();
+    let build = t0.elapsed();
+    let t1 = Instant::now();
+    let loaded = SntIndex::from_snapshot_bytes(&bytes).expect("own snapshot loads");
+    let load = t1.elapsed();
+    assert_eq!(loaded.num_trajectories(), rebuilt.num_trajectories());
+    println!(
+        "snapshot: {} B on disk for {} trajectories / {} leaf entries ({} B in-memory forest)\n\
+         cold build {:.1} ms vs snapshot load {:.1} ms — {:.1}x faster restart",
+        bytes.len(),
+        set.len(),
+        mem.total_entries,
+        mem.forest_bytes,
+        build.as_secs_f64() * 1e3,
+        load.as_secs_f64() * 1e3,
+        build.as_secs_f64() / load.as_secs_f64().max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10);
+    group.bench_function("cold_build", |b| {
+        b.iter(|| std::hint::black_box(build_index()))
+    });
+    group.bench_function("serialize", |b| {
+        b.iter(|| std::hint::black_box(index.to_snapshot_bytes()))
+    });
+    group.bench_function("load", |b| {
+        b.iter(|| std::hint::black_box(SntIndex::from_snapshot_bytes(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -41,6 +41,7 @@ mod cardinality;
 mod engine;
 mod interval;
 mod partition;
+pub mod persist;
 mod probe;
 mod snt;
 mod split;
@@ -54,6 +55,7 @@ pub use engine::{
 };
 pub use interval::TimeInterval;
 pub use partition::{partition_query, PartitionMethod};
+pub use persist::WalBatch;
 pub use probe::ProbeTable;
 pub use snt::{MemoryReport, SntConfig, SntIndex, TravelTimes, TreeKind, WaveletKind};
 pub use split::{SplitMethod, Splitter};

@@ -145,7 +145,7 @@ pub struct MemoryReport {
     pub total_entries: usize,
 }
 
-enum FmVariant {
+pub(crate) enum FmVariant {
     Huffman(FmIndex<HuffmanWaveletTree>),
     Matrix(FmIndex<WaveletMatrix>),
 }
@@ -186,7 +186,7 @@ impl FmVariant {
     }
 }
 
-enum Forest {
+pub(crate) enum Forest {
     Css(Vec<CssTree>),
     BPlus(Vec<BPlusTree>),
 }
@@ -222,9 +222,9 @@ impl Forest {
 
 /// Per-partition, per-segment time-of-day histograms.
 pub(crate) struct TodStore {
-    bucket_secs: u32,
+    pub(crate) bucket_secs: u32,
     /// `hists[partition][edge]`, allocated lazily for non-empty segments.
-    hists: Vec<Vec<Option<TimeOfDayHistogram>>>,
+    pub(crate) hists: Vec<Vec<Option<TimeOfDayHistogram>>>,
 }
 
 impl TodStore {
@@ -250,17 +250,20 @@ impl TodStore {
 }
 
 /// The extended SNT-index (paper, Section 4).
+///
+/// Fields are `pub(crate)` so the persistence layer (`crate::persist`)
+/// can decompose the index into snapshot sections and reassemble it.
 pub struct SntIndex {
-    config: SntConfig,
-    partitions: Vec<FmVariant>,
-    forest: Forest,
-    user_table: Vec<UserId>,
-    tod: Option<TodStore>,
+    pub(crate) config: SntConfig,
+    pub(crate) partitions: Vec<FmVariant>,
+    pub(crate) forest: Forest,
+    pub(crate) user_table: Vec<UserId>,
+    pub(crate) tod: Option<TodStore>,
     /// Copied per-edge speed-limit estimates for the Procedure 5 fallback.
-    estimate_tt: Vec<f64>,
-    data_min: Timestamp,
-    data_max: Timestamp,
-    total_entries: usize,
+    pub(crate) estimate_tt: Vec<f64>,
+    pub(crate) data_min: Timestamp,
+    pub(crate) data_max: Timestamp,
+    pub(crate) total_entries: usize,
 }
 
 impl SntIndex {
@@ -631,24 +634,39 @@ impl SntIndex {
         if set.len() <= from {
             return 0;
         }
-        let new_ids: Vec<u32> = (from as u32..set.len() as u32).collect();
+        let batch: Vec<&tthr_trajectory::Trajectory> = (from as u32..set.len() as u32)
+            .map(|id| set.get(tthr_trajectory::TrajId(id)))
+            .collect();
+        self.append_trajectories(&batch)
+    }
+
+    /// Appends a batch of trajectories as one new temporal partition,
+    /// assigning them the next dense ids `num_trajectories()..` — the ids
+    /// embedded in the [`Trajectory`](tthr_trajectory::Trajectory) values
+    /// are ignored. This is the primitive behind [`SntIndex::append_batch`]
+    /// and the write-ahead-log replay path
+    /// ([`SntIndex::append_trajectory_batch`]).
+    ///
+    /// # Panics
+    /// Panics if the partition id space (2¹⁶) is exhausted.
+    pub fn append_trajectories(&mut self, batch: &[&tthr_trajectory::Trajectory]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let from = self.num_trajectories() as u32;
         let w = self.partitions.len();
         assert!(w < u16::MAX as usize, "partition id space exhausted");
 
         // FM-index over the batch's own trajectory string.
         let sigma = self.estimate_tt.len() as u32 + 1;
-        let (txt, starts) = text::build_text(
-            new_ids
-                .iter()
-                .map(|&id| set.get(tthr_trajectory::TrajId(id))),
-        );
+        let (txt, starts) = text::build_text(batch.iter().copied());
         let (fm, isa) = FmVariant::build(self.config.wavelet, &txt, sigma);
 
         // Collect the batch's leaves per edge, then append in time order.
         let num_edges = self.estimate_tt.len();
         let mut per_edge: Vec<Vec<LeafEntry>> = vec![Vec::new(); num_edges];
-        for (gi, &id) in new_ids.iter().enumerate() {
-            let tr = set.get(tthr_trajectory::TrajId(id));
+        for (gi, tr) in batch.iter().enumerate() {
+            let id = from + gi as u32;
             let base = starts[gi];
             let mut aggregate = 0.0;
             for (k, entry) in tr.entries().iter().enumerate() {
@@ -687,7 +705,7 @@ impl SntIndex {
             self.forest.append(edge_idx, leaves);
         }
         self.partitions.push(fm);
-        new_ids.len()
+        batch.len()
     }
 
     /// Memory accounting for the Figure 10 experiments.

@@ -1,5 +1,7 @@
 //! A plain bit vector with constant-time rank.
 
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
+
 /// Bits per rank superblock.
 const SUPER_BITS: usize = 512;
 /// 64-bit words per superblock.
@@ -128,6 +130,36 @@ impl RankBitVec {
     }
 }
 
+/// Wire form: bit length (`u64`), then the raw words. The rank directory
+/// is derived, so it is rebuilt on restore instead of stored.
+impl Persist for RankBitVec {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_len(self.len);
+        w.put_seq(&self.words);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let len = r.get_u64()? as usize;
+        let words: Vec<u64> = r.get_seq()?;
+        if words.len() != len.div_ceil(64) {
+            return Err(StoreError::corrupt(format!(
+                "bit vector of {len} bits needs {} words, found {}",
+                len.div_ceil(64),
+                words.len()
+            )));
+        }
+        // Bits past `len` in the final word must be clear — the rank
+        // directory counts whole words, so stray bits would skew it.
+        if !len.is_multiple_of(64) {
+            let last = words[words.len() - 1];
+            if last >> (len % 64) != 0 {
+                return Err(StoreError::corrupt("set bits past bit-vector length"));
+            }
+        }
+        Ok(Self::from_words(words, len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +210,45 @@ mod tests {
         let zeros = RankBitVec::from_bits((0..777).map(|_| false));
         assert_eq!(zeros.rank1(777), 0);
         assert_eq!(zeros.rank0(700), 700);
+    }
+
+    fn round_trip(bv: &RankBitVec) -> RankBitVec {
+        let mut w = tthr_store::ByteWriter::new();
+        bv.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tthr_store::ByteReader::new(&bytes);
+        let restored = RankBitVec::restore(&mut r).unwrap();
+        r.expect_exhausted("bit vector").unwrap();
+        restored
+    }
+
+    #[test]
+    fn persist_round_trip_rebuilds_rank_directory() {
+        for n in [0usize, 1, 63, 64, 65, 511, 512, 513, 1500] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 5 < 2).collect();
+            let bv = RankBitVec::from_bits(bits.iter().copied());
+            let restored = round_trip(&bv);
+            assert_eq!(restored.len(), n);
+            for i in (0..=n).step_by(17) {
+                assert_eq!(restored.rank1(i), bv.rank1(i), "n={n} rank1({i})");
+            }
+        }
+    }
+
+    #[test]
+    fn persist_rejects_stray_bits_past_length() {
+        let bv = RankBitVec::from_bits((0..10).map(|_| true));
+        let mut w = tthr_store::ByteWriter::new();
+        bv.persist(&mut w);
+        let mut bytes = w.into_bytes();
+        // Set a bit beyond position 9 inside the single stored word
+        // (layout: len u64, word count u64, word u64 little-endian).
+        bytes[17] |= 0x80;
+        let result = RankBitVec::restore(&mut tthr_store::ByteReader::new(&bytes));
+        assert!(matches!(
+            result,
+            Err(tthr_store::StoreError::Corrupt { .. })
+        ));
     }
 
     proptest::proptest! {

@@ -4,6 +4,7 @@
 use crate::bwt::{bwt_from_sa, symbol_counts};
 use crate::suffix::{inverse_suffix_array, suffix_array};
 use crate::SymbolRank;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// A half-open range `[start, end)` of inverse-suffix-array values: the ranks
 /// of all suffixes of the trajectory string that begin with a queried path.
@@ -178,6 +179,41 @@ impl<W: SymbolRank> FmIndex<W> {
     }
 }
 
+/// Wire form: alphabet size (`u32`), the `C` array, then the wavelet
+/// structure holding the BWT.
+impl<W: SymbolRank + Persist> Persist for FmIndex<W> {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.alphabet_size);
+        w.put_seq(&self.counts);
+        self.bwt.persist(w);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let alphabet_size = r.get_u32()?;
+        let counts: Vec<u64> = r.get_seq()?;
+        if counts.len() != alphabet_size as usize + 1 {
+            return Err(StoreError::corrupt(format!(
+                "C array has {} entries for alphabet {alphabet_size}",
+                counts.len()
+            )));
+        }
+        if counts.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::corrupt("C array is not non-decreasing"));
+        }
+        let bwt = W::restore(r)?;
+        if counts.last().copied().unwrap_or(0) != bwt.len() as u64 {
+            return Err(StoreError::corrupt(
+                "C array total disagrees with BWT length",
+            ));
+        }
+        Ok(FmIndex {
+            counts,
+            bwt,
+            alphabet_size,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +305,50 @@ mod tests {
         assert!(!r.contains(7) && !r.contains(3));
         assert!(IsaRange::EMPTY.is_empty());
         assert_eq!(IsaRange::EMPTY.len(), 0);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_every_range() {
+        let text = figure3_text();
+        let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&text, 7);
+        let mut w = tthr_store::ByteWriter::new();
+        fm.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tthr_store::ByteReader::new(&bytes);
+        let restored = FmIndex::<HuffmanWaveletTree>::restore(&mut r).unwrap();
+        r.expect_exhausted("fm index").unwrap();
+        assert_eq!(restored.alphabet_size(), 7);
+        assert_eq!(restored.text_len(), text.len());
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                assert_eq!(fm.isa_range(&[a, b]), restored.isa_range(&[a, b]));
+            }
+        }
+
+        let (fm2, _) = FmIndex::<WaveletMatrix>::build(&text, 7);
+        let mut w = tthr_store::ByteWriter::new();
+        fm2.persist(&mut w);
+        let bytes = w.into_bytes();
+        let restored =
+            FmIndex::<WaveletMatrix>::restore(&mut tthr_store::ByteReader::new(&bytes)).unwrap();
+        assert_eq!(fm2.isa_range(&[1, 2]), restored.isa_range(&[1, 2]));
+    }
+
+    #[test]
+    fn persist_rejects_corrupt_counts() {
+        let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&figure3_text(), 7);
+        let mut w = tthr_store::ByteWriter::new();
+        fm.persist(&mut w);
+        let mut bytes = w.into_bytes();
+        // The first C entry lives after alphabet_size (4) + seq len (8);
+        // bump it above its successor.
+        bytes[12] = 0xFF;
+        let result =
+            FmIndex::<HuffmanWaveletTree>::restore(&mut tthr_store::ByteReader::new(&bytes));
+        assert!(matches!(
+            result,
+            Err(tthr_store::StoreError::Corrupt { .. })
+        ));
     }
 
     proptest::proptest! {

@@ -12,6 +12,7 @@ use crate::bitvec::RankBitVec;
 use crate::SymbolRank;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// A node child: another internal node or a leaf symbol.
 #[derive(Clone, Copy, Debug)]
@@ -163,6 +164,144 @@ impl HuffmanWaveletTree {
             .copied()
             .flatten()
             .map(|(_, l)| l)
+    }
+}
+
+impl Persist for Child {
+    fn persist(&self, w: &mut ByteWriter) {
+        match self {
+            Child::Internal(i) => {
+                w.put_u8(0);
+                w.put_u32(*i);
+            }
+            Child::Leaf(s) => {
+                w.put_u8(1);
+                w.put_u32(*s);
+            }
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(Child::Internal(r.get_u32()?)),
+            1 => Ok(Child::Leaf(r.get_u32()?)),
+            other => Err(StoreError::corrupt(format!("huffman child tag {other}"))),
+        }
+    }
+}
+
+/// Wire form: sequence length (`u64`), single-symbol and root options,
+/// per-symbol canonical codes, then the internal nodes (two children +
+/// one bit vector each). The Huffman *shape* is data, not derivable: the
+/// tie-breaking of equal-frequency merges must survive the round trip for
+/// ranks to stay byte-identical.
+impl Persist for HuffmanWaveletTree {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_len(self.len);
+        self.single_symbol.persist(w);
+        self.root.persist(w);
+        w.put_len(self.codes.len());
+        for code in &self.codes {
+            match code {
+                None => w.put_u8(0),
+                Some((bits, depth)) => {
+                    w.put_u8(1);
+                    w.put_u64(*bits);
+                    w.put_u8(*depth);
+                }
+            }
+        }
+        w.put_len(self.nodes.len());
+        for node in &self.nodes {
+            node.left.persist(w);
+            node.right.persist(w);
+            node.bv.persist(w);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let len = r.get_u64()? as usize;
+        let single_symbol = Option::<u32>::restore(r)?;
+        let root = Option::<u32>::restore(r)?;
+        let n_codes = r.get_len(1)?;
+        let mut codes = Vec::with_capacity(n_codes);
+        for _ in 0..n_codes {
+            codes.push(match r.get_u8()? {
+                0 => None,
+                1 => {
+                    let bits = r.get_u64()?;
+                    let depth = r.get_u8()?;
+                    if depth > 64 {
+                        return Err(StoreError::corrupt("huffman code deeper than 64 bits"));
+                    }
+                    Some((bits, depth))
+                }
+                other => return Err(StoreError::corrupt(format!("huffman code tag {other}"))),
+            });
+        }
+        let n_nodes = r.get_len(1)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let left = Child::restore(r)?;
+            let right = Child::restore(r)?;
+            for child in [left, right] {
+                if let Child::Internal(i) = child {
+                    if i as usize >= n_nodes {
+                        return Err(StoreError::corrupt("huffman child out of bounds"));
+                    }
+                }
+            }
+            let bv = RankBitVec::restore(r)?;
+            nodes.push(Node { bv, left, right });
+        }
+        match root {
+            Some(root_id) if (root_id as usize) < nodes.len() => {}
+            Some(_) => return Err(StoreError::corrupt("huffman root out of bounds")),
+            None if nodes.is_empty() => {}
+            None => return Err(StoreError::corrupt("huffman nodes without a root")),
+        }
+        if let Some(root_id) = root {
+            // Walk the shape from the root, checking that every node's
+            // bit vector is exactly as long as the subsequence its parent
+            // routes into it, that each internal node is referenced once,
+            // and that none are orphaned — an inconsistent (but CRC-valid)
+            // section must fail here, not panic mid-query on a rank past
+            // a too-short bit vector.
+            let mut seen = vec![false; nodes.len()];
+            seen[root_id as usize] = true;
+            let mut reached = 1usize;
+            let mut stack = vec![(root_id as usize, len)];
+            while let Some((id, expect)) = stack.pop() {
+                let node = &nodes[id];
+                if node.bv.len() != expect {
+                    return Err(StoreError::corrupt(format!(
+                        "huffman node {id} has {} bits, expected {expect}",
+                        node.bv.len()
+                    )));
+                }
+                let zeros = node.bv.rank0(expect);
+                for (child, sub) in [(node.left, zeros), (node.right, expect - zeros)] {
+                    if let Child::Internal(i) = child {
+                        // In-bounds already checked while reading nodes.
+                        if std::mem::replace(&mut seen[i as usize], true) {
+                            return Err(StoreError::corrupt("huffman node referenced twice"));
+                        }
+                        reached += 1;
+                        stack.push((i as usize, sub));
+                    }
+                }
+            }
+            if reached != nodes.len() {
+                return Err(StoreError::corrupt("orphaned huffman nodes"));
+            }
+        }
+        Ok(HuffmanWaveletTree {
+            nodes,
+            root,
+            codes,
+            len,
+            single_symbol,
+        })
     }
 }
 
@@ -319,6 +458,52 @@ mod tests {
         let wt = HuffmanWaveletTree::new(&[1, 2, 1, 2], 10);
         assert_eq!(wt.rank(5, 4), 0);
         assert_eq!(wt.rank(9, 4), 0);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_shape_and_ranks() {
+        for seq in [
+            vec![],
+            vec![4u32, 4, 4],
+            vec![3, 1, 4, 1, 5, 1, 2, 6, 5, 3, 1, 1, 1],
+        ] {
+            let wt = HuffmanWaveletTree::new(&seq, 8);
+            let mut w = tthr_store::ByteWriter::new();
+            wt.persist(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = tthr_store::ByteReader::new(&bytes);
+            let restored = HuffmanWaveletTree::restore(&mut r).unwrap();
+            r.expect_exhausted("huffman tree").unwrap();
+            assert_eq!(restored.len(), seq.len());
+            for c in 0..8u32 {
+                assert_eq!(restored.code_len(c), wt.code_len(c), "code({c})");
+                for pos in 0..=seq.len() {
+                    assert_eq!(restored.rank(c, pos), wt.rank(c, pos), "rank({c},{pos})");
+                }
+            }
+            for i in 0..seq.len() {
+                assert_eq!(restored.access(i), wt.access(i));
+            }
+        }
+    }
+
+    #[test]
+    fn persist_rejects_length_inconsistent_with_bit_vectors() {
+        let seq = vec![3u32, 1, 4, 1, 5, 1, 2, 6, 5, 3];
+        let wt = HuffmanWaveletTree::new(&seq, 8);
+        let mut w = tthr_store::ByteWriter::new();
+        wt.persist(&mut w);
+        let mut bytes = w.into_bytes();
+        // The wire form opens with the sequence length (u64 LE); claim a
+        // longer sequence than the node bit vectors cover. A rank at the
+        // claimed length would index past the root's words — restore must
+        // reject it instead of deferring the panic to query time.
+        bytes[..8].copy_from_slice(&1000u64.to_le_bytes());
+        let result = HuffmanWaveletTree::restore(&mut tthr_store::ByteReader::new(&bytes));
+        assert!(matches!(
+            result,
+            Err(tthr_store::StoreError::Corrupt { .. })
+        ));
     }
 
     proptest::proptest! {

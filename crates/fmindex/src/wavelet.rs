@@ -6,6 +6,7 @@
 
 use crate::bitvec::RankBitVec;
 use crate::SymbolRank;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// A wavelet matrix over `u32` symbols (Claude, Navarro & Ordóñez, 2015).
 ///
@@ -59,6 +60,48 @@ impl WaveletMatrix {
             len: sequence.len(),
             bits,
         }
+    }
+}
+
+/// Wire form: length (`u64`), level count (`u32`), then each level's bit
+/// vector. The per-level zero counts are ranks over those vectors and are
+/// recomputed on restore.
+impl Persist for WaveletMatrix {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_len(self.len);
+        w.put_u32(self.bits);
+        for level in &self.levels {
+            level.persist(w);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let len = r.get_u64()? as usize;
+        let bits = r.get_u32()?;
+        if bits == 0 || bits > 32 {
+            return Err(StoreError::corrupt(format!(
+                "wavelet matrix with {bits} levels"
+            )));
+        }
+        let mut levels = Vec::with_capacity(bits as usize);
+        let mut zeros = Vec::with_capacity(bits as usize);
+        for l in 0..bits {
+            let bv = RankBitVec::restore(r)?;
+            if bv.len() != len {
+                return Err(StoreError::corrupt(format!(
+                    "wavelet level {l} has {} bits, expected {len}",
+                    bv.len()
+                )));
+            }
+            zeros.push(bv.rank0(len));
+            levels.push(bv);
+        }
+        Ok(WaveletMatrix {
+            levels,
+            zeros,
+            len,
+            bits,
+        })
     }
 }
 
@@ -169,6 +212,26 @@ mod tests {
         assert_eq!(wm.len(), 0);
         assert_eq!(wm.rank(3, 0), 0);
         assert!(wm.is_empty());
+    }
+
+    #[test]
+    fn persist_round_trip_recomputes_zeros() {
+        let seq = vec![3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let wm = WaveletMatrix::new(&seq, 10);
+        let mut w = tthr_store::ByteWriter::new();
+        wm.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tthr_store::ByteReader::new(&bytes);
+        let restored = WaveletMatrix::restore(&mut r).unwrap();
+        r.expect_exhausted("wavelet matrix").unwrap();
+        for c in 0..10u32 {
+            for pos in 0..=seq.len() {
+                assert_eq!(restored.rank(c, pos), wm.rank(c, pos), "rank({c},{pos})");
+            }
+        }
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(restored.access(i), s);
+        }
     }
 
     proptest::proptest! {

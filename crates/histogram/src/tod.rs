@@ -1,5 +1,7 @@
 //! Per-segment time-of-day histograms for selectivity estimation.
 
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
+
 /// Seconds in a day.
 const DAY: i64 = 86_400;
 
@@ -101,6 +103,37 @@ impl TimeOfDayHistogram {
     }
 }
 
+/// Wire form: bucket width (`u32`) then the bucket counts; the total is a
+/// sum and is recomputed on restore.
+impl Persist for TimeOfDayHistogram {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.bucket_secs);
+        w.put_seq(&self.counts);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let bucket_secs = r.get_u32()?;
+        if bucket_secs == 0 || DAY % bucket_secs as i64 != 0 {
+            return Err(StoreError::corrupt(format!(
+                "tod bucket width {bucket_secs} does not divide 24 hours"
+            )));
+        }
+        let counts: Vec<u32> = r.get_seq()?;
+        if counts.len() as i64 != DAY / bucket_secs as i64 {
+            return Err(StoreError::corrupt(format!(
+                "tod histogram has {} buckets for width {bucket_secs}",
+                counts.len()
+            )));
+        }
+        let total = counts.iter().map(|&c| c as u64).sum();
+        Ok(TimeOfDayHistogram {
+            bucket_secs,
+            counts,
+            total,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +188,35 @@ mod tests {
         let coarse = TimeOfDayHistogram::new(600);
         assert!(fine.size_bytes() > coarse.size_bytes());
         assert_eq!(fine.size_bytes(), 1440 * 4);
+    }
+
+    #[test]
+    fn persist_round_trip_recomputes_total() {
+        let mut h = TimeOfDayHistogram::new(600);
+        for t in [0i64, 3600, 3600, DAY - 1, 2 * DAY + 12 * 3600] {
+            h.add(t);
+        }
+        let mut w = tthr_store::ByteWriter::new();
+        h.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tthr_store::ByteReader::new(&bytes);
+        let restored = TimeOfDayHistogram::restore(&mut r).unwrap();
+        r.expect_exhausted("tod histogram").unwrap();
+        assert_eq!(restored, h);
+        assert_eq!(restored.total(), 5);
+    }
+
+    #[test]
+    fn persist_rejects_bad_bucket_width() {
+        let mut w = tthr_store::ByteWriter::new();
+        w.put_u32(7); // does not divide 86 400
+        w.put_seq::<u32>(&[]);
+        let bytes = w.into_bytes();
+        let result = TimeOfDayHistogram::restore(&mut tthr_store::ByteReader::new(&bytes));
+        assert!(matches!(
+            result,
+            Err(tthr_store::StoreError::Corrupt { .. })
+        ));
     }
 
     proptest::proptest! {

@@ -24,7 +24,7 @@
 //!
 //! Results are **identical** to the single-threaded engine: the cache key
 //! is the entire query, the cached value is the exact
-//! [`TravelTimes`](tthr_core::TravelTimes) the index returned, and chains
+//! [`TravelTimes`] the index returned, and chains
 //! are only executed in parallel when
 //! [`QueryEngine::chains_are_independent`] proves the decomposition order
 //! cannot matter (otherwise the service falls back to the sequential loop
@@ -52,21 +52,25 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod persist;
 pub mod pool;
 mod stats;
 
 pub use cache::{CacheCounters, ShardedCache};
+pub use persist::{SnapshotInfo, SNAPSHOT_FILE, WAL_FILE};
 pub use pool::ThreadPool;
 pub use stats::{LatencySummary, ServiceStats};
 
 use crate::stats::LatencyLog;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use tthr_core::{
     QueryEngine, QueryEngineConfig, SntIndex, Spq, TravelTimeProvider, TravelTimes, TripQuery,
+    WalBatch,
 };
 use tthr_network::RoadNetwork;
+use tthr_store::{ByteWriter, Persist, StoreError};
 use tthr_trajectory::TrajectorySet;
 
 /// Service construction options.
@@ -102,6 +106,9 @@ struct Inner {
     spq_queries: AtomicU64,
     trip_queries: AtomicU64,
     generation: AtomicU64,
+    /// Durable storage, attached by `save_snapshot` / `open`. Lock order:
+    /// the index lock is always taken **before** this mutex.
+    persist: Mutex<Option<persist::Persistence>>,
 }
 
 /// Routes the engine's `getTravelTimes` dispatches through the shared
@@ -151,6 +158,7 @@ impl QueryService {
                 spq_queries: AtomicU64::new(0),
                 trip_queries: AtomicU64::new(0),
                 generation: AtomicU64::new(0),
+                persist: Mutex::new(None),
             }),
             pool: Arc::new(ThreadPool::new(threads)),
         }
@@ -237,8 +245,27 @@ impl QueryService {
     /// whose parallel chains straddle the update re-executes against the
     /// new state — every returned `TripQuery` reflects exactly one index
     /// generation.
-    pub fn append_batch(&self, set: &TrajectorySet) -> usize {
+    ///
+    /// With durable storage attached ([`QueryService::save_snapshot`] /
+    /// [`QueryService::open`]) the batch is logged **write-ahead**: it is
+    /// appended and fsynced to the WAL before the in-memory index changes,
+    /// so a crash at any point either loses the whole batch (the caller
+    /// saw the error) or replays it fully on the next `open`. Without
+    /// storage attached the call is infallible.
+    pub fn append_batch(&self, set: &TrajectorySet) -> Result<usize, StoreError> {
         let mut index = self.inner.index.write().expect("index lock");
+        let from = index.num_trajectories();
+        if set.len() <= from {
+            return Ok(0);
+        }
+        {
+            let mut persist = self.inner.persist.lock().expect("persist lock");
+            if let Some(p) = persist.as_mut() {
+                let mut w = ByteWriter::new();
+                WalBatch::delta(set, from).persist(&mut w);
+                p.wal.append(&w.into_bytes())?;
+            }
+        }
         let appended = index.append_batch(set);
         if appended > 0 {
             // Clear while still holding the write lock: readers that were
@@ -248,7 +275,7 @@ impl QueryService {
             self.inner.cache.clear();
             self.inner.generation.fetch_add(1, Ordering::SeqCst);
         }
-        appended
+        Ok(appended)
     }
 
     /// Runs a closure against the current index state (read-locked).
@@ -434,7 +461,7 @@ mod tests {
         assert_eq!(s.stats().cache.entries, 1);
 
         // Appending the same set is a no-op: no invalidation.
-        assert_eq!(s.append_batch(&example_trajectories()), 0);
+        assert_eq!(s.append_batch(&example_trajectories()).unwrap(), 0);
         assert_eq!(s.stats().generation, 0);
         assert_eq!(s.stats().cache.entries, 1);
 
@@ -450,7 +477,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert_eq!(s.append_batch(&grown), 1);
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
         let stats = s.stats();
         assert_eq!(stats.generation, 1);
         assert_eq!(stats.cache.entries, 0);

@@ -1,0 +1,101 @@
+//! Typed errors for every way a stored file can disappoint.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing persistent state.
+///
+/// Corrupt input is always reported through one of these variants — the
+/// restore paths are panic-free by contract (see [`crate::Persist`]).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// Which file kind was being opened (`"snapshot"` or `"wal"`).
+        kind: &'static str,
+    },
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// The file ends before the data its header promises.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A CRC-guarded region does not match its stored checksum.
+    ChecksumMismatch {
+        /// The guarded region (section id or WAL record).
+        context: String,
+    },
+    /// A required snapshot section is absent.
+    MissingSection(u32),
+    /// Structurally well-formed bytes that violate a semantic invariant.
+    Corrupt {
+        /// The violated invariant.
+        context: String,
+    },
+    /// The WAL skips ahead of the snapshot: a batch's base stamp is newer
+    /// than the index state, so at least one earlier record is missing.
+    WalGap {
+        /// Trajectory count the index has reached.
+        expected: u64,
+        /// Base stamp of the offending WAL record.
+        found: u64,
+    },
+}
+
+impl StoreError {
+    /// Convenience constructor for [`StoreError::Corrupt`].
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { kind } => write!(f, "not a tthr {kind} file (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (supported: {supported})"
+                )
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "file truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { context } => {
+                write!(f, "checksum mismatch in {context}")
+            }
+            StoreError::MissingSection(id) => write!(f, "snapshot section {id} is missing"),
+            StoreError::Corrupt { context } => write!(f, "corrupt data: {context}"),
+            StoreError::WalGap { expected, found } => write!(
+                f,
+                "wal gap: index has {expected} trajectories but record starts at {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

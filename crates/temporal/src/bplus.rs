@@ -9,6 +9,7 @@
 use crate::entry::LeafEntry;
 use crate::TemporalIndex;
 use std::ops::ControlFlow;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// Maximum entries per leaf node.
 const LEAF_CAP: usize = 32;
@@ -90,6 +91,32 @@ impl BPlusTree {
                 children: vec![old_root, right],
             };
         }
+    }
+}
+
+/// Wire form: the entries in ascending scan order. The node structure is
+/// rebuilt with [`BPlusTree::from_sorted`]; scans visit the same entries
+/// in the same order, so query results are unchanged even though the
+/// rebuilt node boundaries may differ from an insert-grown original.
+impl Persist for BPlusTree {
+    fn persist(&self, w: &mut ByteWriter) {
+        let mut entries = Vec::with_capacity(self.len);
+        let _ = self.scan_range(i64::MIN, i64::MAX, &mut |e| {
+            entries.push(*e);
+            ControlFlow::Continue(())
+        });
+        // Timestamps of i64::MAX cannot exist (the index computes
+        // `max_key + 1` elsewhere), so the scan is exhaustive.
+        debug_assert_eq!(entries.len(), self.len);
+        w.put_seq(&entries);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let entries = LeafEntry::restore_seq(r)?;
+        if entries.windows(2).any(|w| w[0].time > w[1].time) {
+            return Err(StoreError::corrupt("b+-tree entries out of time order"));
+        }
+        Ok(BPlusTree::from_sorted(entries))
     }
 }
 
@@ -297,6 +324,31 @@ mod tests {
         assert_eq!(trajs, (0..50).collect::<Vec<_>>());
         assert_eq!(t.range_count(7, 8), 50);
         assert_eq!(t.range_count(8, 100), 0);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_scan_order() {
+        // Insert-grown tree with duplicate keys: the restored tree must
+        // scan the same entries in the same (stable) order.
+        let mut t = BPlusTree::new();
+        for i in (0..300).rev() {
+            t.insert(e(i / 4, i as u32));
+        }
+        let mut w = tthr_store::ByteWriter::new();
+        t.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tthr_store::ByteReader::new(&bytes);
+        let restored = BPlusTree::restore(&mut r).unwrap();
+        r.expect_exhausted("b+ tree").unwrap();
+        assert_eq!(restored.len(), t.len());
+        assert_eq!(
+            restored.collect_range(i64::MIN, i64::MAX),
+            t.collect_range(i64::MIN, i64::MAX)
+        );
+        // Inserts still work after a restore.
+        let mut restored = restored;
+        restored.insert(e(-5, 9999));
+        assert_eq!(restored.min_key(), Some(-5));
     }
 
     #[test]

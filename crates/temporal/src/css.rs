@@ -15,6 +15,7 @@
 use crate::entry::LeafEntry;
 use crate::TemporalIndex;
 use std::ops::ControlFlow;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// Keys per directory node — 8 × `i64` fills one 64-byte cache line.
 const FANOUT: usize = 8;
@@ -196,6 +197,23 @@ impl CssTree {
     /// Direct slice access to the sorted entries.
     pub fn entries(&self) -> &[LeafEntry] {
         &self.entries
+    }
+}
+
+/// Wire form: the sorted entry array. The directory is derived and is
+/// rebuilt on restore; restoring validates the sort invariant so a
+/// corrupt payload cannot produce wrong range scans.
+impl Persist for CssTree {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_seq(&self.entries);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let entries = LeafEntry::restore_seq(r)?;
+        if entries.windows(2).any(|w| w[0].time > w[1].time) {
+            return Err(StoreError::corrupt("css-tree entries out of time order"));
+        }
+        Ok(CssTree::from_sorted(entries))
     }
 }
 
@@ -401,6 +419,37 @@ mod tests {
         let mut t = CssTree::from_sorted((0..10).map(|i| e(i, i as u32)).collect());
         t.extend_sorted(Vec::new());
         assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn persist_round_trip_rebuilds_directory() {
+        let t = CssTree::from_sorted((0..500).map(|i| e(i / 3, i as u32)).collect());
+        let mut w = tthr_store::ByteWriter::new();
+        t.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = tthr_store::ByteReader::new(&bytes);
+        let restored = CssTree::restore(&mut r).unwrap();
+        r.expect_exhausted("css tree").unwrap();
+        assert_eq!(restored.entries(), t.entries());
+        for key in [-1, 0, 50, 166, 167] {
+            assert_eq!(restored.lower_bound(key), t.lower_bound(key));
+        }
+        // Appends still work after a restore (the directory is live).
+        let mut restored = restored;
+        restored.append(e(1000, 9999));
+        assert_eq!(restored.max_key(), Some(1000));
+    }
+
+    #[test]
+    fn persist_rejects_unsorted_entries() {
+        let mut w = tthr_store::ByteWriter::new();
+        w.put_seq(&[e(10, 0), e(5, 1)]);
+        let bytes = w.into_bytes();
+        let result = CssTree::restore(&mut tthr_store::ByteReader::new(&bytes));
+        assert!(matches!(
+            result,
+            Err(tthr_store::StoreError::Corrupt { .. })
+        ));
     }
 
     proptest::proptest! {

@@ -1,5 +1,7 @@
 //! The extended temporal-leaf record of the paper's Section 4.1.3.
 
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
+
 /// One temporal-index leaf: a segment traversal, keyed by entry timestamp.
 ///
 /// Beyond the original SNT-index leaf `(t → isa, d)`, the paper adds the
@@ -46,9 +48,89 @@ impl LeafEntry {
     }
 }
 
+impl LeafEntry {
+    /// Decodes a length-prefixed sequence in one pass over the raw bytes.
+    ///
+    /// The wire record is fixed-width, so the whole payload can be sliced
+    /// up front and parsed with `chunks_exact` — one bounds check per
+    /// record instead of one per field. Forests hold millions of leaves;
+    /// this is the hot loop of a snapshot load.
+    pub fn restore_seq(r: &mut ByteReader<'_>) -> Result<Vec<LeafEntry>, StoreError> {
+        const WIRE: usize = LeafEntry::logical_size(true);
+        let n = r.get_len(WIRE)?;
+        let bytes = r.get_bytes(n * WIRE)?;
+        let mut out = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(WIRE) {
+            out.push(LeafEntry {
+                time: i64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
+                aggregate: f64::from_bits(u64::from_le_bytes(
+                    c[8..16].try_into().expect("8 bytes"),
+                )),
+                travel_time: f64::from_bits(u64::from_le_bytes(
+                    c[16..24].try_into().expect("8 bytes"),
+                )),
+                isa: u32::from_le_bytes(c[24..28].try_into().expect("4 bytes")),
+                traj: u32::from_le_bytes(c[28..32].try_into().expect("4 bytes")),
+                seq: u32::from_le_bytes(c[32..36].try_into().expect("4 bytes")),
+                partition: u16::from_le_bytes(c[36..38].try_into().expect("2 bytes")),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Wire form: the logical record of [`LeafEntry::logical_size`]`(true)` —
+/// `t` (i64), `a` (f64), `TT` (f64), `isa` (u32), `d` (u32), `seq` (u32),
+/// `w` (u16) — 38 bytes, fixed width.
+impl Persist for LeafEntry {
+    #[inline]
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_i64(self.time);
+        w.put_f64(self.aggregate);
+        w.put_f64(self.travel_time);
+        w.put_u32(self.isa);
+        w.put_u32(self.traj);
+        w.put_u32(self.seq);
+        w.put_u16(self.partition);
+    }
+
+    #[inline]
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(LeafEntry {
+            time: r.get_i64()?,
+            aggregate: r.get_f64()?,
+            travel_time: r.get_f64()?,
+            isa: r.get_u32()?,
+            traj: r.get_u32()?,
+            seq: r.get_u32()?,
+            partition: r.get_u16()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_form_is_the_logical_record() {
+        let e = LeafEntry {
+            time: -5,
+            aggregate: 10.5,
+            travel_time: 4.5,
+            isa: 7,
+            traj: 3,
+            seq: 2,
+            partition: 1,
+        };
+        let mut w = ByteWriter::new();
+        e.persist(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), LeafEntry::logical_size(true));
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(LeafEntry::restore(&mut r).unwrap(), e);
+        r.expect_exhausted("leaf").unwrap();
+    }
 
     #[test]
     fn antecedent_is_aggregate_minus_travel_time() {

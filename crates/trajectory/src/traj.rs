@@ -3,6 +3,7 @@
 use crate::types::{TrajId, UserId};
 use std::fmt;
 use tthr_network::{EdgeId, Path, Timestamp};
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// One segment traversal `(e, t, TT)`: the segment, the timestamp it was
 /// entered, and the traversal duration in seconds.
@@ -24,6 +25,26 @@ impl TrajEntry {
             enter_time,
             travel_time,
         }
+    }
+}
+
+/// Wire form: edge (`u32`), entry timestamp (`i64`), traversal time
+/// (`f64`) — the `(e, t, TT)` triple, 20 bytes. Restore performs no
+/// validation; batches are validated as whole trajectories by
+/// [`Trajectory::new`] when a WAL record is applied.
+impl Persist for TrajEntry {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.edge.0);
+        w.put_i64(self.enter_time);
+        w.put_f64(self.travel_time);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(TrajEntry {
+            edge: EdgeId(r.get_u32()?),
+            enter_time: r.get_i64()?,
+            travel_time: r.get_f64()?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Identifier newtypes for trajectories and users.
 
 use std::fmt;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// Trajectory identifier `d ∈ D`.
 ///
@@ -45,9 +46,28 @@ impl fmt::Debug for UserId {
     }
 }
 
+/// Wire form: the raw `u32`.
+impl Persist for UserId {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.0);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(UserId(r.get_u32()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_seq(&[UserId(0), UserId(42)]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_seq::<UserId>().unwrap(), vec![UserId(0), UserId(42)]);
+    }
 
     #[test]
     fn debug_formats() {

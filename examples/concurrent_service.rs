@@ -116,7 +116,9 @@ fn main() {
     print_stats("after warm clients", &service.stats());
 
     // --- Phase 3: a live update invalidates the cache ------------------------
-    let appended = service.append_batch(&set);
+    let appended = service
+        .append_batch(&set)
+        .expect("no durable storage attached: append cannot fail");
     println!("\nlive append: {appended} new trajectories (cache invalidated)");
     print_stats("after append", &service.stats());
     let refresh = service.batch_trip_queries(&queries);

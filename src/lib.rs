@@ -32,6 +32,9 @@
 //!   trajectory workloads.
 //! * [`metrics`] — the paper's evaluation metrics (sMAPE, weighted error,
 //!   log-likelihood, q-error) plus latency percentiles.
+//! * [`store`] — the persistent storage substrate: versioned, checksummed
+//!   snapshot containers and the append write-ahead log (the on-disk
+//!   format is specified in its crate docs and `docs/storage-format.md`).
 //! * [`service`] — the concurrent serving layer (see below).
 //!
 //! ## Architecture: the service layer
@@ -78,6 +81,21 @@
 //! engine on the same index state (`tests/service_equivalence.rs` enforces
 //! this across a synthetic workload).
 //!
+//! ## Persistence: snapshots and the write-ahead log
+//!
+//! A restart does not rebuild the index. [`service::QueryService::save_snapshot`]
+//! serializes the whole SNT-index — every FM-index, the temporal forest,
+//! the user table, and the time-of-day store — into a sectioned,
+//! CRC-guarded container ([`store`]), and attaches a write-ahead log to
+//! the same directory: every later `append_batch` is fsynced to the WAL
+//! *before* the in-memory index changes.
+//! [`service::QueryService::open`] is the restart path: load the
+//! snapshot, replay the WAL batches the snapshot predates (records carry
+//! base stamps, so replay is idempotent), truncate any torn tail a crash
+//! left behind, and serve — byte-identically to an index built from the
+//! full history in memory (`tests/persistence_roundtrip.rs` enforces
+//! this, including crash and corruption scenarios).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -107,6 +125,7 @@ pub use tthr_histogram as histogram;
 pub use tthr_metrics as metrics;
 pub use tthr_network as network;
 pub use tthr_service as service;
+pub use tthr_store as store;
 pub use tthr_temporal as temporal;
 pub use tthr_trajectory as trajectory;
 

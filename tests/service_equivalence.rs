@@ -251,7 +251,7 @@ fn trips_racing_an_append_match_exactly_one_generation() {
         }
         // Land the append while the clients are mid-flight.
         std::thread::sleep(std::time::Duration::from_millis(2));
-        assert_eq!(service.append_batch(&set), set.len() - half);
+        assert_eq!(service.append_batch(&set).unwrap(), set.len() - half);
     });
     assert_eq!(service.stats().generation, 1);
 }
@@ -288,7 +288,7 @@ fn append_batch_invalidates_and_matches_full_rebuild() {
     // an index built over the full history from scratch (the append path's
     // own equivalence is covered by tests/batch_append.rs; here we assert
     // the *service* serves the new state, i.e. no stale cache survives).
-    assert_eq!(service.append_batch(&set), set.len() - half);
+    assert_eq!(service.append_batch(&set).unwrap(), set.len() - half);
     let after = service.stats();
     assert_eq!(after.generation, 1);
     assert_eq!(after.cache.entries, 0, "append must clear the cache");
