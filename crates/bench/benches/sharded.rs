@@ -1,0 +1,277 @@
+//! Sharded vs monolithic backend under write load.
+//!
+//! Two measurements:
+//!
+//! 1. **Reader stall under concurrent appends** (custom harness, printed
+//!    as a table): 4 reader threads issue uncached trip queries whose
+//!    paths lie entirely in shards the appender never writes, while the
+//!    appender applies single-shard batches continuously. With the
+//!    monolithic backend every append holds the service write lock for
+//!    the whole FM-index build of the batch, so trips that overlap an
+//!    append block behind it and reader p95 spikes; with the sharded
+//!    backend appends run under the service *read* lock and write-lock
+//!    only the touched shard, so untouched-shard readers proceed
+//!    stall-free — reader p95 under concurrent append must improve
+//!    markedly vs. the monolith.
+//! 2. **Steady-state batch throughput** (criterion): `batch_trip_queries`
+//!    over both backends — sharding must not regress read throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tthr_bench::{query_for, QueryType, Scale, World};
+use tthr_core::{ShardedSntIndex, SntConfig, Spq};
+use tthr_metrics::percentile_of_sorted;
+use tthr_service::{QueryService, ServiceBackend, ServiceConfig};
+use tthr_trajectory::{TrajEntry, TrajId, TrajectorySet, UserId};
+
+const SHARDS: usize = 8;
+const READERS: usize = 4;
+const RUNS_PER_BATCH: usize = 160;
+/// Fixed reader workload: sweeps of the query list per reader thread.
+const SWEEPS: usize = 16;
+
+fn config(threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        num_threads: threads,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Stall measurement runs uncached: every read scans the index under the
+/// lock hierarchy, which is the regime where a writer actually hurts
+/// readers (warm-cache hits are sub-µs and hide the stall entirely).
+fn uncached_config(threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        num_threads: threads,
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Single-shard append material: runs of consecutive entries lying wholly
+/// in `target`, lifted from real trajectories so they stay connected.
+fn single_shard_runs(
+    world: &World,
+    router: &tthr_core::ShardRouter,
+    target: usize,
+) -> Vec<(UserId, Vec<TrajEntry>)> {
+    let mut runs: Vec<(UserId, Vec<TrajEntry>)> = Vec::new();
+    for tr in world.set.iter() {
+        let entries = tr.entries();
+        let mut start = None;
+        for (i, e) in entries.iter().enumerate() {
+            if router.shard_of(e.edge) == target {
+                start.get_or_insert(i);
+            } else if let Some(s) = start.take() {
+                runs.push((tr.user(), entries[s..i].to_vec()));
+            }
+        }
+        if let Some(s) = start {
+            runs.push((tr.user(), entries[s..].to_vec()));
+        }
+        if runs.len() >= 4 * RUNS_PER_BATCH {
+            break;
+        }
+    }
+    assert!(
+        runs.len() >= RUNS_PER_BATCH,
+        "world too small for the append schedule"
+    );
+    runs
+}
+
+/// What the reader threads measured against one backend.
+struct StallReport {
+    /// Sorted latencies (µs) of reads that overlapped an append.
+    under_append: Vec<f64>,
+    /// Sorted latencies (µs) of reads issued while no append ran.
+    quiet: Vec<f64>,
+    appends: usize,
+    append_secs: f64,
+}
+
+/// Readers sweep `queries` a fixed number of times while the appender
+/// applies single-shard batches continuously. Each sample is classified
+/// by whether it overlapped an append — "reader p95 under concurrent
+/// append" is the percentile over exactly those overlapped reads.
+fn reader_latency_under_append<B: ServiceBackend>(
+    service: &QueryService<B>,
+    queries: &[Spq],
+    base: &TrajectorySet,
+    runs: &[(UserId, Vec<TrajEntry>)],
+) -> StallReport {
+    let done = AtomicBool::new(false);
+    let appending = AtomicBool::new(false);
+    let mut under_append: Vec<f64> = Vec::new();
+    let mut quiet: Vec<f64> = Vec::new();
+    let mut appends = 0usize;
+    let mut append_secs = 0.0;
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            readers.push(scope.spawn(|| {
+                let mut overlapped = Vec::with_capacity(SWEEPS * queries.len());
+                let mut idle = Vec::with_capacity(SWEEPS * queries.len());
+                for _ in 0..SWEEPS {
+                    for q in queries {
+                        let before = appending.load(Ordering::Relaxed);
+                        let t0 = Instant::now();
+                        std::hint::black_box(service.trip_query(q));
+                        let lat = t0.elapsed().as_secs_f64() * 1e6;
+                        if before || appending.load(Ordering::Relaxed) {
+                            overlapped.push(lat);
+                        } else {
+                            idle.push(lat);
+                        }
+                    }
+                }
+                (overlapped, idle)
+            }));
+        }
+        let appender = scope.spawn(|| {
+            let mut grown = base.clone();
+            let mut next = 0usize;
+            let mut count = 0usize;
+            let mut busy = 0.0f64;
+            while !done.load(Ordering::Relaxed) {
+                for _ in 0..RUNS_PER_BATCH {
+                    let (user, entries) = &runs[next % runs.len()];
+                    grown.push(*user, entries.clone()).expect("valid run");
+                    next += 1;
+                }
+                let t0 = Instant::now();
+                appending.store(true, Ordering::Relaxed);
+                service.append_batch(&grown).expect("append");
+                appending.store(false, Ordering::Relaxed);
+                busy += t0.elapsed().as_secs_f64();
+                count += 1;
+            }
+            (count, busy)
+        });
+        for r in readers {
+            let (overlapped, idle) = r.join().expect("reader thread");
+            under_append.extend(overlapped);
+            quiet.extend(idle);
+        }
+        done.store(true, Ordering::Relaxed);
+        (appends, append_secs) = appender.join().expect("appender thread");
+    });
+    under_append.sort_by(f64::total_cmp);
+    quiet.sort_by(f64::total_cmp);
+    StallReport {
+        under_append,
+        quiet,
+        appends,
+        append_secs,
+    }
+}
+
+fn bench_append_stall(_c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let router = tthr_core::ShardRouter::build(world.network(), SHARDS);
+    // The appender writes only the shard of the first trajectory's first
+    // edge; readers query paths routed to every *other* shard.
+    let target = router.shard_of(world.set.get(TrajId(0)).entries()[0].edge);
+    let runs = single_shard_runs(&world, &router, target);
+    // Trip queries whose *entire* path avoids the written shard: no
+    // sub-query of any relaxation chain can route to it.
+    let queries: Vec<Spq> = world
+        .queries
+        .iter()
+        .map(|&id| query_for(&world.set, id, QueryType::TemporalFilters, 900, 20))
+        .filter(|q| q.path.edges().iter().all(|&e| router.shard_of(e) != target))
+        .take(24)
+        .collect();
+    assert!(!queries.is_empty(), "no untouched-shard queries sampled");
+
+    println!(
+        "\nreader trip latency under concurrent single-shard appends \
+         ({READERS} readers x {SWEEPS} sweeps of {} untouched-shard trips, \
+         appender loops batches of {RUNS_PER_BATCH} trajectories):",
+        queries.len()
+    );
+    let network = Arc::new(world.network().clone());
+    for backend in ["monolith", "sharded"] {
+        let report = if backend == "monolith" {
+            let service = QueryService::new(
+                world.build_index(SntConfig::default()),
+                Arc::clone(&network),
+                uncached_config(1),
+            );
+            reader_latency_under_append(&service, &queries, &world.set, &runs)
+        } else {
+            let service = QueryService::new(
+                ShardedSntIndex::build(&network, &world.set, SntConfig::default(), SHARDS),
+                Arc::clone(&network),
+                uncached_config(1),
+            );
+            reader_latency_under_append(&service, &queries, &world.set, &runs)
+        };
+        let ua = &report.under_append;
+        let q = &report.quiet;
+        println!(
+            "  {backend:<10} under-append reads {:>6}  p50 {:>8.1} µs  p95 {:>8.1} µs  \
+             p99 {:>9.1} µs  | quiet reads {:>6}  p95 {:>6.1} µs  | {} appends, {:>5.2} ms/append",
+            ua.len(),
+            percentile_of_sorted(ua, 50.0),
+            percentile_of_sorted(ua, 95.0),
+            percentile_of_sorted(ua, 99.0),
+            q.len(),
+            percentile_of_sorted(q, 95.0),
+            report.appends,
+            report.append_secs * 1e3 / report.appends.max(1) as f64,
+        );
+    }
+    println!();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let network = Arc::new(world.network().clone());
+    let queries: Vec<Spq> = world
+        .queries
+        .iter()
+        .take(48)
+        .enumerate()
+        .map(|(i, &id)| {
+            let qt = if i % 2 == 0 {
+                QueryType::TemporalFilters
+            } else {
+                QueryType::SpqOnly
+            };
+            query_for(&world.set, id, qt, 900, 20)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("sharded_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+
+    let monolith = QueryService::new(
+        world.build_index(SntConfig::default()),
+        Arc::clone(&network),
+        config(4),
+    );
+    let _ = monolith.batch_trip_queries(&queries); // warm
+    group.bench_function(BenchmarkId::new("monolith", 4), |b| {
+        b.iter(|| monolith.batch_trip_queries(&queries))
+    });
+
+    for k in [2usize, SHARDS] {
+        let sharded = QueryService::new(
+            ShardedSntIndex::build(&network, &world.set, SntConfig::default(), k),
+            Arc::clone(&network),
+            config(4),
+        );
+        let _ = sharded.batch_trip_queries(&queries); // warm
+        group.bench_function(BenchmarkId::new("sharded", k), |b| {
+            b.iter(|| sharded.batch_trip_queries(&queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append_stall, bench_batch_throughput);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! travel-time distribution of the whole trip.
 
 use crate::cardinality::{estimate_cardinality, CardinalityMode};
+use crate::interval::TimeInterval;
 use crate::partition::{partition_query, PartitionMethod};
 use crate::snt::{SntIndex, TravelTimes};
 use crate::split::{SplitMethod, Splitter};
@@ -30,6 +31,44 @@ pub trait TravelTimeProvider {
 impl TravelTimeProvider for SntIndex {
     fn travel_times(&self, spq: &Spq) -> TravelTimes {
         self.get_travel_times(spq)
+    }
+}
+
+/// The full query-side surface the engine needs from an index.
+///
+/// [`TravelTimeProvider`] covers the `getTravelTimes` dispatches; the
+/// engine additionally consults the index for σ_L's counting queries, the
+/// cardinality-estimator gate, and σ's terminal `[0, t_max)` fallback
+/// interval. Abstracting those four operations lets the engine run
+/// unchanged over the monolithic [`SntIndex`] or the partitioned
+/// [`ShardedSntIndex`](crate::ShardedSntIndex) — implementations must
+/// answer every operation exactly like a monolithic index over the same
+/// trajectory history, which is what the sharded differential test
+/// harness (`tests/sharded_equivalence.rs`) pins down.
+pub trait IndexBackend: TravelTimeProvider {
+    /// Exact count of traversals matching all SPQ predicates, capped at
+    /// `cap` (σ_L's `|T^{P₁}| ≥ β` test).
+    fn count_matching(&self, spq: &Spq, cap: u32) -> usize;
+
+    /// The estimated cardinality `β̂` of the SPQ's result set
+    /// (Section 4.4) used by the engine's estimator gate.
+    fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> f64;
+
+    /// The fixed-interval fallback `[0, t_max)` of Procedure 1, line 12.
+    fn full_interval(&self) -> TimeInterval;
+}
+
+impl IndexBackend for SntIndex {
+    fn count_matching(&self, spq: &Spq, cap: u32) -> usize {
+        SntIndex::count_matching(self, spq, cap)
+    }
+
+    fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> f64 {
+        estimate_cardinality(self, spq, mode)
+    }
+
+    fn full_interval(&self) -> TimeInterval {
+        SntIndex::full_interval(self)
     }
 }
 
@@ -186,17 +225,21 @@ impl TripQuery {
     }
 }
 
-/// The trip-query engine: an [`SntIndex`] plus strategy configuration.
-pub struct QueryEngine<'a> {
-    index: &'a SntIndex,
+/// The trip-query engine: an index backend plus strategy configuration.
+///
+/// `B` defaults to the monolithic [`SntIndex`]; the partitioned
+/// [`ShardedSntIndex`](crate::ShardedSntIndex) (or any other
+/// [`IndexBackend`]) slots in without changing query semantics.
+pub struct QueryEngine<'a, B: IndexBackend = SntIndex> {
+    index: &'a B,
     network: &'a RoadNetwork,
     splitter: Splitter,
     config: QueryEngineConfig,
 }
 
-impl<'a> QueryEngine<'a> {
+impl<'a, B: IndexBackend> QueryEngine<'a, B> {
     /// Creates an engine over an index.
-    pub fn new(index: &'a SntIndex, network: &'a RoadNetwork, config: QueryEngineConfig) -> Self {
+    pub fn new(index: &'a B, network: &'a RoadNetwork, config: QueryEngineConfig) -> Self {
         let splitter = Splitter::new(config.split_method, config.interval_sizes.clone());
         QueryEngine {
             index,
@@ -211,8 +254,8 @@ impl<'a> QueryEngine<'a> {
         &self.config
     }
 
-    /// The underlying index.
-    pub fn index(&self) -> &SntIndex {
+    /// The underlying index backend.
+    pub fn index(&self) -> &B {
         self.index
     }
 
@@ -353,9 +396,7 @@ impl<'a> QueryEngine<'a> {
     ) -> Option<SubResult> {
         // Estimator gate: relax without scanning when β̂ < β.
         if let (Some(mode), Some(beta)) = (self.config.estimator, sub.beta) {
-            if sub.interval.is_periodic()
-                && estimate_cardinality(self.index, sub, mode) < beta as f64
-            {
+            if sub.interval.is_periodic() && self.index.estimate(sub, mode) < beta as f64 {
                 stats.estimator_rejections += 1;
                 self.relax(sub, queue, stats);
                 return None;

@@ -13,7 +13,11 @@
 //! * [`CardinalityMode`] / [`estimate_cardinality`] — the five estimator
 //!   modes (Section 4.4).
 //! * [`QueryEngine`] — the trip-query driver with shift-and-enlarge and
-//!   estimator gating (Procedure 6).
+//!   estimator gating (Procedure 6), generic over [`IndexBackend`].
+//! * [`ShardedSntIndex`] — K network-partitioned, independently locked
+//!   [`SntIndex`] shards with exact first-edge routing: byte-identical
+//!   answers, per-shard append isolation (the `sharded` module docs give
+//!   the exactness argument).
 //! * [`baseline`] — the speed-limit and segment-level reference estimators.
 //!
 //! ```
@@ -43,6 +47,7 @@ mod interval;
 mod partition;
 pub mod persist;
 mod probe;
+mod sharded;
 mod snt;
 mod split;
 mod spq;
@@ -50,13 +55,17 @@ pub mod text;
 
 pub use cardinality::{estimate_cardinality, CardinalityMode};
 pub use engine::{
-    BetaPolicy, ChainOutcome, QueryEngine, QueryEngineConfig, QueryStats, SubResult,
+    BetaPolicy, ChainOutcome, IndexBackend, QueryEngine, QueryEngineConfig, QueryStats, SubResult,
     TravelTimeProvider, TripQuery,
 };
 pub use interval::TimeInterval;
 pub use partition::{partition_query, PartitionMethod};
 pub use persist::WalBatch;
 pub use probe::ProbeTable;
+pub use sharded::{
+    ShardRouter, ShardedAppend, ShardedSntIndex, ShardedWalBatch, SECTION_ROUTING,
+    SECTION_SHARDED_META, SHARD_SECTION_BASE,
+};
 pub use snt::{MemoryReport, SntConfig, SntIndex, TravelTimes, TreeKind, WaveletKind};
 pub use split::{SplitMethod, Splitter};
 pub use spq::{Filter, Spq};
@@ -67,7 +76,9 @@ pub use spq::{Filter, Spq};
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<SntIndex>();
+    assert_send_sync::<ShardedSntIndex>();
     assert_send_sync::<QueryEngine<'static>>();
+    assert_send_sync::<QueryEngine<'static, ShardedSntIndex>>();
     assert_send_sync::<Spq>();
     assert_send_sync::<TimeInterval>();
     assert_send_sync::<Filter>();

@@ -48,7 +48,7 @@ pub enum WaveletKind {
 }
 
 /// Index construction options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SntConfig {
     /// Temporal tree implementation.
     pub tree: TreeKind,

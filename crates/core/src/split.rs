@@ -8,7 +8,7 @@
 //! temporal predicates and β are dropped (a fixed `[0, t_max)` query, which
 //! Procedure 5 answers with at least the speed-limit estimate).
 
-use crate::snt::SntIndex;
+use crate::engine::IndexBackend;
 use crate::spq::{Filter, Spq};
 
 /// Path-splitting strategy inside σ.
@@ -71,7 +71,7 @@ impl Splitter {
     }
 
     /// Applies σ once (Procedure 1), returning the replacement sub-queries.
-    pub fn split(&self, index: &SntIndex, spq: &Spq) -> Vec<Spq> {
+    pub fn split<B: IndexBackend>(&self, index: &B, spq: &Spq) -> Vec<Spq> {
         // Step 1: widen the periodic window to the next size in A.
         if spq.interval.is_periodic() {
             let alpha = spq.interval.size();
@@ -123,7 +123,7 @@ impl Splitter {
     /// `|T^{P[0,m)}| ≥ β`. Trajectory counts are monotonically
     /// non-increasing in the prefix length, so a binary search over
     /// counting queries suffices.
-    fn longest_prefix(&self, index: &SntIndex, spq: &Spq) -> usize {
+    fn longest_prefix<B: IndexBackend>(&self, index: &B, spq: &Spq) -> usize {
         let beta = spq.beta_cap();
         let meets = |m: usize| -> bool {
             let prefix = spq.with_path(spq.path.sub_path(0..m));

@@ -1,0 +1,224 @@
+//! The backend abstraction [`QueryService`] is generic over.
+//!
+//! [`QueryService`]: crate::QueryService
+//!
+//! A backend is an index the service can query (via
+//! [`IndexBackend`]), append to, and persist. Two implementations ship:
+//!
+//! * [`SntIndex`] — the paper's monolithic index. Appends rebuild nothing
+//!   but stall every reader behind the service's single write lock, and
+//!   invalidation clears the whole result cache.
+//! * [`ShardedSntIndex`] — `K` network-partitioned shards. An append
+//!   touches only the shards its trajectories cross, so the service can
+//!   invalidate just those shards' cache entries; readers of untouched
+//!   shards keep their warm entries ([`AppendEffect::touched_shards`]).
+//!
+//! The trait also owns the on-disk formats: each backend serializes its
+//! own snapshot container and WAL record flavor, and replays its own
+//! records on [`QueryService::open_with`](crate::QueryService::open_with)
+//! — stamp-checked, so replay stays idempotent across the snapshot/WAL
+//! overlap a crash can leave behind.
+
+use tthr_core::{IndexBackend, ShardedSntIndex, ShardedWalBatch, SntIndex, Spq, WalBatch};
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
+use tthr_trajectory::TrajectorySet;
+
+/// What one append did to the backend — the service scopes cache
+/// invalidation with it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppendEffect {
+    /// Trajectories appended (0 = no-op, nothing to invalidate).
+    pub appended: usize,
+    /// Index shards the append wrote, or `None` when the whole index
+    /// changed (the monolithic backend): `None` forces a full cache
+    /// clear, `Some(shards)` evicts only queries routing to those shards.
+    pub touched_shards: Option<Vec<usize>>,
+}
+
+/// An index a [`QueryService`](crate::QueryService) can serve, append to,
+/// and persist.
+pub trait ServiceBackend: IndexBackend + Send + Sync + Sized + 'static {
+    /// Whether appends mutate the backend through `&self` under its own
+    /// fine-grained locking ([`Self::apply_append_shared`]), so the
+    /// service applies them under its *read* lock and readers of
+    /// untouched shards never stall. `false` routes appends through the
+    /// service's exclusive write lock and [`Self::apply_append`].
+    const SHARED_APPENDS: bool = false;
+
+    /// Excludes other appenders (and snapshots racing appenders) without
+    /// blocking readers. Returns `Some` exactly when
+    /// [`Self::SHARED_APPENDS`]; the service holds the guard across the
+    /// WAL write and the apply, so concurrent `append_batch` calls
+    /// serialize and log in apply order.
+    fn append_permit(&self) -> Option<std::sync::MutexGuard<'_, ()>> {
+        None
+    }
+
+    /// Appends through `&self` under the backend's internal locks. Only
+    /// called when [`Self::SHARED_APPENDS`]; the caller holds
+    /// [`Self::append_permit`].
+    fn apply_append_shared(&self, _set: &TrajectorySet) -> AppendEffect {
+        unreachable!("apply_append_shared requires SHARED_APPENDS")
+    }
+
+    /// Number of trajectories currently indexed (the global id space).
+    fn num_trajectories(&self) -> usize;
+
+    /// Temporal partitions currently held (summed across shards for the
+    /// sharded backend) — reported in
+    /// [`SnapshotInfo`](crate::SnapshotInfo).
+    fn num_partitions(&self) -> usize;
+
+    /// Appends the new trajectories of `set` (ids `≥ num_trajectories()`)
+    /// as one batch.
+    fn apply_append(&mut self, set: &TrajectorySet) -> AppendEffect;
+
+    /// The index shard a query routes to, or `None` when the backend is
+    /// unpartitioned. Used to decide which cache entries an append
+    /// invalidates; must agree with how [`AppendEffect::touched_shards`]
+    /// numbers shards.
+    fn route_shard(&self, spq: &Spq) -> Option<usize>;
+
+    /// Encodes the WAL record logging the delta `set[from..]`.
+    fn encode_wal_record(&self, set: &TrajectorySet, from: usize) -> Vec<u8>;
+
+    /// Replays one WAL record: skips records the snapshot already covers
+    /// (base stamp < current trajectory count), applies records that line
+    /// up exactly, and reports a [`StoreError::WalGap`] for records that
+    /// skip ahead.
+    fn replay_wal_record(&mut self, record: &[u8]) -> Result<(), StoreError>;
+
+    /// Streams the backend's snapshot container into a writer.
+    fn write_snapshot_to<W: std::io::Write>(&self, out: &mut W) -> Result<(), StoreError>;
+
+    /// Reassembles a backend from snapshot bytes (validating magic,
+    /// version, CRCs, and cross-section invariants).
+    fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError>;
+}
+
+impl ServiceBackend for SntIndex {
+    fn num_trajectories(&self) -> usize {
+        SntIndex::num_trajectories(self)
+    }
+
+    fn num_partitions(&self) -> usize {
+        SntIndex::num_partitions(self)
+    }
+
+    fn apply_append(&mut self, set: &TrajectorySet) -> AppendEffect {
+        AppendEffect {
+            appended: self.append_batch(set),
+            touched_shards: None,
+        }
+    }
+
+    fn route_shard(&self, _spq: &Spq) -> Option<usize> {
+        None
+    }
+
+    fn encode_wal_record(&self, set: &TrajectorySet, from: usize) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        WalBatch::delta(set, from).persist(&mut w);
+        w.into_bytes()
+    }
+
+    fn replay_wal_record(&mut self, record: &[u8]) -> Result<(), StoreError> {
+        let mut r = ByteReader::new(record);
+        let batch = WalBatch::restore(&mut r)?;
+        r.expect_exhausted("wal record")?;
+        let have = SntIndex::num_trajectories(self) as u64;
+        if batch.base < have {
+            return Ok(()); // batch predates the snapshot
+        }
+        if batch.base > have {
+            return Err(StoreError::WalGap {
+                expected: have,
+                found: batch.base,
+            });
+        }
+        self.append_trajectory_batch(&batch.trajectories)?;
+        Ok(())
+    }
+
+    fn write_snapshot_to<W: std::io::Write>(&self, out: &mut W) -> Result<(), StoreError> {
+        SntIndex::write_snapshot_to(self, out)
+    }
+
+    fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        SntIndex::from_snapshot_bytes(bytes)
+    }
+}
+
+impl ServiceBackend for ShardedSntIndex {
+    const SHARED_APPENDS: bool = true;
+
+    fn append_permit(&self) -> Option<std::sync::MutexGuard<'_, ()>> {
+        Some(ShardedSntIndex::append_permit(self))
+    }
+
+    fn apply_append_shared(&self, set: &TrajectorySet) -> AppendEffect {
+        let effect = self.append_batch(set);
+        AppendEffect {
+            appended: effect.appended,
+            touched_shards: Some(effect.touched),
+        }
+    }
+
+    fn num_trajectories(&self) -> usize {
+        ShardedSntIndex::num_trajectories(self)
+    }
+
+    fn num_partitions(&self) -> usize {
+        ShardedSntIndex::num_partitions(self)
+    }
+
+    fn apply_append(&mut self, set: &TrajectorySet) -> AppendEffect {
+        self.apply_append_shared(set)
+    }
+
+    fn route_shard(&self, spq: &Spq) -> Option<usize> {
+        Some(self.router().shard_of(spq.path.first()))
+    }
+
+    fn encode_wal_record(&self, set: &TrajectorySet, from: usize) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.plan_wal_batch(set, from).persist(&mut w);
+        w.into_bytes()
+    }
+
+    fn replay_wal_record(&mut self, record: &[u8]) -> Result<(), StoreError> {
+        let mut r = ByteReader::new(record);
+        let tagged = ShardedWalBatch::restore(&mut r)?;
+        r.expect_exhausted("sharded wal record")?;
+        let have = ShardedSntIndex::num_trajectories(self) as u64;
+        if tagged.batch.base < have {
+            return Ok(());
+        }
+        if tagged.batch.base > have {
+            return Err(StoreError::WalGap {
+                expected: have,
+                found: tagged.batch.base,
+            });
+        }
+        let effect = self.append_trajectory_batch(&tagged.batch.trajectories)?;
+        // The record carries the routing the writer observed; a
+        // disagreement means the snapshot's routing table is not the one
+        // the log was written against.
+        let applied: Vec<u16> = effect.touched.iter().map(|&s| s as u16).collect();
+        if applied != tagged.touched {
+            return Err(StoreError::corrupt(format!(
+                "wal record routed to shards {:?} but the routing table maps it to {:?}",
+                tagged.touched, applied
+            )));
+        }
+        Ok(())
+    }
+
+    fn write_snapshot_to<W: std::io::Write>(&self, out: &mut W) -> Result<(), StoreError> {
+        ShardedSntIndex::write_snapshot_to(self, out)
+    }
+
+    fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        ShardedSntIndex::from_snapshot_bytes(bytes)
+    }
+}

@@ -5,7 +5,9 @@
 //! `(index state, query)`; see `tthr_core::Spq`'s `Hash` impl. Entries are
 //! spread over `shards` independently locked LRU maps (keyed by the query's
 //! hash), so concurrent workers rarely contend on the same `Mutex`. Index
-//! mutations invalidate the whole cache via [`ShardedCache::clear`].
+//! mutations invalidate either the whole cache ([`ShardedCache::clear`],
+//! monolithic backends) or exactly the entries routing to the written
+//! index shards ([`ShardedCache::clear_where`], partitioned backends).
 //!
 //! [`SntIndex::get_travel_times`]: tthr_core::SntIndex::get_travel_times
 
@@ -237,6 +239,31 @@ impl ShardedCache {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Drops exactly the entries whose key matches `pred`, leaving every
+    /// other entry (and its recency) untouched — the scoped invalidation
+    /// a partitioned index uses when an append wrote only some shards.
+    /// Returns the number of entries removed; counts one invalidation.
+    pub fn clear_where(&self, pred: impl Fn(&Spq) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard");
+            // One pass over the map, no key clones or re-hashing: extract
+            // the victims' slab indices, then unlink their LRU nodes.
+            let victims: Vec<usize> = shard
+                .map
+                .extract_if(|key, _| pred(key))
+                .map(|(_, i)| i)
+                .collect();
+            for &i in &victims {
+                shard.unlink(i);
+                shard.free.push(i);
+            }
+            removed += victims.len();
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        removed
+    }
+
     /// Snapshot of the counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
@@ -322,6 +349,23 @@ mod tests {
         assert_eq!(cache.counters().entries, 0);
         assert_eq!(cache.counters().invalidations, 1);
         assert_eq!(cache.get(&q(3, 0)), None);
+    }
+
+    #[test]
+    fn clear_where_scopes_eviction_and_preserves_survivors() {
+        let cache = ShardedCache::new(4, 64);
+        for i in 0..16 {
+            cache.insert(q(i, 0), v(i as f64));
+        }
+        let removed = cache.clear_where(|k| k.path.first().0 < 8);
+        assert_eq!(removed, 8);
+        assert_eq!(cache.counters().entries, 8);
+        assert_eq!(cache.counters().invalidations, 1);
+        assert_eq!(cache.get(&q(3, 0)), None, "matching entry evicted");
+        assert_eq!(cache.get(&q(12, 0)), Some(v(12.0)), "survivor intact");
+        // Freed slots are reused without growing the slab.
+        cache.insert(q(3, 0), v(33.0));
+        assert_eq!(cache.get(&q(3, 0)), Some(v(33.0)));
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! pay off. This crate adds that serving layer without touching query
 //! semantics:
 //!
-//! * [`QueryService`] — wraps an `RwLock<SntIndex>` + `Arc<RoadNetwork>`
+//! * [`QueryService`] — wraps an index [`backend`] + `Arc<RoadNetwork>`
 //!   behind a thread-safe API for single SPQs, single trip queries, and
-//!   batches of trip queries.
+//!   batches of trip queries. The backend is generic
+//!   ([`ServiceBackend`]): the monolithic `SntIndex` appends under the
+//!   service write lock; the partitioned
+//!   [`ShardedSntIndex`] ([`ShardedQueryService`]) appends under the
+//!   *read* lock with per-shard write locks, so only the touched shards'
+//!   readers ever wait.
 //! * a worker **thread pool** ([`pool`]) fans batches out across threads
 //!   and fans each trip's independent sub-query chains (the
 //!   `QueryEngine::trip_query` decomposition) into parallel
@@ -17,8 +22,10 @@
 //!   nesting deadlock-free.
 //! * a **sharded LRU cache** ([`cache`]) keyed by the full SPQ
 //!   `(path, interval, filter, β, exclusion)` with hit/miss/eviction
-//!   counters, one `Mutex` per shard, and whole-cache invalidation on
-//!   [`QueryService::append_batch`].
+//!   counters and one `Mutex` per shard. Appends invalidate it scoped to
+//!   the backend: whole-cache for the monolith, only the entries routing
+//!   to touched index shards for the sharded backend
+//!   ([`cache::ShardedCache::clear_where`]).
 //! * [`ServiceStats`] — p50/p95/p99 latency, throughput, and cache hit
 //!   rate, computed with `tthr-metrics`.
 //!
@@ -51,11 +58,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 mod persist;
 pub mod pool;
 mod stats;
 
+pub use backend::{AppendEffect, ServiceBackend};
 pub use cache::{CacheCounters, ShardedCache};
 pub use persist::{SnapshotInfo, SNAPSHOT_FILE, WAL_FILE};
 pub use pool::ThreadPool;
@@ -66,12 +75,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use tthr_core::{
-    QueryEngine, QueryEngineConfig, SntIndex, Spq, TravelTimeProvider, TravelTimes, TripQuery,
-    WalBatch,
+    QueryEngine, QueryEngineConfig, ShardedSntIndex, SntIndex, Spq, TravelTimeProvider,
+    TravelTimes, TripQuery,
 };
 use tthr_network::RoadNetwork;
-use tthr_store::{ByteWriter, Persist, StoreError};
+use tthr_store::StoreError;
 use tthr_trajectory::TrajectorySet;
+
+/// A [`QueryService`] over the partitioned
+/// [`ShardedSntIndex`]: appends stall only the
+/// written shards' readers at the index level, and cache invalidation is
+/// scoped to the touched shards.
+pub type ShardedQueryService = QueryService<ShardedSntIndex>;
 
 /// Service construction options.
 #[derive(Clone, Debug)]
@@ -97,14 +112,21 @@ impl Default for ServiceConfig {
     }
 }
 
-struct Inner {
-    index: RwLock<SntIndex>,
+struct Inner<B: ServiceBackend> {
+    index: RwLock<B>,
     network: Arc<RoadNetwork>,
     cache: ShardedCache,
     engine_config: QueryEngineConfig,
     latency: LatencyLog,
     spq_queries: AtomicU64,
     trip_queries: AtomicU64,
+    /// Append counter in seqlock style: incremented to **odd** right
+    /// before a shared-append backend starts applying a batch and back to
+    /// **even** when the apply is complete (exclusive-append backends
+    /// jump by 2 under the write lock). Readers validate work against it:
+    /// a result is single-generation iff the counter was even and
+    /// unchanged across the read. `ServiceStats::generation` reports
+    /// `counter / 2` — the number of completed appends.
     generation: AtomicU64,
     /// Durable storage, attached by `save_snapshot` / `open`. Lock order:
     /// the index lock is always taken **before** this mutex.
@@ -112,37 +134,54 @@ struct Inner {
 }
 
 /// Routes the engine's `getTravelTimes` dispatches through the shared
-/// cache. Inserts happen while the caller holds the index read lock, so a
-/// concurrent [`QueryService::append_batch`] (write lock, then clear)
-/// can never leave a stale entry behind.
-struct CachedIndex<'a> {
-    index: &'a SntIndex,
+/// cache.
+///
+/// Inserts are seqlock-validated against the append generation counter
+/// (odd while a shared apply is in flight): the provider only inserts
+/// when the counter was even before it read the index and is unchanged
+/// after — so a result computed against pre- or mid-append state either
+/// fails the check or is removed by the eviction that strictly follows
+/// the apply's closing bump. With an exclusive-append backend the check
+/// never fires (the read lock already excludes writers); with a
+/// shared-append backend ([`ServiceBackend::SHARED_APPENDS`]) it is what
+/// keeps the cache stale-free without stalling readers.
+struct CachedIndex<'a, B> {
+    index: &'a B,
     cache: &'a ShardedCache,
+    generation: &'a AtomicU64,
 }
 
-impl TravelTimeProvider for CachedIndex<'_> {
+impl<B: ServiceBackend> TravelTimeProvider for CachedIndex<'_, B> {
     fn travel_times(&self, spq: &Spq) -> TravelTimes {
         if let Some(hit) = self.cache.get(spq) {
             return hit;
         }
-        let computed = self.index.get_travel_times(spq);
-        self.cache.insert(spq.clone(), computed.clone());
+        let before = self.generation.load(Ordering::SeqCst);
+        let computed = self.index.travel_times(spq);
+        if before.is_multiple_of(2) && self.generation.load(Ordering::SeqCst) == before {
+            self.cache.insert(spq.clone(), computed.clone());
+        }
         computed
     }
 }
 
-/// A multi-threaded query service over one shared SNT-index.
+/// A multi-threaded query service over one shared index backend.
+///
+/// `B` defaults to the monolithic [`SntIndex`]; construct with a
+/// [`ShardedSntIndex`] (or use the [`ShardedQueryService`] alias) to get
+/// per-shard append isolation and scoped cache invalidation with
+/// byte-identical query results.
 ///
 /// The service is `Send + Sync`; share it across threads with `Arc` (or
 /// plain references and scoped threads). All query methods take `&self`.
-pub struct QueryService {
-    inner: Arc<Inner>,
+pub struct QueryService<B: ServiceBackend = SntIndex> {
+    inner: Arc<Inner<B>>,
     pool: Arc<ThreadPool>,
 }
 
-impl QueryService {
+impl<B: ServiceBackend> QueryService<B> {
     /// Builds a service owning the index.
-    pub fn new(index: SntIndex, network: Arc<RoadNetwork>, config: ServiceConfig) -> Self {
+    pub fn new(index: B, network: Arc<RoadNetwork>, config: ServiceConfig) -> Self {
         let threads = if config.num_threads == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
         } else {
@@ -180,8 +219,9 @@ impl QueryService {
         let start = Instant::now();
         let index = self.inner.index.read().expect("index lock");
         let provider = CachedIndex {
-            index: &index,
+            index: &*index,
             cache: &self.inner.cache,
+            generation: &self.inner.generation,
         };
         let result = provider.travel_times(spq);
         drop(index);
@@ -239,12 +279,20 @@ impl QueryService {
     }
 
     /// Appends the new trajectories of `set` as one batch (Section 4.3.2's
-    /// update path) and invalidates the result cache. Returns the number of
-    /// appended trajectories. In-flight sub-query scans finish against the
-    /// old index state before the write lock is granted, and a trip query
-    /// whose parallel chains straddle the update re-executes against the
-    /// new state — every returned `TripQuery` reflects exactly one index
-    /// generation.
+    /// update path) and invalidates exactly the cache entries the append
+    /// can have changed. Returns the number of appended trajectories.
+    ///
+    /// With an exclusive-append backend (the monolithic [`SntIndex`]) the
+    /// call takes the index write lock: in-flight scans finish against
+    /// the old state first, and every reader blocked behind the append
+    /// sees the new index with the stale entries gone. With a
+    /// shared-append backend ([`ShardedSntIndex`]) the call runs under
+    /// the index *read* lock plus the backend's append permit: only the
+    /// touched shards' readers wait (on those shards' own locks), queries
+    /// against every other shard proceed stall-free, and only cache
+    /// entries routing to the touched shards are evicted. Either way a
+    /// returned query result never mixes index generations (see
+    /// [`QueryService::trip_query`]).
     ///
     /// With durable storage attached ([`QueryService::save_snapshot`] /
     /// [`QueryService::open`]) the batch is logged **write-ahead**: it is
@@ -253,33 +301,80 @@ impl QueryService {
     /// saw the error) or replays it fully on the next `open`. Without
     /// storage attached the call is infallible.
     pub fn append_batch(&self, set: &TrajectorySet) -> Result<usize, StoreError> {
-        let mut index = self.inner.index.write().expect("index lock");
-        let from = index.num_trajectories();
-        if set.len() <= from {
-            return Ok(0);
+        if B::SHARED_APPENDS {
+            let index = self.inner.index.read().expect("index lock");
+            let permit = index.append_permit();
+            debug_assert!(permit.is_some(), "SHARED_APPENDS promises a permit");
+            let from = index.num_trajectories();
+            if set.len() <= from {
+                return Ok(0);
+            }
+            self.log_write_ahead(&index, set, from)?;
+            // Seqlock write: odd while the per-shard applies are in
+            // flight, so a trip whose chains straddle the apply window
+            // (shard A post-append, shard B pre-append) can never pass
+            // generation validation — it either reads an odd counter or
+            // sees it change.
+            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+            let effect = index.apply_append_shared(set);
+            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+            self.evict_stale(&*index, &effect);
+            Ok(effect.appended)
+        } else {
+            let mut index = self.inner.index.write().expect("index lock");
+            let from = index.num_trajectories();
+            if set.len() <= from {
+                return Ok(0);
+            }
+            self.log_write_ahead(&index, set, from)?;
+            let effect = index.apply_append(set);
+            // Readers are excluded by the write lock; keep the counter's
+            // even parity in one jump.
+            self.inner.generation.fetch_add(2, Ordering::SeqCst);
+            self.evict_stale(&*index, &effect);
+            Ok(effect.appended)
         }
-        {
-            let mut persist = self.inner.persist.lock().expect("persist lock");
-            if let Some(p) = persist.as_mut() {
-                let mut w = ByteWriter::new();
-                WalBatch::delta(set, from).persist(&mut w);
-                p.wal.append(&w.into_bytes())?;
+    }
+
+    /// Logs the delta `set[from..]` write-ahead, when storage is attached.
+    fn log_write_ahead(
+        &self,
+        index: &B,
+        set: &TrajectorySet,
+        from: usize,
+    ) -> Result<(), StoreError> {
+        let mut persist = self.inner.persist.lock().expect("persist lock");
+        if let Some(p) = persist.as_mut() {
+            p.wal.append(&index.encode_wal_record(set, from))?;
+        }
+        Ok(())
+    }
+
+    /// Evicts exactly the entries the append can have changed. Runs
+    /// *after* the generation left the odd (in-progress) state: a racing
+    /// reader's generation-validated insert (see [`CachedIndex`]) either
+    /// happens-before this eviction or is abandoned, so a stale entry can
+    /// never outlive the invalidation.
+    fn evict_stale(&self, index: &B, effect: &AppendEffect) {
+        if effect.appended == 0 {
+            return;
+        }
+        match &effect.touched_shards {
+            // Unpartitioned backend: everything may be stale.
+            None => self.inner.cache.clear(),
+            // Partitioned backend: a query's answer can only change if
+            // its owning index shard received leaves — evict exactly
+            // those entries and keep every other shard's warm.
+            Some(touched) => {
+                self.inner
+                    .cache
+                    .clear_where(|spq| index.route_shard(spq).is_none_or(|s| touched.contains(&s)));
             }
         }
-        let appended = index.append_batch(set);
-        if appended > 0 {
-            // Clear while still holding the write lock: readers that were
-            // blocked behind us see the new index with an empty cache, and
-            // no reader can insert a stale result concurrently (inserts
-            // require the read lock).
-            self.inner.cache.clear();
-            self.inner.generation.fetch_add(1, Ordering::SeqCst);
-        }
-        Ok(appended)
     }
 
     /// Runs a closure against the current index state (read-locked).
-    pub fn with_index<R>(&self, f: impl FnOnce(&SntIndex) -> R) -> R {
+    pub fn with_index<R>(&self, f: impl FnOnce(&B) -> R) -> R {
         f(&self.inner.index.read().expect("index lock"))
     }
 
@@ -292,7 +387,9 @@ impl QueryService {
             latency,
             throughput_qps,
             cache: self.inner.cache.counters(),
-            generation: self.inner.generation.load(Ordering::SeqCst),
+            // The counter is a seqlock (2 ticks per append, odd =
+            // in-progress); report completed appends.
+            generation: self.inner.generation.load(Ordering::SeqCst) / 2,
             uptime,
         }
     }
@@ -308,67 +405,111 @@ impl QueryService {
 /// independent chains, the chains run as parallel pool tasks (each takes
 /// its own read lock); otherwise the sequential engine loop runs inline —
 /// both through the cache, both result-identical to the plain engine.
-fn trip_query_on(inner: &Arc<Inner>, pool: Option<&ThreadPool>, query: &Spq) -> TripQuery {
-    let index = inner.index.read().expect("index lock");
-    let engine = QueryEngine::new(&index, &inner.network, inner.engine_config.clone());
-    let provider = CachedIndex {
-        index: &index,
-        cache: &inner.cache,
-    };
-    if !engine.chains_are_independent(query) {
-        return engine.trip_query_via(&provider, query);
-    }
-    let chains = engine.initial_subqueries(query);
-    match pool {
-        Some(pool) if chains.len() > 1 && pool.threads() > 1 => {
-            // Re-acquire per task: pool jobs must own their state. Chain
-            // jobs may therefore interleave with an `append_batch`; the
-            // generation check below detects that and redoes the trip under
-            // one continuous read lock, so a returned TripQuery never mixes
-            // two index generations.
-            let generation_before = inner.generation.load(Ordering::SeqCst);
-            drop(index);
-            let jobs: Vec<_> = chains
-                .into_iter()
-                .map(|sub| {
-                    let inner = Arc::clone(inner);
-                    move || {
-                        let index = inner.index.read().expect("index lock");
-                        let engine =
-                            QueryEngine::new(&index, &inner.network, inner.engine_config.clone());
-                        let provider = CachedIndex {
-                            index: &index,
-                            cache: &inner.cache,
-                        };
-                        engine.run_chain_via(&provider, sub)
-                    }
-                })
-                .collect();
-            let outcomes = pool.run_all(jobs);
-            let index = inner.index.read().expect("index lock");
-            let engine = QueryEngine::new(&index, &inner.network, inner.engine_config.clone());
-            // Writers bump the generation under the write lock, so holding
-            // the read lock here makes the check race-free: if it passes,
-            // every chain above saw this exact index state.
-            if inner.generation.load(Ordering::SeqCst) == generation_before {
-                engine.assemble(outcomes)
-            } else {
-                let provider = CachedIndex {
-                    index: &index,
-                    cache: &inner.cache,
-                };
-                run_chains_inline(&engine, &provider, engine.initial_subqueries(query))
-            }
+///
+/// A returned `TripQuery` never mixes index generations: each optimistic
+/// pass is validated against the append generation counter and redone if
+/// an append committed mid-trip (possible for parallel chains on any
+/// backend, and for *any* trip on a shared-append backend, whose
+/// appenders do not take the service write lock). A trip is much shorter
+/// than an append, so consecutive invalidations are exponentially
+/// unlikely; after four of them the trip runs once more with appends
+/// frozen via the backend's permit — readers are still unaffected, only
+/// appenders briefly queue.
+fn trip_query_on<B: ServiceBackend>(
+    inner: &Arc<Inner<B>>,
+    pool: Option<&ThreadPool>,
+    query: &Spq,
+) -> TripQuery {
+    for _ in 0..4 {
+        if let Some(result) = trip_query_pass(inner, pool, query) {
+            return result;
         }
-        _ => run_chains_inline(&engine, &provider, chains),
     }
+    // Freeze appends for the final pass. For an exclusive-append backend
+    // the permit is `None` — the read lock alone already excludes
+    // writers, so the inline pass below cannot be invalidated.
+    let index = inner.index.read().expect("index lock");
+    let _permit = index.append_permit();
+    let engine = QueryEngine::new(&*index, &inner.network, inner.engine_config.clone());
+    let provider = CachedIndex {
+        index: &*index,
+        cache: &inner.cache,
+        generation: &inner.generation,
+    };
+    if engine.chains_are_independent(query) {
+        run_chains_inline(&engine, &provider, engine.initial_subqueries(query))
+    } else {
+        engine.trip_query_via(&provider, query)
+    }
+}
+
+/// One optimistic trip execution; `None` when an append committed while
+/// it ran (the result may straddle two index generations).
+fn trip_query_pass<B: ServiceBackend>(
+    inner: &Arc<Inner<B>>,
+    pool: Option<&ThreadPool>,
+    query: &Spq,
+) -> Option<TripQuery> {
+    let generation_before = inner.generation.load(Ordering::SeqCst);
+    let index = inner.index.read().expect("index lock");
+    let engine = QueryEngine::new(&*index, &inner.network, inner.engine_config.clone());
+    let provider = CachedIndex {
+        index: &*index,
+        cache: &inner.cache,
+        generation: &inner.generation,
+    };
+    let result = if !engine.chains_are_independent(query) {
+        engine.trip_query_via(&provider, query)
+    } else {
+        let chains = engine.initial_subqueries(query);
+        match pool {
+            Some(pool) if chains.len() > 1 && pool.threads() > 1 => {
+                // Re-acquire per task: pool jobs must own their state.
+                drop(index);
+                let jobs: Vec<_> = chains
+                    .into_iter()
+                    .map(|sub| {
+                        let inner = Arc::clone(inner);
+                        move || {
+                            let index = inner.index.read().expect("index lock");
+                            let engine = QueryEngine::new(
+                                &*index,
+                                &inner.network,
+                                inner.engine_config.clone(),
+                            );
+                            let provider = CachedIndex {
+                                index: &*index,
+                                cache: &inner.cache,
+                                generation: &inner.generation,
+                            };
+                            engine.run_chain_via(&provider, sub)
+                        }
+                    })
+                    .collect();
+                let outcomes = pool.run_all(jobs);
+                let index = inner.index.read().expect("index lock");
+                let engine = QueryEngine::new(&*index, &inner.network, inner.engine_config.clone());
+                return generation_valid(inner, generation_before)
+                    .then(|| engine.assemble(outcomes));
+            }
+            _ => run_chains_inline(&engine, &provider, chains),
+        }
+    };
+    generation_valid(inner, generation_before).then_some(result)
+}
+
+/// Seqlock read validation: the pass saw one index generation iff the
+/// counter was even (no apply in flight) when it started and has not
+/// moved since.
+fn generation_valid<B: ServiceBackend>(inner: &Inner<B>, before: u64) -> bool {
+    before.is_multiple_of(2) && inner.generation.load(Ordering::SeqCst) == before
 }
 
 /// Runs a trip's independent chains sequentially on the calling thread
 /// (shared by the no-pool path and the update-race retry path).
-fn run_chains_inline(
-    engine: &QueryEngine<'_>,
-    provider: &CachedIndex<'_>,
+fn run_chains_inline<B: ServiceBackend>(
+    engine: &QueryEngine<'_, B>,
+    provider: &CachedIndex<'_, B>,
     chains: Vec<Spq>,
 ) -> TripQuery {
     engine.assemble(
@@ -384,6 +525,7 @@ fn run_chains_inline(
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<QueryService>();
+    assert_send_sync::<ShardedQueryService>();
     assert_send_sync::<ServiceConfig>();
     assert_send_sync::<ServiceStats>();
 };
@@ -392,13 +534,32 @@ const _: () = {
 mod tests {
     use super::*;
     use tthr_core::{SntConfig, TimeInterval};
-    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E, EDGE_F};
     use tthr_network::Path;
     use tthr_trajectory::examples::example_trajectories;
+    use tthr_trajectory::{TrajEntry, UserId};
 
     fn service(threads: usize) -> QueryService {
         let network = example_network();
         let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+        QueryService::new(
+            index,
+            Arc::new(network),
+            ServiceConfig {
+                num_threads: threads,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn sharded_service(threads: usize, shards: usize) -> ShardedQueryService {
+        let network = example_network();
+        let index = ShardedSntIndex::build(
+            &network,
+            &example_trajectories(),
+            SntConfig::default(),
+            shards,
+        );
         QueryService::new(
             index,
             Arc::new(network),
@@ -492,6 +653,66 @@ mod tests {
             s.get_travel_times(&uncapped).sorted(),
             vec![10.0, 10.0, 11.0]
         );
+    }
+
+    #[test]
+    fn sharded_backend_answers_like_the_monolith_service() {
+        let mono = service(2);
+        for shards in [1usize, 3, 6] {
+            let sharded = sharded_service(2, shards);
+            let q = abe();
+            assert_eq!(
+                sharded.get_travel_times(&q).sorted(),
+                mono.get_travel_times(&q).sorted(),
+                "shards={shards}"
+            );
+            let a = mono.trip_query(&q);
+            let b = sharded.trip_query(&q);
+            assert_eq!(
+                a.predicted_duration().to_bits(),
+                b.predicted_duration().to_bits(),
+                "shards={shards}"
+            );
+            assert_eq!(a.stats, b.stats, "shards={shards}");
+        }
+    }
+
+    /// Regression: a single-shard append must evict only the touched
+    /// shard's cache entries — an earlier draft cleared every shard the
+    /// way the monolithic backend does, throwing warm entries away on
+    /// every write.
+    #[test]
+    fn single_shard_append_invalidates_only_the_touched_shard() {
+        // Six shards over the six example edges: every edge is its own
+        // shard, so the routing of the two probe queries is disjoint.
+        let s = sharded_service(2, 6);
+        let qa = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::fixed(0, 100));
+        let qf = Spq::new(Path::new(vec![EDGE_F]), TimeInterval::fixed(0, 100));
+        let _ = s.get_travel_times(&qa);
+        let _ = s.get_travel_times(&qf);
+        assert_eq!(s.stats().cache.entries, 2);
+
+        // Append a trajectory that touches only F's shard.
+        let mut grown = example_trajectories();
+        grown
+            .push(UserId(9), vec![TrajEntry::new(EDGE_F, 50, 6.5)])
+            .unwrap();
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
+        let stats = s.stats();
+        assert_eq!(stats.cache.entries, 1, "only F's entry evicted");
+        assert_eq!(stats.cache.invalidations, 1);
+        assert_eq!(stats.generation, 1);
+
+        // A's entry is still served from cache (hit-rate on the untouched
+        // shard stays flat: one more hit, no more misses)...
+        let before = s.stats().cache;
+        assert_eq!(s.get_travel_times(&qa).sorted(), vec![3.0, 3.0, 3.0, 4.0]);
+        let after = s.stats().cache;
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+
+        // ...while F recomputes and sees the new traversal.
+        assert_eq!(s.get_travel_times(&qf).sorted(), vec![6.0, 6.5]);
     }
 
     #[test]

@@ -15,14 +15,13 @@
 //! write-ahead. [`QueryService::open`] is the restart path: load the
 //! snapshot, replay the WAL, resume logging.
 
-use crate::{QueryService, ServiceConfig};
+use crate::{QueryService, ServiceBackend, ServiceConfig};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use tthr_core::{SntIndex, WalBatch};
 use tthr_network::RoadNetwork;
 use tthr_store::wal::WalWriter;
-use tthr_store::{ByteReader, Persist, StoreError};
+use tthr_store::StoreError;
 
 /// File name of the snapshot container inside a service directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.tthr";
@@ -51,7 +50,7 @@ pub struct SnapshotInfo {
     pub partitions: usize,
 }
 
-impl QueryService {
+impl<B: ServiceBackend> QueryService<B> {
     /// Writes the current index state as a snapshot into `dir` (created
     /// if missing), resets the WAL, and attaches durable storage so every
     /// later [`QueryService::append_batch`] is logged write-ahead.
@@ -89,10 +88,13 @@ impl QueryService {
     pub fn save_snapshot(&self, dir: impl AsRef<Path>) -> Result<SnapshotInfo, StoreError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        // Lock order: index before the persist mutex (same as
-        // `append_batch`). Holding the read lock keeps writers out, so
-        // the snapshot and the WAL reset can't interleave with an append.
+        // Lock order: index, then the append permit, then the persist
+        // mutex (same as `append_batch`). For an exclusive-append backend
+        // the read lock alone keeps writers out; a shared-append backend
+        // admits appends under the read lock, so the permit is what keeps
+        // the snapshot and the WAL reset from interleaving with one.
         let index = self.inner.index.read().expect("index lock");
+        let _permit = index.append_permit();
         let mut persist = self.inner.persist.lock().expect("persist lock");
         let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
         let bytes;
@@ -134,35 +136,30 @@ impl QueryService {
     /// WAL batch the snapshot predates, truncates any torn WAL tail, and
     /// resumes write-ahead logging in the same directory.
     ///
+    /// The snapshot and WAL-record formats are the backend's
+    /// ([`ServiceBackend`]): a monolithic directory opens as
+    /// `QueryService<SntIndex>`, a sharded one as
+    /// [`ShardedQueryService`](crate::ShardedQueryService) — opening a
+    /// directory with the wrong backend type is a typed error, not a
+    /// misparse (each format's required sections are absent from the
+    /// other).
+    ///
     /// Replay is stamp-checked: records already contained in the snapshot
     /// are skipped, and a record that *skips ahead* of the index state
     /// (a deleted or reordered log) is a [`StoreError::WalGap`]. The
     /// resulting service answers queries byte-identically to one built
     /// from the full trajectory history in memory.
-    pub fn open(
+    pub fn open_with(
         dir: impl AsRef<Path>,
         network: Arc<RoadNetwork>,
         config: ServiceConfig,
-    ) -> Result<QueryService, StoreError> {
+    ) -> Result<QueryService<B>, StoreError> {
         let dir = dir.as_ref();
         let bytes = std::fs::read(dir.join(SNAPSHOT_FILE))?;
-        let mut index = SntIndex::from_snapshot_bytes(&bytes)?;
+        let mut index = B::from_snapshot_bytes(&bytes)?;
         let (wal, recovery) = WalWriter::open(&dir.join(WAL_FILE))?;
         for record in &recovery.records {
-            let mut r = ByteReader::new(record);
-            let batch = WalBatch::restore(&mut r)?;
-            r.expect_exhausted("wal record")?;
-            let have = index.num_trajectories() as u64;
-            if batch.base < have {
-                continue; // batch predates the snapshot
-            }
-            if batch.base > have {
-                return Err(StoreError::WalGap {
-                    expected: have,
-                    found: batch.base,
-                });
-            }
-            index.append_trajectory_batch(&batch.trajectories)?;
+            index.replay_wal_record(record)?;
         }
         let service = QueryService::new(index, network, config);
         *service.inner.persist.lock().expect("persist lock") = Some(Persistence {
@@ -183,6 +180,19 @@ impl QueryService {
     }
 }
 
+impl QueryService {
+    /// [`QueryService::open_with`] pinned to the monolithic
+    /// [`SntIndex`](tthr_core::SntIndex) backend (the original service
+    /// directory flavor).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        network: Arc<RoadNetwork>,
+        config: ServiceConfig,
+    ) -> Result<QueryService, StoreError> {
+        Self::open_with(dir, network, config)
+    }
+}
+
 /// Fsyncs a directory so renames and file creations inside it are
 /// durable. Some platforms refuse to sync a directory handle; treat
 /// "unsupported" as best-effort rather than failing the snapshot.
@@ -200,7 +210,7 @@ fn sync_dir(dir: &Path) -> Result<(), StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tthr_core::{SntConfig, Spq, TimeInterval};
+    use tthr_core::{SntConfig, SntIndex, Spq, TimeInterval};
     use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
     use tthr_network::Path as NetPath;
     use tthr_trajectory::examples::example_trajectories;

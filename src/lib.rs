@@ -55,8 +55,10 @@
 //!                   │      key = full Spq, hit/miss/eviction counters)
 //!                   │                │ miss
 //!                   │                ▼
-//!                   └──► RwLock<SntIndex>  (readers: queries; writer: append_batch,
-//!                                           which clears the cache ⇒ generation + 1)
+//!                   └──► backend: RwLock over SntIndex (monolith), or
+//!                        ShardedSntIndex — K per-shard RwLocks, appends only
+//!                        write-lock touched shards (generation + 1, scoped
+//!                        cache invalidation)
 //! ```
 //!
 //! * **Concurrency** — trip queries in a batch run as parallel pool tasks;
@@ -71,9 +73,17 @@
 //! * **Caching** — results are cached per relaxed SPQ, so two trips
 //!   sharing a sub-path (or one trip repeated) skip the FM-index and
 //!   temporal-forest scans entirely. Updates via
-//!   [`service::QueryService::append_batch`] invalidate the whole cache
-//!   under the index write lock — stale reads are impossible because
-//!   inserts require the read lock.
+//!   [`service::QueryService::append_batch`] invalidate scoped to the
+//!   backend (whole cache for the monolith, touched shards only for the
+//!   sharded backend), with generation-validated inserts so stale
+//!   entries cannot survive an append.
+//! * **Sharding** — [`core::ShardedSntIndex`] partitions the road
+//!   network into K zone/grid shards, each a complete SNT-index over the
+//!   trajectories touching it, behind its own lock. First-edge routing
+//!   keeps answers byte-identical to the monolith
+//!   (`tests/sharded_equivalence.rs` proves it differentially for
+//!   K ∈ {1, 2, 7}), while appends stall only the written shards
+//!   (`crates/bench/benches/sharded.rs`).
 //! * **Observability** — [`service::ServiceStats`] snapshots p50/p95/p99
 //!   latency, throughput, and cache hit rate, computed with [`metrics`].
 //!
@@ -132,13 +142,14 @@ pub use tthr_trajectory as trajectory;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use tthr_core::{
-        BetaPolicy, CardinalityMode, PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig,
-        SntIndex, SplitMethod, Spq, TimeInterval, TravelTimeProvider, TripQuery,
+        BetaPolicy, CardinalityMode, IndexBackend, PartitionMethod, QueryEngine, QueryEngineConfig,
+        ShardRouter, ShardedSntIndex, SntConfig, SntIndex, SplitMethod, Spq, TimeInterval,
+        TravelTimeProvider, TripQuery,
     };
     pub use tthr_datagen::{NetworkConfig, WorkloadConfig};
     pub use tthr_histogram::Histogram;
     pub use tthr_metrics::{log_likelihood, percentile, q_error, smape, weighted_error};
     pub use tthr_network::{Category, EdgeId, Path, RoadNetwork, Zone};
-    pub use tthr_service::{QueryService, ServiceConfig, ServiceStats};
+    pub use tthr_service::{QueryService, ServiceConfig, ServiceStats, ShardedQueryService};
     pub use tthr_trajectory::{TrajId, Trajectory, TrajectorySet, UserId};
 }

@@ -1,0 +1,442 @@
+//! The monolith-vs-sharded differential oracle.
+//!
+//! [`DiffHarness`] builds one monolithic [`QueryService`] and one
+//! [`ShardedQueryService`] per shard count in [`SHARD_COUNTS`] from the
+//! same datagen stream, then drives them through identical operations —
+//! SPQs, trip queries, appends, snapshot/reopen cycles — asserting
+//! **byte-identical** answers at every step (float bit patterns in index
+//! scan order, trip stats, histograms).
+//!
+//! On a divergence the harness does not just panic: it first *minimizes*
+//! the offending query — greedily dropping predicates and shrinking the
+//! path while the divergence persists — and then reports the minimal
+//! query together with its per-edge shard assignment, so a routing or
+//! stitching bug is immediately localizable.
+//!
+//! [`QueryGen`] supplies the randomized-but-deterministic workload on top
+//! of the proptest shim's [`TestRng`]/[`Strategy`] machinery.
+
+use proptest::{Strategy, TestRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use tthr::core::{
+    QueryEngineConfig, ShardedSntIndex, SntConfig, SntIndex, Spq, TimeInterval, TripQuery,
+};
+use tthr::datagen::{generate_network, generate_workload, NetworkConfig, WorkloadConfig};
+use tthr::network::RoadNetwork;
+use tthr::service::{QueryService, ServiceConfig, ShardedQueryService};
+use tthr::trajectory::{TrajId, TrajectorySet};
+
+use super::{prefix_set, value_bits as bits};
+
+/// The shard counts every differential run compares against the monolith.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Monolith + sharded services over one shared trajectory stream.
+pub struct DiffHarness {
+    network: Arc<RoadNetwork>,
+    /// The full datagen stream; `applied` trajectories are indexed so far.
+    full: TrajectorySet,
+    applied: usize,
+    config: ServiceConfig,
+    monolith: QueryService,
+    sharded: Vec<(usize, ShardedQueryService)>,
+    /// Scratch directory for snapshot/reopen cycles (removed on drop).
+    dir: PathBuf,
+    snapshots: usize,
+    /// Latest snapshot directories (monolith, then one per shard count),
+    /// set once `snapshot` ran — `reopen` restarts from them.
+    latest: Option<(PathBuf, Vec<PathBuf>)>,
+    /// Largest number of distinct shards one append batch touched on the
+    /// max-K service (proves the suite exercised multi-shard batches).
+    pub max_shards_per_batch: usize,
+}
+
+impl DiffHarness {
+    /// Builds the services over the first third of a small synthetic
+    /// world; the rest of the stream feeds [`DiffHarness::append_next`].
+    pub fn new(name: &str, engine: QueryEngineConfig) -> DiffHarness {
+        let syn = generate_network(&NetworkConfig::small());
+        let full = generate_workload(&syn, &WorkloadConfig::small());
+        let network = Arc::new(syn.network);
+        let applied = full.len() / 3;
+        let initial = prefix_set(&full, applied);
+        let config = ServiceConfig {
+            num_threads: 2,
+            cache_capacity: 4096,
+            engine,
+            ..ServiceConfig::default()
+        };
+        let monolith = QueryService::new(
+            SntIndex::build(&network, &initial, SntConfig::default()),
+            Arc::clone(&network),
+            config.clone(),
+        );
+        let sharded = SHARD_COUNTS
+            .iter()
+            .map(|&k| {
+                let index = ShardedSntIndex::build(&network, &initial, SntConfig::default(), k);
+                (
+                    k,
+                    QueryService::new(index, Arc::clone(&network), config.clone()),
+                )
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("tthr-diff-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiffHarness {
+            network,
+            full,
+            applied,
+            config,
+            monolith,
+            sharded,
+            dir,
+            snapshots: 0,
+            latest: None,
+            max_shards_per_batch: 0,
+        }
+    }
+
+    /// Trajectories indexed so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Whether the stream still has unappended trajectories.
+    pub fn can_append(&self) -> bool {
+        self.applied < self.full.len()
+    }
+
+    /// The full stream (query generation samples paths from the applied
+    /// prefix).
+    pub fn stream(&self) -> &TrajectorySet {
+        &self.full
+    }
+
+    /// Appends up to `n` more trajectories from the stream to every
+    /// service as one batch and cross-checks the append outcome.
+    pub fn append_next(&mut self, n: usize) -> usize {
+        let to = (self.applied + n.max(1)).min(self.full.len());
+        if to == self.applied {
+            return 0;
+        }
+        let grown = prefix_set(&self.full, to);
+        // Track batch fan-out on the widest-partitioned service before
+        // applying: how many distinct shards does this one batch touch?
+        if let Some((_, svc)) = self.sharded.iter().find(|(k, _)| *k == max_k()) {
+            let touched = svc.with_index(|index| {
+                let mut shards: Vec<usize> = (self.applied..to)
+                    .flat_map(|id| {
+                        self.full
+                            .get(TrajId(id as u32))
+                            .entries()
+                            .iter()
+                            .map(|e| index.router().shard_of(e.edge))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                shards.sort_unstable();
+                shards.dedup();
+                shards.len()
+            });
+            self.max_shards_per_batch = self.max_shards_per_batch.max(touched);
+        }
+        let appended = to - self.applied;
+        assert_eq!(
+            self.monolith.append_batch(&grown).expect("monolith append"),
+            appended
+        );
+        for (k, svc) in &self.sharded {
+            assert_eq!(
+                svc.append_batch(&grown).expect("sharded append"),
+                appended,
+                "K={k} appended a different count"
+            );
+        }
+        self.applied = to;
+        appended
+    }
+
+    /// Snapshots every service into fresh directories and attaches
+    /// write-ahead logging (later appends are WAL-logged there).
+    pub fn snapshot(&mut self) {
+        self.snapshots += 1;
+        let mono_dir = self.dir.join(format!("mono-{}", self.snapshots));
+        self.monolith.save_snapshot(&mono_dir).expect("snapshot");
+        let mut shard_dirs = Vec::new();
+        for (k, svc) in &self.sharded {
+            let d = self.dir.join(format!("k{k}-{}", self.snapshots));
+            svc.save_snapshot(&d).expect("sharded snapshot");
+            shard_dirs.push(d);
+        }
+        self.latest = Some((mono_dir, shard_dirs));
+    }
+
+    /// Restarts every service from its latest snapshot directory,
+    /// replaying whatever WAL records accumulated since [`Self::snapshot`]
+    /// ran. No-op when no snapshot was taken yet.
+    pub fn reopen(&mut self) {
+        let Some((mono_dir, shard_dirs)) = self.latest.clone() else {
+            return;
+        };
+        self.monolith =
+            QueryService::open(&mono_dir, Arc::clone(&self.network), self.config.clone())
+                .expect("monolith reopen");
+        for ((k, svc), d) in self.sharded.iter_mut().zip(&shard_dirs) {
+            *svc =
+                ShardedQueryService::open_with(d, Arc::clone(&self.network), self.config.clone())
+                    .unwrap_or_else(|e| panic!("sharded K={k} reopen: {e}"));
+        }
+        // Reopened services must still hold the full applied prefix.
+        let want = self.applied;
+        self.monolith
+            .with_index(|i| assert_eq!(i.num_trajectories(), want));
+        for (k, svc) in &self.sharded {
+            svc.with_index(|i| assert_eq!(i.num_trajectories(), want, "K={k} lost trajectories"));
+        }
+    }
+
+    /// Asserts every sharded service answers the SPQ byte-identically to
+    /// the monolith; on divergence, minimizes and reports.
+    pub fn check_spq(&self, spq: &Spq) {
+        let want = self.monolith.get_travel_times(spq);
+        for (k, svc) in &self.sharded {
+            let got = svc.get_travel_times(spq);
+            if bits(&want.values) != bits(&got.values) || want.fallback != got.fallback {
+                self.report_spq_divergence(*k, svc, spq);
+            }
+        }
+    }
+
+    /// Asserts every sharded service answers the trip query identically
+    /// to the monolith (stats, histogram, per-sub results).
+    pub fn check_trip(&self, spq: &Spq) {
+        let want = self.monolith.trip_query(spq);
+        for (k, svc) in &self.sharded {
+            let got = svc.trip_query(spq);
+            if !trips_equal(&want, &got) {
+                // Minimize at the SPQ level when possible: a diverging trip
+                // almost always contains a diverging sub-query.
+                let fails =
+                    |q: &Spq| !trips_equal(&self.monolith.trip_query(q), &svc.trip_query(q));
+                let minimal = minimize(&fails, spq.clone());
+                panic!(
+                    "sharded K={k} trip query diverged from the monolith\n\
+                     original query: {spq:?}\n\
+                     minimal failing query: {minimal:?}\n\
+                     edge→shard assignment: {:?}\n\
+                     monolith: {:?}\n\
+                     sharded:  {:?}",
+                    self.shard_assignment(svc, &minimal),
+                    self.monolith.trip_query(&minimal).stats,
+                    svc.trip_query(&minimal).stats,
+                );
+            }
+        }
+    }
+
+    /// Runs both checks on a slice of queries (`spq` for every query,
+    /// `trip` for every `trip_every`-th).
+    pub fn check_all(&self, queries: &[Spq], trip_every: usize) {
+        for (i, q) in queries.iter().enumerate() {
+            self.check_spq(q);
+            if trip_every > 0 && i % trip_every == 0 {
+                self.check_trip(q);
+            }
+        }
+    }
+
+    fn shard_assignment(&self, svc: &ShardedQueryService, spq: &Spq) -> Vec<(u32, usize)> {
+        svc.with_index(|index| {
+            spq.path
+                .edges()
+                .iter()
+                .map(|&e| (e.0, index.router().shard_of(e)))
+                .collect()
+        })
+    }
+
+    fn report_spq_divergence(&self, k: usize, svc: &ShardedQueryService, spq: &Spq) -> ! {
+        let fails = |q: &Spq| {
+            let a = self.monolith.get_travel_times(q);
+            let b = svc.get_travel_times(q);
+            bits(&a.values) != bits(&b.values) || a.fallback != b.fallback
+        };
+        let minimal = minimize(&fails, spq.clone());
+        let want = self.monolith.get_travel_times(&minimal);
+        let got = svc.get_travel_times(&minimal);
+        panic!(
+            "sharded K={k} diverged from the monolith\n\
+             original query: {spq:?}\n\
+             minimal failing query: {minimal:?}\n\
+             edge→shard assignment: {:?}\n\
+             monolith: values {:?} (fallback {})\n\
+             sharded:  values {:?} (fallback {})",
+            self.shard_assignment(svc, &minimal),
+            want.values,
+            want.fallback,
+            got.values,
+            got.fallback,
+        );
+    }
+}
+
+impl Drop for DiffHarness {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn max_k() -> usize {
+    *SHARD_COUNTS.iter().max().expect("non-empty")
+}
+
+/// Structural equality of two trip answers: identical processing
+/// counters, convolved histogram, and per-sub-query results (paths,
+/// value bit patterns, means, fallback flags).
+pub fn trips_equal(a: &TripQuery, b: &TripQuery) -> bool {
+    a.stats == b.stats
+        && a.histogram == b.histogram
+        && a.subs.len() == b.subs.len()
+        && a.subs.iter().zip(&b.subs).all(|(x, y)| {
+            x.path == y.path
+                && bits(&x.values) == bits(&y.values)
+                && x.mean.to_bits() == y.mean.to_bits()
+                && x.fallback == y.fallback
+        })
+}
+
+/// Greedy minimizer: repeatedly applies the first shrinking step that
+/// still fails, until no candidate fails.
+fn minimize(fails: &dyn Fn(&Spq) -> bool, mut q: Spq) -> Spq {
+    loop {
+        let mut reduced = None;
+        for cand in shrink_candidates(&q) {
+            if fails(&cand) {
+                reduced = Some(cand);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => q = c,
+            None => return q,
+        }
+    }
+}
+
+/// One-step simplifications of a query, cheapest first: drop predicates,
+/// simplify the interval, then shrink the path from either end.
+fn shrink_candidates(q: &Spq) -> Vec<Spq> {
+    let mut cands = Vec::new();
+    if q.beta.is_some() {
+        let mut c = q.clone();
+        c.beta = None;
+        cands.push(c);
+    }
+    if q.exclude.is_some() {
+        let mut c = q.clone();
+        c.exclude = None;
+        cands.push(c);
+    }
+    if !q.filter.is_empty() {
+        let mut c = q.clone();
+        c.filter = tthr::core::Filter::None;
+        cands.push(c);
+    }
+    if q.interval.is_periodic() {
+        let mut c = q.clone();
+        c.interval = TimeInterval::fixed(0, i64::MAX / 4);
+        cands.push(c);
+    }
+    let l = q.path.len();
+    if l > 1 {
+        for range in [0..l / 2, l / 2..l, 0..l - 1, 1..l] {
+            let mut c = q.clone();
+            c.path = q.path.sub_path(range);
+            cands.push(c);
+        }
+    }
+    cands
+}
+
+/// Deterministic randomized query/op generation over the proptest shim.
+pub struct QueryGen {
+    rng: TestRng,
+}
+
+impl QueryGen {
+    /// Seeds from the test name (the shim's per-test convention), plus an
+    /// optional environment override `TTHR_DIFF_SEED` so CI can pin (or a
+    /// soak run can vary) the stream without editing the test.
+    pub fn new(name: &str) -> QueryGen {
+        let seed = std::env::var("TTHR_DIFF_SEED").unwrap_or_default();
+        QueryGen {
+            rng: TestRng::from_name(&format!("{name}-{seed}")),
+        }
+    }
+
+    /// A uniform draw from a range (proptest-shim strategy sampling).
+    pub fn range(&mut self, r: std::ops::Range<usize>) -> usize {
+        r.sample(&mut self.rng)
+    }
+
+    /// A random SPQ whose path is a sub-path of an already-applied
+    /// trajectory (so answers are non-trivial), with randomized interval
+    /// flavor, β, user filter, and exclusion.
+    pub fn spq(&mut self, h: &DiffHarness) -> Spq {
+        self.spq_from(h.stream(), h.applied())
+    }
+
+    /// As [`QueryGen::spq`] over an explicit set prefix.
+    pub fn spq_from(&mut self, set: &TrajectorySet, applied: usize) -> Spq {
+        assert!(applied > 0, "cannot sample from an empty prefix");
+        let tr = set.get(TrajId(self.range(0..applied) as u32));
+        let max_len = tr.len().min(6);
+        let len = 1 + self.range(0..max_len);
+        let start = self.range(0..tr.len() - len + 1);
+        let path = tr.path().sub_path(start..start + len);
+        let enter = tr.entries()[start].enter_time;
+
+        let interval = match self.range(0..5) {
+            0 => TimeInterval::fixed(0, i64::MAX / 4),
+            1 => {
+                let w = 60 + self.range(0..7200) as i64;
+                TimeInterval::fixed(enter - w, enter + w)
+            }
+            2 => TimeInterval::periodic_around(enter, [900, 1800, 3600][self.range(0..3)]),
+            3 => TimeInterval::periodic(
+                (self.range(0..24) * 3600) as i64,
+                [900, 1800, 2700][self.range(0..3)],
+            ),
+            // Degenerate window far from the data: exercises relaxation
+            // all the way to the fallback.
+            _ => TimeInterval::periodic(3 * 3600, 900),
+        };
+
+        let mut q = Spq::new(path, interval);
+        if self.range(0..10) < 6 {
+            q = q.with_beta(1 + self.range(0..12) as u32);
+        }
+        if self.range(0..10) < 3 {
+            // The path owner's user half the time, an arbitrary user else.
+            let user = if self.range(0..2) == 0 {
+                tr.user()
+            } else {
+                set.get(TrajId(self.range(0..applied) as u32)).user()
+            };
+            q = q.with_user(user);
+        }
+        if self.range(0..10) < 2 {
+            // Exclude the source trajectory (the paper's own-answer
+            // exclusion) or a random one.
+            let ex = if self.range(0..2) == 0 {
+                tr.id()
+            } else {
+                TrajId(self.range(0..applied) as u32)
+            };
+            q = q.without_trajectory(ex);
+        }
+        q
+    }
+}

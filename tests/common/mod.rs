@@ -2,6 +2,8 @@
 
 //! Shared fixtures and the brute-force SPQ oracle for integration tests.
 
+pub mod differential;
+
 use tthr::core::{Filter, Spq};
 use tthr::datagen::{
     generate_network, generate_workload, NetworkConfig, SyntheticNetwork, WorkloadConfig,
@@ -55,6 +57,24 @@ pub fn brute_force_spq(set: &TrajectorySet, spq: &Spq) -> Vec<f64> {
         matches.truncate(beta as usize);
     }
     matches.into_iter().map(|m| m.3).collect()
+}
+
+/// Copies the first `n` trajectories of `set` into their own set (ids are
+/// re-assigned densely, users and entries preserved).
+pub fn prefix_set(set: &TrajectorySet, n: usize) -> TrajectorySet {
+    let mut prefix = TrajectorySet::new();
+    for tr in set.iter().take(n) {
+        prefix
+            .push(tr.user(), tr.entries().to_vec())
+            .expect("valid copy");
+    }
+    prefix
+}
+
+/// Raw bit patterns of travel-time values in scan order — byte-identical
+/// comparison, stricter than float equality.
+pub fn value_bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
 }
 
 /// Sorts travel times for multiset comparison.

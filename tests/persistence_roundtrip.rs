@@ -5,7 +5,7 @@
 
 mod common;
 
-use common::small_world;
+use common::{prefix_set, small_world, value_bits};
 use std::path::PathBuf;
 use std::sync::Arc;
 use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval, WalBatch};
@@ -19,17 +19,6 @@ fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tthr-persistence-{}-{name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
-}
-
-/// Copies the first `n` trajectories into their own set.
-fn prefix_set(set: &TrajectorySet, n: usize) -> TrajectorySet {
-    let mut prefix = TrajectorySet::new();
-    for tr in set.iter().take(n) {
-        prefix
-            .push(tr.user(), tr.entries().to_vec())
-            .expect("valid copy");
-    }
-    prefix
 }
 
 /// A mixed SPQ workload sampled from the history.
@@ -54,9 +43,12 @@ fn workload(set: &TrajectorySet) -> Vec<Spq> {
 
 /// Bit patterns of the travel times, in index scan order: byte-identical
 /// comparison, stricter than float equality.
-fn bits(service: &QueryService, spq: &Spq) -> (Vec<u64>, bool) {
+fn bits<B: tthr::service::ServiceBackend>(
+    service: &QueryService<B>,
+    spq: &Spq,
+) -> (Vec<u64>, bool) {
     let t = service.get_travel_times(spq);
-    (t.values.iter().map(|v| v.to_bits()).collect(), t.fallback)
+    (value_bits(&t.values), t.fallback)
 }
 
 #[test]
@@ -240,6 +232,248 @@ fn wal_replay_after_crash_recovers_batches_newer_than_the_snapshot() {
     assert_eq!(reopened.append_batch(&grown).unwrap(), 1);
     let once_more = QueryService::open(&dir, network, ServiceConfig::default()).unwrap();
     once_more.with_index(|index| assert_eq!(index.num_trajectories(), extra + 1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Sharded store format: per-shard snapshot sections + shard-tagged WAL
+// records (`tthr_core::sharded`), opened via `QueryService::open_with`.
+// ---------------------------------------------------------------------
+
+use tthr::core::{ShardedSntIndex, ShardedWalBatch, SHARD_SECTION_BASE};
+use tthr::service::ShardedQueryService;
+
+const SHARDS: usize = 3;
+
+fn sharded_service(
+    network: &Arc<tthr::network::RoadNetwork>,
+    set: &TrajectorySet,
+) -> ShardedQueryService {
+    QueryService::new(
+        ShardedSntIndex::build(network, set, SntConfig::default(), SHARDS),
+        Arc::clone(network),
+        ServiceConfig::default(),
+    )
+}
+
+/// Parses the snapshot container's section table: `(id, offset, len)`.
+fn section_table(bytes: &[u8]) -> Vec<(u32, usize, usize)> {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    (0..count)
+        .map(|i| {
+            let o = 16 + i * 24;
+            let id = u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+            let off = u64::from_le_bytes(bytes[o + 4..o + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[o + 12..o + 20].try_into().unwrap()) as usize;
+            (id, off, len)
+        })
+        .collect()
+}
+
+/// Frame offsets `(start, payload_len)` of every WAL record.
+fn wal_frames(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut frames = Vec::new();
+    let mut pos = 12; // magic + version
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if bytes.len() - pos - 8 < len {
+            break;
+        }
+        frames.push((pos, len));
+        pos += 8 + len;
+    }
+    frames
+}
+
+#[test]
+fn sharded_open_serves_byte_identically_after_snapshot_and_wal_appends() {
+    let dir = temp_dir("sharded-roundtrip");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let queries = workload(&set);
+
+    let third = set.len() / 3;
+    let service = sharded_service(&network, &prefix_set(&set, third));
+    service.save_snapshot(&dir).unwrap();
+    assert_eq!(
+        service.append_batch(&prefix_set(&set, 2 * third)).unwrap(),
+        third
+    );
+    assert_eq!(service.append_batch(&set).unwrap(), set.len() - 2 * third);
+
+    let reopened =
+        ShardedQueryService::open_with(&dir, Arc::clone(&network), ServiceConfig::default())
+            .unwrap();
+    reopened.with_index(|index| {
+        assert_eq!(index.num_trajectories(), set.len());
+        assert_eq!(index.num_shards(), SHARDS);
+    });
+    for spq in &queries {
+        assert_eq!(bits(&reopened, spq), bits(&service, spq), "{spq:?}");
+    }
+
+    // The monolithic service over the same history agrees byte for byte —
+    // restart does not loosen the differential contract.
+    let mono = QueryService::new(
+        SntIndex::build(&syn.network, &prefix_set(&set, third), SntConfig::default()),
+        Arc::clone(&network),
+        ServiceConfig::default(),
+    );
+    let _ = mono.append_batch(&prefix_set(&set, 2 * third)).unwrap();
+    let _ = mono.append_batch(&set).unwrap();
+    for spq in &queries {
+        assert_eq!(bits(&mono, spq), bits(&reopened, spq), "{spq:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_wal_truncated_mid_record_recovers_the_intact_prefix() {
+    let dir = temp_dir("sharded-torn");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let half = set.len() / 2;
+    let queries = workload(&set);
+
+    let service = sharded_service(&network, &prefix_set(&set, half));
+    service.save_snapshot(&dir).unwrap();
+    assert_eq!(
+        service.append_batch(&prefix_set(&set, half + 3)).unwrap(),
+        3
+    );
+    // Answers of the generation the torn log must recover to.
+    let after_first: Vec<_> = queries.iter().map(|q| bits(&service, q)).collect();
+    assert_eq!(service.append_batch(&set).unwrap(), set.len() - half - 3);
+    drop(service);
+
+    // Tear the second record in half — mid-payload, the way a crash
+    // during an fsync-ed write cannot happen but a disk can deliver.
+    let wal_path = dir.join(WAL_FILE);
+    let wal_bytes = std::fs::read(&wal_path).unwrap();
+    let frames = wal_frames(&wal_bytes);
+    assert_eq!(frames.len(), 2, "two appends, two records");
+    let (start, len) = frames[1];
+    std::fs::write(&wal_path, &wal_bytes[..start + 8 + len / 2]).unwrap();
+
+    let reopened =
+        ShardedQueryService::open_with(&dir, Arc::clone(&network), ServiceConfig::default())
+            .unwrap();
+    reopened.with_index(|index| assert_eq!(index.num_trajectories(), half + 3));
+    for (spq, want) in queries.iter().zip(&after_first) {
+        assert_eq!(&bits(&reopened, spq), want, "{spq:?}");
+    }
+
+    // The torn tail was truncated: appending and reopening again works.
+    assert_eq!(reopened.append_batch(&set).unwrap(), set.len() - half - 3);
+    let once_more =
+        ShardedQueryService::open_with(&dir, Arc::clone(&network), ServiceConfig::default())
+            .unwrap();
+    once_more.with_index(|index| assert_eq!(index.num_trajectories(), set.len()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_snapshot_corruption_is_a_typed_error_per_section() {
+    let dir = temp_dir("sharded-corruption");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let service = sharded_service(&network, &prefix_set(&set, 40));
+    service.save_snapshot(&dir).unwrap();
+    drop(service);
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    let pristine = std::fs::read(&snapshot_path).unwrap();
+
+    let reopen = |bytes: &[u8]| {
+        std::fs::write(&snapshot_path, bytes).unwrap();
+        ShardedQueryService::open_with(&dir, Arc::clone(&network), ServiceConfig::default())
+    };
+
+    // Flip one byte inside each shard's section payload: the container
+    // CRC for exactly that section must fail.
+    let table = section_table(&pristine);
+    for s in 0..SHARDS as u32 {
+        let &(_, off, len) = table
+            .iter()
+            .find(|&&(id, _, _)| id == SHARD_SECTION_BASE + s)
+            .expect("shard section present");
+        assert!(len > 0);
+        let mut corrupt = pristine.clone();
+        corrupt[off + len / 2] ^= 0x40;
+        match reopen(&corrupt) {
+            Err(StoreError::ChecksumMismatch { context }) => {
+                assert!(
+                    context.contains(&(SHARD_SECTION_BASE + s).to_string()),
+                    "wrong section blamed: {context}"
+                );
+            }
+            other => panic!("shard {s} corruption: {:?}", other.err()),
+        }
+    }
+
+    // A monolithic service directory refuses to open as sharded (and vice
+    // versa) with a typed missing-section error, not a misparse.
+    std::fs::write(&snapshot_path, &pristine).unwrap();
+    let mono_dir = temp_dir("sharded-corruption-mono");
+    let mono = QueryService::new(
+        SntIndex::build(&syn.network, &prefix_set(&set, 40), SntConfig::default()),
+        Arc::clone(&network),
+        ServiceConfig::default(),
+    );
+    mono.save_snapshot(&mono_dir).unwrap();
+    assert!(matches!(
+        ShardedQueryService::open_with(&mono_dir, Arc::clone(&network), ServiceConfig::default()),
+        Err(StoreError::MissingSection(_))
+    ));
+    assert!(matches!(
+        QueryService::open(&dir, Arc::clone(&network), ServiceConfig::default()),
+        Err(StoreError::MissingSection(_))
+    ));
+
+    // Pristine bytes still open (the harness, not the format, failed
+    // above).
+    assert!(reopen(&pristine).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&mono_dir).unwrap();
+}
+
+#[test]
+fn sharded_wal_records_skipping_ahead_or_misrouted_are_typed_errors() {
+    let dir = temp_dir("sharded-gap");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let service = sharded_service(&network, &prefix_set(&set, 30));
+    service.save_snapshot(&dir).unwrap();
+    let base_plan = service.with_index(|index| index.plan_wal_batch(&prefix_set(&set, 32), 30));
+    drop(service);
+
+    let write_wal = |record: &ShardedWalBatch| {
+        let mut w = ByteWriter::new();
+        record.persist(&mut w);
+        let mut wal = WalWriter::create(&dir.join(WAL_FILE)).unwrap();
+        wal.append(&w.into_bytes()).unwrap();
+    };
+
+    // A record whose base stamp skips ahead of the snapshot is a gap.
+    let mut skipping = base_plan.clone();
+    skipping.batch.base = 1000;
+    write_wal(&skipping);
+    assert!(matches!(
+        ShardedQueryService::open_with(&dir, Arc::clone(&network), ServiceConfig::default()),
+        Err(StoreError::WalGap {
+            expected: 30,
+            found: 1000
+        })
+    ));
+
+    // A record whose shard tag disagrees with the routing table is
+    // corrupt: the log was written against a different partitioning.
+    let mut misrouted = base_plan.clone();
+    misrouted.touched = vec![u16::MAX - 1];
+    write_wal(&misrouted);
+    assert!(matches!(
+        ShardedQueryService::open_with(&dir, Arc::clone(&network), ServiceConfig::default()),
+        Err(StoreError::Corrupt { .. })
+    ));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

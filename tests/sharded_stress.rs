@@ -1,0 +1,215 @@
+//! Concurrency stress for the sharded service: 8 reader threads against
+//! 1 appender performing single-shard appends.
+//!
+//! Invariants checked while the threads race:
+//!
+//! * **No torn reads** — every answer a reader observes equals the
+//!   complete answer of *some* index generation (never a mix of two), and
+//!   answers on shards the appender never writes are byte-stable for the
+//!   whole run.
+//! * **Scoped invalidation** — after the final append, the untouched
+//!   shards' cache entries are still resident: re-querying them is pure
+//!   hits (hit-rate on untouched shards stays flat, misses do not move).
+
+mod common;
+
+use common::{small_world, value_bits as bits};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tthr::core::{ShardedSntIndex, SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::service::{QueryService, ServiceConfig, ShardedQueryService};
+use tthr::trajectory::{TrajEntry, TrajectorySet, UserId};
+
+const SHARDS: usize = 4;
+const ROUNDS: usize = 6;
+const READERS: usize = 8;
+const READER_ITERS: usize = 60;
+
+/// Copies `set` and appends `extra` single-shard trajectories one per
+/// generation: `generations[g]` holds the set after `g` appends.
+fn generations(set: &TrajectorySet, extra: &[(UserId, Vec<TrajEntry>)]) -> Vec<TrajectorySet> {
+    let mut gens = Vec::with_capacity(extra.len() + 1);
+    let mut current = set.clone();
+    gens.push(current.clone());
+    for (user, entries) in extra {
+        current.push(*user, entries.clone()).expect("valid extra");
+        gens.push(current.clone());
+    }
+    gens
+}
+
+#[test]
+fn readers_race_single_shard_appender_without_torn_reads() {
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let service: ShardedQueryService = QueryService::new(
+        ShardedSntIndex::build(&network, &set, SntConfig::default(), SHARDS),
+        Arc::clone(&network),
+        ServiceConfig {
+            num_threads: READERS,
+            ..ServiceConfig::default()
+        },
+    );
+    let shard_of = |e| service.with_index(|i| i.router().shard_of(e));
+
+    // The appender writes only shard `target`: the shard of the first
+    // trajectory's first edge (guaranteed non-empty traffic).
+    let target = shard_of(set.get(tthr::trajectory::TrajId(0)).entries()[0].edge);
+
+    // Per-round extra trajectories: maximal entry runs lying entirely in
+    // the target shard, lifted from real trajectories (so they stay
+    // connected paths).
+    let mut extra: Vec<(UserId, Vec<TrajEntry>)> = Vec::new();
+    'outer: for tr in set.iter() {
+        let entries = tr.entries();
+        let mut run_start = None;
+        for (i, e) in entries.iter().enumerate() {
+            if shard_of(e.edge) == target {
+                run_start.get_or_insert(i);
+            } else if let Some(s) = run_start.take() {
+                extra.push((tr.user(), entries[s..i].to_vec()));
+            }
+            if extra.len() >= ROUNDS {
+                break 'outer;
+            }
+        }
+        if let Some(s) = run_start {
+            extra.push((tr.user(), entries[s..].to_vec()));
+            if extra.len() >= ROUNDS {
+                break;
+            }
+        }
+    }
+    assert!(extra.len() >= ROUNDS, "world too small to stage appends");
+    extra.truncate(ROUNDS);
+    let gens = generations(&set, &extra);
+
+    // Probe queries: several per untouched shard, several on the target.
+    let mut untouched: Vec<Spq> = Vec::new();
+    let mut touched: Vec<Spq> = Vec::new();
+    let mut per_shard = [0usize; SHARDS];
+    for tr in set.iter() {
+        for (i, e) in tr.entries().iter().enumerate() {
+            let s = shard_of(e.edge);
+            if per_shard[s] >= 4 {
+                continue;
+            }
+            per_shard[s] += 1;
+            let len = (tr.len() - i).min(3);
+            let q = Spq::new(
+                tr.path().sub_path(i..i + len),
+                TimeInterval::fixed(0, i64::MAX / 4),
+            );
+            if s == target {
+                touched.push(q);
+            } else {
+                untouched.push(q);
+            }
+        }
+        if per_shard.iter().all(|&c| c >= 4) {
+            break;
+        }
+    }
+    assert!(!untouched.is_empty() && !touched.is_empty());
+
+    // Expected answers per generation via an incrementally-appended
+    // monolith (byte-equality monolith vs sharded is pinned elsewhere).
+    let mut reference = SntIndex::build(&network, &set, SntConfig::default());
+    let mut touched_expected: Vec<Vec<Vec<u64>>> = Vec::new(); // [gen][query]
+    for g in 0..=ROUNDS {
+        touched_expected.push(
+            touched
+                .iter()
+                .map(|q| bits(&reference.get_travel_times(q).values))
+                .collect(),
+        );
+        if g < ROUNDS {
+            assert_eq!(reference.append_batch(&gens[g + 1]), 1);
+        }
+    }
+    let pristine: Vec<Vec<u64>> = untouched
+        .iter()
+        .map(|q| bits(&service.get_travel_times(q).values))
+        .collect();
+    // Prime the touched queries too, so the appends have entries to evict.
+    for q in &touched {
+        let _ = service.get_travel_times(q);
+    }
+
+    // ---- Race phase: 8 readers vs 1 appender (rounds 1..ROUNDS-1) -----
+    let torn = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            scope.spawn(|| {
+                for _ in 0..READER_ITERS {
+                    for (q, want) in untouched.iter().zip(&pristine) {
+                        let got = bits(&service.get_travel_times(q).values);
+                        if &got != want {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    for (qi, q) in touched.iter().enumerate() {
+                        let got = bits(&service.get_travel_times(q).values);
+                        let legal = touched_expected.iter().any(|gen| gen[qi] == got);
+                        if !legal {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            for g in gens.iter().take(ROUNDS).skip(1) {
+                assert_eq!(service.append_batch(g).expect("append"), 1);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+    });
+    assert_eq!(
+        torn.load(Ordering::Relaxed),
+        0,
+        "readers observed answers matching no complete index generation"
+    );
+
+    // ---- Final append with no readers racing: cache scoping is exact ---
+    // Re-prime the touched queries (the racing appends may have evicted
+    // them after the readers' last pass), so the final append provably
+    // has same-shard entries to drop.
+    for q in &touched {
+        let _ = service.get_travel_times(q);
+    }
+    let entries_before = service.stats().cache.entries;
+    assert_eq!(service.append_batch(&gens[ROUNDS]).expect("append"), 1);
+    let stats = service.stats();
+    assert!(
+        stats.cache.entries >= untouched.len(),
+        "untouched entries evicted: {} < {}",
+        stats.cache.entries,
+        untouched.len()
+    );
+    assert!(
+        stats.cache.entries < entries_before || touched.is_empty(),
+        "append evicted nothing although the touched shard was cached"
+    );
+
+    // Untouched shards' hit-rate stays flat: re-queries are pure hits.
+    let before = service.stats().cache;
+    for (q, want) in untouched.iter().zip(&pristine) {
+        assert_eq!(&bits(&service.get_travel_times(q).values), want);
+    }
+    let after = service.stats().cache;
+    assert_eq!(after.hits, before.hits + untouched.len() as u64);
+    assert_eq!(
+        after.misses, before.misses,
+        "an untouched entry was evicted"
+    );
+
+    // Touched queries recompute and land on the final generation.
+    for (qi, q) in touched.iter().enumerate() {
+        assert_eq!(
+            bits(&service.get_travel_times(q).values),
+            touched_expected[ROUNDS][qi],
+            "touched query {qi} did not reach the final generation"
+        );
+    }
+}
