@@ -1,12 +1,14 @@
 //! Criterion micro-bench behind Figure 9: trip-query latency per query type
-//! and partitioning strategy.
+//! and partitioning strategy, plus the cold single-SPQ path (`getTravelTimes`
+//! straight against the index, no cache, no engine) that the backward-search
+//! optimisations target.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tthr_bench::{query_for, QueryType, Scale, World};
 use tthr_core::{PartitionMethod, QueryEngine, QueryEngineConfig, SntConfig};
 
 fn bench_trip_queries(c: &mut Criterion) {
-    let world = World::generate(Scale::Small);
+    let world = World::generate(Scale::from_env());
     let index = world.build_index(SntConfig::default());
     let mut group = c.benchmark_group("trip_query");
 
@@ -47,5 +49,68 @@ fn bench_trip_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trip_queries);
+/// Cold (uncached) SPQ latency: `SntIndex::get_travel_times` on the SPQs a
+/// trip-query engine actually dispatches — the zone-partitioned sub-paths of
+/// query trajectories — under both interval flavours. Every call runs the
+/// full backward search + temporal scans; there is no result cache in front.
+fn bench_cold_spq(c: &mut Criterion) {
+    let world = World::generate(Scale::from_env());
+    let index = world.build_index(SntConfig::default());
+    let engine = QueryEngine::new(&index, world.network(), QueryEngineConfig::default());
+    let alpha_min = engine.config().interval_sizes[0];
+
+    let mut group = c.benchmark_group("spq_cold");
+    for query_type in [QueryType::TemporalFilters, QueryType::SpqOnly] {
+        // The engine's initial π_Z decomposition of each trip query gives a
+        // realistic mix of sub-path lengths and windows.
+        let spqs: Vec<_> = world
+            .queries
+            .iter()
+            .take(32)
+            .flat_map(|&id| {
+                engine.initial_subqueries(&query_for(&world.set, id, query_type, alpha_min, 20))
+            })
+            .collect();
+        group.bench_function(
+            BenchmarkId::from_parameter(query_type.name().replace(' ', "_")),
+            |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &spqs[i % spqs.len()];
+                    i += 1;
+                    std::hint::black_box(index.get_travel_times(q))
+                })
+            },
+        );
+    }
+    // Whole-trajectory paths (15+ segments): the longest backward searches.
+    let spqs: Vec<_> = world
+        .queries
+        .iter()
+        .take(32)
+        .map(|&id| query_for(&world.set, id, QueryType::TemporalFilters, alpha_min, 20))
+        .collect();
+    group.bench_function(BenchmarkId::from_parameter("whole_path"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &spqs[i % spqs.len()];
+            i += 1;
+            std::hint::black_box(index.get_travel_times(q))
+        })
+    });
+    // The backward-search component alone (`getISARange` over every
+    // partition) — the share of cold SPQ latency the wavelet-rank
+    // optimisations act on.
+    group.bench_function(BenchmarkId::from_parameter("isa_ranges_whole_path"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &spqs[i % spqs.len()];
+            i += 1;
+            std::hint::black_box(index.isa_ranges(&q.path))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trip_queries, bench_cold_spq);
 criterion_main!(benches);

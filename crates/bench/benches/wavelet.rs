@@ -11,7 +11,7 @@ use tthr_core::text::build_text;
 use tthr_fmindex::{HuffmanWaveletTree, SymbolRank, WaveletMatrix};
 
 fn bench_wavelet_rank(c: &mut Criterion) {
-    let world = World::generate(Scale::Small);
+    let world = World::generate(Scale::from_env());
     let (text, _) = build_text(world.set.iter());
     let sigma = world.network().num_edges() as u32 + 1;
 
@@ -45,6 +45,53 @@ fn bench_wavelet_rank(c: &mut Criterion) {
             let (sym, pos) = probes[i % probes.len()];
             i += 1;
             std::hint::black_box(matrix.rank(sym, pos))
+        })
+    });
+    group.finish();
+
+    // Paired-boundary probes: backward search ranks the same symbol at both
+    // range boundaries (`st`, `ed`) every step — this group measures that
+    // unit of work (two boundary ranks of one symbol).
+    let pair_probes: Vec<(u32, usize, usize)> = (0..512)
+        .map(|i| {
+            let sym = text[(i * 37) % text.len()];
+            let a = (i * 7919) % text.len();
+            let b = a + (i * 131) % (text.len() - a).max(1);
+            (sym, a, b)
+        })
+        .collect();
+    let mut group = c.benchmark_group("wavelet_rank_pair");
+    group.bench_function(BenchmarkId::from_parameter("huffman_two_calls"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (sym, lo, hi) = pair_probes[i % pair_probes.len()];
+            i += 1;
+            std::hint::black_box((huff.rank(sym, lo), huff.rank(sym, hi)))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("matrix_two_calls"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (sym, lo, hi) = pair_probes[i % pair_probes.len()];
+            i += 1;
+            std::hint::black_box((matrix.rank(sym, lo), matrix.rank(sym, hi)))
+        })
+    });
+    // The paired descent the backward search actually issues post-PR.
+    group.bench_function(BenchmarkId::from_parameter("huffman_rank2"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (sym, lo, hi) = pair_probes[i % pair_probes.len()];
+            i += 1;
+            std::hint::black_box(huff.rank2(sym, lo, hi))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("matrix_rank2"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (sym, lo, hi) = pair_probes[i % pair_probes.len()];
+            i += 1;
+            std::hint::black_box(matrix.rank2(sym, lo, hi))
         })
     });
     group.finish();

@@ -9,7 +9,7 @@
 use crate::cardinality::{estimate_cardinality, CardinalityMode};
 use crate::interval::TimeInterval;
 use crate::partition::{partition_query, PartitionMethod};
-use crate::snt::{SntIndex, TravelTimes};
+use crate::snt::{SearchScratch, SntIndex, TravelTimes};
 use crate::split::{SplitMethod, Splitter};
 use crate::spq::Spq;
 use std::collections::VecDeque;
@@ -26,11 +26,27 @@ use tthr_network::{Path, RoadNetwork};
 pub trait TravelTimeProvider {
     /// Travel times matching the SPQ (`getTravelTimes`, Procedure 5).
     fn travel_times(&self, spq: &Spq) -> TravelTimes;
+
+    /// [`TravelTimeProvider::travel_times`] with a caller-owned
+    /// [`SearchScratch`] — the engine passes one scratch down a whole
+    /// relaxation chain so sub-path searches reuse the parent path's
+    /// backward-search states. Implementations that can exploit the
+    /// scratch (the indexes) override this; the default ignores it.
+    /// Results must be byte-identical to
+    /// [`TravelTimeProvider::travel_times`].
+    fn travel_times_with(&self, spq: &Spq, scratch: &mut SearchScratch) -> TravelTimes {
+        let _ = scratch;
+        self.travel_times(spq)
+    }
 }
 
 impl TravelTimeProvider for SntIndex {
     fn travel_times(&self, spq: &Spq) -> TravelTimes {
         self.get_travel_times(spq)
+    }
+
+    fn travel_times_with(&self, spq: &Spq, scratch: &mut SearchScratch) -> TravelTimes {
+        self.get_travel_times_with(spq, scratch)
     }
 }
 
@@ -50,6 +66,16 @@ pub trait IndexBackend: TravelTimeProvider {
     /// `cap` (σ_L's `|T^{P₁}| ≥ β` test).
     fn count_matching(&self, spq: &Spq, cap: u32) -> usize;
 
+    /// [`IndexBackend::count_matching`] with a caller-owned
+    /// [`SearchScratch`] (σ_L's binary search issues a burst of counting
+    /// queries over prefixes of one path — the scratch keeps their pattern
+    /// and range buffers allocation-free). Must count identically to
+    /// [`IndexBackend::count_matching`].
+    fn count_matching_with(&self, spq: &Spq, cap: u32, scratch: &mut SearchScratch) -> usize {
+        let _ = scratch;
+        self.count_matching(spq, cap)
+    }
+
     /// The estimated cardinality `β̂` of the SPQ's result set
     /// (Section 4.4) used by the engine's estimator gate.
     fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> f64;
@@ -61,6 +87,10 @@ pub trait IndexBackend: TravelTimeProvider {
 impl IndexBackend for SntIndex {
     fn count_matching(&self, spq: &Spq, cap: u32) -> usize {
         SntIndex::count_matching(self, spq, cap)
+    }
+
+    fn count_matching_with(&self, spq: &Spq, cap: u32, scratch: &mut SearchScratch) -> usize {
+        SntIndex::count_matching_with(self, spq, cap, scratch)
     }
 
     fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> f64 {
@@ -299,6 +329,10 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         // (sub-query, already shift-and-enlarge adapted?)
         let mut queue: VecDeque<(Spq, bool)> = initial.into_iter().map(|s| (s, false)).collect();
         let mut subs: Vec<SubResult> = Vec::new();
+        // One backward-search scratch for the whole trip: relaxation
+        // re-dispatches and the splitter's sub-path searches hit its
+        // suffix cache instead of re-ranking from scratch.
+        let mut scratch = SearchScratch::new();
         // Shift-and-enlarge accumulators over completed sub-queries:
         // S = Σ H_min, R = Σ (H_max − H_min).
         let mut sum_min = 0.0;
@@ -314,7 +348,7 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
                 sub = sub.with_interval(sub.interval.shift_and_enlarge(sum_min, sum_range));
             }
 
-            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats) {
+            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats, &mut scratch) {
                 sum_min += done.histogram.min_edge().expect("non-empty histogram");
                 sum_range += done.histogram.max_edge().expect("non-empty")
                     - done.histogram.min_edge().expect("non-empty");
@@ -361,8 +395,11 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         let mut stats = QueryStats::default();
         let mut queue: VecDeque<(Spq, bool)> = VecDeque::from([(sub, true)]);
         let mut subs: Vec<SubResult> = Vec::new();
+        // Per-chain scratch: the chain root's backward search seeds the
+        // suffix cache every σ-derived sub-path draws from.
+        let mut scratch = SearchScratch::new();
         while let Some((sub, _)) = queue.pop_front() {
-            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats) {
+            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats, &mut scratch) {
                 subs.push(done);
             }
         }
@@ -393,20 +430,21 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         sub: &Spq,
         queue: &mut VecDeque<(Spq, bool)>,
         stats: &mut QueryStats,
+        scratch: &mut SearchScratch,
     ) -> Option<SubResult> {
         // Estimator gate: relax without scanning when β̂ < β.
         if let (Some(mode), Some(beta)) = (self.config.estimator, sub.beta) {
             if sub.interval.is_periodic() && self.index.estimate(sub, mode) < beta as f64 {
                 stats.estimator_rejections += 1;
-                self.relax(sub, queue, stats);
+                self.relax(sub, queue, stats, scratch);
                 return None;
             }
         }
 
         stats.index_queries += 1;
-        let times = provider.travel_times(sub);
+        let times = provider.travel_times_with(sub, scratch);
         if times.is_empty() {
-            self.relax(sub, queue, stats);
+            self.relax(sub, queue, stats, scratch);
             return None;
         }
 
@@ -418,7 +456,7 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
             // non-finite durations at ingest). Treat it like an empty
             // answer rather than letting a NaN mean or an empty histogram
             // poison the trip downstream.
-            self.relax(sub, queue, stats);
+            self.relax(sub, queue, stats, scratch);
             return None;
         }
         if times.fallback {
@@ -427,7 +465,7 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         Some(SubResult {
             path: sub.path.clone(),
             mean: times.mean().expect("non-empty travel times"),
-            values: times.values,
+            values: times.values.into_vec(),
             histogram,
             fallback: times.fallback,
         })
@@ -446,8 +484,14 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
     /// Applies σ to a failed sub-query and pushes the replacements to the
     /// front of the queue (Procedure 6, line 10), classifying the step for
     /// the stats.
-    fn relax(&self, sub: &Spq, queue: &mut VecDeque<(Spq, bool)>, stats: &mut QueryStats) {
-        let replacements = self.splitter.split(self.index, sub);
+    fn relax(
+        &self,
+        sub: &Spq,
+        queue: &mut VecDeque<(Spq, bool)>,
+        stats: &mut QueryStats,
+        scratch: &mut SearchScratch,
+    ) {
+        let replacements = self.splitter.split_with(self.index, sub, scratch);
         match replacements.as_slice() {
             [_, _] => stats.path_splits += 1,
             [one] if one.interval.is_periodic() && one.interval.size() > sub.interval.size() => {

@@ -66,7 +66,9 @@ pub use sharded::{
     ShardRouter, ShardedAppend, ShardedSntIndex, ShardedWalBatch, SECTION_ROUTING,
     SECTION_SHARDED_META, SHARD_SECTION_BASE,
 };
-pub use snt::{MemoryReport, SntConfig, SntIndex, TravelTimes, TreeKind, WaveletKind};
+pub use snt::{
+    MemoryReport, SearchScratch, SntConfig, SntIndex, TravelTimes, TreeKind, TtValues, WaveletKind,
+};
 pub use split::{SplitMethod, Splitter};
 pub use spq::{Filter, Spq};
 

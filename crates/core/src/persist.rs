@@ -366,6 +366,7 @@ impl SntIndex {
             data_min,
             data_max,
             total_entries,
+            scratch_id: crate::snt::next_scratch_id(),
         })
     }
 

@@ -399,10 +399,24 @@ impl ShardedSntIndex {
     /// shard for reading: the answer always reflects one atomic shard
     /// state.
     pub fn get_travel_times(&self, spq: &Spq) -> TravelTimes {
+        self.get_travel_times_with(spq, &mut crate::SearchScratch::new())
+    }
+
+    /// [`ShardedSntIndex::get_travel_times`] through a per-query
+    /// [`SearchScratch`](crate::SearchScratch). Each shard's inner index
+    /// tags the scratch with its own process-unique id (plus its
+    /// trajectory count), so a relaxation chain whose sub-paths route to
+    /// different shards — or races an append — can never be served cached
+    /// ranges from the wrong index state.
+    pub fn get_travel_times_with(
+        &self,
+        spq: &Spq,
+        scratch: &mut crate::SearchScratch,
+    ) -> TravelTimes {
         let shard = self.read_shard(self.router.shard_of(spq.path.first()));
         shard
             .index
-            .get_travel_times(&Self::translate(&shard.members, spq))
+            .get_travel_times_with(&Self::translate(&shard.members, spq), scratch)
     }
 
     /// Exact predicate-matching traversal count, routed like a query.
@@ -411,6 +425,20 @@ impl ShardedSntIndex {
         shard
             .index
             .count_matching(&Self::translate(&shard.members, spq), cap)
+    }
+
+    /// [`ShardedSntIndex::count_matching`] through a per-shard-tagged
+    /// scratch.
+    pub fn count_matching_with(
+        &self,
+        spq: &Spq,
+        cap: u32,
+        scratch: &mut crate::SearchScratch,
+    ) -> usize {
+        let shard = self.read_shard(self.router.shard_of(spq.path.first()));
+        shard
+            .index
+            .count_matching_with(&Self::translate(&shard.members, spq), cap, scratch)
     }
 
     /// Exact traversal count of a path (ISA-mode cardinality), routed to
@@ -671,11 +699,24 @@ impl TravelTimeProvider for ShardedSntIndex {
     fn travel_times(&self, spq: &Spq) -> TravelTimes {
         self.get_travel_times(spq)
     }
+
+    fn travel_times_with(&self, spq: &Spq, scratch: &mut crate::SearchScratch) -> TravelTimes {
+        self.get_travel_times_with(spq, scratch)
+    }
 }
 
 impl IndexBackend for ShardedSntIndex {
     fn count_matching(&self, spq: &Spq, cap: u32) -> usize {
         ShardedSntIndex::count_matching(self, spq, cap)
+    }
+
+    fn count_matching_with(
+        &self,
+        spq: &Spq,
+        cap: u32,
+        scratch: &mut crate::SearchScratch,
+    ) -> usize {
+        ShardedSntIndex::count_matching_with(self, spq, cap, scratch)
     }
 
     fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> f64 {

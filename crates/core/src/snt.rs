@@ -73,11 +73,101 @@ impl Default for SntConfig {
     }
 }
 
+/// Backing store of [`TravelTimes::values`]: empty and single-value
+/// results stay inline, measured multisets live on the heap.
+///
+/// Procedure 5's speed-limit fallback produces exactly one estimate, and
+/// σ's terminal relaxation produces it on *every* dataless single-segment
+/// query — a heap `Vec` per estimate was pure churn. `TtValues` derefs to
+/// `&[f64]`, so read sites treat it as a slice.
+#[derive(Clone, Debug)]
+pub struct TtValues(TtRepr);
+
+#[derive(Clone, Debug)]
+enum TtRepr {
+    /// No values (∅).
+    Empty,
+    /// One inline value (the `estimateTT` fallback).
+    One(f64),
+    /// A measured multiset.
+    Heap(Vec<f64>),
+}
+
+impl TtValues {
+    /// The empty multiset, allocation-free.
+    pub const EMPTY: TtValues = TtValues(TtRepr::Empty);
+
+    /// A single inline value, allocation-free.
+    #[inline]
+    pub fn one(v: f64) -> Self {
+        TtValues(TtRepr::One(v))
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.0 {
+            TtRepr::Empty => &[],
+            TtRepr::One(v) => std::slice::from_ref(v),
+            TtRepr::Heap(v) => v,
+        }
+    }
+
+    /// Converts into a plain `Vec` (allocation-free for heap-backed
+    /// values; inline values allocate here, where the caller actually
+    /// needs ownership).
+    pub fn into_vec(self) -> Vec<f64> {
+        match self.0 {
+            TtRepr::Empty => Vec::new(),
+            TtRepr::One(v) => vec![v],
+            TtRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for TtValues {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<f64>> for TtValues {
+    fn from(v: Vec<f64>) -> Self {
+        TtValues(TtRepr::Heap(v))
+    }
+}
+
+impl From<TtValues> for Vec<f64> {
+    fn from(v: TtValues) -> Self {
+        v.into_vec()
+    }
+}
+
+impl<'a> IntoIterator for &'a TtValues {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Value equality: representations compare as multisets-in-scan-order, so
+/// an inline single estimate equals its heap-backed spelling.
+impl PartialEq for TtValues {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// Travel times retrieved for one SPQ.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TravelTimes {
     /// The travel-time multiset `X` in index scan order.
-    pub values: Vec<f64>,
+    pub values: TtValues,
     /// Whether `values` is the single speed-limit estimate `estimateTT(e)`
     /// (Procedure 5, line 13) rather than measured data.
     pub fallback: bool,
@@ -87,7 +177,7 @@ impl TravelTimes {
     /// The empty result `∅`.
     pub fn empty() -> Self {
         TravelTimes {
-            values: Vec::new(),
+            values: TtValues::EMPTY,
             fallback: false,
         }
     }
@@ -117,7 +207,7 @@ impl TravelTimes {
     /// through corrupt input data yields a deterministic order instead of a
     /// panic mid-query.
     pub fn sorted(&self) -> Vec<f64> {
-        let mut v = self.values.clone();
+        let mut v = self.values.to_vec();
         v.sort_by(f64::total_cmp);
         v
     }
@@ -168,6 +258,16 @@ impl FmVariant {
         match self {
             FmVariant::Huffman(fm) => fm.isa_range(pattern),
             FmVariant::Matrix(fm) => fm.isa_range(pattern),
+        }
+    }
+
+    /// Appends `isa_range(&pattern[k..])` for every `k` to `out` — one
+    /// backward search whose checkpointed cursor states become the
+    /// suffix-cache entries of [`SearchScratch`].
+    fn suffix_ranges(&self, pattern: &[u32], out: &mut Vec<IsaRange>) {
+        match self {
+            FmVariant::Huffman(fm) => fm.suffix_ranges(pattern, out),
+            FmVariant::Matrix(fm) => fm.suffix_ranges(pattern, out),
         }
     }
 
@@ -249,6 +349,81 @@ impl TodStore {
     }
 }
 
+/// Process-unique identity for [`SearchScratch`] tagging, drawn at
+/// [`SntIndex`] construction (build or snapshot restore). The index is
+/// not `Clone`, so one id never describes two divergent states; paired
+/// with the trajectory count it also distinguishes the same instance
+/// before and after an append.
+pub(crate) fn next_scratch_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Per-query scratch state for the backward-search hot path: reusable
+/// buffers plus a **suffix-sharing search cache**.
+///
+/// Backward search processes a path right-to-left, so one search of `P`
+/// passes through the ISA range of *every suffix* of `P`. The relaxation
+/// function σ only ever derives contiguous sub-paths, and the right half
+/// of every split is a suffix of its parent — with the parent's
+/// checkpointed cursor states cached here, those sub-path searches (and
+/// every re-dispatch of an unchanged path under a widened window) are
+/// answered without touching the wavelet structures at all.
+///
+/// A scratch is single-index-state: entries are tagged with the owning
+/// index's process-unique id plus its trajectory count, and
+/// self-invalidate whenever queries are answered by any other index (a
+/// different instance, another shard, or the same instance after an
+/// append) — reuse can never serve stale ranges. The engine creates one
+/// scratch per trip query (per chain when chains fan out), which also
+/// bounds the cache's size by the query's own relaxation work.
+#[derive(Default)]
+pub struct SearchScratch {
+    /// `(index id, trajectory count)` the cache entries belong to.
+    owner: Option<(u64, u64)>,
+    /// Pattern buffer for the query being answered.
+    symbols: Vec<u32>,
+    /// Per-partition ISA ranges of the last [`SntIndex::fill_ranges`].
+    ranges: Vec<IsaRange>,
+    /// Suffix-state cache over previously searched patterns.
+    entries: Vec<ScratchEntry>,
+}
+
+/// One cached search: the pattern and, flattened per partition, the ISA
+/// range of every suffix (`states[p * len + k]` = partition `p`, suffix
+/// `pattern[k..]`).
+struct ScratchEntry {
+    symbols: Vec<u32>,
+    states: Vec<IsaRange>,
+}
+
+/// Hard cap on cached searches: a defensive bound for adversarially deep
+/// relaxation chains (hit ⇒ the cache resets and keeps working).
+const SCRATCH_MAX_ENTRIES: usize = 512;
+
+impl SearchScratch {
+    /// A fresh scratch (no allocations until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached searches (diagnostics/tests).
+    pub fn cached_searches(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Invalidates the cache unless it already belongs to the index state
+    /// `(id, trajectory count)`: ids are unique per index instance and
+    /// appends always grow the count, so the pair changes whenever cached
+    /// ranges could be stale.
+    pub(crate) fn ensure(&mut self, id: u64, stamp: u64) {
+        if self.owner != Some((id, stamp)) {
+            self.owner = Some((id, stamp));
+            self.entries.clear();
+        }
+    }
+}
+
 /// The extended SNT-index (paper, Section 4).
 ///
 /// Fields are `pub(crate)` so the persistence layer (`crate::persist`)
@@ -264,6 +439,9 @@ pub struct SntIndex {
     pub(crate) data_min: Timestamp,
     pub(crate) data_max: Timestamp,
     pub(crate) total_entries: usize,
+    /// Process-unique identity for [`SearchScratch`] tagging (not
+    /// persisted — re-drawn on restore).
+    pub(crate) scratch_id: u64,
 }
 
 impl SntIndex {
@@ -398,6 +576,7 @@ impl SntIndex {
             forest,
             user_table: trajectories.user_table(),
             tod,
+            scratch_id: next_scratch_id(),
             estimate_tt: network.edge_ids().map(|e| network.estimate_tt(e)).collect(),
             data_min,
             data_max,
@@ -466,6 +645,65 @@ impl SntIndex {
             .collect()
     }
 
+    /// [`SntIndex::isa_ranges`] through a [`SearchScratch`]: reuses the
+    /// scratch buffers (no per-call allocation) and answers from the
+    /// suffix cache when the path's pattern is a suffix of a previously
+    /// searched one. Results are byte-identical to [`SntIndex::isa_ranges`].
+    pub fn isa_ranges_with<'s>(
+        &self,
+        path: &tthr_network::Path,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [IsaRange] {
+        scratch.ensure(self.scratch_id, self.user_table.len() as u64);
+        self.fill_ranges(path, scratch);
+        &scratch.ranges
+    }
+
+    /// Fills `scratch.ranges` with the per-partition ISA ranges of `path`,
+    /// via the suffix cache. Callers must have tagged the scratch with
+    /// [`SearchScratch::ensure`] first.
+    fn fill_ranges(&self, path: &tthr_network::Path, scratch: &mut SearchScratch) {
+        text::path_symbols_into(path, &mut scratch.symbols);
+        let len = scratch.symbols.len();
+        scratch.ranges.clear();
+        if len == 0 {
+            scratch
+                .ranges
+                .resize(self.partitions.len(), IsaRange::EMPTY);
+            return;
+        }
+
+        // Cache hit: the pattern is a suffix of a cached search, so its
+        // per-partition ranges are checkpointed cursor states.
+        for entry in &scratch.entries {
+            let elen = entry.symbols.len();
+            if elen >= len && entry.symbols[elen - len..] == scratch.symbols[..] {
+                let m = elen - len;
+                scratch
+                    .ranges
+                    .extend((0..self.partitions.len()).map(|p| entry.states[p * elen + m]));
+                return;
+            }
+        }
+
+        // Miss: one backward search per partition, recording every suffix
+        // state for future sub-path lookups.
+        let mut states = Vec::with_capacity(self.partitions.len() * len);
+        for fm in &self.partitions {
+            fm.suffix_ranges(&scratch.symbols, &mut states);
+        }
+        scratch
+            .ranges
+            .extend((0..self.partitions.len()).map(|p| states[p * len]));
+        if scratch.entries.len() >= SCRATCH_MAX_ENTRIES {
+            scratch.entries.clear();
+        }
+        scratch.entries.push(ScratchEntry {
+            symbols: scratch.symbols.clone(),
+            states,
+        });
+    }
+
     /// Exact number of traversals of the path across all partitions
     /// (`cP = ed − st`, the ISA-mode cardinality).
     pub fn traversal_count(&self, path: &tthr_network::Path) -> usize {
@@ -488,17 +726,42 @@ impl SntIndex {
     /// segment over the query windows, spatially filters by ISA range,
     /// evaluates the non-temporal predicate, and maps `(d, seq)` to the
     /// antecedent aggregate `a − TT`, stopping once β entries are found.
-    fn build_map(&self, spq: &Spq, ranges: &[IsaRange]) -> ProbeTable {
+    ///
+    /// Two hot-path by-products ride along, both byte-identical to the
+    /// plain build-then-probe pipeline:
+    ///
+    /// * For **single-segment** paths the probe scan would revisit exactly
+    ///   the leaves inserted here (the build and probe segments coincide
+    ///   and `(d, seq)` self-matches), in the same order, computing
+    ///   `a − (a − TT)` per leaf — so when `collect` is given, that value
+    ///   is emitted during this scan and [`SntIndex::probe_map`] is
+    ///   skipped entirely.
+    /// * `first_lo` reports the earliest window bound scanned; segment
+    ///   entry times are non-decreasing along a trajectory, so no probe
+    ///   leaf matching a map entry can sit before it — the probe scan
+    ///   starts there instead of the tree's minimum key.
+    fn build_map(
+        &self,
+        spq: &Spq,
+        ranges: &[IsaRange],
+        mut collect: Option<&mut Vec<f64>>,
+    ) -> (ProbeTable, Timestamp) {
         let cap = spq.beta_cap() as usize;
         let mut map = ProbeTable::with_capacity(cap.min(1024));
+        let mut first_lo = Timestamp::MAX;
         let tree = self.forest.tree(spq.path.first());
         let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
-            return map;
+            return (map, first_lo);
         };
         let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
+            first_lo = first_lo.min(lo);
             tree.scan_range(lo, hi, &mut |r| {
                 if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj) {
                     map.insert(r.traj, r.seq, r.antecedent());
+                    if let Some(xs) = collect.as_deref_mut() {
+                        // The probe-side arithmetic on the same leaf.
+                        xs.push(r.aggregate - r.antecedent());
+                    }
                     if map.len() >= cap {
                         return ControlFlow::Break(());
                     }
@@ -506,15 +769,17 @@ impl SntIndex {
                 ControlFlow::Continue(())
             })
         });
-        map
+        (map, first_lo)
     }
 
     /// `probeMap` (Procedure 4): scans the temporal index of the last
     /// segment, probing the map with `(d, seq + 1 − l)`; every hit yields
     /// the path travel time `a_{l−1} − (a₀ − TT₀)`. The scan stops as soon
     /// as every map entry has been matched (each spatially filtered entry
-    /// matches exactly once).
-    fn probe_map(&self, spq: &Spq, map: &ProbeTable) -> Vec<f64> {
+    /// matches exactly once), and starts at `from` — the earliest
+    /// buildMap window bound — because a trajectory enters its last query
+    /// segment no earlier than its first.
+    fn probe_map(&self, spq: &Spq, map: &ProbeTable, from: Timestamp) -> Vec<f64> {
         let mut xs = Vec::with_capacity(map.len());
         if map.is_empty() {
             return xs;
@@ -524,7 +789,7 @@ impl SntIndex {
         let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
             return xs;
         };
-        let _ = tree.scan_range(kmin, kmax + 1, &mut |r| {
+        let _ = tree.scan_range(kmin.max(from), kmax + 1, &mut |r| {
             if r.seq + 1 >= l {
                 if let Some(diff) = map.get(r.traj, r.seq + 1 - l) {
                     xs.push(r.aggregate - diff);
@@ -548,10 +813,22 @@ impl SntIndex {
     /// * A single-segment query with a fixed interval that still finds
     ///   nothing falls back to the speed-limit estimate.
     pub fn get_travel_times(&self, spq: &Spq) -> TravelTimes {
-        let ranges = self.isa_ranges(&spq.path);
+        self.get_travel_times_with(spq, &mut SearchScratch::new())
+    }
+
+    /// [`SntIndex::get_travel_times`] through a per-query
+    /// [`SearchScratch`]: the backward search reuses the scratch's buffers
+    /// and suffix cache (sub-path and widened re-dispatches of σ skip the
+    /// wavelet descent entirely). Byte-identical results.
+    pub fn get_travel_times_with(&self, spq: &Spq, scratch: &mut SearchScratch) -> TravelTimes {
+        scratch.ensure(self.scratch_id, self.user_table.len() as u64);
+        self.fill_ranges(&spq.path, scratch);
+        let ranges: &[IsaRange] = &scratch.ranges;
         let single = spq.path.len() == 1;
+        // Procedure 5, line 13: one inline value — no heap churn on the
+        // estimate paths (σ's terminal fallback takes them constantly).
         let estimate = || TravelTimes {
-            values: vec![self.estimate_tt[spq.path.first().index()]],
+            values: TtValues::one(self.estimate_tt[spq.path.first().index()]),
             fallback: true,
         };
         if ranges.iter().all(|r| r.is_empty()) {
@@ -563,18 +840,26 @@ impl SntIndex {
             }
             return TravelTimes::empty();
         }
-        let map = self.build_map(spq, &ranges);
+        // Single-segment queries collect their values during the build
+        // scan (the probe scan would revisit the same leaves); see
+        // `build_map`.
+        let mut collected: Vec<f64> = Vec::new();
+        let (map, first_lo) = self.build_map(spq, ranges, single.then_some(&mut collected));
         if let Some(beta) = spq.beta {
             if (map.len() as u32) < beta && spq.interval.is_periodic() {
                 return TravelTimes::empty();
             }
         }
-        let values = self.probe_map(spq, &map);
+        let values = if single {
+            collected
+        } else {
+            self.probe_map(spq, &map, first_lo)
+        };
         if values.is_empty() && single && !spq.interval.is_periodic() {
             return estimate();
         }
         TravelTimes {
-            values,
+            values: values.into(),
             fallback: false,
         }
     }
@@ -583,7 +868,14 @@ impl SntIndex {
     /// `cap` (σ_L's `|T^{P₁}| ≥ β` test and the q-error ground truth; pass
     /// `u32::MAX` for the uncapped cardinality).
     pub fn count_matching(&self, spq: &Spq, cap: u32) -> usize {
-        let ranges = self.isa_ranges(&spq.path);
+        self.count_matching_with(spq, cap, &mut SearchScratch::new())
+    }
+
+    /// [`SntIndex::count_matching`] through a per-query [`SearchScratch`].
+    pub fn count_matching_with(&self, spq: &Spq, cap: u32, scratch: &mut SearchScratch) -> usize {
+        scratch.ensure(self.scratch_id, self.user_table.len() as u64);
+        self.fill_ranges(&spq.path, scratch);
+        let ranges: &[IsaRange] = &scratch.ranges;
         if ranges.iter().all(|r| r.is_empty()) {
             return 0;
         }
@@ -881,6 +1173,101 @@ mod tests {
         assert!(m.counts_bytes > 0);
         assert!(m.user_bytes > 0);
         assert!(m.tod_bytes > 0, "default config builds the ToD store");
+    }
+
+    #[test]
+    fn scratch_suffix_hits_match_fresh_searches() {
+        let idx = index();
+        let mut scratch = SearchScratch::new();
+        let abe = Path::new(vec![EDGE_A, EDGE_B, EDGE_E]);
+        // Seed the suffix cache with the full path…
+        let full: Vec<IsaRange> = idx.isa_ranges_with(&abe, &mut scratch).to_vec();
+        assert_eq!(full, idx.isa_ranges(&abe));
+        assert_eq!(scratch.cached_searches(), 1);
+        // …then every suffix sub-path must answer from it, identically.
+        for sub in [
+            Path::new(vec![EDGE_B, EDGE_E]),
+            Path::new(vec![EDGE_E]),
+            abe.clone(),
+        ] {
+            let got: Vec<IsaRange> = idx.isa_ranges_with(&sub, &mut scratch).to_vec();
+            assert_eq!(got, idx.isa_ranges(&sub), "suffix {sub:?}");
+            assert_eq!(scratch.cached_searches(), 1, "answered from cache");
+        }
+        // A non-suffix path is a fresh search.
+        let ab = Path::new(vec![EDGE_A, EDGE_B]);
+        assert_eq!(
+            idx.isa_ranges_with(&ab, &mut scratch).to_vec(),
+            idx.isa_ranges(&ab)
+        );
+        assert_eq!(scratch.cached_searches(), 2);
+    }
+
+    #[test]
+    fn scratch_invalidates_across_appends() {
+        let net = example_network();
+        let set = example_trajectories();
+        let mut idx = SntIndex::build(&net, &set, SntConfig::default());
+        let mut scratch = SearchScratch::new();
+        let e = Path::new(vec![EDGE_E]);
+        let before: Vec<IsaRange> = idx.isa_ranges_with(&e, &mut scratch).to_vec();
+
+        // Append a new trajectory traversing E: the scratch, reused across
+        // the append, must drop its cached states and re-search.
+        let mut grown = set.clone();
+        grown
+            .push(
+                UserId(7),
+                vec![tthr_trajectory::TrajEntry::new(EDGE_E, 100, 4.0)],
+            )
+            .unwrap();
+        idx.append_batch(&grown);
+        let after: Vec<IsaRange> = idx.isa_ranges_with(&e, &mut scratch).to_vec();
+        assert_eq!(after, idx.isa_ranges(&e), "post-append ranges are fresh");
+        assert_eq!(after.len(), 2, "appended batch adds a partition");
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn scratch_never_aliases_distinct_indexes() {
+        // Two different indexes with the *same* trajectory count: one
+        // shared scratch must re-search, not serve the other index's
+        // cached states (each instance carries a process-unique id).
+        let net = example_network();
+        let full = example_trajectories();
+        let mut swapped = tthr_trajectory::TrajectorySet::new();
+        // Same number of trajectories, different traversals: drop E from
+        // tr0's path and reuse the remaining examples verbatim.
+        for (i, tr) in full.iter().enumerate() {
+            let entries: Vec<_> = if i == 0 {
+                tr.entries()[..2].to_vec()
+            } else {
+                tr.entries().to_vec()
+            };
+            swapped.push(tr.user(), entries).unwrap();
+        }
+        let a = SntIndex::build(&net, &full, SntConfig::default());
+        let b = SntIndex::build(&net, &swapped, SntConfig::default());
+        assert_eq!(a.num_trajectories(), b.num_trajectories());
+        let abe = Path::new(vec![EDGE_A, EDGE_B, EDGE_E]);
+        let mut scratch = SearchScratch::new();
+        let from_a: Vec<IsaRange> = a.isa_ranges_with(&abe, &mut scratch).to_vec();
+        let from_b: Vec<IsaRange> = b.isa_ranges_with(&abe, &mut scratch).to_vec();
+        assert_eq!(from_a, a.isa_ranges(&abe));
+        assert_eq!(from_b, b.isa_ranges(&abe));
+        assert_ne!(from_a, from_b, "the two indexes answer differently");
+    }
+
+    #[test]
+    fn travel_times_estimate_is_inline() {
+        // The fallback estimate must not allocate: its TtValues compares
+        // equal to the heap spelling but reports the same single value.
+        let one = TtValues::one(36.0);
+        assert_eq!(one, TtValues::from(vec![36.0]));
+        assert_eq!(one.as_slice(), &[36.0]);
+        assert_eq!(one.into_vec(), vec![36.0]);
+        assert!(TtValues::EMPTY.is_empty());
+        assert_eq!(TtValues::EMPTY.into_vec(), Vec::<f64>::new());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! Procedure 5 answers with at least the speed-limit estimate).
 
 use crate::engine::IndexBackend;
+use crate::snt::SearchScratch;
 use crate::spq::{Filter, Spq};
 
 /// Path-splitting strategy inside σ.
@@ -72,6 +73,18 @@ impl Splitter {
 
     /// Applies σ once (Procedure 1), returning the replacement sub-queries.
     pub fn split<B: IndexBackend>(&self, index: &B, spq: &Spq) -> Vec<Spq> {
+        self.split_with(index, spq, &mut SearchScratch::new())
+    }
+
+    /// [`Splitter::split`] with a caller-owned [`SearchScratch`] — σ_L's
+    /// prefix binary search reuses the chain's search buffers. Identical
+    /// replacements.
+    pub fn split_with<B: IndexBackend>(
+        &self,
+        index: &B,
+        spq: &Spq,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Spq> {
         // Step 1: widen the periodic window to the next size in A.
         if spq.interval.is_periodic() {
             let alpha = spq.interval.size();
@@ -96,7 +109,7 @@ impl Splitter {
             let m = match self.method {
                 SplitMethod::Regular => spq.path.len() / 2,
                 SplitMethod::LongestPrefix => {
-                    self.longest_prefix(index, &spq.with_interval(interval))
+                    self.longest_prefix(index, &spq.with_interval(interval), scratch)
                 }
             };
             let (p1, p2) = spq.path.split_at(m);
@@ -123,11 +136,16 @@ impl Splitter {
     /// `|T^{P[0,m)}| ≥ β`. Trajectory counts are monotonically
     /// non-increasing in the prefix length, so a binary search over
     /// counting queries suffices.
-    fn longest_prefix<B: IndexBackend>(&self, index: &B, spq: &Spq) -> usize {
+    fn longest_prefix<B: IndexBackend>(
+        &self,
+        index: &B,
+        spq: &Spq,
+        scratch: &mut SearchScratch,
+    ) -> usize {
         let beta = spq.beta_cap();
-        let meets = |m: usize| -> bool {
+        let mut meets = |m: usize| -> bool {
             let prefix = spq.with_path(spq.path.sub_path(0..m));
-            index.count_matching(&prefix, beta) >= beta as usize
+            index.count_matching_with(&prefix, beta, scratch) >= beta as usize
         };
         let (mut lo, mut hi) = (1usize, spq.path.len() - 1);
         if !meets(lo) {

@@ -28,6 +28,14 @@ pub fn path_symbols(path: &Path) -> Vec<u32> {
     path.edges().iter().map(|&e| edge_symbol(e)).collect()
 }
 
+/// [`path_symbols`] into a caller-owned buffer (cleared first) — the
+/// query hot path re-uses one buffer per query instead of allocating a
+/// pattern `Vec` per `getISARange` dispatch.
+pub fn path_symbols_into(path: &Path, out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(path.edges().iter().map(|&e| edge_symbol(e)));
+}
+
 /// Builds the trajectory string for a sequence of trajectories, returning
 /// the symbols and, for each trajectory (in input order), the text position
 /// of its first traversal. Traversal `k` of trajectory `i` sits at

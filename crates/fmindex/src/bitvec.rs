@@ -1,23 +1,38 @@
-//! A plain bit vector with constant-time rank.
+//! A plain bit vector with constant-time rank over an interleaved layout.
 
 use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 /// Bits per rank superblock.
 const SUPER_BITS: usize = 512;
-/// 64-bit words per superblock.
+/// 64-bit data words per superblock.
 const WORDS_PER_SUPER: usize = SUPER_BITS / 64;
+/// `u64`s per interleaved block: absolute rank, packed relative ranks, then
+/// the 8 data words.
+const BLOCK_WORDS: usize = 2 + WORDS_PER_SUPER;
+/// Bits per packed relative rank (max value 448 < 2⁹).
+const REL_BITS: usize = 9;
+const REL_MASK: u64 = (1 << REL_BITS) - 1;
 
 /// An immutable bit vector supporting `rank1`/`rank0` in O(1).
 ///
-/// Layout: raw 64-bit words, a `u64` absolute rank per 512-bit superblock,
-/// and a `u16` relative rank per word — ≈ 37.5 % space overhead over the raw
-/// bits, traded for branch-free rank.
+/// Layout: one contiguous `Vec<u64>` of 10-word *interleaved blocks*, one
+/// per 512-bit superblock:
+///
+/// ```text
+/// word 0      absolute rank1 before the superblock (u64)
+/// word 1      7 packed 9-bit relative ranks: bits [9(w−1), 9w) hold the
+///             popcount of data words 0..w, for w = 1..8 (word 0's is 0)
+/// words 2..10 the 8 raw data words (zero-padded past the last bit)
+/// ```
+///
+/// A rank touches exactly one block — the directory entries and the data
+/// word it needs are at most 80 bytes apart (≤ 2 cache lines, vs. the 3
+/// unrelated arrays of the classic layout) — at 25 % space overhead over
+/// the raw bits.
 #[derive(Clone, Debug)]
 pub struct RankBitVec {
     len: usize,
-    words: Vec<u64>,
-    super_ranks: Vec<u64>,
-    word_ranks: Vec<u16>,
+    blocks: Vec<u64>,
     ones: usize,
 }
 
@@ -46,29 +61,30 @@ impl RankBitVec {
     fn from_words(words: Vec<u64>, len: usize) -> Self {
         let n_words = words.len();
         let n_super = n_words.div_ceil(WORDS_PER_SUPER);
-        let mut super_ranks = Vec::with_capacity(n_super + 1);
-        let mut word_ranks = Vec::with_capacity(n_words);
+        let mut blocks = vec![0u64; n_super * BLOCK_WORDS];
         let mut total = 0u64;
         for s in 0..n_super {
-            super_ranks.push(total);
-            let mut within = 0u16;
+            let base = s * BLOCK_WORDS;
+            blocks[base] = total;
+            let mut rel = 0u64;
+            let mut within = 0u64;
             for w in 0..WORDS_PER_SUPER {
                 let wi = s * WORDS_PER_SUPER + w;
-                if wi >= n_words {
-                    break;
+                if w > 0 {
+                    rel |= within << (REL_BITS * (w - 1));
                 }
-                word_ranks.push(within);
-                let ones = words[wi].count_ones();
-                within += ones as u16;
-                total += ones as u64;
+                if wi < n_words {
+                    blocks[base + 2 + w] = words[wi];
+                    let ones = words[wi].count_ones() as u64;
+                    within += ones;
+                    total += ones;
+                }
             }
+            blocks[base + 1] = rel;
         }
-        super_ranks.push(total);
         RankBitVec {
             len,
-            words,
-            super_ranks,
-            word_ranks,
+            blocks,
             ones: total as usize,
         }
     }
@@ -95,7 +111,9 @@ impl RankBitVec {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
-        (self.words[i / 64] >> (i % 64)) & 1 == 1
+        let word = i / 64;
+        let block = (word / WORDS_PER_SUPER) * BLOCK_WORDS + 2 + word % WORDS_PER_SUPER;
+        (self.blocks[block] >> (i % 64)) & 1 == 1
     }
 
     /// Number of set bits in positions `[0, i)`. `i` may equal `len`.
@@ -106,16 +124,21 @@ impl RankBitVec {
             return 0;
         }
         let word = (i - 1) / 64;
-        let sup = word / WORDS_PER_SUPER;
+        let w = word % WORDS_PER_SUPER;
+        let base = (word / WORDS_PER_SUPER) * BLOCK_WORDS;
         let within_word = i - word * 64; // 1..=64
         let mask = if within_word == 64 {
             u64::MAX
         } else {
             (1u64 << within_word) - 1
         };
-        self.super_ranks[sup] as usize
-            + self.word_ranks[word] as usize
-            + (self.words[word] & mask).count_ones() as usize
+        let rel = if w == 0 {
+            0
+        } else {
+            (self.blocks[base + 1] >> (REL_BITS * (w - 1))) & REL_MASK
+        };
+        (self.blocks[base] + rel) as usize
+            + (self.blocks[base + 2 + w] & mask).count_ones() as usize
     }
 
     /// Number of clear bits in positions `[0, i)`.
@@ -124,18 +147,47 @@ impl RankBitVec {
         i - self.rank1(i)
     }
 
+    /// `(rank1(i), rank1(j))` for `i ≤ j` in one call: when both positions
+    /// fall in the same superblock — the common case late in a backward
+    /// search, as `[st, ed)` narrows — the second rank reuses the block the
+    /// first one already pulled into cache.
+    #[inline]
+    pub fn rank1_pair(&self, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i <= j);
+        (self.rank1(i), self.rank1(j))
+    }
+
+    /// `(rank0(i), rank0(j))` for `i ≤ j`; see [`RankBitVec::rank1_pair`].
+    #[inline]
+    pub fn rank0_pair(&self, i: usize, j: usize) -> (usize, usize) {
+        let (a, b) = self.rank1_pair(i, j);
+        (i - a, j - b)
+    }
+
     /// Approximate heap size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.words.len() * 8 + self.super_ranks.len() * 8 + self.word_ranks.len() * 2
+        self.blocks.len() * 8
+    }
+
+    /// The raw data words, de-interleaved (for the wire form).
+    fn raw_words(&self) -> Vec<u64> {
+        let n_words = self.len.div_ceil(64);
+        let mut words = Vec::with_capacity(n_words);
+        for wi in 0..n_words {
+            let block = (wi / WORDS_PER_SUPER) * BLOCK_WORDS + 2 + wi % WORDS_PER_SUPER;
+            words.push(self.blocks[block]);
+        }
+        words
     }
 }
 
-/// Wire form: bit length (`u64`), then the raw words. The rank directory
-/// is derived, so it is rebuilt on restore instead of stored.
+/// Wire form: bit length (`u64`), then the raw words. The interleaved rank
+/// directory is derived, so it is rebuilt on restore instead of stored —
+/// snapshots written before the interleaved layout load unchanged.
 impl Persist for RankBitVec {
     fn persist(&self, w: &mut ByteWriter) {
         w.put_len(self.len);
-        w.put_seq(&self.words);
+        w.put_seq(&self.raw_words());
     }
 
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
@@ -212,6 +264,35 @@ mod tests {
         assert_eq!(zeros.rank0(700), 700);
     }
 
+    #[test]
+    fn packed_relative_ranks_saturate_correctly() {
+        // A dense prefix pushes the within-superblock rank to its 9-bit
+        // ceiling (448 before the last word): all-ones superblocks must
+        // still rank exactly.
+        let bv = RankBitVec::from_bits((0..2048).map(|_| true));
+        for i in (0..=2048).step_by(37) {
+            assert_eq!(bv.rank1(i), i);
+        }
+        assert_eq!(bv.rank1(512), 512);
+        assert_eq!(bv.rank1(513), 513);
+    }
+
+    #[test]
+    fn pair_ranks_match_singles() {
+        let bits: Vec<bool> = (0..3000).map(|i| (i * 2654435761usize) % 7 < 3).collect();
+        let bv = RankBitVec::from_bits(bits.iter().copied());
+        for i in (0..=3000).step_by(11) {
+            for j in [i, i + 17, i + 480, 3000] {
+                let j = j.min(3000);
+                if i > j {
+                    continue;
+                }
+                assert_eq!(bv.rank1_pair(i, j), (bv.rank1(i), bv.rank1(j)));
+                assert_eq!(bv.rank0_pair(i, j), (bv.rank0(i), bv.rank0(j)));
+            }
+        }
+    }
+
     fn round_trip(bv: &RankBitVec) -> RankBitVec {
         let mut w = tthr_store::ByteWriter::new();
         bv.persist(&mut w);
@@ -260,6 +341,19 @@ mod tests {
             }
             for (i, &b) in bits.iter().enumerate() {
                 proptest::prop_assert_eq!(bv.get(i), b);
+            }
+        }
+
+        #[test]
+        fn pair_rank_matches_singles_everywhere(
+            bits in proptest::collection::vec(proptest::bool::ANY, 0..1200),
+            probes in proptest::collection::vec((0usize..1201, 0usize..1201), 0..64),
+        ) {
+            let bv = RankBitVec::from_bits(bits.iter().copied());
+            let n = bits.len();
+            for (a, b) in probes {
+                let (i, j) = (a.min(b).min(n), a.max(b).min(n));
+                proptest::prop_assert_eq!(bv.rank1_pair(i, j), (bv.rank1(i), bv.rank1(j)));
             }
         }
     }

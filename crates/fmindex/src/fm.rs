@@ -113,6 +113,53 @@ impl<W: WaveletBuild> FmIndex<W> {
     }
 }
 
+/// An incremental backward-search state over an [`FmIndex`]: the suffix
+/// array range of the pattern matched so far, extendable one symbol to the
+/// left at a time ([`FmIndex::extend_left`]).
+///
+/// The cursor is `Copy`, so callers checkpoint intermediate states by
+/// value — after searching a path `P` right-to-left, the saved state at
+/// step `k` *is* the answer for the sub-path `P[l−k..]`, which is how the
+/// query layer's scratch cache makes the splitter's suffix re-searches
+/// free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchCursor {
+    st: u64,
+    ed: u64,
+    /// Symbols matched so far.
+    len: u32,
+}
+
+impl SearchCursor {
+    /// The matched pattern's ISA range — [`IsaRange::EMPTY`] both for a
+    /// dead cursor and for the zero-length pattern (matching Procedure 2,
+    /// which never returns a range for the empty pattern).
+    #[inline]
+    pub fn range(&self) -> IsaRange {
+        if self.len == 0 || self.st >= self.ed {
+            IsaRange::EMPTY
+        } else {
+            IsaRange {
+                start: self.st as u32,
+                end: self.ed as u32,
+            }
+        }
+    }
+
+    /// Whether no occurrence of the matched pattern remains (extending a
+    /// dead cursor is a constant-time no-op).
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.st >= self.ed
+    }
+
+    /// Number of symbols matched so far.
+    #[inline]
+    pub fn matched_len(&self) -> usize {
+        self.len as usize
+    }
+}
+
 impl<W: SymbolRank> FmIndex<W> {
     /// Length of the indexed text.
     #[inline]
@@ -126,6 +173,38 @@ impl<W: SymbolRank> FmIndex<W> {
         self.alphabet_size
     }
 
+    /// A fresh cursor matching the empty pattern (every suffix matches).
+    #[inline]
+    pub fn cursor(&self) -> SearchCursor {
+        SearchCursor {
+            st: 0,
+            ed: self.bwt.len() as u64,
+            len: 0,
+        }
+    }
+
+    /// One backward-search step (Procedure 2's loop body): narrows the
+    /// cursor to the occurrences preceded by `c`, with both boundary ranks
+    /// computed in a single paired wavelet descent
+    /// ([`SymbolRank::rank2`]).
+    #[inline]
+    pub fn extend_left(&self, cur: SearchCursor, c: u32) -> SearchCursor {
+        if cur.st >= cur.ed || c >= self.alphabet_size {
+            return SearchCursor {
+                st: 0,
+                ed: 0,
+                len: cur.len.saturating_add(1),
+            };
+        }
+        let base = self.counts[c as usize];
+        let (lo, hi) = self.bwt.rank2(c, cur.st as usize, cur.ed as usize);
+        SearchCursor {
+            st: base + lo as u64,
+            ed: base + hi as u64,
+            len: cur.len + 1,
+        }
+    }
+
     /// `getISARange` (paper, Procedure 2): backward search for the symbol
     /// pattern, in `O(|pattern| · log σ)` — independent of the text length.
     ///
@@ -133,32 +212,29 @@ impl<W: SymbolRank> FmIndex<W> {
     /// they never contain the `$` terminator, so matches never span two
     /// trajectories.
     pub fn isa_range(&self, pattern: &[u32]) -> IsaRange {
-        let Some((&last, rest)) = pattern.split_last() else {
-            return IsaRange::EMPTY;
-        };
-        if last >= self.alphabet_size {
-            return IsaRange::EMPTY;
-        }
-        let mut st = self.counts[last as usize];
-        let mut ed = self.counts[last as usize + 1];
-        for &c in rest.iter().rev() {
-            if st >= ed {
+        let mut cur = self.cursor();
+        for &c in pattern.iter().rev() {
+            cur = self.extend_left(cur, c);
+            if cur.is_dead() {
                 return IsaRange::EMPTY;
             }
-            if c >= self.alphabet_size {
-                return IsaRange::EMPTY;
-            }
-            let base = self.counts[c as usize];
-            st = base + self.bwt.rank(c, st as usize) as u64;
-            ed = base + self.bwt.rank(c, ed as usize) as u64;
         }
-        if st >= ed {
-            IsaRange::EMPTY
-        } else {
-            IsaRange {
-                start: st as u32,
-                end: ed as u32,
-            }
+        cur.range()
+    }
+
+    /// The ISA range of **every suffix** of the pattern in one backward
+    /// search: `out[k] = isa_range(&pattern[k..])`, appended to `out` in
+    /// index order. One search costs the same as `isa_range(pattern)`
+    /// (dead-state extensions are constant-time), and the recorded states
+    /// are what the query layer's suffix cache serves sub-path searches
+    /// from.
+    pub fn suffix_ranges(&self, pattern: &[u32], out: &mut Vec<IsaRange>) {
+        let from = out.len();
+        out.resize(from + pattern.len(), IsaRange::EMPTY);
+        let mut cur = self.cursor();
+        for (k, &c) in pattern.iter().enumerate().rev() {
+            cur = self.extend_left(cur, c);
+            out[from + k] = cur.range();
         }
     }
 
@@ -351,6 +427,38 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn cursor_states_match_fresh_searches() {
+        let text = figure3_text();
+        let (fm, _) = FmIndex::<HuffmanWaveletTree>::build(&text, 7);
+        let pattern = [1u32, 2, 5]; // ⟨A,B,E⟩
+        let mut cur = fm.cursor();
+        assert_eq!(cur.range(), IsaRange::EMPTY, "empty pattern has no range");
+        for k in (0..pattern.len()).rev() {
+            cur = fm.extend_left(cur, pattern[k]);
+            assert_eq!(cur.range(), fm.isa_range(&pattern[k..]), "suffix {k}");
+            assert_eq!(cur.matched_len(), pattern.len() - k);
+        }
+        // Dead cursors absorb further extensions.
+        let dead = fm.extend_left(cur, 2); // ⟨B,A,B,E⟩ never occurs
+        assert!(dead.is_dead());
+        assert!(fm.extend_left(dead, 1).is_dead());
+        assert_eq!(dead.range(), IsaRange::EMPTY);
+    }
+
+    #[test]
+    fn suffix_ranges_appends_every_suffix() {
+        let text = figure3_text();
+        let (fm, _) = FmIndex::<WaveletMatrix>::build(&text, 7);
+        let pattern = [1u32, 2, 5];
+        let mut out = vec![IsaRange { start: 9, end: 9 }]; // pre-existing entry kept
+        fm.suffix_ranges(&pattern, &mut out);
+        assert_eq!(out.len(), 1 + pattern.len());
+        for k in 0..pattern.len() {
+            assert_eq!(out[1 + k], fm.isa_range(&pattern[k..]), "suffix {k}");
+        }
+    }
+
     proptest::proptest! {
         /// Backward search agrees with naive substring counting on random
         /// trajectory-like strings (runs of edge symbols separated by $).
@@ -368,6 +476,40 @@ mod tests {
             proptest::prop_assert_eq!(fm.count(&pattern), naive_count(&text, &pattern));
             let (fm2, _) = FmIndex::<WaveletMatrix>::build(&text, 10);
             proptest::prop_assert_eq!(fm2.count(&pattern), naive_count(&text, &pattern));
+        }
+
+        /// The differential contract of the search cursor: every extension
+        /// state along a random path equals a fresh `isa_range` of the
+        /// corresponding suffix, for both wavelet shapes — and
+        /// `suffix_ranges` records exactly those states.
+        #[test]
+        fn cursor_extension_states_equal_fresh_isa_ranges(
+            runs in proptest::collection::vec(proptest::collection::vec(1u32..12, 1..12), 1..8),
+            pattern in proptest::collection::vec(1u32..14, 1..12),
+        ) {
+            let mut text = Vec::new();
+            for r in runs {
+                text.extend(r);
+                text.push(0);
+            }
+            let (huff, _) = FmIndex::<HuffmanWaveletTree>::build(&text, 14);
+            let (matrix, _) = FmIndex::<WaveletMatrix>::build(&text, 14);
+            let mut hc = huff.cursor();
+            let mut mc = matrix.cursor();
+            let mut hsuf = Vec::new();
+            let mut msuf = Vec::new();
+            huff.suffix_ranges(&pattern, &mut hsuf);
+            matrix.suffix_ranges(&pattern, &mut msuf);
+            for k in (0..pattern.len()).rev() {
+                hc = huff.extend_left(hc, pattern[k]);
+                mc = matrix.extend_left(mc, pattern[k]);
+                let fresh = huff.isa_range(&pattern[k..]);
+                proptest::prop_assert_eq!(hc.range(), fresh);
+                proptest::prop_assert_eq!(mc.range(), matrix.isa_range(&pattern[k..]));
+                proptest::prop_assert_eq!(hc.range(), mc.range(), "shapes agree");
+                proptest::prop_assert_eq!(hsuf[k], fresh);
+                proptest::prop_assert_eq!(msuf[k], fresh);
+            }
         }
     }
 }

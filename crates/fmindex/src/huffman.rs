@@ -380,6 +380,45 @@ impl SymbolRank for HuffmanWaveletTree {
         unreachable!("code paths always end at a leaf")
     }
 
+    /// Paired-boundary rank in one walk down the symbol's code path: both
+    /// positions share every node lookup and code-bit decode, and their
+    /// per-node bit-vector ranks land in nearby (late in a backward search,
+    /// the same) rank superblocks.
+    fn rank2(&self, c: u32, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i <= j && j <= self.len);
+        if let Some(s) = self.single_symbol {
+            return if c == s { (i, j) } else { (0, 0) };
+        }
+        let Some(Some((code, len))) = self.codes.get(c as usize).copied() else {
+            return (0, 0);
+        };
+        let mut node = self.root.expect("non-empty tree") as usize;
+        let mut pi = i;
+        let mut pj = j;
+        for depth in 0..len {
+            let n = &self.nodes[node];
+            let bit = (code >> (len - 1 - depth)) & 1 == 1;
+            // Ranks are monotone, so pi ≤ pj is invariant: pj == 0 implies
+            // pi == 0, and once pi hits 0 it stays 0 through the remaining
+            // levels — no lower-boundary special case needed.
+            let child = if bit {
+                (pi, pj) = n.bv.rank1_pair(pi, pj);
+                n.right
+            } else {
+                (pi, pj) = n.bv.rank0_pair(pi, pj);
+                n.left
+            };
+            if pj == 0 {
+                return (0, 0);
+            }
+            match child {
+                Child::Leaf(_) => return (pi, pj),
+                Child::Internal(i) => node = i as usize,
+            }
+        }
+        unreachable!("code paths always end at a leaf")
+    }
+
     fn size_bytes(&self) -> usize {
         self.nodes
             .iter()
@@ -506,6 +545,42 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn rank2_crosses_word_and_superblock_boundaries() {
+        // Skewed sequence (1 dominates) long enough that the root bit
+        // vector spans several superblocks; pairs probe the 64/512 marks.
+        let seq: Vec<u32> = (0..1600)
+            .map(|i| if i % 3 == 0 { (i as u32 / 3) % 20 } else { 1 })
+            .collect();
+        let wt = HuffmanWaveletTree::new(&seq, 20);
+        for c in [0u32, 1, 7, 19] {
+            for &(i, j) in &[
+                (0, 0),
+                (0, 1600),
+                (63, 65),
+                (511, 513),
+                (512, 1024),
+                (1599, 1600),
+            ] {
+                assert_eq!(
+                    wt.rank2(c, i, j),
+                    (wt.rank(c, i), wt.rank(c, j)),
+                    "rank2({c},{i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank2_single_symbol_and_absent() {
+        let wt = HuffmanWaveletTree::new(&[4, 4, 4, 4], 8);
+        assert_eq!(wt.rank2(4, 1, 3), (1, 3));
+        assert_eq!(wt.rank2(2, 1, 3), (0, 0));
+        let wt = HuffmanWaveletTree::new(&[1, 2, 1, 2], 10);
+        assert_eq!(wt.rank2(9, 0, 4), (0, 0), "absent symbol");
+        assert_eq!(wt.rank2(77, 0, 4), (0, 0), "out-of-alphabet symbol");
+    }
+
     proptest::proptest! {
         #[test]
         fn rank_matches_reference(
@@ -519,6 +594,21 @@ mod tests {
             }
             for (i, &s) in seq.iter().enumerate().take(64) {
                 proptest::prop_assert_eq!(wt.access(i), s);
+            }
+        }
+
+        /// `rank2(c, i, j) == (rank(c, i), rank(c, j))` on skewed sequences
+        /// whose Huffman shape is deep, across word/superblock boundaries.
+        #[test]
+        fn rank2_matches_two_ranks(
+            seq in proptest::collection::vec(0u32..50, 1..1500),
+            probes in proptest::collection::vec((0usize..1501, 0usize..1501, 0u32..55), 0..64),
+        ) {
+            let wt = HuffmanWaveletTree::new(&seq, 50);
+            let n = seq.len();
+            for (a, b, c) in probes {
+                let (i, j) = (a.min(b).min(n), a.max(b).min(n));
+                proptest::prop_assert_eq!(wt.rank2(c, i, j), (wt.rank(c, i), wt.rank(c, j)));
             }
         }
 

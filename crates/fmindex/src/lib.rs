@@ -34,7 +34,7 @@ pub mod suffix;
 mod wavelet;
 
 pub use bitvec::RankBitVec;
-pub use fm::{FmIndex, IsaRange, WaveletBuild};
+pub use fm::{FmIndex, IsaRange, SearchCursor, WaveletBuild};
 pub use huffman::HuffmanWaveletTree;
 pub use wavelet::WaveletMatrix;
 
@@ -54,6 +54,17 @@ pub trait SymbolRank {
 
     /// `rank_c(seq, pos)`: occurrences of `c` in `seq[0, pos)`.
     fn rank(&self, c: u32, pos: usize) -> usize;
+
+    /// `(rank(c, i), rank(c, j))` for `i ≤ j` — the paired-boundary rank of
+    /// one backward-search step, which queries the *same* symbol at both
+    /// ends of the current range. Implementations override this to compute
+    /// both boundaries in a single descent (sharing per-level node lookups
+    /// and, late in a search, the same rank superblocks); the default is
+    /// two independent ranks.
+    fn rank2(&self, c: u32, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i <= j);
+        (self.rank(c, i), self.rank(c, j))
+    }
 
     /// Approximate heap size in bytes (for the Figure 10 memory accounting).
     fn size_bytes(&self) -> usize;

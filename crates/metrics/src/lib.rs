@@ -9,11 +9,185 @@
 //! * [`q_error`] — order-of-magnitude factor between estimated and actual
 //!   cardinalities (Moerkotte et al.), with the max(·,1) clamping of
 //!   Stefanoni et al. for empty sets.
+//! * [`LogHistogram`] — an HDR-style log-bucketed aggregating histogram
+//!   for service latency summaries: bounded memory regardless of sample
+//!   count, ≤ 1.6 % relative quantile error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tthr_histogram::{Histogram, SmoothedPdf};
+
+/// Sub-bucket precision bits of [`LogHistogram`]: 2⁶ = 64 sub-buckets per
+/// octave bound the relative quantile error by 1/64 ≈ 1.6 %.
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering the whole `u64` range: the exact region `[0, 64)`
+/// plus 64 sub-buckets for each of the 58 octaves `2⁶..=2⁶³` above it
+/// (`bucket_of(u64::MAX)` lands in the last one).
+const NUM_BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// An HDR-style aggregating histogram over `u64` values (e.g. latency in
+/// nanoseconds): fixed-size log-bucketed counts, so memory stays bounded
+/// for arbitrarily long-lived recorders — unlike a raw sample log.
+///
+/// Values below 64 are exact; larger values land in one of 64
+/// logarithmically spaced sub-buckets per power of two, so any reported
+/// quantile is within 1/64 ≈ 1.6 % of the true sample. `count`, `sum`
+/// (hence `mean`), `min`, and `max` are tracked exactly.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (one fixed ~30 KiB bucket array).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB {
+            return v as usize;
+        }
+        let e = 63 - v.leading_zeros(); // floor(log2 v) ≥ SUB_BITS
+        let shift = e - SUB_BITS;
+        // Mantissa in [64, 128): 64 sub-buckets within the octave.
+        (((shift as u64 + 1) << SUB_BITS) + ((v >> shift) - SUB)) as usize
+    }
+
+    /// Midpoint of a bucket — the value reported for quantiles landing in
+    /// it.
+    #[inline]
+    fn bucket_mid(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUB {
+            return idx;
+        }
+        let shift = (idx >> SUB_BITS) - 1;
+        let mantissa = SUB + (idx & (SUB - 1));
+        let lo = mantissa << shift;
+        lo + (1u64 << shift) / 2
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile, `p ∈ [0, 100]`: the bucket midpoint of the
+    /// sample at rank `⌈p/100 · n⌉` (clamped to the exact min/max so the
+    /// tails never report values outside the observed range); 0 when
+    /// empty. Within 1/64 ≈ 1.6 % of [`percentile`] over the raw samples.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (used to aggregate per-shard
+    /// or per-worker recorders).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Forgets all samples.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Heap footprint in bytes (constant).
+    pub fn size_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.value_at_percentile(50.0))
+            .field("p95", &self.value_at_percentile(95.0))
+            .field("max", &self.max)
+            .finish()
+    }
+}
 
 /// One sMAPE term: `|pred − actual| / (½ (pred + actual))`, in percent.
 ///
@@ -192,10 +366,95 @@ mod tests {
         assert_eq!(mean([2.0, 4.0]), 3.0);
     }
 
+    #[test]
+    fn log_histogram_small_values_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 63, 5, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.value_at_percentile(50.0), 5, "values < 64 are exact");
+        assert!((h.mean() - 79.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_quantile_error_bounded() {
+        let mut h = LogHistogram::new();
+        let samples: Vec<f64> = (1..=10_000).map(|i| (i * i) as f64).collect();
+        for &s in &samples {
+            h.record(s as u64);
+        }
+        for p in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9] {
+            let exact = percentile(samples.iter().copied(), p);
+            let approx = h.value_at_percentile(p) as f64;
+            let err = (approx - exact).abs() / exact;
+            assert!(
+                err <= 1.0 / 64.0 + 1e-9,
+                "p{p}: {approx} vs {exact} ({err})"
+            );
+        }
+        // Tails are exact.
+        assert_eq!(h.value_at_percentile(100.0), 10_000 * 10_000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn log_histogram_covers_the_whole_u64_range() {
+        // The top octave must not index out of bounds — the LatencyLog
+        // saturation fallback records u64::MAX.
+        let mut h = LogHistogram::new();
+        for v in [1u64 << 62, (1 << 63) - 1, 1 << 63, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), u64::MAX);
+        let p99 = h.value_at_percentile(99.9);
+        assert!(p99 >= (u64::MAX / 64) * 63, "top-octave quantile: {p99}");
+    }
+
+    #[test]
+    fn log_histogram_merge_clear_empty() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        assert_eq!(a.value_at_percentile(50.0), 0);
+        a.record(1_000);
+        b.record(2_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 1_000);
+        assert_eq!(a.max(), 2_000_000);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.mean(), 0.0);
+        assert!(a.size_bytes() > 0 && a.size_bytes() < 64 * 1024, "bounded");
+    }
+
     proptest::proptest! {
         #[test]
         fn q_error_at_least_one(e in 0.0f64..1e6, n in 0u64..1_000_000) {
             proptest::prop_assert!(q_error(e, n) >= 1.0);
+        }
+
+        /// Every quantile of the log histogram is within 1/64 relative
+        /// error of the exact nearest-rank percentile, across magnitudes.
+        #[test]
+        fn log_histogram_matches_exact_percentiles(
+            samples in proptest::collection::vec(1u64..1_000_000_000_000, 1..400),
+            ps in proptest::collection::vec(0.0f64..100.0, 1..8),
+        ) {
+            let mut h = LogHistogram::new();
+            for &s in &samples { h.record(s); }
+            let floats: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+            for p in ps {
+                let exact = percentile(floats.iter().copied(), p);
+                let approx = h.value_at_percentile(p) as f64;
+                proptest::prop_assert!(
+                    (approx - exact).abs() <= exact / 64.0 + 1.0,
+                    "p{}: {} vs {}", p, approx, exact
+                );
+            }
         }
 
         #[test]

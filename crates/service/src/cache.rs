@@ -296,7 +296,7 @@ mod tests {
 
     fn v(x: f64) -> TravelTimes {
         TravelTimes {
-            values: vec![x],
+            values: vec![x].into(),
             fallback: false,
         }
     }

@@ -153,11 +153,22 @@ struct CachedIndex<'a, B> {
 
 impl<B: ServiceBackend> TravelTimeProvider for CachedIndex<'_, B> {
     fn travel_times(&self, spq: &Spq) -> TravelTimes {
+        // A fresh scratch is allocation-free; the seqlock-validated insert
+        // lives only in `travel_times_with` so the staleness gate cannot
+        // drift between the two entry points.
+        self.travel_times_with(spq, &mut tthr_core::SearchScratch::new())
+    }
+
+    /// Cache miss → the backend runs its backward search through the
+    /// engine's per-chain scratch (suffix-cache reuse); the scratch
+    /// self-invalidates on index-generation changes, so the seqlock
+    /// validation below stays the only staleness gate for the *cache*.
+    fn travel_times_with(&self, spq: &Spq, scratch: &mut tthr_core::SearchScratch) -> TravelTimes {
         if let Some(hit) = self.cache.get(spq) {
             return hit;
         }
         let before = self.generation.load(Ordering::SeqCst);
-        let computed = self.index.travel_times(spq);
+        let computed = self.index.travel_times_with(spq, scratch);
         if before.is_multiple_of(2) && self.generation.load(Ordering::SeqCst) == before {
             self.cache.insert(spq.clone(), computed.clone());
         }

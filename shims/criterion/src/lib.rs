@@ -4,20 +4,34 @@
 //! implements the criterion surface the bench targets use — benchmark
 //! groups, `BenchmarkId`, throughput annotation, and `Bencher::iter` — with
 //! straightforward wall-clock measurement: per benchmark it calibrates an
-//! iteration count, takes `sample_size` samples, and prints min / mean /
-//! p95 per-iteration times (plus derived throughput when set). No
+//! iteration count, takes `sample_size` samples, and prints min / p50 /
+//! mean / p95 per-iteration times (plus derived throughput when set). No
 //! statistical regression analysis is performed.
+//!
+//! Besides the human-readable table, every finished benchmark is recorded
+//! in-process; [`flush_bench_json`] (called automatically by
+//! [`criterion_main!`]) appends the records as JSON Lines to the file named
+//! by `TTHR_BENCH_JSON` (default `BENCH.json` in the working directory).
+//! One line per benchmark: `{"name", "ns_per_iter", "p50_ns", "p95_ns",
+//! "min_ns", "samples", "iters_per_sample", "throughput_per_sec"?}` — the
+//! machine-readable perf trajectory CI uploads as an artifact.
 //!
 //! Bench binaries remain `cargo test`-safe: when invoked with `--test`
 //! (which `cargo test --benches` does), every benchmark runs exactly one
-//! iteration and timing output is suppressed.
+//! iteration, timing output is suppressed, and nothing is recorded.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Finished-benchmark records awaiting [`flush_bench_json`], pre-serialized
+/// as JSON object lines.
+static RESULTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
 /// Measurement configuration and result sink.
 pub struct Criterion {
@@ -189,19 +203,85 @@ fn run_one<F: FnMut(&mut Bencher)>(
     per_iter.sort_by(f64::total_cmp);
     let min = per_iter[0];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-    let p95 = per_iter[(per_iter.len() * 95 / 100).min(per_iter.len() - 1)];
+    // Nearest-rank percentile: the sample at rank ⌈p/100 · n⌉ (1-based).
+    let nearest_rank = |p: f64| {
+        let rank = ((p / 100.0) * per_iter.len() as f64).ceil().max(1.0) as usize;
+        per_iter[rank.min(per_iter.len()) - 1]
+    };
+    let p50 = nearest_rank(50.0);
+    let p95 = nearest_rank(95.0);
 
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / mean),
         Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / mean),
     });
     println!(
-        "{label:<60} min {}  mean {}  p95 {}{}",
+        "{label:<60} min {}  p50 {}  mean {}  p95 {}{}",
         fmt_time(min),
+        fmt_time(p50),
         fmt_time(mean),
         fmt_time(p95),
         rate.unwrap_or_default()
     );
+
+    let throughput_field = throughput
+        .map(|t| {
+            let per_sec = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 / mean,
+            };
+            format!(",\"throughput_per_sec\":{per_sec:.1}")
+        })
+        .unwrap_or_default();
+    let record = format!(
+        "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}",
+        escape_json(label),
+        mean * 1e9,
+        p50 * 1e9,
+        p95 * 1e9,
+        min * 1e9,
+        per_iter.len(),
+        b.iters,
+        throughput_field,
+    );
+    RESULTS.lock().expect("bench results").push(record);
+}
+
+/// Appends every benchmark recorded so far to the JSON-lines file named by
+/// `TTHR_BENCH_JSON` (default `BENCH.json`), then forgets them. Called by
+/// [`criterion_main!`] after all groups ran; a no-op when nothing was
+/// measured (e.g. `--test` mode) so smoke runs never touch the file.
+pub fn flush_bench_json() {
+    let mut results = RESULTS.lock().expect("bench results");
+    if results.is_empty() {
+        return;
+    }
+    let path = std::env::var("TTHR_BENCH_JSON").unwrap_or_else(|_| "BENCH.json".to_string());
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            for line in results.drain(..) {
+                let _ = writeln!(file, "{line}");
+            }
+            eprintln!("[criterion-shim] bench records appended to {path}");
+        }
+        Err(err) => eprintln!("[criterion-shim] cannot write {path}: {err}"),
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -233,6 +313,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_bench_json();
         }
     };
 }
@@ -259,5 +340,12 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain/name"), "plain/name");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
     }
 }

@@ -78,7 +78,8 @@ pub fn value_bits(values: &[f64]) -> Vec<u64> {
 }
 
 /// Sorts travel times for multiset comparison.
-pub fn sorted(mut values: Vec<f64>) -> Vec<f64> {
+pub fn sorted(values: impl Into<Vec<f64>>) -> Vec<f64> {
+    let mut values = values.into();
     values.sort_by(f64::total_cmp);
     values
 }
