@@ -1,0 +1,146 @@
+//! HTTP front-end throughput over loopback: per-request latency on a
+//! keep-alive connection (reactor + parse + dispatch + pool + encode) and
+//! sustained pipelined req/s, for the `/health` (pure reactor), `/spq`,
+//! and `/trip` endpoints.
+//!
+//! The criterion shim records every group into `BENCH.json`
+//! (`throughput_per_sec` on the pipelined groups is the sustained req/s
+//! figure CI tracks).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use tthr_bench::{query_for, QueryType, Scale, World};
+use tthr_server::{serve, wire, ServerConfig, ServerHandle};
+use tthr_service::{QueryService, ServiceConfig};
+
+/// Minimal blocking keep-alive client: pipelines `n` identical requests
+/// and reads the `n` responses back.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &[u8], pipeline: usize) {
+        for _ in 0..pipeline {
+            self.stream.write_all(request).expect("send");
+        }
+        for _ in 0..pipeline {
+            self.read_response();
+        }
+    }
+
+    fn read_response(&mut self) {
+        loop {
+            if let Some(total) = response_len(&self.buf) {
+                if self.buf.len() >= total {
+                    self.buf.drain(..total);
+                    return;
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed mid-benchmark");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn response_len(buf: &[u8]) -> Option<usize> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).expect("head");
+    let body = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    Some(head_end + 4 + body)
+}
+
+fn encode_request(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+fn boot(world: &World) -> (ServerHandle, SocketAddr) {
+    let service = QueryService::new(
+        world.build_index(Default::default()),
+        Arc::new(world.network().clone()),
+        ServiceConfig {
+            num_threads: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("boot server");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let world = World::generate(Scale::Small);
+    let (server, addr) = boot(&world);
+    let spq = query_for(
+        &world.set,
+        world.queries[0],
+        QueryType::TemporalFilters,
+        900,
+        20,
+    );
+    let spq_request = encode_request("/spq", wire::encode_spq(&spq).as_bytes());
+    let trip_request = encode_request("/trip", wire::encode_spq(&spq).as_bytes());
+    let health_request = b"GET /health HTTP/1.1\r\nhost: bench\r\n\r\n".to_vec();
+
+    let mut group = c.benchmark_group("server_http");
+    group.sample_size(20);
+    let mut client = Client::connect(addr);
+    group.bench_function("health_roundtrip", |b| {
+        b.iter(|| client.roundtrip(&health_request, 1))
+    });
+    group.bench_function("spq_keepalive", |b| {
+        b.iter(|| client.roundtrip(&spq_request, 1))
+    });
+    group.bench_function("trip_keepalive", |b| {
+        b.iter(|| client.roundtrip(&trip_request, 1))
+    });
+    group.finish();
+
+    // Sustained req/s: 32 pipelined requests per iteration saturate the
+    // reactor/pool handoff instead of measuring one RTT at a time.
+    let mut group = c.benchmark_group("server_http_sustained");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(32));
+    let mut client = Client::connect(addr);
+    group.bench_function("spq_pipelined_x32", |b| {
+        b.iter(|| client.roundtrip(&spq_request, 32))
+    });
+    group.bench_function("health_pipelined_x32", |b| {
+        b.iter(|| client.roundtrip(&health_request, 32))
+    });
+    group.finish();
+
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

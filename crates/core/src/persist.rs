@@ -370,6 +370,23 @@ impl SntIndex {
         })
     }
 
+    /// Validates a raw batch of `(user, entries)` payloads against this
+    /// index and materializes them as [`Trajectory`] values carrying the
+    /// next dense ids — **without** applying them. Invalid trajectory data
+    /// is reported as [`StoreError::Corrupt`] and the index is untouched.
+    ///
+    /// This is the validation half of
+    /// [`SntIndex::append_trajectory_batch`], split out so a caller that
+    /// must log write-ahead (`tthr-service`) can reject a bad batch
+    /// *before* the WAL record is written.
+    pub fn prepare_append_batch(
+        &self,
+        trajectories: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError> {
+        let from = self.num_trajectories() as u32;
+        prepare_batch(from, self.estimate_tt.len(), trajectories)
+    }
+
     /// Applies one WAL batch: validates the recorded trajectories and
     /// appends them as a new temporal partition with the next dense ids.
     /// Invalid trajectory data (a crash can never produce it — records
@@ -379,28 +396,35 @@ impl SntIndex {
         &mut self,
         trajectories: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<usize, StoreError> {
-        let from = self.num_trajectories() as u32;
-        let num_edges = self.estimate_tt.len();
-        let owned: Vec<Trajectory> = trajectories
-            .iter()
-            .enumerate()
-            .map(|(i, (user, entries))| {
-                // Edge ids must fit this network — Trajectory::new cannot
-                // know the edge count, and an out-of-range id would panic
-                // deep in the append (per-edge forests, FM alphabet).
-                if let Some(bad) = entries.iter().find(|e| e.edge.index() >= num_edges) {
-                    return Err(StoreError::corrupt(format!(
-                        "wal trajectory {i}: edge {} out of range for {num_edges} edges",
-                        bad.edge.0
-                    )));
-                }
-                Trajectory::new(TrajId(from + i as u32), *user, entries.clone())
-                    .map_err(|e| StoreError::corrupt(format!("wal trajectory {i}: {e}")))
-            })
-            .collect::<Result<_, _>>()?;
+        let owned = self.prepare_append_batch(trajectories)?;
         let refs: Vec<&Trajectory> = owned.iter().collect();
         Ok(self.append_trajectories(&refs))
     }
+}
+
+/// Shared validation of a raw trajectory payload: edge ids must fit the
+/// network (an out-of-range id would panic deep in the append — per-edge
+/// forests, FM alphabet) and each entry sequence must form a valid
+/// [`Trajectory`]. Ids are assigned densely from `from`.
+pub(crate) fn prepare_batch(
+    from: u32,
+    num_edges: usize,
+    trajectories: &[(UserId, Vec<TrajEntry>)],
+) -> Result<Vec<Trajectory>, StoreError> {
+    trajectories
+        .iter()
+        .enumerate()
+        .map(|(i, (user, entries))| {
+            if let Some(bad) = entries.iter().find(|e| e.edge.index() >= num_edges) {
+                return Err(StoreError::corrupt(format!(
+                    "wal trajectory {i}: edge {} out of range for {num_edges} edges",
+                    bad.edge.0
+                )));
+            }
+            Trajectory::new(TrajId(from + i as u32), *user, entries.clone())
+                .map_err(|e| StoreError::corrupt(format!("wal trajectory {i}: {e}")))
+        })
+        .collect()
 }
 
 /// One write-ahead-log record: the trajectories a single

@@ -505,6 +505,18 @@ impl ShardedSntIndex {
         }
     }
 
+    /// Validates a raw batch of `(user, entries)` payloads and
+    /// materializes them with the next dense global ids, **without**
+    /// applying them — the sharded counterpart of
+    /// [`SntIndex::prepare_append_batch`].
+    pub fn prepare_append_batch(
+        &self,
+        trajectories: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError> {
+        let from = self.num_trajectories() as u32;
+        crate::persist::prepare_batch(from, self.router.num_edges(), trajectories)
+    }
+
     /// Applies one WAL batch (validated like
     /// [`SntIndex::append_trajectory_batch`]): out-of-range edges and
     /// invalid trajectories are typed errors and leave the index
@@ -513,22 +525,7 @@ impl ShardedSntIndex {
         &self,
         trajectories: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<ShardedAppend, StoreError> {
-        let from = self.num_trajectories() as u32;
-        let num_edges = self.router.num_edges();
-        let owned: Vec<Trajectory> = trajectories
-            .iter()
-            .enumerate()
-            .map(|(i, (user, entries))| {
-                if let Some(bad) = entries.iter().find(|e| e.edge.index() >= num_edges) {
-                    return Err(StoreError::corrupt(format!(
-                        "wal trajectory {i}: edge {} out of range for {num_edges} edges",
-                        bad.edge.0
-                    )));
-                }
-                Trajectory::new(TrajId(from + i as u32), *user, entries.clone())
-                    .map_err(|e| StoreError::corrupt(format!("wal trajectory {i}: {e}")))
-            })
-            .collect::<Result<_, _>>()?;
+        let owned = self.prepare_append_batch(trajectories)?;
         let refs: Vec<&Trajectory> = owned.iter().collect();
         Ok(self.append_trajectories(&refs))
     }
@@ -536,7 +533,13 @@ impl ShardedSntIndex {
     /// The WAL record for the delta `set[from..]`: the batch plus its
     /// shard-routing tag under the current routing table.
     pub fn plan_wal_batch(&self, set: &TrajectorySet, from: usize) -> ShardedWalBatch {
-        let batch = WalBatch::delta(set, from);
+        self.plan_wal_payload(WalBatch::delta(set, from))
+    }
+
+    /// The WAL record for a raw payload batch appended at the current
+    /// trajectory count: the batch plus its shard-routing tag under the
+    /// current routing table.
+    pub fn plan_wal_payload(&self, batch: WalBatch) -> ShardedWalBatch {
         let mut touched: Vec<u16> = batch
             .trajectories
             .iter()

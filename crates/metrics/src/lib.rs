@@ -150,6 +150,28 @@ impl LogHistogram {
         self.max
     }
 
+    /// Iterator over the non-empty buckets as `(bucket_index, count)`
+    /// pairs, in ascending value order — the raw export a cross-process
+    /// aggregator (e.g. the HTTP `/stats` endpoint) ships instead of lossy
+    /// pre-computed percentiles. [`LogHistogram::bucket_value`] maps an
+    /// index back to its representative value.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The representative (midpoint) value of a bucket index — the value
+    /// [`LogHistogram::value_at_percentile`] reports for quantiles landing
+    /// in that bucket. Indexes come from
+    /// [`LogHistogram::nonzero_buckets`]; out-of-range indexes saturate to
+    /// the top bucket's midpoint.
+    pub fn bucket_value(idx: usize) -> u64 {
+        Self::bucket_mid(idx.min(NUM_BUCKETS - 1))
+    }
+
     /// Merges another histogram into this one (used to aggregate per-shard
     /// or per-worker recorders).
     pub fn merge(&mut self, other: &LogHistogram) {
@@ -412,6 +434,36 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         let p99 = h.value_at_percentile(99.9);
         assert!(p99 >= (u64::MAX / 64) * 63, "top-octave quantile: {p99}");
+    }
+
+    /// The raw-bucket export round-trips: replaying the exported counts at
+    /// their representative values reproduces every quantile and the count.
+    #[test]
+    fn log_histogram_bucket_export_roundtrip() {
+        let mut h = LogHistogram::new();
+        for i in 1..=5000u64 {
+            h.record(i * 17);
+        }
+        let mut replayed = LogHistogram::new();
+        let mut exported = 0;
+        for (idx, count) in h.nonzero_buckets() {
+            for _ in 0..count {
+                replayed.record(LogHistogram::bucket_value(idx));
+            }
+            exported += count;
+        }
+        assert_eq!(exported, h.count());
+        assert_eq!(replayed.count(), h.count());
+        for p in [1.0, 50.0, 95.0, 99.9] {
+            let a = h.value_at_percentile(p) as f64;
+            let b = replayed.value_at_percentile(p) as f64;
+            // Midpoints re-bucket into the same bucket, so quantiles agree
+            // to within one sub-bucket.
+            assert!((a - b).abs() <= a / 64.0 + 1.0, "p{p}: {a} vs {b}");
+        }
+        assert!(LogHistogram::new().nonzero_buckets().next().is_none());
+        // Saturating index mapping cannot panic.
+        let _ = LogHistogram::bucket_value(usize::MAX);
     }
 
     #[test]

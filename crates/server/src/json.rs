@@ -1,0 +1,520 @@
+//! A minimal JSON value: parse, navigate, serialize.
+//!
+//! The workspace forbids registry crates, so the wire layer carries its
+//! own codec. Two properties matter for the protocol and are pinned by
+//! tests:
+//!
+//! * **Integer fidelity** — whole numbers parse into `i64` (not through
+//!   `f64`), because timestamps legitimately exceed 2⁵³ (the differential
+//!   workload uses `i64::MAX / 4` interval bounds). Floats round-trip via
+//!   Rust's shortest-representation formatting.
+//! * **Bounded recursion** — nesting is capped ([`MAX_DEPTH`]), so a
+//!   `[[[[…` bomb from the network is a parse error, not a stack
+//!   overflow.
+//!
+//! Object keys keep their insertion order; serialization is therefore
+//! deterministic, which the byte-identical server-equivalence harness
+//! relies on.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth accepted by the parser.
+pub const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that is a whole integer in `i64` range.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (non-negative integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(v) => Some(v as f64),
+            Json::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value (compact, deterministic).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                // Rust's Display for f64 is shortest-round-trip and never
+                // scientific; non-finite values cannot occur in results
+                // (histogram construction drops them) — encode defensively
+                // as null rather than emit invalid JSON.
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    debug_assert!(false, "non-finite number in wire value");
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Convenience constructor for a float that collapses integral values
+    /// to [`Json::Int`] when lossless (keeps the encoding canonical).
+    pub fn num(v: f64) -> Json {
+        if v.is_finite() && v == v.trunc() && v.abs() < (1u64 << 53) as f64 {
+            Json::Int(v as i64)
+        } else {
+            Json::Num(v)
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset and reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid json at byte {}: {}", self.at, self.reason)
+    }
+}
+
+/// Parses a complete JSON document (trailing non-whitespace is an error).
+pub fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+        at: e.valid_up_to(),
+        reason: "invalid utf-8",
+    })?;
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &'static str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            reason,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, reason: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The slice boundaries fall on char boundaries: multi-byte
+                // UTF-8 units are all ≥ 0x80 and skipped whole above.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8"));
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // Surrogate pair: require the low half.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digit_start = self.pos;
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[digit_start] == b'0' {
+            return Err(self.err("leading zero"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn digits(&mut self) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_values() {
+        let doc = br#"{"a":[1,2.5,-3,true,false,null],"s":"x\"\\\n\u00e9\ud83d\ude00","big":2305843009213693951}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("big").unwrap().as_i64(), Some(i64::MAX / 4));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\"\\\né😀"));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_i64(), Some(-3));
+        // Re-encode → re-parse is identity.
+        let re = parse(v.encode().as_bytes()).unwrap();
+        assert_eq!(re, v);
+    }
+
+    #[test]
+    fn integers_beyond_f64_precision_survive() {
+        let v = parse(b"9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(v.as_i64(), Some(9007199254740993));
+        assert_eq!(parse(v.encode().as_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 6.5, 1e-12, 123456.789012345] {
+            let encoded = Json::Num(f).encode();
+            let back = parse(encoded.as_bytes()).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {encoded}");
+        }
+        // Integral floats collapse to canonical integers via `num`.
+        assert_eq!(Json::num(3.0), Json::Int(3));
+        assert_eq!(Json::num(3.5), Json::Num(3.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            &b""[..],
+            b"{",
+            b"}",
+            b"[1,]",
+            b"{\"a\":}",
+            b"{\"a\" 1}",
+            b"01",
+            b"1.",
+            b"+1",
+            b"--1",
+            b"\"unterminated",
+            b"\"bad \\q escape\"",
+            b"\"\\ud800\"",
+            b"tru",
+            b"nulll",
+            b"1 2",
+            b"\xff\xfe",
+        ] {
+            assert!(parse(doc).is_err(), "{:?} must not parse", doc);
+        }
+    }
+
+    #[test]
+    fn nesting_bomb_is_an_error_not_a_stack_overflow() {
+        let mut bomb = Vec::new();
+        bomb.extend(std::iter::repeat_n(b'[', 100_000));
+        assert_eq!(parse(&bomb).unwrap_err().reason, "nesting too deep");
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = parse(br#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.encode(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,328 @@
+//! # tthr-server — an epoll HTTP/1.1 front-end over the query service
+//!
+//! The serving layer that turns the in-process
+//! [`QueryService`] into a network service, with **zero
+//! external dependencies**: no tokio, no hyper — a single non-blocking
+//! accept/IO reactor over raw `epoll` (the private `sys` module — the
+//! crate's only unsafe surface), a hand-rolled
+//! incremental HTTP/1.1 parser ([`http`]), a small JSON codec ([`json`]),
+//! and the wire protocol ([`wire`]). It serves both service backends —
+//! the monolithic `SntIndex` and the partitioned `ShardedSntIndex` —
+//! through the same generic [`serve`] entry point.
+//!
+//! ```text
+//!  clients ══╗   ┌────────────────── reactor thread ──────────────────┐
+//!            ╟──►│ accept → per-conn state machine:                   │
+//!  keep-alive╢   │   read → incremental parse → route                 │
+//!  pipelining╢   │     /health /stats ──────────────► inline answer   │
+//!            ╟──►│     /spq /trip /batch /append ──┐                  │
+//!            ║   │                                 ▼                  │
+//!            ║   │        [ bounded in-flight window = queue_cap ]    │
+//!            ║   │     full → park conn (stop reading: TCP back-      │
+//!            ║   │     pressure); parked ≥ watermark → 503+Retry-After│
+//!            ║   └───────────────┬───────────────────▲───────────────-┘
+//!            ║                   ▼ execute           │ completions (reordered
+//!            ║        QueryService worker pool ──────┘  per-conn by seq, wake
+//!            ╚═══◄═══ responses over per-conn write buffers  via socketpair)
+//! ```
+//!
+//! The contract the test battery pins (`tests/server_equivalence.rs`,
+//! `tests/server_backpressure.rs`, `crates/server/tests/http_parser.rs`):
+//!
+//! * every endpoint's response body is **byte-identical** to encoding the
+//!   in-process [`QueryService`] answer with [`wire`]'s functions;
+//! * the worker pool never holds more than
+//!   [`ServerConfig::queue_cap`] requests in flight; overload answers are
+//!   `503` with `Retry-After`; keep-alive connections survive
+//!   served-then-idle cycles;
+//! * graceful [`ServerHandle::shutdown`] drains in-flight requests,
+//!   refuses new ones, and never tears a response mid-byte;
+//! * malformed input never panics the reactor: it maps to `400`/`413`/
+//!   `431` or a clean close.
+//!
+//! [`QueryService`]: tthr_service::QueryService
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tthr_core::{SntConfig, SntIndex};
+//! use tthr_network::examples::example_network;
+//! use tthr_server::{serve, ServerConfig};
+//! use tthr_service::{QueryService, ServiceConfig};
+//! use tthr_trajectory::examples::example_trajectories;
+//!
+//! let network = Arc::new(example_network());
+//! let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+//! let service = QueryService::new(index, network, ServiceConfig::default());
+//! let handle = serve(service, "127.0.0.1:7878", ServerConfig::default())?;
+//! println!("listening on http://{}", handle.local_addr());
+//! // …
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(unsafe_code)] // narrowly re-allowed in `sys` for the epoll FFI
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+mod reactor;
+mod sys;
+pub mod wire;
+
+use reactor::{Counters, Handlers, Reactor, Shared};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tthr_service::{QueryService, ServiceBackend};
+use tthr_store::StoreError;
+
+/// The API operations that go through the bounded queue (the inline
+/// `/health` and `/stats` endpoints bypass it: they are the liveness
+/// signal and must answer even under full load).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    Spq,
+    Trip,
+    Batch,
+    Append,
+}
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The backpressure boundary: maximum requests dispatched to the
+    /// worker pool and not yet answered. When the window is full the
+    /// reactor stops reading (TCP backpressure); see
+    /// [`ServerConfig::shed_watermark`].
+    pub queue_cap: usize,
+    /// Maximum *parked* requests (parsed, waiting for a queue slot with
+    /// their connections paused) before further requests are shed with
+    /// `503` + `Retry-After`.
+    pub shed_watermark: usize,
+    /// Maximum simultaneous connections; beyond it, accepts are dropped.
+    pub max_connections: usize,
+    /// Request line + header size limit (`431` beyond it).
+    pub max_head_bytes: usize,
+    /// Request body size limit (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Maximum queries in one `/batch` request (`400` beyond it).
+    pub max_batch_queries: usize,
+    /// Connections making no progress for this long are closed — the
+    /// slow-loris / non-reading-client guard. A connection is exempt
+    /// only while the server itself owes it work it can still deliver (a
+    /// response pending in a worker, or a request parked for a queue
+    /// slot); an unread write backlog does **not** exempt it.
+    pub idle_timeout: Duration,
+    /// How long a graceful shutdown waits for in-flight work to drain
+    /// before closing whatever remains.
+    pub drain_timeout: Duration,
+    /// `Retry-After` seconds on `503` shed/refusal responses.
+    pub retry_after_secs: u32,
+    /// Test/bench instrumentation: sleep this long in the worker before
+    /// handling each queued request (simulates a slow backend so the
+    /// backpressure tests can fill the queue deterministically).
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_cap: 128,
+            shed_watermark: 256,
+            max_connections: 1024,
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1 << 20,
+            max_batch_queries: 1024,
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+            retry_after_secs: 1,
+            worker_delay: None,
+        }
+    }
+}
+
+/// A snapshot of the server-side counters (also shipped in `/stats` under
+/// `"server"`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Complete requests parsed (all endpoints).
+    pub requests: u64,
+    /// 2xx responses.
+    pub responses_ok: u64,
+    /// `503` overload sheds (`Retry-After` attached).
+    pub shed: u64,
+    /// 4xx responses (malformed requests, unknown endpoints, bad bodies).
+    pub client_errors: u64,
+    /// 5xx responses (handler panics surface as `500`).
+    pub server_errors: u64,
+    /// Requests refused with `503` because a graceful shutdown was in
+    /// progress.
+    pub refused_shutdown: u64,
+    /// High-water mark of simultaneously in-flight (dispatched) requests
+    /// — never exceeds [`ServerConfig::queue_cap`].
+    pub max_inflight: usize,
+}
+
+/// A running server: the reactor thread plus its shared state.
+///
+/// Dropping the handle shuts the server down gracefully (equivalent to
+/// [`ServerHandle::shutdown`] with the result discarded).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.shared.counters.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new requests (`503` +
+    /// `connection: close`), drain dispatched and parked requests, flush
+    /// every owed response byte, then join the reactor. Returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServerMetrics {
+        self.initiate_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.shared.counters.snapshot()
+    }
+
+    fn initiate_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.initiate_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Boots the HTTP front-end over a query service on `addr` (use port 0
+/// for an ephemeral port; [`ServerHandle::local_addr`] reports the
+/// binding). The service's **existing** worker pool executes the
+/// requests; the reactor itself never blocks on query work.
+pub fn serve<B: ServiceBackend>(
+    service: QueryService<B>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        completions: Mutex::new(Vec::new()),
+        wake_tx,
+        inflight: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+    });
+
+    let num_edges = service.network().num_edges();
+    let max_batch = config.max_batch_queries;
+    let api_service = service.clone();
+    let stats_service = service.clone();
+    let exec_service = service;
+    let handlers = Handlers {
+        api: Arc::new(move |op, body| handle_api(&api_service, num_edges, max_batch, op, body)),
+        stats: Arc::new(move |server| {
+            // One pass over the recorder stripes yields both the
+            // summaries and the raw bucket exports.
+            let (stats, histograms) = stats_service.stats_with_histograms();
+            wire::encode_stats(&stats, &histograms, &server)
+        }),
+        exec: Arc::new(move |job| exec_service.execute(job)),
+    };
+
+    let reactor = Reactor::new(listener, wake_rx, config, Arc::clone(&shared), handlers)?;
+    let thread = std::thread::Builder::new()
+        .name("tthr-reactor".into())
+        .spawn(move || {
+            if let Err(e) = reactor.run() {
+                eprintln!("tthr-server reactor failed: {e}");
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        thread: Some(thread),
+    })
+}
+
+/// Decodes, executes, and encodes one API request (worker side).
+fn handle_api<B: ServiceBackend>(
+    service: &QueryService<B>,
+    num_edges: usize,
+    max_batch: usize,
+    op: Op,
+    body: &[u8],
+) -> (u16, String) {
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, wire::encode_error(&e.to_string())),
+    };
+    match op {
+        Op::Spq => match wire::decode_spq(&parsed, num_edges) {
+            Ok(q) => (
+                200,
+                wire::encode_travel_times(&service.get_travel_times(&q)),
+            ),
+            Err(e) => (400, wire::encode_error(&e)),
+        },
+        Op::Trip => match wire::decode_spq(&parsed, num_edges) {
+            Ok(q) => (200, wire::encode_trip(&service.trip_query(&q))),
+            Err(e) => (400, wire::encode_error(&e)),
+        },
+        Op::Batch => match wire::decode_batch(&parsed, num_edges, max_batch) {
+            Ok(queries) => (
+                200,
+                wire::encode_trips(&service.batch_trip_queries(&queries)),
+            ),
+            Err(e) => (400, wire::encode_error(&e)),
+        },
+        Op::Append => match wire::decode_append(&parsed) {
+            Ok((base, payload)) => match service.append_new(base, &payload) {
+                Ok(appended) => (200, wire::encode_appended(appended)),
+                Err(e @ StoreError::WalGap { .. }) => (409, wire::encode_error(&e.to_string())),
+                Err(e @ StoreError::Corrupt { .. }) => (400, wire::encode_error(&e.to_string())),
+                Err(e) => (500, wire::encode_error(&e.to_string())),
+            },
+            Err(e) => (400, wire::encode_error(&e)),
+        },
+    }
+}
+
+// The handle must be shareable across test/driver threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerHandle>();
+    assert_send_sync::<ServerConfig>();
+    assert_send_sync::<ServerMetrics>();
+};

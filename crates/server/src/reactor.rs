@@ -1,0 +1,774 @@
+//! The single-threaded accept/IO reactor and its per-connection state
+//! machine.
+//!
+//! One thread owns every socket. It multiplexes them through the
+//! level-triggered [`Poller`](crate::sys::Poller), parses requests
+//! incrementally ([`crate::http`]), and hands complete API requests to
+//! the query service's worker pool. **The bounded in-flight window is the
+//! backpressure boundary**:
+//!
+//! * `inflight < queue_cap` — the request is dispatched to the pool.
+//! * queue full — the connection **parks** the request and the reactor
+//!   stops reading from it (bytes back up into the kernel buffer and,
+//!   once that fills, into the client's TCP window: natural
+//!   backpressure). At most one request per connection is ever parked,
+//!   so parked work is bounded by the connection count.
+//! * parked requests at the `shed_watermark` — further complete requests
+//!   are answered `503` + `Retry-After` immediately (load shedding), and
+//!   the connection stays usable.
+//!
+//! Responses travel back over a per-connection write buffer. Because the
+//! pool completes requests in any order while HTTP/1.1 pipelining
+//! requires responses in request order, every request gets a
+//! per-connection sequence number and finished responses wait in a
+//! reorder map until their turn. Workers wake the reactor through a
+//! socketpair byte.
+//!
+//! Graceful shutdown: the listener closes, already-accepted requests
+//! (dispatched *and* parked) drain normally, requests parsed after the
+//! flag are refused with `503` + `connection: close`, and the reactor
+//! exits once every response byte is flushed (or the drain timeout
+//! expires).
+
+use crate::http::{self, Limits, Parse, ParseError};
+use crate::sys::{Event, Interest, Poller};
+use crate::{Op, ServerConfig, ServerMetrics};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// A finished response traveling from a worker back to the reactor.
+pub(crate) struct Completion {
+    pub token: u64,
+    pub seq: u64,
+    pub bytes: Vec<u8>,
+    pub close: bool,
+}
+
+/// State shared between the reactor, the workers, and the handle.
+pub(crate) struct Shared {
+    pub completions: Mutex<Vec<Completion>>,
+    /// Write end of the wake-up socketpair (non-blocking; a full pipe
+    /// means a wake-up is already pending, so send errors are ignored).
+    pub wake_tx: UnixStream,
+    /// Requests dispatched to the worker pool and not yet completed —
+    /// the bounded queue the reactor gates on.
+    pub inflight: AtomicUsize,
+    pub shutdown: AtomicBool,
+    pub counters: Counters,
+}
+
+impl Shared {
+    pub(crate) fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// Monotonic server counters (snapshot: [`ServerMetrics`]).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub accepted: AtomicU64,
+    pub active: AtomicU64,
+    pub requests: AtomicU64,
+    pub responses_ok: AtomicU64,
+    pub shed: AtomicU64,
+    pub client_errors: AtomicU64,
+    pub server_errors: AtomicU64,
+    pub refused_shutdown: AtomicU64,
+    pub max_inflight: AtomicUsize,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> ServerMetrics {
+        ServerMetrics {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            refused_shutdown: self.refused_shutdown.load(Ordering::Relaxed),
+            max_inflight: self.max_inflight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Attributes a response to the right counter by status class.
+    pub(crate) fn count_status(&self, status: u16) {
+        if status < 300 {
+            self.responses_ok.fetch_add(1, Ordering::Relaxed);
+        } else if status < 500 {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Decode + execute + encode one API request; runs on a pool worker.
+pub(crate) type ApiHandler = Arc<dyn Fn(Op, &[u8]) -> (u16, String) + Send + Sync>;
+/// Render the `/stats` body; runs inline on the reactor.
+pub(crate) type StatsHandler = Arc<dyn Fn(ServerMetrics) -> String + Send + Sync>;
+/// Submit a job to the service's worker pool.
+pub(crate) type Executor = Arc<dyn Fn(Box<dyn FnOnce() + Send>) + Send + Sync>;
+
+/// The request handlers the reactor drives (type-erased so the reactor is
+/// independent of the service's backend parameter).
+pub(crate) struct Handlers {
+    pub api: ApiHandler,
+    pub stats: StatsHandler,
+    pub exec: Executor,
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Unparsed input.
+    buf: Vec<u8>,
+    /// Sequence number handed to the next parsed request.
+    next_seq: u64,
+    /// Sequence number whose response flushes next (pipelining order).
+    next_flush: u64,
+    /// Out-of-order finished responses: seq → (bytes, close-after).
+    pending: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// The one request waiting for a queue slot (backpressure parking).
+    parked: Option<(u64, Op, Vec<u8>, bool)>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Stop reading/parsing; close once every owed response is flushed.
+    close_after_flush: bool,
+    /// Read side retired before the close response flushed: set the
+    /// moment a request is routed whose response will carry
+    /// `connection: close`, or on a protocol error. Requests pipelined
+    /// behind it are **not** parsed (their responses could never be
+    /// delivered, and executing a side-effectful `/append` whose ack is
+    /// guaranteed to be dropped would invite client retries and
+    /// double-appends), and malformed bytes are not re-parsed into
+    /// duplicate error responses on every read event.
+    parse_disabled: bool,
+    peer_closed: bool,
+    last_activity: Instant,
+    interest: Interest,
+}
+
+impl Conn {
+    /// Responses promised (sequence numbers issued) but not yet moved
+    /// into the write buffer.
+    fn outstanding(&self) -> u64 {
+        self.next_seq - self.next_flush
+    }
+
+    fn write_drained(&self) -> bool {
+        self.write_pos >= self.write_buf.len()
+    }
+
+    /// Bytes owed to the peer (flush backlog): unwritten buffer plus
+    /// reordered responses not yet in it.
+    fn backlog(&self) -> usize {
+        (self.write_buf.len() - self.write_pos)
+            + self.pending.values().map(|(b, _)| b.len()).sum::<usize>()
+    }
+}
+
+pub(crate) struct Reactor {
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    /// Tokens with a parked request, oldest first.
+    parked: VecDeque<u64>,
+    parked_count: usize,
+    next_token: u64,
+    config: ServerConfig,
+    limits: Limits,
+    shared: Arc<Shared>,
+    handlers: Handlers,
+    shutdown_seen: Option<Instant>,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        listener: TcpListener,
+        wake_rx: UnixStream,
+        config: ServerConfig,
+        shared: Arc<Shared>,
+        handlers: Handlers,
+    ) -> std::io::Result<Reactor> {
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        Ok(Reactor {
+            listener: Some(listener),
+            wake_rx,
+            poller,
+            conns: HashMap::new(),
+            parked: VecDeque::new(),
+            parked_count: 0,
+            next_token: TOKEN_FIRST_CONN,
+            limits: Limits {
+                max_head_bytes: config.max_head_bytes,
+                max_body_bytes: config.max_body_bytes,
+            },
+            config,
+            shared,
+            handlers,
+            shutdown_seen: None,
+        })
+    }
+
+    pub(crate) fn run(mut self) -> std::io::Result<()> {
+        let mut events = Vec::with_capacity(128);
+        loop {
+            events.clear();
+            self.poller
+                .wait(&mut events, Some(Duration::from_millis(100)))?;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wake(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            self.process_completions();
+            self.dispatch_parked();
+            if self.sweep() {
+                return Ok(());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ accept
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.config.max_connections
+                        || stream.set_nonblocking(true).is_err()
+                    {
+                        continue; // drop: over the connection cap
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared
+                        .counters
+                        .accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.counters.active.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            token,
+                            buf: Vec::new(),
+                            next_seq: 0,
+                            next_flush: 0,
+                            pending: BTreeMap::new(),
+                            parked: None,
+                            write_buf: Vec::new(),
+                            write_pos: 0,
+                            close_after_flush: false,
+                            parse_disabled: false,
+                            peer_closed: false,
+                            last_activity: Instant::now(),
+                            interest: Interest::READ,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    // --------------------------------------------------------------- IO
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        if ev.error {
+            // Peer reset / error: flushing is pointless.
+            self.close_conn(token);
+            return;
+        }
+        if ev.writable {
+            self.flush_conn(token);
+        }
+        if ev.readable {
+            self.read_conn(token);
+        }
+        self.update_interest(token);
+    }
+
+    fn read_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !wants_read(conn) {
+            return;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                if conn.outstanding() == 0 && conn.write_drained() && conn.parked.is_none() {
+                    self.close_conn(token);
+                }
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.buf.extend_from_slice(&chunk[..n]);
+                self.advance_conn(token);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Parses and routes every complete request buffered on a connection,
+    /// until input runs dry, the connection parks, or it begins closing.
+    fn advance_conn(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.close_after_flush
+                || conn.parse_disabled
+                || conn.parked.is_some()
+                || conn.buf.is_empty()
+            {
+                return;
+            }
+            match http::try_parse(&conn.buf, &self.limits) {
+                Ok(Parse::Incomplete) => return,
+                Ok(Parse::Done(request, consumed)) => {
+                    conn.buf.drain(..consumed);
+                    self.route(token, request);
+                }
+                Err(e) => {
+                    self.protocol_error(token, &e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Answers a malformed request: mapped status, then close (the next
+    /// request boundary is unknowable after a bad head).
+    fn protocol_error(&mut self, token: u64, e: &ParseError) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        // Retire the read side now: the error response may have to wait
+        // behind earlier in-flight responses, and until it flushes the
+        // malformed bytes must not be re-parsed into duplicate error
+        // responses on every read event.
+        conn.parse_disabled = true;
+        let body = crate::wire::encode_error(e.reason());
+        let bytes = http::encode_response(e.status(), body.as_bytes(), false, None);
+        self.shared.counters.count_status(e.status());
+        self.finish(token, seq, bytes, true);
+    }
+
+    /// Routes one parsed request: inline endpoints answer immediately;
+    /// API endpoints pass the backpressure gate.
+    fn route(&mut self, token: u64, request: http::Request) {
+        self.shared
+            .counters
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let keep_alive = request.keep_alive;
+        if !keep_alive {
+            // This response will carry `connection: close`; anything the
+            // client pipelined behind it could never be answered, so stop
+            // parsing instead of executing work whose ack is guaranteed
+            // to be dropped.
+            conn.parse_disabled = true;
+        }
+
+        let op = match (request.method.as_str(), request.target.as_str()) {
+            ("GET", "/health") => {
+                let bytes = http::encode_response(200, b"{\"status\":\"ok\"}", keep_alive, None);
+                self.shared.counters.count_status(200);
+                self.finish(token, seq, bytes, !keep_alive);
+                return;
+            }
+            ("GET", "/stats") => {
+                let body = (self.handlers.stats)(self.shared.counters.snapshot());
+                let bytes = http::encode_response(200, body.as_bytes(), keep_alive, None);
+                self.shared.counters.count_status(200);
+                self.finish(token, seq, bytes, !keep_alive);
+                return;
+            }
+            ("POST", "/spq") => Op::Spq,
+            ("POST", "/trip") => Op::Trip,
+            ("POST", "/batch") => Op::Batch,
+            ("POST", "/append") => Op::Append,
+            ("GET" | "POST", _) => {
+                let known_target = matches!(
+                    request.target.as_str(),
+                    "/spq" | "/trip" | "/batch" | "/append" | "/health" | "/stats"
+                );
+                let (status, reason) = if known_target {
+                    (405, "method not allowed")
+                } else {
+                    (404, "unknown endpoint")
+                };
+                self.respond_error(token, seq, status, reason, keep_alive);
+                return;
+            }
+            _ => {
+                self.respond_error(token, seq, 405, "method not allowed", keep_alive);
+                return;
+            }
+        };
+
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            // Refuse new work while draining; tell the client to go away.
+            // The refusal closes the connection, so stop parsing too.
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.parse_disabled = true;
+            }
+            self.shared
+                .counters
+                .refused_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            let body = crate::wire::encode_error("shutting down");
+            let bytes = http::encode_response(
+                503,
+                body.as_bytes(),
+                false,
+                Some(self.config.retry_after_secs),
+            );
+            self.finish(token, seq, bytes, true);
+            return;
+        }
+
+        self.admit(token, seq, op, request.body, keep_alive);
+    }
+
+    /// The backpressure gate: dispatch into a free queue slot, park under
+    /// the watermark, shed past it.
+    fn admit(&mut self, token: u64, seq: u64, op: Op, body: Vec<u8>, keep_alive: bool) {
+        if self.shared.inflight.load(Ordering::SeqCst) < self.config.queue_cap {
+            self.dispatch(token, seq, op, body, keep_alive);
+        } else {
+            self.park_or_shed(token, seq, op, body, keep_alive);
+        }
+    }
+
+    /// Claims a queue slot and hands the request to the worker pool.
+    /// Callers have checked `inflight < queue_cap`; the reactor thread is
+    /// the only incrementer (workers only decrement), so the
+    /// check-then-add cannot overshoot the cap.
+    fn dispatch(&mut self, token: u64, seq: u64, op: Op, body: Vec<u8>, keep_alive: bool) {
+        let now_inflight = self.shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        debug_assert!(now_inflight <= self.config.queue_cap);
+        self.shared
+            .counters
+            .max_inflight
+            .fetch_max(now_inflight, Ordering::Relaxed);
+
+        let shared = Arc::clone(&self.shared);
+        let api = Arc::clone(&self.handlers.api);
+        let worker_delay = self.config.worker_delay;
+        (self.handlers.exec)(Box::new(move || {
+            if let Some(delay) = worker_delay {
+                std::thread::sleep(delay);
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| api(op, &body)));
+            let (status, response_body) =
+                result.unwrap_or_else(|_| (500, crate::wire::encode_error("internal error")));
+            shared.counters.count_status(status);
+            let bytes = http::encode_response(status, response_body.as_bytes(), keep_alive, None);
+            shared
+                .completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Completion {
+                    token,
+                    seq,
+                    bytes,
+                    close: !keep_alive,
+                });
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            shared.wake();
+        }));
+    }
+
+    /// Queue-full path: park under the watermark, shed past it.
+    fn park_or_shed(&mut self, token: u64, seq: u64, op: Op, body: Vec<u8>, keep_alive: bool) {
+        if self.parked_count < self.config.shed_watermark {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            debug_assert!(conn.parked.is_none());
+            conn.parked = Some((seq, op, body, keep_alive));
+            self.parked.push_back(token);
+            self.parked_count += 1;
+            // `wants_read` is now false: the reactor stops reading this
+            // connection until the parked request gets a slot.
+        } else {
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let body = crate::wire::encode_error("overloaded, retry later");
+            let bytes = http::encode_response(
+                503,
+                body.as_bytes(),
+                keep_alive,
+                Some(self.config.retry_after_secs),
+            );
+            self.finish(token, seq, bytes, !keep_alive);
+        }
+    }
+
+    fn respond_error(&mut self, token: u64, seq: u64, status: u16, reason: &str, keep_alive: bool) {
+        self.shared.counters.count_status(status);
+        let body = crate::wire::encode_error(reason);
+        let bytes = http::encode_response(status, body.as_bytes(), keep_alive, None);
+        self.finish(token, seq, bytes, !keep_alive);
+    }
+
+    /// Hands a finished response to the connection's reorder map and
+    /// flushes whatever became in-order.
+    fn finish(&mut self, token: u64, seq: u64, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.close_after_flush {
+            // A `connection: close` response already flushed ahead of this
+            // seq; nothing may follow it on the wire, and the seq was
+            // already settled by `flush_ready`'s fast-forward.
+            return;
+        }
+        conn.pending.insert(seq, (bytes, close));
+        Self::flush_ready(conn);
+        self.flush_conn(token);
+        self.update_interest(token);
+    }
+
+    /// Moves in-order responses from the reorder map into the write
+    /// buffer.
+    fn flush_ready(conn: &mut Conn) {
+        while let Some((bytes, close)) = conn.pending.remove(&conn.next_flush) {
+            conn.write_buf.extend_from_slice(&bytes);
+            conn.next_flush += 1;
+            if close {
+                conn.close_after_flush = true;
+                // Nothing may follow a `connection: close` on the wire:
+                // drop responses already completed for later seqs and
+                // fast-forward the flush cursor so every promised seq
+                // counts as settled — the close/reap paths are gated on
+                // `outstanding() == 0` and would otherwise leak the
+                // connection forever.
+                conn.pending.clear();
+                conn.next_flush = conn.next_seq;
+                break;
+            }
+        }
+    }
+
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    conn.write_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        if conn.write_drained() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            if conn.close_after_flush && conn.outstanding() == 0 {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    // ------------------------------------------------------ housekeeping
+
+    fn process_completions(&mut self) {
+        let completed: Vec<Completion> = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for c in completed {
+            // The connection may have died while the worker ran; its
+            // response is simply dropped.
+            self.finish(c.token, c.seq, c.bytes, c.close);
+        }
+    }
+
+    /// Gives freed queue slots to parked requests, oldest first, and
+    /// resumes reading on their connections.
+    fn dispatch_parked(&mut self) {
+        while self.shared.inflight.load(Ordering::SeqCst) < self.config.queue_cap {
+            let Some(token) = self.parked.pop_front() else {
+                return;
+            };
+            let Some(conn) = self.conns.get_mut(&token) else {
+                self.parked_count -= 1;
+                continue;
+            };
+            let Some((seq, op, body, keep_alive)) = conn.parked.take() else {
+                self.parked_count -= 1;
+                continue;
+            };
+            self.parked_count -= 1;
+            self.dispatch(token, seq, op, body, keep_alive);
+            // The connection can read (and possibly park) again.
+            self.advance_conn(token);
+            self.update_interest(token);
+        }
+    }
+
+    /// Periodic sweep: idle timeouts, shutdown draining. Returns `true`
+    /// when the reactor should exit.
+    fn sweep(&mut self) -> bool {
+        let shutting_down = self.shared.shutdown.load(Ordering::SeqCst);
+        if shutting_down && self.listener.is_some() {
+            if let Some(listener) = self.listener.take() {
+                let _ = self.poller.delete(listener.as_raw_fd());
+            }
+            self.shutdown_seen = Some(Instant::now());
+        }
+
+        let now = Instant::now();
+        let idle: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|c| {
+                let drained = c.outstanding() == 0 && c.write_drained() && c.parked.is_none();
+                // Exempt from the idle clock only while *we* owe work we
+                // can still deliver: a response pending in a worker
+                // (`outstanding` with the write side drained) or a parked
+                // request waiting for a queue slot. A connection stalled
+                // on an unread write backlog is the client's fault — the
+                // write path bumps `last_activity` on every successful
+                // byte, so no progress for `idle_timeout` means a
+                // non-reading peer, and it is reaped like any other idle
+                // connection (otherwise non-readers would pin buffers and
+                // connection slots forever).
+                let waiting_on_us =
+                    (c.outstanding() > 0 && c.write_drained()) || c.parked.is_some();
+                let idle_timed_out = !waiting_on_us
+                    && now.duration_since(c.last_activity) > self.config.idle_timeout;
+                // During a drain, a quiesced connection closes immediately.
+                idle_timed_out || (shutting_down && drained) || (c.peer_closed && drained)
+            })
+            .map(|c| c.token)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+
+        if !shutting_down {
+            return false;
+        }
+        let drained = self.conns.is_empty()
+            && self.shared.inflight.load(Ordering::SeqCst) == 0
+            && self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+        let expired = self
+            .shutdown_seen
+            .is_some_and(|t| now.duration_since(t) > self.config.drain_timeout);
+        drained || expired
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.parked.is_some() {
+                self.parked_count -= 1;
+                self.parked.retain(|&t| t != token);
+            }
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let desired = Interest {
+            readable: wants_read(conn),
+            writable: !conn.write_drained(),
+        };
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+}
+
+/// Response bytes a connection may owe before the reactor stops reading
+/// from it (write-side backpressure against clients that pipeline
+/// requests without consuming responses).
+const MAX_RESPONSE_BACKLOG: usize = 256 * 1024;
+
+/// Whether the reactor should read more bytes from a connection: not
+/// while it is closing, parked behind the queue, or owing the peer more
+/// response bytes than the backlog cap.
+fn wants_read(conn: &Conn) -> bool {
+    !conn.close_after_flush
+        && !conn.parse_disabled
+        && !conn.peer_closed
+        && conn.parked.is_none()
+        && conn.backlog() < MAX_RESPONSE_BACKLOG
+}

@@ -1,0 +1,305 @@
+//! The readiness poller: a minimal, self-contained `epoll` binding.
+//!
+//! The workspace forbids external registry crates, so instead of `mio`
+//! this module declares the three `epoll` entry points itself and links
+//! them from the C library the standard library already links. This is
+//! the **only** unsafe surface of the crate: three foreign calls plus one
+//! `#[repr(C)]` struct, wrapped in a safe [`Poller`] API (owned fd,
+//! checked returns, no raw pointers escaping).
+//!
+//! On non-Linux Unixes the same API is backed by POSIX `poll(2)` — one
+//! foreign call — so the crate builds and behaves identically (Linux is
+//! the deployment target; the fallback exists for development machines).
+//!
+//! The poller is **level-triggered**: an fd with unread input or writable
+//! space keeps reporting ready, so the reactor never needs the
+//! drain-until-`EAGAIN` discipline edge-triggering would force on it.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What a registration wants to be woken for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or peer-closed — the subsequent `read` reports which).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hang-up condition; the connection should be flushed-and-closed.
+    pub error: bool,
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::Poller;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    use std::ffi::c_int;
+
+    // <sys/epoll.h>. On x86-64 the kernel ABI packs the event struct to
+    // 12 bytes; other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// A level-triggered `epoll` instance.
+    pub struct Poller {
+        epfd: OwnedFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; a non-negative
+            // return is a freshly created fd we immediately take ownership
+            // of.
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+            use std::os::fd::AsRawFd;
+            let mut ev = EpollEvent {
+                events: EPOLLRDHUP
+                    | if interest.readable { EPOLLIN } else { 0 }
+                    | if interest.writable { EPOLLOUT } else { 0 },
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers an fd.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        /// Changes an fd's interest set.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        /// Deregisters an fd (must happen before the fd is closed).
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, Interest::READ, 0)
+        }
+
+        /// Blocks until readiness or timeout; appends events to `out`.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            use std::os::fd::AsRawFd;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 128];
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as c_int,
+            };
+            // SAFETY: `buf` is a valid writable array of `buf.len()`
+            // events; the kernel writes at most `maxevents` entries.
+            let n = match cvt(unsafe {
+                epoll_wait(
+                    self.epfd.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms,
+                )
+            }) {
+                Ok(n) => n as usize,
+                // A signal is not an error; report an empty wake-up.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use fallback::Poller;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    use std::ffi::{c_int, c_uint};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    /// `poll(2)`-backed stand-in with the same level-triggered semantics.
+    pub struct Poller {
+        registered: std::sync::Mutex<HashMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: std::sync::Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered
+                .lock()
+                .unwrap()
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.add(fd, token, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, u64, Interest)> = self
+                .registered
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&fd, &(token, interest))| (fd, token, interest))
+                .collect();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as c_int,
+            };
+            // SAFETY: `fds` is a valid writable array of `fds.len()`
+            // entries for the duration of the call.
+            let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms) };
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    error: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("tthr-server requires a Unix platform (epoll or poll readiness)");
+
+/// Compile-time re-export check: both backends expose the same surface.
+#[allow(dead_code)]
+fn _api_check(p: &Poller) -> io::Result<()> {
+    let _ = |fd: RawFd, t: u64| p.add(fd, t, Interest::READ);
+    let _ = |fd: RawFd, t: u64| p.modify(fd, t, Interest::READ);
+    let _ = |fd: RawFd| p.delete(fd);
+    let mut v = Vec::new();
+    p.wait(&mut v, Some(Duration::from_millis(0)))
+}

@@ -1,0 +1,547 @@
+//! The wire protocol: JSON encodings of the service's request and
+//! response types.
+//!
+//! Every encoder is a pure function of the in-memory value, so "the HTTP
+//! response is byte-identical to calling [`QueryService`] in-process"
+//! (`tests/server_equivalence.rs`) is a meaningful equation: the harness
+//! encodes the in-process result with the *same* functions and compares
+//! raw bytes. Floats use Rust's shortest-round-trip formatting; integer
+//! fields (timestamps in particular) never pass through `f64`
+//! ([`crate::json`]).
+//!
+//! [`QueryService`]: tthr_service::QueryService
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Request body                   | Response body |
+//! |---------------|--------------------------------|---------------|
+//! | `GET /health` | —                              | `{"status":"ok"}` |
+//! | `GET /stats`  | —                              | service + server statistics |
+//! | `POST /spq`   | [SPQ](decode_spq)              | `{"values":[…],"fallback":…}` |
+//! | `POST /trip`  | [SPQ](decode_spq)              | trip result (stats, subs, histogram) |
+//! | `POST /batch` | `{"queries":[SPQ,…]}`          | `{"trips":[…]}` |
+//! | `POST /append`| `{"base":n?,"trajectories":…}` | `{"appended":n}` |
+//!
+//! An SPQ is `{"path":[edge,…],"interval":I,"beta":n?,"user":u?,`
+//! `"exclude":id?}` with `I` either `{"fixed":[start,end)}` spelled
+//! `{"type":"fixed","start":s,"end":e}` or
+//! `{"type":"periodic","start_sod":s,"len":l}`. An append trajectory is
+//! `{"user":u,"entries":[[edge,enter_time,travel_time],…]}`.
+
+use crate::json::Json;
+use tthr_core::{Filter, Spq, TimeInterval, TravelTimes, TripQuery};
+use tthr_histogram::Histogram;
+use tthr_metrics::LogHistogram;
+use tthr_network::Path;
+use tthr_service::{Endpoint, LatencySummary, PerEndpoint, ServiceStats};
+use tthr_trajectory::{TrajEntry, TrajId, UserId};
+
+/// A request the wire layer refuses, with the reason sent back as the
+/// `400` body.
+pub type WireError = String;
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn err(reason: impl Into<String>) -> WireError {
+    reason.into()
+}
+
+/// Encodes an error body `{"error": reason}`.
+pub fn encode_error(reason: &str) -> String {
+    obj(vec![("error", Json::Str(reason.to_string()))]).encode()
+}
+
+// ---------------------------------------------------------------- queries
+
+/// Decodes an SPQ, validating edges against the network size (an
+/// out-of-range edge would panic deep inside the engine).
+pub fn decode_spq(v: &Json, num_edges: usize) -> Result<Spq, WireError> {
+    let edges = v
+        .get("path")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("\"path\" must be an array of edge ids"))?;
+    let mut path = Vec::with_capacity(edges.len());
+    for e in edges {
+        let id = e
+            .as_u64()
+            .filter(|&id| id < num_edges as u64)
+            .ok_or_else(|| err(format!("edge ids must be integers < {num_edges}")))?;
+        path.push(tthr_network::EdgeId(id as u32));
+    }
+    let path = Path::try_new(path).map_err(|e| err(format!("invalid path: {e:?}")))?;
+    let interval = decode_interval(
+        v.get("interval")
+            .ok_or_else(|| err("missing \"interval\""))?,
+    )?;
+    let mut spq = Spq::new(path, interval);
+    if let Some(beta) = v.get("beta") {
+        spq = spq.with_beta(
+            beta.as_u64()
+                .filter(|&b| b <= u32::MAX as u64)
+                .ok_or_else(|| err("\"beta\" must be a u32"))? as u32,
+        );
+    }
+    if let Some(user) = v.get("user") {
+        spq = spq.with_user(UserId(
+            user.as_u64()
+                .filter(|&u| u <= u32::MAX as u64)
+                .ok_or_else(|| err("\"user\" must be a u32"))? as u32,
+        ));
+    }
+    if let Some(ex) = v.get("exclude") {
+        spq = spq.without_trajectory(TrajId(
+            ex.as_u64()
+                .filter(|&t| t <= u32::MAX as u64)
+                .ok_or_else(|| err("\"exclude\" must be a u32"))? as u32,
+        ));
+    }
+    Ok(spq)
+}
+
+fn decode_interval(v: &Json) -> Result<TimeInterval, WireError> {
+    match v.get("type").and_then(Json::as_str) {
+        Some("fixed") => {
+            let start = v
+                .get("start")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| err("fixed interval needs integer \"start\""))?;
+            let end = v
+                .get("end")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| err("fixed interval needs integer \"end\""))?;
+            if start >= end {
+                return Err(err("fixed interval must have start < end"));
+            }
+            Ok(TimeInterval::fixed(start, end))
+        }
+        Some("periodic") => {
+            let start_sod = v
+                .get("start_sod")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| err("periodic interval needs integer \"start_sod\""))?;
+            let len = v
+                .get("len")
+                .and_then(Json::as_i64)
+                .filter(|&l| l > 0)
+                .ok_or_else(|| err("periodic interval needs positive \"len\""))?;
+            Ok(TimeInterval::periodic(start_sod, len))
+        }
+        _ => Err(err("\"interval\" needs \"type\": \"fixed\" | \"periodic\"")),
+    }
+}
+
+/// Encodes an SPQ (the client half of the protocol; also used by the
+/// bench driver and the differential harness).
+pub fn encode_spq(spq: &Spq) -> String {
+    let mut members = vec![
+        (
+            "path",
+            Json::Arr(
+                spq.path
+                    .edges()
+                    .iter()
+                    .map(|e| Json::Int(e.0 as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "interval",
+            match spq.interval {
+                TimeInterval::Fixed { start, end } => obj(vec![
+                    ("type", Json::Str("fixed".into())),
+                    ("start", Json::Int(start)),
+                    ("end", Json::Int(end)),
+                ]),
+                TimeInterval::Periodic { start_sod, len } => obj(vec![
+                    ("type", Json::Str("periodic".into())),
+                    ("start_sod", Json::Int(start_sod)),
+                    ("len", Json::Int(len)),
+                ]),
+            },
+        ),
+    ];
+    if let Some(beta) = spq.beta {
+        members.push(("beta", Json::Int(beta as i64)));
+    }
+    if let Filter::User(u) = spq.filter {
+        members.push(("user", Json::Int(u.0 as i64)));
+    }
+    if let Some(ex) = spq.exclude {
+        members.push(("exclude", Json::Int(ex.0 as i64)));
+    }
+    obj(members).encode()
+}
+
+/// Decodes a `/batch` request body.
+pub fn decode_batch(v: &Json, num_edges: usize, max: usize) -> Result<Vec<Spq>, WireError> {
+    let queries = v
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("\"queries\" must be an array of SPQs"))?;
+    if queries.len() > max {
+        return Err(err(format!("batch too large (max {max} queries)")));
+    }
+    queries.iter().map(|q| decode_spq(q, num_edges)).collect()
+}
+
+// -------------------------------------------------------------- responses
+
+fn float_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+/// Encodes a `/spq` response.
+pub fn encode_travel_times(tt: &TravelTimes) -> String {
+    obj(vec![
+        ("values", float_arr(&tt.values)),
+        ("fallback", Json::Bool(tt.fallback)),
+    ])
+    .encode()
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    obj(vec![
+        ("bucket_width", Json::Num(h.bucket_width())),
+        ("total", Json::Num(h.total())),
+        (
+            "buckets",
+            Json::Arr(
+                h.iter()
+                    .map(|(edge, mass)| Json::Arr(vec![Json::Num(edge), Json::Num(mass)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn trip_json(trip: &TripQuery) -> Json {
+    let stats = &trip.stats;
+    obj(vec![
+        ("predicted_duration", Json::Num(trip.predicted_duration())),
+        (
+            "histogram",
+            trip.histogram.as_ref().map_or(Json::Null, histogram_json),
+        ),
+        (
+            "subs",
+            Json::Arr(
+                trip.subs
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            (
+                                "path",
+                                Json::Arr(
+                                    s.path
+                                        .edges()
+                                        .iter()
+                                        .map(|e| Json::Int(e.0 as i64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("mean", Json::Num(s.mean)),
+                            ("fallback", Json::Bool(s.fallback)),
+                            ("values", float_arr(&s.values)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "stats",
+            obj(vec![
+                (
+                    "initial_subqueries",
+                    Json::Int(stats.initial_subqueries as i64),
+                ),
+                ("final_subqueries", Json::Int(stats.final_subqueries as i64)),
+                ("widenings", Json::Int(stats.widenings as i64)),
+                ("path_splits", Json::Int(stats.path_splits as i64)),
+                ("filter_drops", Json::Int(stats.filter_drops as i64)),
+                ("full_fallbacks", Json::Int(stats.full_fallbacks as i64)),
+                (
+                    "estimator_rejections",
+                    Json::Int(stats.estimator_rejections as i64),
+                ),
+                ("index_queries", Json::Int(stats.index_queries as i64)),
+                (
+                    "estimate_fallbacks",
+                    Json::Int(stats.estimate_fallbacks as i64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes a `/trip` response.
+pub fn encode_trip(trip: &TripQuery) -> String {
+    trip_json(trip).encode()
+}
+
+/// Encodes a `/batch` response (trips in request order).
+pub fn encode_trips(trips: &[TripQuery]) -> String {
+    obj(vec![(
+        "trips",
+        Json::Arr(trips.iter().map(trip_json).collect()),
+    )])
+    .encode()
+}
+
+// ---------------------------------------------------------------- appends
+
+/// Decodes an `/append` request body into the optional idempotency stamp
+/// and the raw trajectory payloads
+/// ([`QueryService::append_new`](tthr_service::QueryService::append_new)).
+#[allow(clippy::type_complexity)]
+pub fn decode_append(v: &Json) -> Result<(Option<u64>, Vec<(UserId, Vec<TrajEntry>)>), WireError> {
+    let base = match v.get("base") {
+        None | Some(Json::Null) => None,
+        Some(b) => Some(b.as_u64().ok_or_else(|| err("\"base\" must be a u64"))?),
+    };
+    let trajectories = v
+        .get("trajectories")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("\"trajectories\" must be an array"))?;
+    let mut out = Vec::with_capacity(trajectories.len());
+    for t in trajectories {
+        let user = t
+            .get("user")
+            .and_then(Json::as_u64)
+            .filter(|&u| u <= u32::MAX as u64)
+            .ok_or_else(|| err("trajectory needs u32 \"user\""))?;
+        let entries = t
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("trajectory needs \"entries\" [[edge,enter,tt],…]"))?;
+        let mut decoded = Vec::with_capacity(entries.len());
+        for e in entries {
+            let triple = e.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+                err("each entry must be a [edge, enter_time, travel_time] triple")
+            })?;
+            let edge = triple[0]
+                .as_u64()
+                .filter(|&id| id <= u32::MAX as u64)
+                .ok_or_else(|| err("entry edge must be a u32"))?;
+            let enter = triple[1]
+                .as_i64()
+                .ok_or_else(|| err("entry enter_time must be an integer"))?;
+            let tt = triple[2]
+                .as_f64()
+                .filter(|t| t.is_finite())
+                .ok_or_else(|| err("entry travel_time must be a finite number"))?;
+            decoded.push(TrajEntry::new(tthr_network::EdgeId(edge as u32), enter, tt));
+        }
+        out.push((UserId(user as u32), decoded));
+    }
+    Ok((base, out))
+}
+
+/// Encodes an `/append` request body (client half).
+pub fn encode_append_request(base: Option<u64>, payload: &[(UserId, Vec<TrajEntry>)]) -> String {
+    let mut members = Vec::new();
+    if let Some(b) = base {
+        members.push(("base", Json::Int(b as i64)));
+    }
+    members.push((
+        "trajectories",
+        Json::Arr(
+            payload
+                .iter()
+                .map(|(user, entries)| {
+                    obj(vec![
+                        ("user", Json::Int(user.0 as i64)),
+                        (
+                            "entries",
+                            Json::Arr(
+                                entries
+                                    .iter()
+                                    .map(|e| {
+                                        Json::Arr(vec![
+                                            Json::Int(e.edge.0 as i64),
+                                            Json::Int(e.enter_time),
+                                            Json::Num(e.travel_time),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    obj(members).encode()
+}
+
+/// Encodes an `/append` response.
+pub fn encode_appended(appended: usize) -> String {
+    obj(vec![("appended", Json::Int(appended as i64))]).encode()
+}
+
+// ------------------------------------------------------------------ stats
+
+fn summary_json(s: &LatencySummary) -> Json {
+    obj(vec![
+        ("count", Json::Int(s.count as i64)),
+        ("p50_ms", Json::Num(s.p50_ms)),
+        ("p95_ms", Json::Num(s.p95_ms)),
+        ("p99_ms", Json::Num(s.p99_ms)),
+        ("mean_ms", Json::Num(s.mean_ms)),
+        ("max_ms", Json::Num(s.max_ms)),
+    ])
+}
+
+fn buckets_json(h: &LogHistogram) -> Json {
+    Json::Arr(
+        h.nonzero_buckets()
+            .map(|(idx, count)| Json::Arr(vec![Json::Int(idx as i64), Json::Int(count as i64)]))
+            .collect(),
+    )
+}
+
+/// Encodes the `/stats` response: the [`ServiceStats`] snapshot, the raw
+/// per-endpoint latency bucket export (`ns` log-buckets — see
+/// [`LogHistogram::nonzero_buckets`]), and the server-side counters.
+pub fn encode_stats(
+    stats: &ServiceStats,
+    histograms: &PerEndpoint<LogHistogram>,
+    server: &crate::ServerMetrics,
+) -> String {
+    let endpoints = Endpoint::ALL
+        .iter()
+        .map(|&e| {
+            (
+                e.name().to_string(),
+                obj(vec![
+                    ("latency", summary_json(&stats.endpoints[e])),
+                    ("buckets_ns", buckets_json(&histograms[e])),
+                ]),
+            )
+        })
+        .collect();
+    obj(vec![
+        ("spq_queries", Json::Int(stats.spq_queries as i64)),
+        ("trip_queries", Json::Int(stats.trip_queries as i64)),
+        ("generation", Json::Int(stats.generation as i64)),
+        ("throughput_qps", Json::Num(stats.throughput_qps)),
+        ("uptime_secs", Json::Num(stats.uptime.as_secs_f64())),
+        ("latency", summary_json(&stats.latency)),
+        ("endpoints", Json::Obj(endpoints)),
+        (
+            "cache",
+            obj(vec![
+                ("hits", Json::Int(stats.cache.hits as i64)),
+                ("misses", Json::Int(stats.cache.misses as i64)),
+                ("evictions", Json::Int(stats.cache.evictions as i64)),
+                ("invalidations", Json::Int(stats.cache.invalidations as i64)),
+                ("entries", Json::Int(stats.cache.entries as i64)),
+            ]),
+        ),
+        (
+            "server",
+            obj(vec![
+                ("accepted", Json::Int(server.accepted as i64)),
+                (
+                    "active_connections",
+                    Json::Int(server.active_connections as i64),
+                ),
+                ("requests", Json::Int(server.requests as i64)),
+                ("responses_ok", Json::Int(server.responses_ok as i64)),
+                ("shed", Json::Int(server.shed as i64)),
+                ("client_errors", Json::Int(server.client_errors as i64)),
+                ("server_errors", Json::Int(server.server_errors as i64)),
+                (
+                    "refused_shutdown",
+                    Json::Int(server.refused_shutdown as i64),
+                ),
+                ("max_inflight", Json::Int(server.max_inflight as i64)),
+            ]),
+        ),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spq_roundtrips_through_the_wire() {
+        let spq = Spq::new(
+            Path::new(vec![tthr_network::EdgeId(0), tthr_network::EdgeId(3)]),
+            TimeInterval::fixed(-5, i64::MAX / 4),
+        )
+        .with_beta(7)
+        .with_user(UserId(2))
+        .without_trajectory(TrajId(11));
+        let encoded = encode_spq(&spq);
+        let back = decode_spq(&json::parse(encoded.as_bytes()).unwrap(), 6).unwrap();
+        assert_eq!(back, spq, "fixed-interval query");
+
+        let periodic = Spq::new(
+            Path::new(vec![tthr_network::EdgeId(5)]),
+            TimeInterval::periodic(8 * 3600, 1800),
+        );
+        let encoded = encode_spq(&periodic);
+        let back = decode_spq(&json::parse(encoded.as_bytes()).unwrap(), 6).unwrap();
+        assert_eq!(back, periodic, "periodic query");
+    }
+
+    #[test]
+    fn spq_validation_rejects_bad_input() {
+        let reject = |body: &str| {
+            decode_spq(&json::parse(body.as_bytes()).unwrap(), 6)
+                .expect_err(&format!("{body} must be rejected"))
+        };
+        reject(r#"{}"#);
+        reject(r#"{"path":[],"interval":{"type":"fixed","start":0,"end":1}}"#);
+        reject(r#"{"path":[6],"interval":{"type":"fixed","start":0,"end":1}}"#);
+        reject(r#"{"path":[-1],"interval":{"type":"fixed","start":0,"end":1}}"#);
+        reject(r#"{"path":[0],"interval":{"type":"fixed","start":5,"end":5}}"#);
+        reject(r#"{"path":[0],"interval":{"type":"periodic","start_sod":0,"len":0}}"#);
+        reject(r#"{"path":[0],"interval":{"type":"weekly","start":0,"end":1}}"#);
+        reject(r#"{"path":[0],"interval":{"type":"fixed","start":0,"end":1},"beta":-2}"#);
+        reject(r#"{"path":[0.5],"interval":{"type":"fixed","start":0,"end":1}}"#);
+    }
+
+    #[test]
+    fn append_roundtrips() {
+        let payload = vec![(
+            UserId(3),
+            vec![
+                TrajEntry::new(tthr_network::EdgeId(1), 10, 6.5),
+                TrajEntry::new(tthr_network::EdgeId(2), 17, 3.25),
+            ],
+        )];
+        let encoded = encode_append_request(Some(42), &payload);
+        let (base, back) = decode_append(&json::parse(encoded.as_bytes()).unwrap()).unwrap();
+        assert_eq!(base, Some(42));
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, UserId(3));
+        assert_eq!(back[0].1, payload[0].1);
+    }
+
+    #[test]
+    fn travel_times_encoding_is_bit_exact() {
+        let tt = TravelTimes {
+            values: vec![10.0, 1.0 / 3.0, 11.25].into(),
+            fallback: false,
+        };
+        let s = encode_travel_times(&tt);
+        let v = json::parse(s.as_bytes()).unwrap();
+        let values = v.get("values").unwrap().as_arr().unwrap();
+        assert_eq!(
+            values[1].as_f64().unwrap().to_bits(),
+            (1.0f64 / 3.0).to_bits()
+        );
+        assert_eq!(v.get("fallback").unwrap().as_bool(), Some(false));
+    }
+}

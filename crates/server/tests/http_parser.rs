@@ -1,0 +1,204 @@
+//! Property battery for the incremental HTTP parser.
+//!
+//! * **Incremental ≡ one-shot**: for generated valid requests, parsing
+//!   any strict prefix reports `Incomplete` (never an error, never a
+//!   premature request), and the first complete parse — at exactly the
+//!   full length — equals the one-shot parse, with an exact consumed
+//!   count (the pipelining invariant).
+//! * **Malformed corpus**: random mutations of valid requests and raw
+//!   fuzz bytes never panic the parser and map to `400`/`413`/`431` when
+//!   rejected.
+
+use proptest::collection;
+use tthr_server::http::{try_parse, Limits, Parse, ParseError, Request};
+
+const LIMITS: Limits = Limits {
+    max_head_bytes: 4096,
+    max_body_bytes: 4096,
+};
+
+/// Builds a valid request from a generated spec, returning the bytes and
+/// the parse the parser must produce.
+fn build_request(
+    is_post: bool,
+    path_idx: usize,
+    headers: &[(u8, u8)],
+    body: &[u8],
+    conn: u8,
+) -> (Vec<u8>, Request) {
+    let method = if is_post { "POST" } else { "GET" };
+    let target = ["/spq", "/trip", "/batch", "/append", "/health"][path_idx % 5];
+    let mut text = format!("{method} {target} HTTP/1.1\r\n");
+    for (i, &(a, b)) in headers.iter().enumerate() {
+        text.push_str(&format!(
+            "x-h{i}-{}: v{}\r\n",
+            (b'a' + a % 26) as char,
+            (b'a' + b % 26) as char
+        ));
+    }
+    let keep_alive = match conn % 3 {
+        1 => {
+            text.push_str("connection: close\r\n");
+            false
+        }
+        2 => {
+            text.push_str("Connection: Keep-Alive\r\n");
+            true
+        }
+        _ => true,
+    };
+    let body = if is_post { body } else { &[] };
+    if is_post {
+        text.push_str(&format!("content-length: {}\r\n", body.len()));
+    }
+    text.push_str("\r\n");
+    let mut bytes = text.into_bytes();
+    bytes.extend_from_slice(body);
+    (
+        bytes,
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            keep_alive,
+            body: body.to_vec(),
+        },
+    )
+}
+
+proptest::proptest! {
+    /// Valid requests split at every byte boundary: strict prefixes are
+    /// `Incomplete`, the full buffer parses to exactly the expected
+    /// request, and the consumed count is exact.
+    #[test]
+    fn incremental_parse_equals_one_shot(
+        is_post in proptest::bool::ANY,
+        path_idx in 0usize..5,
+        headers in collection::vec((0u8..26, 0u8..26), 0..5),
+        body in collection::vec(0u8..255, 0..40),
+        conn in 0u8..3,
+    ) {
+        let (bytes, expected) = build_request(is_post, path_idx, &headers, &body, conn);
+
+        // One-shot.
+        let Parse::Done(request, consumed) = try_parse(&bytes, &LIMITS).expect("valid request")
+        else {
+            panic!("complete request must parse");
+        };
+        proptest::prop_assert_eq!(&request, &expected);
+        proptest::prop_assert_eq!(consumed, bytes.len());
+
+        // Every strict prefix: Incomplete — never an error, never early.
+        for cut in 0..bytes.len() {
+            match try_parse(&bytes[..cut], &LIMITS) {
+                Ok(Parse::Incomplete) => {}
+                other => panic!("prefix {cut}/{} must be Incomplete, got {other:?}", bytes.len()),
+            }
+        }
+
+        // Incremental feed: grow one byte at a time; the first complete
+        // parse happens exactly at the end and equals the one-shot parse.
+        let mut buf = Vec::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            buf.push(b);
+            match try_parse(&buf, &LIMITS).expect("valid request prefix") {
+                Parse::Incomplete => proptest::prop_assert!(i + 1 < bytes.len()),
+                Parse::Done(req, used) => {
+                    proptest::prop_assert_eq!(i + 1, bytes.len(), "no early completion");
+                    proptest::prop_assert_eq!(&req, &expected);
+                    proptest::prop_assert_eq!(used, bytes.len());
+                }
+            }
+        }
+    }
+
+    /// Two pipelined requests: the first parse consumes exactly the first
+    /// request; the remainder parses to the second.
+    #[test]
+    fn pipelined_requests_split_exactly(
+        first_post in proptest::bool::ANY,
+        second_post in proptest::bool::ANY,
+        body_a in collection::vec(0u8..255, 0..30),
+        body_b in collection::vec(0u8..255, 0..30),
+        paths in (0usize..5, 0usize..5),
+    ) {
+        let (bytes_a, expected_a) = build_request(first_post, paths.0, &[], &body_a, 0);
+        let (bytes_b, expected_b) = build_request(second_post, paths.1, &[(1, 2)], &body_b, 1);
+        let mut stream = bytes_a.clone();
+        stream.extend_from_slice(&bytes_b);
+
+        let Parse::Done(req_a, used_a) = try_parse(&stream, &LIMITS).expect("pipelined head")
+        else {
+            panic!("first request must parse");
+        };
+        proptest::prop_assert_eq!(req_a, expected_a);
+        proptest::prop_assert_eq!(used_a, bytes_a.len(), "must not eat into the next request");
+        let Parse::Done(req_b, used_b) =
+            try_parse(&stream[used_a..], &LIMITS).expect("pipelined tail")
+        else {
+            panic!("second request must parse");
+        };
+        proptest::prop_assert_eq!(req_b, expected_b);
+        proptest::prop_assert_eq!(used_a + used_b, stream.len());
+    }
+
+    /// Mutated valid requests: any single-byte corruption either still
+    /// parses, stays incomplete, or maps to a 4xx — never panics.
+    #[test]
+    fn corrupted_requests_never_panic(
+        is_post in proptest::bool::ANY,
+        headers in collection::vec((0u8..26, 0u8..26), 0..4),
+        body in collection::vec(0u8..255, 0..30),
+        flip_at in 0usize..200,
+        flip_to in 0u8..255,
+    ) {
+        let (mut bytes, _) = build_request(is_post, 0, &headers, &body, 0);
+        let at = flip_at % bytes.len();
+        bytes[at] = flip_to;
+        match try_parse(&bytes, &LIMITS) {
+            Ok(_) => {}
+            Err(e) => proptest::prop_assert!(
+                matches!(e.status(), 400 | 413 | 431),
+                "unexpected status {} for {:?}", e.status(), e
+            ),
+        }
+    }
+
+    /// Raw fuzz bytes against tight limits: no panic; rejections carry a
+    /// 4xx status and a reason.
+    #[test]
+    fn raw_fuzz_never_panics(fuzz in collection::vec(0u8..255, 0..256)) {
+        let tight = Limits { max_head_bytes: 64, max_body_bytes: 32 };
+        match try_parse(&fuzz, &tight) {
+            Ok(_) => {}
+            Err(e) => {
+                proptest::prop_assert!(matches!(e.status(), 400 | 413 | 431));
+                proptest::prop_assert!(!e.reason().is_empty());
+            }
+        }
+    }
+}
+
+/// The slow-loris shape at parser level: an endless header section keeps
+/// reporting `Incomplete` until the head limit trips `431` — it can never
+/// silently consume unbounded memory as "still incomplete".
+#[test]
+fn unterminated_heads_hit_the_431_limit() {
+    let tight = Limits {
+        max_head_bytes: 128,
+        max_body_bytes: 64,
+    };
+    let mut buf = b"POST /spq HTTP/1.1\r\n".to_vec();
+    loop {
+        match try_parse(&buf, &tight) {
+            Ok(Parse::Incomplete) => {
+                assert!(
+                    buf.len() <= tight.max_head_bytes + 4,
+                    "parser must give up once past the head limit"
+                );
+                buf.extend_from_slice(b"x: y\r\n");
+            }
+            Err(ParseError::HeadTooLarge) => return,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

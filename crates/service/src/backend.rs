@@ -21,7 +21,7 @@
 
 use tthr_core::{IndexBackend, ShardedSntIndex, ShardedWalBatch, SntIndex, Spq, WalBatch};
 use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
-use tthr_trajectory::TrajectorySet;
+use tthr_trajectory::{TrajEntry, Trajectory, TrajectorySet, UserId};
 
 /// What one append did to the backend — the service scopes cache
 /// invalidation with it.
@@ -73,6 +73,32 @@ pub trait ServiceBackend: IndexBackend + Send + Sync + Sized + 'static {
     /// as one batch.
     fn apply_append(&mut self, set: &TrajectorySet) -> AppendEffect;
 
+    /// Validates a raw `(user, entries)` payload batch against this index
+    /// and materializes it with the next dense ids, **without** applying
+    /// it — so the service can reject a bad batch before the WAL record is
+    /// written ([`QueryService::append_new`](crate::QueryService::append_new)).
+    fn prepare_payload(
+        &self,
+        payload: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError>;
+
+    /// Appends a batch previously validated by
+    /// [`Self::prepare_payload`] under the exclusive write lock.
+    fn apply_prepared(&mut self, batch: &[Trajectory]) -> AppendEffect;
+
+    /// Appends a prepared batch through `&self` under the backend's
+    /// internal locks. Only called when [`Self::SHARED_APPENDS`]; the
+    /// caller holds [`Self::append_permit`].
+    fn apply_prepared_shared(&self, _batch: &[Trajectory]) -> AppendEffect {
+        unreachable!("apply_prepared_shared requires SHARED_APPENDS")
+    }
+
+    /// Encodes the WAL record logging a raw payload batch appended at
+    /// trajectory count `from` (the payload flavor of
+    /// [`Self::encode_wal_record`]; both replay through
+    /// [`Self::replay_wal_record`]).
+    fn encode_wal_payload(&self, payload: &[(UserId, Vec<TrajEntry>)], from: usize) -> Vec<u8>;
+
     /// The index shard a query routes to, or `None` when the backend is
     /// unpartitioned. Used to decide which cache entries an append
     /// invalidates; must agree with how [`AppendEffect::touched_shards`]
@@ -110,6 +136,31 @@ impl ServiceBackend for SntIndex {
             appended: self.append_batch(set),
             touched_shards: None,
         }
+    }
+
+    fn prepare_payload(
+        &self,
+        payload: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError> {
+        self.prepare_append_batch(payload)
+    }
+
+    fn apply_prepared(&mut self, batch: &[Trajectory]) -> AppendEffect {
+        let refs: Vec<&Trajectory> = batch.iter().collect();
+        AppendEffect {
+            appended: self.append_trajectories(&refs),
+            touched_shards: None,
+        }
+    }
+
+    fn encode_wal_payload(&self, payload: &[(UserId, Vec<TrajEntry>)], from: usize) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        WalBatch {
+            base: from as u64,
+            trajectories: payload.to_vec(),
+        }
+        .persist(&mut w);
+        w.into_bytes()
     }
 
     fn route_shard(&self, _spq: &Spq) -> Option<usize> {
@@ -174,6 +225,36 @@ impl ServiceBackend for ShardedSntIndex {
 
     fn apply_append(&mut self, set: &TrajectorySet) -> AppendEffect {
         self.apply_append_shared(set)
+    }
+
+    fn prepare_payload(
+        &self,
+        payload: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError> {
+        self.prepare_append_batch(payload)
+    }
+
+    fn apply_prepared(&mut self, batch: &[Trajectory]) -> AppendEffect {
+        self.apply_prepared_shared(batch)
+    }
+
+    fn apply_prepared_shared(&self, batch: &[Trajectory]) -> AppendEffect {
+        let refs: Vec<&Trajectory> = batch.iter().collect();
+        let effect = ShardedSntIndex::append_trajectories(self, &refs);
+        AppendEffect {
+            appended: effect.appended,
+            touched_shards: Some(effect.touched),
+        }
+    }
+
+    fn encode_wal_payload(&self, payload: &[(UserId, Vec<TrajEntry>)], from: usize) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.plan_wal_payload(WalBatch {
+            base: from as u64,
+            trajectories: payload.to_vec(),
+        })
+        .persist(&mut w);
+        w.into_bytes()
     }
 
     fn route_shard(&self, spq: &Spq) -> Option<usize> {

@@ -68,7 +68,7 @@ pub use backend::{AppendEffect, ServiceBackend};
 pub use cache::{CacheCounters, ShardedCache};
 pub use persist::{SnapshotInfo, SNAPSHOT_FILE, WAL_FILE};
 pub use pool::ThreadPool;
-pub use stats::{LatencySummary, ServiceStats};
+pub use stats::{Endpoint, LatencySummary, PerEndpoint, ServiceStats};
 
 use crate::stats::LatencyLog;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,9 +78,10 @@ use tthr_core::{
     QueryEngine, QueryEngineConfig, ShardedSntIndex, SntIndex, Spq, TravelTimeProvider,
     TravelTimes, TripQuery,
 };
+use tthr_metrics::LogHistogram;
 use tthr_network::RoadNetwork;
 use tthr_store::StoreError;
-use tthr_trajectory::TrajectorySet;
+use tthr_trajectory::{TrajEntry, TrajectorySet, UserId};
 
 /// A [`QueryService`] over the partitioned
 /// [`ShardedSntIndex`]: appends stall only the
@@ -219,6 +220,22 @@ impl<B: ServiceBackend> QueryService<B> {
         self.pool.threads()
     }
 
+    /// The road network the service answers over.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.inner.network
+    }
+
+    /// Runs a fire-and-forget job on the service's worker pool — the
+    /// execution plumbing a front-end (e.g. `tthr-server`'s reactor) uses
+    /// to hand complete requests to the *existing* pool instead of
+    /// spawning its own threads. Jobs may themselves call the query
+    /// methods (including [`QueryService::batch_trip_queries`], whose
+    /// nested fan-out helper-joins, so pool-on-pool nesting cannot
+    /// deadlock).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.pool.execute(Box::new(job));
+    }
+
     /// The engine configuration every query runs under.
     pub fn engine_config(&self) -> &QueryEngineConfig {
         &self.inner.engine_config
@@ -237,7 +254,7 @@ impl<B: ServiceBackend> QueryService<B> {
         let result = provider.travel_times(spq);
         drop(index);
         self.inner.spq_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.latency.record(start.elapsed());
+        self.inner.latency.record(Endpoint::Spq, start.elapsed());
         result
     }
 
@@ -248,7 +265,7 @@ impl<B: ServiceBackend> QueryService<B> {
         let start = Instant::now();
         let result = self.trip_query_inner(query);
         self.inner.trip_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.latency.record(start.elapsed());
+        self.inner.latency.record(Endpoint::Trip, start.elapsed());
         result
     }
 
@@ -273,7 +290,7 @@ impl<B: ServiceBackend> QueryService<B> {
                     // the trip up — the same scale `trip_query` records on.
                     let start = Instant::now();
                     let result = trip_query_on(&inner, pool.as_deref(), &query);
-                    inner.latency.record(start.elapsed());
+                    inner.latency.record(Endpoint::Batch, start.elapsed());
                     result
                 }
             })
@@ -312,6 +329,13 @@ impl<B: ServiceBackend> QueryService<B> {
     /// saw the error) or replays it fully on the next `open`. Without
     /// storage attached the call is infallible.
     pub fn append_batch(&self, set: &TrajectorySet) -> Result<usize, StoreError> {
+        let start = Instant::now();
+        let result = self.append_batch_inner(set);
+        self.inner.latency.record(Endpoint::Append, start.elapsed());
+        result
+    }
+
+    fn append_batch_inner(&self, set: &TrajectorySet) -> Result<usize, StoreError> {
         if B::SHARED_APPENDS {
             let index = self.inner.index.read().expect("index lock");
             let permit = index.append_permit();
@@ -345,6 +369,108 @@ impl<B: ServiceBackend> QueryService<B> {
             self.evict_stale(&*index, &effect);
             Ok(effect.appended)
         }
+    }
+
+    /// Appends a batch of **new** trajectory payloads — the network
+    /// front-end's update path, where clients ship only the delta instead
+    /// of the whole grown [`TrajectorySet`] that
+    /// [`QueryService::append_batch`] expects.
+    ///
+    /// `base` is an optional idempotency stamp, mirroring the WAL's: when
+    /// present it must equal the trajectory count the client believes the
+    /// index holds. A stamp *behind* the index means the batch was already
+    /// applied (returns `Ok(0)`, nothing is re-appended); a stamp *ahead*
+    /// of it is a [`StoreError::WalGap`]. Without a stamp the batch is
+    /// appended unconditionally.
+    ///
+    /// The payload is validated **before** anything is logged or applied
+    /// (invalid trajectories are a [`StoreError::Corrupt`] and the index
+    /// is untouched); locking, write-ahead logging, the generation
+    /// seqlock, and scoped cache invalidation are exactly
+    /// [`QueryService::append_batch`]'s — the two entry points produce
+    /// byte-identical index states for the same logical batch
+    /// (`tests/server_equivalence.rs` enforces this differentially).
+    pub fn append_new(
+        &self,
+        base: Option<u64>,
+        new: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<usize, StoreError> {
+        let start = Instant::now();
+        let result = self.append_new_inner(base, new);
+        self.inner.latency.record(Endpoint::Append, start.elapsed());
+        result
+    }
+
+    fn append_new_inner(
+        &self,
+        base: Option<u64>,
+        new: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<usize, StoreError> {
+        if B::SHARED_APPENDS {
+            let index = self.inner.index.read().expect("index lock");
+            let permit = index.append_permit();
+            debug_assert!(permit.is_some(), "SHARED_APPENDS promises a permit");
+            let Some(prepared) = Self::check_base(&*index, base, new)? else {
+                return Ok(0);
+            };
+            let from = index.num_trajectories();
+            self.log_write_ahead_payload(&index, new, from)?;
+            // Seqlock write, exactly as in `append_batch_inner`.
+            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+            let effect = index.apply_prepared_shared(&prepared);
+            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+            self.evict_stale(&*index, &effect);
+            Ok(effect.appended)
+        } else {
+            let mut index = self.inner.index.write().expect("index lock");
+            let Some(prepared) = Self::check_base(&*index, base, new)? else {
+                return Ok(0);
+            };
+            let from = index.num_trajectories();
+            self.log_write_ahead_payload(&index, new, from)?;
+            let effect = index.apply_prepared(&prepared);
+            self.inner.generation.fetch_add(2, Ordering::SeqCst);
+            self.evict_stale(&*index, &effect);
+            Ok(effect.appended)
+        }
+    }
+
+    /// Validates the idempotency stamp and the payload against the locked
+    /// index. `Ok(None)` means "already applied / empty: answer 0".
+    fn check_base(
+        index: &B,
+        base: Option<u64>,
+        new: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Option<Vec<tthr_trajectory::Trajectory>>, StoreError> {
+        let have = index.num_trajectories() as u64;
+        match base {
+            Some(b) if b < have => return Ok(None),
+            Some(b) if b > have => {
+                return Err(StoreError::WalGap {
+                    expected: have,
+                    found: b,
+                })
+            }
+            _ => {}
+        }
+        if new.is_empty() {
+            return Ok(None);
+        }
+        index.prepare_payload(new).map(Some)
+    }
+
+    /// Logs a raw payload batch write-ahead, when storage is attached.
+    fn log_write_ahead_payload(
+        &self,
+        index: &B,
+        new: &[(UserId, Vec<TrajEntry>)],
+        from: usize,
+    ) -> Result<(), StoreError> {
+        let mut persist = self.inner.persist.lock().expect("persist lock");
+        if let Some(p) = persist.as_mut() {
+            p.wal.append(&index.encode_wal_payload(new, from))?;
+        }
+        Ok(())
     }
 
     /// Logs the delta `set[from..]` write-ahead, when storage is attached.
@@ -391,24 +517,53 @@ impl<B: ServiceBackend> QueryService<B> {
 
     /// Point-in-time service statistics.
     pub fn stats(&self) -> ServiceStats {
-        let (latency, throughput_qps, uptime) = self.inner.latency.summarize();
-        ServiceStats {
+        self.stats_with_histograms().0
+    }
+
+    /// [`QueryService::stats`] plus the merged per-endpoint raw latency
+    /// histograms the summaries are derived from — one pass over the
+    /// recorder stripes, so a caller that ships both (the HTTP `/stats`
+    /// endpoint) does not merge every stripe twice.
+    pub fn stats_with_histograms(&self) -> (ServiceStats, PerEndpoint<LogHistogram>) {
+        let (histograms, endpoints, latency, throughput_qps, uptime) = self.inner.latency.export();
+        let stats = ServiceStats {
             spq_queries: self.inner.spq_queries.load(Ordering::Relaxed),
             trip_queries: self.inner.trip_queries.load(Ordering::Relaxed),
             latency,
+            endpoints,
             throughput_qps,
             cache: self.inner.cache.counters(),
             // The counter is a seqlock (2 ticks per append, odd =
             // in-progress); report completed appends.
             generation: self.inner.generation.load(Ordering::SeqCst) / 2,
             uptime,
-        }
+        };
+        (stats, histograms)
+    }
+
+    /// The merged raw latency histogram of one endpoint — the lossless
+    /// export ([`tthr_metrics::LogHistogram::nonzero_buckets`]) a
+    /// cross-process aggregator or the HTTP `/stats` endpoint ships
+    /// instead of pre-computed percentiles.
+    pub fn endpoint_histogram(&self, endpoint: Endpoint) -> LogHistogram {
+        self.inner.latency.merged(endpoint)
     }
 
     /// Clears the latency log and restarts the throughput clock (the
     /// cache and its counters are left untouched).
     pub fn reset_stats(&self) {
         self.inner.latency.reset();
+    }
+}
+
+/// Cloning shares the service: both handles answer over the same index,
+/// cache, pool, and stats (the front-end keeps one clone per worker).
+impl<B: ServiceBackend> Clone for QueryService<B> {
+    fn clone(&self) -> Self {
+        QueryService {
+            inner: Arc::clone(&self.inner),
+            pool: Arc::clone(&self.pool),
+        }
     }
 }
 
@@ -724,6 +879,74 @@ mod tests {
 
         // ...while F recomputes and sees the new traversal.
         assert_eq!(s.get_travel_times(&qf).sorted(), vec![6.0, 6.5]);
+    }
+
+    /// The payload append entry point (`append_new`) must land the index
+    /// in the same state as the grown-set entry point (`append_batch`),
+    /// honour the idempotency stamp, and reject gapped stamps — for both
+    /// backends.
+    #[test]
+    fn append_new_matches_append_batch() {
+        let payload = vec![(
+            tthr_trajectory::UserId(9),
+            vec![
+                TrajEntry::new(EDGE_A, 3, 3.0),
+                TrajEntry::new(EDGE_B, 6, 3.0),
+                TrajEntry::new(EDGE_E, 9, 4.0),
+            ],
+        )];
+        let mut grown = example_trajectories();
+        grown.push(payload[0].0, payload[0].1.clone()).unwrap();
+
+        let via_set = service(2);
+        assert_eq!(via_set.append_batch(&grown).unwrap(), 1);
+        let via_payload = service(2);
+        assert_eq!(via_payload.append_new(Some(4), &payload).unwrap(), 1);
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        );
+        assert_eq!(
+            via_payload.get_travel_times(&q).sorted(),
+            via_set.get_travel_times(&q).sorted()
+        );
+        assert_eq!(via_payload.stats().generation, 1);
+        assert_eq!(via_payload.stats().endpoints[Endpoint::Append].count, 1);
+
+        // Stamp behind the index: already applied, nothing re-appended.
+        assert_eq!(via_payload.append_new(Some(4), &payload).unwrap(), 0);
+        assert_eq!(via_payload.stats().generation, 1);
+        // Stamp ahead: a gap, typed.
+        assert!(matches!(
+            via_payload.append_new(Some(7), &payload),
+            Err(StoreError::WalGap {
+                expected: 5,
+                found: 7
+            })
+        ));
+        // Invalid payload (non-monotonic timestamps): typed, index intact.
+        let bad = vec![(
+            tthr_trajectory::UserId(1),
+            vec![
+                TrajEntry::new(EDGE_A, 9, 1.0),
+                TrajEntry::new(EDGE_B, 3, 1.0),
+            ],
+        )];
+        assert!(matches!(
+            via_payload.append_new(None, &bad),
+            Err(StoreError::Corrupt { .. })
+        ));
+        via_payload.with_index(|i| assert_eq!(i.num_trajectories(), 5));
+
+        // The sharded backend: same equivalence, scoped eviction intact.
+        let sharded_set = sharded_service(2, 3);
+        assert_eq!(sharded_set.append_batch(&grown).unwrap(), 1);
+        let sharded_payload = sharded_service(2, 3);
+        assert_eq!(sharded_payload.append_new(None, &payload).unwrap(), 1);
+        assert_eq!(
+            sharded_payload.get_travel_times(&q).sorted(),
+            sharded_set.get_travel_times(&q).sorted()
+        );
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Boot the HTTP front-end over a synthetic world and keep serving until
+//! interrupted — the "deployable network service" entry point.
+//!
+//! Run with: `cargo run --release --example serve`
+//!
+//! Then, from another shell (the paths and bodies below print with the
+//! actual port):
+//!
+//! ```text
+//! curl http://127.0.0.1:7878/health
+//! curl http://127.0.0.1:7878/stats
+//! curl -d '{"path":[0,1],"interval":{"type":"fixed","start":0,"end":86400}}' \
+//!      http://127.0.0.1:7878/spq
+//! ```
+
+use std::sync::Arc;
+use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::datagen::{generate_network, generate_workload, NetworkConfig, WorkloadConfig};
+use tthr::server::{serve, wire, ServerConfig};
+use tthr::service::{QueryService, ServiceConfig};
+use tthr::trajectory::TrajId;
+
+fn main() {
+    // --- A synthetic world ---------------------------------------------------
+    let syn = generate_network(&NetworkConfig::small());
+    let set = generate_workload(&syn, &WorkloadConfig::small());
+    let network = Arc::new(syn.network);
+    println!(
+        "world: {} edges, {} trajectories, {} traversals",
+        network.num_edges(),
+        set.len(),
+        set.total_traversals()
+    );
+
+    let index = SntIndex::build(&network, &set, SntConfig::default());
+    let service = QueryService::new(index, Arc::clone(&network), ServiceConfig::default());
+
+    // --- Serve ---------------------------------------------------------------
+    let addr_env = std::env::var("TTHR_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let handle = serve(service, addr_env.as_str(), ServerConfig::default())
+        .expect("binding the server address (override with TTHR_ADDR)");
+    let addr = handle.local_addr();
+    println!("tthr-server listening on http://{addr}");
+
+    // --- Copy-paste curl examples against real data --------------------------
+    let tr = set.get(TrajId(0));
+    let spq = Spq::new(
+        tr.path().sub_path(0..tr.len().min(3)),
+        TimeInterval::fixed(0, i64::MAX / 4),
+    );
+    println!("\ntry it:");
+    println!("  curl http://{addr}/health");
+    println!("  curl http://{addr}/stats");
+    println!("  curl -d '{}' http://{addr}/spq", wire::encode_spq(&spq));
+    println!("  curl -d '{}' http://{addr}/trip", wire::encode_spq(&spq));
+    println!(
+        "  curl -d '{{\"queries\":[{}]}}' http://{addr}/batch",
+        wire::encode_spq(&spq)
+    );
+    let payload = vec![(tr.user(), tr.entries()[..tr.len().min(2)].to_vec())];
+    println!(
+        "  curl -d '{}' http://{addr}/append",
+        wire::encode_append_request(Some(set.len() as u64), &payload)
+    );
+
+    println!("\nserving (ctrl-c to stop)…");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        let m = handle.metrics();
+        println!(
+            "  {} requests ({} ok, {} shed, {} 4xx), {} conns open",
+            m.requests, m.responses_ok, m.shed, m.client_errors, m.active_connections
+        );
+    }
+}

@@ -36,6 +36,10 @@
 //!   snapshot containers and the append write-ahead log (the on-disk
 //!   format is specified in its crate docs and `docs/storage-format.md`).
 //! * [`service`] — the concurrent serving layer (see below).
+//! * [`server`] — the network front-end: a dependency-free epoll
+//!   HTTP/1.1 reactor over [`service::QueryService`] with a bounded-queue
+//!   backpressure boundary, load shedding, pipelining, and graceful
+//!   drain (`examples/serve.rs` is the runnable entry point).
 //!
 //! ## Architecture: the service layer
 //!
@@ -134,6 +138,7 @@ pub use tthr_fmindex as fmindex;
 pub use tthr_histogram as histogram;
 pub use tthr_metrics as metrics;
 pub use tthr_network as network;
+pub use tthr_server as server;
 pub use tthr_service as service;
 pub use tthr_store as store;
 pub use tthr_temporal as temporal;
@@ -150,6 +155,7 @@ pub mod prelude {
     pub use tthr_histogram::Histogram;
     pub use tthr_metrics::{log_likelihood, percentile, q_error, smape, weighted_error};
     pub use tthr_network::{Category, EdgeId, Path, RoadNetwork, Zone};
+    pub use tthr_server::{serve, ServerConfig, ServerHandle, ServerMetrics};
     pub use tthr_service::{QueryService, ServiceConfig, ServiceStats, ShardedQueryService};
     pub use tthr_trajectory::{TrajId, Trajectory, TrajectorySet, UserId};
 }

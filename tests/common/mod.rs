@@ -3,6 +3,7 @@
 //! Shared fixtures and the brute-force SPQ oracle for integration tests.
 
 pub mod differential;
+pub mod http;
 
 use tthr::core::{Filter, Spq};
 use tthr::datagen::{

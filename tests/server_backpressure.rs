@@ -1,0 +1,405 @@
+//! Backpressure and lifecycle battery for the HTTP front-end.
+//!
+//! Proves the serving contract under hostile load:
+//!
+//! * a client flood beyond the bounded queue never puts more than
+//!   `queue_cap` requests in flight on the worker pool, sheds the excess
+//!   with `503` + `Retry-After`, and answers *every* request exactly once
+//!   (no drops, no duplicates, no torn responses);
+//! * keep-alive connections survive served-then-idle cycles; idle and
+//!   slow-loris connections are reaped by the idle timeout;
+//! * pipelined requests come back in order; pipelined garbage after a
+//!   valid request gets the valid response, then `400`, then a clean
+//!   close;
+//! * graceful shutdown drains in-flight requests to the last byte while
+//!   refusing new ones with `503` + `connection: close`.
+
+mod common;
+
+use common::http::{encode_request, HttpClient};
+use common::prefix_set;
+use std::sync::Arc;
+use std::time::Duration;
+use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::server::{serve, wire, ServerConfig, ServerHandle};
+use tthr::service::{QueryService, ServiceConfig};
+use tthr::trajectory::TrajId;
+
+/// A served world plus a query whose path certainly matches data.
+fn boot(threads: usize, config: ServerConfig) -> (ServerHandle, Spq) {
+    let (syn, set) = common::small_world();
+    let initial = prefix_set(&set, set.len());
+    let network = Arc::new(syn.network);
+    let service = QueryService::new(
+        SntIndex::build(&network, &initial, SntConfig::default()),
+        network,
+        ServiceConfig {
+            num_threads: threads,
+            ..ServiceConfig::default()
+        },
+    );
+    let tr = set.get(TrajId(0));
+    let path_len = tr.len().min(3);
+    let spq = Spq::new(
+        tr.path().sub_path(0..path_len),
+        TimeInterval::fixed(0, i64::MAX / 4),
+    );
+    (serve(service, "127.0.0.1:0", config).expect("boot"), spq)
+}
+
+/// Flood 12 pipelining connections into a queue of 2 with a watermark of
+/// 3 and a deliberately slow worker: bounded in-flight, shed overload,
+/// full recovery.
+#[test]
+fn flood_bounds_inflight_and_sheds_with_retry_after() {
+    const CONNS: usize = 12;
+    const PER_CONN: usize = 3;
+    let config = ServerConfig {
+        queue_cap: 2,
+        shed_watermark: 3,
+        worker_delay: Some(Duration::from_millis(25)),
+        ..ServerConfig::default()
+    };
+    let (server, spq) = boot(1, config);
+    let addr = server.local_addr();
+    let body = wire::encode_spq(&spq);
+
+    let clients: Vec<_> = (0..CONNS)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr);
+                // Pipeline the whole burst in one write.
+                let mut burst = Vec::new();
+                for _ in 0..PER_CONN {
+                    burst.extend_from_slice(&encode_request("POST", "/spq", body.as_bytes()));
+                }
+                client.send_raw(&burst);
+                let mut statuses = Vec::new();
+                for _ in 0..PER_CONN {
+                    let response = client.read_response();
+                    match response.status {
+                        200 => assert!(response.body_str().starts_with("{\"values\":")),
+                        503 => {
+                            assert_eq!(
+                                response.header("retry-after"),
+                                Some("1"),
+                                "overload 503 must carry Retry-After"
+                            );
+                        }
+                        other => panic!("unexpected status {other}"),
+                    }
+                    statuses.push(response.status);
+                }
+                statuses
+            })
+        })
+        .collect();
+
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for client in clients {
+        for status in client.join().expect("client thread") {
+            match status {
+                200 => ok += 1,
+                _ => shed += 1,
+            }
+        }
+    }
+    assert_eq!(ok + shed, CONNS * PER_CONN, "every request answered once");
+    assert!(shed > 0, "flood past cap+watermark must shed");
+    assert!(ok > 0, "dispatched and parked requests must complete");
+
+    let metrics = server.metrics();
+    assert!(
+        metrics.max_inflight <= 2,
+        "worker pool saw {} > queue_cap in-flight",
+        metrics.max_inflight
+    );
+    assert_eq!(metrics.shed as usize, shed);
+
+    // Recovery: the same server serves a fresh request normally.
+    let mut client = HttpClient::connect(addr);
+    let response = client.request("POST", "/spq", body.as_bytes());
+    assert_eq!(response.status, 200);
+    server.shutdown();
+}
+
+/// A keep-alive connection survives a served-then-idle cycle; idle and
+/// slow-loris (partial request line forever) connections are reaped.
+#[test]
+fn keep_alive_cycle_and_idle_reaping() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    };
+    let (server, spq) = boot(2, config);
+    let addr = server.local_addr();
+    let body = wire::encode_spq(&spq);
+
+    let mut client = HttpClient::connect(addr);
+    let first = client.request("POST", "/spq", body.as_bytes());
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    // Idle less than the timeout: the connection must still serve.
+    std::thread::sleep(Duration::from_millis(100));
+    let second = client.request("POST", "/spq", body.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body, "same query, same answer");
+
+    // Now go idle past the timeout: the server reaps the connection.
+    std::thread::sleep(Duration::from_millis(700));
+    assert!(client.at_eof(), "idle connection must be closed");
+
+    // Slow loris: a partial request line that never completes.
+    let mut loris = HttpClient::connect(addr);
+    loris.send_raw(b"POST /spq HT");
+    std::thread::sleep(Duration::from_millis(700));
+    assert!(loris.at_eof(), "slow-loris connection must be closed");
+    server.shutdown();
+}
+
+/// Pipelined responses come back in request order; garbage after a valid
+/// pipelined request yields the valid answer, then 400, then close.
+#[test]
+fn pipelining_order_and_garbage_handling() {
+    let (server, spq) = boot(2, ServerConfig::default());
+    let addr = server.local_addr();
+    let spq_body = wire::encode_spq(&spq);
+
+    // Distinguishable endpoints pipelined in one write.
+    let mut client = HttpClient::connect(addr);
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&encode_request("GET", "/health", b""));
+    burst.extend_from_slice(&encode_request("POST", "/spq", spq_body.as_bytes()));
+    burst.extend_from_slice(&encode_request("GET", "/health", b""));
+    client.send_raw(&burst);
+    assert_eq!(client.read_response().body_str(), "{\"status\":\"ok\"}");
+    assert!(client
+        .read_response()
+        .body_str()
+        .starts_with("{\"values\":"));
+    assert_eq!(client.read_response().body_str(), "{\"status\":\"ok\"}");
+
+    // Valid request, then garbage, pipelined together.
+    let mut mixed = HttpClient::connect(addr);
+    let mut burst = encode_request("POST", "/spq", spq_body.as_bytes());
+    burst.extend_from_slice(b"NOT EVEN HTTP\r\n\r\n");
+    mixed.send_raw(&burst);
+    assert_eq!(mixed.read_response().status, 200, "valid answer first");
+    let error = mixed.read_response();
+    assert_eq!(error.status, 400);
+    assert_eq!(error.header("connection"), Some("close"));
+    assert!(mixed.try_read_response().is_none(), "clean close after 400");
+
+    // Oversized header block → 431 + close.
+    let mut oversized = HttpClient::connect(addr);
+    let mut huge = b"GET /health HTTP/1.1\r\n".to_vec();
+    for i in 0..2000 {
+        huge.extend_from_slice(format!("x-pad-{i}: aaaaaaaaaaaaaaaa\r\n").as_bytes());
+    }
+    huge.extend_from_slice(b"\r\n");
+    oversized.send_raw(&huge);
+    let response = oversized.read_response();
+    assert_eq!(response.status, 431);
+    assert!(oversized.try_read_response().is_none(), "closed after 431");
+
+    // Oversized declared body → 413 + close.
+    let mut big = HttpClient::connect(addr);
+    big.send_raw(b"POST /spq HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n");
+    assert_eq!(big.read_response().status, 413);
+    server.shutdown();
+}
+
+/// Regression: a `Connection: close` request pipelined ahead of more
+/// requests must not leak the connection. The close-marked response
+/// flushes, everything behind it is dropped (nothing may follow a close
+/// on the wire), and the connection actually closes — in *either* worker
+/// completion order (the multi-thread pool plus repetition exercises
+/// both: the bug leaked the conn when a later response completed first,
+/// and wrote bytes after the close when it completed last).
+#[test]
+fn pipelined_close_request_never_leaks_the_connection() {
+    let config = ServerConfig {
+        queue_cap: 8,
+        worker_delay: Some(Duration::from_millis(5)),
+        ..ServerConfig::default()
+    };
+    let (server, spq) = boot(2, config);
+    let addr = server.local_addr();
+    let body = wire::encode_spq(&spq);
+
+    for _ in 0..8 {
+        let mut client = HttpClient::connect(addr);
+        let mut burst = Vec::new();
+        // First request asks to close; two more are pipelined behind it.
+        burst.extend_from_slice(
+            format!(
+                "POST /spq HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .as_bytes(),
+        );
+        for _ in 0..2 {
+            burst.extend_from_slice(&encode_request("POST", "/spq", body.as_bytes()));
+        }
+        client.send_raw(&burst);
+        let first = client.read_response();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("connection"), Some("close"));
+        // Nothing follows a close: the later requests' responses are
+        // dropped and the server closes the socket.
+        assert!(
+            client.try_read_response().is_none(),
+            "no bytes may follow a connection: close response"
+        );
+    }
+    // The key invariant the leak broke: every connection actually closed.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let metrics = server.metrics();
+        if metrics.active_connections == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connections leaked: {metrics:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+/// Regression: requests pipelined *behind* a `connection: close` request
+/// must not execute — their acks are guaranteed to be dropped, and a
+/// side-effectful `/append` executed without a deliverable ack would
+/// invite a client retry and a double-append.
+#[test]
+fn requests_behind_a_close_are_not_executed() {
+    let config = ServerConfig {
+        worker_delay: Some(Duration::from_millis(20)),
+        ..ServerConfig::default()
+    };
+    let (server, spq) = boot(2, config);
+    let addr = server.local_addr();
+    let spq_body = wire::encode_spq(&spq);
+    // A stampless append pipelined behind a closing query: if it ran, the
+    // service generation would bump.
+    let append_body = r#"{"trajectories":[{"user":77,"entries":[[0,1000000,5.0]]}]}"#;
+
+    let mut client = HttpClient::connect(addr);
+    let mut burst = format!(
+        "POST /spq HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
+        spq_body.len(),
+        spq_body
+    )
+    .into_bytes();
+    burst.extend_from_slice(&encode_request("POST", "/append", append_body.as_bytes()));
+    client.send_raw(&burst);
+    let first = client.read_response();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("connection"), Some("close"));
+    assert!(client.try_read_response().is_none(), "socket closed");
+
+    // The pipelined append never ran: generation still 0.
+    let mut probe = HttpClient::connect(addr);
+    let stats = probe.request("GET", "/stats", b"");
+    let parsed = tthr::server::json::parse(&stats.body).expect("stats json");
+    assert_eq!(
+        parsed.get("generation").and_then(|v| v.as_i64()),
+        Some(0),
+        "append behind a close must not execute: {}",
+        stats.body_str()
+    );
+    server.shutdown();
+}
+
+/// Regression: malformed bytes behind an in-flight response must produce
+/// exactly **one** error response, not one per read event — the reactor
+/// retires the read side on a protocol error even while the error
+/// response waits its turn behind earlier responses.
+#[test]
+fn malformed_tail_yields_exactly_one_error() {
+    let config = ServerConfig {
+        worker_delay: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let (server, spq) = boot(2, config);
+    let addr = server.local_addr();
+    let body = wire::encode_spq(&spq);
+
+    let mut client = HttpClient::connect(addr);
+    let mut burst = encode_request("POST", "/spq", body.as_bytes());
+    burst.extend_from_slice(b"GARBAGE GARBAGE GARBAGE\r\n\r\n");
+    client.send_raw(&burst);
+    // Keep streaming garbage while the first request sits in the slow
+    // worker: the broken parse state must not be re-read into duplicate
+    // error responses.
+    for _ in 0..10 {
+        // Best-effort: the server may close mid-loop once the in-flight
+        // response and the single 400 flush.
+        client.send_raw_best_effort(b"more garbage\r\n");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    assert_eq!(client.read_response().status, 200, "in-flight completes");
+    assert_eq!(client.read_response().status, 400, "one error response");
+    assert!(client.try_read_response().is_none(), "then a clean close");
+    let metrics = server.shutdown();
+    assert_eq!(
+        metrics.client_errors, 1,
+        "exactly one 400 counted: {metrics:?}"
+    );
+}
+
+/// Graceful shutdown: in-flight requests drain to the last byte, new
+/// requests are refused with `503` + `connection: close`, the listener
+/// stops accepting.
+#[test]
+fn graceful_shutdown_drains_and_refuses() {
+    let config = ServerConfig {
+        queue_cap: 4,
+        worker_delay: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    };
+    let (server, spq) = boot(2, config);
+    let addr = server.local_addr();
+    let body = wire::encode_spq(&spq);
+
+    // In-flight: dispatched before the shutdown, slow in the worker.
+    let mut inflight = HttpClient::connect(addr);
+    inflight.send("POST", "/spq", body.as_bytes());
+    std::thread::sleep(Duration::from_millis(100)); // surely dispatched
+
+    // An idle keep-alive connection: nothing to drain, so the shutdown
+    // sweep closes it outright.
+    let mut idle = HttpClient::connect(addr);
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(150)); // flag observed
+
+    // New work pipelined behind the in-flight request: refused and told
+    // to go away — but only *after* the in-flight response flushes
+    // (pipelining order holds even while draining).
+    inflight.send("POST", "/spq", body.as_bytes());
+    let response = inflight.read_response();
+    assert_eq!(response.status, 200, "in-flight request completes");
+    tthr::server::json::parse(&response.body).expect("untorn body");
+    let refused = inflight.read_response();
+    assert_eq!(refused.status, 503);
+    assert_eq!(refused.header("connection"), Some("close"));
+    assert!(inflight.try_read_response().is_none(), "closed after drain");
+
+    assert!(idle.at_eof(), "idle connection closed by the drain sweep");
+
+    let metrics = shutdown.join().expect("shutdown thread");
+    assert!(metrics.refused_shutdown >= 1, "{metrics:?}");
+    assert!(metrics.responses_ok >= 1, "{metrics:?}");
+    assert_eq!(metrics.active_connections, 0, "every connection closed");
+
+    // The listener is gone: no new connections.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "listener must be closed after shutdown"
+    );
+}

@@ -1,0 +1,358 @@
+//! End-to-end differential harness for the HTTP front-end: every endpoint
+//! must answer **byte-identically** to encoding the in-process
+//! [`QueryService`] result with the same wire functions — for the
+//! monolithic and the sharded (K = 2) backend, across query/append
+//! interleavings, and after a concurrent query/append phase.
+//!
+//! Two services are built from the same datagen stream: one behind the
+//! server (queried over loopback TCP), one driven in-process (the
+//! oracle). Appends go to the server as raw `/append` payload deltas and
+//! to the oracle through the original grown-set `append_batch` path, so
+//! the comparison also differentially validates the new
+//! `QueryService::append_new` plumbing against the old entry point.
+
+mod common;
+
+use common::differential::QueryGen;
+use common::http::{post, HttpClient};
+use common::prefix_set;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tthr::core::{ShardedSntIndex, SntConfig, SntIndex, Spq};
+use tthr::server::{serve, wire, ServerConfig, ServerHandle};
+use tthr::service::{QueryService, ServiceBackend, ServiceConfig};
+use tthr::trajectory::{TrajEntry, TrajId, TrajectorySet, UserId};
+
+/// One backend flavor under test: a served service + an in-process oracle
+/// over the same trajectory stream.
+struct Harness<B: ServiceBackend> {
+    server: Option<ServerHandle>,
+    addr: SocketAddr,
+    oracle: QueryService<B>,
+    full: TrajectorySet,
+    applied: usize,
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        num_threads: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+impl<B: ServiceBackend> Harness<B> {
+    fn new(build: impl Fn(&TrajectorySet) -> (QueryService<B>, QueryService<B>)) -> Harness<B> {
+        let (_, full) = common::small_world();
+        let applied = full.len() * 2 / 3;
+        let initial = prefix_set(&full, applied);
+        let (served, oracle) = build(&initial);
+        let server = serve(served, "127.0.0.1:0", ServerConfig::default()).expect("boot server");
+        Harness {
+            addr: server.local_addr(),
+            server: Some(server),
+            oracle,
+            full,
+            applied,
+        }
+    }
+
+    /// Asserts `/spq` and (for every third query) `/trip` answer
+    /// byte-identically to the oracle.
+    fn check_queries(&self, queries: &[Spq]) {
+        for (i, q) in queries.iter().enumerate() {
+            let body = wire::encode_spq(q);
+            let response = post(self.addr, "/spq", body.as_bytes());
+            assert_eq!(response.status, 200, "{}", response.body_str());
+            let expected = wire::encode_travel_times(&self.oracle.get_travel_times(q));
+            assert_eq!(
+                response.body_str(),
+                expected,
+                "spq response diverged for {q:?}"
+            );
+            if i % 3 == 0 {
+                let response = post(self.addr, "/trip", body.as_bytes());
+                assert_eq!(response.status, 200, "{}", response.body_str());
+                let expected = wire::encode_trip(&self.oracle.trip_query(q));
+                assert_eq!(
+                    response.body_str(),
+                    expected,
+                    "trip response diverged for {q:?}"
+                );
+            }
+        }
+    }
+
+    /// Asserts `/batch` answers byte-identically to the oracle.
+    fn check_batch(&self, queries: &[Spq]) {
+        let body = format!(
+            "{{\"queries\":[{}]}}",
+            queries
+                .iter()
+                .map(wire::encode_spq)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let response = post(self.addr, "/batch", body.as_bytes());
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        let expected = wire::encode_trips(&self.oracle.batch_trip_queries(queries));
+        assert_eq!(response.body_str(), expected, "batch response diverged");
+    }
+
+    /// Appends the next `n` stream trajectories: the server gets the raw
+    /// payload delta over `/append`, the oracle gets the grown prefix set
+    /// through `append_batch`.
+    fn append_next(&mut self, n: usize) {
+        let to = (self.applied + n).min(self.full.len());
+        if to == self.applied {
+            return;
+        }
+        let payload: Vec<(UserId, Vec<TrajEntry>)> = (self.applied..to)
+            .map(|id| {
+                let tr = self.full.get(TrajId(id as u32));
+                (tr.user(), tr.entries().to_vec())
+            })
+            .collect();
+        let body = wire::encode_append_request(Some(self.applied as u64), &payload);
+        let response = post(self.addr, "/append", body.as_bytes());
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        assert_eq!(
+            response.body_str(),
+            wire::encode_appended(to - self.applied),
+            "append count diverged"
+        );
+        // Replaying the same stamped batch is a no-op, like WAL replay.
+        let replay = post(self.addr, "/append", body.as_bytes());
+        assert_eq!(replay.body_str(), wire::encode_appended(0));
+
+        let grown = prefix_set(&self.full, to);
+        assert_eq!(
+            self.oracle.append_batch(&grown).expect("oracle append"),
+            to - self.applied
+        );
+        self.applied = to;
+    }
+
+    fn shutdown(mut self) {
+        self.server.take().expect("server still running").shutdown();
+    }
+}
+
+/// Runs the interleaved differential scenario against one harness.
+fn run_scenario<B: ServiceBackend>(name: &str, mut harness: Harness<B>) {
+    let mut gen = QueryGen::new(name);
+    for round in 0..4 {
+        let queries: Vec<Spq> = (0..12)
+            .map(|_| gen.spq_from(&harness.full, harness.applied))
+            .collect();
+        harness.check_queries(&queries);
+        harness.check_batch(&queries[..6.min(queries.len())]);
+        if round < 3 {
+            harness.append_next(2 + round);
+        }
+    }
+    harness.shutdown();
+}
+
+#[test]
+fn monolith_endpoints_match_in_process_service() {
+    let harness = Harness::new(|initial| {
+        let make = || {
+            let (syn, _) = common::small_world();
+            let network = Arc::new(syn.network);
+            QueryService::new(
+                SntIndex::build(&network, initial, SntConfig::default()),
+                network,
+                service_config(),
+            )
+        };
+        (make(), make())
+    });
+    run_scenario("monolith_endpoints", harness);
+}
+
+#[test]
+fn sharded_endpoints_match_in_process_service() {
+    let harness = Harness::new(|initial| {
+        let make = || {
+            let (syn, _) = common::small_world();
+            let network = Arc::new(syn.network);
+            QueryService::new(
+                ShardedSntIndex::build(&network, initial, SntConfig::default(), 2),
+                network,
+                service_config(),
+            )
+        };
+        (make(), make())
+    });
+    run_scenario("sharded_endpoints", harness);
+}
+
+/// Queries racing appends over HTTP: every response stays well-formed
+/// mid-append, and once the appends quiesce the served answers are again
+/// byte-identical to the oracle with the full stream applied.
+#[test]
+fn concurrent_appends_keep_responses_sound() {
+    let mut harness = Harness::new(|initial| {
+        let make = || {
+            let (syn, _) = common::small_world();
+            let network = Arc::new(syn.network);
+            QueryService::new(
+                ShardedSntIndex::build(&network, initial, SntConfig::default(), 2),
+                network,
+                service_config(),
+            )
+        };
+        (make(), make())
+    });
+    let mut gen = QueryGen::new("concurrent_appends");
+    let queries: Vec<Spq> = (0..16)
+        .map(|_| gen.spq_from(&harness.full, harness.applied))
+        .collect();
+
+    let addr = harness.addr;
+    let appender = {
+        let payloads: Vec<String> = {
+            let mut bodies = Vec::new();
+            let mut from = harness.applied;
+            while from < harness.full.len() {
+                let to = (from + 2).min(harness.full.len());
+                let payload: Vec<(UserId, Vec<TrajEntry>)> = (from..to)
+                    .map(|id| {
+                        let tr = harness.full.get(TrajId(id as u32));
+                        (tr.user(), tr.entries().to_vec())
+                    })
+                    .collect();
+                bodies.push(wire::encode_append_request(Some(from as u64), &payload));
+                from = to;
+            }
+            bodies
+        };
+        std::thread::spawn(move || {
+            for body in payloads {
+                let response = post(addr, "/append", body.as_bytes());
+                assert_eq!(response.status, 200, "{}", response.body_str());
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr);
+                for (i, q) in queries.iter().cycle().take(48).enumerate() {
+                    let path = if (i + r) % 7 == 0 { "/trip" } else { "/spq" };
+                    let response = client.request("POST", path, wire::encode_spq(q).as_bytes());
+                    assert_eq!(response.status, 200, "{}", response.body_str());
+                    // Sound JSON even mid-append.
+                    tthr::server::json::parse(&response.body).expect("well-formed body");
+                }
+            })
+        })
+        .collect();
+    appender.join().expect("appender");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Quiesced: bring the oracle to the full stream and re-compare.
+    let full = harness.full.len();
+    harness
+        .oracle
+        .append_batch(&prefix_set(&harness.full, full))
+        .expect("oracle catch-up");
+    harness.applied = full;
+    let final_queries: Vec<Spq> = (0..12).map(|_| gen.spq_from(&harness.full, full)).collect();
+    harness.check_queries(&final_queries);
+    harness.shutdown();
+}
+
+/// The inline endpoints and the error paths of the router.
+#[test]
+fn health_stats_and_router_errors() {
+    let (syn, set) = common::small_world();
+    let network = Arc::new(syn.network);
+    let service = QueryService::new(
+        SntIndex::build(&network, &set, SntConfig::default()),
+        network,
+        service_config(),
+    );
+    let server = serve(service.clone(), "127.0.0.1:0", ServerConfig::default()).expect("boot");
+    let addr = server.local_addr();
+
+    let mut client = HttpClient::connect(addr);
+    let health = client.request("GET", "/health", b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body_str(), "{\"status\":\"ok\"}");
+
+    // Drive some traffic, then check /stats reflects it.
+    let mut gen = QueryGen::new("stats_shape");
+    for _ in 0..5 {
+        let q = gen.spq_from(&set, set.len());
+        let r = client.request("POST", "/spq", wire::encode_spq(&q).as_bytes());
+        assert_eq!(r.status, 200);
+    }
+    let stats = client.request("GET", "/stats", b"");
+    assert_eq!(stats.status, 200);
+    let parsed = tthr::server::json::parse(&stats.body).expect("stats json");
+    assert_eq!(
+        parsed.get("spq_queries").and_then(|v| v.as_i64()),
+        Some(5),
+        "{}",
+        stats.body_str()
+    );
+    let spq_ep = parsed
+        .get("endpoints")
+        .and_then(|e| e.get("spq"))
+        .expect("per-endpoint block");
+    assert_eq!(
+        spq_ep
+            .get("latency")
+            .and_then(|l| l.get("count"))
+            .and_then(|v| v.as_i64()),
+        Some(5)
+    );
+    assert!(
+        !spq_ep
+            .get("buckets_ns")
+            .and_then(|b| b.as_arr())
+            .expect("bucket export")
+            .is_empty(),
+        "raw bucket export must be present"
+    );
+    let server_block = parsed.get("server").expect("server counters");
+    assert!(
+        server_block
+            .get("requests")
+            .and_then(|v| v.as_i64())
+            .unwrap()
+            >= 6
+    );
+
+    // Router errors: wrong method, unknown path, malformed JSON body —
+    // all keep the connection alive.
+    assert_eq!(client.request("GET", "/spq", b"").status, 405);
+    assert_eq!(client.request("POST", "/nope", b"{}").status, 404);
+    assert_eq!(client.request("POST", "/spq", b"{nope").status, 400);
+    assert_eq!(client.request("POST", "/spq", b"{}").status, 400);
+    // Bad append payloads: 400 on validation, 409 on a gapped stamp.
+    let gapped = format!(
+        "{{\"base\":{},\"trajectories\":[{{\"user\":0,\"entries\":[[0,1,1.0]]}}]}}",
+        set.len() + 10
+    );
+    assert_eq!(
+        client.request("POST", "/append", gapped.as_bytes()).status,
+        409
+    );
+    let invalid = "{\"trajectories\":[{\"user\":0,\"entries\":[[0,9,1.0],[1,3,1.0]]}]}";
+    assert_eq!(
+        client.request("POST", "/append", invalid.as_bytes()).status,
+        400
+    );
+    // The connection survived every error: health still answers.
+    assert_eq!(client.request("GET", "/health", b"").status, 200);
+
+    let metrics = server.shutdown();
+    assert!(metrics.requests >= 13);
+    assert!(metrics.client_errors >= 6);
+    assert_eq!(metrics.server_errors, 0);
+}
