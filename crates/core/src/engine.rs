@@ -12,6 +12,7 @@ use crate::partition::{partition_query, PartitionMethod};
 use crate::snt::{SearchScratch, SntIndex, TravelTimes};
 use crate::split::{SplitMethod, Splitter};
 use crate::spq::Spq;
+use crate::trace::QueryTrace;
 use std::collections::VecDeque;
 use tthr_histogram::Histogram;
 use tthr_network::{Path, RoadNetwork};
@@ -226,6 +227,10 @@ pub struct ChainOutcome {
     pub subs: Vec<SubResult>,
     /// Counters for this chain only.
     pub stats: QueryStats,
+    /// Cost attribution for this chain only (observational — see
+    /// [`QueryTrace`]; deliberately outside the backend-compared
+    /// [`QueryStats`]).
+    pub trace: QueryTrace,
 }
 
 /// The answer to a trip query.
@@ -238,6 +243,9 @@ pub struct TripQuery {
     pub subs: Vec<SubResult>,
     /// Processing counters.
     pub stats: QueryStats,
+    /// Cost attribution across all chains (observational — see
+    /// [`QueryTrace`]).
+    pub trace: QueryTrace,
 }
 
 impl TripQuery {
@@ -322,6 +330,23 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         provider: &P,
         query: &Spq,
     ) -> TripQuery {
+        // One backward-search scratch for the whole trip: relaxation
+        // re-dispatches and the splitter's sub-path searches hit its
+        // suffix cache instead of re-ranking from scratch.
+        self.trip_query_via_with(provider, query, &mut SearchScratch::new())
+    }
+
+    /// [`trip_query_via`](Self::trip_query_via) through a caller-owned
+    /// [`SearchScratch`] — the caller controls the scratch's
+    /// [`QueryTrace`] (e.g. enables wall-clock timing) and the returned
+    /// [`TripQuery::trace`] covers exactly this trip. Identical results.
+    pub fn trip_query_via_with<P: TravelTimeProvider + ?Sized>(
+        &self,
+        provider: &P,
+        query: &Spq,
+        scratch: &mut SearchScratch,
+    ) -> TripQuery {
+        scratch.trace.reset();
         let mut stats = QueryStats::default();
         let initial = self.initial_subqueries(query);
         stats.initial_subqueries = initial.len();
@@ -329,10 +354,6 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         // (sub-query, already shift-and-enlarge adapted?)
         let mut queue: VecDeque<(Spq, bool)> = initial.into_iter().map(|s| (s, false)).collect();
         let mut subs: Vec<SubResult> = Vec::new();
-        // One backward-search scratch for the whole trip: relaxation
-        // re-dispatches and the splitter's sub-path searches hit its
-        // suffix cache instead of re-ranking from scratch.
-        let mut scratch = SearchScratch::new();
         // Shift-and-enlarge accumulators over completed sub-queries:
         // S = Σ H_min, R = Σ (H_max − H_min).
         let mut sum_min = 0.0;
@@ -348,7 +369,7 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
                 sub = sub.with_interval(sub.interval.shift_and_enlarge(sum_min, sum_range));
             }
 
-            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats, &mut scratch) {
+            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats, scratch) {
                 sum_min += done.histogram.min_edge().expect("non-empty histogram");
                 sum_range += done.histogram.max_edge().expect("non-empty")
                     - done.histogram.min_edge().expect("non-empty");
@@ -357,7 +378,7 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         }
 
         stats.final_subqueries = subs.len();
-        Self::convolve_subs(subs, stats)
+        Self::convolve_subs(subs, stats, scratch.trace)
     }
 
     /// The initial partitioning π of a trip query with the β policy applied
@@ -392,18 +413,34 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         provider: &P,
         sub: Spq,
     ) -> ChainOutcome {
+        // Per-chain scratch: the chain root's backward search seeds the
+        // suffix cache every σ-derived sub-path draws from.
+        self.run_chain_via_with(provider, sub, &mut SearchScratch::new())
+    }
+
+    /// [`run_chain_via`](Self::run_chain_via) through a caller-owned
+    /// [`SearchScratch`] (the caller controls the trace's timing flag).
+    /// Identical results.
+    pub fn run_chain_via_with<P: TravelTimeProvider + ?Sized>(
+        &self,
+        provider: &P,
+        sub: Spq,
+        scratch: &mut SearchScratch,
+    ) -> ChainOutcome {
+        scratch.trace.reset();
         let mut stats = QueryStats::default();
         let mut queue: VecDeque<(Spq, bool)> = VecDeque::from([(sub, true)]);
         let mut subs: Vec<SubResult> = Vec::new();
-        // Per-chain scratch: the chain root's backward search seeds the
-        // suffix cache every σ-derived sub-path draws from.
-        let mut scratch = SearchScratch::new();
         while let Some((sub, _)) = queue.pop_front() {
-            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats, &mut scratch) {
+            if let Some(done) = self.step(provider, &sub, &mut queue, &mut stats, scratch) {
                 subs.push(done);
             }
         }
-        ChainOutcome { subs, stats }
+        ChainOutcome {
+            subs,
+            stats,
+            trace: scratch.trace,
+        }
     }
 
     /// Folds completed chains (in initial sub-query order) into the trip
@@ -413,13 +450,15 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
             initial_subqueries: chains.len(),
             ..QueryStats::default()
         };
+        let mut trace = QueryTrace::default();
         let mut subs = Vec::new();
         for chain in chains {
             stats.merge(&chain.stats);
+            trace.merge(&chain.trace);
             subs.extend(chain.subs);
         }
         stats.final_subqueries = subs.len();
-        Self::convolve_subs(subs, stats)
+        Self::convolve_subs(subs, stats, trace)
     }
 
     /// One engine step: estimator gate → index dispatch → either a
@@ -471,13 +510,14 @@ impl<'a, B: IndexBackend> QueryEngine<'a, B> {
         })
     }
 
-    fn convolve_subs(subs: Vec<SubResult>, stats: QueryStats) -> TripQuery {
+    fn convolve_subs(subs: Vec<SubResult>, stats: QueryStats, trace: QueryTrace) -> TripQuery {
         let normalized: Vec<Histogram> = subs.iter().map(|s| s.histogram.normalize()).collect();
         let histogram = Histogram::convolve_all(normalized.iter());
         TripQuery {
             histogram,
             subs,
             stats,
+            trace,
         }
     }
 

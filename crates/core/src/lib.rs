@@ -52,6 +52,7 @@ mod snt;
 mod split;
 mod spq;
 pub mod text;
+mod trace;
 
 pub use cardinality::{estimate_cardinality, CardinalityMode};
 pub use engine::{
@@ -63,7 +64,7 @@ pub use partition::{partition_query, PartitionMethod};
 pub use persist::WalBatch;
 pub use probe::ProbeTable;
 pub use sharded::{
-    ShardRouter, ShardedAppend, ShardedSntIndex, ShardedWalBatch, SECTION_ROUTING,
+    ShardRouter, ShardStats, ShardedAppend, ShardedSntIndex, ShardedWalBatch, SECTION_ROUTING,
     SECTION_SHARDED_META, SHARD_SECTION_BASE,
 };
 pub use snt::{
@@ -71,6 +72,7 @@ pub use snt::{
 };
 pub use split::{SplitMethod, Splitter};
 pub use spq::{Filter, Spq};
+pub use trace::QueryTrace;
 
 // The service layer shares one index across worker threads; a regression
 // dropping these auto-traits (e.g. by storing an `Rc` somewhere inside the

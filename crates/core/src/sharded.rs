@@ -60,7 +60,7 @@ use crate::snt::{SntConfig, SntIndex, TravelTimes};
 use crate::spq::Spq;
 use crate::{CardinalityMode, IndexBackend, TravelTimeProvider};
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use tthr_network::{EdgeId, RoadNetwork, Timestamp};
 use tthr_store::snapshot::{SectionId, SnapshotArchive, SnapshotBuilder};
@@ -244,6 +244,35 @@ pub struct ShardedSntIndex {
     num_trajectories: AtomicUsize,
     data_min: AtomicI64,
     data_max: AtomicI64,
+    /// Observational per-shard counters (never read on the query path);
+    /// one per shard, indexed like `shards`.
+    shard_counters: Vec<ShardCounters>,
+}
+
+/// Lifetime counters one shard accumulates; exposed as [`ShardStats`].
+#[derive(Default)]
+struct ShardCounters {
+    /// Append batches that write-locked this shard.
+    appends: AtomicU64,
+    /// Trajectories those batches added to this shard.
+    appended_trajectories: AtomicU64,
+    /// Nanoseconds appenders spent waiting to acquire this shard's write
+    /// lock (reader contention made visible).
+    lock_wait_ns: AtomicU64,
+}
+
+/// Point-in-time statistics of one shard, read through
+/// [`ShardedSntIndex::shard_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Trajectories currently indexed by the shard (members list length).
+    pub trajectories: u64,
+    /// Append batches that touched the shard since construction.
+    pub appends: u64,
+    /// Trajectories appended to the shard since construction.
+    pub appended_trajectories: u64,
+    /// Total nanoseconds appenders waited on the shard's write lock.
+    pub lock_wait_ns: u64,
 }
 
 impl ShardedSntIndex {
@@ -308,6 +337,7 @@ impl ShardedSntIndex {
             num_trajectories: AtomicUsize::new(trajectories.len()),
             data_min: AtomicI64::new(data_min),
             data_max: AtomicI64::new(data_max),
+            shard_counters: (0..k).map(|_| ShardCounters::default()).collect(),
         }
     }
 
@@ -334,6 +364,24 @@ impl ShardedSntIndex {
     /// Global trajectory ids indexed by shard `s`, ascending.
     pub fn shard_members(&self, s: usize) -> Vec<u32> {
         self.read_shard(s).members.clone()
+    }
+
+    /// Point-in-time per-shard statistics (one entry per shard). Counter
+    /// fields are lifetime totals since this in-memory instance was
+    /// constructed (restores start from zero); `trajectories` is the
+    /// shard's current membership size.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shards.len())
+            .map(|s| {
+                let c = &self.shard_counters[s];
+                ShardStats {
+                    trajectories: self.read_shard(s).members.len() as u64,
+                    appends: c.appends.load(Ordering::Relaxed),
+                    appended_trajectories: c.appended_trajectories.load(Ordering::Relaxed),
+                    lock_wait_ns: c.lock_wait_ns.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// Number of trajectories appended across the index's lifetime (the
@@ -413,7 +461,9 @@ impl ShardedSntIndex {
         spq: &Spq,
         scratch: &mut crate::SearchScratch,
     ) -> TravelTimes {
-        let shard = self.read_shard(self.router.shard_of(spq.path.first()));
+        let s = self.router.shard_of(spq.path.first());
+        scratch.trace.note_shard(s);
+        let shard = self.read_shard(s);
         shard
             .index
             .get_travel_times_with(&Self::translate(&shard.members, spq), scratch)
@@ -435,7 +485,9 @@ impl ShardedSntIndex {
         cap: u32,
         scratch: &mut crate::SearchScratch,
     ) -> usize {
-        let shard = self.read_shard(self.router.shard_of(spq.path.first()));
+        let s = self.router.shard_of(spq.path.first());
+        scratch.trace.note_shard(s);
+        let shard = self.read_shard(s);
         shard
             .index
             .count_matching_with(&Self::translate(&shard.members, spq), cap, scratch)
@@ -492,7 +544,16 @@ impl ShardedSntIndex {
                 continue;
             }
             // Only this shard's readers wait, and only for this append.
+            let wait = std::time::Instant::now();
             let mut shard = self.shards[s].write().unwrap_or_else(|e| e.into_inner());
+            let counters = &self.shard_counters[s];
+            counters
+                .lock_wait_ns
+                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            counters.appends.fetch_add(1, Ordering::Relaxed);
+            counters
+                .appended_trajectories
+                .fetch_add(refs.len() as u64, Ordering::Relaxed);
             shard.members.extend_from_slice(&new_members[s]);
             shard.index.append_trajectories(refs);
             touched.push(s);
@@ -694,6 +755,7 @@ impl ShardedSntIndex {
             num_trajectories: AtomicUsize::new(num_trajectories),
             data_min: AtomicI64::new(data_min),
             data_max: AtomicI64::new(data_max),
+            shard_counters: (0..k).map(|_| ShardCounters::default()).collect(),
         })
     }
 }
@@ -879,6 +941,45 @@ mod tests {
         // The appended traversal is served.
         let q = Spq::new(Path::new(vec![EDGE_F]), TimeInterval::fixed(0, 100));
         assert_eq!(idx.get_travel_times(&q).sorted(), vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn trace_records_shard_routing_and_stats_count_appends() {
+        let idx = sharded(7);
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 100),
+        );
+        let mut scratch = crate::SearchScratch::new();
+        let _ = idx.get_travel_times_with(&q, &mut scratch);
+        let expected = idx.router().shard_of(EDGE_A);
+        assert_eq!(scratch.trace.shard_queries, 1);
+        assert_eq!(scratch.trace.shard_fanout(), 1);
+        assert_eq!(scratch.trace.shard_mask, 1u64 << (expected % 64));
+
+        // Fresh instance: stats start at zero, trajectories reflect
+        // membership, and an append bumps only the touched shard.
+        let stats = idx.shard_stats();
+        assert_eq!(stats.len(), 7);
+        for (s, st) in stats.iter().enumerate() {
+            assert_eq!(st.appends, 0, "shard {s}");
+            assert_eq!(st.trajectories as usize, idx.shard_members(s).len());
+        }
+        let mut grown = example_trajectories();
+        grown
+            .push(
+                tthr_trajectory::UserId(9),
+                vec![TrajEntry::new(EDGE_F, 40, 6.0)],
+            )
+            .unwrap();
+        idx.append_batch(&grown);
+        let touched = idx.router().shard_of(EDGE_F);
+        for (s, st) in idx.shard_stats().iter().enumerate() {
+            let want = u64::from(s == touched);
+            assert_eq!(st.appends, want, "shard {s}");
+            assert_eq!(st.appended_trajectories, want, "shard {s}");
+            assert_eq!(st.trajectories as usize, idx.shard_members(s).len());
+        }
     }
 
     #[test]

@@ -20,8 +20,9 @@ use crate::interval::TimeInterval;
 use crate::probe::ProbeTable;
 use crate::spq::{Filter, Spq};
 use crate::text;
+use crate::trace::QueryTrace;
 use std::ops::ControlFlow;
-use tthr_fmindex::{FmIndex, HuffmanWaveletTree, IsaRange, WaveletMatrix};
+use tthr_fmindex::{FmIndex, HuffmanWaveletTree, IsaRange, SearchCost, WaveletMatrix};
 use tthr_histogram::TimeOfDayHistogram;
 use tthr_network::{EdgeId, RoadNetwork, Timestamp, SECONDS_PER_DAY};
 use tthr_temporal::{BPlusTree, CssTree, LeafEntry, TemporalIndex};
@@ -263,11 +264,17 @@ impl FmVariant {
 
     /// Appends `isa_range(&pattern[k..])` for every `k` to `out` — one
     /// backward search whose checkpointed cursor states become the
-    /// suffix-cache entries of [`SearchScratch`].
-    fn suffix_ranges(&self, pattern: &[u32], out: &mut Vec<IsaRange>) {
+    /// suffix-cache entries of [`SearchScratch`] — charging each live step
+    /// to `cost` ([`tthr_fmindex::FmIndex::suffix_ranges_costed`]).
+    fn suffix_ranges_costed(
+        &self,
+        pattern: &[u32],
+        out: &mut Vec<IsaRange>,
+        cost: &mut SearchCost,
+    ) {
         match self {
-            FmVariant::Huffman(fm) => fm.suffix_ranges(pattern, out),
-            FmVariant::Matrix(fm) => fm.suffix_ranges(pattern, out),
+            FmVariant::Huffman(fm) => fm.suffix_ranges_costed(pattern, out, cost),
+            FmVariant::Matrix(fm) => fm.suffix_ranges_costed(pattern, out, cost),
         }
     }
 
@@ -387,6 +394,10 @@ pub struct SearchScratch {
     ranges: Vec<IsaRange>,
     /// Suffix-state cache over previously searched patterns.
     entries: Vec<ScratchEntry>,
+    /// Cost attribution for the queries answered through this scratch;
+    /// purely observational (see [`QueryTrace`]). Callers that want
+    /// per-query profiles call [`QueryTrace::reset`] between queries.
+    pub trace: QueryTrace,
 }
 
 /// One cached search: the pattern and, flattened per partition, the ISA
@@ -682,16 +693,22 @@ impl SntIndex {
                 scratch
                     .ranges
                     .extend((0..self.partitions.len()).map(|p| entry.states[p * elen + m]));
+                scratch.trace.scratch_hits += 1;
                 return;
             }
         }
 
         // Miss: one backward search per partition, recording every suffix
         // state for future sub-path lookups.
+        scratch.trace.scratch_misses += 1;
+        let mut cost = SearchCost::default();
         let mut states = Vec::with_capacity(self.partitions.len() * len);
         for fm in &self.partitions {
-            fm.suffix_ranges(&scratch.symbols, &mut states);
+            fm.suffix_ranges_costed(&scratch.symbols, &mut states, &mut cost);
+            scratch.trace.partitions_searched += 1;
         }
+        scratch.trace.rank_ops += cost.rank_ops;
+        scratch.trace.wavelet_nodes += cost.wavelet_nodes;
         scratch
             .ranges
             .extend((0..self.partitions.len()).map(|p| states[p * len]));
@@ -821,6 +838,16 @@ impl SntIndex {
     /// and suffix cache (sub-path and widened re-dispatches of σ skip the
     /// wavelet descent entirely). Byte-identical results.
     pub fn get_travel_times_with(&self, spq: &Spq, scratch: &mut SearchScratch) -> TravelTimes {
+        scratch.trace.index_queries += 1;
+        let start = scratch.trace.timing.then(std::time::Instant::now);
+        let out = self.get_travel_times_inner(spq, scratch);
+        if let Some(t0) = start {
+            scratch.trace.search_ns += t0.elapsed().as_nanos() as u64;
+        }
+        out
+    }
+
+    fn get_travel_times_inner(&self, spq: &Spq, scratch: &mut SearchScratch) -> TravelTimes {
         scratch.ensure(self.scratch_id, self.user_table.len() as u64);
         self.fill_ranges(&spq.path, scratch);
         let ranges: &[IsaRange] = &scratch.ranges;
@@ -873,6 +900,16 @@ impl SntIndex {
 
     /// [`SntIndex::count_matching`] through a per-query [`SearchScratch`].
     pub fn count_matching_with(&self, spq: &Spq, cap: u32, scratch: &mut SearchScratch) -> usize {
+        scratch.trace.index_queries += 1;
+        let start = scratch.trace.timing.then(std::time::Instant::now);
+        let out = self.count_matching_inner(spq, cap, scratch);
+        if let Some(t0) = start {
+            scratch.trace.search_ns += t0.elapsed().as_nanos() as u64;
+        }
+        out
+    }
+
+    fn count_matching_inner(&self, spq: &Spq, cap: u32, scratch: &mut SearchScratch) -> usize {
         scratch.ensure(self.scratch_id, self.user_table.len() as u64);
         self.fill_ranges(&spq.path, scratch);
         let ranges: &[IsaRange] = &scratch.ranges;
@@ -1201,6 +1238,53 @@ mod tests {
             idx.isa_ranges(&ab)
         );
         assert_eq!(scratch.cached_searches(), 2);
+    }
+
+    #[test]
+    fn trace_attributes_scratch_hits_and_rank_work() {
+        let idx = index();
+        let mut scratch = SearchScratch::new();
+        let abe = Path::new(vec![EDGE_A, EDGE_B, EDGE_E]);
+        let q = Spq::new(abe.clone(), TimeInterval::fixed(0, 100)).with_beta(2);
+
+        let baseline = idx.get_travel_times(&q);
+        let r = idx.get_travel_times_with(&q, &mut scratch);
+        assert_eq!(
+            r.sorted(),
+            baseline.sorted(),
+            "tracing never changes results"
+        );
+        let t = scratch.trace;
+        assert_eq!(t.index_queries, 1);
+        assert_eq!(t.scratch_misses, 1, "first search is a miss");
+        assert_eq!(t.scratch_hits, 0);
+        assert_eq!(t.partitions_searched as usize, idx.num_partitions());
+        assert_eq!(t.rank_ops, 3, "one rank per live symbol of ⟨A,B,E⟩");
+        assert!(t.wavelet_nodes >= t.rank_ops, "each rank descends ≥ 1 node");
+        assert_eq!(t.search_ns, 0, "timing is off by default");
+        assert_eq!(t.shard_queries, 0, "no shard routing on a bare index");
+
+        // A suffix sub-path answers from the scratch cache: hit, no ranks.
+        let be = Spq::new(Path::new(vec![EDGE_B, EDGE_E]), TimeInterval::fixed(0, 100));
+        let before = scratch.trace;
+        let _ = idx.get_travel_times_with(&be, &mut scratch);
+        let t = scratch.trace;
+        assert_eq!(t.scratch_hits, before.scratch_hits + 1);
+        assert_eq!(t.rank_ops, before.rank_ops, "cache hit ranks nothing");
+        assert_eq!(t.index_queries, 2);
+
+        // Timing, when requested, accumulates wall-clock nanoseconds.
+        let mut timed = SearchScratch::new();
+        timed.trace = QueryTrace::timed();
+        let _ = idx.get_travel_times_with(&q, &mut timed);
+        assert!(timed.trace.search_ns > 0, "timed trace reads the clock");
+
+        // count_matching traces the same way.
+        let mut counting = SearchScratch::new();
+        let n = idx.count_matching_with(&q, u32::MAX, &mut counting);
+        assert_eq!(n, idx.count_matching(&q, u32::MAX));
+        assert_eq!(counting.trace.index_queries, 1);
+        assert_eq!(counting.trace.scratch_misses, 1);
     }
 
     #[test]

@@ -44,6 +44,34 @@ impl IsaRange {
     }
 }
 
+/// Backward-search cost attribution: how much wavelet work a search (or a
+/// sequence of searches) performed. Accumulated by the `_costed` variants
+/// of [`FmIndex::extend_left`] and [`FmIndex::suffix_ranges`]; the query
+/// layers above thread it into their per-query traces.
+///
+/// Only **live** extensions count: a dead-cursor or out-of-alphabet step
+/// is a constant-time no-op that touches no wavelet structure, matching
+/// what [`FmIndex::extend_left`] actually executes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchCost {
+    /// Paired-boundary `rank2` operations executed (one per live
+    /// backward-search step).
+    pub rank_ops: u64,
+    /// Wavelet nodes descended through, summed over those ranks (the
+    /// Huffman code length, or the matrix level count, of each stepped
+    /// symbol) — the finer-grained currency for comparing hot paths
+    /// across wavelet shapes.
+    pub wavelet_nodes: u64,
+}
+
+impl SearchCost {
+    /// Accumulates another cost into this one.
+    pub fn merge(&mut self, other: SearchCost) {
+        self.rank_ops += other.rank_ops;
+        self.wavelet_nodes += other.wavelet_nodes;
+    }
+}
+
 /// Strategy for constructing a wavelet structure from a symbol sequence;
 /// lets [`FmIndex`] be generic over the balanced and Huffman-shaped variants.
 pub trait WaveletBuild: SymbolRank + Sized {
@@ -205,6 +233,25 @@ impl<W: SymbolRank> FmIndex<W> {
         }
     }
 
+    /// [`Self::extend_left`] with cost attribution: a live step charges one
+    /// `rank2` and the stepped symbol's wavelet descent depth to `cost`;
+    /// dead-cursor and out-of-alphabet steps charge nothing, exactly
+    /// mirroring the work the uncosted path performs. The returned cursor
+    /// is bit-identical to `extend_left`'s.
+    #[inline]
+    pub fn extend_left_costed(
+        &self,
+        cur: SearchCursor,
+        c: u32,
+        cost: &mut SearchCost,
+    ) -> SearchCursor {
+        if !(cur.st >= cur.ed || c >= self.alphabet_size) {
+            cost.rank_ops += 1;
+            cost.wavelet_nodes += u64::from(self.bwt.descent_depth(c));
+        }
+        self.extend_left(cur, c)
+    }
+
     /// `getISARange` (paper, Procedure 2): backward search for the symbol
     /// pattern, in `O(|pattern| · log σ)` — independent of the text length.
     ///
@@ -234,6 +281,23 @@ impl<W: SymbolRank> FmIndex<W> {
         let mut cur = self.cursor();
         for (k, &c) in pattern.iter().enumerate().rev() {
             cur = self.extend_left(cur, c);
+            out[from + k] = cur.range();
+        }
+    }
+
+    /// [`Self::suffix_ranges`] with cost attribution — identical output,
+    /// with each live backward-search step charged to `cost`.
+    pub fn suffix_ranges_costed(
+        &self,
+        pattern: &[u32],
+        out: &mut Vec<IsaRange>,
+        cost: &mut SearchCost,
+    ) {
+        let from = out.len();
+        out.resize(from + pattern.len(), IsaRange::EMPTY);
+        let mut cur = self.cursor();
+        for (k, &c) in pattern.iter().enumerate().rev() {
+            cur = self.extend_left_costed(cur, c, cost);
             out[from + k] = cur.range();
         }
     }
@@ -457,6 +521,79 @@ mod tests {
         for k in 0..pattern.len() {
             assert_eq!(out[1 + k], fm.isa_range(&pattern[k..]), "suffix {k}");
         }
+    }
+
+    #[test]
+    fn costed_search_matches_uncosted_and_counts_live_steps() {
+        let text = figure3_text();
+        let (huff, _) = FmIndex::<HuffmanWaveletTree>::build(&text, 7);
+        let (matrix, _) = FmIndex::<WaveletMatrix>::build(&text, 7);
+
+        // Fully live pattern: one rank per symbol, descents equal to the
+        // wavelet shape's per-symbol depth.
+        let pattern = [1u32, 2, 5]; // ⟨A,B,E⟩ — occurs twice
+        let mut plain = Vec::new();
+        let mut costed = Vec::new();
+        let mut cost = SearchCost::default();
+        matrix.suffix_ranges(&pattern, &mut plain);
+        matrix.suffix_ranges_costed(&pattern, &mut costed, &mut cost);
+        assert_eq!(plain, costed);
+        assert_eq!(cost.rank_ops, pattern.len() as u64);
+        let expected_nodes: u64 = pattern
+            .iter()
+            .map(|&c| u64::from(matrix.bwt.descent_depth(c)))
+            .sum();
+        assert_eq!(cost.wavelet_nodes, expected_nodes);
+        // Balanced matrix: every symbol descends all levels.
+        assert_eq!(
+            cost.wavelet_nodes,
+            pattern.len() as u64 * u64::from(matrix.bwt.descent_depth(1))
+        );
+
+        // Huffman shape: depths vary by code length but ranges agree.
+        let mut hplain = Vec::new();
+        let mut hcosted = Vec::new();
+        let mut hcost = SearchCost::default();
+        huff.suffix_ranges(&pattern, &mut hplain);
+        huff.suffix_ranges_costed(&pattern, &mut hcosted, &mut hcost);
+        assert_eq!(hplain, hcosted);
+        assert_eq!(hcost.rank_ops, pattern.len() as u64);
+        let expected_huff: u64 = pattern
+            .iter()
+            .map(|&c| u64::from(huff.bwt.descent_depth(c)))
+            .sum();
+        assert_eq!(hcost.wavelet_nodes, expected_huff);
+
+        // Dead and out-of-alphabet steps charge nothing: in ⟨C,B,A⟩ the
+        // A step is live, the B step ranks (that rank is how the search
+        // learns ⟨B,A⟩ never occurs) and kills the cursor, and the C step
+        // on the dead cursor is free; a pattern ending in an unknown
+        // symbol is dead from step 0.
+        let mut cost = SearchCost::default();
+        let mut out = Vec::new();
+        matrix.suffix_ranges_costed(&[3, 2, 1], &mut out, &mut cost);
+        assert_eq!(cost.rank_ops, 2, "A and B rank; dead C step is free");
+        let mut cost = SearchCost::default();
+        out.clear();
+        matrix.suffix_ranges_costed(&[1, 42], &mut out, &mut cost);
+        assert_eq!(cost, SearchCost::default(), "dead from the first step");
+
+        // extend_left_costed returns bit-identical cursors.
+        let mut cur_a = matrix.cursor();
+        let mut cur_b = matrix.cursor();
+        let mut cost = SearchCost::default();
+        for &c in pattern.iter().rev() {
+            cur_a = matrix.extend_left(cur_a, c);
+            cur_b = matrix.extend_left_costed(cur_b, c, &mut cost);
+            assert_eq!(cur_a, cur_b);
+        }
+
+        // merge() is additive.
+        let mut total = SearchCost::default();
+        total.merge(cost);
+        total.merge(cost);
+        assert_eq!(total.rank_ops, 2 * cost.rank_ops);
+        assert_eq!(total.wavelet_nodes, 2 * cost.wavelet_nodes);
     }
 
     proptest::proptest! {

@@ -326,6 +326,12 @@ impl SymbolRank for HuffmanWaveletTree {
         self.len
     }
 
+    /// A rank of `c` descends the symbol's Huffman code length; symbols
+    /// absent from the tree (rank is trivially 0) descend nothing.
+    fn descent_depth(&self, c: u32) -> u32 {
+        self.code_len(c).map_or(0, u32::from)
+    }
+
     fn access(&self, i: usize) -> u32 {
         debug_assert!(i < self.len);
         if let Some(s) = self.single_symbol {

@@ -34,7 +34,7 @@ pub mod suffix;
 mod wavelet;
 
 pub use bitvec::RankBitVec;
-pub use fm::{FmIndex, IsaRange, SearchCursor, WaveletBuild};
+pub use fm::{FmIndex, IsaRange, SearchCost, SearchCursor, WaveletBuild};
 pub use huffman::HuffmanWaveletTree;
 pub use wavelet::WaveletMatrix;
 
@@ -64,6 +64,16 @@ pub trait SymbolRank {
     fn rank2(&self, c: u32, i: usize, j: usize) -> (usize, usize) {
         debug_assert!(i <= j);
         (self.rank(c, i), self.rank(c, j))
+    }
+
+    /// Number of wavelet nodes a rank of symbol `c` descends through — the
+    /// per-operation cost attribution query tracing reports (rank-op
+    /// counts are the currency for comparing trajectory-index hot paths).
+    /// The balanced matrix answers its level count, the Huffman tree the
+    /// symbol's code length; the default (for flat structures) is 1.
+    fn descent_depth(&self, c: u32) -> u32 {
+        let _ = c;
+        1
     }
 
     /// Approximate heap size in bytes (for the Figure 10 memory accounting).

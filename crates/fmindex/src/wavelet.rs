@@ -110,6 +110,12 @@ impl SymbolRank for WaveletMatrix {
         self.len
     }
 
+    /// Every symbol descends through all `⌈log σ⌉` levels of the balanced
+    /// matrix.
+    fn descent_depth(&self, _c: u32) -> u32 {
+        self.bits
+    }
+
     fn access(&self, i: usize) -> u32 {
         debug_assert!(i < self.len);
         let mut pos = i;

@@ -12,9 +12,18 @@
 //! * [`LogHistogram`] — an HDR-style log-bucketed aggregating histogram
 //!   for service latency summaries: bounded memory regardless of sample
 //!   count, ≤ 1.6 % relative quantile error.
+//! * [`registry`] — a dependency-free labeled metrics registry
+//!   ([`MetricsRegistry`]) with Prometheus text exposition and a strict
+//!   format validator, built on [`LogHistogram`] for histogram series.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod registry;
+
+pub use registry::{
+    validate_exposition, Counter, Gauge, HistogramHandle, MetricKind, MetricsRegistry,
+};
 
 use tthr_histogram::{Histogram, SmoothedPdf};
 
@@ -130,10 +139,31 @@ impl LogHistogram {
         }
     }
 
+    /// Exact sum of all recorded values. `u128`, so it cannot overflow
+    /// even for `u64::MAX`-scale samples (2⁶⁴ recordings of `u64::MAX`
+    /// still fit).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Nearest-rank percentile, `p ∈ [0, 100]`: the bucket midpoint of the
     /// sample at rank `⌈p/100 · n⌉` (clamped to the exact min/max so the
     /// tails never report values outside the observed range); 0 when
     /// empty. Within 1/64 ≈ 1.6 % of [`percentile`] over the raw samples.
+    ///
+    /// Edge contract, pinned by tests:
+    ///
+    /// * Values `< 64` live in exact unit buckets, so any quantile landing
+    ///   there is the true sample value — in particular a histogram of
+    ///   zeros reports 0 at every percentile (indistinguishable from the
+    ///   empty-histogram 0 only by [`LogHistogram::count`]).
+    /// * `u64::MAX`-scale values saturate gracefully: reported quantiles
+    ///   are clamped into the exact observed `[min, max]` range, so the
+    ///   tails never exceed [`LogHistogram::max`] and never wrap — a
+    ///   histogram recorded entirely at `u64::MAX` reports exactly
+    ///   `u64::MAX` at every percentile. (Samples inside the top octave
+    ///   are subject to the same ≈ 1.6 % bucket error as everywhere else;
+    ///   only the clamp endpoints are exact.)
     pub fn value_at_percentile(&self, p: f64) -> u64 {
         if self.is_empty() {
             return 0;
@@ -167,9 +197,36 @@ impl LogHistogram {
     /// [`LogHistogram::value_at_percentile`] reports for quantiles landing
     /// in that bucket. Indexes come from
     /// [`LogHistogram::nonzero_buckets`]; out-of-range indexes saturate to
-    /// the top bucket's midpoint.
+    /// the top bucket's midpoint. Bucket 0 holds exactly the value 0 (all
+    /// buckets below 64 are exact unit buckets), and the top bucket's
+    /// midpoint is below `u64::MAX` — reading it back never overflows.
     pub fn bucket_value(idx: usize) -> u64 {
         Self::bucket_mid(idx.min(NUM_BUCKETS - 1))
+    }
+
+    /// The **inclusive upper bound** of a bucket: the largest value that
+    /// [`LogHistogram::record`] files under `idx`. Exact buckets (`idx <
+    /// 64`) bound themselves; octave sub-buckets bound at
+    /// `(mantissa + 1) · 2^shift − 1`, computed in `u128` because the top
+    /// bucket's exclusive bound is 2⁶⁴ — the inclusive bound saturates to
+    /// `u64::MAX` instead of wrapping. Out-of-range indexes also saturate
+    /// to `u64::MAX`.
+    ///
+    /// This is the cumulative-bucket boundary Prometheus `le=` labels use:
+    /// `bucket_of(bucket_bound(i)) == i` and
+    /// `bucket_of(bucket_bound(i) + 1) == i + 1` for every non-top bucket.
+    pub fn bucket_bound(idx: usize) -> u64 {
+        if idx >= NUM_BUCKETS {
+            return u64::MAX;
+        }
+        let idx = idx as u64;
+        if idx < SUB {
+            return idx;
+        }
+        let shift = (idx >> SUB_BITS) - 1;
+        let mantissa = SUB + (idx & (SUB - 1));
+        let excl = ((mantissa as u128) + 1) << shift;
+        (excl - 1).min(u64::MAX as u128) as u64
     }
 
     /// Merges another histogram into this one (used to aggregate per-shard
@@ -464,6 +521,74 @@ mod tests {
         assert!(LogHistogram::new().nonzero_buckets().next().is_none());
         // Saturating index mapping cannot panic.
         let _ = LogHistogram::bucket_value(usize::MAX);
+    }
+
+    #[test]
+    fn log_histogram_bucket_bounds_partition_the_u64_range() {
+        // Every bucket's inclusive bound maps back into the bucket, the
+        // next value up maps into the next bucket, and bounds are strictly
+        // increasing — the cumulative `le=` boundaries tile u64 exactly.
+        let mut prev = None;
+        for i in 0..NUM_BUCKETS {
+            let bound = LogHistogram::bucket_bound(i);
+            assert_eq!(LogHistogram::bucket_of(bound), i, "bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(bound > p, "bucket {i}: {bound} ≤ {p}");
+            }
+            if i + 1 < NUM_BUCKETS {
+                assert_eq!(
+                    LogHistogram::bucket_of(bound + 1),
+                    i + 1,
+                    "value above bucket {i}'s bound"
+                );
+            }
+            // The midpoint never exceeds the bound (no overflow artifacts).
+            assert!(LogHistogram::bucket_value(i) <= bound, "bucket {i}");
+            prev = Some(bound);
+        }
+        // The top bucket saturates at u64::MAX instead of wrapping to 0.
+        assert_eq!(LogHistogram::bucket_bound(NUM_BUCKETS - 1), u64::MAX);
+        assert_eq!(LogHistogram::bucket_bound(usize::MAX), u64::MAX);
+        // Bucket 0 is the exact value 0.
+        assert_eq!(LogHistogram::bucket_bound(0), 0);
+        assert_eq!(LogHistogram::bucket_value(0), 0);
+    }
+
+    #[test]
+    fn log_histogram_percentile_contract_at_bucket_zero() {
+        // A histogram of zeros reports 0 everywhere — bucket 0 is exact.
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.value_at_percentile(p), 0);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn log_histogram_percentile_contract_at_saturation() {
+        // A histogram recorded entirely at u64::MAX: the clamp range is a
+        // single point, so every percentile is exactly u64::MAX.
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.value_at_percentile(p), u64::MAX);
+        }
+        assert_eq!(h.sum(), 2 * (u64::MAX as u128));
+        // Mixed top-octave values: quantiles stay inside the exact
+        // observed [min, max] — no wrap, nothing above max.
+        h.record(u64::MAX - 7);
+        h.record(100);
+        for p in [25.0, 50.0, 99.0, 100.0] {
+            let v = h.value_at_percentile(p);
+            assert!(v >= 100 && v <= h.max(), "p{p}: {v}");
+        }
+        assert_eq!(h.value_at_percentile(0.0), 100, "head clamps to min");
+        assert_eq!(h.max(), u64::MAX, "exact max is tracked separately");
     }
 
     #[test]

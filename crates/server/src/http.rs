@@ -188,6 +188,9 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
+/// The content type of the `/metrics` Prometheus text exposition.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Serializes one response. `retry_after` adds the `Retry-After` header
 /// (load shedding); `keep_alive: false` adds `Connection: close`.
 pub fn encode_response(
@@ -196,10 +199,22 @@ pub fn encode_response(
     keep_alive: bool,
     retry_after: Option<u32>,
 ) -> Vec<u8> {
+    encode_response_with_content_type(status, body, keep_alive, retry_after, "application/json")
+}
+
+/// [`encode_response`] with an explicit `content-type` (everything this
+/// server emits is JSON except the `/metrics` text exposition).
+pub fn encode_response_with_content_type(
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after: Option<u32>,
+    content_type: &str,
+) -> Vec<u8> {
     let mut head = String::with_capacity(128);
     let _ = write!(
         head,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         reason_phrase(status),
         body.len()
     );

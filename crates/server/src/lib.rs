@@ -14,7 +14,8 @@
 //!  clients ══╗   ┌────────────────── reactor thread ──────────────────┐
 //!            ╟──►│ accept → per-conn state machine:                   │
 //!  keep-alive╢   │   read → incremental parse → route                 │
-//!  pipelining╢   │     /health /stats ──────────────► inline answer   │
+//!  pipelining╢   │     /health /stats /metrics ─────► inline answer   │
+//!            ║   │     /debug/slow                                    │
 //!            ╟──►│     /spq /trip /batch /append ──┐                  │
 //!            ║   │                                 ▼                  │
 //!            ║   │        [ bounded in-flight window = queue_cap ]    │
@@ -83,8 +84,9 @@ use tthr_service::{QueryService, ServiceBackend};
 use tthr_store::StoreError;
 
 /// The API operations that go through the bounded queue (the inline
-/// `/health` and `/stats` endpoints bypass it: they are the liveness
-/// signal and must answer even under full load).
+/// `/health`, `/stats`, `/metrics`, and `/debug/slow` endpoints bypass
+/// it: they are the liveness/observability signal and must answer even
+/// under full load).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Op {
     Spq,
@@ -171,6 +173,14 @@ pub struct ServerMetrics {
     /// High-water mark of simultaneously in-flight (dispatched) requests
     /// — never exceeds [`ServerConfig::queue_cap`].
     pub max_inflight: usize,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Response bytes written to sockets.
+    pub bytes_out: u64,
+    /// Connections reaped by the idle timeout (slow-loris / non-reading
+    /// clients). Graceful closes — drained peers, shutdown drains — are
+    /// not counted here.
+    pub reaped_idle: u64,
 }
 
 /// A running server: the reactor thread plus its shared state.
@@ -249,6 +259,8 @@ pub fn serve<B: ServiceBackend>(
     let max_batch = config.max_batch_queries;
     let api_service = service.clone();
     let stats_service = service.clone();
+    let metrics_service = service.clone();
+    let slow_service = service.clone();
     let exec_service = service;
     let handlers = Handlers {
         api: Arc::new(move |op, body| handle_api(&api_service, num_edges, max_batch, op, body)),
@@ -257,6 +269,16 @@ pub fn serve<B: ServiceBackend>(
             // summaries and the raw bucket exports.
             let (stats, histograms) = stats_service.stats_with_histograms();
             wire::encode_stats(&stats, &histograms, &server)
+        }),
+        metrics: Arc::new(move |server| {
+            mirror_server_metrics(metrics_service.metrics_registry(), &server);
+            metrics_service.render_metrics()
+        }),
+        slow: Arc::new(move || {
+            wire::encode_slow(
+                &slow_service.slow_queries(),
+                &slow_service.sampled_queries(),
+            )
         }),
         exec: Arc::new(move |job| exec_service.execute(job)),
     };
@@ -274,6 +296,82 @@ pub fn serve<B: ServiceBackend>(
         shared,
         thread: Some(thread),
     })
+}
+
+/// Mirrors the reactor's own counters into the service registry so one
+/// `/metrics` scrape covers the whole stack. The reactor atomics stay
+/// authoritative; the registry series are set (not incremented) from the
+/// snapshot at scrape time, the same pattern the service uses for its
+/// cache and shard counters.
+fn mirror_server_metrics(registry: &tthr_metrics::MetricsRegistry, server: &ServerMetrics) {
+    let counter = |name, help, value: u64| {
+        registry.counter(name, help, &[]).set(value);
+    };
+    let gauge = |name, help, value: u64| {
+        registry
+            .gauge(name, help, &[])
+            .set(i64::try_from(value).unwrap_or(i64::MAX));
+    };
+    counter(
+        "tthr_server_connections_accepted_total",
+        "TCP connections accepted by the reactor",
+        server.accepted,
+    );
+    gauge(
+        "tthr_server_connections_active",
+        "TCP connections currently open",
+        server.active_connections,
+    );
+    counter(
+        "tthr_server_requests_total",
+        "Complete HTTP requests parsed (all endpoints)",
+        server.requests,
+    );
+    counter(
+        "tthr_server_responses_ok_total",
+        "2xx HTTP responses",
+        server.responses_ok,
+    );
+    counter(
+        "tthr_server_shed_total",
+        "Requests shed with 503 past the backpressure watermark",
+        server.shed,
+    );
+    counter(
+        "tthr_server_client_errors_total",
+        "4xx HTTP responses",
+        server.client_errors,
+    );
+    counter(
+        "tthr_server_server_errors_total",
+        "5xx HTTP responses",
+        server.server_errors,
+    );
+    counter(
+        "tthr_server_refused_shutdown_total",
+        "Requests refused with 503 during graceful shutdown",
+        server.refused_shutdown,
+    );
+    gauge(
+        "tthr_server_inflight_high_water",
+        "High-water mark of simultaneously dispatched requests",
+        server.max_inflight as u64,
+    );
+    counter(
+        "tthr_server_bytes_read_total",
+        "Request bytes read off sockets",
+        server.bytes_in,
+    );
+    counter(
+        "tthr_server_bytes_written_total",
+        "Response bytes written to sockets",
+        server.bytes_out,
+    );
+    counter(
+        "tthr_server_connections_reaped_total",
+        "Connections closed by the idle timeout",
+        server.reaped_idle,
+    );
 }
 
 /// Decodes, executes, and encodes one API request (worker side).

@@ -85,6 +85,9 @@ pub(crate) struct Counters {
     pub server_errors: AtomicU64,
     pub refused_shutdown: AtomicU64,
     pub max_inflight: AtomicUsize,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub reaped_idle: AtomicU64,
 }
 
 impl Counters {
@@ -99,6 +102,9 @@ impl Counters {
             server_errors: self.server_errors.load(Ordering::Relaxed),
             refused_shutdown: self.refused_shutdown.load(Ordering::Relaxed),
             max_inflight: self.max_inflight.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
         }
     }
 
@@ -118,6 +124,12 @@ impl Counters {
 pub(crate) type ApiHandler = Arc<dyn Fn(Op, &[u8]) -> (u16, String) + Send + Sync>;
 /// Render the `/stats` body; runs inline on the reactor.
 pub(crate) type StatsHandler = Arc<dyn Fn(ServerMetrics) -> String + Send + Sync>;
+/// Render the `/metrics` Prometheus exposition; runs inline on the
+/// reactor (the server counter snapshot is mirrored into the service's
+/// registry before rendering).
+pub(crate) type MetricsHandler = Arc<dyn Fn(ServerMetrics) -> String + Send + Sync>;
+/// Render the `/debug/slow` slow-query-log body; runs inline.
+pub(crate) type SlowHandler = Arc<dyn Fn() -> String + Send + Sync>;
 /// Submit a job to the service's worker pool.
 pub(crate) type Executor = Arc<dyn Fn(Box<dyn FnOnce() + Send>) + Send + Sync>;
 
@@ -126,6 +138,8 @@ pub(crate) type Executor = Arc<dyn Fn(Box<dyn FnOnce() + Send>) + Send + Sync>;
 pub(crate) struct Handlers {
     pub api: ApiHandler,
     pub stats: StatsHandler,
+    pub metrics: MetricsHandler,
+    pub slow: SlowHandler,
     pub exec: Executor,
 }
 
@@ -342,6 +356,10 @@ impl Reactor {
             Ok(n) => {
                 conn.last_activity = Instant::now();
                 conn.buf.extend_from_slice(&chunk[..n]);
+                self.shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
                 self.advance_conn(token);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
@@ -434,6 +452,26 @@ impl Reactor {
                 self.finish(token, seq, bytes, !keep_alive);
                 return;
             }
+            ("GET", "/metrics") => {
+                let body = (self.handlers.metrics)(self.shared.counters.snapshot());
+                let bytes = http::encode_response_with_content_type(
+                    200,
+                    body.as_bytes(),
+                    keep_alive,
+                    None,
+                    http::PROMETHEUS_CONTENT_TYPE,
+                );
+                self.shared.counters.count_status(200);
+                self.finish(token, seq, bytes, !keep_alive);
+                return;
+            }
+            ("GET", "/debug/slow") => {
+                let body = (self.handlers.slow)();
+                let bytes = http::encode_response(200, body.as_bytes(), keep_alive, None);
+                self.shared.counters.count_status(200);
+                self.finish(token, seq, bytes, !keep_alive);
+                return;
+            }
             ("POST", "/spq") => Op::Spq,
             ("POST", "/trip") => Op::Trip,
             ("POST", "/batch") => Op::Batch,
@@ -441,7 +479,14 @@ impl Reactor {
             ("GET" | "POST", _) => {
                 let known_target = matches!(
                     request.target.as_str(),
-                    "/spq" | "/trip" | "/batch" | "/append" | "/health" | "/stats"
+                    "/spq"
+                        | "/trip"
+                        | "/batch"
+                        | "/append"
+                        | "/health"
+                        | "/stats"
+                        | "/metrics"
+                        | "/debug/slow"
                 );
                 let (status, reason) = if known_target {
                     (405, "method not allowed")
@@ -611,6 +656,10 @@ impl Reactor {
                 Ok(n) => {
                     conn.write_pos += n;
                     conn.last_activity = Instant::now();
+                    self.shared
+                        .counters
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -681,10 +730,10 @@ impl Reactor {
         }
 
         let now = Instant::now();
-        let idle: Vec<u64> = self
+        let idle: Vec<(u64, bool)> = self
             .conns
             .values()
-            .filter(|c| {
+            .filter_map(|c| {
                 let drained = c.outstanding() == 0 && c.write_drained() && c.parked.is_none();
                 // Exempt from the idle clock only while *we* owe work we
                 // can still deliver: a response pending in a worker
@@ -701,11 +750,20 @@ impl Reactor {
                 let idle_timed_out = !waiting_on_us
                     && now.duration_since(c.last_activity) > self.config.idle_timeout;
                 // During a drain, a quiesced connection closes immediately.
-                idle_timed_out || (shutting_down && drained) || (c.peer_closed && drained)
+                if idle_timed_out || (shutting_down && drained) || (c.peer_closed && drained) {
+                    Some((c.token, idle_timed_out))
+                } else {
+                    None
+                }
             })
-            .map(|c| c.token)
             .collect();
-        for token in idle {
+        for (token, timed_out) in idle {
+            if timed_out {
+                self.shared
+                    .counters
+                    .reaped_idle
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             self.close_conn(token);
         }
 

@@ -17,6 +17,8 @@
 //! |---------------|--------------------------------|---------------|
 //! | `GET /health` | —                              | `{"status":"ok"}` |
 //! | `GET /stats`  | —                              | service + server statistics |
+//! | `GET /metrics`| —                              | Prometheus text exposition |
+//! | `GET /debug/slow` | —                          | [slow-query log](encode_slow) |
 //! | `POST /spq`   | [SPQ](decode_spq)              | `{"values":[…],"fallback":…}` |
 //! | `POST /trip`  | [SPQ](decode_spq)              | trip result (stats, subs, histogram) |
 //! | `POST /batch` | `{"queries":[SPQ,…]}`          | `{"trips":[…]}` |
@@ -33,7 +35,7 @@ use tthr_core::{Filter, Spq, TimeInterval, TravelTimes, TripQuery};
 use tthr_histogram::Histogram;
 use tthr_metrics::LogHistogram;
 use tthr_network::Path;
-use tthr_service::{Endpoint, LatencySummary, PerEndpoint, ServiceStats};
+use tthr_service::{Endpoint, LatencySummary, PerEndpoint, ServiceStats, SlowQuery};
 use tthr_trajectory::{TrajEntry, TrajId, UserId};
 
 /// A request the wire layer refuses, with the reason sent back as the
@@ -462,7 +464,53 @@ pub fn encode_stats(
                     Json::Int(server.refused_shutdown as i64),
                 ),
                 ("max_inflight", Json::Int(server.max_inflight as i64)),
+                ("bytes_in", Json::Int(server.bytes_in as i64)),
+                ("bytes_out", Json::Int(server.bytes_out as i64)),
+                ("reaped_idle", Json::Int(server.reaped_idle as i64)),
             ]),
+        ),
+    ])
+    .encode()
+}
+
+// ------------------------------------------------------------- slow log
+
+fn slow_query_json(q: &SlowQuery) -> Json {
+    let t = &q.trace;
+    let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+    obj(vec![
+        ("endpoint", Json::Str(q.endpoint.to_string())),
+        ("seq", int(q.seq)),
+        ("path_len", Json::Int(q.path_len as i64)),
+        ("latency_ns", int(q.latency_ns)),
+        (
+            "trace",
+            obj(vec![
+                ("rank_ops", int(t.rank_ops)),
+                ("wavelet_nodes", int(t.wavelet_nodes)),
+                ("scratch_hits", int(t.scratch_hits)),
+                ("scratch_misses", int(t.scratch_misses)),
+                ("partitions_searched", int(t.partitions_searched)),
+                ("index_queries", int(t.index_queries)),
+                ("cache_hits", int(t.cache_hits)),
+                ("cache_misses", int(t.cache_misses)),
+                ("shard_queries", int(t.shard_queries)),
+                ("shard_fanout", Json::Int(t.shard_fanout() as i64)),
+                ("search_ns", int(t.search_ns)),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes the `/debug/slow` response: the worst queries seen (by wall
+/// latency, worst first) and an every-Nth sample stream (oldest first),
+/// each with its full [`QueryTrace`](tthr_core::QueryTrace).
+pub fn encode_slow(top: &[SlowQuery], sampled: &[SlowQuery]) -> String {
+    obj(vec![
+        ("top", Json::Arr(top.iter().map(slow_query_json).collect())),
+        (
+            "sampled",
+            Json::Arr(sampled.iter().map(slow_query_json).collect()),
         ),
     ])
     .encode()

@@ -19,7 +19,9 @@
 //! — stamp-checked, so replay stays idempotent across the snapshot/WAL
 //! overlap a crash can leave behind.
 
-use tthr_core::{IndexBackend, ShardedSntIndex, ShardedWalBatch, SntIndex, Spq, WalBatch};
+use tthr_core::{
+    IndexBackend, ShardStats, ShardedSntIndex, ShardedWalBatch, SntIndex, Spq, WalBatch,
+};
 use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 use tthr_trajectory::{TrajEntry, Trajectory, TrajectorySet, UserId};
 
@@ -104,6 +106,14 @@ pub trait ServiceBackend: IndexBackend + Send + Sync + Sized + 'static {
     /// invalidates; must agree with how [`AppendEffect::touched_shards`]
     /// numbers shards.
     fn route_shard(&self, spq: &Spq) -> Option<usize>;
+
+    /// Per-shard observability counters, indexed like
+    /// [`Self::route_shard`]'s shard numbers; `None` for unpartitioned
+    /// backends. The service mirrors these into `{shard=…}` labeled
+    /// registry series at scrape time.
+    fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        None
+    }
 
     /// Encodes the WAL record logging the delta `set[from..]`.
     fn encode_wal_record(&self, set: &TrajectorySet, from: usize) -> Vec<u8>;
@@ -259,6 +269,10 @@ impl ServiceBackend for ShardedSntIndex {
 
     fn route_shard(&self, spq: &Spq) -> Option<usize> {
         Some(self.router().shard_of(spq.path.first()))
+    }
+
+    fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        Some(ShardedSntIndex::shard_stats(self))
     }
 
     fn encode_wal_record(&self, set: &TrajectorySet, from: usize) -> Vec<u8> {

@@ -28,6 +28,12 @@
 //!   ([`cache::ShardedCache::clear_where`]).
 //! * [`ServiceStats`] — p50/p95/p99 latency, throughput, and cache hit
 //!   rate, computed with `tthr-metrics`.
+//! * an **observability layer** — every request is cost-traced
+//!   ([`tthr_core::QueryTrace`]: rank ops, wavelet descents, cache tiers,
+//!   shard fanout) into a [`tthr_metrics::MetricsRegistry`] the service
+//!   owns; [`QueryService::render_metrics`] renders the Prometheus text
+//!   exposition and [`QueryService::slow_queries`] exposes the top-N
+//!   slowest traced requests ([`SlowQuery`]).
 //!
 //! Results are **identical** to the single-threaded engine: the cache key
 //! is the entire query, the cached value is the exact
@@ -68,17 +74,17 @@ pub use backend::{AppendEffect, ServiceBackend};
 pub use cache::{CacheCounters, ShardedCache};
 pub use persist::{SnapshotInfo, SNAPSHOT_FILE, WAL_FILE};
 pub use pool::ThreadPool;
-pub use stats::{Endpoint, LatencySummary, PerEndpoint, ServiceStats};
+pub use stats::{Endpoint, LatencySummary, PerEndpoint, ServiceStats, SlowQuery};
 
-use crate::stats::LatencyLog;
+use crate::stats::{LatencyLog, ServiceMetrics, SlowLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tthr_core::{
-    QueryEngine, QueryEngineConfig, ShardedSntIndex, SntIndex, Spq, TravelTimeProvider,
-    TravelTimes, TripQuery,
+    QueryEngine, QueryEngineConfig, QueryTrace, SearchScratch, ShardedSntIndex, SntIndex, Spq,
+    TravelTimeProvider, TravelTimes, TripQuery,
 };
-use tthr_metrics::LogHistogram;
+use tthr_metrics::{LogHistogram, MetricsRegistry};
 use tthr_network::RoadNetwork;
 use tthr_store::StoreError;
 use tthr_trajectory::{TrajEntry, TrajectorySet, UserId};
@@ -100,6 +106,18 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Engine strategy configuration shared by every query.
     pub engine: QueryEngineConfig,
+    /// Enable per-query wall-clock timing inside index search calls
+    /// ([`tthr_core::QueryTrace::search_ns`]). Off by default: the
+    /// counters in a trace are always collected (a handful of integer
+    /// adds), but the clock reads are opt-in.
+    pub trace_timing: bool,
+    /// Capacity of the slow-query log: the top-N requests by latency
+    /// (and, independently, the most recent N sampled traces). 0 disables
+    /// both rings.
+    pub slow_query_log: usize,
+    /// Record every Nth request's trace into the sampled ring regardless
+    /// of latency (0 disables sampling).
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +127,9 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             cache_capacity: 65_536,
             engine: QueryEngineConfig::default(),
+            trace_timing: false,
+            slow_query_log: 32,
+            trace_sample_every: 1024,
         }
     }
 }
@@ -119,8 +140,11 @@ struct Inner<B: ServiceBackend> {
     cache: ShardedCache,
     engine_config: QueryEngineConfig,
     latency: LatencyLog,
-    spq_queries: AtomicU64,
-    trip_queries: AtomicU64,
+    metrics: ServiceMetrics,
+    slow: SlowLog,
+    /// Whether per-query traces read the wall clock inside search calls
+    /// ([`ServiceConfig::trace_timing`]).
+    trace_timing: bool,
     /// Append counter in seqlock style: incremented to **odd** right
     /// before a shared-append backend starts applying a batch and back to
     /// **even** when the apply is complete (exclusive-append backends
@@ -132,6 +156,26 @@ struct Inner<B: ServiceBackend> {
     /// Durable storage, attached by `save_snapshot` / `open`. Lock order:
     /// the index lock is always taken **before** this mutex.
     persist: Mutex<Option<persist::Persistence>>,
+}
+
+impl<B: ServiceBackend> Inner<B> {
+    /// Folds one finished request into every observability sink: the
+    /// latency histogram, the request counter, the trace aggregates, and
+    /// the slow-query log.
+    fn observe(&self, endpoint: Endpoint, elapsed: Duration, path_len: usize, trace: &QueryTrace) {
+        self.latency.record(endpoint, elapsed);
+        self.metrics.requests[endpoint].inc();
+        self.metrics.note_trace(trace);
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.slow.observe(endpoint.name(), path_len, ns, trace);
+    }
+
+    /// A search scratch with this service's trace-timing policy applied.
+    fn scratch(&self) -> SearchScratch {
+        let mut scratch = SearchScratch::new();
+        scratch.trace.timing = self.trace_timing;
+        scratch
+    }
 }
 
 /// Routes the engine's `getTravelTimes` dispatches through the shared
@@ -166,8 +210,10 @@ impl<B: ServiceBackend> TravelTimeProvider for CachedIndex<'_, B> {
     /// validation below stays the only staleness gate for the *cache*.
     fn travel_times_with(&self, spq: &Spq, scratch: &mut tthr_core::SearchScratch) -> TravelTimes {
         if let Some(hit) = self.cache.get(spq) {
+            scratch.trace.cache_hits += 1;
             return hit;
         }
+        scratch.trace.cache_misses += 1;
         let before = self.generation.load(Ordering::SeqCst);
         let computed = self.index.travel_times_with(spq, scratch);
         if before.is_multiple_of(2) && self.generation.load(Ordering::SeqCst) == before {
@@ -199,15 +245,18 @@ impl<B: ServiceBackend> QueryService<B> {
         } else {
             config.num_threads
         };
+        let metrics = ServiceMetrics::new();
+        let latency = LatencyLog::new(&metrics.registry);
         QueryService {
             inner: Arc::new(Inner {
                 index: RwLock::new(index),
                 network,
                 cache: ShardedCache::new(config.cache_shards, config.cache_capacity),
                 engine_config: config.engine,
-                latency: LatencyLog::new(),
-                spq_queries: AtomicU64::new(0),
-                trip_queries: AtomicU64::new(0),
+                latency,
+                metrics,
+                slow: SlowLog::new(config.slow_query_log, config.trace_sample_every),
+                trace_timing: config.trace_timing,
                 generation: AtomicU64::new(0),
                 persist: Mutex::new(None),
             }),
@@ -245,16 +294,21 @@ impl<B: ServiceBackend> QueryService<B> {
     /// byte-identical to [`SntIndex::get_travel_times`]).
     pub fn get_travel_times(&self, spq: &Spq) -> TravelTimes {
         let start = Instant::now();
+        let mut scratch = self.inner.scratch();
         let index = self.inner.index.read().expect("index lock");
         let provider = CachedIndex {
             index: &*index,
             cache: &self.inner.cache,
             generation: &self.inner.generation,
         };
-        let result = provider.travel_times(spq);
+        let result = provider.travel_times_with(spq, &mut scratch);
         drop(index);
-        self.inner.spq_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.latency.record(Endpoint::Spq, start.elapsed());
+        self.inner.observe(
+            Endpoint::Spq,
+            start.elapsed(),
+            spq.path.len(),
+            &scratch.trace,
+        );
         result
     }
 
@@ -264,8 +318,12 @@ impl<B: ServiceBackend> QueryService<B> {
     pub fn trip_query(&self, query: &Spq) -> TripQuery {
         let start = Instant::now();
         let result = self.trip_query_inner(query);
-        self.inner.trip_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.latency.record(Endpoint::Trip, start.elapsed());
+        self.inner.observe(
+            Endpoint::Trip,
+            start.elapsed(),
+            query.path.len(),
+            &result.trace,
+        );
         result
     }
 
@@ -290,16 +348,17 @@ impl<B: ServiceBackend> QueryService<B> {
                     // the trip up — the same scale `trip_query` records on.
                     let start = Instant::now();
                     let result = trip_query_on(&inner, pool.as_deref(), &query);
-                    inner.latency.record(Endpoint::Batch, start.elapsed());
+                    inner.observe(
+                        Endpoint::Batch,
+                        start.elapsed(),
+                        query.path.len(),
+                        &result.trace,
+                    );
                     result
                 }
             })
             .collect();
-        let results = self.pool.run_all(jobs);
-        self.inner
-            .trip_queries
-            .fetch_add(queries.len() as u64, Ordering::Relaxed);
-        results
+        self.pool.run_all(jobs)
     }
 
     fn trip_query_inner(&self, query: &Spq) -> TripQuery {
@@ -331,7 +390,10 @@ impl<B: ServiceBackend> QueryService<B> {
     pub fn append_batch(&self, set: &TrajectorySet) -> Result<usize, StoreError> {
         let start = Instant::now();
         let result = self.append_batch_inner(set);
-        self.inner.latency.record(Endpoint::Append, start.elapsed());
+        // Appends have no search trace; they still count and feed the
+        // slow-query log (a stalled append is worth seeing there).
+        self.inner
+            .observe(Endpoint::Append, start.elapsed(), 0, &QueryTrace::default());
         result
     }
 
@@ -397,7 +459,8 @@ impl<B: ServiceBackend> QueryService<B> {
     ) -> Result<usize, StoreError> {
         let start = Instant::now();
         let result = self.append_new_inner(base, new);
-        self.inner.latency.record(Endpoint::Append, start.elapsed());
+        self.inner
+            .observe(Endpoint::Append, start.elapsed(), 0, &QueryTrace::default());
         result
     }
 
@@ -468,8 +531,20 @@ impl<B: ServiceBackend> QueryService<B> {
     ) -> Result<(), StoreError> {
         let mut persist = self.inner.persist.lock().expect("persist lock");
         if let Some(p) = persist.as_mut() {
-            p.wal.append(&index.encode_wal_payload(new, from))?;
+            self.wal_append(p, &index.encode_wal_payload(new, from))?;
         }
+        Ok(())
+    }
+
+    /// Appends one record to the WAL, recording its size and fsync
+    /// latency in the registry.
+    fn wal_append(&self, p: &mut persist::Persistence, record: &[u8]) -> Result<(), StoreError> {
+        let start = Instant::now();
+        p.wal.append(record)?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.inner.metrics.wal_fsync_ns.record(ns);
+        self.inner.metrics.wal_appends.inc();
+        self.inner.metrics.wal_bytes.add(record.len() as u64);
         Ok(())
     }
 
@@ -482,7 +557,7 @@ impl<B: ServiceBackend> QueryService<B> {
     ) -> Result<(), StoreError> {
         let mut persist = self.inner.persist.lock().expect("persist lock");
         if let Some(p) = persist.as_mut() {
-            p.wal.append(&index.encode_wal_record(set, from))?;
+            self.wal_append(p, &index.encode_wal_record(set, from))?;
         }
         Ok(())
     }
@@ -526,9 +601,11 @@ impl<B: ServiceBackend> QueryService<B> {
     /// endpoint) does not merge every stripe twice.
     pub fn stats_with_histograms(&self) -> (ServiceStats, PerEndpoint<LogHistogram>) {
         let (histograms, endpoints, latency, throughput_qps, uptime) = self.inner.latency.export();
+        let requests = &self.inner.metrics.requests;
         let stats = ServiceStats {
-            spq_queries: self.inner.spq_queries.load(Ordering::Relaxed),
-            trip_queries: self.inner.trip_queries.load(Ordering::Relaxed),
+            spq_queries: requests[Endpoint::Spq].get(),
+            // Batch trips count as trip queries, as they always have.
+            trip_queries: requests[Endpoint::Trip].get() + requests[Endpoint::Batch].get(),
             latency,
             endpoints,
             throughput_qps,
@@ -553,6 +630,47 @@ impl<B: ServiceBackend> QueryService<B> {
     /// cache and its counters are left untouched).
     pub fn reset_stats(&self) {
         self.inner.latency.reset();
+    }
+
+    /// The service's metrics registry. Other layers (e.g. a network
+    /// front-end) register their own series here so one
+    /// [`QueryService::render_metrics`] scrape covers the whole process.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.inner.metrics.registry
+    }
+
+    /// Renders every registry series in the Prometheus text exposition
+    /// format, after mirroring the scrape-time values (cache counters,
+    /// index generation and size, per-shard series) into the registry.
+    pub fn render_metrics(&self) -> String {
+        let m = &self.inner.metrics;
+        m.mirror_cache(&self.inner.cache.counters());
+        m.generation.set(
+            i64::try_from(self.inner.generation.load(Ordering::SeqCst) / 2).unwrap_or(i64::MAX),
+        );
+        {
+            let index = self.inner.index.read().expect("index lock");
+            m.index_trajectories
+                .set(i64::try_from(index.num_trajectories()).unwrap_or(i64::MAX));
+            m.index_partitions
+                .set(i64::try_from(index.num_partitions()).unwrap_or(i64::MAX));
+            if let Some(shards) = index.shard_stats() {
+                m.mirror_shards(&shards);
+            }
+        }
+        m.registry.render()
+    }
+
+    /// The slowest requests seen so far, worst first (bounded by
+    /// [`ServiceConfig::slow_query_log`]), each with its cost trace.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.inner.slow.top()
+    }
+
+    /// The most recent sampled request traces, oldest first (every
+    /// [`ServiceConfig::trace_sample_every`]-th request).
+    pub fn sampled_queries(&self) -> Vec<SlowQuery> {
+        self.inner.slow.sampled()
     }
 }
 
@@ -603,9 +721,9 @@ fn trip_query_on<B: ServiceBackend>(
         generation: &inner.generation,
     };
     if engine.chains_are_independent(query) {
-        run_chains_inline(&engine, &provider, engine.initial_subqueries(query))
+        run_chains_inline(&engine, &provider, engine.initial_subqueries(query), inner)
     } else {
-        engine.trip_query_via(&provider, query)
+        engine.trip_query_via_with(&provider, query, &mut inner.scratch())
     }
 }
 
@@ -625,7 +743,7 @@ fn trip_query_pass<B: ServiceBackend>(
         generation: &inner.generation,
     };
     let result = if !engine.chains_are_independent(query) {
-        engine.trip_query_via(&provider, query)
+        engine.trip_query_via_with(&provider, query, &mut inner.scratch())
     } else {
         let chains = engine.initial_subqueries(query);
         match pool {
@@ -648,7 +766,7 @@ fn trip_query_pass<B: ServiceBackend>(
                                 cache: &inner.cache,
                                 generation: &inner.generation,
                             };
-                            engine.run_chain_via(&provider, sub)
+                            engine.run_chain_via_with(&provider, sub, &mut inner.scratch())
                         }
                     })
                     .collect();
@@ -658,7 +776,7 @@ fn trip_query_pass<B: ServiceBackend>(
                 return generation_valid(inner, generation_before)
                     .then(|| engine.assemble(outcomes));
             }
-            _ => run_chains_inline(&engine, &provider, chains),
+            _ => run_chains_inline(&engine, &provider, chains, inner),
         }
     };
     generation_valid(inner, generation_before).then_some(result)
@@ -672,16 +790,21 @@ fn generation_valid<B: ServiceBackend>(inner: &Inner<B>, before: u64) -> bool {
 }
 
 /// Runs a trip's independent chains sequentially on the calling thread
-/// (shared by the no-pool path and the update-race retry path).
+/// (shared by the no-pool path and the update-race retry path). One
+/// scratch serves every chain — the suffix cache stays warm across them,
+/// and each [`ChainOutcome`](tthr_core::ChainOutcome) still captures its
+/// own trace (the chain runner resets it).
 fn run_chains_inline<B: ServiceBackend>(
     engine: &QueryEngine<'_, B>,
     provider: &CachedIndex<'_, B>,
     chains: Vec<Spq>,
+    inner: &Inner<B>,
 ) -> TripQuery {
+    let mut scratch = inner.scratch();
     engine.assemble(
         chains
             .into_iter()
-            .map(|sub| engine.run_chain_via(provider, sub))
+            .map(|sub| engine.run_chain_via_with(provider, sub, &mut scratch))
             .collect(),
     )
 }
@@ -954,5 +1077,142 @@ mod tests {
         let s = service(0);
         assert!(s.num_threads() >= 1);
         let _ = s.trip_query(&abe());
+    }
+
+    /// Every request funnels into the registry: request counters, trace
+    /// aggregates, latency histograms, and the scrape-time mirrors all
+    /// appear in a well-formed Prometheus exposition.
+    #[test]
+    fn render_metrics_is_valid_and_reflects_traffic() {
+        let s = service(2);
+        let _ = s.get_travel_times(&abe()); // miss → rank work
+        let _ = s.get_travel_times(&abe()); // hit
+        let _ = s.trip_query(&abe());
+        let text = s.render_metrics();
+        tthr_metrics::validate_exposition(&text).expect(&text);
+        assert!(
+            text.contains("tthr_requests_total{endpoint=\"spq\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("tthr_requests_total{endpoint=\"trip\"} 1"));
+        assert!(text.contains("tthr_request_duration_ns_count{endpoint=\"spq\"} 2"));
+        assert!(text.contains("tthr_cache_hits_total 1"));
+        assert!(text.contains("tthr_index_trajectories 4"));
+        assert!(text.contains("tthr_index_generation 0"));
+        // The first SPQ ran a real backward search.
+        let rank_ops = text
+            .lines()
+            .find_map(|l| l.strip_prefix("tthr_rank_ops_total "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("rank_ops series");
+        assert!(
+            rank_ops >= 3,
+            "⟨A,B,E⟩ ranks at least 3 times, got {rank_ops}"
+        );
+        // Monolithic backend: no per-shard series.
+        assert!(!text.contains("tthr_shard_trajectories"));
+    }
+
+    /// The sharded service additionally exposes `{shard=…}` series mirrored
+    /// from the backend's per-shard counters.
+    #[test]
+    fn sharded_render_metrics_exposes_per_shard_series() {
+        let s = sharded_service(2, 3);
+        let _ = s.get_travel_times(&abe());
+        let mut grown = example_trajectories();
+        grown
+            .push(UserId(9), vec![TrajEntry::new(EDGE_F, 50, 6.5)])
+            .unwrap();
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
+        let text = s.render_metrics();
+        tthr_metrics::validate_exposition(&text).expect(&text);
+        for shard in 0..3 {
+            assert!(
+                text.contains(&format!("tthr_shard_trajectories{{shard=\"{shard}\"}}")),
+                "{text}"
+            );
+        }
+        // Exactly one shard took the append.
+        let appended: u64 = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("tthr_shard_appends_total{"))
+            .filter_map(|l| l.split_once("} ").and_then(|(_, v)| v.parse::<u64>().ok()))
+            .sum();
+        assert_eq!(appended, 1);
+        assert!(text.contains("tthr_index_generation 1"));
+        // Queries routed through shards show up in the trace aggregates.
+        assert!(!text.contains("tthr_shard_queries_total 0\n"), "{text}");
+    }
+
+    /// The slow-query log captures the worst requests with their traces,
+    /// and trace timing populates `search_ns` when enabled.
+    #[test]
+    fn slow_query_log_captures_traces() {
+        let network = example_network();
+        let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+        let s = QueryService::new(
+            index,
+            Arc::new(network),
+            ServiceConfig {
+                num_threads: 2,
+                trace_timing: true,
+                slow_query_log: 8,
+                trace_sample_every: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let _ = s.get_travel_times(&abe());
+        let _ = s.trip_query(&abe());
+        let slow = s.slow_queries();
+        assert_eq!(slow.len(), 2);
+        assert!(slow[0].latency_ns >= slow[1].latency_ns, "worst first");
+        let spq = slow.iter().find(|e| e.endpoint == "spq").unwrap();
+        assert_eq!(spq.path_len, 3);
+        assert!(spq.trace.rank_ops >= 3);
+        assert_eq!(spq.trace.cache_misses, 1);
+        assert!(spq.trace.search_ns > 0, "timing enabled → clocked search");
+        assert_eq!(s.sampled_queries().len(), 2, "sample_every=1 samples all");
+
+        // With timing off (the default), traces still count but never
+        // read the clock.
+        let s2 = service(2);
+        let _ = s2.get_travel_times(&abe());
+        let slow2 = s2.slow_queries();
+        let spq2 = slow2.iter().find(|e| e.endpoint == "spq").unwrap();
+        assert!(spq2.trace.rank_ops >= 3);
+        assert_eq!(spq2.trace.search_ns, 0);
+    }
+
+    /// WAL and snapshot activity land in the persistence series.
+    #[test]
+    fn persistence_metrics_cover_wal_and_snapshot() {
+        let dir = std::env::temp_dir().join(format!("tthr-service-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = service(2);
+        s.save_snapshot(&dir).unwrap();
+        let mut grown = example_trajectories();
+        grown
+            .push(
+                UserId(9),
+                vec![
+                    TrajEntry::new(EDGE_A, 3, 3.0),
+                    TrajEntry::new(EDGE_B, 6, 3.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
+        let text = s.render_metrics();
+        tthr_metrics::validate_exposition(&text).expect(&text);
+        assert!(text.contains("tthr_snapshots_total 1"));
+        assert!(text.contains("tthr_snapshot_duration_ns_count 1"));
+        assert!(text.contains("tthr_wal_appends_total 1"));
+        assert!(text.contains("tthr_wal_fsync_duration_ns_count 1"));
+        let wal_bytes = text
+            .lines()
+            .find_map(|l| l.strip_prefix("tthr_wal_bytes_total "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+        assert!(wal_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -97,6 +97,7 @@ impl<B: ServiceBackend> QueryService<B> {
         let _permit = index.append_permit();
         let mut persist = self.inner.persist.lock().expect("persist lock");
         let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        let started = std::time::Instant::now();
         let bytes;
         {
             let f = std::fs::File::create(&tmp)?;
@@ -107,6 +108,14 @@ impl<B: ServiceBackend> QueryService<B> {
             bytes = f.metadata()?.len();
             f.sync_all()?;
         }
+        let metrics = &self.inner.metrics;
+        metrics
+            .snapshot_duration_ns
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        metrics
+            .snapshot_bytes
+            .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+        metrics.snapshots.inc();
         let info = SnapshotInfo {
             path: dir.join(SNAPSHOT_FILE),
             bytes,

@@ -1,12 +1,25 @@
-//! Service-level observability: per-endpoint latency histograms,
-//! throughput, cache effectiveness.
+//! Service-level observability: the labeled metrics registry, per-endpoint
+//! latency histograms, per-query trace aggregation, and the slow-query
+//! ring.
+//!
+//! Everything here feeds two consumers:
+//!
+//! * [`ServiceStats`] — the structured snapshot the `/stats` endpoint and
+//!   library callers read (unchanged wire shape across the registry
+//!   refactor).
+//! * [`MetricsRegistry`] — the Prometheus-rendered families behind
+//!   `QueryService::render_metrics` (the `/metrics` endpoint). The latency
+//!   histograms live directly in the registry ([`LatencyLog`] holds
+//!   registry handles), so both consumers read the *same* series.
 
 use crate::cache::CacheCounters;
+use std::collections::VecDeque;
 use std::ops::Index;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use tthr_metrics::LogHistogram;
+use tthr_core::QueryTrace;
+use tthr_metrics::{Counter, Gauge, HistogramHandle, LogHistogram, MetricsRegistry};
 
 /// The service entry points whose latency is recorded separately.
 ///
@@ -38,7 +51,8 @@ impl Endpoint {
         Endpoint::Append,
     ];
 
-    /// Stable lower-case name (wire formats and logs key on it).
+    /// Stable lower-case name (wire formats, logs, and the `endpoint`
+    /// metric label key on it).
     pub fn name(self) -> &'static str {
         match self {
             Endpoint::Spq => "spq",
@@ -129,37 +143,22 @@ pub struct ServiceStats {
     pub uptime: Duration,
 }
 
-/// Lock stripes per endpoint: recording threads spread across stripes, so
-/// a [`LatencyLog::export`] (which visits every stripe briefly) never
-/// stalls the whole recording population behind one mutex.
-const STRIPES: usize = 8;
-
-/// Round-robin stripe assignment, fixed per thread on first record: the
-/// cheapest contention-spreading scheme that needs no unstable thread-id
-/// APIs and no per-record hashing.
-fn stripe_of_thread() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
-    }
-    STRIPE.with(|s| *s)
-}
-
 /// Striped per-endpoint latency recorder feeding [`ServiceStats`].
 ///
-/// Samples aggregate into HDR-style log-bucketed [`LogHistogram`]s
-/// (nanosecond resolution): memory stays constant (~30 KiB per stripe) no
-/// matter how long the service lives. Count, mean, and max are exact;
-/// reported percentiles are within 1/64 ≈ 1.6 % of the true sample.
+/// The histograms are **registry series** — one
+/// `tthr_request_duration_ns{endpoint=…}` [`HistogramHandle`] per
+/// [`Endpoint`] — so the Prometheus exposition and the `/stats` summaries
+/// are views of the same samples. Samples aggregate into HDR-style
+/// log-bucketed [`LogHistogram`]s (nanosecond resolution): memory stays
+/// constant no matter how long the service lives. Count, mean, and max are
+/// exact; reported percentiles are within 1/64 ≈ 1.6 % of the true sample.
 ///
-/// Recording takes one short stripe lock; a snapshot merges the stripes
-/// one at a time, so concurrent recorders only ever contend on a single
-/// stripe for the duration of one ~36 KiB bucket merge — `snapshot()` is
-/// cheap even under heavy recording (regression-tested below with 8
-/// recording threads).
+/// Recording takes one short stripe lock inside the handle (threads spread
+/// round-robin over 8 stripes); a snapshot merges the stripes one at a
+/// time, so `export()` is cheap even under heavy recording
+/// (regression-tested below with 8 recording threads).
 pub(crate) struct LatencyLog {
-    /// `endpoints[e][stripe]`.
-    endpoints: Vec<Vec<Mutex<LogHistogram>>>,
+    handles: [HistogramHandle; 4],
     started: Mutex<Instant>,
 }
 
@@ -168,34 +167,28 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl LatencyLog {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
         LatencyLog {
-            endpoints: Endpoint::ALL
-                .iter()
-                .map(|_| {
-                    (0..STRIPES)
-                        .map(|_| Mutex::new(LogHistogram::new()))
-                        .collect()
-                })
-                .collect(),
+            handles: Endpoint::ALL.map(|e| {
+                registry.histogram(
+                    "tthr_request_duration_ns",
+                    "Wall-clock service request latency in nanoseconds",
+                    &[("endpoint", e.name())],
+                )
+            }),
             started: Mutex::new(Instant::now()),
         }
     }
 
     pub(crate) fn record(&self, endpoint: Endpoint, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        let stripe = stripe_of_thread();
-        lock(&self.endpoints[endpoint.index()][stripe]).record(ns);
+        self.handles[endpoint.index()].record(ns);
     }
 
     /// The merged histogram of one endpoint (raw-bucket export for
     /// cross-process aggregation).
     pub(crate) fn merged(&self, endpoint: Endpoint) -> LogHistogram {
-        let mut out = LogHistogram::new();
-        for stripe in &self.endpoints[endpoint.index()] {
-            out.merge(&lock(stripe));
-        }
-        out
+        self.handles[endpoint.index()].merged()
     }
 
     /// The merged per-endpoint histograms, their summaries, the overall
@@ -231,12 +224,295 @@ impl LatencyLog {
 
     /// Forgets all samples and restarts the throughput clock.
     pub(crate) fn reset(&self) {
-        for endpoint in &self.endpoints {
-            for stripe in endpoint {
-                lock(stripe).clear();
-            }
+        for handle in &self.handles {
+            handle.clear();
         }
         *lock(&self.started) = Instant::now();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry series owned by the service
+// ---------------------------------------------------------------------------
+
+/// Every registry series the service maintains, pre-registered so the hot
+/// path is a relaxed atomic add per counter. Cache, generation, and
+/// per-shard series are authoritatively maintained elsewhere and
+/// **mirrored** into the registry at scrape time
+/// (`QueryService::render_metrics`).
+pub(crate) struct ServiceMetrics {
+    pub(crate) registry: MetricsRegistry,
+    /// `tthr_requests_total{endpoint}` — the request counters
+    /// [`ServiceStats::spq_queries`]/[`ServiceStats::trip_queries`]
+    /// report from.
+    pub(crate) requests: PerEndpoint<Counter>,
+    // Query-trace aggregates (summed from each query's `QueryTrace`).
+    pub(crate) rank_ops: Counter,
+    pub(crate) wavelet_nodes: Counter,
+    pub(crate) scratch_hits: Counter,
+    pub(crate) scratch_misses: Counter,
+    pub(crate) partitions_searched: Counter,
+    pub(crate) index_queries: Counter,
+    pub(crate) shard_queries: Counter,
+    // Result-cache mirrors (authoritative atomics live in ShardedCache).
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    pub(crate) cache_evictions: Counter,
+    pub(crate) cache_invalidations: Counter,
+    pub(crate) cache_entries: Gauge,
+    pub(crate) cache_capacity: Gauge,
+    // Index-level mirrors.
+    pub(crate) generation: Gauge,
+    pub(crate) index_trajectories: Gauge,
+    pub(crate) index_partitions: Gauge,
+    // Persistence.
+    pub(crate) wal_appends: Counter,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) wal_fsync_ns: HistogramHandle,
+    pub(crate) snapshots: Counter,
+    pub(crate) snapshot_bytes: Gauge,
+    pub(crate) snapshot_duration_ns: HistogramHandle,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let requests = PerEndpoint(Endpoint::ALL.map(|e| {
+            registry.counter(
+                "tthr_requests_total",
+                "Service requests served",
+                &[("endpoint", e.name())],
+            )
+        }));
+        let counter = |name, help| registry.counter(name, help, &[]);
+        let gauge = |name, help| registry.gauge(name, help, &[]);
+        ServiceMetrics {
+            requests,
+            rank_ops: counter(
+                "tthr_rank_ops_total",
+                "Backward-search rank2 operations executed (live steps only)",
+            ),
+            wavelet_nodes: counter(
+                "tthr_wavelet_nodes_total",
+                "Wavelet nodes descended through by backward-search ranks",
+            ),
+            scratch_hits: counter(
+                "tthr_scratch_hits_total",
+                "Sub-path searches served from a checkpointed scratch cursor",
+            ),
+            scratch_misses: counter(
+                "tthr_scratch_misses_total",
+                "Fresh backward searches executed (scratch suffix-cache misses)",
+            ),
+            partitions_searched: counter(
+                "tthr_partitions_searched_total",
+                "FM-index partitions scanned by fresh backward searches",
+            ),
+            index_queries: counter(
+                "tthr_index_queries_total",
+                "Index-level getTravelTimes/countMatching dispatches",
+            ),
+            shard_queries: counter(
+                "tthr_shard_queries_total",
+                "Index dispatches routed to a shard (0 on a monolithic backend)",
+            ),
+            cache_hits: counter("tthr_cache_hits_total", "Result-cache hits"),
+            cache_misses: counter("tthr_cache_misses_total", "Result-cache misses"),
+            cache_evictions: counter("tthr_cache_evictions_total", "Result-cache LRU evictions"),
+            cache_invalidations: counter(
+                "tthr_cache_invalidations_total",
+                "Result-cache entries invalidated by appends",
+            ),
+            cache_entries: gauge("tthr_cache_entries", "Result-cache resident entries"),
+            cache_capacity: gauge("tthr_cache_capacity", "Result-cache capacity in entries"),
+            generation: gauge(
+                "tthr_index_generation",
+                "Completed append batches applied to the index",
+            ),
+            index_trajectories: gauge("tthr_index_trajectories", "Trajectories currently indexed"),
+            index_partitions: gauge(
+                "tthr_index_partitions",
+                "Temporal partitions currently held (summed across shards)",
+            ),
+            wal_appends: counter("tthr_wal_appends_total", "Write-ahead-log records appended"),
+            wal_bytes: counter(
+                "tthr_wal_bytes_total",
+                "Write-ahead-log payload bytes appended",
+            ),
+            wal_fsync_ns: registry.histogram(
+                "tthr_wal_fsync_duration_ns",
+                "Write-ahead-log append+fsync latency in nanoseconds",
+                &[],
+            ),
+            snapshots: counter("tthr_snapshots_total", "Snapshots written"),
+            snapshot_bytes: gauge("tthr_snapshot_bytes", "Size of the last snapshot in bytes"),
+            snapshot_duration_ns: registry.histogram(
+                "tthr_snapshot_duration_ns",
+                "Snapshot write+fsync duration in nanoseconds",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    /// Folds one query's trace into the aggregate counters.
+    pub(crate) fn note_trace(&self, t: &QueryTrace) {
+        self.rank_ops.add(t.rank_ops);
+        self.wavelet_nodes.add(t.wavelet_nodes);
+        self.scratch_hits.add(t.scratch_hits);
+        self.scratch_misses.add(t.scratch_misses);
+        self.partitions_searched.add(t.partitions_searched);
+        self.index_queries.add(t.index_queries);
+        self.shard_queries.add(t.shard_queries);
+    }
+
+    /// Mirrors the authoritative cache counters into the registry.
+    pub(crate) fn mirror_cache(&self, c: &CacheCounters) {
+        self.cache_hits.set(c.hits);
+        self.cache_misses.set(c.misses);
+        self.cache_evictions.set(c.evictions);
+        self.cache_invalidations.set(c.invalidations);
+        self.cache_entries.set(c.entries as i64);
+        self.cache_capacity.set(c.capacity as i64);
+    }
+
+    /// Mirrors per-shard backend counters into `{shard=…}` labeled series
+    /// (registered idempotently on first scrape — the shard count is a
+    /// backend property the registry does not need to know up front).
+    pub(crate) fn mirror_shards(&self, stats: &[tthr_core::ShardStats]) {
+        for (i, s) in stats.iter().enumerate() {
+            let shard = i.to_string();
+            let labels = [("shard", shard.as_str())];
+            self.registry
+                .gauge(
+                    "tthr_shard_trajectories",
+                    "Trajectories indexed per shard",
+                    &labels,
+                )
+                .set(i64::try_from(s.trajectories).unwrap_or(i64::MAX));
+            self.registry
+                .counter(
+                    "tthr_shard_appends_total",
+                    "Append batches that wrote this shard",
+                    &labels,
+                )
+                .set(s.appends);
+            self.registry
+                .counter(
+                    "tthr_shard_appended_trajectories_total",
+                    "Trajectories appended to this shard",
+                    &labels,
+                )
+                .set(s.appended_trajectories);
+            self.registry
+                .counter(
+                    "tthr_shard_lock_wait_ns_total",
+                    "Nanoseconds appenders waited on this shard's write lock",
+                    &labels,
+                )
+                .set(s.lock_wait_ns);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query ring
+// ---------------------------------------------------------------------------
+
+/// One traced query in the slow-query log
+/// ([`QueryService::slow_queries`](crate::QueryService::slow_queries)).
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// [`Endpoint::name`] of the entry point that served it.
+    pub endpoint: &'static str,
+    /// Edges in the query path (0 for appends).
+    pub path_len: usize,
+    /// End-to-end wall latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Service-wide request sequence number (position in arrival order).
+    pub seq: u64,
+    /// The query's cost trace.
+    pub trace: QueryTrace,
+}
+
+/// Fixed-size slow-query collector: a top-N-by-latency ring plus an
+/// every-Nth sampled ring, both bounded.
+///
+/// The hot path is one relaxed `fetch_add` (the sequence number) plus a
+/// relaxed floor check; the mutex is only taken when an entry actually
+/// qualifies — under steady load almost never.
+pub(crate) struct SlowLog {
+    cap: usize,
+    sample_every: u64,
+    seq: AtomicU64,
+    /// Smallest latency currently in a *full* top ring (0 while filling):
+    /// the lock-free admission filter.
+    floor: AtomicU64,
+    /// Worst-first, at most `cap` entries.
+    top: Mutex<Vec<SlowQuery>>,
+    /// Most recent `cap` sampled entries, oldest first.
+    sampled: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowLog {
+    pub(crate) fn new(cap: usize, sample_every: u64) -> Self {
+        SlowLog {
+            cap,
+            sample_every,
+            seq: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            top: Mutex::new(Vec::new()),
+            sampled: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn observe(
+        &self,
+        endpoint: &'static str,
+        path_len: usize,
+        latency_ns: u64,
+        trace: &QueryTrace,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.cap == 0 {
+            return;
+        }
+        let entry = || SlowQuery {
+            endpoint,
+            path_len,
+            latency_ns,
+            seq,
+            trace: *trace,
+        };
+        if latency_ns > self.floor.load(Ordering::Relaxed) {
+            let mut top = lock(&self.top);
+            let at = top.partition_point(|e: &SlowQuery| e.latency_ns > latency_ns);
+            if at < self.cap {
+                top.insert(at, entry());
+                top.truncate(self.cap);
+                if top.len() == self.cap {
+                    self.floor
+                        .store(top.last().map_or(0, |e| e.latency_ns), Ordering::Relaxed);
+                }
+            }
+        }
+        if self.sample_every > 0 && seq.is_multiple_of(self.sample_every) {
+            let mut sampled = lock(&self.sampled);
+            if sampled.len() == self.cap {
+                sampled.pop_front();
+            }
+            sampled.push_back(entry());
+        }
+    }
+
+    /// The worst queries seen, worst first.
+    pub(crate) fn top(&self) -> Vec<SlowQuery> {
+        lock(&self.top).clone()
+    }
+
+    /// The most recent sampled queries, oldest first.
+    pub(crate) fn sampled(&self) -> Vec<SlowQuery> {
+        lock(&self.sampled).iter().cloned().collect()
     }
 }
 
@@ -244,11 +520,17 @@ impl LatencyLog {
 mod tests {
     use super::*;
 
+    fn log() -> (MetricsRegistry, LatencyLog) {
+        let registry = MetricsRegistry::new();
+        let log = LatencyLog::new(&registry);
+        (registry, log)
+    }
+
     /// The log-bucketed histogram reports percentiles within 1/64 relative
     /// error; count/mean/max stay exact.
     #[test]
     fn summary_percentiles() {
-        let log = LatencyLog::new();
+        let (_registry, log) = log();
         for i in 1..=100 {
             log.record(Endpoint::Spq, Duration::from_millis(i));
         }
@@ -270,7 +552,7 @@ mod tests {
     /// Endpoints aggregate separately and merge into the overall summary.
     #[test]
     fn endpoints_are_separate() {
-        let log = LatencyLog::new();
+        let (_registry, log) = log();
         log.record(Endpoint::Spq, Duration::from_millis(1));
         log.record(Endpoint::Trip, Duration::from_millis(10));
         log.record(Endpoint::Trip, Duration::from_millis(20));
@@ -287,11 +569,25 @@ mod tests {
         assert_eq!(log.merged(Endpoint::Trip).count(), 2);
     }
 
+    /// The latency samples are registry series: the Prometheus rendering
+    /// of the shared registry carries the same counts the summaries do.
+    #[test]
+    fn latency_log_is_visible_in_the_registry() {
+        let (registry, log) = log();
+        log.record(Endpoint::Spq, Duration::from_millis(2));
+        log.record(Endpoint::Batch, Duration::from_millis(3));
+        let text = registry.render();
+        tthr_metrics::validate_exposition(&text).expect(&text);
+        assert!(text.contains("tthr_request_duration_ns_count{endpoint=\"spq\"} 1"));
+        assert!(text.contains("tthr_request_duration_ns_count{endpoint=\"batch\"} 1"));
+        assert!(text.contains("tthr_request_duration_ns_count{endpoint=\"trip\"} 0"));
+    }
+
     /// The recorder's footprint does not grow with the sample count — the
     /// property the histogram exists for.
     #[test]
     fn bounded_memory_for_many_samples() {
-        let log = LatencyLog::new();
+        let (_registry, log) = log();
         for i in 0..200_000u64 {
             log.record(Endpoint::Batch, Duration::from_nanos(i * 37 + 1));
         }
@@ -302,7 +598,8 @@ mod tests {
 
     #[test]
     fn empty_log_is_all_zero() {
-        let (_, per, summary, qps, _) = LatencyLog::new().export();
+        let (_registry, log) = log();
+        let (_, per, summary, qps, _) = log.export();
         assert_eq!(summary, LatencySummary::default());
         for e in Endpoint::ALL {
             assert_eq!(per[e], LatencySummary::default());
@@ -312,7 +609,7 @@ mod tests {
 
     #[test]
     fn reset_clears_samples() {
-        let log = LatencyLog::new();
+        let (_registry, log) = log();
         log.record(Endpoint::Spq, Duration::from_millis(5));
         log.reset();
         assert_eq!(log.export().2.count, 0);
@@ -327,7 +624,8 @@ mod tests {
     fn concurrent_recording_with_cheap_snapshots() {
         const THREADS: usize = 8;
         const PER_THREAD: usize = 5_000;
-        let log = std::sync::Arc::new(LatencyLog::new());
+        let registry = MetricsRegistry::new();
+        let log = std::sync::Arc::new(LatencyLog::new(&registry));
         let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS + 1));
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
@@ -368,5 +666,83 @@ mod tests {
         log.reset();
         assert_eq!(log.export().2.count, 0);
         assert!(log.merged(Endpoint::Spq).is_empty());
+    }
+
+    #[test]
+    fn slow_log_keeps_top_n_worst_first_and_samples_every_nth() {
+        let slow = SlowLog::new(3, 4);
+        let trace = QueryTrace::default();
+        for (i, ns) in [50u64, 10, 80, 20, 70, 90, 5, 60].iter().enumerate() {
+            slow.observe("spq", i + 1, *ns, &trace);
+        }
+        let top: Vec<u64> = slow.top().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(top, vec![90, 80, 70], "worst three, worst first");
+        assert_eq!(slow.top()[0].endpoint, "spq");
+        assert_eq!(slow.top()[0].path_len, 6, "entry keeps its query's data");
+        // seq 0 and 4 were sampled (every 4th).
+        let sampled: Vec<u64> = slow.sampled().iter().map(|e| e.seq).collect();
+        assert_eq!(sampled, vec![0, 4]);
+    }
+
+    #[test]
+    fn slow_log_zero_capacity_records_nothing() {
+        let slow = SlowLog::new(0, 1);
+        slow.observe("trip", 3, 1_000_000, &QueryTrace::default());
+        assert!(slow.top().is_empty());
+        assert!(slow.sampled().is_empty());
+    }
+
+    #[test]
+    fn slow_log_ties_at_the_floor_do_not_grow_the_ring() {
+        let slow = SlowLog::new(2, 0);
+        let trace = QueryTrace::default();
+        slow.observe("spq", 1, 100, &trace);
+        slow.observe("spq", 1, 100, &trace);
+        slow.observe("spq", 1, 100, &trace); // equals the floor: rejected
+        assert_eq!(slow.top().len(), 2);
+        slow.observe("spq", 1, 101, &trace); // beats the floor: admitted
+        let top: Vec<u64> = slow.top().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(top, vec![101, 100]);
+    }
+
+    #[test]
+    fn service_metrics_render_validates_and_mirrors() {
+        let m = ServiceMetrics::new();
+        m.requests[Endpoint::Spq].inc();
+        let trace = QueryTrace {
+            rank_ops: 5,
+            wavelet_nodes: 12,
+            index_queries: 1,
+            ..QueryTrace::default()
+        };
+        m.note_trace(&trace);
+        m.mirror_cache(&CacheCounters {
+            hits: 3,
+            misses: 4,
+            evictions: 0,
+            invalidations: 1,
+            entries: 2,
+            capacity: 100,
+        });
+        m.mirror_shards(&[
+            tthr_core::ShardStats {
+                trajectories: 10,
+                appends: 2,
+                appended_trajectories: 6,
+                lock_wait_ns: 1234,
+            },
+            tthr_core::ShardStats::default(),
+        ]);
+        let text = m.registry.render();
+        tthr_metrics::validate_exposition(&text).expect(&text);
+        assert!(text.contains("tthr_requests_total{endpoint=\"spq\"} 1"));
+        assert!(text.contains("tthr_rank_ops_total 5"));
+        assert!(text.contains("tthr_wavelet_nodes_total 12"));
+        assert!(text.contains("tthr_cache_hits_total 3"));
+        assert!(text.contains("tthr_cache_capacity 100"));
+        assert!(text.contains("tthr_shard_trajectories{shard=\"0\"} 10"));
+        assert!(text.contains("tthr_shard_appends_total{shard=\"0\"} 2"));
+        assert!(text.contains("tthr_shard_lock_wait_ns_total{shard=\"0\"} 1234"));
+        assert!(text.contains("tthr_shard_trajectories{shard=\"1\"} 0"));
     }
 }

@@ -9,6 +9,8 @@
 //! ```text
 //! curl http://127.0.0.1:7878/health
 //! curl http://127.0.0.1:7878/stats
+//! curl http://127.0.0.1:7878/metrics
+//! curl http://127.0.0.1:7878/debug/slow
 //! curl -d '{"path":[0,1],"interval":{"type":"fixed","start":0,"end":86400}}' \
 //!      http://127.0.0.1:7878/spq
 //! ```
@@ -51,6 +53,8 @@ fn main() {
     println!("\ntry it:");
     println!("  curl http://{addr}/health");
     println!("  curl http://{addr}/stats");
+    println!("  curl http://{addr}/metrics      # Prometheus text exposition");
+    println!("  curl http://{addr}/debug/slow   # slow-query ring with cost traces");
     println!("  curl -d '{}' http://{addr}/spq", wire::encode_spq(&spq));
     println!("  curl -d '{}' http://{addr}/trip", wire::encode_spq(&spq));
     println!(

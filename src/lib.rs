@@ -31,7 +31,9 @@
 //! * [`datagen`] — deterministic synthetic road networks and ITSP-like
 //!   trajectory workloads.
 //! * [`metrics`] — the paper's evaluation metrics (sMAPE, weighted error,
-//!   log-likelihood, q-error) plus latency percentiles.
+//!   log-likelihood, q-error), latency percentiles, and the labeled
+//!   metrics registry behind the server's Prometheus `/metrics`
+//!   exposition.
 //! * [`store`] — the persistent storage substrate: versioned, checksummed
 //!   snapshot containers and the append write-ahead log (the on-disk
 //!   format is specified in its crate docs and `docs/storage-format.md`).
@@ -90,6 +92,12 @@
 //!   (`crates/bench/benches/sharded.rs`).
 //! * **Observability** — [`service::ServiceStats`] snapshots p50/p95/p99
 //!   latency, throughput, and cache hit rate, computed with [`metrics`].
+//!   Underneath, every query carries a [`core::QueryTrace`] (rank ops,
+//!   wavelet descents, cache/scratch hits, shard fanout) feeding a
+//!   slow-query ring ([`service::QueryService::slow_queries`]) and a
+//!   labeled [`metrics::MetricsRegistry`] the server exposes as
+//!   Prometheus text on `GET /metrics` (`GET /debug/slow` returns the
+//!   ring as JSON).
 //!
 //! The service returns byte-identical results to the single-threaded
 //! engine on the same index state (`tests/service_equivalence.rs` enforces

@@ -1,0 +1,144 @@
+//! Server-level contract for the `/metrics` Prometheus exposition and the
+//! `/debug/slow` trace log.
+//!
+//! Two obligations beyond the unit tests in `tthr-metrics` and
+//! `tthr-service`:
+//!
+//! * **Strict format under concurrency** — every scrape taken while query
+//!   and append traffic is running must pass the exposition grammar
+//!   ([`validate_exposition`](tthr::metrics::validate_exposition)), and
+//!   counters observed across consecutive scrapes must be monotonic (a
+//!   torn render would show a counter going backwards).
+//! * **Observation does not perturb answers** — the queries running
+//!   alongside the scrapers still answer byte-identically to an
+//!   in-process oracle.
+
+mod common;
+
+use common::differential::QueryGen;
+use common::http::HttpClient;
+use common::prefix_set;
+use std::sync::Arc;
+use tthr::core::{ShardedSntIndex, SntConfig, Spq};
+use tthr::server::{serve, wire, ServerConfig};
+use tthr::service::{QueryService, ServiceConfig};
+
+/// The value of an unlabeled (or exactly-labeled) series in an
+/// exposition, parsed from the sample line.
+fn series_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.parse().ok()
+    })
+}
+
+#[test]
+fn concurrent_scrapes_are_well_formed_and_monotonic() {
+    let (syn, set) = common::small_world();
+    let network = Arc::new(syn.network);
+    let applied = set.len() * 2 / 3;
+    let initial = prefix_set(&set, applied);
+    let config = ServiceConfig {
+        num_threads: 2,
+        slow_query_log: 16,
+        trace_sample_every: 8,
+        ..ServiceConfig::default()
+    };
+    let make = |cfg: &ServiceConfig| {
+        QueryService::new(
+            ShardedSntIndex::build(&network, &initial, SntConfig::default(), 2),
+            Arc::clone(&network),
+            cfg.clone(),
+        )
+    };
+    let service = make(&config);
+    let oracle = make(&config);
+    let server = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("boot");
+    let addr = server.local_addr();
+
+    let mut gen = QueryGen::new("metrics_exposition");
+    let queries: Vec<Spq> = (0..12).map(|_| gen.spq_from(&set, applied)).collect();
+
+    std::thread::scope(|scope| {
+        // Query traffic racing the scrapers.
+        for r in 0..3 {
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr);
+                for (i, q) in queries.iter().cycle().take(40).enumerate() {
+                    let path = if (i + r) % 5 == 0 { "/trip" } else { "/spq" };
+                    let response = client.request("POST", path, wire::encode_spq(q).as_bytes());
+                    assert_eq!(response.status, 200, "{}", response.body_str());
+                }
+            });
+        }
+        // Scrapers: every exposition must parse, and the counters they
+        // watch must never move backwards.
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr);
+                let mut last_requests = 0.0f64;
+                let mut last_rank_ops = 0.0f64;
+                for _ in 0..15 {
+                    let scrape = client.request("GET", "/metrics", b"");
+                    assert_eq!(scrape.status, 200);
+                    let text = scrape.body_str();
+                    tthr::metrics::validate_exposition(text)
+                        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+                    let requests =
+                        series_value(text, "tthr_server_requests_total").expect("server counter");
+                    let rank_ops =
+                        series_value(text, "tthr_rank_ops_total").expect("trace counter");
+                    assert!(requests >= last_requests, "requests went backwards");
+                    assert!(rank_ops >= last_rank_ops, "rank_ops went backwards");
+                    last_requests = requests;
+                    last_rank_ops = rank_ops;
+
+                    let slow = client.request("GET", "/debug/slow", b"");
+                    assert_eq!(slow.status, 200);
+                    tthr::server::json::parse(&slow.body).expect("well-formed slow log");
+                }
+            });
+        }
+    });
+
+    // Quiesced: the scraped service still answers byte-identically.
+    for q in &queries {
+        let response =
+            HttpClient::connect(addr).request("POST", "/spq", wire::encode_spq(q).as_bytes());
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.body_str(),
+            wire::encode_travel_times(&oracle.get_travel_times(q)),
+            "scraping perturbed the answer for {q:?}"
+        );
+    }
+
+    // The final exposition carries the whole stack: per-endpoint service
+    // counters, engine trace totals, per-shard series, reactor counters.
+    let text_response = HttpClient::connect(addr).request("GET", "/metrics", b"");
+    let text = text_response.body_str();
+    tthr::metrics::validate_exposition(text).expect("final exposition");
+    for series in [
+        "tthr_requests_total{endpoint=\"spq\"}",
+        "tthr_requests_total{endpoint=\"trip\"}",
+        "tthr_request_duration_ns_count{endpoint=\"spq\"}",
+        "tthr_rank_ops_total",
+        "tthr_index_queries_total",
+        "tthr_shard_trajectories{shard=\"0\"}",
+        "tthr_shard_trajectories{shard=\"1\"}",
+        "tthr_server_connections_accepted_total",
+        "tthr_server_bytes_read_total",
+        "tthr_server_bytes_written_total",
+    ] {
+        assert!(
+            series_value(text, series).is_some(),
+            "missing series {series} in:\n{text}"
+        );
+    }
+    // 3 query threads × 40 requests, plus scrapes and the final checks.
+    assert!(series_value(text, "tthr_server_requests_total").unwrap() >= 120.0);
+
+    server.shutdown();
+}

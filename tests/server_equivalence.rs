@@ -327,6 +327,58 @@ fn health_stats_and_router_errors() {
             .unwrap()
             >= 6
     );
+    assert!(
+        server_block
+            .get("bytes_in")
+            .and_then(|v| v.as_i64())
+            .unwrap()
+            > 0,
+        "socket byte accounting must be live"
+    );
+
+    // /metrics: a strictly well-formed Prometheus exposition covering the
+    // whole stack — service series with the traffic just driven, plus the
+    // mirrored reactor counters.
+    let exposition = client.request("GET", "/metrics", b"");
+    assert_eq!(exposition.status, 200);
+    assert!(exposition
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    let text = exposition.body_str();
+    tthr::metrics::validate_exposition(text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+    assert!(
+        text.contains("tthr_requests_total{endpoint=\"spq\"} 5"),
+        "{text}"
+    );
+    assert!(text.contains("tthr_server_requests_total"), "{text}");
+    assert!(text.contains("tthr_server_bytes_read_total"), "{text}");
+
+    // /debug/slow: well-formed JSON with traced entries for the traffic.
+    let slow = client.request("GET", "/debug/slow", b"");
+    assert_eq!(slow.status, 200);
+    let slow_parsed = tthr::server::json::parse(&slow.body).expect("slow json");
+    let top = slow_parsed
+        .get("top")
+        .and_then(|v| v.as_arr())
+        .expect("top array");
+    assert!(!top.is_empty(), "{}", slow.body_str());
+    assert!(
+        top.iter()
+            .all(|e| e.get("endpoint").and_then(|v| v.as_str()) == Some("spq")),
+        "{}",
+        slow.body_str()
+    );
+    let total_rank_ops: i64 = top
+        .iter()
+        .map(|e| {
+            e.get("trace")
+                .and_then(|t| t.get("rank_ops"))
+                .and_then(|v| v.as_i64())
+                .expect("trace.rank_ops")
+        })
+        .sum();
+    assert!(total_rank_ops > 0, "{}", slow.body_str());
 
     // Router errors: wrong method, unknown path, malformed JSON body —
     // all keep the connection alive.
