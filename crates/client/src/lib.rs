@@ -1,0 +1,828 @@
+//! Cluster client tier: pooled binary-protocol connections to shard
+//! nodes, and a scatter-gather router that answers trip queries over a
+//! shard-per-process cluster **byte-identically** to the in-process
+//! [`ShardedSntIndex`](tthr_core::ShardedSntIndex).
+//!
+//! # Layout
+//!
+//! * [`NodeClient`] — one shard node's connection pool. Per-request
+//!   connect/read/write timeouts, bounded retry with exponential backoff
+//!   (idempotent requests only — which, thanks to the base-stamp
+//!   idempotency of [`NodeWalRecord`] application, is *every* request),
+//!   and atomic connect/retry counters the fault suite asserts against.
+//! * [`ClusterRouter`] — the scatter-gather tier. Holds the
+//!   [`ShardRouter`] first-edge table and one [`NodeClient`] per shard;
+//!   single-shard SPQ primitives route by the traverse path's first edge,
+//!   appends fan out one planned [`NodeWalRecord`] to every node, and
+//!   [`ClusterRouter::trip_query`] runs the full shift-and-enlarge
+//!   [`QueryEngine`] locally over a remote backend.
+//!
+//! # Exactness
+//!
+//! The router is exact for the same reason the in-process sharded index
+//! is: shard `s` holds the complete trajectories of everything touching
+//! its edges, every SPQ a trip query issues keeps the traverse path's
+//! first edge, and member ids preserve global order. The cluster
+//! differential suite (`tests/cluster_equivalence.rs`) checks the
+//! byte-identity claim end to end against the monolith.
+//!
+//! # Failure semantics
+//!
+//! A node that cannot be reached within the configured retry budget
+//! surfaces as [`ClusterError::ShardUnavailable`] — queries never
+//! silently degrade to partial answers. Inside a running
+//! [`QueryEngine`], a backend trait method cannot return `Result`, so the
+//! remote backend parks the first error in a slot and returns a harmless
+//! non-empty dummy (the engine terminates promptly instead of relaxing
+//! forever against empty answers); [`ClusterRouter::trip_query`] checks
+//! the slot before returning and propagates the parked error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tthr_core::node::plan_node_records;
+use tthr_core::{
+    CardinalityMode, IndexBackend, NodeWalRecord, QueryEngine, QueryEngineConfig, SearchScratch,
+    ShardRouter, Spq, TimeInterval, TravelTimeProvider, TravelTimes, TripQuery, TtValues,
+};
+use tthr_network::{RoadNetwork, Timestamp};
+use tthr_rpc::{read_frame, write_frame, ErrCode, FrameError, Message, NodeMeta, WireError};
+use tthr_store::StoreError;
+use tthr_trajectory::{TrajEntry, UserId};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed failure of a cluster operation.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A shard node could not be reached (or stopped responding) within
+    /// the configured retry budget.
+    ShardUnavailable {
+        /// The shard whose node is unreachable.
+        shard: u16,
+        /// The node's address.
+        addr: SocketAddr,
+        /// The final transport error after retries were exhausted.
+        source: io::Error,
+    },
+    /// The node sent bytes that do not parse as a protocol frame.
+    Frame(FrameError),
+    /// The node answered with a typed protocol error.
+    Remote {
+        /// The error class reported by the node.
+        code: ErrCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// An append arrived out of order: the node expected base stamp
+    /// `expected` but the record carried `found`.
+    WalGap {
+        /// The node's current global count.
+        expected: u64,
+        /// The record's base stamp.
+        found: u64,
+    },
+    /// The nodes disagree about cluster shape or progress (mixed shard
+    /// counts, diverged global counters, mismatched routing tables).
+    Inconsistent(String),
+    /// A batch failed local validation before any node was contacted.
+    Invalid(String),
+    /// The node answered with a well-formed frame of the wrong type.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ShardUnavailable {
+                shard,
+                addr,
+                source,
+            } => {
+                write!(f, "shard {shard} unavailable at {addr}: {source}")
+            }
+            ClusterError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClusterError::Remote { code, message } => {
+                write!(f, "node error ({code:?}): {message}")
+            }
+            ClusterError::WalGap { expected, found } => {
+                write!(
+                    f,
+                    "append gap: node expected base {expected}, record has {found}"
+                )
+            }
+            ClusterError::Inconsistent(m) => write!(f, "inconsistent cluster: {m}"),
+            ClusterError::Invalid(m) => write!(f, "invalid batch: {m}"),
+            ClusterError::Unexpected(m) => write!(f, "unexpected reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::ShardUnavailable { source, .. } => Some(source),
+            ClusterError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ClusterError {
+    fn from(e: FrameError) -> Self {
+        ClusterError::Frame(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NodeClient
+// ---------------------------------------------------------------------------
+
+/// Transport knobs for one [`NodeClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-request socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-request socket write timeout.
+    pub write_timeout: Duration,
+    /// Extra attempts after the first (transport errors only — protocol
+    /// errors are never retried).
+    pub retries: u32,
+    /// Initial backoff before the first retry; doubles each retry.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A pooled binary-protocol client for one shard node.
+///
+/// Connections are checked out per request and returned on success; any
+/// transport failure drops the connection *and flushes the pool* (a dead
+/// server usually killed every pooled socket at once), so the retry
+/// dials fresh.
+pub struct NodeClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    connects: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl NodeClient {
+    /// A client for the node at `addr`. No connection is made until the
+    /// first request.
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> Self {
+        NodeClient {
+            addr,
+            config,
+            pool: Mutex::new(Vec::new()),
+            connects: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// The node's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fresh TCP connections dialed so far (first use and post-failure
+    /// redials both count).
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+
+    /// Retry attempts made after a transport failure.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let conn = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        conn.set_read_timeout(Some(self.config.read_timeout))?;
+        conn.set_write_timeout(Some(self.config.write_timeout))?;
+        conn.set_nodelay(true)?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(conn)
+    }
+
+    fn checkout(&self) -> io::Result<TcpStream> {
+        if let Some(conn) = self.pool.lock().expect("pool lock").pop() {
+            return Ok(conn);
+        }
+        self.dial()
+    }
+
+    fn request_once(&self, message: &Message) -> Result<Message, WireError> {
+        let mut conn = self.checkout()?;
+        write_frame(&mut conn, message)?;
+        match read_frame(&mut conn)? {
+            Some(reply) => {
+                self.pool.lock().expect("pool lock").push(conn);
+                Ok(reply)
+            }
+            None => Err(WireError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "node closed the connection mid-request",
+            ))),
+        }
+    }
+
+    /// Sends one request and reads one reply, retrying transport
+    /// failures up to `config.retries` times with exponential backoff.
+    ///
+    /// Safe for **every** message in the protocol: reads are naturally
+    /// idempotent, and [`NodeWalRecord`] application dedupes re-sent
+    /// appends by base stamp, so a retry after a lost response re-applies
+    /// nothing. Protocol-level errors ([`WireError::Frame`]) are returned
+    /// immediately — resending bytes the peer already rejected as
+    /// malformed cannot succeed.
+    pub fn request(&self, message: &Message) -> Result<Message, WireError> {
+        let mut backoff = self.config.backoff;
+        let mut last: io::Error;
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(message) {
+                Ok(reply) => return Ok(reply),
+                Err(WireError::Frame(e)) => return Err(WireError::Frame(e)),
+                Err(WireError::Io(e)) => {
+                    // Stale pooled sockets die together with the server;
+                    // flush them so the retry dials fresh.
+                    self.pool.lock().expect("pool lock").clear();
+                    last = e;
+                }
+            }
+            if attempt >= self.config.retries {
+                return Err(WireError::Io(last));
+            }
+            attempt += 1;
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ClusterRouter
+// ---------------------------------------------------------------------------
+
+/// Per-node transport counters, for observability and the fault suite.
+#[derive(Clone, Debug)]
+pub struct NodeStats {
+    /// The shard this node serves.
+    pub shard: u16,
+    /// The node's address.
+    pub addr: SocketAddr,
+    /// Fresh TCP connections dialed.
+    pub connects: u64,
+    /// Transport retries performed.
+    pub retries: u64,
+}
+
+/// The router's mirror of cluster-wide append progress, advanced only
+/// after every node acknowledged a batch.
+struct ClusterState {
+    num_global: u64,
+    span_min: Timestamp,
+    span_max: Timestamp,
+}
+
+/// The scatter-gather query tier over a shard-per-process cluster.
+///
+/// Owns the road network (trip-query planning is local — only SPQ
+/// primitives cross the wire), the first-edge routing table, and one
+/// [`NodeClient`] per shard.
+pub struct ClusterRouter {
+    network: RoadNetwork,
+    routing: ShardRouter,
+    nodes: Vec<NodeClient>,
+    engine_config: QueryEngineConfig,
+    state: Mutex<ClusterState>,
+}
+
+impl ClusterRouter {
+    /// Connects to every node, cross-checks the cluster's shape, and
+    /// assembles the routing tier.
+    ///
+    /// Nodes may be listed in any order — each reports its shard id and
+    /// the constructor sorts them into place. Fails with
+    /// [`ClusterError::Inconsistent`] if the nodes disagree on shard
+    /// count, global progress, or data span; if any shard is missing or
+    /// duplicated; or if the routing table does not match `network`.
+    pub fn connect(
+        network: RoadNetwork,
+        addrs: &[SocketAddr],
+        engine_config: QueryEngineConfig,
+        client_config: ClientConfig,
+    ) -> Result<Self, ClusterError> {
+        if addrs.is_empty() {
+            return Err(ClusterError::Inconsistent("no node addresses given".into()));
+        }
+        let mut metas: Vec<(NodeMeta, NodeClient)> = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            let client = NodeClient::new(addr, client_config.clone());
+            let meta = match rpc_on(&client, 0, &Message::GetMeta)? {
+                Message::Meta(meta) => meta,
+                other => {
+                    return Err(ClusterError::Unexpected(format!(
+                        "GetMeta answered with {other:?}"
+                    )))
+                }
+            };
+            metas.push((meta, client));
+        }
+        let first = metas[0].0.clone();
+        let (num_global, span_min, span_max) = (first.num_global, first.span_min, first.span_max);
+        for (meta, client) in &metas {
+            if meta.num_shards as usize != addrs.len() {
+                return Err(ClusterError::Inconsistent(format!(
+                    "node {} believes the cluster has {} shards, {} addresses given",
+                    client.addr(),
+                    meta.num_shards,
+                    addrs.len()
+                )));
+            }
+            if meta.num_global != num_global {
+                return Err(ClusterError::Inconsistent(format!(
+                    "diverged global counters: {} vs {}",
+                    meta.num_global, num_global
+                )));
+            }
+            if (meta.span_min, meta.span_max) != (span_min, span_max) {
+                return Err(ClusterError::Inconsistent(format!(
+                    "diverged data spans: [{}, {}] vs [{span_min}, {span_max}]",
+                    meta.span_min, meta.span_max
+                )));
+            }
+        }
+        metas.sort_by_key(|(meta, _)| meta.shard);
+        for (expected, (meta, client)) in metas.iter().enumerate() {
+            if meta.shard as usize != expected {
+                return Err(ClusterError::Inconsistent(format!(
+                    "shard {expected} missing or duplicated (node {} serves shard {})",
+                    client.addr(),
+                    meta.shard
+                )));
+            }
+        }
+        let num_edges = first.num_edges;
+        let routing = match rpc_on(&metas[0].1, metas[0].0.shard, &Message::GetRouting)? {
+            Message::Routing(routing) => routing,
+            other => {
+                return Err(ClusterError::Unexpected(format!(
+                    "GetRouting answered with {other:?}"
+                )))
+            }
+        };
+        if routing.num_shards() != addrs.len() {
+            return Err(ClusterError::Inconsistent(format!(
+                "routing table covers {} shards, cluster has {}",
+                routing.num_shards(),
+                addrs.len()
+            )));
+        }
+        if routing.num_edges() as u64 != num_edges || routing.num_edges() != network.num_edges() {
+            return Err(ClusterError::Inconsistent(format!(
+                "routing table covers {} edges, nodes report {}, network has {}",
+                routing.num_edges(),
+                num_edges,
+                network.num_edges()
+            )));
+        }
+        Ok(ClusterRouter {
+            network,
+            routing,
+            nodes: metas.into_iter().map(|(_, client)| client).collect(),
+            engine_config,
+            state: Mutex::new(ClusterState {
+                num_global,
+                span_min,
+                span_max,
+            }),
+        })
+    }
+
+    /// Number of shards in the cluster.
+    pub fn num_shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Cluster-wide trajectory count the router has confirmed.
+    pub fn num_global(&self) -> u64 {
+        self.state.lock().expect("state lock").num_global
+    }
+
+    /// The road network the cluster indexes.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.network
+    }
+
+    /// The first-edge routing table.
+    pub fn routing(&self) -> &ShardRouter {
+        &self.routing
+    }
+
+    /// Per-node transport counters.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(shard, node)| NodeStats {
+                shard: shard as u16,
+                addr: node.addr(),
+                connects: node.connects(),
+                retries: node.retries(),
+            })
+            .collect()
+    }
+
+    /// Pings every node; the first unreachable shard is the error.
+    pub fn health(&self) -> Result<(), ClusterError> {
+        for shard in 0..self.nodes.len() as u16 {
+            match self.rpc(shard, &Message::Health)? {
+                Message::Ok => {}
+                other => {
+                    return Err(ClusterError::Unexpected(format!(
+                        "Health answered with {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Asks every node to rotate its snapshot (compacting its WAL).
+    pub fn snapshot_all(&self) -> Result<(), ClusterError> {
+        for shard in 0..self.nodes.len() as u16 {
+            match self.rpc(shard, &Message::Snapshot)? {
+                Message::Ok => {}
+                other => {
+                    return Err(ClusterError::Unexpected(format!(
+                        "Snapshot answered with {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn shard_for(&self, spq: &Spq) -> u16 {
+        self.routing.shard_of(spq.path.first()) as u16
+    }
+
+    fn rpc(&self, shard: u16, message: &Message) -> Result<Message, ClusterError> {
+        rpc_on(&self.nodes[shard as usize], shard, message)
+    }
+
+    /// `getTravelTimes` routed to the owning shard — byte-identical to
+    /// the in-process sharded index by the first-edge exactness argument.
+    pub fn travel_times(&self, spq: &Spq) -> Result<TravelTimes, ClusterError> {
+        let shard = self.shard_for(spq);
+        match self.rpc(shard, &Message::TravelTimes(spq.clone()))? {
+            Message::TravelTimesResult { values, fallback } => Ok(TravelTimes {
+                values: tt_values(values),
+                fallback,
+            }),
+            other => Err(ClusterError::Unexpected(format!(
+                "TravelTimes answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Capped exact count routed to the owning shard.
+    pub fn count_matching(&self, spq: &Spq, cap: u32) -> Result<usize, ClusterError> {
+        let shard = self.shard_for(spq);
+        match self.rpc(
+            shard,
+            &Message::Count {
+                spq: spq.clone(),
+                cap,
+            },
+        )? {
+            Message::CountResult(n) => Ok(n as usize),
+            other => Err(ClusterError::Unexpected(format!(
+                "Count answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Cardinality estimate routed to the owning shard.
+    pub fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> Result<f64, ClusterError> {
+        let shard = self.shard_for(spq);
+        match self.rpc(
+            shard,
+            &Message::Estimate {
+                spq: spq.clone(),
+                mode,
+            },
+        )? {
+            Message::EstimateResult(v) => Ok(v),
+            other => Err(ClusterError::Unexpected(format!(
+                "Estimate answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// The σ fallback interval `[min(data_min, 0), data_max + 1)`,
+    /// mirroring the sharded index's global-span bookkeeping.
+    pub fn full_interval(&self) -> TimeInterval {
+        let state = self.state.lock().expect("state lock");
+        TimeInterval::fixed(state.span_min.min(0), state.span_max + 1)
+    }
+
+    /// Runs the full trip-query driver (Procedure 6) over the cluster:
+    /// planning, splitting, and estimator gating happen locally; every
+    /// SPQ primitive the engine issues is routed to its owning shard.
+    ///
+    /// Any node failure mid-query aborts the whole trip query with the
+    /// first error — never a partial answer.
+    pub fn trip_query(&self, spq: &Spq) -> Result<TripQuery, ClusterError> {
+        let backend = RemoteBackend {
+            cluster: self,
+            error: RefCell::new(None),
+        };
+        let engine = QueryEngine::new(&backend, &self.network, self.engine_config.clone());
+        let result = engine.trip_query(spq);
+        match backend.error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+
+    /// Appends a batch cluster-wide: plans one [`NodeWalRecord`] per
+    /// shard at the current global base stamp and requires **every**
+    /// node's acknowledgement before bumping the router's counters.
+    ///
+    /// Returns the number of trajectories appended. On partial failure
+    /// the counters stay put; because record application is idempotent
+    /// by base stamp, simply calling `append_batch` again with the same
+    /// batch heals the cluster (nodes that already applied skip, the
+    /// rest catch up).
+    pub fn append_batch(
+        &self,
+        trajectories: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<u64, ClusterError> {
+        let mut state = self.state.lock().expect("state lock");
+        let records: Vec<NodeWalRecord> = plan_node_records(
+            &self.routing,
+            state.num_global,
+            state.span_min,
+            state.span_max,
+            trajectories,
+        )
+        .map_err(|e: StoreError| ClusterError::Invalid(e.to_string()))?;
+        for (shard, record) in records.iter().enumerate() {
+            match self.rpc(shard as u16, &Message::Append(record.clone()))? {
+                Message::Appended { .. } => {}
+                other => {
+                    return Err(ClusterError::Unexpected(format!(
+                        "Append answered with {other:?}"
+                    )))
+                }
+            }
+        }
+        let planned = &records[0];
+        state.num_global = planned.new_total;
+        state.span_min = planned.span_min;
+        state.span_max = planned.span_max;
+        Ok(trajectories.len() as u64)
+    }
+}
+
+/// One request/reply exchange with typed error mapping: transport
+/// exhaustion becomes [`ClusterError::ShardUnavailable`], protocol
+/// damage becomes [`ClusterError::Frame`], and a well-formed `Err` frame
+/// becomes [`ClusterError::Remote`] / [`ClusterError::WalGap`].
+fn rpc_on(node: &NodeClient, shard: u16, message: &Message) -> Result<Message, ClusterError> {
+    match node.request(message) {
+        Ok(Message::Err {
+            code: ErrCode::WalGap,
+            expected,
+            found,
+            ..
+        }) => Err(ClusterError::WalGap { expected, found }),
+        Ok(Message::Err { code, message, .. }) => Err(ClusterError::Remote { code, message }),
+        Ok(reply) => Ok(reply),
+        Err(WireError::Io(source)) => Err(ClusterError::ShardUnavailable {
+            shard,
+            addr: node.addr(),
+            source,
+        }),
+        Err(WireError::Frame(e)) => Err(ClusterError::Frame(e)),
+    }
+}
+
+fn tt_values(values: Vec<f64>) -> TtValues {
+    match values.len() {
+        0 => TtValues::EMPTY,
+        1 => TtValues::one(values[0]),
+        _ => TtValues::from(values),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteBackend
+// ---------------------------------------------------------------------------
+
+/// [`IndexBackend`] over the cluster for one trip query.
+///
+/// Trait methods cannot return `Result`, so the first [`ClusterError`]
+/// is parked in `error` and a harmless *non-empty* dummy is returned:
+/// an empty answer would make σ relax the interval indefinitely, while
+/// a single fallback value / saturated count / infinite estimate makes
+/// the engine finish promptly. The caller checks the slot afterwards
+/// and discards the poisoned result.
+struct RemoteBackend<'a> {
+    cluster: &'a ClusterRouter,
+    error: RefCell<Option<ClusterError>>,
+}
+
+impl RemoteBackend<'_> {
+    fn park(&self, e: ClusterError) {
+        let mut slot = self.error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+impl TravelTimeProvider for RemoteBackend<'_> {
+    fn travel_times(&self, spq: &Spq) -> TravelTimes {
+        match self.cluster.travel_times(spq) {
+            Ok(tt) => tt,
+            Err(e) => {
+                self.park(e);
+                TravelTimes {
+                    values: TtValues::one(1.0),
+                    fallback: true,
+                }
+            }
+        }
+    }
+
+    fn travel_times_with(&self, spq: &Spq, _scratch: &mut SearchScratch) -> TravelTimes {
+        self.travel_times(spq)
+    }
+}
+
+impl IndexBackend for RemoteBackend<'_> {
+    fn count_matching(&self, spq: &Spq, cap: u32) -> usize {
+        match self.cluster.count_matching(spq, cap) {
+            Ok(n) => n,
+            Err(e) => {
+                self.park(e);
+                cap as usize
+            }
+        }
+    }
+
+    fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> f64 {
+        match self.cluster.estimate(spq, mode) {
+            Ok(v) => v,
+            Err(e) => {
+                self.park(e);
+                f64::INFINITY
+            }
+        }
+    }
+
+    fn full_interval(&self) -> TimeInterval {
+        self.cluster.full_interval()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process plumbing tests (cluster-level coverage lives in the
+// repo-root differential suites).
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    fn localhost(listener: &TcpListener) -> SocketAddr {
+        listener.local_addr().expect("ephemeral addr")
+    }
+
+    /// A one-shot stub node: accepts one connection, answers each
+    /// request with the next canned reply, then closes.
+    fn stub_node(replies: Vec<Vec<u8>>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = localhost(&listener);
+        let handle = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            for reply in replies {
+                // Drain one request frame (length-prefixed) first.
+                let mut header = [0u8; 8];
+                if conn.read_exact(&mut header).is_err() {
+                    return;
+                }
+                let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+                let mut body = vec![0u8; len as usize];
+                if conn.read_exact(&mut body).is_err() {
+                    return;
+                }
+                if conn.write_all(&reply).is_err() {
+                    return;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn quick_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(200),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_against_a_stub_node() {
+        let (addr, handle) = stub_node(vec![tthr_rpc::encode_frame(&Message::CountResult(7))]);
+        let client = NodeClient::new(addr, quick_config());
+        let reply = client.request(&Message::Health).expect("reply");
+        assert_eq!(reply, Message::CountResult(7));
+        assert_eq!(client.connects(), 1);
+        assert_eq!(client.retries(), 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_node_exhausts_retries_with_io_error() {
+        // Bind-then-drop guarantees a connection-refused port.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            localhost(&listener)
+        };
+        let client = NodeClient::new(addr, quick_config());
+        match client.request(&Message::Health) {
+            Err(WireError::Io(_)) => {}
+            other => panic!("expected transport failure, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 2, "both retries were spent");
+    }
+
+    #[test]
+    fn garbage_reply_is_a_typed_frame_error_without_retry() {
+        // A "frame" whose CRC cannot match: valid length, corrupt body.
+        let mut garbage = tthr_rpc::encode_frame(&Message::Ok);
+        let last = garbage.len() - 1;
+        garbage[last] ^= 0xff;
+        let (addr, handle) = stub_node(vec![garbage]);
+        let client = NodeClient::new(addr, quick_config());
+        match client.request(&Message::Health) {
+            Err(WireError::Frame(_)) => {}
+            other => panic!("expected frame error, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 0, "protocol errors are not retried");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn remote_err_frames_map_to_typed_cluster_errors() {
+        let walgap = tthr_rpc::encode_frame(&Message::Err {
+            code: ErrCode::WalGap,
+            expected: 10,
+            found: 7,
+            message: "gap".into(),
+        });
+        let (addr, handle) = stub_node(vec![walgap]);
+        let client = NodeClient::new(addr, quick_config());
+        match rpc_on(&client, 3, &Message::Health) {
+            Err(ClusterError::WalGap {
+                expected: 10,
+                found: 7,
+            }) => {}
+            other => panic!("expected WalGap, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+}

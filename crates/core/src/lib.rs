@@ -44,6 +44,7 @@ pub mod baseline;
 mod cardinality;
 mod engine;
 mod interval;
+pub mod node;
 mod partition;
 pub mod persist;
 mod probe;
@@ -60,6 +61,7 @@ pub use engine::{
     TravelTimeProvider, TripQuery,
 };
 pub use interval::TimeInterval;
+pub use node::{NodeWalRecord, ShardNodeState};
 pub use partition::{partition_query, PartitionMethod};
 pub use persist::WalBatch;
 pub use probe::ProbeTable;

@@ -1,0 +1,739 @@
+//! Single-shard node state for the shard-per-process cluster tier.
+//!
+//! [`crate::ShardedSntIndex`] keeps all `K` shards in one process; the
+//! cluster tier instead runs each shard as its own process (`tthr-node`)
+//! behind the binary protocol of `tthr-rpc`, with a router process
+//! scattering queries by the same [`ShardRouter`] first-edge table. This
+//! module is the index-side half of that split: everything a node process
+//! holds and must persist, with no sockets involved (the transport lives
+//! in `tthr-server` / `tthr-client`).
+//!
+//! # Why a node can answer alone
+//!
+//! A [`ShardNodeState`] is exactly one shard of a [`ShardedSntIndex`]: the
+//! shard's full [`SntIndex`], its ascending global-id member list, and the
+//! cluster-wide routing table. The sharded exactness argument (see
+//! [`ShardedSntIndex`]'s docs) is local per query — `get_travel_times`,
+//! `count_matching`, and `estimate` each consult only the shard owning the
+//! path's first edge — so a node answers those primitives byte-identically
+//! to the in-process sharded backend without talking to any other node.
+//! Only [`IndexBackend::full_interval`](crate::IndexBackend) needs global
+//! state (the cluster-wide data span), which is why every append record
+//! carries the post-batch global span and every node tracks it: a router
+//! can rebuild its global view from any node's meta.
+//!
+//! # Append protocol
+//!
+//! The router assigns global ids and plans one [`NodeWalRecord`] per node
+//! and batch: the record carries the batch stamp (`base` → `new_total`),
+//! the post-batch global span, and this node's member subset (possibly
+//! empty — the node then only advances its global counters). Records are
+//! applied through [`ShardNodeState::apply`], which is **idempotent** by
+//! base stamp: a record the node already absorbed is skipped, a record
+//! from the future is a typed [`StoreError::WalGap`]. Node processes write
+//! each record to their own WAL before applying it and replay the log over
+//! their last snapshot on restart — the same recovery story as the
+//! monolithic service, per shard.
+
+use crate::persist::prepare_batch;
+use crate::sharded::ShardRouter;
+use crate::snt::{SntIndex, TravelTimes};
+use crate::spq::Spq;
+use crate::{CardinalityMode, SearchScratch, ShardedSntIndex};
+use std::borrow::Cow;
+use tthr_network::Timestamp;
+use tthr_store::snapshot::{SectionId, SnapshotArchive, SnapshotBuilder};
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
+use tthr_trajectory::{TrajEntry, TrajId, Trajectory, UserId};
+
+/// Header section of a node snapshot: shard id, routing table, member
+/// list, global counters.
+pub const SECTION_NODE_META: SectionId = SectionId(120);
+/// The shard's complete monolithic index snapshot.
+pub const SECTION_NODE_INDEX: SectionId = SectionId(121);
+
+/// One cluster append record: the slice of a batch one node must index,
+/// stamped with the global trajectory counters that make replay
+/// idempotent. The router sends the same `base`/`new_total`/span to every
+/// node; only `members`/`trajectories` differ per node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeWalRecord {
+    /// Global trajectory count before the batch.
+    pub base: u64,
+    /// Global trajectory count after the batch.
+    pub new_total: u64,
+    /// Cluster-wide `data_min` after the batch.
+    pub span_min: Timestamp,
+    /// Cluster-wide `data_max` after the batch.
+    pub span_max: Timestamp,
+    /// Ascending global ids of the batch members this node indexes.
+    pub members: Vec<u32>,
+    /// The member trajectories, aligned with `members`.
+    pub trajectories: Vec<(UserId, Vec<TrajEntry>)>,
+}
+
+/// Wire form: the four counters, the member ids, then per member a user
+/// id and the `(e, t, TT)` entry sequence (the [`crate::WalBatch`]
+/// layout).
+impl Persist for NodeWalRecord {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u64(self.base);
+        w.put_u64(self.new_total);
+        w.put_i64(self.span_min);
+        w.put_i64(self.span_max);
+        w.put_seq(&self.members);
+        w.put_len(self.trajectories.len());
+        for (user, entries) in &self.trajectories {
+            user.persist(w);
+            w.put_seq(entries);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let base = r.get_u64()?;
+        let new_total = r.get_u64()?;
+        let span_min = r.get_i64()?;
+        let span_max = r.get_i64()?;
+        let members: Vec<u32> = r.get_seq()?;
+        let n = r.get_len(1)?;
+        let mut trajectories = Vec::with_capacity(n);
+        for _ in 0..n {
+            let user = UserId::restore(r)?;
+            let entries: Vec<TrajEntry> = r.get_seq()?;
+            trajectories.push((user, entries));
+        }
+        Ok(NodeWalRecord {
+            base,
+            new_total,
+            span_min,
+            span_max,
+            members,
+            trajectories,
+        })
+    }
+}
+
+/// Validates a raw `(user, entries)` batch against a network size without
+/// applying it anywhere — the router-side pre-check before global ids are
+/// assigned and per-node records planned. The same validation runs again
+/// inside every node's [`ShardNodeState::apply`].
+pub fn validate_batch(
+    num_edges: usize,
+    trajectories: &[(UserId, Vec<TrajEntry>)],
+) -> Result<(), StoreError> {
+    prepare_batch(0, num_edges, trajectories).map(|_| ())
+}
+
+/// The `(min start time, max entry time)` span of a raw batch, or `None`
+/// for an empty batch — the delta the router folds into its running
+/// global span before stamping [`NodeWalRecord::span_min`]/`span_max`.
+/// Matches the monolith's accounting: `data_min` tracks trajectory start
+/// times, `data_max` the *entry* time of each trajectory's last segment.
+pub fn batch_span(trajectories: &[(UserId, Vec<TrajEntry>)]) -> Option<(Timestamp, Timestamp)> {
+    let mut span: Option<(Timestamp, Timestamp)> = None;
+    for (_, entries) in trajectories {
+        let (first, last) = match (entries.first(), entries.last()) {
+            (Some(f), Some(l)) => (f.enter_time, l.enter_time),
+            _ => continue,
+        };
+        span = Some(match span {
+            None => (first, last),
+            Some((lo, hi)) => (lo.min(first), hi.max(last)),
+        });
+    }
+    span
+}
+
+/// Plans the per-node append records for one batch: entry `s` of the
+/// result is what shard `s`'s node must apply. Every node gets a record
+/// (so its global counters advance even when no member routes to it);
+/// only touched nodes carry member subsets.
+///
+/// `base` must be the cluster's current global trajectory count and
+/// `(span_min, span_max)` its current data span (use `(0, 0)` when the
+/// cluster is empty, mirroring the empty-build convention).
+pub fn plan_node_records(
+    router: &ShardRouter,
+    base: u64,
+    span_min: Timestamp,
+    span_max: Timestamp,
+    trajectories: &[(UserId, Vec<TrajEntry>)],
+) -> Result<Vec<NodeWalRecord>, StoreError> {
+    validate_batch(router.num_edges(), trajectories)?;
+    let new_total = base + trajectories.len() as u64;
+    let (span_min, span_max) = match batch_span(trajectories) {
+        Some((lo, hi)) if base == 0 => (lo, hi),
+        Some((lo, hi)) => (span_min.min(lo), span_max.max(hi)),
+        None => (span_min, span_max),
+    };
+    let k = router.num_shards();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut subsets: Vec<Vec<(UserId, Vec<TrajEntry>)>> = vec![Vec::new(); k];
+    for (i, (user, entries)) in trajectories.iter().enumerate() {
+        let global = base as u32 + i as u32;
+        for &s in &router.shards_touched(entries) {
+            members[s as usize].push(global);
+            subsets[s as usize].push((*user, entries.clone()));
+        }
+    }
+    Ok(members
+        .into_iter()
+        .zip(subsets)
+        .map(|(members, trajectories)| NodeWalRecord {
+            base,
+            new_total,
+            span_min,
+            span_max,
+            members,
+            trajectories,
+        })
+        .collect())
+}
+
+/// One shard's complete node state: the shard index, its member list, the
+/// cluster routing table, and the global counters a router needs to
+/// reconstruct its view. See the module docs for the exactness and append
+/// contracts.
+pub struct ShardNodeState {
+    shard: u16,
+    router: ShardRouter,
+    /// `members[local] = global`, ascending (the sharded invariant).
+    members: Vec<u32>,
+    /// Cluster-wide trajectory count this node has absorbed records up to.
+    num_global: u64,
+    /// Cluster-wide data span (not this shard's!).
+    span_min: Timestamp,
+    span_max: Timestamp,
+    index: SntIndex,
+}
+
+impl ShardNodeState {
+    /// Extracts shard `shard` of an in-process sharded index as a
+    /// standalone node state — the cluster bootstrap path: build (or
+    /// restore) a [`ShardedSntIndex`] once, export each shard, hand each
+    /// node its own state.
+    ///
+    /// # Panics
+    /// Panics if `shard >= sharded.num_shards()`.
+    pub fn export_from(sharded: &ShardedSntIndex, shard: usize) -> Self {
+        assert!(shard < sharded.num_shards(), "shard {shard} out of range");
+        // Round-trip through the shard's snapshot: the only public way to
+        // obtain an owned SntIndex clone, and exactly what a node restores
+        // from disk anyway.
+        let bytes = sharded.with_shard(shard, |i| i.to_snapshot_bytes());
+        let index = SntIndex::from_snapshot_bytes(&bytes)
+            .expect("a just-written shard snapshot must restore");
+        ShardNodeState {
+            shard: shard as u16,
+            router: sharded.router().clone(),
+            members: sharded.shard_members(shard),
+            num_global: sharded.num_trajectories() as u64,
+            span_min: sharded.data_min(),
+            span_max: sharded.data_max(),
+            index,
+        }
+    }
+
+    /// The shard this node serves.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// Number of shards in the cluster (`K`).
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// The cluster routing table (identical on every node).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Ascending global ids of this shard's members.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Cluster-wide trajectory count this node is caught up to.
+    pub fn num_global(&self) -> u64 {
+        self.num_global
+    }
+
+    /// Cluster-wide `data_min`.
+    pub fn span_min(&self) -> Timestamp {
+        self.span_min
+    }
+
+    /// Cluster-wide `data_max`.
+    pub fn span_max(&self) -> Timestamp {
+        self.span_max
+    }
+
+    /// The shard's index (for stats / introspection).
+    pub fn index(&self) -> &SntIndex {
+        &self.index
+    }
+
+    /// Whether an SPQ routes to this shard — queries that do not are
+    /// router bugs and answered with a typed error, never a wrong answer.
+    fn check_route(&self, spq: &Spq) -> Result<(), StoreError> {
+        let owner = self.router.shard_of(spq.path.first());
+        if owner != self.shard as usize {
+            return Err(StoreError::corrupt(format!(
+                "query for edge {} routes to shard {owner}, this node serves shard {}",
+                spq.path.first().0,
+                self.shard
+            )));
+        }
+        Ok(())
+    }
+
+    /// Translates the global exclusion id into the shard-local id space
+    /// (the [`crate::sharded`] translation, replicated: an excluded
+    /// trajectory with no occurrence in the shard cannot match anyway).
+    fn translate<'q>(members: &[u32], spq: &'q Spq) -> Cow<'q, Spq> {
+        match spq.exclude {
+            None => Cow::Borrowed(spq),
+            Some(TrajId(global)) => {
+                let mut q = spq.clone();
+                q.exclude = members
+                    .binary_search(&global)
+                    .ok()
+                    .map(|local| TrajId(local as u32));
+                Cow::Owned(q)
+            }
+        }
+    }
+
+    /// `getTravelTimes` for a query owned by this shard — byte-identical
+    /// to [`ShardedSntIndex::get_travel_times`] on the same history.
+    pub fn get_travel_times(&self, spq: &Spq) -> Result<TravelTimes, StoreError> {
+        self.check_route(spq)?;
+        let mut scratch = SearchScratch::new();
+        Ok(self
+            .index
+            .get_travel_times_with(&Self::translate(&self.members, spq), &mut scratch))
+    }
+
+    /// Exact predicate-matching traversal count for an owned query.
+    pub fn count_matching(&self, spq: &Spq, cap: u32) -> Result<usize, StoreError> {
+        self.check_route(spq)?;
+        Ok(self
+            .index
+            .count_matching(&Self::translate(&self.members, spq), cap))
+    }
+
+    /// Cardinality estimate for an owned query.
+    pub fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> Result<f64, StoreError> {
+        self.check_route(spq)?;
+        Ok(crate::cardinality::estimate_cardinality(
+            &self.index,
+            &Self::translate(&self.members, spq),
+            mode,
+        ))
+    }
+
+    /// Applies one append record, idempotently (see the module docs):
+    ///
+    /// * `new_total ≤ num_global` — already absorbed, `Ok(0)`, no change.
+    /// * `base ≠ num_global` — a missing predecessor,
+    ///   [`StoreError::WalGap`].
+    /// * otherwise the member subset is validated and appended as one
+    ///   temporal partition (exactly like the touched shard of an
+    ///   in-process [`ShardedSntIndex::append_trajectories`]) and the
+    ///   global counters advance. An empty subset only advances counters.
+    ///
+    /// Returns the number of trajectories this shard indexed. A failed
+    /// validation leaves the node untouched.
+    pub fn apply(&mut self, record: &NodeWalRecord) -> Result<usize, StoreError> {
+        if record.new_total <= self.num_global {
+            return Ok(0);
+        }
+        if record.base != self.num_global {
+            return Err(StoreError::WalGap {
+                expected: self.num_global,
+                found: record.base,
+            });
+        }
+        if record.new_total < record.base
+            || record.members.len() != record.trajectories.len()
+            || record.members.len() as u64 > record.new_total - record.base
+        {
+            return Err(StoreError::corrupt(format!(
+                "append record shape: {} members, {} trajectories, stamp {}→{}",
+                record.members.len(),
+                record.trajectories.len(),
+                record.base,
+                record.new_total
+            )));
+        }
+        let in_range = |&g: &u32| (g as u64) >= record.base && (g as u64) < record.new_total;
+        if !record.members.windows(2).all(|w| w[0] < w[1]) || !record.members.iter().all(in_range) {
+            return Err(StoreError::corrupt(
+                "append record member ids must be ascending within the batch stamp",
+            ));
+        }
+        let local_from = self.index.num_trajectories() as u32;
+        let owned = prepare_batch(local_from, self.router.num_edges(), &record.trajectories)?;
+        if !owned.is_empty() {
+            let refs: Vec<&Trajectory> = owned.iter().collect();
+            self.index.append_trajectories(&refs);
+            self.members.extend_from_slice(&record.members);
+        }
+        self.num_global = record.new_total;
+        self.span_min = self.span_min.min(record.span_min);
+        self.span_max = self.span_max.max(record.span_max);
+        Ok(owned.len())
+    }
+
+    /// Serializes the node state into a snapshot container
+    /// ([`SECTION_NODE_META`] + [`SECTION_NODE_INDEX`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut builder = SnapshotBuilder::new();
+        let mut meta = ByteWriter::new();
+        meta.put_u16(self.shard);
+        meta.put_u64(self.num_global);
+        meta.put_i64(self.span_min);
+        meta.put_i64(self.span_max);
+        self.router.persist(&mut meta);
+        meta.put_seq(&self.members);
+        builder.add_section(SECTION_NODE_META, meta.into_bytes());
+        builder.add_section(SECTION_NODE_INDEX, self.index.to_snapshot_bytes());
+        builder.into_bytes()
+    }
+
+    /// Restores a node state, verifying section CRCs plus the node
+    /// invariants: shard id within the routing table, ascending members
+    /// within the global count, and member count equal to the shard
+    /// index's trajectory count.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let archive = SnapshotArchive::from_bytes(bytes)?;
+        let mut meta = archive.section(SECTION_NODE_META)?;
+        let shard = meta.get_u16()?;
+        let num_global = meta.get_u64()?;
+        let span_min = meta.get_i64()?;
+        let span_max = meta.get_i64()?;
+        let router = ShardRouter::restore(&mut meta)?;
+        let members: Vec<u32> = meta.get_seq()?;
+        meta.expect_exhausted("node meta section")?;
+        if (shard as usize) >= router.num_shards() {
+            return Err(StoreError::corrupt(format!(
+                "node claims shard {shard} of {}",
+                router.num_shards()
+            )));
+        }
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StoreError::corrupt("node member list is not ascending"));
+        }
+        if let Some(&bad) = members.iter().find(|&&g| g as u64 >= num_global) {
+            return Err(StoreError::corrupt(format!(
+                "node member {bad} out of range for {num_global} global trajectories"
+            )));
+        }
+        let mut idx = archive.section(SECTION_NODE_INDEX)?;
+        let index = SntIndex::from_snapshot_bytes(idx.get_bytes(idx.remaining())?)?;
+        if index.num_trajectories() != members.len() {
+            return Err(StoreError::corrupt(format!(
+                "node indexes {} trajectories but lists {} members",
+                index.num_trajectories(),
+                members.len()
+            )));
+        }
+        if index.num_edges() != router.num_edges() {
+            return Err(StoreError::corrupt(format!(
+                "node index covers {} edges, routing table {}",
+                index.num_edges(),
+                router.num_edges()
+            )));
+        }
+        Ok(ShardNodeState {
+            shard,
+            router,
+            members,
+            num_global,
+            span_min,
+            span_max,
+            index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SntConfig, TimeInterval};
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E, EDGE_F};
+    use tthr_network::Path;
+    use tthr_trajectory::examples::example_trajectories;
+
+    fn sharded(k: usize) -> ShardedSntIndex {
+        ShardedSntIndex::build(
+            &example_network(),
+            &example_trajectories(),
+            SntConfig::default(),
+            k,
+        )
+    }
+
+    fn nodes(sharded: &ShardedSntIndex) -> Vec<ShardNodeState> {
+        (0..sharded.num_shards())
+            .map(|s| ShardNodeState::export_from(sharded, s))
+            .collect()
+    }
+
+    fn workload() -> Vec<Spq> {
+        vec![
+            Spq::new(
+                Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+                TimeInterval::fixed(0, 15),
+            )
+            .with_beta(2),
+            Spq::new(Path::new(vec![EDGE_E]), TimeInterval::periodic(0, 900)).with_beta(3),
+            Spq::new(Path::new(vec![EDGE_B, EDGE_E]), TimeInterval::fixed(0, 100))
+                .with_user(UserId(1)),
+            Spq::new(
+                Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+                TimeInterval::fixed(0, 100),
+            )
+            .without_trajectory(TrajId(0)),
+        ]
+    }
+
+    fn assert_nodes_match(sharded: &ShardedSntIndex, nodes: &[ShardNodeState]) {
+        for spq in workload() {
+            let owner = sharded.router().shard_of(spq.path.first());
+            let a = sharded.get_travel_times(&spq);
+            let b = nodes[owner].get_travel_times(&spq).unwrap();
+            let ab: Vec<u64> = a.values.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "{spq:?}");
+            assert_eq!(a.fallback, b.fallback, "{spq:?}");
+            assert_eq!(
+                sharded.count_matching(&spq, u32::MAX),
+                nodes[owner].count_matching(&spq, u32::MAX).unwrap(),
+                "{spq:?}"
+            );
+            for mode in CardinalityMode::ALL {
+                assert_eq!(
+                    crate::IndexBackend::estimate(sharded, &spq, mode).to_bits(),
+                    nodes[owner].estimate(&spq, mode).unwrap().to_bits(),
+                    "{spq:?} {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exported_nodes_answer_like_the_sharded_backend() {
+        for k in [1usize, 2, 7] {
+            let idx = sharded(k);
+            let nodes = nodes(&idx);
+            assert_eq!(nodes.len(), k);
+            for (s, node) in nodes.iter().enumerate() {
+                assert_eq!(node.shard() as usize, s);
+                assert_eq!(node.num_global(), idx.num_trajectories() as u64);
+                assert_eq!(node.span_min(), idx.data_min());
+                assert_eq!(node.span_max(), idx.data_max());
+                assert_eq!(node.members(), idx.shard_members(s).as_slice());
+            }
+            assert_nodes_match(&idx, &nodes);
+        }
+    }
+
+    #[test]
+    fn misrouted_queries_are_typed_errors() {
+        let idx = sharded(2);
+        let nodes = nodes(&idx);
+        let q = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::fixed(0, 100));
+        let owner = idx.router().shard_of(EDGE_A);
+        let wrong = 1 - owner;
+        assert!(nodes[owner].get_travel_times(&q).is_ok());
+        assert!(matches!(
+            nodes[wrong].get_travel_times(&q),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn planned_records_apply_identically_to_an_in_process_append() {
+        let idx = sharded(2);
+        let mut nodes = nodes(&idx);
+        let batch: Vec<(UserId, Vec<TrajEntry>)> = vec![
+            (
+                UserId(8),
+                vec![
+                    TrajEntry::new(EDGE_A, 20, 3.0),
+                    TrajEntry::new(EDGE_B, 23, 3.0),
+                    TrajEntry::new(EDGE_E, 26, 5.0),
+                ],
+            ),
+            (UserId(9), vec![TrajEntry::new(EDGE_F, 22, 7.0)]),
+        ];
+        let records = plan_node_records(
+            idx.router(),
+            idx.num_trajectories() as u64,
+            idx.data_min(),
+            idx.data_max(),
+            &batch,
+        )
+        .unwrap();
+        assert_eq!(records.len(), 2);
+        idx.append_trajectory_batch(&batch).unwrap();
+        for (node, record) in nodes.iter_mut().zip(&records) {
+            node.apply(record).unwrap();
+            assert_eq!(node.num_global(), idx.num_trajectories() as u64);
+            assert_eq!(node.span_min(), idx.data_min());
+            assert_eq!(node.span_max(), idx.data_max());
+            assert_eq!(
+                node.members(),
+                idx.shard_members(node.shard() as usize).as_slice()
+            );
+        }
+        assert_nodes_match(&idx, &nodes);
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_gaps_are_typed() {
+        let idx = sharded(2);
+        let mut node = ShardNodeState::export_from(&idx, 0);
+        let batch = vec![(UserId(7), vec![TrajEntry::new(EDGE_A, 50, 3.0)])];
+        let records = plan_node_records(idx.router(), node.num_global(), 0, 21, &batch).unwrap();
+        let record = records[node.shard() as usize].clone();
+        let first = node.apply(&record).unwrap();
+        // Replaying the same record is a no-op.
+        assert_eq!(node.apply(&record).unwrap(), 0);
+        let members_after = node.members().to_vec();
+        // A record from the future is a gap naming both stamps.
+        let future = NodeWalRecord {
+            base: node.num_global() + 3,
+            new_total: node.num_global() + 4,
+            ..record.clone()
+        };
+        match node.apply(&future) {
+            Err(StoreError::WalGap { expected, found }) => {
+                assert_eq!(expected, node.num_global());
+                assert_eq!(found, future.base);
+            }
+            other => panic!("expected WalGap, got {other:?}"),
+        }
+        assert_eq!(node.members(), members_after.as_slice());
+        let _ = first;
+    }
+
+    #[test]
+    fn malformed_records_leave_the_node_untouched() {
+        let idx = sharded(1);
+        let mut node = ShardNodeState::export_from(&idx, 0);
+        let before_members = node.members().to_vec();
+        let before_global = node.num_global();
+        // Member list longer than the batch stamp allows.
+        let bad = NodeWalRecord {
+            base: before_global,
+            new_total: before_global + 1,
+            span_min: 0,
+            span_max: 100,
+            members: vec![before_global as u32, before_global as u32 + 1],
+            trajectories: vec![
+                (UserId(1), vec![TrajEntry::new(EDGE_A, 90, 1.0)]),
+                (UserId(2), vec![TrajEntry::new(EDGE_B, 91, 1.0)]),
+            ],
+        };
+        assert!(matches!(node.apply(&bad), Err(StoreError::Corrupt { .. })));
+        // Invalid trajectory payload (empty entry list).
+        let bad = NodeWalRecord {
+            base: before_global,
+            new_total: before_global + 1,
+            span_min: 0,
+            span_max: 100,
+            members: vec![before_global as u32],
+            trajectories: vec![(UserId(1), vec![])],
+        };
+        assert!(matches!(node.apply(&bad), Err(StoreError::Corrupt { .. })));
+        assert_eq!(node.num_global(), before_global);
+        assert_eq!(node.members(), before_members.as_slice());
+    }
+
+    #[test]
+    fn node_snapshot_round_trips_and_keeps_answering() {
+        let idx = sharded(2);
+        for s in 0..2 {
+            let node = ShardNodeState::export_from(&idx, s);
+            let bytes = node.to_snapshot_bytes();
+            let restored = ShardNodeState::from_snapshot_bytes(&bytes).unwrap();
+            assert_eq!(restored.shard(), node.shard());
+            assert_eq!(restored.num_global(), node.num_global());
+            assert_eq!(restored.members(), node.members());
+            assert_eq!(restored.router(), node.router());
+        }
+        let nodes: Vec<ShardNodeState> = (0..2)
+            .map(|s| {
+                ShardNodeState::from_snapshot_bytes(
+                    &ShardNodeState::export_from(&idx, s).to_snapshot_bytes(),
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_nodes_match(&idx, &nodes);
+    }
+
+    #[test]
+    fn corrupt_node_snapshots_are_typed_errors() {
+        let idx = sharded(2);
+        let node = ShardNodeState::export_from(&idx, 0);
+        let bytes = node.to_snapshot_bytes();
+        // Any flipped payload bit trips a section CRC.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 1;
+        assert!(ShardNodeState::from_snapshot_bytes(&corrupt).is_err());
+        // A descending member list passes CRCs (regenerated) but fails the
+        // node invariants.
+        let archive = SnapshotArchive::from_bytes(&bytes).unwrap();
+        let mut rebuilt = SnapshotBuilder::new();
+        let mut meta = archive.section(SECTION_NODE_META).unwrap();
+        let shard = meta.get_u16().unwrap();
+        let num_global = meta.get_u64().unwrap();
+        let span_min = meta.get_i64().unwrap();
+        let span_max = meta.get_i64().unwrap();
+        let router = ShardRouter::restore(&mut meta).unwrap();
+        let mut members: Vec<u32> = meta.get_seq().unwrap();
+        members.reverse();
+        let mut w = ByteWriter::new();
+        w.put_u16(shard);
+        w.put_u64(num_global);
+        w.put_i64(span_min);
+        w.put_i64(span_max);
+        router.persist(&mut w);
+        w.put_seq(&members);
+        rebuilt.add_section(SECTION_NODE_META, w.into_bytes());
+        let mut idxs = archive.section(SECTION_NODE_INDEX).unwrap();
+        rebuilt.add_section(
+            SECTION_NODE_INDEX,
+            idxs.get_bytes(idxs.remaining()).unwrap().to_vec(),
+        );
+        let result = ShardNodeState::from_snapshot_bytes(&rebuilt.into_bytes());
+        assert!(matches!(result, Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn wal_record_round_trips() {
+        let record = NodeWalRecord {
+            base: 4,
+            new_total: 6,
+            span_min: -3,
+            span_max: 99,
+            members: vec![4, 5],
+            trajectories: vec![
+                (UserId(8), vec![TrajEntry::new(EDGE_A, 20, 3.0)]),
+                (UserId(9), vec![TrajEntry::new(EDGE_F, 22, 7.0)]),
+            ],
+        };
+        let mut w = ByteWriter::new();
+        record.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let restored = NodeWalRecord::restore(&mut r).unwrap();
+        r.expect_exhausted("node wal record").unwrap();
+        assert_eq!(restored, record);
+    }
+}

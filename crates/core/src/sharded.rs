@@ -141,8 +141,11 @@ impl ShardRouter {
         self.shard_of_edge[e.index()] as usize
     }
 
-    /// Sorted, deduplicated shard ids touched by a sequence of entries.
-    fn shards_touched(&self, entries: &[TrajEntry]) -> Vec<u16> {
+    /// Sorted, deduplicated shard ids touched by a sequence of entries —
+    /// the shards that must index a trajectory traversing them. Public
+    /// because the cluster tier's router plans per-node append subsets
+    /// with exactly this partition (see [`crate::node`]).
+    pub fn shards_touched(&self, entries: &[TrajEntry]) -> Vec<u16> {
         let mut shards: Vec<u16> = entries
             .iter()
             .map(|en| self.shard_of_edge[en.edge.index()])

@@ -605,6 +605,12 @@ impl SntIndex {
         self.partitions.len()
     }
 
+    /// Number of road-network edges the index was built over (the FM
+    /// alphabet size minus the `$` separator).
+    pub fn num_edges(&self) -> usize {
+        self.estimate_tt.len()
+    }
+
     /// Earliest trajectory start time in the data set.
     pub fn data_min(&self) -> Timestamp {
         self.data_min

@@ -231,7 +231,16 @@ impl LogHistogram {
 
     /// Merges another histogram into this one (used to aggregate per-shard
     /// or per-worker recorders).
+    ///
+    /// Merging an empty histogram is a strict no-op: the early return keeps
+    /// the empty side's `min`/`max` sentinels (`u64::MAX`/`0`) from ever
+    /// entering the `min`/`max` folds below, so the merged counts, span,
+    /// and mean are exactly those of the non-empty side — in either merge
+    /// order (pinned by `merging_empty_histograms_is_exact`).
     pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -365,6 +374,54 @@ pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: merging an empty histogram must be an exact no-op in
+    /// both orders — counts, min/max (no sentinel leakage), sum, and mean
+    /// all equal the non-empty side's exact values.
+    #[test]
+    fn merging_empty_histograms_is_exact() {
+        let mut filled = LogHistogram::new();
+        for v in [3u64, 70, 70, 9000] {
+            filled.record(v);
+        }
+
+        // Non-empty ← empty.
+        let mut a = filled.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.max(), 9000);
+        assert_eq!(a.sum(), 3 + 70 + 70 + 9000);
+        assert_eq!(a.mean(), (3.0 + 70.0 + 70.0 + 9000.0) / 4.0);
+
+        // Empty ← non-empty.
+        let mut b = LogHistogram::new();
+        b.merge(&filled);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.min(), 3);
+        assert_eq!(b.max(), 9000);
+        assert_eq!(b.sum(), a.sum());
+        assert_eq!(b.mean(), a.mean());
+        assert_eq!(b.nonzero_buckets().count(), a.nonzero_buckets().count());
+
+        // Empty ← empty stays empty (accessors keep their empty contract,
+        // the internal sentinels never surface).
+        let mut c = LogHistogram::new();
+        c.merge(&LogHistogram::new());
+        assert!(c.is_empty());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), 0);
+        assert_eq!(c.max(), 0);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.nonzero_buckets().count(), 0);
+
+        // A later merge into the previously-empty-merged histogram still
+        // lands exactly (the no-op left no residue behind).
+        c.merge(&filled);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.min(), 3);
+        assert_eq!(c.max(), 9000);
+    }
 
     #[test]
     fn percentile_nearest_rank() {

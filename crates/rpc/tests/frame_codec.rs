@@ -1,0 +1,281 @@
+//! Property battery for the binary frame codec, mirroring the HTTP
+//! parser's (`crates/server/tests/http_parser.rs`): one-shot and
+//! incremental decoding agree on every split boundary for **every** frame
+//! type, single-byte corruption maps to a typed [`FrameError`] (never a
+//! panic, never a silently different message), and raw fuzz bytes never
+//! panic either decoder.
+
+use proptest::collection;
+use tthr_core::node::NodeWalRecord;
+use tthr_core::{CardinalityMode, ShardRouter, Spq, TimeInterval};
+use tthr_network::examples::example_network;
+use tthr_network::{EdgeId, Path};
+use tthr_rpc::{
+    decode_frame, encode_frame, read_frame, Decode, ErrCode, FrameError, Message, NodeMeta,
+    WireError, FRAME_HEADER,
+};
+use tthr_trajectory::{TrajEntry, TrajId, UserId};
+
+/// The raw ingredients one proptest case draws; every frame type is built
+/// from the same bag so a single case covers the whole tag space.
+#[allow(clippy::too_many_arguments)]
+fn build_messages(
+    edges: Vec<u32>,
+    periodic: bool,
+    istart: i64,
+    ilen: i64,
+    filter: u8,
+    beta: Option<u32>,
+    exclude: Option<u32>,
+    cap: u32,
+    mode: u8,
+    base: u64,
+    raw_entries: Vec<(u32, i64, i64)>,
+    k: usize,
+    values: Vec<f64>,
+    fallback: bool,
+    code: u8,
+    text: Vec<u8>,
+) -> Vec<Message> {
+    let interval = if periodic {
+        TimeInterval::periodic(istart.rem_euclid(86_400), ilen.clamp(1, 86_400))
+    } else {
+        TimeInterval::fixed(istart, istart + ilen.max(1))
+    };
+    let mut spq = Spq::new(
+        Path::new(edges.iter().map(|&e| EdgeId(e)).collect()),
+        interval,
+    );
+    if filter == 1 {
+        spq = spq.with_user(UserId(cap % 97));
+    }
+    spq.beta = beta;
+    spq.exclude = exclude.map(TrajId);
+    let mode = CardinalityMode::ALL[mode as usize % CardinalityMode::ALL.len()];
+    let entries: Vec<TrajEntry> = raw_entries
+        .iter()
+        .map(|&(e, t, tt)| TrajEntry::new(EdgeId(e), t, tt as f64))
+        .collect();
+    let record = NodeWalRecord {
+        base,
+        new_total: base + 2,
+        span_min: istart,
+        span_max: istart + ilen.max(1),
+        members: vec![base as u32, base as u32 + 1],
+        trajectories: vec![(UserId(3), entries.clone()), (UserId(4), entries)],
+    };
+    let meta = NodeMeta {
+        shard: (k - 1) as u16,
+        num_shards: k as u32,
+        num_edges: 50,
+        num_global: base + 2,
+        num_members: base,
+        num_partitions: 1 + base % 5,
+        span_min: istart,
+        span_max: istart + ilen.max(1),
+    };
+    let codes = [
+        ErrCode::BadRequest,
+        ErrCode::Corrupt,
+        ErrCode::WalGap,
+        ErrCode::Internal,
+    ];
+    let message: String = text.iter().map(|&b| (b'a' + b % 26) as char).collect();
+    vec![
+        Message::Health,
+        Message::GetMeta,
+        Message::GetRouting,
+        Message::TravelTimes(spq.clone()),
+        Message::Count {
+            spq: spq.clone(),
+            cap,
+        },
+        Message::Estimate { spq, mode },
+        Message::Append(record),
+        Message::Snapshot,
+        Message::Ok,
+        Message::Meta(meta),
+        Message::Routing(ShardRouter::build(&example_network(), k)),
+        Message::TravelTimesResult { values, fallback },
+        Message::CountResult(base),
+        Message::EstimateResult(istart as f64 + 0.5),
+        Message::Appended {
+            appended: base % 7,
+            total: base,
+        },
+        Message::Err {
+            code: codes[code as usize % codes.len()],
+            expected: base,
+            found: base + 1,
+            message,
+        },
+    ]
+}
+
+macro_rules! all_messages {
+    ($($p:ident),*) => {
+        build_messages($($p),*)
+    };
+}
+
+proptest::proptest! {
+    /// One-shot decode inverts encode for every frame type, and every
+    /// strict prefix of every frame is `Incomplete` — the incremental
+    /// decoder can never mis-parse a partially received frame.
+    #[test]
+    fn round_trip_every_variant_at_every_split(
+        edges in collection::vec(0u32..50, 1..5),
+        periodic in proptest::bool::ANY,
+        istart in -1000i64..1000,
+        ilen in 1i64..5000,
+        filter in 0u8..2,
+        beta_some in proptest::bool::ANY,
+        beta in 0u32..50,
+        excl_some in proptest::bool::ANY,
+        excl in 0u32..50,
+        cap in 0u32..100000,
+        mode in 0u8..5,
+        base in 0u64..1000,
+        raw_entries in collection::vec((0u32..50, 0i64..100000, 1i64..500), 1..4),
+        k in 1usize..5,
+        values in collection::vec(0.5f64..5000.0, 0..6),
+        fallback in proptest::bool::ANY,
+        code in 0u8..8,
+        text in collection::vec(0u8..255, 0..24),
+    ) {
+        let beta = beta_some.then_some(beta);
+        let exclude = excl_some.then_some(excl);
+        let messages = all_messages!(
+            edges, periodic, istart, ilen, filter, beta, exclude, cap, mode,
+            base, raw_entries, k, values, fallback, code, text
+        );
+        assert_eq!(messages.len(), 16, "every tag is exercised");
+        for message in messages {
+            let frame = encode_frame(&message);
+            match decode_frame(&frame) {
+                Ok(Decode::Done { message: got, consumed }) => {
+                    proptest::prop_assert_eq!(&got, &message);
+                    proptest::prop_assert_eq!(consumed, frame.len());
+                }
+                other => panic!("complete frame must decode: {other:?}"),
+            }
+            for cut in 0..frame.len() {
+                match decode_frame(&frame[..cut]) {
+                    Ok(Decode::Incomplete) => {}
+                    other => panic!("strict prefix of {cut} bytes: {other:?}"),
+                }
+            }
+            // The blocking reader agrees with the incremental decoder.
+            let mut cursor: &[u8] = &frame;
+            let got = read_frame(&mut cursor).unwrap().expect("one frame");
+            proptest::prop_assert_eq!(&got, &message);
+            proptest::prop_assert!(cursor.is_empty());
+        }
+    }
+
+    /// Pipelined frames decode one at a time with exact `consumed`
+    /// offsets, in order, regardless of where the stream is split.
+    #[test]
+    fn pipelined_frames_decode_in_order(
+        count_a in 0u64..1000,
+        count_b in 0u64..1000,
+        split in 0usize..60,
+    ) {
+        let first = encode_frame(&Message::CountResult(count_a));
+        let second = encode_frame(&Message::Appended { appended: count_b, total: count_b + 1 });
+        let mut stream = first.clone();
+        stream.extend_from_slice(&second);
+        // Whatever prefix of the stream has arrived, decoding yields
+        // either Incomplete or the first frame — never the second.
+        let cut = split % stream.len();
+        match decode_frame(&stream[..cut]).unwrap() {
+            Decode::Incomplete => proptest::prop_assert!(cut < first.len() + FRAME_HEADER),
+            Decode::Done { message, consumed } => {
+                proptest::prop_assert_eq!(&message, &Message::CountResult(count_a));
+                proptest::prop_assert_eq!(consumed, first.len());
+            }
+        }
+        let Decode::Done { message, consumed } = decode_frame(&stream).unwrap() else {
+            panic!("complete stream");
+        };
+        proptest::prop_assert_eq!(&message, &Message::CountResult(count_a));
+        let Decode::Done { message, consumed: used } = decode_frame(&stream[consumed..]).unwrap()
+        else {
+            panic!("second frame complete");
+        };
+        proptest::prop_assert_eq!(&message, &Message::Appended { appended: count_b, total: count_b + 1 });
+        proptest::prop_assert_eq!(consumed + used, stream.len());
+    }
+
+    /// Flipping any single byte of a valid frame never panics and never
+    /// yields a different message: the CRC (or the length/tag/payload
+    /// validation) catches it with a typed error, or — when the flip
+    /// enlarges the claimed length — the decoder just waits for bytes
+    /// that will never come.
+    #[test]
+    fn single_byte_corruption_is_typed(
+        base in 0u64..1000,
+        cap in 1u32..1000,
+        edges in collection::vec(0u32..50, 1..4),
+        flip_at in 0usize..4096,
+        flip_to in 1u8..255,
+    ) {
+        let spq = Spq::new(
+            Path::new(edges.iter().map(|&e| EdgeId(e)).collect()),
+            TimeInterval::fixed(0, 100),
+        );
+        for message in [
+            Message::Count { spq: spq.clone(), cap },
+            Message::Append(NodeWalRecord {
+                base,
+                new_total: base + 1,
+                span_min: 0,
+                span_max: 10,
+                members: vec![base as u32],
+                trajectories: vec![(UserId(1), vec![TrajEntry::new(EdgeId(0), 1, 2.0)])],
+            }),
+            Message::Err {
+                code: ErrCode::WalGap,
+                expected: base,
+                found: base + 1,
+                message: "gap".into(),
+            },
+        ] {
+            let mut frame = encode_frame(&message);
+            let at = flip_at % frame.len();
+            frame[at] ^= flip_to;
+            match decode_frame(&frame) {
+                // A flip that grows the length field legitimately reads
+                // as an incomplete longer frame.
+                Ok(Decode::Incomplete) => proptest::prop_assert!(at < 4),
+                Ok(Decode::Done { message: got, .. }) => {
+                    panic!("corrupt frame decoded as {got:?}")
+                }
+                Err(
+                    FrameError::Length { .. }
+                    | FrameError::Crc { .. }
+                    | FrameError::Tag(_)
+                    | FrameError::Body(_),
+                ) => {}
+                Err(FrameError::Truncated) => panic!("incremental decode never reports Truncated"),
+            }
+            // The blocking reader is typed too (corrupt frame or torn
+            // stream, depending on where the flip landed).
+            let mut cursor: &[u8] = &frame;
+            match read_frame(&mut cursor) {
+                Ok(Some(got)) => panic!("corrupt frame read as {got:?}"),
+                Ok(None) => panic!("a non-empty stream is not a clean EOF"),
+                Err(WireError::Frame(_)) => {}
+                Err(WireError::Io(e)) => panic!("in-memory read cannot fail with i/o: {e}"),
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic either decoder.
+    #[test]
+    fn raw_fuzz_never_panics(fuzz in collection::vec(0u8..255, 0..256)) {
+        let _ = decode_frame(&fuzz);
+        let mut cursor: &[u8] = &fuzz;
+        let _ = read_frame(&mut cursor);
+    }
+}

@@ -66,8 +66,10 @@
 #![deny(unsafe_code)] // narrowly re-allowed in `sys` for the epoll FFI
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod http;
 pub mod json;
+pub mod node;
 mod reactor;
 mod sys;
 pub mod wire;

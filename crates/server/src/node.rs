@@ -1,0 +1,387 @@
+//! Shard-node mode: one [`ShardNodeState`] served over the cluster's
+//! binary protocol, with its own snapshot + write-ahead log.
+//!
+//! The node is deliberately boring compared to the epoll front-end: a
+//! blocking accept loop with one thread per connection. The cluster tier
+//! holds a handful of long-lived router connections per node, not ten
+//! thousand browsers — thread-per-connection is the right tool, and it
+//! keeps the node's only state machine (the WAL) trivial to reason
+//! about.
+//!
+//! # Durability contract
+//!
+//! * [`NodeStore::append`] applies the record to the in-memory state
+//!   *first* (application validates everything before mutating), then
+//!   logs it. A crash between the two loses an unacknowledged record —
+//!   the router never got its ack, retries, and the base-stamp
+//!   idempotency of [`tthr_core::NodeWalRecord`] makes the re-send
+//!   apply cleanly.
+//! * [`NodeStore::snapshot`] writes `node.snap` atomically (temp file +
+//!   rename + directory fsync) **before** starting a fresh WAL, mirroring
+//!   the service tier's ordering argument: a crash in between pairs the
+//!   new snapshot with stale WAL records, which replay as idempotent
+//!   skips on open.
+//! * [`NodeStore::open`] restores the snapshot and replays every intact
+//!   WAL record; a torn tail is truncated by the store layer.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use tthr_core::{NodeWalRecord, ShardNodeState};
+use tthr_rpc::{read_frame, write_frame, ErrCode, Message, NodeMeta, WireError};
+use tthr_store::wal::WalWriter;
+use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
+
+/// Snapshot file name inside a node's store directory.
+pub const NODE_SNAPSHOT_FILE: &str = "node.snap";
+/// WAL file name inside a node's store directory.
+pub const NODE_WAL_FILE: &str = "node.wal";
+
+/// A shard node's durable store: the in-memory [`ShardNodeState`] plus
+/// the snapshot/WAL pair that lets the process die and come back.
+pub struct NodeStore {
+    dir: PathBuf,
+    state: ShardNodeState,
+    wal: WalWriter,
+}
+
+impl NodeStore {
+    /// Initialises a fresh store directory from a bootstrap state
+    /// (normally one shard exported from an in-process build via
+    /// [`ShardNodeState::export_from`]): writes the snapshot and starts
+    /// an empty WAL.
+    pub fn init(dir: impl AsRef<Path>, state: ShardNodeState) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        write_node_snapshot(&dir, &state)?;
+        let wal = WalWriter::create(&dir.join(NODE_WAL_FILE))?;
+        sync_dir(&dir)?;
+        Ok(NodeStore { dir, state, wal })
+    }
+
+    /// Reopens a store directory: restores the snapshot, replays every
+    /// intact WAL record (idempotently — records the snapshot already
+    /// covers skip by base stamp), and resumes logging.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let bytes = std::fs::read(dir.join(NODE_SNAPSHOT_FILE))?;
+        let mut state = ShardNodeState::from_snapshot_bytes(&bytes)?;
+        let (wal, recovery) = WalWriter::open(&dir.join(NODE_WAL_FILE))?;
+        for payload in &recovery.records {
+            let mut r = ByteReader::new(payload);
+            let record = NodeWalRecord::restore(&mut r)?;
+            r.expect_exhausted("node wal record")?;
+            state.apply(&record)?;
+        }
+        Ok(NodeStore { dir, state, wal })
+    }
+
+    /// The node's in-memory state.
+    pub fn state(&self) -> &ShardNodeState {
+        &self.state
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Applies one append record and, if it advanced the node, logs it.
+    /// Returns `(applied, num_global)` — how many trajectories this
+    /// shard indexed and the node's post-apply global count.
+    pub fn append(&mut self, record: &NodeWalRecord) -> Result<(u64, u64), StoreError> {
+        let before = self.state.num_global();
+        let applied = self.state.apply(record)?;
+        if self.state.num_global() > before {
+            let mut w = ByteWriter::new();
+            record.persist(&mut w);
+            self.wal.append(&w.into_bytes())?;
+        }
+        Ok((applied as u64, self.state.num_global()))
+    }
+
+    /// Rotates the snapshot: writes the current state atomically, then
+    /// starts a fresh WAL (see the module docs for the crash-ordering
+    /// argument).
+    pub fn snapshot(&mut self) -> Result<(), StoreError> {
+        write_node_snapshot(&self.dir, &self.state)?;
+        sync_dir(&self.dir)?;
+        self.wal = WalWriter::create(&self.dir.join(NODE_WAL_FILE))?;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+}
+
+fn write_node_snapshot(dir: &Path, state: &ShardNodeState) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{NODE_SNAPSHOT_FILE}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&state.to_snapshot_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(NODE_SNAPSHOT_FILE))?;
+    Ok(())
+}
+
+/// Fsyncs a directory so renames inside it are durable; "unsupported"
+/// platforms degrade to best-effort (same policy as the service tier).
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    match std::fs::File::open(dir) {
+        Ok(f) => match f.sync_all() {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => Ok(()),
+            Err(e) => Err(e.into()),
+        },
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Serves one shard node over `listener`, blocking forever: accepts
+/// connections and spawns a thread per connection. Queries take a read
+/// lock; appends and snapshot rotations take the write lock, so readers
+/// never observe a half-applied batch.
+pub fn serve_node(listener: TcpListener, store: NodeStore) -> std::io::Result<()> {
+    let store = Arc::new(RwLock::new(store));
+    loop {
+        let (conn, _) = listener.accept()?;
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || serve_node_conn(conn, &store));
+    }
+}
+
+/// One connection's request loop — public so tests (and embedders) can
+/// run a node on their own listener/threading setup.
+pub fn serve_node_conn(mut conn: TcpStream, store: &RwLock<NodeStore>) {
+    let _ = conn.set_nodelay(true);
+    loop {
+        let request = match read_frame(&mut conn) {
+            Ok(Some(m)) => m,
+            // Clean EOF between requests: the peer hung up.
+            Ok(None) => return,
+            Err(WireError::Frame(e)) => {
+                // A malformed frame poisons the stream (framing is lost);
+                // answer typed and close.
+                let reply = Message::error(ErrCode::BadRequest, format!("bad frame: {e}"));
+                let _ = write_frame(&mut conn, &reply);
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        };
+        let reply = dispatch(&request, store);
+        if write_frame(&mut conn, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(request: &Message, store: &RwLock<NodeStore>) -> Message {
+    match request {
+        Message::Health => Message::Ok,
+        Message::GetMeta => {
+            let store = store.read().expect("store lock");
+            Message::Meta(meta_of(store.state()))
+        }
+        Message::GetRouting => {
+            let store = store.read().expect("store lock");
+            Message::Routing(store.state().router().clone())
+        }
+        Message::TravelTimes(spq) => {
+            let store = store.read().expect("store lock");
+            match store.state().get_travel_times(spq) {
+                Ok(tt) => Message::TravelTimesResult {
+                    values: tt.values.into_vec(),
+                    fallback: tt.fallback,
+                },
+                Err(e) => err_reply(&e),
+            }
+        }
+        Message::Count { spq, cap } => {
+            let store = store.read().expect("store lock");
+            match store.state().count_matching(spq, *cap) {
+                Ok(n) => Message::CountResult(n as u64),
+                Err(e) => err_reply(&e),
+            }
+        }
+        Message::Estimate { spq, mode } => {
+            let store = store.read().expect("store lock");
+            match store.state().estimate(spq, *mode) {
+                Ok(v) => Message::EstimateResult(v),
+                Err(e) => err_reply(&e),
+            }
+        }
+        Message::Append(record) => {
+            let mut store = store.write().expect("store lock");
+            match store.append(record) {
+                Ok((appended, total)) => Message::Appended { appended, total },
+                Err(e) => err_reply(&e),
+            }
+        }
+        Message::Snapshot => {
+            let mut store = store.write().expect("store lock");
+            match store.snapshot() {
+                Ok(()) => Message::Ok,
+                Err(e) => err_reply(&e),
+            }
+        }
+        other => Message::error(
+            ErrCode::BadRequest,
+            format!("not a request frame: {other:?}"),
+        ),
+    }
+}
+
+fn meta_of(state: &ShardNodeState) -> NodeMeta {
+    NodeMeta {
+        shard: state.shard(),
+        num_shards: state.num_shards() as u32,
+        num_edges: state.router().num_edges() as u64,
+        num_global: state.num_global(),
+        num_members: state.members().len() as u64,
+        num_partitions: state.index().num_partitions() as u64,
+        span_min: state.span_min(),
+        span_max: state.span_max(),
+    }
+}
+
+/// Maps store-layer failures to wire errors: WAL gaps keep their stamps
+/// (the router's retry logic keys off them), semantic violations are the
+/// client's fault, broken bytes are corruption, and I/O is the node's
+/// own problem.
+fn err_reply(e: &StoreError) -> Message {
+    match e {
+        StoreError::WalGap { expected, found } => Message::Err {
+            code: ErrCode::WalGap,
+            expected: *expected,
+            found: *found,
+            message: e.to_string(),
+        },
+        StoreError::Corrupt { .. } => Message::error(ErrCode::BadRequest, e.to_string()),
+        StoreError::Io(_) => Message::error(ErrCode::Internal, e.to_string()),
+        _ => Message::error(ErrCode::Corrupt, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tthr_core::{ShardedSntIndex, SntConfig, Spq, TimeInterval};
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B, EDGE_E};
+    use tthr_network::Path as NetPath;
+    use tthr_trajectory::examples::example_trajectories;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tthr-node-store-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn example_state() -> ShardNodeState {
+        let network = example_network();
+        let sharded =
+            ShardedSntIndex::build(&network, &example_trajectories(), SntConfig::default(), 2);
+        // Export whichever shard owns the example SPQ's first edge so the
+        // tests can actually query the node they hold.
+        let shard = tthr_core::ShardRouter::build(&network, 2).shard_of(EDGE_A);
+        ShardNodeState::export_from(&sharded, shard)
+    }
+
+    fn example_spq() -> Spq {
+        Spq::new(
+            NetPath::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        )
+        .with_beta(2)
+    }
+
+    #[test]
+    fn node_store_round_trips_through_init_and_open() {
+        let dir = temp_dir("roundtrip");
+        let state = example_state();
+        let spq = example_spq();
+        let want = state.get_travel_times(&spq).unwrap().sorted();
+        drop(NodeStore::init(&dir, state).unwrap());
+        let reopened = NodeStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.state().get_travel_times(&spq).unwrap().sorted(),
+            want
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_survive_reopen_and_snapshot_rotation() {
+        let dir = temp_dir("appends");
+        let mut store = NodeStore::init(&dir, example_state()).unwrap();
+        let record = NodeWalRecord {
+            base: store.state().num_global(),
+            new_total: store.state().num_global() + 1,
+            span_min: store.state().span_min(),
+            span_max: store.state().span_max().max(100),
+            members: vec![],
+            trajectories: vec![],
+        };
+        let (applied, total) = store.append(&record).unwrap();
+        assert_eq!((applied, total), (0, record.new_total));
+        // Re-applying is an idempotent skip — and must not grow the WAL.
+        assert_eq!(store.append(&record).unwrap(), (0, record.new_total));
+        drop(store);
+
+        let reopened = NodeStore::open(&dir).unwrap();
+        assert_eq!(reopened.state().num_global(), record.new_total);
+        let mut store = reopened;
+        store.snapshot().unwrap();
+        drop(store);
+        let again = NodeStore::open(&dir).unwrap();
+        assert_eq!(again.state().num_global(), record.new_total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dispatch_answers_queries_and_rejects_response_frames() {
+        let store = RwLock::new(NodeStore::init(temp_dir("dispatch"), example_state()).unwrap());
+        assert_eq!(dispatch(&Message::Health, &store), Message::Ok);
+        let Message::Meta(meta) = dispatch(&Message::GetMeta, &store) else {
+            panic!("GetMeta answers Meta");
+        };
+        assert_eq!(meta.num_shards, 2);
+        match dispatch(&Message::Ok, &store) {
+            Message::Err {
+                code: ErrCode::BadRequest,
+                ..
+            } => {}
+            other => panic!("response frame as request: {other:?}"),
+        }
+        let dir = store.read().unwrap().dir().to_path_buf();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn wal_gap_errors_carry_their_stamps_on_the_wire() {
+        let store = RwLock::new(NodeStore::init(temp_dir("gap"), example_state()).unwrap());
+        let base = store.read().unwrap().state().num_global();
+        let record = NodeWalRecord {
+            base: base + 5,
+            new_total: base + 6,
+            span_min: 0,
+            span_max: 0,
+            members: vec![],
+            trajectories: vec![],
+        };
+        match dispatch(&Message::Append(record), &store) {
+            Message::Err {
+                code: ErrCode::WalGap,
+                expected,
+                found,
+                ..
+            } => {
+                assert_eq!((expected, found), (base, base + 5));
+            }
+            other => panic!("expected WalGap, got {other:?}"),
+        }
+        let dir = store.read().unwrap().dir().to_path_buf();
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

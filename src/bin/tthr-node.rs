@@ -1,0 +1,83 @@
+//! `tthr-node` — one shard of a tthr cluster, served over the binary
+//! protocol.
+//!
+//! ```text
+//! tthr-node --dir <store-dir> [--addr 127.0.0.1:0]
+//! ```
+//!
+//! The store directory must have been initialised (snapshot + WAL) by
+//! the cluster bootstrap — see `examples/cluster.rs`. On startup the
+//! node restores its snapshot, replays the WAL, prints
+//! `LISTENING <addr>` on stdout (so harnesses binding port 0 can
+//! discover the real address), and serves until killed — or until its
+//! stdin reaches EOF, so nodes spawned by a test harness die with their
+//! parent instead of leaking.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+
+use tthr::server::node::{serve_node, NodeStore};
+
+const USAGE: &str = "usage: tthr-node --dir <store-dir> [--addr <ip:port>]";
+
+fn die(message: &str) -> ! {
+    eprintln!("tthr-node: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut dir: Option<String> = None;
+    let mut addr = String::from("127.0.0.1:0");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(args.next().unwrap_or_else(|| die("--dir needs a value"))),
+            "--addr" => addr = args.next().unwrap_or_else(|| die("--addr needs a value")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("--dir is required"));
+    let store = match NodeStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => die(&format!("cannot open store {dir:?}: {e}")),
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    eprintln!(
+        "tthr-node: shard {} of {} ({} trajectories indexed) on {local}",
+        store.state().shard(),
+        store.state().num_shards(),
+        store.state().members().len(),
+    );
+    println!("LISTENING {local}");
+    std::io::stdout().flush().ok();
+
+    // Die with the parent: when whoever spawned us closes our stdin (or
+    // exits), serving stops. Test harnesses rely on this to never leak
+    // node processes.
+    std::thread::spawn(|| {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => std::process::exit(0),
+                Ok(_) => {}
+            }
+        }
+    });
+
+    if let Err(e) = serve_node(listener, store) {
+        eprintln!("tthr-node: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

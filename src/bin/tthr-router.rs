@@ -1,0 +1,108 @@
+//! `tthr-router` — the scatter-gather HTTP front-end of a tthr cluster.
+//!
+//! ```text
+//! tthr-router --node <ip:port> --node <ip:port> … \
+//!             [--addr 127.0.0.1:0] [--preset small|medium|large]
+//! ```
+//!
+//! Connects to every shard node, cross-checks the cluster's shape, and
+//! serves the same JSON endpoints as the single-process server
+//! (`/health`, `/spq`, `/trip`, `/batch`, `/append`) by scattering SPQ
+//! primitives over the binary protocol. Trip-query planning needs the
+//! road network, which nodes do not ship; the router regenerates it
+//! deterministically from the named datagen preset (the same preset the
+//! cluster was bootstrapped from).
+//!
+//! Prints `LISTENING <addr>` on stdout once ready and exits when stdin
+//! reaches EOF, like `tthr-node`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+
+use tthr::client::{ClientConfig, ClusterRouter};
+use tthr::core::QueryEngineConfig;
+use tthr::datagen::{generate_network, NetworkConfig};
+use tthr::server::cluster::serve_cluster;
+
+const USAGE: &str =
+    "usage: tthr-router --node <ip:port> [--node <ip:port> …] [--addr <ip:port>] [--preset small|medium|large]";
+
+fn die(message: &str) -> ! {
+    eprintln!("tthr-router: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut nodes: Vec<SocketAddr> = Vec::new();
+    let mut addr = String::from("127.0.0.1:0");
+    let mut preset = String::from("small");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--node" => {
+                let value = args.next().unwrap_or_else(|| die("--node needs a value"));
+                match value.parse() {
+                    Ok(node) => nodes.push(node),
+                    Err(e) => die(&format!("bad node address {value:?}: {e}")),
+                }
+            }
+            "--addr" => addr = args.next().unwrap_or_else(|| die("--addr needs a value")),
+            "--preset" => preset = args.next().unwrap_or_else(|| die("--preset needs a value")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if nodes.is_empty() {
+        die("at least one --node is required");
+    }
+    let config = match preset.as_str() {
+        "small" => NetworkConfig::small(),
+        "medium" => NetworkConfig::medium(),
+        "large" => NetworkConfig::large(),
+        other => die(&format!("unknown preset {other:?}")),
+    };
+    let network = generate_network(&config).network;
+    let router = match ClusterRouter::connect(
+        network,
+        &nodes,
+        QueryEngineConfig::default(),
+        ClientConfig::default(),
+    ) {
+        Ok(router) => router,
+        Err(e) => die(&format!("cannot assemble cluster: {e}")),
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    eprintln!(
+        "tthr-router: {} shards, {} trajectories, serving on http://{local}",
+        router.num_shards(),
+        router.num_global(),
+    );
+    println!("LISTENING {local}");
+    std::io::stdout().flush().ok();
+
+    std::thread::spawn(|| {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => std::process::exit(0),
+                Ok(_) => {}
+            }
+        }
+    });
+
+    if let Err(e) = serve_cluster(listener, router) {
+        eprintln!("tthr-router: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -42,6 +42,15 @@
 //!   HTTP/1.1 reactor over [`service::QueryService`] with a bounded-queue
 //!   backpressure boundary, load shedding, pipelining, and graceful
 //!   drain (`examples/serve.rs` is the runnable entry point).
+//! * [`rpc`] — the cluster tier's compact binary wire protocol
+//!   (length-prefixed, CRC-32-guarded frames over the store codec).
+//! * [`client`] — the cluster tier's scatter-gather router: pooled
+//!   binary-protocol node clients with timeouts and bounded retry, and
+//!   a [`client::ClusterRouter`] that answers trip queries over a
+//!   shard-per-process cluster byte-identically to the in-process
+//!   sharded backend (`src/bin/tthr-node.rs` and
+//!   `src/bin/tthr-router.rs` are the runnable processes;
+//!   `examples/cluster.rs` boots a whole cluster in one command).
 //!
 //! ## Architecture: the service layer
 //!
@@ -140,12 +149,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tthr_client as client;
 pub use tthr_core as core;
 pub use tthr_datagen as datagen;
 pub use tthr_fmindex as fmindex;
 pub use tthr_histogram as histogram;
 pub use tthr_metrics as metrics;
 pub use tthr_network as network;
+pub use tthr_rpc as rpc;
 pub use tthr_server as server;
 pub use tthr_service as service;
 pub use tthr_store as store;
@@ -154,6 +165,7 @@ pub use tthr_trajectory as trajectory;
 
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
+    pub use tthr_client::{ClientConfig, ClusterError, ClusterRouter, NodeClient};
     pub use tthr_core::{
         BetaPolicy, CardinalityMode, IndexBackend, PartitionMethod, QueryEngine, QueryEngineConfig,
         ShardRouter, ShardedSntIndex, SntConfig, SntIndex, SplitMethod, Spq, TimeInterval,

@@ -1,0 +1,180 @@
+//! The cluster differential battery: a real 2-process shard cluster
+//! (spawned `tthr-node` binaries + the scatter-gather [`ClusterRouter`])
+//! must answer **byte-identically** to the in-process sharded index it
+//! was bootstrapped from — SPQ values in index scan order, fallback
+//! flags, trip-query stats/histograms/sub-results, counts, and all five
+//! estimator modes — across interleaved append rounds and a full
+//! snapshot/kill/restart cycle.
+//!
+//! This is the distributed extension of `tests/sharded_equivalence.rs`:
+//! that suite proves sharding is exact in-process; this one proves
+//! nothing is lost when the shards move behind real sockets, processes,
+//! and the binary wire protocol.
+
+mod common;
+
+use std::process::{Command, Stdio};
+
+use common::cluster::{read_listening_line, ClusterHarness, CLUSTER_K};
+use common::differential::QueryGen;
+use common::http::HttpClient;
+use tthr::client::ClientConfig;
+use tthr::core::{CardinalityMode, IndexBackend};
+use tthr::server::wire;
+
+/// One full differential pass: `rounds` rounds of randomized queries,
+/// each followed by an append batch ingested by both sides.
+fn run_differential(h: &mut ClusterHarness, gen: &mut QueryGen, rounds: usize, queries: usize) {
+    for round in 0..rounds {
+        for i in 0..queries {
+            let spq = gen.spq_from(&h.full, h.applied);
+            h.check_spq(&spq);
+            if i % 5 == 0 {
+                h.check_trip(&spq);
+            }
+        }
+        // Primitive parity: capped counts and every estimator mode.
+        for _ in 0..5 {
+            let spq = gen.spq_from(&h.full, h.applied);
+            let cap = 1 + gen.range(0..32) as u32;
+            assert_eq!(
+                h.reference.count_matching(&spq, cap),
+                h.cluster.count_matching(&spq, cap).expect("cluster count"),
+                "count diverged: {spq:?}"
+            );
+            for mode in CardinalityMode::ALL {
+                let want = IndexBackend::estimate(&h.reference, &spq, mode);
+                let got = h.cluster.estimate(&spq, mode).expect("cluster estimate");
+                assert_eq!(
+                    want.to_bits(),
+                    got.to_bits(),
+                    "estimate diverged (mode {mode:?}): {spq:?}"
+                );
+            }
+        }
+        if h.can_append() {
+            let appended = h.append_next(h.full.len() / 8 + 1);
+            assert!(appended > 0, "round {round} had stream left but appended 0");
+        }
+    }
+}
+
+#[test]
+fn cluster_matches_in_process_sharded_backend() {
+    let mut h = ClusterHarness::boot("equiv", ClientConfig::default());
+    let mut gen = QueryGen::new("cluster_equivalence");
+    run_differential(&mut h, &mut gen, 4, 40);
+
+    // Rotate every node's snapshot, kill the whole cluster, restart it
+    // from disk (snapshot + WAL replay), and require byte-identity to
+    // hold on the reconverged replicas.
+    h.cluster.snapshot_all().expect("snapshot rotation");
+    for shard in 0..CLUSTER_K {
+        h.kill_node(shard);
+    }
+    for shard in 0..CLUSTER_K {
+        h.respawn_node(shard);
+    }
+    h.reconnect();
+    assert_eq!(
+        h.cluster.num_global() as usize,
+        h.reference.num_trajectories(),
+        "restart lost trajectories"
+    );
+    for i in 0..30 {
+        let spq = gen.spq_from(&h.full, h.applied);
+        h.check_spq(&spq);
+        if i % 5 == 0 {
+            h.check_trip(&spq);
+        }
+    }
+}
+
+/// The router *process* serves the single-process server's JSON wire
+/// format over the cluster: `/health`, `/spq`, `/trip` bodies must be
+/// byte-identical to encoding the reference answers.
+#[test]
+fn router_process_serves_the_http_wire_format() {
+    let h = ClusterHarness::boot("http", ClientConfig::default());
+    let mut args: Vec<String> = Vec::new();
+    for addr in h.addrs() {
+        args.push("--node".into());
+        args.push(addr.to_string());
+    }
+    args.push("--preset".into());
+    args.push("small".into());
+    let mut router = Command::new(env!("CARGO_BIN_EXE_tthr-router"))
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tthr-router");
+    let stdin = router.stdin.take().expect("piped stdin");
+    let addr = read_listening_line(router.stdout.take().expect("piped stdout"));
+
+    let mut client = HttpClient::connect(addr);
+    let health = client.request("GET", "/health", b"");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body_str().contains("\"shards\":2"),
+        "health body: {}",
+        health.body_str()
+    );
+
+    let mut gen = QueryGen::new("cluster_http");
+    for i in 0..20 {
+        let spq = gen.spq_from(&h.full, h.applied);
+        let body = wire::encode_spq(&spq);
+        let response = client.request("POST", "/spq", body.as_bytes());
+        assert_eq!(response.status, 200, "spq failed: {}", response.body_str());
+        assert_eq!(
+            response.body_str(),
+            wire::encode_travel_times(&h.reference.get_travel_times(&spq)),
+            "HTTP /spq body diverged: {spq:?}"
+        );
+        if i % 4 == 0 {
+            let response = client.request("POST", "/trip", body.as_bytes());
+            assert_eq!(response.status, 200, "trip failed: {}", response.body_str());
+            assert_eq!(
+                response.body_str(),
+                wire::encode_trip(&h.reference_trip(&spq)),
+                "HTTP /trip body diverged: {spq:?}"
+            );
+        }
+    }
+
+    // Malformed input maps to 400, unknown endpoints to 404 — and the
+    // connection survives (keep-alive, like the single-process server).
+    assert_eq!(client.request("POST", "/spq", b"not json").status, 400);
+    assert_eq!(client.request("POST", "/nope", b"{}").status, 404);
+    assert_eq!(client.request("GET", "/spq", b"").status, 405);
+    assert_eq!(client.request("GET", "/health", b"").status, 200);
+
+    // Closing the router's stdin asks it to exit (harness-reaping
+    // contract shared with the nodes).
+    drop(stdin);
+    let status = router.wait().expect("router exit");
+    assert!(
+        status.success() || status.code() == Some(0),
+        "router exit: {status:?}"
+    );
+}
+
+/// Long-running soak: many more rounds and queries, plus a mid-stream
+/// restart cycle. Run explicitly (`cargo test -- --ignored cluster_soak`)
+/// or from the nightly workflow.
+#[test]
+#[ignore = "soak: long-running cluster differential, run explicitly or nightly"]
+fn cluster_soak() {
+    let mut h = ClusterHarness::boot("soak", ClientConfig::default());
+    let mut gen = QueryGen::new("cluster_soak");
+    run_differential(&mut h, &mut gen, 3, 150);
+    h.cluster.snapshot_all().expect("snapshot rotation");
+    for shard in 0..CLUSTER_K {
+        h.kill_node(shard);
+        h.respawn_node(shard);
+    }
+    h.reconnect();
+    run_differential(&mut h, &mut gen, 3, 150);
+}

@@ -1,0 +1,248 @@
+//! The kill-a-replica battery: fault injection against a real 2-process
+//! cluster. Every failure mode must surface as a *typed* error — never a
+//! panic, never a silently partial answer — and a killed replica must
+//! reconverge byte-identically from its snapshot + WAL after restart.
+//!
+//! Covered here:
+//!
+//! * killed shard process → [`ClusterError::ShardUnavailable`] with the
+//!   shard id, bounded retry-with-backoff actually attempted (counters
+//!   asserted), healthy shards still answering byte-identically;
+//! * trip queries touching a dead shard abort whole — the error slot in
+//!   the remote backend never lets a partial trip escape;
+//! * restart from snapshot + WAL replay (no snapshot rotation in
+//!   between, so the WAL path really runs) → byte-identical answers;
+//! * torn and corrupt frames → typed node-side errors on a live
+//!   connection, and the node keeps serving new connections;
+//! * a socket that accepts but never answers → timeout → typed
+//!   unavailability, not a hang;
+//! * out-of-order appends → [`ClusterError::WalGap`]-shaped `Err` frames
+//!   carrying both stamps.
+
+mod common;
+
+use std::io::Write as _;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::Duration;
+
+use common::cluster::ClusterHarness;
+use common::differential::QueryGen;
+use tthr::client::{ClientConfig, ClusterError, NodeClient};
+use tthr::core::{NodeWalRecord, Spq};
+use tthr::rpc::{encode_frame, read_frame, ErrCode, Message};
+
+/// Short-fuse transport config so fault scenarios fail fast instead of
+/// hanging the suite.
+fn quick() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(300),
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        retries: 2,
+        backoff: Duration::from_millis(10),
+    }
+}
+
+/// Draws queries until one routes to `shard`.
+fn spq_routed_to(h: &ClusterHarness, gen: &mut QueryGen, shard: usize) -> Spq {
+    loop {
+        let spq = gen.spq_from(&h.full, h.applied);
+        if h.cluster.routing().shard_of(spq.path.first()) == shard {
+            return spq;
+        }
+    }
+}
+
+#[test]
+fn killed_replica_is_typed_and_restart_reconverges_from_wal() {
+    let mut h = ClusterHarness::boot("faults-kill", quick());
+    let mut gen = QueryGen::new("cluster_faults_kill");
+
+    // Grow past the bootstrap snapshot WITHOUT rotating it, so the
+    // eventual restart must replay real WAL records.
+    h.append_next(h.full.len() / 6 + 1);
+    h.append_next(h.full.len() / 6 + 1);
+
+    let dead_spq = spq_routed_to(&h, &mut gen, 0);
+    let alive_spq = spq_routed_to(&h, &mut gen, 1);
+    h.check_spq(&dead_spq);
+    h.check_spq(&alive_spq);
+
+    h.kill_node(0);
+
+    // Single-shard primitive on the dead shard: typed, with the shard id.
+    match h.cluster.travel_times(&dead_spq) {
+        Err(ClusterError::ShardUnavailable { shard: 0, .. }) => {}
+        other => panic!("dead shard must be typed unavailable, got {other:?}"),
+    }
+    // The bounded retry actually ran (transport retries are counted).
+    let stats = h.cluster.node_stats();
+    assert!(
+        stats[0].retries > 0,
+        "no retries recorded against the dead shard: {stats:?}"
+    );
+    assert_eq!(stats[0].shard, 0);
+
+    // A whole trip query touching the dead shard aborts typed — the
+    // engine's dummy-fallback answers never leak out as a result.
+    match h.cluster.trip_query(&dead_spq) {
+        Err(ClusterError::ShardUnavailable { shard: 0, .. }) => {}
+        other => panic!("trip over dead shard must abort typed, got {other:?}"),
+    }
+
+    // The healthy shard keeps answering byte-identically.
+    h.check_spq(&alive_spq);
+
+    // Appends require every node's ack: with shard 0 down the batch
+    // fails typed and the router's counters stay put...
+    let before = h.cluster.num_global();
+    let batch = h.next_batch(3);
+    match h.cluster.append_batch(&batch) {
+        Err(ClusterError::ShardUnavailable { shard: 0, .. }) => {}
+        other => panic!("append with a dead shard must fail typed, got {other:?}"),
+    }
+    assert_eq!(
+        h.cluster.num_global(),
+        before,
+        "failed append moved counters"
+    );
+
+    // ...and once the replica restarts (snapshot + WAL replay), the
+    // very same append heals idempotently and byte-identity holds.
+    h.restart_node(0);
+    assert_eq!(
+        h.cluster.num_global() as usize,
+        h.reference.num_trajectories(),
+        "restarted replica lost WAL records"
+    );
+    h.append_next(3);
+    for i in 0..25 {
+        let spq = gen.spq_from(&h.full, h.applied);
+        h.check_spq(&spq);
+        if i % 5 == 0 {
+            h.check_trip(&spq);
+        }
+    }
+}
+
+#[test]
+fn corrupt_and_torn_frames_are_typed_and_do_not_kill_the_node() {
+    let h = ClusterHarness::boot("faults-frames", quick());
+    let addr = h.nodes[0].addr;
+
+    // A frame whose CRC cannot match: flip one payload byte.
+    let mut corrupt = encode_frame(&Message::Health);
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(&corrupt).expect("send corrupt frame");
+    match read_frame(&mut conn).expect("typed reply") {
+        Some(Message::Err {
+            code: ErrCode::BadRequest,
+            ..
+        }) => {}
+        other => panic!("corrupt frame must answer BadRequest, got {other:?}"),
+    }
+    // Framing is lost after garbage; the node closes the connection.
+    assert!(matches!(read_frame(&mut conn), Ok(None)), "node must close");
+
+    // A torn frame (write half a header, then half-close): the node
+    // sees a truncated stream and answers typed before closing.
+    let full = encode_frame(&Message::GetMeta);
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(&full[..6]).expect("send torn frame");
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    match read_frame(&mut conn).expect("typed reply") {
+        Some(Message::Err {
+            code: ErrCode::BadRequest,
+            ..
+        }) => {}
+        other => panic!("torn frame must answer BadRequest, got {other:?}"),
+    }
+
+    // The node survived both: fresh connections still serve.
+    let client = NodeClient::new(addr, quick());
+    assert_eq!(
+        client.request(&Message::Health).expect("health"),
+        Message::Ok
+    );
+}
+
+#[test]
+fn silent_socket_times_out_as_unavailable_not_a_hang() {
+    // A listener that accepts and then says nothing, ever.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let sink = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((conn, _)) = listener.accept() {
+            held.push(conn); // keep it open, answer nothing
+            if held.len() >= 8 {
+                return;
+            }
+        }
+    });
+
+    let client = NodeClient::new(addr, quick());
+    let started = std::time::Instant::now();
+    match client.request(&Message::Health) {
+        Err(tthr::rpc::WireError::Io(e)) => {
+            assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "expected a timeout, got {e:?}"
+            );
+        }
+        other => panic!("silent socket must time out, got {other:?}"),
+    }
+    // Bounded: 3 attempts × 500ms read timeout + backoffs, far under 5s.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "retry budget is bounded"
+    );
+    assert_eq!(client.retries(), 2, "both retries spent against silence");
+    drop(client);
+    drop(sink);
+}
+
+#[test]
+fn out_of_order_appends_answer_walgap_with_both_stamps() {
+    let h = ClusterHarness::boot("faults-gap", quick());
+    let client = NodeClient::new(h.nodes[0].addr, quick());
+    let base = h.cluster.num_global();
+    let record = NodeWalRecord {
+        base: base + 5,
+        new_total: base + 6,
+        span_min: 0,
+        span_max: 0,
+        members: vec![],
+        trajectories: vec![],
+    };
+    match client.request(&Message::Append(record)).expect("reply") {
+        Message::Err {
+            code: ErrCode::WalGap,
+            expected,
+            found,
+            ..
+        } => assert_eq!((expected, found), (base, base + 5)),
+        other => panic!("gapped append must answer WalGap, got {other:?}"),
+    }
+    // The node's state is untouched: a correctly stamped (empty) record
+    // still applies cleanly.
+    let ok = NodeWalRecord {
+        base,
+        new_total: base,
+        span_min: 0,
+        span_max: 0,
+        members: vec![],
+        trajectories: vec![],
+    };
+    match client.request(&Message::Append(ok)).expect("reply") {
+        Message::Appended { appended: 0, total } => assert_eq!(total, base),
+        other => panic!("clean append must ack, got {other:?}"),
+    }
+}

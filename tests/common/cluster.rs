@@ -1,0 +1,292 @@
+//! The cluster differential harness: a real shard-per-process cluster —
+//! K spawned `tthr-node` processes plus an in-process [`ClusterRouter`]
+//! — next to the in-process [`ShardedSntIndex`] it must answer
+//! byte-identically to.
+//!
+//! Bootstrap mirrors production: build the sharded index once, export
+//! each shard as a [`ShardNodeState`], initialise each node's store
+//! directory (snapshot + WAL), spawn the node binaries on ephemeral
+//! ports (discovered through their `LISTENING <addr>` stdout line), and
+//! assemble the router. Nodes exit when their stdin closes, so a
+//! panicking test cannot leak processes.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+
+use tthr::client::{ClientConfig, ClusterRouter};
+use tthr::core::{
+    QueryEngine, QueryEngineConfig, ShardNodeState, ShardedSntIndex, SntConfig, Spq, TripQuery,
+};
+use tthr::network::RoadNetwork;
+use tthr::server::node::NodeStore;
+use tthr::trajectory::{TrajEntry, TrajId, Trajectory, TrajectorySet, UserId};
+
+use super::differential::trips_equal;
+use super::{prefix_set, small_world, value_bits as bits};
+
+/// The shard count every cluster test runs with: two real processes is
+/// the smallest cluster where routing can actually go wrong.
+pub const CLUSTER_K: usize = 2;
+
+/// One spawned `tthr-node` process.
+pub struct NodeProcess {
+    /// The shard this node serves.
+    pub shard: usize,
+    /// The node's store directory (survives kills; restarts reuse it).
+    pub dir: PathBuf,
+    /// The ephemeral address the node bound.
+    pub addr: SocketAddr,
+    child: Child,
+    // Held open so the node keeps running; dropping it asks the node to
+    // exit (its stdin-EOF watchdog).
+    _stdin: ChildStdin,
+}
+
+impl NodeProcess {
+    /// Spawns `tthr-node --dir <dir>` and waits for its `LISTENING`
+    /// line.
+    pub fn spawn(shard: usize, dir: &Path) -> NodeProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_tthr-node"))
+            .args(["--dir", dir.to_str().expect("utf-8 store dir")])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn tthr-node");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let addr = read_listening_line(stdout);
+        NodeProcess {
+            shard,
+            dir: dir.to_path_buf(),
+            addr,
+            child,
+            _stdin: stdin,
+        }
+    }
+
+    /// Kills the node process outright (SIGKILL — no graceful anything),
+    /// simulating a crashed replica.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for NodeProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Blocks until the child prints `LISTENING <addr>`.
+pub fn read_listening_line(stdout: impl std::io::Read) -> SocketAddr {
+    let reader = std::io::BufReader::new(stdout);
+    for line in reader.lines() {
+        let line = line.expect("child stdout");
+        if let Some(addr) = line.strip_prefix("LISTENING ") {
+            return addr.parse().expect("valid LISTENING address");
+        }
+    }
+    panic!("child exited before printing LISTENING");
+}
+
+/// A live 2-process cluster plus its in-process reference index.
+pub struct ClusterHarness {
+    /// The shared road network (the cluster router owns its own clone).
+    pub network: RoadNetwork,
+    /// The full datagen stream; `applied` trajectories are indexed.
+    pub full: TrajectorySet,
+    /// Trajectories indexed so far (on both sides).
+    pub applied: usize,
+    /// The in-process truth the cluster must match byte-for-byte.
+    pub reference: ShardedSntIndex,
+    /// The engine configuration both sides plan trip queries with.
+    pub engine_config: QueryEngineConfig,
+    /// The node processes, indexed by shard.
+    pub nodes: Vec<NodeProcess>,
+    /// The scatter-gather router under test.
+    pub cluster: ClusterRouter,
+    client_config: ClientConfig,
+    dir: PathBuf,
+}
+
+impl ClusterHarness {
+    /// Builds the reference index over the first third of a small
+    /// synthetic world, bootstraps node stores from its shards, spawns
+    /// the node processes, and connects the router.
+    pub fn boot(name: &str, client_config: ClientConfig) -> ClusterHarness {
+        let (syn, full) = small_world();
+        let network = syn.network;
+        let applied = full.len() / 3;
+        let initial = prefix_set(&full, applied);
+        let reference = ShardedSntIndex::build(&network, &initial, SntConfig::default(), CLUSTER_K);
+        let dir = std::env::temp_dir().join(format!("tthr-cluster-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nodes: Vec<NodeProcess> = (0..CLUSTER_K)
+            .map(|shard| {
+                let node_dir = dir.join(format!("node{shard}"));
+                NodeStore::init(&node_dir, ShardNodeState::export_from(&reference, shard))
+                    .expect("init node store");
+                NodeProcess::spawn(shard, &node_dir)
+            })
+            .collect();
+        let engine_config = QueryEngineConfig::default();
+        let cluster = ClusterRouter::connect(
+            network.clone(),
+            &nodes.iter().map(|n| n.addr).collect::<Vec<_>>(),
+            engine_config.clone(),
+            client_config.clone(),
+        )
+        .expect("connect cluster");
+        ClusterHarness {
+            network,
+            full,
+            applied,
+            reference,
+            engine_config,
+            nodes,
+            cluster,
+            client_config,
+            dir,
+        }
+    }
+
+    /// The nodes' current addresses, indexed by shard.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(|n| n.addr).collect()
+    }
+
+    /// Whether the stream still has unappended trajectories.
+    pub fn can_append(&self) -> bool {
+        self.applied < self.full.len()
+    }
+
+    /// The next `n` stream trajectories as an append payload (does not
+    /// advance `applied` — both sides must ingest it first).
+    pub fn next_batch(&self, n: usize) -> Vec<(UserId, Vec<TrajEntry>)> {
+        let to = (self.applied + n.max(1)).min(self.full.len());
+        (self.applied..to)
+            .map(|id| {
+                let tr = self.full.get(TrajId(id as u32));
+                (tr.user(), tr.entries().to_vec())
+            })
+            .collect()
+    }
+
+    /// Appends up to `n` stream trajectories to BOTH sides and
+    /// cross-checks the outcome. Returns the number appended.
+    pub fn append_next(&mut self, n: usize) -> usize {
+        let batch = self.next_batch(n);
+        if batch.is_empty() {
+            return 0;
+        }
+        let owned = self
+            .reference
+            .prepare_append_batch(&batch)
+            .expect("reference batch");
+        let refs: Vec<&Trajectory> = owned.iter().collect();
+        let appended = self.reference.append_trajectories(&refs).appended;
+        assert_eq!(
+            appended,
+            batch.len(),
+            "reference appended a different count"
+        );
+        let cluster_appended = self.cluster.append_batch(&batch).expect("cluster append");
+        assert_eq!(
+            cluster_appended as usize,
+            batch.len(),
+            "cluster appended a different count"
+        );
+        assert_eq!(
+            self.cluster.num_global() as usize,
+            self.reference.num_trajectories(),
+            "global counters diverged after append"
+        );
+        self.applied += batch.len();
+        batch.len()
+    }
+
+    /// The reference trip answer (the in-process engine over the
+    /// sharded index).
+    pub fn reference_trip(&self, spq: &Spq) -> TripQuery {
+        let engine = QueryEngine::new(&self.reference, &self.network, self.engine_config.clone());
+        engine.trip_query(spq)
+    }
+
+    /// Asserts the cluster answers the SPQ byte-identically to the
+    /// reference index.
+    pub fn check_spq(&self, spq: &Spq) {
+        let want = self.reference.get_travel_times(spq);
+        let got = self.cluster.travel_times(spq).expect("cluster SPQ");
+        assert_eq!(
+            bits(&want.values),
+            bits(&got.values),
+            "cluster SPQ values diverged\nquery: {spq:?}\nreference: {:?}\ncluster: {:?}",
+            want.values,
+            got.values,
+        );
+        assert_eq!(
+            want.fallback, got.fallback,
+            "fallback flag diverged: {spq:?}"
+        );
+    }
+
+    /// Asserts the cluster's trip answer equals the reference engine's
+    /// (stats, histogram, per-sub values — the full structural check).
+    pub fn check_trip(&self, spq: &Spq) {
+        let want = self.reference_trip(spq);
+        let got = self.cluster.trip_query(spq).expect("cluster trip");
+        assert!(
+            trips_equal(&want, &got),
+            "cluster trip diverged\nquery: {spq:?}\nreference: {:?}\ncluster: {:?}",
+            want.stats,
+            got.stats,
+        );
+    }
+
+    /// Kills the node serving `shard`. Its store directory stays; use
+    /// [`ClusterHarness::restart_node`] to bring the replica back.
+    pub fn kill_node(&mut self, shard: usize) {
+        self.nodes[shard].kill();
+    }
+
+    /// Respawns a killed node from its store directory (snapshot + WAL
+    /// replay) on a fresh ephemeral port. Call
+    /// [`ClusterHarness::reconnect`] once every node is up so the router
+    /// learns the new addresses.
+    pub fn respawn_node(&mut self, shard: usize) {
+        let dir = self.nodes[shard].dir.clone();
+        self.nodes[shard] = NodeProcess::spawn(shard, &dir);
+    }
+
+    /// [`ClusterHarness::respawn_node`] + [`ClusterHarness::reconnect`]
+    /// — for restarting one replica while the rest of the cluster is up.
+    pub fn restart_node(&mut self, shard: usize) {
+        self.respawn_node(shard);
+        self.reconnect();
+    }
+
+    /// Rebuilds the router against the nodes' current addresses
+    /// (re-running every connect-time consistency cross-check).
+    pub fn reconnect(&mut self) {
+        self.cluster = ClusterRouter::connect(
+            self.network.clone(),
+            &self.addrs(),
+            self.engine_config.clone(),
+            self.client_config.clone(),
+        )
+        .expect("reconnect cluster");
+    }
+}
+
+impl Drop for ClusterHarness {
+    fn drop(&mut self) {
+        for node in &mut self.nodes {
+            node.kill();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}

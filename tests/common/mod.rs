@@ -2,6 +2,7 @@
 
 //! Shared fixtures and the brute-force SPQ oracle for integration tests.
 
+pub mod cluster;
 pub mod differential;
 pub mod http;
 
