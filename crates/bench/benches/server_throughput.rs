@@ -1,7 +1,10 @@
 //! HTTP front-end throughput over loopback: per-request latency on a
 //! keep-alive connection (reactor + parse + dispatch + pool + encode) and
 //! sustained pipelined req/s, for the `/health` (pure reactor), `/spq`,
-//! and `/trip` endpoints.
+//! and `/trip` endpoints — plus the binary `/spq` frame fast path, the
+//! multi-reactor (`SO_REUSEPORT`) configuration under concurrent
+//! connections, and a persistence-attached `/append` flood exercising the
+//! group-commit WAL.
 //!
 //! The criterion shim records every group into `BENCH.json`
 //! (`throughput_per_sec` on the pipelined groups is the sustained req/s
@@ -12,8 +15,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use tthr_bench::{query_for, QueryType, Scale, World};
+use tthr_rpc::{encode_frame, Message};
 use tthr_server::{serve, wire, ServerConfig, ServerHandle};
 use tthr_service::{QueryService, ServiceConfig};
+use tthr_trajectory::TrajId;
 
 /// Minimal blocking keep-alive client: pipelines `n` identical requests
 /// and reads the `n` responses back.
@@ -83,7 +88,18 @@ fn encode_request(path: &str, body: &[u8]) -> Vec<u8> {
     out
 }
 
-fn boot(world: &World) -> (ServerHandle, SocketAddr) {
+/// Serializes a binary `/spq` request carrying one `tthr-rpc` frame.
+fn encode_frame_request(frame: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "POST /spq HTTP/1.1\r\nhost: bench\r\ncontent-type: application/x-tthr-frame\r\ncontent-length: {}\r\n\r\n",
+        frame.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(frame);
+    out
+}
+
+fn boot_with(world: &World, config: ServerConfig) -> (ServerHandle, SocketAddr) {
     let service = QueryService::new(
         world.build_index(Default::default()),
         Arc::new(world.network().clone()),
@@ -92,9 +108,13 @@ fn boot(world: &World) -> (ServerHandle, SocketAddr) {
             ..ServiceConfig::default()
         },
     );
-    let server = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("boot server");
+    let server = serve(service, "127.0.0.1:0", config).expect("boot server");
     let addr = server.local_addr();
     (server, addr)
+}
+
+fn boot(world: &World) -> (ServerHandle, SocketAddr) {
+    boot_with(world, ServerConfig::default())
 }
 
 fn bench_server_throughput(c: &mut Criterion) {
@@ -137,10 +157,123 @@ fn bench_server_throughput(c: &mut Criterion) {
     group.bench_function("health_pipelined_x32", |b| {
         b.iter(|| client.roundtrip(&health_request, 32))
     });
+    // The binary fast path over the same query: no JSON decode on the way
+    // in, no JSON encode on the way out.
+    let frame_request = encode_frame_request(&encode_frame(&Message::TravelTimes(spq.clone())));
+    group.bench_function("spq_frame_pipelined_x32", |b| {
+        b.iter(|| client.roundtrip(&frame_request, 32))
+    });
     group.finish();
 
     server.shutdown();
 }
 
-criterion_group!(benches, bench_server_throughput);
+/// Sustained req/s with `reactors = max(cores, 2)` and one pipelining
+/// connection per reactor — the `SO_REUSEPORT` accept sharding plus the
+/// per-reactor epoll loops under genuinely concurrent clients.
+fn bench_multireactor_throughput(c: &mut Criterion) {
+    let reactors = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let world = World::generate(Scale::Small);
+    let (server, addr) = boot_with(
+        &world,
+        ServerConfig {
+            reactors,
+            ..ServerConfig::default()
+        },
+    );
+    let spq = query_for(
+        &world.set,
+        world.queries[0],
+        QueryType::TemporalFilters,
+        900,
+        20,
+    );
+    let spq_request = encode_request("/spq", wire::encode_spq(&spq).as_bytes());
+    let frame_request = encode_frame_request(&encode_frame(&Message::TravelTimes(spq.clone())));
+
+    let group_name = format!("server_http_multireactor_x{reactors}");
+    let mut group = c.benchmark_group(&group_name);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((reactors * 32) as u64));
+    let mut clients: Vec<Client> = (0..reactors).map(|_| Client::connect(addr)).collect();
+    group.bench_function("spq_pipelined_x32_per_conn", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for client in &mut clients {
+                    s.spawn(|| client.roundtrip(&spq_request, 32));
+                }
+            })
+        })
+    });
+    group.bench_function("spq_frame_pipelined_x32_per_conn", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for client in &mut clients {
+                    s.spawn(|| client.roundtrip(&frame_request, 32));
+                }
+            })
+        })
+    });
+    group.finish();
+
+    server.shutdown();
+}
+
+/// `/append` flood against a persistence-attached service: 4 connections
+/// each pipelining 8 single-trajectory appends, so concurrent dispatch
+/// drives the group-commit WAL (shared fsyncs across the batch).
+fn bench_append_flood(c: &mut Criterion) {
+    const CONNS: usize = 4;
+    const PER_CONN: usize = 8;
+    let world = World::generate(Scale::Small);
+    let dir = std::env::temp_dir().join(format!("tthr-bench-append-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = QueryService::new(
+        world.build_index(Default::default()),
+        Arc::new(world.network().clone()),
+        ServiceConfig {
+            num_threads: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    service.save_snapshot(&dir).expect("attach persistence");
+    let server = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("boot server");
+    let addr = server.local_addr();
+
+    // A stampless single-trajectory payload: every request appends.
+    let tr = world.set.get(TrajId(0));
+    let payload = vec![(tr.user(), tr.entries().to_vec())];
+    let request = encode_request(
+        "/append",
+        wire::encode_append_request(None, &payload).as_bytes(),
+    );
+
+    let mut group = c.benchmark_group("server_append_flood");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((CONNS * PER_CONN) as u64));
+    let mut clients: Vec<Client> = (0..CONNS).map(|_| Client::connect(addr)).collect();
+    group.bench_function("append_pipelined_x8_conns4", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for client in &mut clients {
+                    s.spawn(|| client.roundtrip(&request, PER_CONN));
+                }
+            })
+        })
+    });
+    group.finish();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_server_throughput,
+    bench_multireactor_throughput,
+    bench_append_flood
+);
 criterion_main!(benches);

@@ -180,13 +180,18 @@ impl Default for ClientConfig {
 /// Connections are checked out per request and returned on success; any
 /// transport failure drops the connection *and flushes the pool* (a dead
 /// server usually killed every pooled socket at once), so the retry
-/// dials fresh.
+/// dials fresh. Checkout additionally **probes** each pooled socket with
+/// a non-blocking peek and evicts the dead ones — after a node restart
+/// the whole pool is stale, and without the probe every stale socket
+/// would burn a request attempt (and a retry backoff sleep) before the
+/// redial.
 pub struct NodeClient {
     addr: SocketAddr,
     config: ClientConfig,
     pool: Mutex<Vec<TcpStream>>,
     connects: AtomicU64,
     retries: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl NodeClient {
@@ -199,6 +204,7 @@ impl NodeClient {
             pool: Mutex::new(Vec::new()),
             connects: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -218,6 +224,12 @@ impl NodeClient {
         self.retries.load(Ordering::Relaxed)
     }
 
+    /// Pooled connections evicted by the checkout liveness probe (stale
+    /// sockets left behind by a node restart).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
     fn dial(&self) -> io::Result<TcpStream> {
         let conn = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
         conn.set_read_timeout(Some(self.config.read_timeout))?;
@@ -227,9 +239,34 @@ impl NodeClient {
         Ok(conn)
     }
 
+    /// Whether a pooled idle socket is no longer usable. A request/reply
+    /// protocol owes us *nothing* between requests, so any readable state
+    /// is death or desync: `Ok(0)` is the server's FIN (it restarted or
+    /// closed us), `Ok(n)` is an unsolicited byte (protocol desync — a
+    /// reply to nobody), and any error but `WouldBlock` is a reset.
+    /// Only a clean "nothing to read yet" (`WouldBlock`) passes.
+    fn is_stale(conn: &TcpStream) -> bool {
+        if conn.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let stale =
+            !matches!(conn.peek(&mut probe), Err(ref e) if e.kind() == ErrorKind::WouldBlock);
+        stale || conn.set_nonblocking(false).is_err()
+    }
+
     fn checkout(&self) -> io::Result<TcpStream> {
-        if let Some(conn) = self.pool.lock().expect("pool lock").pop() {
-            return Ok(conn);
+        loop {
+            let Some(conn) = self.pool.lock().expect("pool lock").pop() else {
+                break;
+            };
+            if !Self::is_stale(&conn) {
+                return Ok(conn);
+            }
+            // A node restart kills every pooled socket at once; evicting
+            // here costs a peek, while handing the dead socket out would
+            // cost a failed request plus a retry backoff.
+            self.evicted.fetch_add(1, Ordering::Relaxed);
         }
         self.dial()
     }
@@ -299,6 +336,8 @@ pub struct NodeStats {
     pub connects: u64,
     /// Transport retries performed.
     pub retries: u64,
+    /// Stale pooled connections evicted by the checkout probe.
+    pub evicted: u64,
 }
 
 /// The router's mirror of cluster-wide append progress, advanced only
@@ -454,6 +493,7 @@ impl ClusterRouter {
                 addr: node.addr(),
                 connects: node.connects(),
                 retries: node.retries(),
+                evicted: node.evicted(),
             })
             .collect()
     }

@@ -383,7 +383,19 @@ impl SntIndex {
         &self,
         trajectories: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<Vec<Trajectory>, StoreError> {
-        let from = self.num_trajectories() as u32;
+        self.prepare_append_batch_at(self.num_trajectories() as u32, trajectories)
+    }
+
+    /// [`SntIndex::prepare_append_batch`] with the first assigned id given
+    /// explicitly instead of read from the index. A group-commit leader
+    /// stamps queued batches arithmetically — batch *k*'s `from` counts
+    /// the not-yet-applied batches before it — so ids stay dense across a
+    /// multi-batch commit. Validation itself never depends on `from`.
+    pub fn prepare_append_batch_at(
+        &self,
+        from: u32,
+        trajectories: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError> {
         prepare_batch(from, self.estimate_tt.len(), trajectories)
     }
 

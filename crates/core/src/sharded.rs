@@ -577,7 +577,18 @@ impl ShardedSntIndex {
         &self,
         trajectories: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<Vec<Trajectory>, StoreError> {
-        let from = self.num_trajectories() as u32;
+        self.prepare_append_batch_at(self.num_trajectories() as u32, trajectories)
+    }
+
+    /// [`ShardedSntIndex::prepare_append_batch`] with the first assigned
+    /// global id given explicitly — the sharded counterpart of
+    /// [`SntIndex::prepare_append_batch_at`], used by group-commit leaders
+    /// stamping queued batches ahead of their application.
+    pub fn prepare_append_batch_at(
+        &self,
+        from: u32,
+        trajectories: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<Vec<Trajectory>, StoreError> {
         crate::persist::prepare_batch(from, self.router.num_edges(), trajectories)
     }
 

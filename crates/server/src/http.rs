@@ -36,6 +36,9 @@ pub struct Request {
     /// Whether the connection stays open after the response (HTTP/1.1
     /// default, overridable by `Connection:` either way).
     pub keep_alive: bool,
+    /// The `Content-Type` header value, trimmed, if one was sent (the
+    /// router uses it to pick the binary `/spq` fast path).
+    pub content_type: Option<String>,
     /// The request body (`Content-Length` bytes; empty without one).
     pub body: Vec<u8>,
 }
@@ -118,6 +121,7 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Parse, ParseError> {
     };
 
     let mut content_length: Option<usize> = None;
+    let mut content_type: Option<String> = None;
     let mut keep_alive = http11;
     for line in lines {
         let (name, value) = line
@@ -141,6 +145,8 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Parse, ParseError> {
                 return Err(ParseError::BodyTooLarge);
             }
             content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(ParseError::Bad("transfer-encoding not supported"));
         } else if name.eq_ignore_ascii_case("connection") {
@@ -162,6 +168,7 @@ pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Parse, ParseError> {
             method: method.to_string(),
             target: target.to_string(),
             keep_alive,
+            content_type,
             body: buf[head_end + 4..total].to_vec(),
         },
         total,
@@ -190,6 +197,11 @@ pub fn reason_phrase(status: u16) -> &'static str {
 
 /// The content type of the `/metrics` Prometheus text exposition.
 pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// The content type selecting the binary `/spq` fast path: the body is
+/// one `tthr-rpc` frame instead of a JSON document, and the response is
+/// a frame too.
+pub const FRAME_CONTENT_TYPE: &str = "application/x-tthr-frame";
 
 /// Serializes one response. `retry_after` adds the `Retry-After` header
 /// (load shedding); `keep_alive: false` adds `Connection: close`.
@@ -267,6 +279,20 @@ mod tests {
         };
         assert_eq!(req2.target, "/stats");
         assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn content_type_is_captured_and_trimmed() {
+        let raw = b"POST /spq HTTP/1.1\r\ncontent-type:  application/x-tthr-frame \r\ncontent-length: 0\r\n\r\n";
+        let Parse::Done(req, _) = try_parse(raw, &LIMITS).unwrap() else {
+            panic!("must parse");
+        };
+        assert_eq!(req.content_type.as_deref(), Some(FRAME_CONTENT_TYPE));
+        let plain = b"POST /spq HTTP/1.1\r\ncontent-length: 0\r\n\r\n";
+        let Parse::Done(req, _) = try_parse(plain, &LIMITS).unwrap() else {
+            panic!("must parse");
+        };
+        assert_eq!(req.content_type, None);
     }
 
     #[test]

@@ -2,13 +2,19 @@
 //!
 //! The serving layer that turns the in-process
 //! [`QueryService`] into a network service, with **zero
-//! external dependencies**: no tokio, no hyper — a single non-blocking
-//! accept/IO reactor over raw `epoll` (the private `sys` module — the
+//! external dependencies**: no tokio, no hyper — non-blocking
+//! accept/IO reactors over raw `epoll` (the private `sys` module — the
 //! crate's only unsafe surface), a hand-rolled
 //! incremental HTTP/1.1 parser ([`http`]), a small JSON codec ([`json`]),
 //! and the wire protocol ([`wire`]). It serves both service backends —
 //! the monolithic `SntIndex` and the partitioned `ShardedSntIndex` —
 //! through the same generic [`serve`] entry point.
+//!
+//! One reactor thread runs by default; [`ServerConfig::reactors`] (or
+//! `TTHR_REACTORS`) starts N of them, each owning its own
+//! `SO_REUSEPORT` listener on the same address, its own epoll loop, and
+//! its own bounded in-flight window — the kernel shards accepts across
+//! them and the threads share nothing but the counters.
 //!
 //! ```text
 //!  clients ══╗   ┌────────────────── reactor thread ──────────────────┐
@@ -74,11 +80,11 @@ mod reactor;
 mod sys;
 pub mod wire;
 
-use reactor::{Counters, Handlers, Reactor, Shared};
+use reactor::{ApiResponse, Counters, Handlers, Reactor, Shared};
 use std::io;
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -92,24 +98,40 @@ use tthr_store::StoreError;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Op {
     Spq,
+    /// `/spq` with the `tthr-rpc` frame content type: the body decodes
+    /// straight into an [`tthr_core::Spq`] without a JSON value tree, and
+    /// the answer is a `TravelTimesResult` frame.
+    SpqFrame,
     Trip,
     Batch,
     Append,
 }
 
 /// Server construction options.
+///
+/// With [`ServerConfig::reactors`] `> 1` the bounded-queue knobs
+/// (`queue_cap`, `shed_watermark`, `max_connections`) apply **per
+/// reactor** — each reactor thread owns its own connections, in-flight
+/// window, and parked set.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
+    /// Reactor (accept/IO) threads. Each binds its own `SO_REUSEPORT`
+    /// listener on the same address and runs its own epoll loop; the
+    /// kernel spreads incoming connections across them. `0` means
+    /// auto: the `TTHR_REACTORS` environment variable if set to a
+    /// positive integer, else `1`. Clamped to 64.
+    pub reactors: usize,
     /// The backpressure boundary: maximum requests dispatched to the
-    /// worker pool and not yet answered. When the window is full the
-    /// reactor stops reading (TCP backpressure); see
+    /// worker pool and not yet answered (per reactor). When the window is
+    /// full the reactor stops reading (TCP backpressure); see
     /// [`ServerConfig::shed_watermark`].
     pub queue_cap: usize,
     /// Maximum *parked* requests (parsed, waiting for a queue slot with
     /// their connections paused) before further requests are shed with
-    /// `503` + `Retry-After`.
+    /// `503` + `Retry-After` (per reactor).
     pub shed_watermark: usize,
-    /// Maximum simultaneous connections; beyond it, accepts are dropped.
+    /// Maximum simultaneous connections (per reactor); beyond it,
+    /// accepts are dropped.
     pub max_connections: usize,
     /// Request line + header size limit (`431` beyond it).
     pub max_head_bytes: usize,
@@ -137,6 +159,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            reactors: 0,
             queue_cap: 128,
             shed_watermark: 256,
             max_connections: 1024,
@@ -173,7 +196,7 @@ pub struct ServerMetrics {
     /// progress.
     pub refused_shutdown: u64,
     /// High-water mark of simultaneously in-flight (dispatched) requests
-    /// — never exceeds [`ServerConfig::queue_cap`].
+    /// on any single reactor — never exceeds [`ServerConfig::queue_cap`].
     pub max_inflight: usize,
     /// Request bytes read off sockets.
     pub bytes_in: u64,
@@ -185,77 +208,109 @@ pub struct ServerMetrics {
     pub reaped_idle: u64,
 }
 
-/// A running server: the reactor thread plus its shared state.
+/// A running server: one or more reactor threads plus their shared
+/// state.
 ///
 /// Dropping the handle shuts the server down gracefully (equivalent to
 /// [`ServerHandle::shutdown`] with the result discarded).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    thread: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    reactors: Vec<Arc<Shared>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// The address the server actually bound (resolves port 0).
+    /// The address the server actually bound (resolves port 0; with
+    /// multiple reactors every listener shares it via `SO_REUSEPORT`).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Current server counters.
+    /// Current server counters (aggregated across reactors).
     pub fn metrics(&self) -> ServerMetrics {
-        self.shared.counters.snapshot()
+        self.counters.snapshot()
     }
 
     /// Graceful shutdown: stop accepting, refuse new requests (`503` +
     /// `connection: close`), drain dispatched and parked requests, flush
-    /// every owed response byte, then join the reactor. Returns the final
-    /// counters.
+    /// every owed response byte, then join every reactor. Returns the
+    /// final counters.
     pub fn shutdown(mut self) -> ServerMetrics {
         self.initiate_shutdown();
-        if let Some(thread) = self.thread.take() {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
-        self.shared.counters.snapshot()
+        self.counters.snapshot()
     }
 
     fn initiate_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.wake();
+        self.shutdown.store(true, Ordering::SeqCst);
+        for reactor in &self.reactors {
+            reactor.wake();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.initiate_shutdown();
-        if let Some(thread) = self.thread.take() {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
 }
 
+/// Resolves [`ServerConfig::reactors`]: explicit wins, then the
+/// `TTHR_REACTORS` environment variable, then one.
+fn resolve_reactors(config: &ServerConfig) -> usize {
+    let n = if config.reactors > 0 {
+        config.reactors
+    } else {
+        std::env::var("TTHR_REACTORS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    };
+    n.min(64)
+}
+
 /// Boots the HTTP front-end over a query service on `addr` (use port 0
 /// for an ephemeral port; [`ServerHandle::local_addr`] reports the
 /// binding). The service's **existing** worker pool executes the
-/// requests; the reactor itself never blocks on query work.
+/// requests; the reactors themselves never block on query work.
+///
+/// With [`ServerConfig::reactors`] `> 1`, that many accept/IO threads
+/// start, each with its own `SO_REUSEPORT` listener on the same address
+/// and its own epoll loop — the kernel spreads connections across them
+/// and no accept lock or cross-reactor handoff exists anywhere.
 pub fn serve<B: ServiceBackend>(
     service: QueryService<B>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-    let (wake_rx, wake_tx) = UnixStream::pair()?;
-    wake_rx.set_nonblocking(true)?;
-    wake_tx.set_nonblocking(true)?;
-
-    let shared = Arc::new(Shared {
-        completions: Mutex::new(Vec::new()),
-        wake_tx,
-        inflight: AtomicUsize::new(0),
-        shutdown: AtomicBool::new(false),
-        counters: Counters::default(),
-    });
+    let num_reactors = resolve_reactors(&config);
+    let mut listeners = None;
+    let mut last_err = None;
+    for candidate in addr.to_socket_addrs()? {
+        match sys::listener_group(candidate, num_reactors) {
+            Ok(group) => {
+                listeners = Some(group);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let listeners = listeners.ok_or_else(|| {
+        last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })
+    })?;
+    let addr = listeners[0].local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters::default());
 
     let num_edges = service.network().num_edges();
     let max_batch = config.max_batch_queries;
@@ -285,18 +340,44 @@ pub fn serve<B: ServiceBackend>(
         exec: Arc::new(move |job| exec_service.execute(job)),
     };
 
-    let reactor = Reactor::new(listener, wake_rx, config, Arc::clone(&shared), handlers)?;
-    let thread = std::thread::Builder::new()
-        .name("tthr-reactor".into())
-        .spawn(move || {
-            if let Err(e) = reactor.run() {
-                eprintln!("tthr-server reactor failed: {e}");
-            }
-        })?;
+    let mut reactors = Vec::with_capacity(num_reactors);
+    let mut threads = Vec::with_capacity(num_reactors);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
+            inflight: AtomicUsize::new(0),
+            shutdown: Arc::clone(&shutdown),
+            counters: Arc::clone(&counters),
+            wake_errors: AtomicU64::new(0),
+        });
+        let reactor = Reactor::new(
+            listener,
+            wake_rx,
+            config.clone(),
+            Arc::clone(&shared),
+            handlers.clone(),
+        )?;
+        let thread = std::thread::Builder::new()
+            .name(format!("tthr-reactor-{i}"))
+            .spawn(move || {
+                if let Err(e) = reactor.run() {
+                    eprintln!("tthr-server reactor failed: {e}");
+                }
+            })?;
+        reactors.push(shared);
+        threads.push(thread);
+    }
     Ok(ServerHandle {
         addr,
-        shared,
-        thread: Some(thread),
+        shutdown,
+        counters,
+        reactors,
+        threads,
     })
 }
 
@@ -383,12 +464,16 @@ fn handle_api<B: ServiceBackend>(
     max_batch: usize,
     op: Op,
     body: &[u8],
-) -> (u16, String) {
+) -> ApiResponse {
+    if op == Op::SpqFrame {
+        return handle_spq_frame(service, num_edges, body);
+    }
     let parsed = match json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, wire::encode_error(&e.to_string())),
+        Err(e) => return ApiResponse::json(400, wire::encode_error(&e.to_string())),
     };
-    match op {
+    let (status, body) = match op {
+        Op::SpqFrame => unreachable!("handled above"),
         Op::Spq => match wire::decode_spq(&parsed, num_edges) {
             Ok(q) => (
                 200,
@@ -416,7 +501,53 @@ fn handle_api<B: ServiceBackend>(
             },
             Err(e) => (400, wire::encode_error(&e)),
         },
+    };
+    ApiResponse::json(status, body)
+}
+
+/// The binary `/spq` fast path: the body is one `tthr-rpc`
+/// `TravelTimes` frame, decoded without a JSON value tree; the answer
+/// (success or typed error) is a frame too. Values are the bit-exact
+/// f64 multiset the JSON path would have serialized.
+fn handle_spq_frame<B: ServiceBackend>(
+    service: &QueryService<B>,
+    num_edges: usize,
+    body: &[u8],
+) -> ApiResponse {
+    use tthr_rpc::{decode_frame, encode_frame, Decode, ErrCode, Message};
+    let frame_error = |status: u16, reason: &str| {
+        ApiResponse::frame(
+            status,
+            encode_frame(&Message::error(ErrCode::BadRequest, reason)),
+        )
+    };
+    let message = match decode_frame(body) {
+        Ok(Decode::Done { message, consumed }) if consumed == body.len() => message,
+        Ok(Decode::Done { .. }) => return frame_error(400, "trailing bytes after frame"),
+        Ok(Decode::Incomplete) => return frame_error(400, "truncated frame"),
+        Err(e) => return frame_error(400, &e.to_string()),
+    };
+    let Message::TravelTimes(query) = message else {
+        return frame_error(400, "expected a TravelTimes frame");
+    };
+    // Same admission rule as the JSON decoder: every edge id must name an
+    // edge of the served network.
+    if let Some(bad) = query
+        .path
+        .edges()
+        .iter()
+        .find(|e| e.0 as usize >= num_edges)
+    {
+        return frame_error(400, &format!("edge id {} out of range", bad.0));
     }
+    let tt = service.get_travel_times(&query);
+    ApiResponse::frame(
+        200,
+        encode_frame(&Message::TravelTimesResult {
+            values: tt.values.into_vec(),
+            fallback: tt.fallback,
+        }),
+    )
 }
 
 // The handle must be shareable across test/driver threads.
@@ -426,3 +557,33 @@ const _: () = {
     assert_send_sync::<ServerConfig>();
     assert_send_sync::<ServerMetrics>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Explicit config beats the environment, the environment beats the
+    /// default of one, and both are clamped to 64.
+    #[test]
+    fn reactor_count_resolution_order() {
+        let explicit = |n| ServerConfig {
+            reactors: n,
+            ..ServerConfig::default()
+        };
+        // This is the only test touching TTHR_REACTORS, so the process
+        // env is safe to mutate here.
+        std::env::remove_var("TTHR_REACTORS");
+        assert_eq!(resolve_reactors(&explicit(0)), 1);
+        assert_eq!(resolve_reactors(&explicit(3)), 3);
+        assert_eq!(resolve_reactors(&explicit(1000)), 64);
+
+        std::env::set_var("TTHR_REACTORS", " 5 ");
+        assert_eq!(resolve_reactors(&explicit(0)), 5);
+        assert_eq!(resolve_reactors(&explicit(2)), 2, "explicit wins");
+        std::env::set_var("TTHR_REACTORS", "0");
+        assert_eq!(resolve_reactors(&explicit(0)), 1, "zero is not a count");
+        std::env::set_var("TTHR_REACTORS", "not a number");
+        assert_eq!(resolve_reactors(&explicit(0)), 1);
+        std::env::remove_var("TTHR_REACTORS");
+    }
+}

@@ -54,22 +54,49 @@ pub(crate) struct Completion {
     pub close: bool,
 }
 
-/// State shared between the reactor, the workers, and the handle.
+/// State shared between **one** reactor, its workers, and the handle.
+/// With `reactors > 1` each reactor thread owns one of these; the
+/// process-wide pieces (shutdown flag, counters) are behind `Arc`s every
+/// instance shares.
 pub(crate) struct Shared {
     pub completions: Mutex<Vec<Completion>>,
-    /// Write end of the wake-up socketpair (non-blocking; a full pipe
-    /// means a wake-up is already pending, so send errors are ignored).
+    /// Write end of this reactor's wake-up socketpair (non-blocking; a
+    /// full pipe means a wake-up is already pending — see [`Shared::wake`]).
     pub wake_tx: UnixStream,
-    /// Requests dispatched to the worker pool and not yet completed —
-    /// the bounded queue the reactor gates on.
+    /// Requests dispatched to the worker pool by this reactor and not yet
+    /// completed — the bounded queue the reactor gates on (per reactor).
     pub inflight: AtomicUsize,
-    pub shutdown: AtomicBool,
-    pub counters: Counters,
+    /// Process-wide shutdown flag, shared by every reactor.
+    pub shutdown: Arc<AtomicBool>,
+    /// Process-wide counters, shared by every reactor.
+    pub counters: Arc<Counters>,
+    /// Wake writes that failed with a *real* error (not the benign
+    /// full-pipe case). Diagnostic only: the reactor's poll timeout is
+    /// the fallback delivery path if the pipe ever dies.
+    pub wake_errors: AtomicU64,
 }
 
 impl Shared {
+    /// Wakes the reactor with one byte on the socketpair.
+    ///
+    /// A full pipe (`WouldBlock`) is **not** a lost wake-up: a pending
+    /// byte is already in the pipe, the reactor will drain it and scan
+    /// the completion list, and it scans the whole list every time — so
+    /// concurrent wake-ups coalesce. `Interrupted` writes are retried;
+    /// anything else (the reactor side is gone) is counted rather than
+    /// silently swallowed, and the 100ms poll timeout still delivers.
     pub(crate) fn wake(&self) {
-        let _ = (&self.wake_tx).write(&[1]);
+        loop {
+            match (&self.wake_tx).write(&[1]) {
+                Ok(_) => return,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.wake_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -120,8 +147,37 @@ impl Counters {
     }
 }
 
+/// A handler's answer: status, body, and the content type to frame it
+/// with (`None` ⇒ the default `application/json`, whose wire bytes are
+/// pinned by the equivalence suite).
+pub(crate) struct ApiResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+    pub content_type: Option<&'static str>,
+}
+
+impl ApiResponse {
+    /// A JSON response (the default wire format).
+    pub(crate) fn json(status: u16, body: String) -> ApiResponse {
+        ApiResponse {
+            status,
+            body: body.into_bytes(),
+            content_type: None,
+        }
+    }
+
+    /// A binary `tthr-rpc` frame response (the `/spq` fast path).
+    pub(crate) fn frame(status: u16, body: Vec<u8>) -> ApiResponse {
+        ApiResponse {
+            status,
+            body,
+            content_type: Some(crate::http::FRAME_CONTENT_TYPE),
+        }
+    }
+}
+
 /// Decode + execute + encode one API request; runs on a pool worker.
-pub(crate) type ApiHandler = Arc<dyn Fn(Op, &[u8]) -> (u16, String) + Send + Sync>;
+pub(crate) type ApiHandler = Arc<dyn Fn(Op, &[u8]) -> ApiResponse + Send + Sync>;
 /// Render the `/stats` body; runs inline on the reactor.
 pub(crate) type StatsHandler = Arc<dyn Fn(ServerMetrics) -> String + Send + Sync>;
 /// Render the `/metrics` Prometheus exposition; runs inline on the
@@ -134,7 +190,9 @@ pub(crate) type SlowHandler = Arc<dyn Fn() -> String + Send + Sync>;
 pub(crate) type Executor = Arc<dyn Fn(Box<dyn FnOnce() + Send>) + Send + Sync>;
 
 /// The request handlers the reactor drives (type-erased so the reactor is
-/// independent of the service's backend parameter).
+/// independent of the service's backend parameter; cloned once per
+/// reactor thread).
+#[derive(Clone)]
 pub(crate) struct Handlers {
     pub api: ApiHandler,
     pub stats: StatsHandler,
@@ -156,8 +214,17 @@ struct Conn {
     pending: BTreeMap<u64, (Vec<u8>, bool)>,
     /// The one request waiting for a queue slot (backpressure parking).
     parked: Option<(u64, Op, Vec<u8>, bool)>,
-    write_buf: Vec<u8>,
+    /// In-order responses awaiting the socket, oldest first. Each encoded
+    /// response is **moved** here (never recopied into a flat buffer) and
+    /// freed the moment it is fully written, so a connection's retained
+    /// write memory is its live backlog, not its historical maximum. The
+    /// front element is written up to `write_pos`; a flush gathers the
+    /// queued responses into one `writev`.
+    write_queue: VecDeque<Vec<u8>>,
+    /// Bytes of the front `write_queue` element already written.
     write_pos: usize,
+    /// Queued for the end-of-iteration corked flush (`flush_dirty`).
+    dirty: bool,
     /// Stop reading/parsing; close once every owed response is flushed.
     close_after_flush: bool,
     /// Read side retired before the close response flushed: set the
@@ -182,13 +249,13 @@ impl Conn {
     }
 
     fn write_drained(&self) -> bool {
-        self.write_pos >= self.write_buf.len()
+        self.write_queue.is_empty()
     }
 
-    /// Bytes owed to the peer (flush backlog): unwritten buffer plus
-    /// reordered responses not yet in it.
+    /// Bytes owed to the peer (flush backlog): unwritten queued responses
+    /// plus reordered responses not yet in the queue.
     fn backlog(&self) -> usize {
-        (self.write_buf.len() - self.write_pos)
+        (self.write_queue.iter().map(Vec::len).sum::<usize>() - self.write_pos)
             + self.pending.values().map(|(b, _)| b.len()).sum::<usize>()
     }
 }
@@ -201,6 +268,13 @@ pub(crate) struct Reactor {
     /// Tokens with a parked request, oldest first.
     parked: VecDeque<u64>,
     parked_count: usize,
+    /// Connections with responses staged since the last flush (corking:
+    /// one gathered `writev` per connection per loop iteration instead of
+    /// one `write` per response).
+    dirty_tokens: Vec<u64>,
+    /// Recycled read buffers from closed connections — a per-reactor pool
+    /// so short-lived connections don't pay a fresh allocation each.
+    buf_pool: Vec<Vec<u8>>,
     next_token: u64,
     config: ServerConfig,
     limits: Limits,
@@ -227,6 +301,8 @@ impl Reactor {
             conns: HashMap::new(),
             parked: VecDeque::new(),
             parked_count: 0,
+            dirty_tokens: Vec::new(),
+            buf_pool: Vec::new(),
             next_token: TOKEN_FIRST_CONN,
             limits: Limits {
                 max_head_bytes: config.max_head_bytes,
@@ -254,6 +330,7 @@ impl Reactor {
             }
             self.process_completions();
             self.dispatch_parked();
+            self.flush_dirty();
             if self.sweep() {
                 return Ok(());
             }
@@ -294,13 +371,14 @@ impl Reactor {
                         Conn {
                             stream,
                             token,
-                            buf: Vec::new(),
+                            buf: self.buf_pool.pop().unwrap_or_default(),
                             next_seq: 0,
                             next_flush: 0,
                             pending: BTreeMap::new(),
                             parked: None,
-                            write_buf: Vec::new(),
+                            write_queue: VecDeque::new(),
                             write_pos: 0,
+                            dirty: false,
                             close_after_flush: false,
                             parse_disabled: false,
                             peer_closed: false,
@@ -372,6 +450,10 @@ impl Reactor {
 
     /// Parses and routes every complete request buffered on a connection,
     /// until input runs dry, the connection parks, or it begins closing.
+    /// On the way out, a drained buffer that ballooned past the retention
+    /// watermark (one oversized request is enough) gives the excess back
+    /// to the allocator instead of pinning it for the connection's
+    /// lifetime.
     fn advance_conn(&mut self, token: u64) {
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -382,18 +464,24 @@ impl Reactor {
                 || conn.parked.is_some()
                 || conn.buf.is_empty()
             {
-                return;
+                break;
             }
             match http::try_parse(&conn.buf, &self.limits) {
-                Ok(Parse::Incomplete) => return,
+                Ok(Parse::Incomplete) => break,
                 Ok(Parse::Done(request, consumed)) => {
                     conn.buf.drain(..consumed);
                     self.route(token, request);
                 }
                 Err(e) => {
                     self.protocol_error(token, &e);
-                    return;
+                    break;
                 }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.buf.len() <= BUF_RETAIN_WATERMARK && conn.buf.capacity() > BUF_RETAIN_WATERMARK
+            {
+                conn.buf.shrink_to(BUF_RETAIN_WATERMARK);
             }
         }
     }
@@ -471,6 +559,17 @@ impl Reactor {
                 self.shared.counters.count_status(200);
                 self.finish(token, seq, bytes, !keep_alive);
                 return;
+            }
+            // The frame content type selects the binary fast path: the
+            // body decodes straight into an `Spq` via the `tthr-rpc`
+            // codec, skipping the JSON value tree entirely.
+            ("POST", "/spq")
+                if request
+                    .content_type
+                    .as_deref()
+                    .is_some_and(|ct| ct.eq_ignore_ascii_case(http::FRAME_CONTENT_TYPE)) =>
+            {
+                Op::SpqFrame
             }
             ("POST", "/spq") => Op::Spq,
             ("POST", "/trip") => Op::Trip,
@@ -556,10 +655,20 @@ impl Reactor {
                 std::thread::sleep(delay);
             }
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| api(op, &body)));
-            let (status, response_body) =
-                result.unwrap_or_else(|_| (500, crate::wire::encode_error("internal error")));
-            shared.counters.count_status(status);
-            let bytes = http::encode_response(status, response_body.as_bytes(), keep_alive, None);
+            let response = result.unwrap_or_else(|_| {
+                ApiResponse::json(500, crate::wire::encode_error("internal error"))
+            });
+            shared.counters.count_status(response.status);
+            let bytes = match response.content_type {
+                None => http::encode_response(response.status, &response.body, keep_alive, None),
+                Some(ct) => http::encode_response_with_content_type(
+                    response.status,
+                    &response.body,
+                    keep_alive,
+                    None,
+                    ct,
+                ),
+            };
             shared
                 .completions
                 .lock()
@@ -607,8 +716,11 @@ impl Reactor {
         self.finish(token, seq, bytes, !keep_alive);
     }
 
-    /// Hands a finished response to the connection's reorder map and
-    /// flushes whatever became in-order.
+    /// Hands a finished response to the connection's reorder map, stages
+    /// whatever became in-order, and queues the connection for the
+    /// end-of-iteration corked flush — responses completed in the same
+    /// loop iteration (pipelined bursts, completion batches) leave in one
+    /// gathered `writev` instead of one syscall each.
     fn finish(&mut self, token: u64, seq: u64, bytes: Vec<u8>, close: bool) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
@@ -621,15 +733,31 @@ impl Reactor {
         }
         conn.pending.insert(seq, (bytes, close));
         Self::flush_ready(conn);
-        self.flush_conn(token);
-        self.update_interest(token);
+        if !conn.dirty {
+            conn.dirty = true;
+            self.dirty_tokens.push(token);
+        }
+    }
+
+    /// Flushes every connection that staged responses this iteration.
+    fn flush_dirty(&mut self) {
+        for token in std::mem::take(&mut self.dirty_tokens) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // closed since it was staged
+            };
+            conn.dirty = false;
+            self.flush_conn(token);
+            self.update_interest(token);
+        }
     }
 
     /// Moves in-order responses from the reorder map into the write
-    /// buffer.
+    /// queue.
     fn flush_ready(conn: &mut Conn) {
         while let Some((bytes, close)) = conn.pending.remove(&conn.next_flush) {
-            conn.write_buf.extend_from_slice(&bytes);
+            if !bytes.is_empty() {
+                conn.write_queue.push_back(bytes);
+            }
             conn.next_flush += 1;
             if close {
                 conn.close_after_flush = true;
@@ -646,20 +774,43 @@ impl Reactor {
         }
     }
 
+    /// Writes the queued responses with gathered `writev` calls (up to
+    /// [`MAX_FLUSH_IOVECS`] per syscall), popping and freeing each
+    /// response the moment its last byte is written.
     fn flush_conn(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        while conn.write_pos < conn.write_buf.len() {
-            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+        while !conn.write_queue.is_empty() {
+            let mut slices: Vec<std::io::IoSlice<'_>> =
+                Vec::with_capacity(conn.write_queue.len().min(MAX_FLUSH_IOVECS));
+            for (i, bytes) in conn.write_queue.iter().take(MAX_FLUSH_IOVECS).enumerate() {
+                let rest = if i == 0 {
+                    &bytes[conn.write_pos..]
+                } else {
+                    &bytes[..]
+                };
+                slices.push(std::io::IoSlice::new(rest));
+            }
+            match conn.stream.write_vectored(&slices) {
                 Ok(0) => break,
-                Ok(n) => {
-                    conn.write_pos += n;
+                Ok(mut n) => {
                     conn.last_activity = Instant::now();
                     self.shared
                         .counters
                         .bytes_out
                         .fetch_add(n as u64, Ordering::Relaxed);
+                    while n > 0 {
+                        let front_left = conn.write_queue[0].len() - conn.write_pos;
+                        if n >= front_left {
+                            conn.write_queue.pop_front();
+                            conn.write_pos = 0;
+                            n -= front_left;
+                        } else {
+                            conn.write_pos += n;
+                            n = 0;
+                        }
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -669,12 +820,8 @@ impl Reactor {
                 }
             }
         }
-        if conn.write_drained() {
-            conn.write_buf.clear();
-            conn.write_pos = 0;
-            if conn.close_after_flush && conn.outstanding() == 0 {
-                self.close_conn(token);
-            }
+        if conn.write_drained() && conn.close_after_flush && conn.outstanding() == 0 {
+            self.close_conn(token);
         }
     }
 
@@ -785,7 +932,7 @@ impl Reactor {
     }
 
     fn close_conn(&mut self, token: u64) {
-        if let Some(conn) = self.conns.remove(&token) {
+        if let Some(mut conn) = self.conns.remove(&token) {
             if conn.parked.is_some() {
                 self.parked_count -= 1;
                 self.parked.retain(|&t| t != token);
@@ -793,6 +940,15 @@ impl Reactor {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
             self.shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+            // Recycle the read buffer (emptied, capped at the watermark)
+            // so the next accepted connection skips the allocation.
+            if self.buf_pool.len() < BUF_POOL_MAX {
+                conn.buf.clear();
+                if conn.buf.capacity() > BUF_RETAIN_WATERMARK {
+                    conn.buf.shrink_to(BUF_RETAIN_WATERMARK);
+                }
+                self.buf_pool.push(conn.buf);
+            }
         }
     }
 
@@ -820,6 +976,18 @@ impl Reactor {
 /// requests without consuming responses).
 const MAX_RESPONSE_BACKLOG: usize = 256 * 1024;
 
+/// Capacity a drained per-connection read buffer is allowed to keep (one
+/// read chunk). Anything past it — grown by a single oversized request —
+/// is returned to the allocator instead of being pinned for the
+/// connection's lifetime.
+const BUF_RETAIN_WATERMARK: usize = 16 * 1024;
+
+/// Recycled read buffers a reactor keeps for future accepts.
+const BUF_POOL_MAX: usize = 64;
+
+/// Responses gathered into one `writev` (well under `IOV_MAX`).
+const MAX_FLUSH_IOVECS: usize = 64;
+
 /// Whether the reactor should read more bytes from a connection: not
 /// while it is closing, parked behind the queue, or owing the peer more
 /// response bytes than the backlog cap.
@@ -829,4 +997,168 @@ fn wants_read(conn: &Conn) -> bool {
         && !conn.peer_closed
         && conn.parked.is_none()
         && conn.backlog() < MAX_RESPONSE_BACKLOG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared() -> (Arc<Shared>, UnixStream) {
+        let (wake_rx, wake_tx) = UnixStream::pair().unwrap();
+        wake_rx.set_nonblocking(true).unwrap();
+        wake_tx.set_nonblocking(true).unwrap();
+        let shared = Arc::new(Shared {
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
+            inflight: AtomicUsize::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(Counters::default()),
+            wake_errors: AtomicU64::new(0),
+        });
+        (shared, wake_rx)
+    }
+
+    /// Handlers that execute jobs inline on the calling thread, so a test
+    /// can drive the reactor's methods directly without a pool.
+    fn sync_handlers() -> Handlers {
+        Handlers {
+            api: Arc::new(|_, _| ApiResponse::json(200, "{}".to_string())),
+            stats: Arc::new(|_| String::new()),
+            metrics: Arc::new(|_| String::new()),
+            slow: Arc::new(String::new),
+            exec: Arc::new(|job| job()),
+        }
+    }
+
+    fn test_reactor() -> (Reactor, std::net::SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (shared, wake_rx) = test_shared();
+        let reactor = Reactor::new(
+            listener,
+            wake_rx,
+            ServerConfig::default(),
+            shared,
+            sync_handlers(),
+        )
+        .unwrap();
+        (reactor, addr)
+    }
+
+    /// Accepts the one connection a test just opened (retrying around the
+    /// accept/connect race on a non-blocking listener).
+    fn accept_one(reactor: &mut Reactor) -> u64 {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reactor.conns.is_empty() {
+            reactor.accept_ready();
+            assert!(Instant::now() < deadline, "connection never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        *reactor.conns.keys().next().unwrap()
+    }
+
+    /// Flooding the wake pipe far past its kernel buffer must coalesce
+    /// (`WouldBlock` ⇒ a wake-up is already pending), never error — the
+    /// old `let _ = write(..)` silently conflated the two cases.
+    #[test]
+    fn wake_flood_coalesces_without_errors() {
+        let (shared, wake_rx) = test_shared();
+        for _ in 0..100_000 {
+            shared.wake();
+        }
+        assert_eq!(shared.wake_errors.load(Ordering::Relaxed), 0);
+        // The pipe really did fill: the pending byte(s) are drainable.
+        let mut buf = [0u8; 4096];
+        let mut drained = 0usize;
+        while let Ok(n) = (&wake_rx).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            drained += n;
+        }
+        assert!(drained > 0, "a wake byte must be pending after a flood");
+    }
+
+    /// A dead reactor side (closed read end) is a *real* wake failure and
+    /// must be counted, not swallowed.
+    #[test]
+    fn wake_after_reactor_death_counts_an_error() {
+        let (shared, wake_rx) = test_shared();
+        drop(wake_rx);
+        shared.wake();
+        assert_eq!(shared.wake_errors.load(Ordering::Relaxed), 1);
+    }
+
+    /// Regression (PR 8): one oversized request used to leave its full
+    /// capacity pinned in `Conn::buf` for the connection's lifetime. The
+    /// drained buffer must give the excess back to the allocator.
+    #[test]
+    fn drained_read_buffer_shrinks_to_the_watermark() {
+        let (mut reactor, addr) = test_reactor();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let body = vec![b'x'; 256 * 1024];
+        let mut request = format!(
+            "POST /spq HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(&body);
+        // Write from a helper thread: the request is far bigger than the
+        // socket buffers, so a single-threaded write_all would deadlock
+        // against the not-yet-reading reactor.
+        let writer = std::thread::spawn(move || {
+            client.write_all(&request).unwrap();
+            client
+        });
+
+        let token = accept_one(&mut reactor);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            reactor.read_conn(token);
+            reactor.process_completions();
+            reactor.flush_dirty();
+            let conn = reactor.conns.get(&token).expect("conn stays open");
+            if conn.next_seq == 1 && conn.buf.is_empty() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "request never fully parsed");
+        }
+        let conn = reactor.conns.get(&token).unwrap();
+        assert!(
+            conn.buf.capacity() <= BUF_RETAIN_WATERMARK,
+            "drained buffer kept {} bytes of capacity (watermark {})",
+            conn.buf.capacity(),
+            BUF_RETAIN_WATERMARK
+        );
+        let _client = writer.join().unwrap();
+    }
+
+    /// Closed connections donate their (emptied, capped) read buffers to
+    /// the reactor's pool, and the next accept reuses one.
+    #[test]
+    fn closed_connection_read_buffers_are_recycled() {
+        let (mut reactor, addr) = test_reactor();
+        let _c1 = std::net::TcpStream::connect(addr).unwrap();
+        let token = accept_one(&mut reactor);
+        // Give the buffer some capacity so reuse is observable.
+        reactor
+            .conns
+            .get_mut(&token)
+            .unwrap()
+            .buf
+            .reserve(BUF_RETAIN_WATERMARK / 2);
+        reactor.close_conn(token);
+        assert_eq!(reactor.buf_pool.len(), 1);
+        let pooled_capacity = reactor.buf_pool[0].capacity();
+        assert!(pooled_capacity >= BUF_RETAIN_WATERMARK / 2);
+
+        let _c2 = std::net::TcpStream::connect(addr).unwrap();
+        let token2 = accept_one(&mut reactor);
+        assert!(reactor.buf_pool.is_empty(), "the pooled buffer was reused");
+        assert_eq!(
+            reactor.conns.get(&token2).unwrap().buf.capacity(),
+            pooled_capacity
+        );
+    }
 }

@@ -1,15 +1,21 @@
-//! The readiness poller: a minimal, self-contained `epoll` binding.
+//! The readiness poller and socket syscalls: a minimal, self-contained
+//! `epoll` + `SO_REUSEPORT` binding.
 //!
 //! The workspace forbids external registry crates, so instead of `mio`
-//! this module declares the three `epoll` entry points itself and links
+//! this module declares the handful of syscalls it needs itself and links
 //! them from the C library the standard library already links. This is
-//! the **only** unsafe surface of the crate: three foreign calls plus one
-//! `#[repr(C)]` struct, wrapped in a safe [`Poller`] API (owned fd,
-//! checked returns, no raw pointers escaping).
+//! the **only** unsafe surface of the crate: the three `epoll` entry
+//! points plus the four socket calls (`socket`/`setsockopt`/`bind`/
+//! `listen`) needed to build listeners the standard library cannot — N
+//! sockets bound to **one** address via `SO_REUSEPORT`, so the kernel
+//! shards incoming connections across reactor threads with no shared
+//! accept lock ([`listener_group`]). Everything is wrapped in safe APIs
+//! (owned fds, checked returns, no raw pointers escaping).
 //!
-//! On non-Linux Unixes the same API is backed by POSIX `poll(2)` — one
-//! foreign call — so the crate builds and behaves identically (Linux is
-//! the deployment target; the fallback exists for development machines).
+//! On non-Linux Unixes the same APIs are backed by POSIX `poll(2)` and
+//! accept-sharing `try_clone` duplicates of a single listener — so the
+//! crate builds and behaves identically (Linux is the deployment target;
+//! the fallback exists for development machines).
 //!
 //! The poller is **level-triggered**: an fd with unread input or writable
 //! space keeps reporting ready, so the reactor never needs the
@@ -52,12 +58,13 @@ pub struct Event {
 }
 
 #[cfg(target_os = "linux")]
-pub use linux::Poller;
+pub use linux::{listener_group, Poller};
 
 #[cfg(target_os = "linux")]
 mod linux {
     use super::{Event, Interest};
     use std::io;
+    use std::net::{SocketAddr, TcpListener};
     use std::os::fd::{FromRawFd, OwnedFd, RawFd};
     use std::time::Duration;
 
@@ -182,10 +189,130 @@ mod linux {
             Ok(())
         }
     }
+
+    // <sys/socket.h> — just enough to build a listener the standard
+    // library cannot: one with SO_REUSEPORT set *before* bind.
+    const AF_INET: c_int = 2;
+    const AF_INET6: c_int = 10;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+    /// Accept backlog for reuseport listeners (the kernel clamps to
+    /// `somaxconn`); matches what `TcpListener::bind` requests.
+    const BACKLOG: c_int = 128;
+
+    /// `struct sockaddr_in` (fields already in network byte order).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,
+        addr: [u8; 4],
+        zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6`.
+    #[repr(C)]
+    struct SockaddrIn6 {
+        family: u16,
+        port: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_int, len: u32)
+            -> c_int;
+        fn bind(fd: c_int, addr: *const u8, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    /// Builds one listening socket bound to `addr` with `SO_REUSEPORT`
+    /// (and `SO_REUSEADDR`) set before the bind, returned as a standard
+    /// [`TcpListener`] owning the fd.
+    fn reuseport_listener(addr: &SocketAddr) -> io::Result<TcpListener> {
+        let domain = match addr {
+            SocketAddr::V4(_) => AF_INET,
+            SocketAddr::V6(_) => AF_INET6,
+        };
+        // SAFETY: socket takes no pointers; a non-negative return is a
+        // fresh fd we immediately take ownership of (closed on any early
+        // return below).
+        let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+        let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+        let one: c_int = 1;
+        let optlen = std::mem::size_of::<c_int>() as u32;
+        // SAFETY: `one` outlives each call; the kernel copies the value.
+        cvt(unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, optlen) })?;
+        cvt(unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, optlen) })?;
+        match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockaddrIn {
+                    family: AF_INET as u16,
+                    port: v4.port().to_be(),
+                    addr: v4.ip().octets(),
+                    zero: [0; 8],
+                };
+                // SAFETY: `sa` is a valid sockaddr_in for the duration of
+                // the call; the kernel copies it.
+                cvt(unsafe {
+                    bind(
+                        fd,
+                        (&sa as *const SockaddrIn).cast(),
+                        std::mem::size_of::<SockaddrIn>() as u32,
+                    )
+                })?;
+            }
+            SocketAddr::V6(v6) => {
+                let sa = SockaddrIn6 {
+                    family: AF_INET6 as u16,
+                    port: v6.port().to_be(),
+                    flowinfo: v6.flowinfo().to_be(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id().to_be(),
+                };
+                // SAFETY: as above, for sockaddr_in6.
+                cvt(unsafe {
+                    bind(
+                        fd,
+                        (&sa as *const SockaddrIn6).cast(),
+                        std::mem::size_of::<SockaddrIn6>() as u32,
+                    )
+                })?;
+            }
+        }
+        // SAFETY: listen takes no pointers.
+        cvt(unsafe { listen(fd, BACKLOG) })?;
+        Ok(TcpListener::from(owned))
+    }
+
+    /// `n` listeners sharing one address. With `n == 1` this is a plain
+    /// `TcpListener::bind`. With more, every socket is bound via
+    /// `SO_REUSEPORT` — the kernel hashes each incoming connection's
+    /// 4-tuple to exactly one of the sockets, sharding accepts across the
+    /// reactors that own them with no locks and no thundering herd. A
+    /// port-0 request is resolved by the first bind; the rest bind the
+    /// concrete port it got.
+    pub fn listener_group(addr: SocketAddr, n: usize) -> io::Result<Vec<TcpListener>> {
+        if n <= 1 {
+            return Ok(vec![TcpListener::bind(addr)?]);
+        }
+        let first = reuseport_listener(&addr)?;
+        let resolved = first.local_addr()?;
+        let mut group = Vec::with_capacity(n);
+        group.push(first);
+        for _ in 1..n {
+            group.push(reuseport_listener(&resolved)?);
+        }
+        Ok(group)
+    }
 }
 
 #[cfg(all(unix, not(target_os = "linux")))]
-pub use fallback::Poller;
+pub use fallback::{listener_group, Poller};
 
 #[cfg(all(unix, not(target_os = "linux")))]
 mod fallback {
@@ -291,6 +418,30 @@ mod fallback {
     }
 }
 
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback_listeners {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+
+    /// Accept-sharing stand-in for the Linux `SO_REUSEPORT` group: one
+    /// bound socket, `try_clone`d per reactor. All clones share the
+    /// kernel accept queue (wake-ups may thunder, but each connection is
+    /// accepted exactly once), so the multi-reactor server behaves
+    /// identically on development machines.
+    pub fn listener_group(addr: SocketAddr, n: usize) -> io::Result<Vec<TcpListener>> {
+        let first = TcpListener::bind(addr)?;
+        let mut group = Vec::with_capacity(n.max(1));
+        for _ in 1..n {
+            group.push(first.try_clone()?);
+        }
+        group.insert(0, first);
+        Ok(group)
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use fallback_listeners::listener_group;
+
 #[cfg(not(unix))]
 compile_error!("tthr-server requires a Unix platform (epoll or poll readiness)");
 
@@ -302,4 +453,60 @@ fn _api_check(p: &Poller) -> io::Result<()> {
     let _ = |fd: RawFd| p.delete(fd);
     let mut v = Vec::new();
     p.wait(&mut v, Some(Duration::from_millis(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    #[test]
+    fn listener_group_shares_one_port_and_loses_no_connection() {
+        const LISTENERS: usize = 2;
+        const CONNECTIONS: usize = 16;
+        let group = listener_group("127.0.0.1:0".parse().unwrap(), LISTENERS).unwrap();
+        assert_eq!(group.len(), LISTENERS);
+        let addr = group[0].local_addr().unwrap();
+        for l in &group {
+            assert_eq!(l.local_addr().unwrap(), addr, "group must share the port");
+            l.set_nonblocking(true).unwrap();
+        }
+
+        let mut open = Vec::new();
+        for _ in 0..CONNECTIONS {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"x").unwrap();
+            open.push(c);
+        }
+
+        // Every connection must be accepted by exactly one listener —
+        // the kernel shards them; none may be dropped or duplicated.
+        let mut accepted = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while accepted < CONNECTIONS && std::time::Instant::now() < deadline {
+            let mut progress = false;
+            for l in &group {
+                match l.accept() {
+                    Ok(_) => {
+                        accepted += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        assert_eq!(accepted, CONNECTIONS);
+    }
+
+    #[test]
+    fn single_listener_group_is_a_plain_bind() {
+        let group = listener_group("127.0.0.1:0".parse().unwrap(), 1).unwrap();
+        assert_eq!(group.len(), 1);
+        assert!(group[0].local_addr().unwrap().port() != 0);
+    }
 }

@@ -60,6 +60,7 @@ fn build_request(
             method: method.to_string(),
             target: target.to_string(),
             keep_alive,
+            content_type: None,
             body: body.to_vec(),
         },
     )

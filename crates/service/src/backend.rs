@@ -84,6 +84,18 @@ pub trait ServiceBackend: IndexBackend + Send + Sync + Sized + 'static {
         payload: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<Vec<Trajectory>, StoreError>;
 
+    /// [`Self::prepare_payload`] with the first assigned id (`from`)
+    /// given explicitly instead of read from the index. The group-commit
+    /// leader stamps a queue of batches arithmetically — batch *k*'s
+    /// `from` accounts for the not-yet-applied batches before it — so ids
+    /// stay dense across a multi-batch commit. Validation is independent
+    /// of `from`; only the materialized ids differ.
+    fn prepare_payload_at(
+        &self,
+        payload: &[(UserId, Vec<TrajEntry>)],
+        from: usize,
+    ) -> Result<Vec<Trajectory>, StoreError>;
+
     /// Appends a batch previously validated by
     /// [`Self::prepare_payload`] under the exclusive write lock.
     fn apply_prepared(&mut self, batch: &[Trajectory]) -> AppendEffect;
@@ -153,6 +165,14 @@ impl ServiceBackend for SntIndex {
         payload: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<Vec<Trajectory>, StoreError> {
         self.prepare_append_batch(payload)
+    }
+
+    fn prepare_payload_at(
+        &self,
+        payload: &[(UserId, Vec<TrajEntry>)],
+        from: usize,
+    ) -> Result<Vec<Trajectory>, StoreError> {
+        self.prepare_append_batch_at(from as u32, payload)
     }
 
     fn apply_prepared(&mut self, batch: &[Trajectory]) -> AppendEffect {
@@ -242,6 +262,14 @@ impl ServiceBackend for ShardedSntIndex {
         payload: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<Vec<Trajectory>, StoreError> {
         self.prepare_append_batch(payload)
+    }
+
+    fn prepare_payload_at(
+        &self,
+        payload: &[(UserId, Vec<TrajEntry>)],
+        from: usize,
+    ) -> Result<Vec<Trajectory>, StoreError> {
+        self.prepare_append_batch_at(from as u32, payload)
     }
 
     fn apply_prepared(&mut self, batch: &[Trajectory]) -> AppendEffect {

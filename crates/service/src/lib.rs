@@ -66,6 +66,7 @@
 
 pub mod backend;
 pub mod cache;
+mod group_commit;
 mod persist;
 pub mod pool;
 mod stats;
@@ -76,6 +77,7 @@ pub use persist::{SnapshotInfo, SNAPSHOT_FILE, WAL_FILE};
 pub use pool::ThreadPool;
 pub use stats::{Endpoint, LatencySummary, PerEndpoint, ServiceStats, SlowQuery};
 
+use crate::group_commit::{AppendOutcome, AppendRequest, GroupCommit};
 use crate::stats::{LatencyLog, ServiceMetrics, SlowLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -156,6 +158,10 @@ struct Inner<B: ServiceBackend> {
     /// Durable storage, attached by `save_snapshot` / `open`. Lock order:
     /// the index lock is always taken **before** this mutex.
     persist: Mutex<Option<persist::Persistence>>,
+    /// Group-commit waiting room: concurrent appends enqueue here and one
+    /// leader commits the whole queue with a single WAL fsync (see
+    /// [`group_commit`]).
+    group: GroupCommit,
 }
 
 impl<B: ServiceBackend> Inner<B> {
@@ -223,6 +229,48 @@ impl<B: ServiceBackend> TravelTimeProvider for CachedIndex<'_, B> {
     }
 }
 
+/// A group-commit leader's decision for one queued append: either the
+/// outcome is already known without touching the index (idempotent
+/// replay, typed error, empty delta), or the request has a WAL record in
+/// the batch and an apply to run once the batch is durable.
+enum Plan {
+    /// Outcome settled during stamping; nothing logged, nothing applied.
+    Settled(AppendOutcome),
+    /// Apply the delta of this grown set (WAL record already encoded).
+    ApplySet(TrajectorySet),
+    /// Apply this prepared, id-stamped payload batch (record encoded).
+    ApplyPrepared(Vec<tthr_trajectory::Trajectory>),
+}
+
+/// Settles a planned batch after its WAL write failed: nothing was
+/// applied (the write rolled back, or poisoned the writer trying), so
+/// every request with a record in the batch reports the failure, while
+/// requests settled during stamping keep their own outcome.
+/// [`StoreError`] is not `Clone`; the error is replicated structurally.
+fn settle_failed(plans: Vec<(u64, Plan)>, error: &StoreError) -> Vec<(u64, AppendOutcome)> {
+    plans
+        .into_iter()
+        .map(|(ticket, plan)| match plan {
+            Plan::Settled(outcome) => (ticket, outcome),
+            Plan::ApplySet(_) | Plan::ApplyPrepared(_) => (ticket, Err(replicate_error(error))),
+        })
+        .collect()
+}
+
+/// A structural copy of a [`StoreError`] for fan-out to every member of a
+/// failed commit group (`std::io::Error` and thus `StoreError` are not
+/// `Clone`).
+fn replicate_error(error: &StoreError) -> StoreError {
+    match error {
+        StoreError::Io(e) => StoreError::Io(std::io::Error::new(e.kind(), e.to_string())),
+        StoreError::WalGap { expected, found } => StoreError::WalGap {
+            expected: *expected,
+            found: *found,
+        },
+        other => StoreError::corrupt(format!("group commit failed: {other}")),
+    }
+}
+
 /// A multi-threaded query service over one shared index backend.
 ///
 /// `B` defaults to the monolithic [`SntIndex`]; construct with a
@@ -259,6 +307,7 @@ impl<B: ServiceBackend> QueryService<B> {
                 trace_timing: config.trace_timing,
                 generation: AtomicU64::new(0),
                 persist: Mutex::new(None),
+                group: GroupCommit::new(),
             }),
             pool: Arc::new(ThreadPool::new(threads)),
         }
@@ -398,39 +447,16 @@ impl<B: ServiceBackend> QueryService<B> {
     }
 
     fn append_batch_inner(&self, set: &TrajectorySet) -> Result<usize, StoreError> {
-        if B::SHARED_APPENDS {
-            let index = self.inner.index.read().expect("index lock");
-            let permit = index.append_permit();
-            debug_assert!(permit.is_some(), "SHARED_APPENDS promises a permit");
-            let from = index.num_trajectories();
-            if set.len() <= from {
-                return Ok(0);
-            }
-            self.log_write_ahead(&index, set, from)?;
-            // Seqlock write: odd while the per-shard applies are in
-            // flight, so a trip whose chains straddle the apply window
-            // (shard A post-append, shard B pre-append) can never pass
-            // generation validation — it either reads an odd counter or
-            // sees it change.
-            self.inner.generation.fetch_add(1, Ordering::SeqCst);
-            let effect = index.apply_append_shared(set);
-            self.inner.generation.fetch_add(1, Ordering::SeqCst);
-            self.evict_stale(&*index, &effect);
-            Ok(effect.appended)
-        } else {
-            let mut index = self.inner.index.write().expect("index lock");
-            let from = index.num_trajectories();
-            if set.len() <= from {
-                return Ok(0);
-            }
-            self.log_write_ahead(&index, set, from)?;
-            let effect = index.apply_append(set);
-            // Readers are excluded by the write lock; keep the counter's
-            // even parity in one jump.
-            self.inner.generation.fetch_add(2, Ordering::SeqCst);
-            self.evict_stale(&*index, &effect);
-            Ok(effect.appended)
-        }
+        // The grown set is cloned into the queue so a group-commit leader
+        // can process it on this caller's behalf. The server's hot ingest
+        // path ships deltas through `append_new`; this whole-set entry
+        // point is the bulk/compat API, where the clone is dwarfed by the
+        // index update itself.
+        self.inner
+            .group
+            .submit(AppendRequest::Set(set.clone()), |batch| {
+                self.commit_appends(batch)
+            })
     }
 
     /// Appends a batch of **new** trajectory payloads — the network
@@ -469,96 +495,173 @@ impl<B: ServiceBackend> QueryService<B> {
         base: Option<u64>,
         new: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<usize, StoreError> {
+        self.inner.group.submit(
+            AppendRequest::Payload {
+                base,
+                new: new.to_vec(),
+            },
+            |batch| self.commit_appends(batch),
+        )
+    }
+
+    /// Group-commit leader: settles a drained batch of append requests
+    /// under **one** index-lock acquisition and **one** WAL fsync.
+    ///
+    /// Phases (see the [`group_commit`] module docs for the ordering
+    /// argument):
+    /// 1. stamp + validate every request arithmetically against a running
+    ///    trajectory count, encoding its WAL record with the stamp a
+    ///    serial execution would have used;
+    /// 2. write + fsync all records as one [`WalWriter::append_many`]
+    ///    batch (all-or-nothing: a failure settles every surviving
+    ///    request with the error and applies nothing);
+    /// 3. apply each request in stamp order with the same per-request
+    ///    generation-seqlock bumps and scoped cache eviction as a serial
+    ///    execution.
+    fn commit_appends(&self, batch: Vec<(u64, AppendRequest)>) -> Vec<(u64, AppendOutcome)> {
         if B::SHARED_APPENDS {
             let index = self.inner.index.read().expect("index lock");
             let permit = index.append_permit();
             debug_assert!(permit.is_some(), "SHARED_APPENDS promises a permit");
-            let Some(prepared) = Self::check_base(&*index, base, new)? else {
-                return Ok(0);
-            };
-            let from = index.num_trajectories();
-            self.log_write_ahead_payload(&index, new, from)?;
-            // Seqlock write, exactly as in `append_batch_inner`.
-            self.inner.generation.fetch_add(1, Ordering::SeqCst);
-            let effect = index.apply_prepared_shared(&prepared);
-            self.inner.generation.fetch_add(1, Ordering::SeqCst);
-            self.evict_stale(&*index, &effect);
-            Ok(effect.appended)
+            let (plans, records) = self.plan_appends(&*index, batch);
+            if let Err(e) = self.wal_append_group(&records) {
+                return settle_failed(plans, &e);
+            }
+            plans
+                .into_iter()
+                .map(|(ticket, plan)| {
+                    let outcome = match plan {
+                        Plan::Settled(outcome) => outcome,
+                        Plan::ApplySet(set) => {
+                            // Seqlock write: odd while the per-shard
+                            // applies are in flight, so a trip whose
+                            // chains straddle the apply window (shard A
+                            // post-append, shard B pre-append) can never
+                            // pass generation validation — it either
+                            // reads an odd counter or sees it change.
+                            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+                            let effect = index.apply_append_shared(&set);
+                            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+                            self.evict_stale(&*index, &effect);
+                            Ok(effect.appended)
+                        }
+                        Plan::ApplyPrepared(prepared) => {
+                            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+                            let effect = index.apply_prepared_shared(&prepared);
+                            self.inner.generation.fetch_add(1, Ordering::SeqCst);
+                            self.evict_stale(&*index, &effect);
+                            Ok(effect.appended)
+                        }
+                    };
+                    (ticket, outcome)
+                })
+                .collect()
         } else {
             let mut index = self.inner.index.write().expect("index lock");
-            let Some(prepared) = Self::check_base(&*index, base, new)? else {
-                return Ok(0);
-            };
-            let from = index.num_trajectories();
-            self.log_write_ahead_payload(&index, new, from)?;
-            let effect = index.apply_prepared(&prepared);
-            self.inner.generation.fetch_add(2, Ordering::SeqCst);
-            self.evict_stale(&*index, &effect);
-            Ok(effect.appended)
-        }
-    }
-
-    /// Validates the idempotency stamp and the payload against the locked
-    /// index. `Ok(None)` means "already applied / empty: answer 0".
-    fn check_base(
-        index: &B,
-        base: Option<u64>,
-        new: &[(UserId, Vec<TrajEntry>)],
-    ) -> Result<Option<Vec<tthr_trajectory::Trajectory>>, StoreError> {
-        let have = index.num_trajectories() as u64;
-        match base {
-            Some(b) if b < have => return Ok(None),
-            Some(b) if b > have => {
-                return Err(StoreError::WalGap {
-                    expected: have,
-                    found: b,
-                })
+            let (plans, records) = self.plan_appends(&*index, batch);
+            if let Err(e) = self.wal_append_group(&records) {
+                return settle_failed(plans, &e);
             }
-            _ => {}
+            plans
+                .into_iter()
+                .map(|(ticket, plan)| {
+                    let outcome = match plan {
+                        Plan::Settled(outcome) => outcome,
+                        Plan::ApplySet(set) => {
+                            let effect = index.apply_append(&set);
+                            // Readers are excluded by the write lock;
+                            // keep the counter's even parity in one jump.
+                            self.inner.generation.fetch_add(2, Ordering::SeqCst);
+                            self.evict_stale(&*index, &effect);
+                            Ok(effect.appended)
+                        }
+                        Plan::ApplyPrepared(prepared) => {
+                            let effect = index.apply_prepared(&prepared);
+                            self.inner.generation.fetch_add(2, Ordering::SeqCst);
+                            self.evict_stale(&*index, &effect);
+                            Ok(effect.appended)
+                        }
+                    };
+                    (ticket, outcome)
+                })
+                .collect()
         }
-        if new.is_empty() {
-            return Ok(None);
-        }
-        index.prepare_payload(new).map(Some)
     }
 
-    /// Logs a raw payload batch write-ahead, when storage is attached.
-    fn log_write_ahead_payload(
+    /// Phase 1 of a group commit: walk the batch in submission order,
+    /// settle what needs no apply (idempotent replays, gaps, invalid
+    /// payloads, empty deltas), and stamp + encode the WAL record of
+    /// everything else against a *running* trajectory count — request
+    /// *k*'s stamp counts the not-yet-applied requests before it, so the
+    /// records are byte-identical to a serial one-at-a-time execution.
+    fn plan_appends(
         &self,
         index: &B,
-        new: &[(UserId, Vec<TrajEntry>)],
-        from: usize,
-    ) -> Result<(), StoreError> {
-        let mut persist = self.inner.persist.lock().expect("persist lock");
-        if let Some(p) = persist.as_mut() {
-            self.wal_append(p, &index.encode_wal_payload(new, from))?;
+        batch: Vec<(u64, AppendRequest)>,
+    ) -> (Vec<(u64, Plan)>, Vec<Vec<u8>>) {
+        let mut running = index.num_trajectories();
+        let mut plans = Vec::with_capacity(batch.len());
+        let mut records = Vec::new();
+        for (ticket, request) in batch {
+            match request {
+                AppendRequest::Set(set) => {
+                    if set.len() <= running {
+                        plans.push((ticket, Plan::Settled(Ok(0))));
+                    } else {
+                        records.push(index.encode_wal_record(&set, running));
+                        running = set.len();
+                        plans.push((ticket, Plan::ApplySet(set)));
+                    }
+                }
+                AppendRequest::Payload { base, new } => {
+                    let have = running as u64;
+                    let plan = match base {
+                        Some(b) if b < have => Plan::Settled(Ok(0)),
+                        Some(b) if b > have => Plan::Settled(Err(StoreError::WalGap {
+                            expected: have,
+                            found: b,
+                        })),
+                        _ if new.is_empty() => Plan::Settled(Ok(0)),
+                        _ => match index.prepare_payload_at(&new, running) {
+                            Ok(prepared) => {
+                                records.push(index.encode_wal_payload(&new, running));
+                                running += prepared.len();
+                                Plan::ApplyPrepared(prepared)
+                            }
+                            Err(e) => Plan::Settled(Err(e)),
+                        },
+                    };
+                    plans.push((ticket, plan));
+                }
+            }
         }
-        Ok(())
+        (plans, records)
     }
 
-    /// Appends one record to the WAL, recording its size and fsync
-    /// latency in the registry.
-    fn wal_append(&self, p: &mut persist::Persistence, record: &[u8]) -> Result<(), StoreError> {
+    /// Phase 2 of a group commit: all records of the batch in one WAL
+    /// write + one fsync, with the registry counters recording the
+    /// amortization (`wal_appends` per record, `wal_fsyncs` once,
+    /// `wal_group_size` the batch size). A no-op without attached storage
+    /// or an empty batch.
+    fn wal_append_group(&self, records: &[Vec<u8>]) -> Result<(), StoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut persist = self.inner.persist.lock().expect("persist lock");
+        let Some(p) = persist.as_mut() else {
+            return Ok(());
+        };
         let start = Instant::now();
-        p.wal.append(record)?;
+        p.wal.append_many(records)?;
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.inner.metrics.wal_fsync_ns.record(ns);
-        self.inner.metrics.wal_appends.inc();
-        self.inner.metrics.wal_bytes.add(record.len() as u64);
-        Ok(())
-    }
-
-    /// Logs the delta `set[from..]` write-ahead, when storage is attached.
-    fn log_write_ahead(
-        &self,
-        index: &B,
-        set: &TrajectorySet,
-        from: usize,
-    ) -> Result<(), StoreError> {
-        let mut persist = self.inner.persist.lock().expect("persist lock");
-        if let Some(p) = persist.as_mut() {
-            self.wal_append(p, &index.encode_wal_record(set, from))?;
-        }
+        let metrics = &self.inner.metrics;
+        metrics.wal_fsync_ns.record(ns);
+        metrics.wal_fsyncs.inc();
+        metrics.wal_group_size.record(records.len() as u64);
+        metrics.wal_appends.add(records.len() as u64);
+        metrics
+            .wal_bytes
+            .add(records.iter().map(|r| r.len() as u64).sum());
         Ok(())
     }
 

@@ -268,6 +268,8 @@ pub(crate) struct ServiceMetrics {
     // Persistence.
     pub(crate) wal_appends: Counter,
     pub(crate) wal_bytes: Counter,
+    pub(crate) wal_fsyncs: Counter,
+    pub(crate) wal_group_size: HistogramHandle,
     pub(crate) wal_fsync_ns: HistogramHandle,
     pub(crate) snapshots: Counter,
     pub(crate) snapshot_bytes: Gauge,
@@ -338,6 +340,16 @@ impl ServiceMetrics {
             wal_bytes: counter(
                 "tthr_wal_bytes_total",
                 "Write-ahead-log payload bytes appended",
+            ),
+            wal_fsyncs: counter(
+                "tthr_wal_fsyncs_total",
+                "Write-ahead-log fsyncs issued (one per commit group; \
+                 strictly fewer than appends when group commit engages)",
+            ),
+            wal_group_size: registry.histogram(
+                "tthr_wal_group_size",
+                "Records durably committed per WAL fsync (group-commit batch size)",
+                &[],
             ),
             wal_fsync_ns: registry.histogram(
                 "tthr_wal_fsync_duration_ns",

@@ -177,6 +177,53 @@ impl WalWriter {
             }
         }
     }
+
+    /// Appends a whole batch of records with **one** write and **one**
+    /// fsync — the group-commit primitive. The on-disk bytes are identical
+    /// to calling [`WalWriter::append`] once per payload in order; only
+    /// the write/sync count differs, so readers and crash recovery cannot
+    /// tell the difference.
+    ///
+    /// The batch is all-or-nothing at the durability boundary: on any
+    /// failure the file is rolled back to its pre-batch length (poisoning
+    /// the writer if the rollback itself fails, exactly like `append`),
+    /// so no caller can observe a partially durable batch through an `Ok`.
+    pub fn append_many<P: AsRef<[u8]>>(&mut self, payloads: &[P]) -> Result<(), StoreError> {
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(StoreError::corrupt(
+                "wal writer poisoned by an earlier unrolled-back append failure",
+            ));
+        }
+        let total: usize = payloads.iter().map(|p| 8 + p.as_ref().len()).sum();
+        let mut framed = Vec::with_capacity(total);
+        for payload in payloads {
+            let payload = payload.as_ref();
+            let len: u32 = payload
+                .len()
+                .try_into()
+                .map_err(|_| StoreError::corrupt("wal record over 4 GiB"))?;
+            framed.extend_from_slice(&len.to_le_bytes());
+            framed.extend_from_slice(&crc32(payload).to_le_bytes());
+            framed.extend_from_slice(payload);
+        }
+        let start = self.file.metadata()?.len();
+        let result = self
+            .file
+            .write_all(&framed)
+            .and_then(|()| self.file.sync_all());
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if self.file.set_len(start).is_err() || self.file.seek_end().is_err() {
+                    self.poisoned = true;
+                }
+                Err(e.into())
+            }
+        }
+    }
 }
 
 /// Seek-to-end helper kept off the public surface.
@@ -216,6 +263,53 @@ mod tests {
             vec![b"first".to_vec(), Vec::new(), b"third record".to_vec()]
         );
         assert!(!rec.torn);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_many_bytes_identical_to_sequential_appends() {
+        let one = temp_path("seq");
+        let many = temp_path("grouped");
+        let payloads: Vec<&[u8]> = vec![b"first", b"", b"third record"];
+        let mut w = WalWriter::create(&one).unwrap();
+        for p in &payloads {
+            w.append(p).unwrap();
+        }
+        drop(w);
+        let mut w = WalWriter::create(&many).unwrap();
+        w.append_many(&payloads).unwrap();
+        drop(w);
+        assert_eq!(
+            std::fs::read(&one).unwrap(),
+            std::fs::read(&many).unwrap(),
+            "group commit must not change the on-disk byte layout"
+        );
+        let rec = read_wal(&many).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![b"first".to_vec(), Vec::new(), b"third record".to_vec()]
+        );
+        assert!(!rec.torn);
+        std::fs::remove_file(&one).unwrap();
+        std::fs::remove_file(&many).unwrap();
+    }
+
+    #[test]
+    fn append_many_empty_batch_is_a_noop() {
+        let path = temp_path("empty-batch");
+        let mut w = WalWriter::create(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        w.append_many::<&[u8]>(&[]).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        // Interleaving grouped and single appends keeps the log well-formed.
+        w.append_many(&[b"a".as_slice(), b"bb"]).unwrap();
+        w.append(b"ccc").unwrap();
+        drop(w);
+        let rec = read_wal(&path).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

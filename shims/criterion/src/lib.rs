@@ -11,10 +11,17 @@
 //! Besides the human-readable table, every finished benchmark is recorded
 //! in-process; [`flush_bench_json`] (called automatically by
 //! [`criterion_main!`]) appends the records as JSON Lines to the file named
-//! by `TTHR_BENCH_JSON` (default `BENCH.json` in the working directory).
+//! by `TTHR_BENCH_JSON`. When that variable is unset the default is
+//! `BENCH.json` **at the workspace root** — found by walking up from the
+//! working directory to the first ancestor holding a `Cargo.lock` — so
+//! records land in one tracked file no matter whether cargo ran the bench
+//! binary (cwd = the package dir) or the binary was invoked by hand.
 //! One line per benchmark: `{"name", "ns_per_iter", "p50_ns", "p95_ns",
-//! "min_ns", "samples", "iters_per_sample", "throughput_per_sec"?}` — the
-//! machine-readable perf trajectory CI uploads as an artifact.
+//! "min_ns", "samples", "iters_per_sample", "ts", "tag"?,
+//! "throughput_per_sec"?}` — the machine-readable perf trajectory CI
+//! uploads as an artifact. `ts` is the unix time of the flush; `tag` is
+//! copied from `TTHR_BENCH_TAG` when set, so runs can be labelled (e.g.
+//! a pre-change baseline vs. a post-change measurement).
 //!
 //! Bench binaries remain `cargo test`-safe: when invoked with `--test`
 //! (which `cargo test --benches` does), every benchmark runs exactly one
@@ -247,15 +254,25 @@ fn run_one<F: FnMut(&mut Bencher)>(
 }
 
 /// Appends every benchmark recorded so far to the JSON-lines file named by
-/// `TTHR_BENCH_JSON` (default `BENCH.json`), then forgets them. Called by
-/// [`criterion_main!`] after all groups ran; a no-op when nothing was
-/// measured (e.g. `--test` mode) so smoke runs never touch the file.
+/// `TTHR_BENCH_JSON` (default: `BENCH.json` at the workspace root, see
+/// [`bench_json_path`]), then forgets them. Called by [`criterion_main!`]
+/// after all groups ran; a no-op when nothing was measured (e.g. `--test`
+/// mode) so smoke runs never touch the file.
 pub fn flush_bench_json() {
     let mut results = RESULTS.lock().expect("bench results");
     if results.is_empty() {
         return;
     }
-    let path = std::env::var("TTHR_BENCH_JSON").unwrap_or_else(|_| "BENCH.json".to_string());
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let tag = std::env::var("TTHR_BENCH_TAG")
+        .ok()
+        .filter(|t| !t.is_empty())
+        .map(|t| format!(",\"tag\":\"{}\"", escape_json(&t)))
+        .unwrap_or_default();
+    let path = bench_json_path();
     match std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -263,11 +280,42 @@ pub fn flush_bench_json() {
     {
         Ok(mut file) => {
             for line in results.drain(..) {
-                let _ = writeln!(file, "{line}");
+                // Each pending record ends in `}`; splice the run-wide
+                // fields in before it so every line carries them.
+                let body = &line[..line.len() - 1];
+                let _ = writeln!(file, "{body},\"ts\":{ts}{tag}}}");
             }
-            eprintln!("[criterion-shim] bench records appended to {path}");
+            eprintln!(
+                "[criterion-shim] bench records appended to {}",
+                path.display()
+            );
         }
-        Err(err) => eprintln!("[criterion-shim] cannot write {path}: {err}"),
+        Err(err) => eprintln!("[criterion-shim] cannot write {}: {err}", path.display()),
+    }
+}
+
+/// Resolves where bench records go: `TTHR_BENCH_JSON` verbatim when set,
+/// else `BENCH.json` in the nearest ancestor of the working directory that
+/// contains a `Cargo.lock` (the workspace root — cargo runs bench binaries
+/// with cwd = the *package* dir, which previously scattered default-path
+/// records into untracked per-crate files). Falls back to the working
+/// directory when no workspace root is found.
+pub fn bench_json_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("TTHR_BENCH_JSON") {
+        if !path.is_empty() {
+            return std::path::PathBuf::from(path);
+        }
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("BENCH.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("BENCH.json"),
+        }
     }
 }
 
@@ -347,5 +395,27 @@ mod tests {
         assert_eq!(escape_json("plain/name"), "plain/name");
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn default_bench_json_path_anchors_at_workspace_root() {
+        // Env-var override wins verbatim. (Set/remove around the default-path
+        // check too, since tests in this binary share the process env.)
+        std::env::set_var("TTHR_BENCH_JSON", "/tmp/custom-bench.json");
+        assert_eq!(
+            bench_json_path(),
+            std::path::PathBuf::from("/tmp/custom-bench.json")
+        );
+        std::env::remove_var("TTHR_BENCH_JSON");
+        // Default: walk up from cwd (this crate's dir under `cargo test`) to
+        // the workspace root — the first ancestor with a Cargo.lock.
+        let path = bench_json_path();
+        assert_eq!(path.file_name().unwrap(), "BENCH.json");
+        let root = path.parent().unwrap();
+        assert!(
+            root.join("Cargo.lock").is_file(),
+            "default path {} is not anchored at a Cargo.lock dir",
+            path.display()
+        );
     }
 }

@@ -246,3 +246,47 @@ fn out_of_order_appends_answer_walgap_with_both_stamps() {
         other => panic!("clean append must ack, got {other:?}"),
     }
 }
+
+#[test]
+fn restarted_node_pool_is_evicted_without_burning_retries() {
+    // A "node restart" as the client pool sees it: each accepted
+    // connection answers exactly one request and is then closed
+    // server-side, so the socket the client pooled after its reply is
+    // dead by the time of the next checkout. Before PR 8 the pool
+    // handed that corpse out anyway — the request failed, the pool
+    // flushed, and a retry (plus its backoff sleep) was burned. The
+    // checkout probe must evict it instead: zero retries, a clean
+    // redial.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let Ok((mut conn, _)) = listener.accept() else {
+                return;
+            };
+            if read_frame(&mut conn).ok().flatten().is_some() {
+                let _ = conn.write_all(&encode_frame(&Message::Ok));
+            }
+            // `conn` drops here: FIN lands in the client's pooled socket.
+        }
+    });
+
+    let client = NodeClient::new(addr, quick());
+    assert_eq!(
+        client.request(&Message::Health).expect("first request"),
+        Message::Ok
+    );
+    assert_eq!(client.connects(), 1);
+
+    // Let the server's FIN reach the client socket before checkout.
+    std::thread::sleep(Duration::from_millis(100));
+
+    assert_eq!(
+        client.request(&Message::Health).expect("second request"),
+        Message::Ok
+    );
+    assert_eq!(client.retries(), 0, "stale pooled socket burned a retry");
+    assert_eq!(client.evicted(), 1, "checkout probe must evict the corpse");
+    assert_eq!(client.connects(), 2, "the second request redialed fresh");
+    server.join().unwrap();
+}

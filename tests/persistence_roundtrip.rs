@@ -477,6 +477,176 @@ fn sharded_wal_records_skipping_ahead_or_misrouted_are_typed_errors() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+// ---------------------------------------------------------------------
+// Group commit: concurrent `append_new` callers share WAL fsyncs, every
+// acked append is durable, and a crash between any two records recovers
+// exactly the stamped prefix.
+// ---------------------------------------------------------------------
+
+use tthr::trajectory::{TrajEntry, TrajId, UserId};
+
+const FLOOD_THREADS: usize = 16;
+
+/// One single-trajectory payload per flood thread, drawn from the half of
+/// the history the snapshot does not cover.
+fn flood_payloads(set: &TrajectorySet, from: usize) -> Vec<(UserId, Vec<TrajEntry>)> {
+    (from..from + FLOOD_THREADS)
+        .map(|i| {
+            let t = set.get(TrajId(u32::try_from(i).unwrap()));
+            (t.user(), t.entries().to_vec())
+        })
+        .collect()
+}
+
+/// Floods the service with one `append_new` per payload from
+/// [`FLOOD_THREADS`] threads while the index read lock is held: the first
+/// elected leader blocks inside its commit (it needs the write lock), so
+/// the remaining submitters pile into the group queue — the worst case
+/// group commit exists to amortize — and every ack means "fsynced".
+fn group_commit_flood(service: &QueryService<SntIndex>, payloads: &[(UserId, Vec<TrajEntry>)]) {
+    std::thread::scope(|s| {
+        let handles = service.with_index(|_held| {
+            let handles: Vec<_> = payloads
+                .iter()
+                .map(|payload| {
+                    s.spawn(move || service.append_new(None, std::slice::from_ref(payload)))
+                })
+                .collect();
+            // Give every thread time to reach `submit` before the lock
+            // releases; stragglers only cost extra (counted) fsyncs.
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            handles
+        });
+        for handle in handles {
+            assert_eq!(handle.join().unwrap().unwrap(), 1);
+        }
+    });
+}
+
+/// Reads a bare counter sample (`name value`) out of the Prometheus
+/// exposition.
+fn counter_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)?
+                .strip_prefix(' ')?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("{name} missing from exposition:\n{text}"))
+}
+
+#[test]
+fn concurrent_append_flood_shares_fsyncs_across_appends() {
+    let dir = temp_dir("group-flood");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let half = set.len() / 2;
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &prefix_set(&set, half), SntConfig::default()),
+        Arc::clone(&network),
+        ServiceConfig::default(),
+    );
+    service.save_snapshot(&dir).unwrap();
+
+    group_commit_flood(&service, &flood_payloads(&set, half));
+
+    // The amortization is the whole point: one WAL record per append, but
+    // strictly fewer fsyncs than appends (the held lock guarantees at
+    // least one multi-request group formed).
+    let text = service.render_metrics();
+    let appends = counter_value(&text, "tthr_wal_appends_total");
+    let fsyncs = counter_value(&text, "tthr_wal_fsyncs_total");
+    assert_eq!(appends, FLOOD_THREADS as u64);
+    assert!(
+        fsyncs >= 1 && fsyncs < appends,
+        "group commit must amortize: {fsyncs} fsyncs for {appends} appends"
+    );
+
+    // Every acked append is durable, and replaying the group-committed
+    // log reproduces the live index byte for byte.
+    let reopened =
+        QueryService::open(&dir, Arc::clone(&network), ServiceConfig::default()).unwrap();
+    reopened.with_index(|index| assert_eq!(index.num_trajectories(), half + FLOOD_THREADS));
+    for spq in &workload(&set) {
+        assert_eq!(bits(&reopened, spq), bits(&service, spq), "{spq:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn group_committed_wal_recovers_every_record_prefix() {
+    let dir = temp_dir("group-crash");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let half = set.len() / 2;
+    let queries = workload(&set);
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &prefix_set(&set, half), SntConfig::default()),
+        Arc::clone(&network),
+        ServiceConfig::default(),
+    );
+    service.save_snapshot(&dir).unwrap();
+
+    group_commit_flood(&service, &flood_payloads(&set, half));
+    let live: Vec<_> = queries.iter().map(|q| bits(&service, q)).collect();
+    drop(service);
+
+    // However the groups formed, the log holds one stamped record per
+    // acked append, in commit order.
+    let wal_path = dir.join(WAL_FILE);
+    let pristine = std::fs::read(&wal_path).unwrap();
+    let frames = wal_frames(&pristine);
+    assert_eq!(frames.len(), FLOOD_THREADS, "one record per acked append");
+
+    // Crash battery: a crash between any two records — and, torn, in the
+    // middle of the next write — recovers exactly the stamped prefix.
+    // Requests a group leader had not yet fsynced were never acked, so a
+    // shorter log never loses an acknowledged append.
+    for k in 0..=frames.len() {
+        let end = match k.checked_sub(1) {
+            None => 12, // file header only
+            Some(last) => {
+                let (start, len) = frames[last];
+                start + 8 + len
+            }
+        };
+        let mut cut = pristine[..end].to_vec();
+        std::fs::write(&wal_path, &cut).unwrap();
+        let reopened =
+            QueryService::open(&dir, Arc::clone(&network), ServiceConfig::default()).unwrap();
+        reopened.with_index(|index| {
+            assert_eq!(index.num_trajectories(), half + k, "prefix of {k} records");
+        });
+        drop(reopened);
+
+        if k < frames.len() {
+            let (start, len) = frames[k];
+            cut.extend_from_slice(&pristine[start..start + 8 + len / 2]);
+            std::fs::write(&wal_path, &cut).unwrap();
+            let torn =
+                QueryService::open(&dir, Arc::clone(&network), ServiceConfig::default()).unwrap();
+            torn.with_index(|index| {
+                assert_eq!(index.num_trajectories(), half + k, "torn record {k}");
+            });
+        }
+    }
+
+    // The full log replays to the exact live answers, and replay is
+    // idempotent: a second open over the same bytes agrees with itself.
+    std::fs::write(&wal_path, &pristine).unwrap();
+    let replayed =
+        QueryService::open(&dir, Arc::clone(&network), ServiceConfig::default()).unwrap();
+    for (spq, want) in queries.iter().zip(&live) {
+        assert_eq!(&bits(&replayed, spq), want, "{spq:?}");
+    }
+    drop(replayed);
+    let again = QueryService::open(&dir, Arc::clone(&network), ServiceConfig::default()).unwrap();
+    again.with_index(|index| assert_eq!(index.num_trajectories(), half + FLOOD_THREADS));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn wal_records_skipping_ahead_are_a_gap_error() {
     let dir = temp_dir("gap");
