@@ -11,9 +11,10 @@
 //!   idempotency of [`NodeWalRecord`] application, is *every* request),
 //!   and atomic connect/retry counters the fault suite asserts against.
 //! * [`ClusterRouter`] — the scatter-gather tier. Holds the
-//!   [`ShardRouter`] first-edge table and one [`NodeClient`] per shard;
-//!   single-shard SPQ primitives route by the traverse path's first edge,
-//!   appends fan out one planned [`NodeWalRecord`] to every node, and
+//!   [`ShardRouter`] first-edge table and, per shard, an **endpoint
+//!   list** (the primary plus any standbys); single-shard SPQ primitives
+//!   route by the traverse path's first edge, appends fan out one
+//!   planned [`NodeWalRecord`] to every shard, and
 //!   [`ClusterRouter::trip_query`] runs the full shift-and-enlarge
 //!   [`QueryEngine`] locally over a remote backend.
 //!
@@ -28,14 +29,35 @@
 //!
 //! # Failure semantics
 //!
-//! A node that cannot be reached within the configured retry budget
-//! surfaces as [`ClusterError::ShardUnavailable`] — queries never
-//! silently degrade to partial answers. Inside a running
-//! [`QueryEngine`], a backend trait method cannot return `Result`, so the
-//! remote backend parks the first error in a slot and returns a harmless
-//! non-empty dummy (the engine terminates promptly instead of relaxing
-//! forever against empty answers); [`ClusterRouter::trip_query`] checks
-//! the slot before returning and propagates the parked error.
+//! A shard that cannot be reached on any admissible endpoint within the
+//! configured retry budget surfaces as
+//! [`ClusterError::ShardUnavailable`] — queries never silently degrade
+//! to partial answers. Inside a running [`QueryEngine`], a backend trait
+//! method cannot return `Result`, so the remote backend parks the first
+//! error in a slot and returns a harmless non-empty dummy (the engine
+//! terminates promptly instead of relaxing forever against empty
+//! answers); [`ClusterRouter::trip_query`] checks the slot before
+//! returning and propagates the parked error.
+//!
+//! # Failover
+//!
+//! Every endpoint carries a circuit breaker (closed → open after
+//! consecutive transport failures → half-open trials after a cooldown).
+//! When a shard's preferred endpoint exhausts its retry budget, reads
+//! fail over to the **freshest** reachable endpoint whose applied stamp
+//! has caught up with the router's confirmed progress — a stale standby
+//! is never preferred over a fresher one. Appends acquire a primary:
+//! a live endpoint already in the primary role wins (so the router heals
+//! back to a recovered real primary on its own); otherwise the freshest
+//! *caught-up* standby is promoted via `Promote`. A standby behind
+//! acknowledged progress is never promoted — asynchronous replication
+//! means such a promotion would silently lose acknowledged appends, so
+//! the router answers with a typed error instead. Re-sending a stamped
+//! record to the new primary is safe either way: application dedupes by
+//! base stamp, so an append retried across a promotion applies exactly
+//! once. Before any traffic switches to a failover endpoint, the
+//! connect-time consistency cross-checks (shard identity, cluster
+//! shape, routing table) are re-run against it once and cached.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,17 +65,18 @@
 use std::cell::RefCell;
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use tthr_core::node::plan_node_records;
 use tthr_core::{
     CardinalityMode, IndexBackend, NodeWalRecord, QueryEngine, QueryEngineConfig, SearchScratch,
     ShardRouter, Spq, TimeInterval, TravelTimeProvider, TravelTimes, TripQuery, TtValues,
 };
+use tthr_metrics::{Counter, Gauge, MetricsRegistry};
 use tthr_network::{RoadNetwork, Timestamp};
-use tthr_rpc::{read_frame, write_frame, ErrCode, FrameError, Message, NodeMeta, WireError};
+use tthr_rpc::{read_frame, write_frame, ErrCode, FrameError, Message, NodeMeta, Role, WireError};
 use tthr_store::StoreError;
 use tthr_trajectory::{TrajEntry, UserId};
 
@@ -64,12 +87,12 @@ use tthr_trajectory::{TrajEntry, UserId};
 /// Typed failure of a cluster operation.
 #[derive(Debug)]
 pub enum ClusterError {
-    /// A shard node could not be reached (or stopped responding) within
+    /// A shard could not be served by any admissible endpoint within
     /// the configured retry budget.
     ShardUnavailable {
-        /// The shard whose node is unreachable.
+        /// The shard whose nodes are unreachable.
         shard: u16,
-        /// The node's address.
+        /// The preferred endpoint's address.
         addr: SocketAddr,
         /// The final transport error after retries were exhausted.
         source: io::Error,
@@ -322,10 +345,130 @@ impl NodeClient {
 }
 
 // ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker tuning, shared by every endpoint of a router.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects traffic before admitting
+    /// half-open trial requests.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The observable state of an endpoint's circuit breaker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, consecutive failures are being counted.
+    Closed,
+    /// Cooldown elapsed: trial traffic is admitted; one success closes
+    /// the breaker, one failure re-opens it.
+    HalfOpen,
+    /// Tripped: traffic is rejected until the cooldown elapses.
+    Open,
+}
+
+impl BreakerState {
+    /// Encoding used by the `tthr_breaker_state` gauge:
+    /// 0 closed, 1 half-open, 2 open.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+enum BreakerInner {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// A per-endpoint circuit breaker. Transport failures (retry budget
+/// exhausted) count against it; *any* completed exchange — including a
+/// typed error frame — counts as success, because a node that answers
+/// is alive. An open breaker lets the router skip an endpoint that is
+/// known-dead without burning a full retry budget on it, and the
+/// half-open state re-admits it gradually once the cooldown elapses.
+struct Breaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            inner: Mutex::new(BreakerInner::Closed { failures: 0 }),
+        }
+    }
+
+    /// Whether a request may be sent through this breaker right now.
+    /// An open breaker whose cooldown has elapsed transitions to
+    /// half-open and admits the request as a trial. Half-open admits
+    /// every caller (a trial may be skipped by staleness filters
+    /// downstream; admitting only one would wedge the breaker).
+    fn allow(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match *inner {
+            BreakerInner::Closed { .. } | BreakerInner::HalfOpen => true,
+            BreakerInner::Open { since } => {
+                if since.elapsed() >= self.config.cooldown {
+                    *inner = BreakerInner::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        *self.inner.lock().expect("breaker lock") = BreakerInner::Closed { failures: 0 };
+    }
+
+    fn on_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        *inner = match *inner {
+            BreakerInner::Closed { failures } if failures + 1 < self.config.failure_threshold => {
+                BreakerInner::Closed {
+                    failures: failures + 1,
+                }
+            }
+            _ => BreakerInner::Open {
+                since: Instant::now(),
+            },
+        };
+    }
+
+    fn state(&self) -> BreakerState {
+        match *self.inner.lock().expect("breaker lock") {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { .. } => BreakerState::Open,
+            BreakerInner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ClusterRouter
 // ---------------------------------------------------------------------------
 
 /// Per-node transport counters, for observability and the fault suite.
+/// Reported for each shard's currently **preferred** endpoint.
 #[derive(Clone, Debug)]
 pub struct NodeStats {
     /// The shard this node serves.
@@ -340,6 +483,51 @@ pub struct NodeStats {
     pub evicted: u64,
 }
 
+/// One shard's health report, from [`ClusterRouter::health`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardHealth {
+    /// The shard reporting.
+    pub shard: u16,
+    /// The endpoint that answered (the shard's preferred endpoint).
+    pub addr: SocketAddr,
+    /// The endpoint's replication role.
+    pub role: Role,
+    /// Records the endpoint has applied (global count at its stamp).
+    pub applied_stamp: u64,
+    /// Stamp of the endpoint's on-disk snapshot.
+    pub snapshot_stamp: u64,
+}
+
+/// An endpoint's replication status, as seen by the last probe.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplInfo {
+    /// Primary or standby.
+    pub role: Role,
+    /// Records applied (global count at the endpoint's stamp).
+    pub applied_stamp: u64,
+    /// Stamp of the endpoint's on-disk snapshot.
+    pub snapshot_stamp: u64,
+}
+
+/// Failover-router construction options.
+#[derive(Clone, Debug, Default)]
+pub struct RouterConfig {
+    /// Transport knobs for every endpoint's [`NodeClient`].
+    pub client: ClientConfig,
+    /// Circuit-breaker tuning for every endpoint.
+    pub breaker: BreakerConfig,
+    /// Background health-probe cadence. `None` (the default) probes
+    /// endpoints only during failover; `Some(interval)` runs a prober
+    /// thread that refreshes replication status, keeps the lag gauges
+    /// live, and walks open breakers back through half-open to closed
+    /// while the application is idle.
+    pub probe_interval: Option<Duration>,
+    /// Admit read failover to an endpoint *behind* the router's
+    /// confirmed progress. Off by default: a stale answer is a silent
+    /// correctness violation, an unavailability error is typed.
+    pub allow_stale_reads: bool,
+}
+
 /// The router's mirror of cluster-wide append progress, advanced only
 /// after every node acknowledged a batch.
 struct ClusterState {
@@ -348,41 +536,489 @@ struct ClusterState {
     span_max: Timestamp,
 }
 
-/// The scatter-gather query tier over a shard-per-process cluster.
-///
-/// Owns the road network (trip-query planning is local — only SPQ
-/// primitives cross the wire), the first-edge routing table, and one
-/// [`NodeClient`] per shard.
-pub struct ClusterRouter {
-    network: RoadNetwork,
+/// One endpoint of a shard: a client, its breaker, and its last known
+/// replication status.
+struct Endpoint {
+    client: NodeClient,
+    breaker: Breaker,
+    status: Mutex<Option<ReplInfo>>,
+    /// Whether the connect-time consistency cross-checks have run
+    /// against this endpoint (see [`RouterCore::verify_endpoint`]).
+    verified: AtomicBool,
+    breaker_gauge: Gauge,
+    lag_gauge: Gauge,
+}
+
+impl Endpoint {
+    fn on_success(&self) {
+        self.breaker.on_success();
+        self.sync_breaker_gauge();
+    }
+
+    fn on_failure(&self) {
+        self.breaker.on_failure();
+        self.sync_breaker_gauge();
+    }
+
+    fn sync_breaker_gauge(&self) {
+        self.breaker_gauge.set(self.breaker.state().gauge_value());
+    }
+}
+
+/// A shard's endpoint list and its currently preferred endpoint.
+struct ShardSet {
+    endpoints: Vec<Endpoint>,
+    /// Index into `endpoints`: where reads and appends go first.
+    active: AtomicUsize,
+    failovers: Counter,
+}
+
+/// The shared router guts: everything the request paths and the
+/// background prober both touch.
+struct RouterCore {
+    shards: Vec<ShardSet>,
     routing: ShardRouter,
-    nodes: Vec<NodeClient>,
-    engine_config: QueryEngineConfig,
+    registry: MetricsRegistry,
+    probe_failures: Counter,
+    config: RouterConfig,
     state: Mutex<ClusterState>,
 }
 
-impl ClusterRouter {
-    /// Connects to every node, cross-checks the cluster's shape, and
-    /// assembles the routing tier.
+impl RouterCore {
+    /// A typed unavailability for `shard`, attributed to its preferred
+    /// endpoint.
+    fn unavailable(&self, shard: u16, why: String) -> ClusterError {
+        let set = &self.shards[shard as usize];
+        let active = set.active.load(Ordering::Acquire);
+        ClusterError::ShardUnavailable {
+            shard,
+            addr: set.endpoints[active].client.addr(),
+            source: io::Error::new(ErrorKind::NotConnected, why),
+        }
+    }
+
+    /// One `Health` exchange with an endpoint, recording the result in
+    /// its status slot and breaker. Returns `None` on any failure.
+    fn probe_endpoint(&self, shard: u16, idx: usize) -> Option<ReplInfo> {
+        let ep = &self.shards[shard as usize].endpoints[idx];
+        match rpc_on(&ep.client, shard, &Message::Health) {
+            Ok(Message::ReplStatus {
+                role,
+                applied_stamp,
+                snapshot_stamp,
+            }) => {
+                let info = ReplInfo {
+                    role,
+                    applied_stamp,
+                    snapshot_stamp,
+                };
+                *ep.status.lock().expect("status lock") = Some(info);
+                ep.on_success();
+                Some(info)
+            }
+            _ => {
+                ep.on_failure();
+                self.probe_failures.inc();
+                None
+            }
+        }
+    }
+
+    /// One probing sweep over every endpoint whose breaker admits it.
+    /// Keeps the lag gauges live and walks recovered endpoints' open
+    /// breakers back to closed (via the half-open trial the probe is).
+    fn probe_all(&self) {
+        let need = self.state.lock().expect("state lock").num_global;
+        for (shard, set) in self.shards.iter().enumerate() {
+            for (idx, ep) in set.endpoints.iter().enumerate() {
+                if !ep.breaker.allow() {
+                    ep.sync_breaker_gauge();
+                    continue;
+                }
+                if let Some(info) = self.probe_endpoint(shard as u16, idx) {
+                    ep.lag_gauge
+                        .set(need.saturating_sub(info.applied_stamp) as i64);
+                }
+            }
+        }
+    }
+
+    /// Re-runs the connect-time consistency cross-checks against an
+    /// endpoint the router is about to fail over to: shard identity,
+    /// cluster shape, and routing-table equality. Construction only
+    /// verified each shard's *first* endpoint; switching traffic to an
+    /// unverified one without these checks would let a misconfigured
+    /// standby (wrong shard, wrong cluster) answer queries. The result
+    /// is cached per endpoint — verification is one-time, not
+    /// per-request. (Counts and spans are deliberately *not* compared:
+    /// a standby legitimately lags; the stamp filters of the failover
+    /// paths bound that.)
+    fn verify_endpoint(&self, shard: u16, ep: &Endpoint) -> Result<(), ClusterError> {
+        if ep.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let meta = match rpc_on(&ep.client, shard, &Message::GetMeta)? {
+            Message::Meta(meta) => meta,
+            other => {
+                return Err(ClusterError::Unexpected(format!(
+                    "GetMeta answered with {other:?}"
+                )))
+            }
+        };
+        if meta.shard != shard {
+            return Err(ClusterError::Inconsistent(format!(
+                "endpoint {} serves shard {}, expected {shard}",
+                ep.client.addr(),
+                meta.shard
+            )));
+        }
+        if meta.num_shards as usize != self.shards.len() {
+            return Err(ClusterError::Inconsistent(format!(
+                "endpoint {} believes the cluster has {} shards, router has {}",
+                ep.client.addr(),
+                meta.num_shards,
+                self.shards.len()
+            )));
+        }
+        let routing = match rpc_on(&ep.client, shard, &Message::GetRouting)? {
+            Message::Routing(routing) => routing,
+            other => {
+                return Err(ClusterError::Unexpected(format!(
+                    "GetRouting answered with {other:?}"
+                )))
+            }
+        };
+        if routing != self.routing {
+            return Err(ClusterError::Inconsistent(format!(
+                "endpoint {} disagrees on the routing table",
+                ep.client.addr()
+            )));
+        }
+        ep.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Routes a read to the shard's preferred endpoint, failing over on
+    /// transport exhaustion. Typed remote errors are final — the node
+    /// answered, so retrying elsewhere cannot change the outcome.
+    fn query(&self, shard: u16, message: &Message) -> Result<Message, ClusterError> {
+        let set = &self.shards[shard as usize];
+        let active = set.active.load(Ordering::Acquire);
+        let mut last: Option<ClusterError> = None;
+        if set.endpoints[active].breaker.allow() {
+            let ep = &set.endpoints[active];
+            match rpc_on(&ep.client, shard, message) {
+                Ok(reply) => {
+                    ep.on_success();
+                    return Ok(reply);
+                }
+                Err(e @ ClusterError::ShardUnavailable { .. }) => {
+                    ep.on_failure();
+                    last = Some(e);
+                }
+                Err(e) => {
+                    ep.on_success();
+                    return Err(e);
+                }
+            }
+        }
+        self.failover_read(shard, message, active, last)
+    }
+
+    /// The read failover path: probe every other admissible endpoint,
+    /// try them freshest-first (never preferring a stale standby over a
+    /// fresher one), filter out endpoints behind the router's confirmed
+    /// count (unless stale reads are admitted), verify, and make the
+    /// first endpoint that answers the new preferred one.
+    fn failover_read(
+        &self,
+        shard: u16,
+        message: &Message,
+        active: usize,
+        mut last: Option<ClusterError>,
+    ) -> Result<Message, ClusterError> {
+        let set = &self.shards[shard as usize];
+        let need = self.state.lock().expect("state lock").num_global;
+        let mut candidates: Vec<(usize, ReplInfo)> = Vec::new();
+        for (idx, ep) in set.endpoints.iter().enumerate() {
+            if idx == active || !ep.breaker.allow() {
+                continue;
+            }
+            if let Some(info) = self.probe_endpoint(shard, idx) {
+                ep.lag_gauge
+                    .set(need.saturating_sub(info.applied_stamp) as i64);
+                candidates.push((idx, info));
+            }
+        }
+        candidates.sort_by_key(|&(_, info)| std::cmp::Reverse(info.applied_stamp));
+        for (idx, info) in candidates {
+            // `>=`, not `==`: an endpoint can legitimately be *ahead* of
+            // the router's confirmed count after a lost append ack;
+            // stamped idempotency makes reading it safe.
+            if info.applied_stamp < need && !self.config.allow_stale_reads {
+                last = Some(self.unavailable(
+                    shard,
+                    format!(
+                        "freshest reachable standby at stamp {} is behind confirmed {need}",
+                        info.applied_stamp
+                    ),
+                ));
+                continue;
+            }
+            let ep = &set.endpoints[idx];
+            if let Err(e) = self.verify_endpoint(shard, ep) {
+                last = Some(e);
+                continue;
+            }
+            match rpc_on(&ep.client, shard, message) {
+                Ok(reply) => {
+                    ep.on_success();
+                    if set.active.swap(idx, Ordering::AcqRel) != idx {
+                        set.failovers.inc();
+                    }
+                    return Ok(reply);
+                }
+                Err(e @ ClusterError::ShardUnavailable { .. }) => {
+                    ep.on_failure();
+                    last = Some(e);
+                }
+                Err(e) => {
+                    ep.on_success();
+                    return Err(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            self.unavailable(shard, "no admissible endpoint (breakers open)".into())
+        }))
+    }
+
+    /// Finds — or creates, via `Promote` — a primary for `shard` whose
+    /// applied stamp has reached `need`, makes it the preferred
+    /// endpoint, and returns its index.
     ///
-    /// Nodes may be listed in any order — each reports its shard id and
-    /// the constructor sorts them into place. Fails with
-    /// [`ClusterError::Inconsistent`] if the nodes disagree on shard
-    /// count, global progress, or data span; if any shard is missing or
-    /// duplicated; or if the routing table does not match `network`.
+    /// A live endpoint already in the primary role wins over promoting
+    /// anything (so after a transient partition the router converges
+    /// back to the real primary without issuing `Promote`). Otherwise
+    /// the freshest caught-up standby is promoted. An endpoint behind
+    /// `need` is **never** promoted: asynchronous replication means that
+    /// promotion would silently drop acknowledged appends — refusing
+    /// with a typed error keeps the loss visible and retryable.
+    fn acquire_primary(&self, shard: u16, need: u64) -> Result<usize, ClusterError> {
+        let set = &self.shards[shard as usize];
+        let mut candidates: Vec<(usize, ReplInfo)> = Vec::new();
+        for (idx, ep) in set.endpoints.iter().enumerate() {
+            if !ep.breaker.allow() {
+                continue;
+            }
+            if let Some(info) = self.probe_endpoint(shard, idx) {
+                ep.lag_gauge
+                    .set(need.saturating_sub(info.applied_stamp) as i64);
+                candidates.push((idx, info));
+            }
+        }
+        candidates.sort_by_key(|&(idx, info)| {
+            (
+                std::cmp::Reverse(info.applied_stamp),
+                info.role != Role::Primary,
+                idx,
+            )
+        });
+        let mut last: Option<ClusterError> = None;
+        let mut best_behind: Option<u64> = None;
+        for (idx, info) in candidates {
+            if info.applied_stamp < need {
+                best_behind =
+                    Some(best_behind.map_or(info.applied_stamp, |b| b.max(info.applied_stamp)));
+                continue;
+            }
+            let ep = &set.endpoints[idx];
+            if let Err(e) = self.verify_endpoint(shard, ep) {
+                last = Some(e);
+                continue;
+            }
+            if info.role != Role::Primary {
+                match rpc_on(&ep.client, shard, &Message::Promote) {
+                    Ok(Message::ReplStatus {
+                        role: Role::Primary,
+                        ..
+                    }) => ep.on_success(),
+                    Ok(other) => {
+                        last = Some(ClusterError::Unexpected(format!(
+                            "Promote answered with {other:?}"
+                        )));
+                        continue;
+                    }
+                    Err(e @ ClusterError::ShardUnavailable { .. }) => {
+                        ep.on_failure();
+                        last = Some(e);
+                        continue;
+                    }
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            if set.active.swap(idx, Ordering::AcqRel) != idx {
+                set.failovers.inc();
+            }
+            return Ok(idx);
+        }
+        Err(last.unwrap_or_else(|| {
+            let why = match best_behind {
+                Some(stamp) => format!(
+                    "no caught-up endpoint to promote: freshest reachable at stamp {stamp}, \
+                     confirmed progress {need} (refusing lossy promotion)"
+                ),
+                None => "no reachable endpoint to promote".into(),
+            };
+            self.unavailable(shard, why)
+        }))
+    }
+
+    /// Sends one planned record to the shard's primary, redirecting
+    /// through [`RouterCore::acquire_primary`] when the preferred
+    /// endpoint is gone or answers `NotPrimary` (it was demoted, or the
+    /// router failed reads over to a standby earlier). The re-send after
+    /// promotion is safe: application dedupes by base stamp, so a record
+    /// the dead primary already replicated applies exactly once.
+    fn append_record(
+        &self,
+        shard: u16,
+        record: &NodeWalRecord,
+        need: u64,
+    ) -> Result<(), ClusterError> {
+        let set = &self.shards[shard as usize];
+        let active = set.active.load(Ordering::Acquire);
+        if set.endpoints[active].breaker.allow() {
+            let ep = &set.endpoints[active];
+            match rpc_on(&ep.client, shard, &Message::Append(record.clone())) {
+                Ok(Message::Appended { .. }) => {
+                    ep.on_success();
+                    return Ok(());
+                }
+                Ok(other) => {
+                    ep.on_success();
+                    return Err(ClusterError::Unexpected(format!(
+                        "Append answered with {other:?}"
+                    )));
+                }
+                Err(ClusterError::Remote {
+                    code: ErrCode::NotPrimary,
+                    ..
+                }) => {
+                    // The endpoint is alive but a standby — fall through
+                    // to the promotion path.
+                    ep.on_success();
+                }
+                Err(e @ ClusterError::ShardUnavailable { .. }) => {
+                    ep.on_failure();
+                    drop(e);
+                }
+                Err(e) => {
+                    ep.on_success();
+                    return Err(e);
+                }
+            }
+        }
+        let idx = self.acquire_primary(shard, need)?;
+        let ep = &set.endpoints[idx];
+        match rpc_on(&ep.client, shard, &Message::Append(record.clone())) {
+            Ok(Message::Appended { .. }) => {
+                ep.on_success();
+                Ok(())
+            }
+            Ok(other) => Err(ClusterError::Unexpected(format!(
+                "Append answered with {other:?}"
+            ))),
+            Err(e @ ClusterError::ShardUnavailable { .. }) => {
+                ep.on_failure();
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The scatter-gather query tier over a shard-per-process cluster.
+///
+/// Owns the road network (trip-query planning is local — only SPQ
+/// primitives cross the wire), the first-edge routing table, and per
+/// shard an endpoint list (primary first, then standbys) with automatic
+/// failover — see the module docs. Dropping the router stops its
+/// background prober thread, if one was configured.
+pub struct ClusterRouter {
+    network: RoadNetwork,
+    engine_config: QueryEngineConfig,
+    core: Arc<RouterCore>,
+    prober_stop: Arc<AtomicBool>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ClusterRouter {
+    fn drop(&mut self) {
+        self.prober_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.prober.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ClusterRouter {
+    /// Connects to a cluster with one endpoint per shard (no standbys)
+    /// using default failover tuning. See
+    /// [`ClusterRouter::connect_with_standbys`].
     pub fn connect(
         network: RoadNetwork,
         addrs: &[SocketAddr],
         engine_config: QueryEngineConfig,
         client_config: ClientConfig,
     ) -> Result<Self, ClusterError> {
-        if addrs.is_empty() {
+        let groups: Vec<Vec<SocketAddr>> = addrs.iter().map(|&a| vec![a]).collect();
+        Self::connect_with_standbys(
+            network,
+            &groups,
+            engine_config,
+            RouterConfig {
+                client: client_config,
+                ..RouterConfig::default()
+            },
+        )
+    }
+
+    /// Connects to every shard's first endpoint (its primary),
+    /// cross-checks the cluster's shape, and assembles the routing tier.
+    /// Each group lists one shard's endpoints: the primary first, then
+    /// any standbys (probed and verified lazily, on failover or by the
+    /// background prober).
+    ///
+    /// Groups may be listed in any order — each primary reports its
+    /// shard id and the constructor sorts them into place. Fails with
+    /// [`ClusterError::Inconsistent`] if the primaries disagree on shard
+    /// count, global progress, or data span; if any shard is missing or
+    /// duplicated; or if the routing table does not match `network`.
+    pub fn connect_with_standbys(
+        network: RoadNetwork,
+        groups: &[Vec<SocketAddr>],
+        engine_config: QueryEngineConfig,
+        config: RouterConfig,
+    ) -> Result<Self, ClusterError> {
+        if groups.is_empty() {
             return Err(ClusterError::Inconsistent("no node addresses given".into()));
         }
-        let mut metas: Vec<(NodeMeta, NodeClient)> = Vec::with_capacity(addrs.len());
-        for &addr in addrs {
-            let client = NodeClient::new(addr, client_config.clone());
-            let meta = match rpc_on(&client, 0, &Message::GetMeta)? {
+        if let Some(empty) = groups.iter().position(|group| group.is_empty()) {
+            return Err(ClusterError::Inconsistent(format!(
+                "shard group {empty} lists no endpoints"
+            )));
+        }
+        let mut metas: Vec<(NodeMeta, Vec<NodeClient>)> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let clients: Vec<NodeClient> = group
+                .iter()
+                .map(|&addr| NodeClient::new(addr, config.client.clone()))
+                .collect();
+            let meta = match rpc_on(&clients[0], 0, &Message::GetMeta)? {
                 Message::Meta(meta) => meta,
                 other => {
                     return Err(ClusterError::Unexpected(format!(
@@ -390,17 +1026,17 @@ impl ClusterRouter {
                     )))
                 }
             };
-            metas.push((meta, client));
+            metas.push((meta, clients));
         }
         let first = metas[0].0.clone();
         let (num_global, span_min, span_max) = (first.num_global, first.span_min, first.span_max);
-        for (meta, client) in &metas {
-            if meta.num_shards as usize != addrs.len() {
+        for (meta, clients) in &metas {
+            if meta.num_shards as usize != groups.len() {
                 return Err(ClusterError::Inconsistent(format!(
-                    "node {} believes the cluster has {} shards, {} addresses given",
-                    client.addr(),
+                    "node {} believes the cluster has {} shards, {} endpoint groups given",
+                    clients[0].addr(),
                     meta.num_shards,
-                    addrs.len()
+                    groups.len()
                 )));
             }
             if meta.num_global != num_global {
@@ -417,17 +1053,17 @@ impl ClusterRouter {
             }
         }
         metas.sort_by_key(|(meta, _)| meta.shard);
-        for (expected, (meta, client)) in metas.iter().enumerate() {
+        for (expected, (meta, clients)) in metas.iter().enumerate() {
             if meta.shard as usize != expected {
                 return Err(ClusterError::Inconsistent(format!(
                     "shard {expected} missing or duplicated (node {} serves shard {})",
-                    client.addr(),
+                    clients[0].addr(),
                     meta.shard
                 )));
             }
         }
         let num_edges = first.num_edges;
-        let routing = match rpc_on(&metas[0].1, metas[0].0.shard, &Message::GetRouting)? {
+        let routing = match rpc_on(&metas[0].1[0], metas[0].0.shard, &Message::GetRouting)? {
             Message::Routing(routing) => routing,
             other => {
                 return Err(ClusterError::Unexpected(format!(
@@ -435,11 +1071,11 @@ impl ClusterRouter {
                 )))
             }
         };
-        if routing.num_shards() != addrs.len() {
+        if routing.num_shards() != groups.len() {
             return Err(ClusterError::Inconsistent(format!(
                 "routing table covers {} shards, cluster has {}",
                 routing.num_shards(),
-                addrs.len()
+                groups.len()
             )));
         }
         if routing.num_edges() as u64 != num_edges || routing.num_edges() != network.num_edges() {
@@ -450,27 +1086,104 @@ impl ClusterRouter {
                 network.num_edges()
             )));
         }
-        Ok(ClusterRouter {
-            network,
+
+        let registry = MetricsRegistry::new();
+        let probe_failures = registry.counter(
+            "tthr_probe_failures_total",
+            "Failed endpoint health probes (transport or protocol)",
+            &[],
+        );
+        let mut shards = Vec::with_capacity(metas.len());
+        for (shard, (_, clients)) in metas.into_iter().enumerate() {
+            let shard_label = shard.to_string();
+            let failovers = registry.counter(
+                "tthr_failovers_total",
+                "Preferred-endpoint switches (read failover or append promotion)",
+                &[("shard", shard_label.as_str())],
+            );
+            let mut endpoints = Vec::with_capacity(clients.len());
+            for (idx, client) in clients.into_iter().enumerate() {
+                let addr_label = client.addr().to_string();
+                let endpoint = Endpoint {
+                    breaker: Breaker::new(config.breaker.clone()),
+                    status: Mutex::new(None),
+                    // The cross-checks above ran against each group's
+                    // first endpoint; the rest verify before first use.
+                    verified: AtomicBool::new(idx == 0),
+                    breaker_gauge: registry.gauge(
+                        "tthr_breaker_state",
+                        "Circuit-breaker state per endpoint (0 closed, 1 half-open, 2 open)",
+                        &[("endpoint", addr_label.as_str())],
+                    ),
+                    lag_gauge: registry.gauge(
+                        "tthr_repl_lag_records",
+                        "Confirmed records the endpoint has not applied yet",
+                        &[
+                            ("shard", shard_label.as_str()),
+                            ("endpoint", addr_label.as_str()),
+                        ],
+                    ),
+                    client,
+                };
+                endpoint.sync_breaker_gauge();
+                endpoints.push(endpoint);
+            }
+            shards.push(ShardSet {
+                endpoints,
+                active: AtomicUsize::new(0),
+                failovers,
+            });
+        }
+        let probe_interval = config.probe_interval;
+        let core = Arc::new(RouterCore {
+            shards,
             routing,
-            nodes: metas.into_iter().map(|(_, client)| client).collect(),
-            engine_config,
+            registry,
+            probe_failures,
+            config,
             state: Mutex::new(ClusterState {
                 num_global,
                 span_min,
                 span_max,
             }),
+        });
+        let prober_stop = Arc::new(AtomicBool::new(false));
+        let prober = probe_interval.map(|every| {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&prober_stop);
+            std::thread::Builder::new()
+                .name("tthr-router-probe".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        core.probe_all();
+                        // Sleep in slices so Drop joins promptly.
+                        let mut slept = Duration::ZERO;
+                        while slept < every && !stop.load(Ordering::Relaxed) {
+                            let slice = Duration::from_millis(20).min(every - slept);
+                            std::thread::sleep(slice);
+                            slept += slice;
+                        }
+                    }
+                })
+                .expect("spawn router prober")
+        });
+        Ok(ClusterRouter {
+            network,
+            engine_config,
+            core,
+            prober_stop,
+            prober,
         })
     }
 
     /// Number of shards in the cluster.
     pub fn num_shards(&self) -> usize {
-        self.nodes.len()
+        self.core.shards.len()
     }
 
     /// Cluster-wide trajectory count the router has confirmed.
     pub fn num_global(&self) -> u64 {
-        self.state.lock().expect("state lock").num_global
+        self.core.state.lock().expect("state lock").num_global
     }
 
     /// The road network the cluster indexes.
@@ -480,29 +1193,77 @@ impl ClusterRouter {
 
     /// The first-edge routing table.
     pub fn routing(&self) -> &ShardRouter {
-        &self.routing
+        &self.core.routing
     }
 
-    /// Per-node transport counters.
+    /// The router's metrics registry: failovers, breaker states,
+    /// replication lag, probe failures.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.core.registry
+    }
+
+    /// Renders the router's metrics in Prometheus text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.core.registry.render()
+    }
+
+    /// Per-node transport counters, one entry per shard, reported for
+    /// the shard's currently preferred endpoint.
     pub fn node_stats(&self) -> Vec<NodeStats> {
-        self.nodes
+        self.core
+            .shards
             .iter()
             .enumerate()
-            .map(|(shard, node)| NodeStats {
-                shard: shard as u16,
-                addr: node.addr(),
-                connects: node.connects(),
-                retries: node.retries(),
-                evicted: node.evicted(),
+            .map(|(shard, set)| {
+                let active = set.active.load(Ordering::Acquire);
+                let node = &set.endpoints[active].client;
+                NodeStats {
+                    shard: shard as u16,
+                    addr: node.addr(),
+                    connects: node.connects(),
+                    retries: node.retries(),
+                    evicted: node.evicted(),
+                }
             })
             .collect()
     }
 
-    /// Pings every node; the first unreachable shard is the error.
-    pub fn health(&self) -> Result<(), ClusterError> {
-        for shard in 0..self.nodes.len() as u16 {
-            match self.rpc(shard, &Message::Health)? {
-                Message::Ok => {}
+    /// Per-endpoint breaker states for one shard, in configured order.
+    pub fn breaker_states(&self, shard: u16) -> Vec<(SocketAddr, BreakerState)> {
+        self.core.shards[shard as usize]
+            .endpoints
+            .iter()
+            .map(|ep| (ep.client.addr(), ep.breaker.state()))
+            .collect()
+    }
+
+    /// Runs one probing sweep over every endpoint, as the background
+    /// prober would. Useful without a prober thread (tests, CLIs).
+    pub fn probe_now(&self) {
+        self.core.probe_all();
+    }
+
+    /// Pings every shard (following failover like any read); the first
+    /// unreachable shard is the error. Returns each shard's role and
+    /// replication stamps as reported by the endpoint that answered.
+    pub fn health(&self) -> Result<Vec<ShardHealth>, ClusterError> {
+        let mut out = Vec::with_capacity(self.core.shards.len());
+        for shard in 0..self.core.shards.len() as u16 {
+            let reply = self.core.query(shard, &Message::Health)?;
+            let set = &self.core.shards[shard as usize];
+            let active = set.active.load(Ordering::Acquire);
+            match reply {
+                Message::ReplStatus {
+                    role,
+                    applied_stamp,
+                    snapshot_stamp,
+                } => out.push(ShardHealth {
+                    shard,
+                    addr: set.endpoints[active].client.addr(),
+                    role,
+                    applied_stamp,
+                    snapshot_stamp,
+                }),
                 other => {
                     return Err(ClusterError::Unexpected(format!(
                         "Health answered with {other:?}"
@@ -510,13 +1271,14 @@ impl ClusterRouter {
                 }
             }
         }
-        Ok(())
+        Ok(out)
     }
 
-    /// Asks every node to rotate its snapshot (compacting its WAL).
+    /// Asks every shard's preferred endpoint to rotate its snapshot
+    /// (compacting its WAL).
     pub fn snapshot_all(&self) -> Result<(), ClusterError> {
-        for shard in 0..self.nodes.len() as u16 {
-            match self.rpc(shard, &Message::Snapshot)? {
+        for shard in 0..self.core.shards.len() as u16 {
+            match self.core.query(shard, &Message::Snapshot)? {
                 Message::Ok => {}
                 other => {
                     return Err(ClusterError::Unexpected(format!(
@@ -529,18 +1291,14 @@ impl ClusterRouter {
     }
 
     fn shard_for(&self, spq: &Spq) -> u16 {
-        self.routing.shard_of(spq.path.first()) as u16
-    }
-
-    fn rpc(&self, shard: u16, message: &Message) -> Result<Message, ClusterError> {
-        rpc_on(&self.nodes[shard as usize], shard, message)
+        self.core.routing.shard_of(spq.path.first()) as u16
     }
 
     /// `getTravelTimes` routed to the owning shard — byte-identical to
     /// the in-process sharded index by the first-edge exactness argument.
     pub fn travel_times(&self, spq: &Spq) -> Result<TravelTimes, ClusterError> {
         let shard = self.shard_for(spq);
-        match self.rpc(shard, &Message::TravelTimes(spq.clone()))? {
+        match self.core.query(shard, &Message::TravelTimes(spq.clone()))? {
             Message::TravelTimesResult { values, fallback } => Ok(TravelTimes {
                 values: tt_values(values),
                 fallback,
@@ -554,7 +1312,7 @@ impl ClusterRouter {
     /// Capped exact count routed to the owning shard.
     pub fn count_matching(&self, spq: &Spq, cap: u32) -> Result<usize, ClusterError> {
         let shard = self.shard_for(spq);
-        match self.rpc(
+        match self.core.query(
             shard,
             &Message::Count {
                 spq: spq.clone(),
@@ -571,7 +1329,7 @@ impl ClusterRouter {
     /// Cardinality estimate routed to the owning shard.
     pub fn estimate(&self, spq: &Spq, mode: CardinalityMode) -> Result<f64, ClusterError> {
         let shard = self.shard_for(spq);
-        match self.rpc(
+        match self.core.query(
             shard,
             &Message::Estimate {
                 spq: spq.clone(),
@@ -588,7 +1346,7 @@ impl ClusterRouter {
     /// The σ fallback interval `[min(data_min, 0), data_max + 1)`,
     /// mirroring the sharded index's global-span bookkeeping.
     pub fn full_interval(&self) -> TimeInterval {
-        let state = self.state.lock().expect("state lock");
+        let state = self.core.state.lock().expect("state lock");
         TimeInterval::fixed(state.span_min.min(0), state.span_max + 1)
     }
 
@@ -613,7 +1371,10 @@ impl ClusterRouter {
 
     /// Appends a batch cluster-wide: plans one [`NodeWalRecord`] per
     /// shard at the current global base stamp and requires **every**
-    /// node's acknowledgement before bumping the router's counters.
+    /// shard's acknowledgement before bumping the router's counters.
+    /// A shard whose primary died redirects through promotion — see
+    /// the module docs; a record retried across that still applies
+    /// exactly once thanks to base-stamp idempotency.
     ///
     /// Returns the number of trajectories appended. On partial failure
     /// the counters stay put; because record application is idempotent
@@ -624,24 +1385,18 @@ impl ClusterRouter {
         &self,
         trajectories: &[(UserId, Vec<TrajEntry>)],
     ) -> Result<u64, ClusterError> {
-        let mut state = self.state.lock().expect("state lock");
+        let mut state = self.core.state.lock().expect("state lock");
         let records: Vec<NodeWalRecord> = plan_node_records(
-            &self.routing,
+            &self.core.routing,
             state.num_global,
             state.span_min,
             state.span_max,
             trajectories,
         )
         .map_err(|e: StoreError| ClusterError::Invalid(e.to_string()))?;
+        let need = state.num_global;
         for (shard, record) in records.iter().enumerate() {
-            match self.rpc(shard as u16, &Message::Append(record.clone()))? {
-                Message::Appended { .. } => {}
-                other => {
-                    return Err(ClusterError::Unexpected(format!(
-                        "Append answered with {other:?}"
-                    )))
-                }
-            }
+            self.core.append_record(shard as u16, record, need)?;
         }
         let planned = &records[0];
         state.num_global = planned.new_total;
@@ -864,5 +1619,61 @@ mod tests {
             other => panic!("expected WalGap, got {other:?}"),
         }
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_half_open() {
+        let breaker = Breaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(10),
+        });
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow());
+        breaker.on_failure();
+        assert_eq!(
+            breaker.state(),
+            BreakerState::Closed,
+            "one failure is below the threshold"
+        );
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow(), "open breaker rejects before the cooldown");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(
+            breaker.allow(),
+            "cooldown elapsed: half-open trial admitted"
+        );
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open, "failed trial re-opens");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(breaker.allow());
+        breaker.on_success();
+        assert_eq!(
+            breaker.state(),
+            BreakerState::Closed,
+            "successful trial closes"
+        );
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn breaker_counts_consecutive_failures_not_cumulative_ones() {
+        let breaker = Breaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(10),
+        });
+        breaker.on_failure();
+        breaker.on_failure();
+        breaker.on_success();
+        breaker.on_failure();
+        breaker.on_failure();
+        assert_eq!(
+            breaker.state(),
+            BreakerState::Closed,
+            "a success resets the consecutive-failure count"
+        );
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
     }
 }

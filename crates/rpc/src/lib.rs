@@ -28,6 +28,9 @@
 //! | 6   | `Estimate`          | req | SPQ + mode (u8) |
 //! | 7   | `Append`            | req | [`NodeWalRecord`] |
 //! | 8   | `Snapshot`          | req | — |
+//! | 9   | `FetchSnapshot`     | req | resume offset (u64) |
+//! | 10  | `TailWal`           | req | from stamp (u64) |
+//! | 11  | `Promote`           | req | — |
 //! | 16  | `Ok`                | resp | — |
 //! | 17  | `Meta`              | resp | [`NodeMeta`] |
 //! | 18  | `Routing`           | resp | [`ShardRouter`] |
@@ -35,6 +38,9 @@
 //! | 20  | `CountResult`       | resp | u64 |
 //! | 21  | `EstimateResult`    | resp | f64 (bit-exact) |
 //! | 22  | `Appended`          | resp | appended (u64) + total (u64) |
+//! | 23  | `SnapshotChunk`     | resp | stamp + offset + total (u64×3) + bytes |
+//! | 24  | `WalRecords`        | resp | records seq + end stamp (u64) |
+//! | 25  | `ReplStatus`        | resp | role (u8) + applied/snapshot stamps (u64×2) |
 //! | 31  | `Err`               | resp | code (u8) + expected/found (u64×2) + text |
 //!
 //! Decoding never panics on hostile bytes: a wrong length, tag, CRC, or
@@ -131,6 +137,9 @@ pub enum ErrCode {
     WalGap,
     /// The node failed internally (I/O on its WAL, poisoned state, …).
     Internal,
+    /// The node is a standby and refuses writes; appends must go to the
+    /// primary (or be preceded by a [`Message::Promote`]).
+    NotPrimary,
 }
 
 impl ErrCode {
@@ -140,6 +149,7 @@ impl ErrCode {
             ErrCode::Corrupt => 2,
             ErrCode::WalGap => 3,
             ErrCode::Internal => 4,
+            ErrCode::NotPrimary => 5,
         }
     }
 
@@ -149,8 +159,45 @@ impl ErrCode {
             2 => ErrCode::Corrupt,
             3 => ErrCode::WalGap,
             4 => ErrCode::Internal,
+            5 => ErrCode::NotPrimary,
             other => return Err(FrameError::Body(format!("error code {other}"))),
         })
+    }
+}
+
+/// A node's replication role, carried in [`Message::ReplStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts appends and serves reads; the source standbys tail.
+    Primary,
+    /// Read-only warm replica tailing a primary's WAL; rejects appends
+    /// with [`ErrCode::NotPrimary`] until promoted.
+    Standby,
+}
+
+impl Role {
+    fn tag(self) -> u8 {
+        match self {
+            Role::Primary => 0,
+            Role::Standby => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, FrameError> {
+        Ok(match tag {
+            0 => Role::Primary,
+            1 => Role::Standby,
+            other => return Err(FrameError::Body(format!("role tag {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Primary => write!(f, "primary"),
+            Role::Standby => write!(f, "standby"),
+        }
     }
 }
 
@@ -239,7 +286,26 @@ pub enum Message {
     ),
     /// Ask the node to write a fresh snapshot and rotate its WAL.
     Snapshot,
-    /// Generic success (health probes, snapshot requests).
+    /// Fetch the node's serialized shard snapshot in chunks, starting at
+    /// `offset` (0 for a fresh transfer; a bootstrapping standby resumes
+    /// an interrupted transfer by asking for the next byte it needs).
+    FetchSnapshot {
+        /// Byte offset into the snapshot blob to resume from.
+        offset: u64,
+    },
+    /// Stream the node's WAL records from a stamp onward. The node
+    /// answers [`Message::WalRecords`] with every retained record whose
+    /// base stamp is `>= from_stamp`, or [`ErrCode::WalGap`] when the
+    /// stamp predates its retained tail (the standby must re-sync from a
+    /// snapshot).
+    TailWal {
+        /// The caller's applied stamp (its `num_global`).
+        from_stamp: u64,
+    },
+    /// Promote a standby to primary (idempotent on a primary). Answered
+    /// with [`Message::ReplStatus`] reflecting the new role.
+    Promote,
+    /// Generic success (snapshot requests).
     Ok,
     /// The node's self-description.
     Meta(
@@ -276,6 +342,40 @@ pub enum Message {
         /// The node's post-apply global trajectory count.
         total: u64,
     },
+    /// One chunk of a snapshot transfer. `stamp` identifies the blob
+    /// (the node's `num_global` when it was serialized): a resuming
+    /// client that sees the stamp change mid-transfer must restart at
+    /// offset 0, because the blob it was assembling no longer exists.
+    SnapshotChunk {
+        /// `num_global` of the serialized state — the blob's identity.
+        stamp: u64,
+        /// Byte offset of this chunk within the blob.
+        offset: u64,
+        /// Total size of the blob in bytes.
+        total: u64,
+        /// The chunk bytes (`offset + data.len() <= total`).
+        data: Vec<u8>,
+    },
+    /// A page of WAL records answering [`Message::TailWal`].
+    WalRecords {
+        /// Retained records with base stamp `>= from_stamp`, in stamp
+        /// order (possibly capped — re-poll immediately while behind).
+        records: Vec<NodeWalRecord>,
+        /// The node's `num_global` at reply time, so the tailer can see
+        /// remaining lag even on a capped page.
+        end_stamp: u64,
+    },
+    /// Replication status, answering [`Message::Health`] and
+    /// [`Message::Promote`].
+    ReplStatus {
+        /// The node's role.
+        role: Role,
+        /// Trajectory stamp the node has applied up to (`num_global`).
+        applied_stamp: u64,
+        /// Stamp covered by the node's on-disk snapshot (its WAL replays
+        /// `snapshot_stamp..applied_stamp`).
+        snapshot_stamp: u64,
+    },
     /// Typed failure.
     Err {
         /// The error class.
@@ -297,6 +397,9 @@ const TAG_COUNT: u8 = 5;
 const TAG_ESTIMATE: u8 = 6;
 const TAG_APPEND: u8 = 7;
 const TAG_SNAPSHOT: u8 = 8;
+const TAG_FETCH_SNAPSHOT: u8 = 9;
+const TAG_TAIL_WAL: u8 = 10;
+const TAG_PROMOTE: u8 = 11;
 const TAG_OK: u8 = 16;
 const TAG_META: u8 = 17;
 const TAG_ROUTING: u8 = 18;
@@ -304,6 +407,9 @@ const TAG_TT_RESULT: u8 = 19;
 const TAG_COUNT_RESULT: u8 = 20;
 const TAG_ESTIMATE_RESULT: u8 = 21;
 const TAG_APPENDED: u8 = 22;
+const TAG_SNAPSHOT_CHUNK: u8 = 23;
+const TAG_WAL_RECORDS: u8 = 24;
+const TAG_REPL_STATUS: u8 = 25;
 const TAG_ERR: u8 = 31;
 
 fn put_spq(w: &mut ByteWriter, spq: &Spq) {
@@ -420,6 +526,9 @@ impl Message {
             Message::Estimate { .. } => TAG_ESTIMATE,
             Message::Append(_) => TAG_APPEND,
             Message::Snapshot => TAG_SNAPSHOT,
+            Message::FetchSnapshot { .. } => TAG_FETCH_SNAPSHOT,
+            Message::TailWal { .. } => TAG_TAIL_WAL,
+            Message::Promote => TAG_PROMOTE,
             Message::Ok => TAG_OK,
             Message::Meta(_) => TAG_META,
             Message::Routing(_) => TAG_ROUTING,
@@ -427,6 +536,9 @@ impl Message {
             Message::CountResult(_) => TAG_COUNT_RESULT,
             Message::EstimateResult(_) => TAG_ESTIMATE_RESULT,
             Message::Appended { .. } => TAG_APPENDED,
+            Message::SnapshotChunk { .. } => TAG_SNAPSHOT_CHUNK,
+            Message::WalRecords { .. } => TAG_WAL_RECORDS,
+            Message::ReplStatus { .. } => TAG_REPL_STATUS,
             Message::Err { .. } => TAG_ERR,
         }
     }
@@ -437,7 +549,35 @@ impl Message {
             | Message::GetMeta
             | Message::GetRouting
             | Message::Snapshot
+            | Message::Promote
             | Message::Ok => {}
+            Message::FetchSnapshot { offset } => w.put_u64(*offset),
+            Message::TailWal { from_stamp } => w.put_u64(*from_stamp),
+            Message::SnapshotChunk {
+                stamp,
+                offset,
+                total,
+                data,
+            } => {
+                w.put_u64(*stamp);
+                w.put_u64(*offset);
+                w.put_u64(*total);
+                w.put_len(data.len());
+                w.put_bytes(data);
+            }
+            Message::WalRecords { records, end_stamp } => {
+                w.put_seq(records);
+                w.put_u64(*end_stamp);
+            }
+            Message::ReplStatus {
+                role,
+                applied_stamp,
+                snapshot_stamp,
+            } => {
+                w.put_u8(role.tag());
+                w.put_u64(*applied_stamp);
+                w.put_u64(*snapshot_stamp);
+            }
             Message::TravelTimes(spq) => put_spq(w, spq),
             Message::Count { spq, cap } => {
                 put_spq(w, spq);
@@ -493,6 +633,13 @@ impl Message {
             }
             TAG_APPEND => Message::Append(NodeWalRecord::restore(&mut r)?),
             TAG_SNAPSHOT => Message::Snapshot,
+            TAG_FETCH_SNAPSHOT => Message::FetchSnapshot {
+                offset: r.get_u64()?,
+            },
+            TAG_TAIL_WAL => Message::TailWal {
+                from_stamp: r.get_u64()?,
+            },
+            TAG_PROMOTE => Message::Promote,
             TAG_OK => Message::Ok,
             TAG_META => Message::Meta(NodeMeta::restore(&mut r)?),
             TAG_ROUTING => Message::Routing(ShardRouter::restore(&mut r)?),
@@ -507,6 +654,46 @@ impl Message {
                 let appended = r.get_u64()?;
                 let total = r.get_u64()?;
                 Message::Appended { appended, total }
+            }
+            TAG_SNAPSHOT_CHUNK => {
+                let stamp = r.get_u64()?;
+                let offset = r.get_u64()?;
+                let total = r.get_u64()?;
+                let n = r.get_len(1)?;
+                let data = r.get_bytes(n)?.to_vec();
+                let end = offset.checked_add(data.len() as u64);
+                if end.map(|e| e > total).unwrap_or(true) {
+                    return Err(FrameError::Body(format!(
+                        "snapshot chunk [{offset}, {offset}+{}) outside blob of {total} bytes",
+                        data.len()
+                    )));
+                }
+                Message::SnapshotChunk {
+                    stamp,
+                    offset,
+                    total,
+                    data,
+                }
+            }
+            TAG_WAL_RECORDS => {
+                let records: Vec<NodeWalRecord> = r.get_seq()?;
+                let end_stamp = r.get_u64()?;
+                Message::WalRecords { records, end_stamp }
+            }
+            TAG_REPL_STATUS => {
+                let role = Role::from_tag(r.get_u8()?)?;
+                let applied_stamp = r.get_u64()?;
+                let snapshot_stamp = r.get_u64()?;
+                if snapshot_stamp > applied_stamp {
+                    return Err(FrameError::Body(format!(
+                        "snapshot stamp {snapshot_stamp} ahead of applied stamp {applied_stamp}"
+                    )));
+                }
+                Message::ReplStatus {
+                    role,
+                    applied_stamp,
+                    snapshot_stamp,
+                }
             }
             TAG_ERR => {
                 let code = ErrCode::from_tag(r.get_u8()?)?;

@@ -11,7 +11,7 @@ use tthr_core::{CardinalityMode, ShardRouter, Spq, TimeInterval};
 use tthr_network::examples::example_network;
 use tthr_network::{EdgeId, Path};
 use tthr_rpc::{
-    decode_frame, encode_frame, read_frame, Decode, ErrCode, FrameError, Message, NodeMeta,
+    decode_frame, encode_frame, read_frame, Decode, ErrCode, FrameError, Message, NodeMeta, Role,
     WireError, FRAME_HEADER,
 };
 use tthr_trajectory::{TrajEntry, TrajId, UserId};
@@ -79,6 +79,7 @@ fn build_messages(
         ErrCode::Corrupt,
         ErrCode::WalGap,
         ErrCode::Internal,
+        ErrCode::NotPrimary,
     ];
     let message: String = text.iter().map(|&b| (b'a' + b % 26) as char).collect();
     vec![
@@ -91,8 +92,11 @@ fn build_messages(
             cap,
         },
         Message::Estimate { spq, mode },
-        Message::Append(record),
+        Message::Append(record.clone()),
         Message::Snapshot,
+        Message::FetchSnapshot { offset: base },
+        Message::TailWal { from_stamp: base },
+        Message::Promote,
         Message::Ok,
         Message::Meta(meta),
         Message::Routing(ShardRouter::build(&example_network(), k)),
@@ -102,6 +106,25 @@ fn build_messages(
         Message::Appended {
             appended: base % 7,
             total: base,
+        },
+        Message::SnapshotChunk {
+            stamp: base,
+            offset: text.len() as u64,
+            total: text.len() as u64 + base % 64 + 1,
+            data: vec![0xAB; (base % 64) as usize],
+        },
+        Message::WalRecords {
+            records: vec![record],
+            end_stamp: base + 2,
+        },
+        Message::ReplStatus {
+            role: if fallback {
+                Role::Standby
+            } else {
+                Role::Primary
+            },
+            applied_stamp: base + 1,
+            snapshot_stamp: base,
         },
         Message::Err {
             code: codes[code as usize % codes.len()],
@@ -149,7 +172,7 @@ proptest::proptest! {
             edges, periodic, istart, ilen, filter, beta, exclude, cap, mode,
             base, raw_entries, k, values, fallback, code, text
         );
-        assert_eq!(messages.len(), 16, "every tag is exercised");
+        assert_eq!(messages.len(), 22, "every tag is exercised");
         for message in messages {
             let frame = encode_frame(&message);
             match decode_frame(&frame) {
@@ -277,5 +300,48 @@ proptest::proptest! {
         let _ = decode_frame(&fuzz);
         let mut cursor: &[u8] = &fuzz;
         let _ = read_frame(&mut cursor);
+    }
+
+    /// A chunked snapshot transfer that is interrupted and resumed from
+    /// the client's last byte reassembles the blob byte-identically, with
+    /// every chunk surviving the wire (the standby bootstrap path).
+    #[test]
+    fn resumed_snapshot_chunks_reassemble_byte_identically(
+        blob in collection::vec(0u8..255, 1..2048),
+        chunk in 1usize..257,
+        interrupt_at in 0usize..2048,
+    ) {
+        let stamp = 7u64;
+        let total = blob.len() as u64;
+        let interrupt = interrupt_at % blob.len();
+        let mut got: Vec<u8> = Vec::new();
+        // Pass 0 emulates a transfer that dies once it has delivered
+        // `interrupt` bytes; pass 1 resumes from the exact byte the
+        // client already has (`offset = got.len()`), as the bootstrap
+        // loop does.
+        for stop in [interrupt, blob.len()] {
+            while got.len() < stop {
+                let offset = got.len();
+                let end = (offset + chunk).min(blob.len());
+                let frame = encode_frame(&Message::SnapshotChunk {
+                    stamp,
+                    offset: offset as u64,
+                    total,
+                    data: blob[offset..end].to_vec(),
+                });
+                let Ok(Decode::Done { message, .. }) = decode_frame(&frame) else {
+                    panic!("complete chunk frame must decode");
+                };
+                let Message::SnapshotChunk { stamp: s, offset: o, total: t, data } = message
+                else {
+                    panic!("chunk decodes as a chunk");
+                };
+                proptest::prop_assert_eq!(s, stamp);
+                proptest::prop_assert_eq!(o as usize, offset);
+                proptest::prop_assert_eq!(t, total);
+                got.extend_from_slice(&data);
+            }
+        }
+        proptest::prop_assert_eq!(&got, &blob);
     }
 }

@@ -64,8 +64,22 @@ pub fn serve_cluster_conn(mut conn: TcpStream, router: &ClusterRouter) {
             Ok(Parse::Done(request, used)) => {
                 buf.drain(..used);
                 let keep_alive = request.keep_alive;
-                let (status, body) = handle(router, &request);
-                let response = http::encode_response(status, body.as_bytes(), keep_alive, None);
+                // `/metrics` is the one non-JSON endpoint: the router's
+                // registry (failovers, breaker states, replication lag)
+                // in Prometheus text exposition format.
+                let response =
+                    if (request.method.as_str(), request.target.as_str()) == ("GET", "/metrics") {
+                        http::encode_response_with_content_type(
+                            200,
+                            router.render_metrics().as_bytes(),
+                            keep_alive,
+                            None,
+                            http::PROMETHEUS_CONTENT_TYPE,
+                        )
+                    } else {
+                        let (status, body) = handle(router, &request);
+                        http::encode_response(status, body.as_bytes(), keep_alive, None)
+                    };
                 if std::io::Write::write_all(&mut conn, &response).is_err() || !keep_alive {
                     return;
                 }
@@ -88,14 +102,28 @@ pub fn serve_cluster_conn(mut conn: TcpStream, router: &ClusterRouter) {
 fn handle(router: &ClusterRouter, request: &Request) -> (u16, String) {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/health") => match router.health() {
-            Ok(()) => (
-                200,
-                format!(
-                    "{{\"status\":\"ok\",\"shards\":{},\"trajectories\":{}}}",
-                    router.num_shards(),
-                    router.num_global()
-                ),
-            ),
+            Ok(reports) => {
+                let replication: Vec<String> = reports
+                    .iter()
+                    .map(|h| {
+                        format!(
+                            "{{\"shard\":{},\"addr\":\"{}\",\"role\":\"{}\",\
+                             \"applied_stamp\":{},\"snapshot_stamp\":{}}}",
+                            h.shard, h.addr, h.role, h.applied_stamp, h.snapshot_stamp
+                        )
+                    })
+                    .collect();
+                (
+                    200,
+                    format!(
+                        "{{\"status\":\"ok\",\"shards\":{},\"trajectories\":{},\
+                         \"replication\":[{}]}}",
+                        router.num_shards(),
+                        router.num_global(),
+                        replication.join(",")
+                    ),
+                )
+            }
             Err(e) => (status_of(&e), wire::encode_error(&e.to_string())),
         },
         ("POST", "/spq") => with_spq(router, &request.body, |router, spq| {
@@ -153,7 +181,7 @@ fn handle(router: &ClusterRouter, request: &Request) -> (u16, String) {
                 Err(e) => (400, wire::encode_error(&e)),
             }
         }
-        (_, "/health" | "/spq" | "/trip" | "/batch" | "/append") => {
+        (_, "/health" | "/metrics" | "/spq" | "/trip" | "/batch" | "/append") => {
             (405, wire::encode_error("method not allowed"))
         }
         _ => (404, wire::encode_error("no such endpoint")),

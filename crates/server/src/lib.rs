@@ -77,6 +77,7 @@ pub mod http;
 pub mod json;
 pub mod node;
 mod reactor;
+pub mod standby;
 mod sys;
 pub mod wire;
 

@@ -23,14 +23,33 @@
 //!   skips on open.
 //! * [`NodeStore::open`] restores the snapshot and replays every intact
 //!   WAL record; a torn tail is truncated by the store layer.
+//!
+//! # Replication surface
+//!
+//! The store doubles as the primary side of the standby protocol
+//! (`crates/server/src/standby.rs` holds the standby side):
+//!
+//! * It keeps an in-memory **retained tail** of the WAL records that
+//!   advanced the state since the last snapshot rotation (capped at
+//!   [`TAIL_RETAIN_CAP`]), so `TailWal{from_stamp}` is answered from
+//!   memory. A stamp older than the tail is a typed `WalGap` — the
+//!   standby re-syncs from a snapshot instead.
+//! * `FetchSnapshot{offset}` serves the serialized state in
+//!   [`SNAPSHOT_CHUNK_BYTES`] chunks from a cached blob, stamped with
+//!   the `num_global` it captures; a resuming client that sees the stamp
+//!   change restarts at offset 0.
+//! * The node carries a [`Role`]: standbys answer reads at their applied
+//!   stamp but refuse `Append` with `NotPrimary` until a `Promote`
+//!   (idempotent, answered with the node's `ReplStatus`).
 
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use tthr_core::{NodeWalRecord, ShardNodeState};
-use tthr_rpc::{read_frame, write_frame, ErrCode, Message, NodeMeta, WireError};
+use tthr_rpc::{read_frame, write_frame, ErrCode, Message, NodeMeta, Role, WireError};
 use tthr_store::wal::WalWriter;
 use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
 
@@ -39,12 +58,41 @@ pub const NODE_SNAPSHOT_FILE: &str = "node.snap";
 /// WAL file name inside a node's store directory.
 pub const NODE_WAL_FILE: &str = "node.wal";
 
+/// Maximum WAL records retained in memory for standby tailing. Beyond
+/// this the oldest are evicted and a standby that far behind re-syncs
+/// from a snapshot (the snapshot transfer is cheaper than shipping that
+/// much WAL anyway).
+pub const TAIL_RETAIN_CAP: usize = 1024;
+
+/// Records per `WalRecords` page; a standby further behind re-polls
+/// immediately (the reply's `end_stamp` shows it the remaining lag).
+const TAIL_PAGE: usize = 128;
+
+/// Snapshot transfer chunk size. Far below `MAX_FRAME_BODY`, large
+/// enough that a bootstrap is a few round trips, small enough that a
+/// severed transfer wastes little.
+pub const SNAPSHOT_CHUNK_BYTES: usize = 256 << 10;
+
 /// A shard node's durable store: the in-memory [`ShardNodeState`] plus
 /// the snapshot/WAL pair that lets the process die and come back.
 pub struct NodeStore {
     dir: PathBuf,
     state: ShardNodeState,
     wal: WalWriter,
+    role: Role,
+    /// WAL records that advanced the state since the last snapshot
+    /// rotation, contiguous: the first has `base == tail_start`, each
+    /// next chains `base == previous.new_total`.
+    retained: VecDeque<NodeWalRecord>,
+    /// Stamp immediately before the first retained record.
+    tail_start: u64,
+    /// `num_global` covered by the on-disk snapshot.
+    snapshot_stamp: u64,
+    /// Cached `(stamp, bytes)` of the serialized state for chunked
+    /// shipping, so a multi-chunk transfer reads one stable blob even
+    /// while appends land. Interior mutability: chunk fetches hold only
+    /// the store's read lock.
+    blob: Mutex<Option<(u64, Arc<Vec<u8>>)>>,
 }
 
 impl NodeStore {
@@ -58,24 +106,53 @@ impl NodeStore {
         write_node_snapshot(&dir, &state)?;
         let wal = WalWriter::create(&dir.join(NODE_WAL_FILE))?;
         sync_dir(&dir)?;
-        Ok(NodeStore { dir, state, wal })
+        let stamp = state.num_global();
+        Ok(NodeStore {
+            dir,
+            state,
+            wal,
+            role: Role::Primary,
+            retained: VecDeque::new(),
+            tail_start: stamp,
+            snapshot_stamp: stamp,
+            blob: Mutex::new(None),
+        })
     }
 
     /// Reopens a store directory: restores the snapshot, replays every
     /// intact WAL record (idempotently — records the snapshot already
-    /// covers skip by base stamp), and resumes logging.
+    /// covers skip by base stamp), and resumes logging. Replayed records
+    /// that advanced the state repopulate the retained tail, so a
+    /// restarted primary can still feed its standbys from memory.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         let bytes = std::fs::read(dir.join(NODE_SNAPSHOT_FILE))?;
         let mut state = ShardNodeState::from_snapshot_bytes(&bytes)?;
+        let snapshot_stamp = state.num_global();
+        let mut retained = VecDeque::new();
+        let mut tail_start = snapshot_stamp;
         let (wal, recovery) = WalWriter::open(&dir.join(NODE_WAL_FILE))?;
         for payload in &recovery.records {
             let mut r = ByteReader::new(payload);
             let record = NodeWalRecord::restore(&mut r)?;
             r.expect_exhausted("node wal record")?;
+            let before = state.num_global();
             state.apply(&record)?;
+            if state.num_global() > before {
+                retained.push_back(record);
+                trim_tail(&mut retained, &mut tail_start);
+            }
         }
-        Ok(NodeStore { dir, state, wal })
+        Ok(NodeStore {
+            dir,
+            state,
+            wal,
+            role: Role::Primary,
+            retained,
+            tail_start,
+            snapshot_stamp,
+            blob: Mutex::new(None),
+        })
     }
 
     /// The node's in-memory state.
@@ -88,6 +165,36 @@ impl NodeStore {
         &self.dir
     }
 
+    /// The node's replication role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Sets the replication role (a standby runtime flips this to
+    /// [`Role::Standby`] before serving; `Promote` flips it back).
+    pub fn set_role(&mut self, role: Role) {
+        self.role = role;
+    }
+
+    /// The stamp the node has applied up to (`num_global`).
+    pub fn applied_stamp(&self) -> u64 {
+        self.state.num_global()
+    }
+
+    /// The stamp the on-disk snapshot covers.
+    pub fn snapshot_stamp(&self) -> u64 {
+        self.snapshot_stamp
+    }
+
+    /// The node's replication status as a wire message.
+    pub fn repl_status(&self) -> Message {
+        Message::ReplStatus {
+            role: self.role,
+            applied_stamp: self.applied_stamp(),
+            snapshot_stamp: self.snapshot_stamp,
+        }
+    }
+
     /// Applies one append record and, if it advanced the node, logs it.
     /// Returns `(applied, num_global)` — how many trajectories this
     /// shard indexed and the node's post-apply global count.
@@ -98,19 +205,108 @@ impl NodeStore {
             let mut w = ByteWriter::new();
             record.persist(&mut w);
             self.wal.append(&w.into_bytes())?;
+            self.retained.push_back(record.clone());
+            trim_tail(&mut self.retained, &mut self.tail_start);
         }
         Ok((applied as u64, self.state.num_global()))
     }
 
     /// Rotates the snapshot: writes the current state atomically, then
     /// starts a fresh WAL (see the module docs for the crash-ordering
-    /// argument).
+    /// argument). The retained tail resets — everything it covered is in
+    /// the snapshot now.
     pub fn snapshot(&mut self) -> Result<(), StoreError> {
         write_node_snapshot(&self.dir, &self.state)?;
         sync_dir(&self.dir)?;
         self.wal = WalWriter::create(&self.dir.join(NODE_WAL_FILE))?;
         sync_dir(&self.dir)?;
+        self.snapshot_stamp = self.state.num_global();
+        self.retained.clear();
+        self.tail_start = self.snapshot_stamp;
+        *self.blob.lock().expect("blob lock") = None;
         Ok(())
+    }
+
+    /// Replaces the whole state from a shipped snapshot (standby
+    /// re-sync after a `WalGap`): persists it atomically, starts a fresh
+    /// WAL, and resets the replication bookkeeping.
+    pub fn replace_state(&mut self, state: ShardNodeState) -> Result<(), StoreError> {
+        write_node_snapshot(&self.dir, &state)?;
+        sync_dir(&self.dir)?;
+        self.wal = WalWriter::create(&self.dir.join(NODE_WAL_FILE))?;
+        sync_dir(&self.dir)?;
+        self.state = state;
+        self.snapshot_stamp = self.state.num_global();
+        self.retained.clear();
+        self.tail_start = self.snapshot_stamp;
+        *self.blob.lock().expect("blob lock") = None;
+        Ok(())
+    }
+
+    /// Retained WAL records from `from_stamp` onward (one page), plus
+    /// the node's current stamp. `Err((expected, found))` is a WAL gap:
+    /// the stamp predates the retained tail (or lies ahead of the node)
+    /// and the caller must re-sync from a snapshot.
+    pub fn tail_since(&self, from_stamp: u64) -> Result<(Vec<NodeWalRecord>, u64), (u64, u64)> {
+        let applied = self.state.num_global();
+        if from_stamp < self.tail_start || from_stamp > applied {
+            return Err((self.tail_start, from_stamp));
+        }
+        let records = self
+            .retained
+            .iter()
+            .filter(|r| r.base >= from_stamp)
+            .take(TAIL_PAGE)
+            .cloned()
+            .collect();
+        Ok((records, applied))
+    }
+
+    /// One chunk of the serialized state, resuming at `offset`. The blob
+    /// is cached so a multi-chunk transfer is stable across concurrent
+    /// appends; a fresh transfer (offset 0) re-captures the current
+    /// state when the cache has gone stale.
+    pub fn snapshot_chunk(&self, offset: u64) -> Message {
+        let blob = {
+            let mut cache = self.blob.lock().expect("blob lock");
+            let current = self.state.num_global();
+            let fresh = match cache.as_ref() {
+                Some((stamp, bytes)) if offset > 0 || *stamp == current => {
+                    (*stamp, Arc::clone(bytes))
+                }
+                _ => {
+                    let bytes = Arc::new(self.state.to_snapshot_bytes());
+                    *cache = Some((current, Arc::clone(&bytes)));
+                    (current, bytes)
+                }
+            };
+            fresh
+        };
+        let (stamp, bytes) = blob;
+        let total = bytes.len() as u64;
+        if offset > total {
+            return Message::error(
+                ErrCode::BadRequest,
+                format!("snapshot resume offset {offset} beyond blob of {total} bytes"),
+            );
+        }
+        let end = (offset as usize + SNAPSHOT_CHUNK_BYTES).min(bytes.len());
+        Message::SnapshotChunk {
+            stamp,
+            offset,
+            total,
+            data: bytes[offset as usize..end].to_vec(),
+        }
+    }
+}
+
+/// Evicts the oldest retained records past [`TAIL_RETAIN_CAP`],
+/// advancing the tail's start stamp past each eviction.
+fn trim_tail(retained: &mut VecDeque<NodeWalRecord>, tail_start: &mut u64) {
+    while retained.len() > TAIL_RETAIN_CAP {
+        if let Some(evicted) = retained.pop_front() {
+            *tail_start = evicted.new_total;
+        }
     }
 }
 
@@ -143,7 +339,15 @@ fn sync_dir(dir: &Path) -> Result<(), StoreError> {
 /// lock; appends and snapshot rotations take the write lock, so readers
 /// never observe a half-applied batch.
 pub fn serve_node(listener: TcpListener, store: NodeStore) -> std::io::Result<()> {
-    let store = Arc::new(RwLock::new(store));
+    serve_node_shared(listener, Arc::new(RwLock::new(store)))
+}
+
+/// [`serve_node`] over an externally shared store — the standby runtime
+/// uses this so its tail loop and the accept loop see the same state.
+pub fn serve_node_shared(
+    listener: TcpListener,
+    store: Arc<RwLock<NodeStore>>,
+) -> std::io::Result<()> {
     loop {
         let (conn, _) = listener.accept()?;
         let store = Arc::clone(&store);
@@ -178,7 +382,10 @@ pub fn serve_node_conn(mut conn: TcpStream, store: &RwLock<NodeStore>) {
 
 fn dispatch(request: &Message, store: &RwLock<NodeStore>) -> Message {
     match request {
-        Message::Health => Message::Ok,
+        Message::Health => {
+            let store = store.read().expect("store lock");
+            store.repl_status()
+        }
         Message::GetMeta => {
             let store = store.read().expect("store lock");
             Message::Meta(meta_of(store.state()))
@@ -213,6 +420,12 @@ fn dispatch(request: &Message, store: &RwLock<NodeStore>) -> Message {
         }
         Message::Append(record) => {
             let mut store = store.write().expect("store lock");
+            if store.role() == Role::Standby {
+                return Message::error(
+                    ErrCode::NotPrimary,
+                    "standby refuses appends; write to the primary or promote first",
+                );
+            }
             match store.append(record) {
                 Ok((appended, total)) => Message::Appended { appended, total },
                 Err(e) => err_reply(&e),
@@ -224,6 +437,30 @@ fn dispatch(request: &Message, store: &RwLock<NodeStore>) -> Message {
                 Ok(()) => Message::Ok,
                 Err(e) => err_reply(&e),
             }
+        }
+        Message::FetchSnapshot { offset } => {
+            let store = store.read().expect("store lock");
+            store.snapshot_chunk(*offset)
+        }
+        Message::TailWal { from_stamp } => {
+            let store = store.read().expect("store lock");
+            match store.tail_since(*from_stamp) {
+                Ok((records, end_stamp)) => Message::WalRecords { records, end_stamp },
+                Err((expected, found)) => Message::Err {
+                    code: ErrCode::WalGap,
+                    expected,
+                    found,
+                    message: format!(
+                        "stamp {found} outside the retained wal tail (starts at {expected}); \
+                         re-sync from a snapshot"
+                    ),
+                },
+            }
+        }
+        Message::Promote => {
+            let mut store = store.write().expect("store lock");
+            store.set_role(Role::Primary);
+            store.repl_status()
         }
         other => Message::error(
             ErrCode::BadRequest,
@@ -342,7 +579,15 @@ mod tests {
     #[test]
     fn dispatch_answers_queries_and_rejects_response_frames() {
         let store = RwLock::new(NodeStore::init(temp_dir("dispatch"), example_state()).unwrap());
-        assert_eq!(dispatch(&Message::Health, &store), Message::Ok);
+        let stamp = store.read().unwrap().applied_stamp();
+        assert_eq!(
+            dispatch(&Message::Health, &store),
+            Message::ReplStatus {
+                role: Role::Primary,
+                applied_stamp: stamp,
+                snapshot_stamp: stamp,
+            }
+        );
         let Message::Meta(meta) = dispatch(&Message::GetMeta, &store) else {
             panic!("GetMeta answers Meta");
         };
@@ -356,6 +601,148 @@ mod tests {
         }
         let dir = store.read().unwrap().dir().to_path_buf();
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn advance_record(store: &NodeStore) -> NodeWalRecord {
+        NodeWalRecord {
+            base: store.applied_stamp(),
+            new_total: store.applied_stamp() + 1,
+            span_min: store.state().span_min(),
+            span_max: store.state().span_max().max(100),
+            members: vec![],
+            trajectories: vec![],
+        }
+    }
+
+    #[test]
+    fn retained_tail_feeds_wal_tailing_and_resets_on_rotation() {
+        let dir = temp_dir("tail");
+        let mut store = NodeStore::init(&dir, example_state()).unwrap();
+        let base = store.applied_stamp();
+        let mut records = Vec::new();
+        for _ in 0..3 {
+            let record = advance_record(&store);
+            store.append(&record).unwrap();
+            records.push(record);
+        }
+        // Tail from the bootstrap stamp: every record, in order.
+        let (tail, end) = store.tail_since(base).unwrap();
+        assert_eq!(tail, records);
+        assert_eq!(end, base + 3);
+        // Tail mid-way: only what's ahead of the stamp.
+        let (tail, _) = store.tail_since(base + 2).unwrap();
+        assert_eq!(tail, records[2..]);
+        // Fully caught up: empty page, same end stamp.
+        let (tail, end) = store.tail_since(base + 3).unwrap();
+        assert!(tail.is_empty());
+        assert_eq!(end, base + 3);
+        // A stamp ahead of the node is a gap (divergence).
+        assert!(store.tail_since(base + 4).is_err());
+
+        // The tail survives a reopen (rebuilt from the WAL replay)...
+        drop(store);
+        let store = NodeStore::open(&dir).unwrap();
+        let (tail, _) = store.tail_since(base).unwrap();
+        assert_eq!(tail, records);
+        assert_eq!(store.snapshot_stamp(), base);
+
+        // ...and resets on snapshot rotation: older stamps now gap.
+        let mut store = store;
+        store.snapshot().unwrap();
+        assert_eq!(store.snapshot_stamp(), base + 3);
+        assert_eq!(store.tail_since(base), Err((base + 3, base)));
+        let (tail, _) = store.tail_since(base + 3).unwrap();
+        assert!(tail.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_chunks_reassemble_the_exact_state_bytes() {
+        let dir = temp_dir("chunks");
+        let store = NodeStore::init(&dir, example_state()).unwrap();
+        let want = store.state().to_snapshot_bytes();
+        let mut got = Vec::new();
+        let mut blob_stamp = None;
+        loop {
+            let Message::SnapshotChunk {
+                stamp,
+                offset,
+                total,
+                data,
+            } = store.snapshot_chunk(got.len() as u64)
+            else {
+                panic!("chunk request answers a chunk");
+            };
+            assert_eq!(offset as usize, got.len());
+            assert_eq!(total as usize, want.len());
+            assert_eq!(*blob_stamp.get_or_insert(stamp), stamp, "stable blob");
+            got.extend_from_slice(&data);
+            if got.len() as u64 == total {
+                break;
+            }
+            assert!(!data.is_empty(), "transfer must make progress");
+        }
+        assert_eq!(got, want);
+        // An offset beyond the blob is a typed client error.
+        assert!(matches!(
+            store.snapshot_chunk(want.len() as u64 + 1),
+            Message::Err {
+                code: ErrCode::BadRequest,
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn standby_role_refuses_appends_until_promoted() {
+        let dir = temp_dir("standby-role");
+        let mut init = NodeStore::init(&dir, example_state()).unwrap();
+        init.set_role(Role::Standby);
+        let record = advance_record(&init);
+        let store = RwLock::new(init);
+        match dispatch(&Message::Append(record.clone()), &store) {
+            Message::Err {
+                code: ErrCode::NotPrimary,
+                ..
+            } => {}
+            other => panic!("standby append: {other:?}"),
+        }
+        // Promote is answered with the new status, and is idempotent.
+        for _ in 0..2 {
+            let Message::ReplStatus { role, .. } = dispatch(&Message::Promote, &store) else {
+                panic!("promote answers status");
+            };
+            assert_eq!(role, Role::Primary);
+        }
+        match dispatch(&Message::Append(record), &store) {
+            Message::Appended { .. } => {}
+            other => panic!("promoted append: {other:?}"),
+        }
+        let dir = store.read().unwrap().dir().to_path_buf();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn replace_state_resets_replication_bookkeeping_durably() {
+        let dir_a = temp_dir("replace-src");
+        let dir_b = temp_dir("replace-dst");
+        let mut primary = NodeStore::init(&dir_a, example_state()).unwrap();
+        let record = advance_record(&primary);
+        primary.append(&record).unwrap();
+
+        let mut standby = NodeStore::init(&dir_b, example_state()).unwrap();
+        standby.set_role(Role::Standby);
+        let shipped = ShardNodeState::from_snapshot_bytes(&primary.state().to_snapshot_bytes());
+        standby.replace_state(shipped.unwrap()).unwrap();
+        assert_eq!(standby.applied_stamp(), primary.applied_stamp());
+        assert_eq!(standby.snapshot_stamp(), primary.applied_stamp());
+        drop(standby);
+        // The replacement is durable and reopens at the shipped stamp.
+        let reopened = NodeStore::open(&dir_b).unwrap();
+        assert_eq!(reopened.applied_stamp(), primary.applied_stamp());
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

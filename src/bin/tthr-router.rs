@@ -1,17 +1,20 @@
 //! `tthr-router` — the scatter-gather HTTP front-end of a tthr cluster.
 //!
 //! ```text
-//! tthr-router --node <ip:port> --node <ip:port> … \
-//!             [--addr 127.0.0.1:0] [--preset small|medium|large]
+//! tthr-router --node <ip:port>[,<standby>…] --node <ip:port>[,<standby>…] … \
+//!             [--addr 127.0.0.1:0] [--preset small|medium|large] [--probe-ms <n>]
 //! ```
 //!
 //! Connects to every shard node, cross-checks the cluster's shape, and
 //! serves the same JSON endpoints as the single-process server
-//! (`/health`, `/spq`, `/trip`, `/batch`, `/append`) by scattering SPQ
-//! primitives over the binary protocol. Trip-query planning needs the
-//! road network, which nodes do not ship; the router regenerates it
-//! deterministically from the named datagen preset (the same preset the
-//! cluster was bootstrapped from).
+//! (`/health`, `/spq`, `/trip`, `/batch`, `/append`, plus the router's
+//! own `/metrics`) by scattering SPQ primitives over the binary
+//! protocol. Each `--node` lists one shard's endpoints: the primary
+//! first, then any standby replicas — when a primary dies, reads fail
+//! over to the freshest caught-up standby and appends promote it.
+//! Trip-query planning needs the road network, which nodes do not ship;
+//! the router regenerates it deterministically from the named datagen
+//! preset (the same preset the cluster was bootstrapped from).
 //!
 //! Prints `LISTENING <addr>` on stdout once ready and exits when stdin
 //! reaches EOF, like `tthr-node`.
@@ -19,13 +22,13 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
 
-use tthr::client::{ClientConfig, ClusterRouter};
+use tthr::client::{ClusterRouter, RouterConfig};
 use tthr::core::QueryEngineConfig;
 use tthr::datagen::{generate_network, NetworkConfig};
 use tthr::server::cluster::serve_cluster;
 
-const USAGE: &str =
-    "usage: tthr-router --node <ip:port> [--node <ip:port> …] [--addr <ip:port>] [--preset small|medium|large]";
+const USAGE: &str = "usage: tthr-router --node <ip:port>[,<standby>…] [--node …] \
+     [--addr <ip:port>] [--preset small|medium|large] [--probe-ms <n>]";
 
 fn die(message: &str) -> ! {
     eprintln!("tthr-router: {message}");
@@ -34,21 +37,34 @@ fn die(message: &str) -> ! {
 }
 
 fn main() {
-    let mut nodes: Vec<SocketAddr> = Vec::new();
+    let mut nodes: Vec<Vec<SocketAddr>> = Vec::new();
     let mut addr = String::from("127.0.0.1:0");
     let mut preset = String::from("small");
+    let mut probe_ms: u64 = 1000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--node" => {
                 let value = args.next().unwrap_or_else(|| die("--node needs a value"));
-                match value.parse() {
-                    Ok(node) => nodes.push(node),
-                    Err(e) => die(&format!("bad node address {value:?}: {e}")),
-                }
+                let group: Vec<SocketAddr> = value
+                    .split(',')
+                    .map(|part| {
+                        part.parse()
+                            .unwrap_or_else(|e| die(&format!("bad node address {part:?}: {e}")))
+                    })
+                    .collect();
+                nodes.push(group);
             }
             "--addr" => addr = args.next().unwrap_or_else(|| die("--addr needs a value")),
             "--preset" => preset = args.next().unwrap_or_else(|| die("--preset needs a value")),
+            "--probe-ms" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--probe-ms needs a value"));
+                probe_ms = value
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("bad probe interval {value:?}: {e}")));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -66,11 +82,20 @@ fn main() {
         other => die(&format!("unknown preset {other:?}")),
     };
     let network = generate_network(&config).network;
-    let router = match ClusterRouter::connect(
+    // Background probing only earns its thread when there are standbys
+    // to watch (breaker recovery, lag gauges); `--probe-ms 0` turns it
+    // off either way.
+    let has_standbys = nodes.iter().any(|group| group.len() > 1);
+    let router_config = RouterConfig {
+        probe_interval: (probe_ms > 0 && has_standbys)
+            .then(|| std::time::Duration::from_millis(probe_ms)),
+        ..RouterConfig::default()
+    };
+    let router = match ClusterRouter::connect_with_standbys(
         network,
         &nodes,
         QueryEngineConfig::default(),
-        ClientConfig::default(),
+        router_config,
     ) {
         Ok(router) => router,
         Err(e) => die(&format!("cannot assemble cluster: {e}")),

@@ -14,12 +14,14 @@ use std::io::BufRead;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::{Duration, Instant};
 
-use tthr::client::{ClientConfig, ClusterRouter};
+use tthr::client::{ClientConfig, ClusterRouter, NodeClient, RouterConfig};
 use tthr::core::{
     QueryEngine, QueryEngineConfig, ShardNodeState, ShardedSntIndex, SntConfig, Spq, TripQuery,
 };
 use tthr::network::RoadNetwork;
+use tthr::rpc::Message;
 use tthr::server::node::NodeStore;
 use tthr::trajectory::{TrajEntry, TrajId, Trajectory, TrajectorySet, UserId};
 
@@ -67,11 +69,70 @@ impl NodeProcess {
         }
     }
 
+    /// Spawns `tthr-node --dir <dir> --standby-of <primary>` and waits
+    /// for its `LISTENING` line (which a standby prints only once it
+    /// has bootstrapped and is queryable).
+    pub fn spawn_standby(shard: usize, dir: &Path, primary: SocketAddr) -> NodeProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_tthr-node"))
+            .args([
+                "--dir",
+                dir.to_str().expect("utf-8 store dir"),
+                "--standby-of",
+                &primary.to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn tthr-node standby");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let addr = read_listening_line(stdout);
+        NodeProcess {
+            shard,
+            dir: dir.to_path_buf(),
+            addr,
+            child,
+            _stdin: stdin,
+        }
+    }
+
     /// Kills the node process outright (SIGKILL — no graceful anything),
     /// simulating a crashed replica.
     pub fn kill(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+    }
+}
+
+/// Polls a node's `Health` until its applied stamp reaches `want`
+/// (replication is asynchronous — tests must wait, not assume).
+/// Panics after `timeout`.
+pub fn wait_for_stamp(addr: SocketAddr, want: u64, timeout: Duration) {
+    let client = NodeClient::new(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    let deadline = Instant::now() + timeout;
+    let mut last = None;
+    loop {
+        if let Ok(Message::ReplStatus { applied_stamp, .. }) = client.request(&Message::Health) {
+            if applied_stamp >= want {
+                return;
+            }
+            last = Some(applied_stamp);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node at {addr} stuck at stamp {last:?}, wanted {want}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
     }
 }
 
@@ -159,6 +220,37 @@ impl ClusterHarness {
         self.nodes.iter().map(|n| n.addr).collect()
     }
 
+    /// A fresh store directory under the harness root (cleaned up with
+    /// the harness), for standby replicas.
+    pub fn standby_dir(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Spawns a standby for `shard`, bootstrapping by snapshot-shipping
+    /// from the shard's current primary.
+    pub fn spawn_standby(&self, shard: usize, name: &str) -> NodeProcess {
+        NodeProcess::spawn_standby(shard, &self.standby_dir(name), self.nodes[shard].addr)
+    }
+
+    /// Like [`ClusterHarness::spawn_standby`], but tailing `primary`
+    /// (e.g. a fault proxy in front of the real one).
+    pub fn spawn_standby_via(&self, shard: usize, name: &str, primary: SocketAddr) -> NodeProcess {
+        NodeProcess::spawn_standby(shard, &self.standby_dir(name), primary)
+    }
+
+    /// A failover router over explicit per-shard endpoint groups
+    /// (primary first, then standbys), sharing the harness network and
+    /// engine config.
+    pub fn router_with(&self, groups: &[Vec<SocketAddr>], config: RouterConfig) -> ClusterRouter {
+        ClusterRouter::connect_with_standbys(
+            self.network.clone(),
+            groups,
+            self.engine_config.clone(),
+            config,
+        )
+        .expect("connect failover router")
+    }
+
     /// Whether the stream still has unappended trajectories.
     pub fn can_append(&self) -> bool {
         self.applied < self.full.len()
@@ -176,12 +268,13 @@ impl ClusterHarness {
             .collect()
     }
 
-    /// Appends up to `n` stream trajectories to BOTH sides and
-    /// cross-checks the outcome. Returns the number appended.
-    pub fn append_next(&mut self, n: usize) -> usize {
+    /// Applies the next `n` stream trajectories to the **reference side
+    /// only**, returning the batch for the caller to apply to whatever
+    /// router is under test (advances `applied`).
+    pub fn reference_append_next(&mut self, n: usize) -> Vec<(UserId, Vec<TrajEntry>)> {
         let batch = self.next_batch(n);
         if batch.is_empty() {
-            return 0;
+            return batch;
         }
         let owned = self
             .reference
@@ -194,6 +287,17 @@ impl ClusterHarness {
             batch.len(),
             "reference appended a different count"
         );
+        self.applied += batch.len();
+        batch
+    }
+
+    /// Appends up to `n` stream trajectories to BOTH sides and
+    /// cross-checks the outcome. Returns the number appended.
+    pub fn append_next(&mut self, n: usize) -> usize {
+        let batch = self.reference_append_next(n);
+        if batch.is_empty() {
+            return 0;
+        }
         let cluster_appended = self.cluster.append_batch(&batch).expect("cluster append");
         assert_eq!(
             cluster_appended as usize,
@@ -205,7 +309,6 @@ impl ClusterHarness {
             self.reference.num_trajectories(),
             "global counters diverged after append"
         );
-        self.applied += batch.len();
         batch.len()
     }
 
@@ -219,8 +322,14 @@ impl ClusterHarness {
     /// Asserts the cluster answers the SPQ byte-identically to the
     /// reference index.
     pub fn check_spq(&self, spq: &Spq) {
+        self.check_spq_on(&self.cluster, spq);
+    }
+
+    /// [`ClusterHarness::check_spq`] against an arbitrary router (e.g. a
+    /// failover router over primaries + standbys).
+    pub fn check_spq_on(&self, router: &ClusterRouter, spq: &Spq) {
         let want = self.reference.get_travel_times(spq);
-        let got = self.cluster.travel_times(spq).expect("cluster SPQ");
+        let got = router.travel_times(spq).expect("cluster SPQ");
         assert_eq!(
             bits(&want.values),
             bits(&got.values),
@@ -237,8 +346,13 @@ impl ClusterHarness {
     /// Asserts the cluster's trip answer equals the reference engine's
     /// (stats, histogram, per-sub values — the full structural check).
     pub fn check_trip(&self, spq: &Spq) {
+        self.check_trip_on(&self.cluster, spq);
+    }
+
+    /// [`ClusterHarness::check_trip`] against an arbitrary router.
+    pub fn check_trip_on(&self, router: &ClusterRouter, spq: &Spq) {
         let want = self.reference_trip(spq);
-        let got = self.cluster.trip_query(spq).expect("cluster trip");
+        let got = router.trip_query(spq).expect("cluster trip");
         assert!(
             trips_equal(&want, &got),
             "cluster trip diverged\nquery: {spq:?}\nreference: {:?}\ncluster: {:?}",

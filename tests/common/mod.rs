@@ -5,6 +5,7 @@
 pub mod cluster;
 pub mod differential;
 pub mod http;
+pub mod proxy;
 
 use tthr::core::{Filter, Spq};
 use tthr::datagen::{
