@@ -75,9 +75,21 @@ impl CardinalityMode {
 const SEL_USER_DEFAULT: f64 = 0.1;
 
 /// Estimates the cardinality `β̂` of an SPQ's result set (`card(Q)`).
+///
+/// Hot-tail parity: every pending hot batch contributes as the partition
+/// it will become — its path count stands in for the sealed ISA range and
+/// its admission-time ToD row for the sealed histogram — so estimates are
+/// byte-identical before and after a compaction (see the `hot` module's
+/// equivalence-invariant notes).
 pub fn estimate_cardinality(index: &SntIndex, spq: &Spq, mode: CardinalityMode) -> f64 {
     let ranges = index.isa_ranges(&spq.path);
-    let c_p: usize = ranges.iter().map(|r| r.len()).sum();
+    let hot_counts: Vec<usize> = index
+        .hot_batches()
+        .iter()
+        .map(|b| b.count_path(&spq.path))
+        .collect();
+    let c_p: usize =
+        ranges.iter().map(|r| r.len()).sum::<usize>() + hot_counts.iter().sum::<usize>();
     if mode == CardinalityMode::Isa {
         return c_p as f64;
     }
@@ -112,6 +124,18 @@ pub fn estimate_cardinality(index: &SntIndex, spq: &Spq, mode: CardinalityMode) 
                         .unwrap_or(0.0);
                     est += range.len() as f64 * sel;
                 }
+                // Pending hot batches, in absorb order — the partitions the
+                // seal will append after the cold ones.
+                for (b, &count) in index.hot_batches().iter().zip(&hot_counts) {
+                    if count == 0 {
+                        continue;
+                    }
+                    let sel = b
+                        .tod_hist(first)
+                        .map(|h| h.selectivity(sod_start, sod_end))
+                        .unwrap_or(0.0);
+                    est += count as f64 * sel;
+                }
                 est * sel_u
             } else {
                 // Formula 1: uniform time-of-day.
@@ -120,19 +144,18 @@ pub fn estimate_cardinality(index: &SntIndex, spq: &Spq, mode: CardinalityMode) 
             }
         }
         TimeInterval::Fixed { start, end } => {
-            let tree = index.temporal(first);
-            let sel_tf = if tree.is_empty() {
+            // Merged tree statistics: length, range count, and key bounds
+            // as a monolithic tree over cold + hot data would report them.
+            let len = index.merged_edge_len(first);
+            let sel_tf = if len == 0 {
                 0.0
             } else if mode.uses_css_counts() {
                 // Exact count in logarithmic time via the CSS directory
                 // (falls back to the tree's native count for B+-forests).
-                tree.range_count(start, end) as f64 / tree.len() as f64
+                index.merged_range_count(first, start, end) as f64 / len as f64
             } else {
                 // Formula 3: naive span ratio.
-                let (min, max) = (
-                    tree.min_key().expect("non-empty"),
-                    tree.max_key().expect("non-empty"),
-                );
+                let (min, max) = index.edge_bounds(first).expect("non-empty");
                 let span = (max - min).max(1) as f64;
                 (((end.min(max + 1) - start.max(min)).max(0)) as f64 / span).min(1.0)
             };

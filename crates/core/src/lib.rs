@@ -43,6 +43,7 @@
 pub mod baseline;
 mod cardinality;
 mod engine;
+mod hot;
 mod interval;
 pub mod node;
 mod partition;
@@ -70,7 +71,8 @@ pub use sharded::{
     SECTION_SHARDED_META, SHARD_SECTION_BASE,
 };
 pub use snt::{
-    MemoryReport, SearchScratch, SntConfig, SntIndex, TravelTimes, TreeKind, TtValues, WaveletKind,
+    CompactionOutcome, HotStats, MemoryReport, SearchScratch, SntConfig, SntIndex, TravelTimes,
+    TreeKind, TtValues, WaveletKind,
 };
 pub use split::{SplitMethod, Splitter};
 pub use spq::{Filter, Spq};

@@ -346,6 +346,19 @@ impl ShardNodeState {
     /// Returns the number of trajectories this shard indexed. A failed
     /// validation leaves the node untouched.
     pub fn apply(&mut self, record: &NodeWalRecord) -> Result<usize, StoreError> {
+        self.apply_inner(record, false)
+    }
+
+    /// [`ShardNodeState::apply`] through the shard index's hot tail: the
+    /// member subset is absorbed without touching the wavelet/FM levels
+    /// (a later [`ShardNodeState::compact`] seals it), with answers
+    /// byte-identical to the direct apply throughout. Same idempotency
+    /// and validation contract as `apply`.
+    pub fn absorb(&mut self, record: &NodeWalRecord) -> Result<usize, StoreError> {
+        self.apply_inner(record, true)
+    }
+
+    fn apply_inner(&mut self, record: &NodeWalRecord, absorb: bool) -> Result<usize, StoreError> {
         if record.new_total <= self.num_global {
             return Ok(0);
         }
@@ -377,13 +390,32 @@ impl ShardNodeState {
         let owned = prepare_batch(local_from, self.router.num_edges(), &record.trajectories)?;
         if !owned.is_empty() {
             let refs: Vec<&Trajectory> = owned.iter().collect();
-            self.index.append_trajectories(&refs);
+            if absorb {
+                self.index.absorb_trajectories(&refs);
+            } else {
+                self.index.append_trajectories(&refs);
+            }
             self.members.extend_from_slice(&record.members);
         }
         self.num_global = record.new_total;
         self.span_min = self.span_min.min(record.span_min);
         self.span_max = self.span_max.max(record.span_max);
         Ok(owned.len())
+    }
+
+    /// Seals every absorbed hot-tail batch into the shard index's
+    /// immutable levels (and applies a retention horizon, if given) —
+    /// the node-tier compaction step. Dropped partitions never shrink
+    /// the member list: trajectory ids are dense and never reused, so
+    /// the `members.len() == index.num_trajectories()` snapshot
+    /// invariant holds across retention.
+    pub fn compact(&mut self, retention_horizon: Option<Timestamp>) -> crate::CompactionOutcome {
+        self.index.compact(retention_horizon)
+    }
+
+    /// The shard index's hot-tail backlog.
+    pub fn hot_stats(&self) -> crate::HotStats {
+        self.index.hot_stats()
     }
 
     /// Serializes the node state into a snapshot container

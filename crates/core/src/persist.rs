@@ -16,6 +16,14 @@
 //! | 4   | `USERS`     | the dense `d → u` user table                    |
 //! | 5   | `TOD`       | optional time-of-day histogram store            |
 //! | 6   | `ESTIMATES` | per-edge speed-limit travel-time estimates      |
+//! | 7   | `HOT`       | pending hot-tail batches (raw trajectories)     |
+//!
+//! The `HOT` section carries absorbed-but-unsealed batches as raw
+//! trajectory payloads (their lanes and histograms are rebuilt on
+//! restore); `META`'s trajectory count covers them — the user table
+//! already does — while its entry count covers the immutable forest
+//! only. Snapshots written before the section existed restore with an
+//! empty hot tail.
 
 use crate::snt::{FmVariant, Forest, TodStore};
 use crate::{SntConfig, SntIndex, TreeKind, WaveletKind};
@@ -38,6 +46,8 @@ pub const SECTION_USERS: SectionId = SectionId(4);
 pub const SECTION_TOD: SectionId = SectionId(5);
 /// Per-edge speed-limit estimates.
 pub const SECTION_ESTIMATES: SectionId = SectionId(6);
+/// Pending hot-tail batches (raw trajectories, absorb order).
+pub const SECTION_HOT: SectionId = SectionId(7);
 
 /// Wire form: tree kind (u8), wavelet kind (u8), optional partition
 /// width in days, optional ToD bucket width in seconds.
@@ -252,6 +262,19 @@ impl SntIndex {
         est.put_seq(&self.estimate_tt);
         builder.add_section(SECTION_ESTIMATES, est.into_bytes());
 
+        let mut hot = ByteWriter::new();
+        let batches = self.hot_snapshot_batches();
+        hot.put_len(batches.len());
+        for (first_id, trajs) in batches {
+            hot.put_u32(first_id);
+            hot.put_len(trajs.len());
+            for tr in trajs {
+                tr.user().persist(&mut hot);
+                hot.put_seq(tr.entries());
+            }
+        }
+        builder.add_section(SECTION_HOT, hot.into_bytes());
+
         builder
     }
 
@@ -356,7 +379,7 @@ impl SntIndex {
             )));
         }
 
-        Ok(SntIndex {
+        let mut index = SntIndex {
             config,
             partitions,
             forest,
@@ -367,7 +390,50 @@ impl SntIndex {
             data_max,
             total_entries,
             scratch_id: crate::snt::next_scratch_id(),
-        })
+            hot: Default::default(),
+            mutation_stamp: 0,
+        };
+
+        // Pending hot batches (absent in pre-lifecycle snapshots → empty
+        // tail). The user table and data span already cover them; only the
+        // tail state is rebuilt. Ids must tile `..num_trajectories` exactly.
+        match archive.section(SECTION_HOT) {
+            Err(StoreError::MissingSection(_)) => {}
+            Err(e) => return Err(e),
+            Ok(mut hs) => {
+                let n = hs.get_len(1)?;
+                let mut expect_end = num_trajectories as u32;
+                let mut raw = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let first_id = hs.get_u32()?;
+                    let m = hs.get_len(1)?;
+                    let mut trajectories = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        let user = UserId::restore(&mut hs)?;
+                        let entries: Vec<TrajEntry> = hs.get_seq()?;
+                        trajectories.push((user, entries));
+                    }
+                    raw.push((first_id, trajectories));
+                }
+                hs.expect_exhausted("hot section")?;
+                for (first_id, trajectories) in raw.iter().rev() {
+                    let end = first_id
+                        .checked_add(trajectories.len() as u32)
+                        .ok_or_else(|| StoreError::corrupt("hot batch id overflow"))?;
+                    if end != expect_end {
+                        return Err(StoreError::corrupt(format!(
+                            "hot batch ids end at {end}, expected {expect_end}"
+                        )));
+                    }
+                    expect_end = *first_id;
+                }
+                for (first_id, trajectories) in raw {
+                    let trajs = prepare_batch(first_id, index.estimate_tt.len(), &trajectories)?;
+                    index.restore_hot_batch(first_id, trajs);
+                }
+            }
+        }
+        Ok(index)
     }
 
     /// Validates a raw batch of `(user, entries)` payloads against this

@@ -524,6 +524,20 @@ impl ShardedSntIndex {
     /// Appends a batch with the next dense global ids (embedded ids are
     /// ignored, mirroring [`SntIndex::append_trajectories`]).
     pub fn append_trajectories(&self, batch: &[&Trajectory]) -> ShardedAppend {
+        self.ingest(batch, false)
+    }
+
+    /// Absorbs a batch into every touched shard's hot tail — the sharded
+    /// counterpart of [`SntIndex::absorb_trajectories`]. Routing,
+    /// membership, and counters behave exactly like
+    /// [`ShardedSntIndex::append_trajectories`]; only the per-shard write
+    /// primitive differs, so answers stay byte-identical to the monolith
+    /// absorbing the same batch.
+    pub fn absorb_trajectories(&self, batch: &[&Trajectory]) -> ShardedAppend {
+        self.ingest(batch, true)
+    }
+
+    fn ingest(&self, batch: &[&Trajectory], absorb: bool) -> ShardedAppend {
         if batch.is_empty() {
             return ShardedAppend::default();
         }
@@ -558,7 +572,11 @@ impl ShardedSntIndex {
                 .appended_trajectories
                 .fetch_add(refs.len() as u64, Ordering::Relaxed);
             shard.members.extend_from_slice(&new_members[s]);
-            shard.index.append_trajectories(refs);
+            if absorb {
+                shard.index.absorb_trajectories(refs);
+            } else {
+                shard.index.append_trajectories(refs);
+            }
             touched.push(s);
         }
         self.num_trajectories
@@ -603,6 +621,44 @@ impl ShardedSntIndex {
         let owned = self.prepare_append_batch(trajectories)?;
         let refs: Vec<&Trajectory> = owned.iter().collect();
         Ok(self.append_trajectories(&refs))
+    }
+
+    /// The absorb counterpart of
+    /// [`ShardedSntIndex::append_trajectory_batch`]: validates the raw
+    /// payload, then absorbs it into the touched shards' hot tails.
+    pub fn absorb_trajectory_batch(
+        &self,
+        trajectories: &[(UserId, Vec<TrajEntry>)],
+    ) -> Result<ShardedAppend, StoreError> {
+        let owned = self.prepare_append_batch(trajectories)?;
+        let refs: Vec<&Trajectory> = owned.iter().collect();
+        Ok(self.absorb_trajectories(&refs))
+    }
+
+    /// Compacts every shard — seals pending hot batches and applies the
+    /// retention horizon — write-locking one shard at a time, so readers
+    /// of other shards proceed undisturbed. Callers running concurrent
+    /// appenders must hold [`ShardedSntIndex::append_permit`] across the
+    /// call, like any other multi-writer operation.
+    pub fn compact(&self, retention_horizon: Option<Timestamp>) -> crate::CompactionOutcome {
+        let mut out = crate::CompactionOutcome::default();
+        for s in 0..self.shards.len() {
+            let mut shard = self.shards[s].write().unwrap_or_else(|e| e.into_inner());
+            out.merge(&shard.index.compact(retention_horizon));
+        }
+        out
+    }
+
+    /// Aggregated hot-tail accounting across all shards.
+    pub fn hot_stats(&self) -> crate::HotStats {
+        let mut out = crate::HotStats::default();
+        for s in 0..self.shards.len() {
+            let st = self.read_shard(s).index.hot_stats();
+            out.batches += st.batches;
+            out.entries += st.entries;
+            out.bytes += st.bytes;
+        }
+        out
     }
 
     /// The WAL record for the delta `set[from..]`: the batch plus its

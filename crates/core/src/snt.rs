@@ -16,6 +16,7 @@
 //! (Procedure 2, in `tthr-fmindex`), `buildMap` (Procedure 3), `probeMap`
 //! (Procedure 4), and `getTravelTimes` (Procedure 5).
 
+use crate::hot::{HotBatch, HotTail};
 use crate::interval::TimeInterval;
 use crate::probe::ProbeTable;
 use crate::spq::{Filter, Spq};
@@ -236,6 +237,45 @@ pub struct MemoryReport {
     pub total_entries: usize,
 }
 
+/// Hot-tail accounting, surfaced through service stats and `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Absorbed-but-unsealed batches pending compaction.
+    pub batches: usize,
+    /// Total traversals across pending batches.
+    pub entries: usize,
+    /// Approximate heap footprint of the hot tail.
+    pub bytes: usize,
+}
+
+/// What one [`SntIndex::compact`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Hot batches sealed into immutable partitions.
+    pub sealed_batches: usize,
+    /// Traversals those batches carried.
+    pub sealed_entries: usize,
+    /// Immutable partitions dropped by the retention horizon.
+    pub dropped_partitions: usize,
+    /// Traversals those partitions carried.
+    pub dropped_entries: usize,
+}
+
+impl CompactionOutcome {
+    /// Whether the call changed the index at all.
+    pub fn changed(&self) -> bool {
+        self.sealed_batches > 0 || self.dropped_partitions > 0
+    }
+
+    /// Folds another outcome into this one (per-shard aggregation).
+    pub fn merge(&mut self, other: &CompactionOutcome) {
+        self.sealed_batches += other.sealed_batches;
+        self.sealed_entries += other.sealed_entries;
+        self.dropped_partitions += other.dropped_partitions;
+        self.dropped_entries += other.dropped_entries;
+    }
+}
+
 pub(crate) enum FmVariant {
     Huffman(FmIndex<HuffmanWaveletTree>),
     Matrix(FmIndex<WaveletMatrix>),
@@ -325,6 +365,64 @@ impl Forest {
             }
         }
     }
+
+    /// Calls `f` for every leaf in the forest (per-tree scan order).
+    fn for_each_leaf(&self, f: &mut dyn FnMut(&LeafEntry)) {
+        match self {
+            Forest::Css(trees) => {
+                for t in trees {
+                    for l in t.entries() {
+                        f(l);
+                    }
+                }
+            }
+            Forest::BPlus(trees) => {
+                for t in trees {
+                    let _ = t.scan_range(i64::MIN, i64::MAX, &mut |l| {
+                        f(l);
+                        ControlFlow::Continue(())
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rebuilds every tree keeping only leaves `keep` accepts, passing each
+    /// survivor through `remap` (retention). Rebuilding `from_sorted` on
+    /// the filtered scan sequence preserves relative order — including
+    /// timestamp-tie order — so the result is exactly the forest an index
+    /// that only ever appended the surviving batches would hold.
+    fn retain_remap(
+        &mut self,
+        keep: &dyn Fn(&LeafEntry) -> bool,
+        remap: &dyn Fn(LeafEntry) -> LeafEntry,
+    ) {
+        match self {
+            Forest::Css(trees) => {
+                for t in trees {
+                    let kept: Vec<LeafEntry> = t
+                        .entries()
+                        .iter()
+                        .filter(|l| keep(l))
+                        .map(|l| remap(*l))
+                        .collect();
+                    *t = CssTree::from_sorted(kept);
+                }
+            }
+            Forest::BPlus(trees) => {
+                for t in trees {
+                    let mut kept: Vec<LeafEntry> = Vec::new();
+                    let _ = t.scan_range(i64::MIN, i64::MAX, &mut |l| {
+                        if keep(l) {
+                            kept.push(remap(*l));
+                        }
+                        ControlFlow::Continue(())
+                    });
+                    *t = BPlusTree::from_sorted(kept);
+                }
+            }
+        }
+    }
 }
 
 /// Per-partition, per-segment time-of-day histograms.
@@ -386,7 +484,7 @@ pub(crate) fn next_scratch_id() -> u64 {
 /// bounds the cache's size by the query's own relaxation work.
 #[derive(Default)]
 pub struct SearchScratch {
-    /// `(index id, trajectory count)` the cache entries belong to.
+    /// `(index id, mutation stamp)` the cache entries belong to.
     owner: Option<(u64, u64)>,
     /// Pattern buffer for the query being answered.
     symbols: Vec<u32>,
@@ -424,9 +522,9 @@ impl SearchScratch {
     }
 
     /// Invalidates the cache unless it already belongs to the index state
-    /// `(id, trajectory count)`: ids are unique per index instance and
-    /// appends always grow the count, so the pair changes whenever cached
-    /// ranges could be stale.
+    /// `(id, mutation stamp)`: ids are unique per index instance and every
+    /// mutation (append, hot-tail absorb, compaction, retention) bumps the
+    /// stamp, so the pair changes whenever cached ranges could be stale.
     pub(crate) fn ensure(&mut self, id: u64, stamp: u64) {
         if self.owner != Some((id, stamp)) {
             self.owner = Some((id, stamp));
@@ -449,10 +547,21 @@ pub struct SntIndex {
     pub(crate) estimate_tt: Vec<f64>,
     pub(crate) data_min: Timestamp,
     pub(crate) data_max: Timestamp,
+    /// Leaf entries in the *immutable* forest (hot-tail entries are
+    /// counted separately by [`SntIndex::hot_stats`]).
     pub(crate) total_entries: usize,
     /// Process-unique identity for [`SearchScratch`] tagging (not
     /// persisted — re-drawn on restore).
     pub(crate) scratch_id: u64,
+    /// The mutable ingestion tail (see [`crate::hot`]): absorbed batches
+    /// queries merge with the immutable levels until compaction seals them.
+    pub(crate) hot: HotTail,
+    /// Monotonic state version for [`SearchScratch`] invalidation: bumped
+    /// on every mutation (append, absorb, compaction, retention). The
+    /// trajectory count alone is not enough — compaction changes the
+    /// partition layout without changing the count, and cached
+    /// per-partition ISA ranges would silently go stale.
+    pub(crate) mutation_stamp: u64,
 }
 
 impl SntIndex {
@@ -592,6 +701,8 @@ impl SntIndex {
             data_min,
             data_max,
             total_entries,
+            hot: HotTail::default(),
+            mutation_stamp: 0,
         }
     }
 
@@ -671,7 +782,7 @@ impl SntIndex {
         path: &tthr_network::Path,
         scratch: &'s mut SearchScratch,
     ) -> &'s [IsaRange] {
-        scratch.ensure(self.scratch_id, self.user_table.len() as u64);
+        scratch.ensure(self.scratch_id, self.mutation_stamp);
         self.fill_ranges(path, scratch);
         &scratch.ranges
     }
@@ -730,7 +841,74 @@ impl SntIndex {
     /// Exact number of traversals of the path across all partitions
     /// (`cP = ed − st`, the ISA-mode cardinality).
     pub fn traversal_count(&self, path: &tthr_network::Path) -> usize {
-        self.isa_ranges(path).iter().map(|r| r.len()).sum()
+        let cold: usize = self.isa_ranges(path).iter().map(|r| r.len()).sum();
+        let hot: usize = self.hot.batches().iter().map(|b| b.count_path(path)).sum();
+        cold + hot
+    }
+
+    /// Min/max leaf time of a segment across the immutable forest *and*
+    /// the hot tail — the bounds a monolithic tree over the same data
+    /// would report.
+    pub(crate) fn edge_bounds(&self, e: EdgeId) -> Option<(Timestamp, Timestamp)> {
+        let tree = self.forest.tree(e);
+        let cold = tree
+            .min_key()
+            .map(|mn| (mn, tree.max_key().expect("non-empty")));
+        match (cold, self.hot.bounds(e)) {
+            (None, hot) => hot,
+            (cold, None) => cold,
+            (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+        }
+    }
+
+    /// Total leaf count of a segment (immutable forest + hot tail).
+    pub(crate) fn merged_edge_len(&self, e: EdgeId) -> usize {
+        self.forest.tree(e).len() + self.hot.lane_len(e)
+    }
+
+    /// Leaf count of a segment in `[lo, hi)` (immutable forest + hot tail)
+    /// — what [`TemporalIndex::range_count`] would report on a monolithic
+    /// tree over the same data.
+    pub(crate) fn merged_range_count(&self, e: EdgeId, lo: Timestamp, hi: Timestamp) -> usize {
+        self.forest.tree(e).range_count(lo, hi) + self.hot.slice(e, lo, hi).len()
+    }
+
+    /// The pending hot batches (estimator parity; see [`crate::hot`]).
+    pub(crate) fn hot_batches(&self) -> &[HotBatch] {
+        self.hot.batches()
+    }
+
+    /// Scans segment `e` over `[lo, hi)` in exactly the order a monolithic
+    /// tree over cold + hot data would: two-way merge of the immutable
+    /// tree and the hot lane, cold leaf first on equal timestamps (hot
+    /// batches are a strict suffix of the append sequence, and both tree
+    /// kinds keep existing entries first on ties). The callback's second
+    /// argument distinguishes hot leaves, whose spatial filter is
+    /// evaluated against the retained trajectory instead of an ISA range.
+    fn scan_merged(
+        &self,
+        e: EdgeId,
+        lo: Timestamp,
+        hi: Timestamp,
+        f: &mut dyn FnMut(&LeafEntry, bool) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let hot = self.hot.slice(e, lo, hi);
+        if hot.is_empty() {
+            return self.forest.tree(e).scan_range(lo, hi, &mut |r| f(r, false));
+        }
+        let mut h = 0usize;
+        self.forest.tree(e).scan_range(lo, hi, &mut |c| {
+            while h < hot.len() && hot[h].time < c.time {
+                f(&hot[h], true)?;
+                h += 1;
+            }
+            f(c, false)
+        })?;
+        while h < hot.len() {
+            f(&hot[h], true)?;
+            h += 1;
+        }
+        ControlFlow::Continue(())
     }
 
     fn passes_filter(&self, spq: &Spq, traj: u32) -> bool {
@@ -772,14 +950,19 @@ impl SntIndex {
         let cap = spq.beta_cap() as usize;
         let mut map = ProbeTable::with_capacity(cap.min(1024));
         let mut first_lo = Timestamp::MAX;
-        let tree = self.forest.tree(spq.path.first());
-        let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
+        let first = spq.path.first();
+        let Some((kmin, kmax)) = self.edge_bounds(first) else {
             return (map, first_lo);
         };
         let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
             first_lo = first_lo.min(lo);
-            tree.scan_range(lo, hi, &mut |r| {
-                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj) {
+            self.scan_merged(first, lo, hi, &mut |r, is_hot| {
+                let on_path = if is_hot {
+                    self.hot.leaf_matches(r, &spq.path)
+                } else {
+                    ranges[r.partition as usize].contains(r.isa)
+                };
+                if on_path && self.passes_filter(spq, r.traj) {
                     map.insert(r.traj, r.seq, r.antecedent());
                     if let Some(xs) = collect.as_deref_mut() {
                         // The probe-side arithmetic on the same leaf.
@@ -808,11 +991,13 @@ impl SntIndex {
             return xs;
         }
         let l = spq.path.len() as u32;
-        let tree = self.forest.tree(spq.path.last());
-        let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
+        let last = spq.path.last();
+        let Some((kmin, kmax)) = self.edge_bounds(last) else {
             return xs;
         };
-        let _ = tree.scan_range(kmin.max(from), kmax + 1, &mut |r| {
+        let _ = self.scan_merged(last, kmin.max(from), kmax + 1, &mut |r, _| {
+            // Probe hits are map-membership tests: identical for hot and
+            // cold leaves (the map's (traj, seq) keys are global either way).
             if r.seq + 1 >= l {
                 if let Some(diff) = map.get(r.traj, r.seq + 1 - l) {
                     xs.push(r.aggregate - diff);
@@ -854,7 +1039,7 @@ impl SntIndex {
     }
 
     fn get_travel_times_inner(&self, spq: &Spq, scratch: &mut SearchScratch) -> TravelTimes {
-        scratch.ensure(self.scratch_id, self.user_table.len() as u64);
+        scratch.ensure(self.scratch_id, self.mutation_stamp);
         self.fill_ranges(&spq.path, scratch);
         let ranges: &[IsaRange] = &scratch.ranges;
         let single = spq.path.len() == 1;
@@ -864,7 +1049,7 @@ impl SntIndex {
             values: TtValues::one(self.estimate_tt[spq.path.first().index()]),
             fallback: true,
         };
-        if ranges.iter().all(|r| r.is_empty()) {
+        if ranges.iter().all(|r| r.is_empty()) && !self.hot.traverses(&spq.path) {
             // Procedure 5 returns ∅ here; for the terminal fallback query
             // (single segment, fixed interval) that would strand the
             // splitter, so line 13's estimate applies directly.
@@ -916,20 +1101,25 @@ impl SntIndex {
     }
 
     fn count_matching_inner(&self, spq: &Spq, cap: u32, scratch: &mut SearchScratch) -> usize {
-        scratch.ensure(self.scratch_id, self.user_table.len() as u64);
+        scratch.ensure(self.scratch_id, self.mutation_stamp);
         self.fill_ranges(&spq.path, scratch);
         let ranges: &[IsaRange] = &scratch.ranges;
-        if ranges.iter().all(|r| r.is_empty()) {
+        if ranges.iter().all(|r| r.is_empty()) && !self.hot.traverses(&spq.path) {
             return 0;
         }
-        let tree = self.forest.tree(spq.path.first());
-        let (Some(kmin), Some(kmax)) = (tree.min_key(), tree.max_key()) else {
+        let first = spq.path.first();
+        let Some((kmin, kmax)) = self.edge_bounds(first) else {
             return 0;
         };
         let mut n = 0usize;
         let _ = spq.interval.for_each_window(kmin, kmax, &mut |lo, hi| {
-            tree.scan_range(lo, hi, &mut |r| {
-                if ranges[r.partition as usize].contains(r.isa) && self.passes_filter(spq, r.traj) {
+            self.scan_merged(first, lo, hi, &mut |r, is_hot| {
+                let on_path = if is_hot {
+                    self.hot.leaf_matches(r, &spq.path)
+                } else {
+                    ranges[r.partition as usize].contains(r.isa)
+                };
+                if on_path && self.passes_filter(spq, r.traj) {
                     n += 1;
                     if n >= cap as usize {
                         return ControlFlow::Break(());
@@ -988,20 +1178,90 @@ impl SntIndex {
         if batch.is_empty() {
             return 0;
         }
+        // Once the hot tail is non-empty, later appends must land *after*
+        // it (batches seal strictly in absorb order), so the direct path
+        // delegates — the two write paths stay interchangeable mid-stream.
+        if !self.hot.is_empty() {
+            return self.absorb_trajectories(batch);
+        }
+        let pending = self.admit(batch.iter().map(|tr| (*tr).clone()).collect());
+        self.seal_batch(pending);
+        self.mutation_stamp += 1;
+        batch.len()
+    }
+
+    /// Absorbs a batch into the mutable hot tail — the cheap write path.
+    /// Trajectories get the next dense ids and are queryable immediately,
+    /// byte-identically to [`SntIndex::append_trajectories`], but no
+    /// FM-index is built until [`SntIndex::compact`] seals the tail.
+    /// Returns the number of trajectories absorbed.
+    ///
+    /// # Panics
+    /// Panics if the hot batch id space (2¹⁶ − 1) is exhausted before a
+    /// compaction runs.
+    pub fn absorb_trajectories(&mut self, batch: &[&tthr_trajectory::Trajectory]) -> usize {
+        self.absorb_trajectories_owned(batch.iter().map(|tr| (*tr).clone()).collect())
+    }
+
+    /// [`SntIndex::absorb_trajectories`] taking ownership — the hot tail
+    /// keeps the trajectories anyway, so a caller holding an owned
+    /// prepared batch (the service's group-commit path) skips the clone.
+    pub fn absorb_trajectories_owned(&mut self, batch: Vec<tthr_trajectory::Trajectory>) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let absorbed = batch.len();
+        let pending = self.admit(batch);
+        let num_edges = self.estimate_tt.len();
+        self.hot.absorb(pending, num_edges);
+        self.mutation_stamp += 1;
+        absorbed
+    }
+
+    /// Shared admission bookkeeping for both write paths: assigns the next
+    /// dense ids, folds the batch into `data_min`/`data_max` and the user
+    /// table, and builds the pending [`HotBatch`].
+    fn admit(&mut self, trajs: Vec<tthr_trajectory::Trajectory>) -> HotBatch {
         let from = self.num_trajectories() as u32;
+        for tr in &trajs {
+            for entry in tr.entries() {
+                self.data_max = self.data_max.max(entry.enter_time);
+            }
+            self.data_min = self.data_min.min(tr.start_time());
+            self.user_table.push(tr.user());
+        }
+        let tod_bucket = self.tod.as_ref().map(|t| t.bucket_secs);
+        HotBatch::build(from, trajs, self.estimate_tt.len(), tod_bucket)
+    }
+
+    /// Seals one pending batch as its own immutable partition — the exact
+    /// construction direct appends have always used, so the sealed state is
+    /// byte-identical to an index that appended the batch directly
+    /// (identical FM partition, forest leaves, and ToD row).
+    ///
+    /// # Panics
+    /// Panics if the partition id space (2¹⁶) is exhausted.
+    fn seal_batch(&mut self, mut batch: HotBatch) {
+        let hists = batch.take_hists();
+        let HotBatch {
+            first_id,
+            trajs,
+            entries,
+            ..
+        } = batch;
         let w = self.partitions.len();
         assert!(w < u16::MAX as usize, "partition id space exhausted");
 
         // FM-index over the batch's own trajectory string.
         let sigma = self.estimate_tt.len() as u32 + 1;
-        let (txt, starts) = text::build_text(batch.iter().copied());
+        let (txt, starts) = text::build_text(trajs.iter());
         let (fm, isa) = FmVariant::build(self.config.wavelet, &txt, sigma);
 
         // Collect the batch's leaves per edge, then append in time order.
         let num_edges = self.estimate_tt.len();
         let mut per_edge: Vec<Vec<LeafEntry>> = vec![Vec::new(); num_edges];
-        for (gi, tr) in batch.iter().enumerate() {
-            let id = from + gi as u32;
+        for (gi, tr) in trajs.iter().enumerate() {
+            let id = first_id + gi as u32;
             let base = starts[gi];
             let mut aggregate = 0.0;
             for (k, entry) in tr.entries().iter().enumerate() {
@@ -1015,21 +1275,12 @@ impl SntIndex {
                     seq: k as u32,
                     partition: w as u16,
                 });
-                self.total_entries += 1;
-                self.data_max = self.data_max.max(entry.enter_time);
             }
-            self.data_min = self.data_min.min(tr.start_time());
-            self.user_table.push(tr.user());
         }
+        self.total_entries += entries;
         if let Some(tod) = &mut self.tod {
-            let mut hists: Vec<Option<TimeOfDayHistogram>> = vec![None; num_edges];
-            for (edge_idx, leaves) in per_edge.iter().enumerate() {
-                for leaf in leaves {
-                    hists[edge_idx]
-                        .get_or_insert_with(|| TimeOfDayHistogram::new(tod.bucket_secs))
-                        .add(leaf.time);
-                }
-            }
+            // The batch's ToD row — the same per-entry adds, in the same
+            // order, the direct path used to make here.
             tod.hists.push(hists);
         }
         for (edge_idx, mut leaves) in per_edge.into_iter().enumerate() {
@@ -1040,7 +1291,137 @@ impl SntIndex {
             self.forest.append(edge_idx, leaves);
         }
         self.partitions.push(fm);
-        batch.len()
+    }
+
+    /// The pending hot batches as raw `(first_id, trajectories)` payloads
+    /// (the snapshot wire form — lanes and histograms are rebuilt on
+    /// restore).
+    pub(crate) fn hot_snapshot_batches(&self) -> Vec<(u32, &[tthr_trajectory::Trajectory])> {
+        self.hot
+            .batches()
+            .iter()
+            .map(|b| (b.first_id, b.trajs.as_slice()))
+            .collect()
+    }
+
+    /// Re-absorbs one snapshot hot batch during restore: the user table
+    /// and data span already cover it, so only the tail state is rebuilt.
+    pub(crate) fn restore_hot_batch(
+        &mut self,
+        first_id: u32,
+        trajs: Vec<tthr_trajectory::Trajectory>,
+    ) {
+        let tod_bucket = self.tod.as_ref().map(|t| t.bucket_secs);
+        let batch = HotBatch::build(first_id, trajs, self.estimate_tt.len(), tod_bucket);
+        let num_edges = self.estimate_tt.len();
+        self.hot.absorb(batch, num_edges);
+        self.mutation_stamp += 1;
+    }
+
+    /// Current hot-tail accounting.
+    pub fn hot_stats(&self) -> HotStats {
+        HotStats {
+            batches: self.hot.num_batches(),
+            entries: self.hot.num_entries(),
+            bytes: self.hot.size_bytes(),
+        }
+    }
+
+    /// Compaction: seals every pending hot batch into its own immutable
+    /// partition (in absorb order — reproducing exactly the state direct
+    /// appends would have built), then applies the retention horizon if
+    /// one is given. Queries before and after a compaction with no horizon
+    /// answer byte-identically; only the representation moves.
+    pub fn compact(&mut self, retention_horizon: Option<Timestamp>) -> CompactionOutcome {
+        let mut out = CompactionOutcome::default();
+        for batch in self.hot.drain_batches() {
+            out.sealed_batches += 1;
+            out.sealed_entries += batch.entries;
+            self.seal_batch(batch);
+        }
+        if let Some(horizon) = retention_horizon {
+            let (parts, entries) = self.apply_retention(horizon);
+            out.dropped_partitions = parts;
+            out.dropped_entries = entries;
+        }
+        if out.changed() {
+            self.mutation_stamp += 1;
+        }
+        out
+    }
+
+    /// Drops every immutable partition whose newest leaf lies strictly
+    /// before `horizon` — partition-granular retention: a batch expires
+    /// only once *every* trajectory in it has its last timestamp behind
+    /// the horizon, so nothing visible is ever half-dropped. Surviving
+    /// partitions are renumbered densely and the forest is rebuilt on the
+    /// filtered leaf sequence (relative order — including timestamp-tie
+    /// order — is preserved, so answers match an index that only ever
+    /// appended the surviving batches). The user table keeps its full
+    /// dense id space (8 bytes per expired trajectory) so global ids
+    /// never shift.
+    fn apply_retention(&mut self, horizon: Timestamp) -> (usize, usize) {
+        let num_parts = self.partitions.len();
+        if num_parts == 0 {
+            return (0, 0);
+        }
+        let mut max_time: Vec<Option<i64>> = vec![None; num_parts];
+        let mut part_entries: Vec<usize> = vec![0; num_parts];
+        self.forest.for_each_leaf(&mut |l| {
+            let p = l.partition as usize;
+            max_time[p] = Some(max_time[p].map_or(l.time, |m| m.max(l.time)));
+            part_entries[p] += 1;
+        });
+        let drop: Vec<bool> = max_time
+            .iter()
+            .map(|m| m.is_some_and(|m| m < horizon))
+            .collect();
+        if !drop.iter().any(|&d| d) {
+            return (0, 0);
+        }
+        let mut remap: Vec<u16> = vec![u16::MAX; num_parts];
+        let mut next = 0u16;
+        let mut dropped_parts = 0usize;
+        let mut dropped_entries = 0usize;
+        for (p, &dropped) in drop.iter().enumerate() {
+            if dropped {
+                dropped_parts += 1;
+                dropped_entries += part_entries[p];
+            } else {
+                remap[p] = next;
+                next += 1;
+            }
+        }
+        let mut p = 0;
+        self.partitions.retain(|_| {
+            let keep = !drop[p];
+            p += 1;
+            keep
+        });
+        if let Some(tod) = &mut self.tod {
+            let mut p = 0;
+            tod.hists.retain(|_| {
+                let keep = !drop[p];
+                p += 1;
+                keep
+            });
+        }
+        self.forest
+            .retain_remap(&|l| !drop[l.partition as usize], &|mut l| {
+                l.partition = remap[l.partition as usize];
+                l
+            });
+        self.total_entries -= dropped_entries;
+        // data_min tracks the oldest *retained* leaf (data_max stays — a
+        // high-water mark). With nothing left, the old floor is harmless:
+        // every scan bound comes from the now-empty forest.
+        let mut min_time = i64::MAX;
+        self.forest
+            .for_each_leaf(&mut |l| min_time = min_time.min(l.time));
+        if min_time != i64::MAX {
+            self.data_min = min_time;
+        }
+        (dropped_parts, dropped_entries)
     }
 
     /// Memory accounting for the Figure 10 experiments.
@@ -1373,5 +1754,313 @@ mod tests {
         assert!(idx.get_travel_times(&q).is_empty());
         let qf = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::fixed(0, 100));
         assert!(idx.get_travel_times(&qf).fallback);
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    //! The hot-tail equivalence invariant, pinned at the index level: an
+    //! index with a non-empty hot tail must answer every query — travel
+    //! times, counts, *and* every estimator mode — byte-identically to
+    //! one that direct-appended the same batch schedule, and sealing the
+    //! tail must reproduce the direct-append state down to the snapshot
+    //! bytes.
+
+    use super::*;
+    use crate::cardinality::{estimate_cardinality, CardinalityMode};
+    use tthr_network::examples::{example_network, EDGE_A, EDGE_B};
+    use tthr_network::{EdgeId, Path};
+    use tthr_trajectory::examples::example_trajectories;
+    use tthr_trajectory::{TrajEntry, TrajId, Trajectory, TrajectorySet, UserId};
+
+    fn lcg(s: &mut u64) -> u64 {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 33
+    }
+
+    /// A deterministic batch of valid trajectories over the example
+    /// network's six edges, entering within ~100 s of `first_time`.
+    fn random_batch(s: &mut u64, first_time: i64, n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|_| {
+                let len = 1 + (lcg(s) % 5) as usize;
+                let mut t = first_time + (lcg(s) % 50) as i64;
+                let mut entries = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let e = EdgeId((lcg(s) % 6) as u32);
+                    let tt = 1.0 + (lcg(s) % 80) as f64 / 8.0;
+                    entries.push(TrajEntry::new(e, t, tt));
+                    t += 1 + (lcg(s) % 9) as i64;
+                }
+                Trajectory::new(TrajId(0), UserId((lcg(s) % 3) as u32), entries).unwrap()
+            })
+            .collect()
+    }
+
+    /// Randomized-but-deterministic queries whose paths are sub-paths of
+    /// applied trajectories (so answers are non-trivial).
+    fn workload(all: &[Trajectory], s: &mut u64) -> Vec<Spq> {
+        all.iter()
+            .map(|tr| {
+                let len = 1 + (lcg(s) as usize % tr.len().min(3));
+                let start = lcg(s) as usize % (tr.len() - len + 1);
+                let path = tr.path().sub_path(start..start + len);
+                let enter = tr.entries()[start].enter_time;
+                let interval = match lcg(s) % 4 {
+                    0 => TimeInterval::fixed(0, i64::MAX / 4),
+                    1 => TimeInterval::fixed(enter - 30, enter + 30),
+                    2 => TimeInterval::periodic(enter.rem_euclid(86_400).min(86_000), 300),
+                    _ => TimeInterval::periodic(0, 900),
+                };
+                let mut q = Spq::new(path, interval);
+                if lcg(s).is_multiple_of(2) {
+                    q = q.with_beta(1 + (lcg(s) % 4) as u32);
+                }
+                if lcg(s).is_multiple_of(4) {
+                    q = q.with_user(tr.user());
+                }
+                q
+            })
+            .collect()
+    }
+
+    /// Byte-level equivalence on a workload: travel-time bit patterns in
+    /// scan order, fallback flags, capped and uncapped counts, and every
+    /// estimator mode's bit pattern.
+    fn assert_identical(a: &SntIndex, b: &SntIndex, queries: &[Spq]) {
+        assert_eq!(a.num_trajectories(), b.num_trajectories());
+        for q in queries {
+            let x = a.get_travel_times(q);
+            let y = b.get_travel_times(q);
+            let xb: Vec<u64> = x.values.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "travel times diverge: {q:?}");
+            assert_eq!(x.fallback, y.fallback, "fallback diverges: {q:?}");
+            assert_eq!(
+                a.count_matching(q, u32::MAX),
+                b.count_matching(q, u32::MAX),
+                "uncapped count diverges: {q:?}"
+            );
+            assert_eq!(
+                a.count_matching(q, 3),
+                b.count_matching(q, 3),
+                "capped count diverges: {q:?}"
+            );
+            assert_eq!(a.traversal_count(&q.path), b.traversal_count(&q.path));
+            for mode in CardinalityMode::ALL {
+                let ea = estimate_cardinality(a, q, mode);
+                let eb = estimate_cardinality(b, q, mode);
+                assert_eq!(ea.to_bits(), eb.to_bits(), "{mode:?} diverges: {q:?}");
+            }
+        }
+    }
+
+    fn configs() -> Vec<SntConfig> {
+        vec![
+            SntConfig::default(),
+            SntConfig {
+                tree: TreeKind::BPlus,
+                ..SntConfig::default()
+            },
+            SntConfig {
+                tod_bucket_secs: Some(600),
+                ..SntConfig::default()
+            },
+            SntConfig {
+                tree: TreeKind::BPlus,
+                wavelet: WaveletKind::Matrix,
+                tod_bucket_secs: Some(600),
+                ..SntConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn hot_tail_is_byte_identical_to_direct_appends() {
+        for config in configs() {
+            let net = example_network();
+            let set = example_trajectories();
+            let mut direct = SntIndex::build(&net, &set, config);
+            let mut hot = SntIndex::build(&net, &set, config);
+            let mut all: Vec<Trajectory> = (0..set.len())
+                .map(|id| set.get(TrajId(id as u32)).clone())
+                .collect();
+
+            let mut s = 42u64;
+            let mut queries = Vec::new();
+            for b in 0..4i64 {
+                // Overlapping time windows: hot leaves interleave (and tie)
+                // with cold ones instead of appending past them.
+                let batch = random_batch(&mut s, b * 40, 5);
+                let refs: Vec<&Trajectory> = batch.iter().collect();
+                assert_eq!(direct.append_trajectories(&refs), 5);
+                assert_eq!(hot.absorb_trajectories(&refs), 5);
+                all.extend(batch);
+                queries = workload(&all, &mut s);
+                assert_identical(&direct, &hot, &queries);
+            }
+            assert_eq!(hot.hot_stats().batches, 4);
+            let absorbed: usize = all[set.len()..].iter().map(|t| t.len()).sum();
+            assert_eq!(hot.hot_stats().entries, absorbed);
+
+            // The hot tail survives a snapshot round trip (HOT section).
+            let restored = SntIndex::from_snapshot_bytes(&hot.to_snapshot_bytes()).unwrap();
+            assert_eq!(restored.hot_stats(), hot.hot_stats());
+            assert_identical(&direct, &restored, &queries);
+
+            // Sealing reproduces the direct-append state exactly.
+            let out = hot.compact(None);
+            assert_eq!(out.sealed_batches, 4);
+            assert_eq!(out.dropped_partitions, 0);
+            assert_eq!(hot.hot_stats(), HotStats::default());
+            assert_eq!(
+                hot.to_snapshot_bytes(),
+                direct.to_snapshot_bytes(),
+                "sealed snapshot differs from direct-append snapshot"
+            );
+            assert_identical(&direct, &hot, &queries);
+        }
+    }
+
+    #[test]
+    fn direct_append_after_absorb_joins_the_hot_tail() {
+        // A mixed schedule — absorb, append, absorb — must order batches by
+        // arrival: the direct append lands *after* the pending hot batch.
+        let net = example_network();
+        let set = example_trajectories();
+        let mut mixed = SntIndex::build(&net, &set, SntConfig::default());
+        let mut direct = SntIndex::build(&net, &set, SntConfig::default());
+        let mut all: Vec<Trajectory> = (0..set.len())
+            .map(|id| set.get(TrajId(id as u32)).clone())
+            .collect();
+
+        let mut s = 7u64;
+        for (i, use_absorb) in [true, false, true].iter().enumerate() {
+            let batch = random_batch(&mut s, i as i64 * 30, 4);
+            let refs: Vec<&Trajectory> = batch.iter().collect();
+            if *use_absorb {
+                mixed.absorb_trajectories(&refs);
+            } else {
+                mixed.append_trajectories(&refs);
+            }
+            direct.append_trajectories(&refs);
+            all.extend(batch);
+        }
+        assert_eq!(mixed.hot_stats().batches, 3, "the append must delegate");
+        let queries = workload(&all, &mut s);
+        assert_identical(&direct, &mixed, &queries);
+        mixed.compact(None);
+        assert_eq!(mixed.to_snapshot_bytes(), direct.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn retention_drops_expired_partitions() {
+        let config = SntConfig {
+            tod_bucket_secs: Some(600),
+            ..SntConfig::default()
+        };
+        let net = example_network();
+        let empty = TrajectorySet::new();
+        let mut idx = SntIndex::build(&net, &empty, config);
+        let mut s = 9u64;
+        let old = random_batch(&mut s, 0, 4);
+        let mid = random_batch(&mut s, 10_000, 4);
+        let new = random_batch(&mut s, 20_000, 4);
+        for batch in [&old, &mid, &new] {
+            let refs: Vec<&Trajectory> = batch.iter().collect();
+            idx.append_trajectories(&refs);
+        }
+
+        // Horizon between the old and mid batches: exactly the old batch's
+        // partition expires (every trajectory in it ended long before).
+        let out = idx.compact(Some(5_000));
+        assert_eq!(out.dropped_partitions, 1);
+        assert!(out.dropped_entries > 0);
+        assert!(out.changed());
+        // Expired trajectories keep their id slots: ids never shift.
+        assert_eq!(idx.num_trajectories(), 12);
+
+        // Suffix oracle: an index that only ever saw the surviving batches
+        // (both keep the empty build partition, so partition structure —
+        // which the Acc estimator modes read — lines up exactly).
+        let mut oracle = SntIndex::build(&net, &empty, config);
+        for batch in [&mid, &new] {
+            let refs: Vec<&Trajectory> = batch.iter().collect();
+            oracle.append_trajectories(&refs);
+        }
+        assert_eq!(idx.num_partitions(), oracle.num_partitions());
+        let mut survivors: Vec<Trajectory> = mid.clone();
+        survivors.extend(new.iter().cloned());
+        for q in workload(&survivors, &mut s) {
+            let x = idx.get_travel_times(&q);
+            let y = oracle.get_travel_times(&q);
+            let xb: Vec<u64> = x.values.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "retained index diverges from suffix oracle: {q:?}");
+            assert_eq!(
+                idx.count_matching(&q, u32::MAX),
+                oracle.count_matching(&q, u32::MAX),
+                "{q:?}"
+            );
+            for mode in CardinalityMode::ALL {
+                assert_eq!(
+                    estimate_cardinality(&idx, &q, mode).to_bits(),
+                    estimate_cardinality(&oracle, &q, mode).to_bits(),
+                    "{mode:?} {q:?}"
+                );
+            }
+        }
+
+        // Idempotent: a second compaction at the same horizon is a no-op.
+        let again = idx.compact(Some(5_000));
+        assert!(!again.changed());
+    }
+
+    #[test]
+    fn retention_below_all_data_is_a_noop() {
+        let mut idx = SntIndex::build(
+            &example_network(),
+            &example_trajectories(),
+            SntConfig::default(),
+        );
+        let before = idx.to_snapshot_bytes();
+        let out = idx.compact(Some(i64::MIN));
+        assert!(!out.changed());
+        assert_eq!(idx.to_snapshot_bytes(), before);
+    }
+
+    #[test]
+    fn compaction_invalidates_reused_scratches() {
+        // Compaction adds partitions *without* changing the trajectory
+        // count — a scratch stamped by trajectory count would serve stale
+        // single-partition ISA ranges afterwards.
+        let mut idx = SntIndex::build(
+            &example_network(),
+            &example_trajectories(),
+            SntConfig::default(),
+        );
+        let path = Path::new(vec![EDGE_A, EDGE_B]);
+        let mut scratch = SearchScratch::new();
+        assert_eq!(idx.isa_ranges_with(&path, &mut scratch).len(), 1);
+
+        let tr = Trajectory::new(
+            TrajId(0),
+            UserId(9),
+            vec![
+                TrajEntry::new(EDGE_A, 50, 2.0),
+                TrajEntry::new(EDGE_B, 52, 2.0),
+            ],
+        )
+        .unwrap();
+        idx.absorb_trajectories(&[&tr]);
+        idx.compact(None);
+        assert_eq!(
+            idx.isa_ranges_with(&path, &mut scratch).len(),
+            2,
+            "stale scratch served pre-compaction ranges"
+        );
+        assert_eq!(idx.traversal_count(&path), 4);
     }
 }

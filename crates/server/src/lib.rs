@@ -316,12 +316,14 @@ pub fn serve<B: ServiceBackend>(
     let num_edges = service.network().num_edges();
     let max_batch = config.max_batch_queries;
     let api_service = service.clone();
+    let health_service = service.clone();
     let stats_service = service.clone();
     let metrics_service = service.clone();
     let slow_service = service.clone();
     let exec_service = service;
     let handlers = Handlers {
         api: Arc::new(move |op, body| handle_api(&api_service, num_edges, max_batch, op, body)),
+        health: Arc::new(move || wire::encode_health(&health_service.ingest_status())),
         stats: Arc::new(move |server| {
             // One pass over the recorder stripes yields both the
             // summaries and the raw bucket exports.

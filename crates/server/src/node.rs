@@ -80,6 +80,9 @@ pub struct NodeStore {
     state: ShardNodeState,
     wal: WalWriter,
     role: Role,
+    /// Route appends through the index's hot tail (cheap absorb, sealed
+    /// at the next snapshot rotation) instead of the direct FM update.
+    hot_tail: bool,
     /// WAL records that advanced the state since the last snapshot
     /// rotation, contiguous: the first has `base == tail_start`, each
     /// next chains `base == previous.new_total`.
@@ -112,6 +115,7 @@ impl NodeStore {
             state,
             wal,
             role: Role::Primary,
+            hot_tail: false,
             retained: VecDeque::new(),
             tail_start: stamp,
             snapshot_stamp: stamp,
@@ -148,6 +152,7 @@ impl NodeStore {
             state,
             wal,
             role: Role::Primary,
+            hot_tail: false,
             retained,
             tail_start,
             snapshot_stamp,
@@ -176,6 +181,25 @@ impl NodeStore {
         self.role = role;
     }
 
+    /// Whether appends go through the hot tail.
+    pub fn hot_tail(&self) -> bool {
+        self.hot_tail
+    }
+
+    /// Routes subsequent appends through the index's hot tail: the
+    /// record is absorbed without the FM/wavelet update and sealed at
+    /// the next snapshot rotation. Answers are byte-identical either
+    /// way, so the flag is a pure ingest-cost knob — a restarted node
+    /// replays its WAL correctly whichever mode wrote it.
+    pub fn set_hot_tail(&mut self, on: bool) {
+        self.hot_tail = on;
+    }
+
+    /// The index's hot-tail backlog (empty in direct mode).
+    pub fn hot_stats(&self) -> tthr_core::HotStats {
+        self.state.hot_stats()
+    }
+
     /// The stamp the node has applied up to (`num_global`).
     pub fn applied_stamp(&self) -> u64 {
         self.state.num_global()
@@ -200,7 +224,11 @@ impl NodeStore {
     /// shard indexed and the node's post-apply global count.
     pub fn append(&mut self, record: &NodeWalRecord) -> Result<(u64, u64), StoreError> {
         let before = self.state.num_global();
-        let applied = self.state.apply(record)?;
+        let applied = if self.hot_tail {
+            self.state.absorb(record)?
+        } else {
+            self.state.apply(record)?
+        };
         if self.state.num_global() > before {
             let mut w = ByteWriter::new();
             record.persist(&mut w);
@@ -211,11 +239,17 @@ impl NodeStore {
         Ok((applied as u64, self.state.num_global()))
     }
 
-    /// Rotates the snapshot: writes the current state atomically, then
-    /// starts a fresh WAL (see the module docs for the crash-ordering
-    /// argument). The retained tail resets — everything it covered is in
-    /// the snapshot now.
+    /// Rotates the snapshot: seals the hot tail into the immutable
+    /// levels (node-tier compaction — a no-op in direct mode), writes
+    /// the current state atomically, then starts a fresh WAL (see the
+    /// module docs for the crash-ordering argument). The retained tail
+    /// resets — everything it covered is in the snapshot now — and
+    /// [`NodeStore::snapshot_stamp`] advances, shipped to standbys via
+    /// `ReplStatus`. A caught-up standby keeps tailing across the
+    /// rotation (its stamp equals the new tail start); only a standby
+    /// behind the rotation re-syncs, once, from the fresh snapshot.
     pub fn snapshot(&mut self) -> Result<(), StoreError> {
+        self.state.compact(None);
         write_node_snapshot(&self.dir, &self.state)?;
         sync_dir(&self.dir)?;
         self.wal = WalWriter::create(&self.dir.join(NODE_WAL_FILE))?;
@@ -612,6 +646,65 @@ mod tests {
             members: vec![],
             trajectories: vec![],
         }
+    }
+
+    /// Hot-tail mode absorbs appends without the FM update, answers
+    /// byte-identically to direct mode, and the snapshot rotation seals
+    /// the backlog without disturbing a caught-up standby's tail.
+    #[test]
+    fn hot_tail_append_matches_direct_and_rotation_seals() {
+        use tthr_core::node::plan_node_records;
+        use tthr_trajectory::{TrajEntry, UserId};
+        let dir_h = temp_dir("hot");
+        let dir_d = temp_dir("hot-direct");
+        let mut hot = NodeStore::init(&dir_h, example_state()).unwrap();
+        hot.set_hot_tail(true);
+        let mut direct = NodeStore::init(&dir_d, example_state()).unwrap();
+        let batch = vec![(
+            UserId(9),
+            vec![
+                TrajEntry::new(EDGE_A, 3, 3.0),
+                TrajEntry::new(EDGE_B, 6, 3.0),
+                TrajEntry::new(EDGE_E, 9, 4.0),
+            ],
+        )];
+        let records = plan_node_records(
+            hot.state().router(),
+            hot.applied_stamp(),
+            hot.state().span_min(),
+            hot.state().span_max(),
+            &batch,
+        )
+        .unwrap();
+        let record = &records[hot.state().shard() as usize];
+        hot.append(record).unwrap();
+        direct.append(record).unwrap();
+        assert!(hot.hot_stats().entries > 0, "absorbed into the hot tail");
+        assert_eq!(direct.hot_stats().entries, 0, "direct mode seals inline");
+
+        let spq = example_spq();
+        let want = direct.state().get_travel_times(&spq).unwrap().sorted();
+        assert_eq!(hot.state().get_travel_times(&spq).unwrap().sorted(), want);
+
+        let caught_up = hot.applied_stamp();
+        hot.snapshot().unwrap();
+        assert_eq!(hot.hot_stats().entries, 0, "rotation seals the backlog");
+        assert_eq!(hot.snapshot_stamp(), caught_up, "ReplStatus ships it");
+        // A caught-up standby keeps tailing across the rotation — the
+        // primary's compaction never reads as a WalGap to it.
+        let (tail, end) = hot.tail_since(caught_up).unwrap();
+        assert!(tail.is_empty());
+        assert_eq!(end, caught_up);
+        assert_eq!(hot.state().get_travel_times(&spq).unwrap().sorted(), want);
+
+        drop(hot);
+        let reopened = NodeStore::open(&dir_h).unwrap();
+        assert_eq!(
+            reopened.state().get_travel_times(&spq).unwrap().sorted(),
+            want
+        );
+        std::fs::remove_dir_all(&dir_h).ok();
+        std::fs::remove_dir_all(&dir_d).ok();
     }
 
     #[test]

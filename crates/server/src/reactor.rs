@@ -184,6 +184,9 @@ pub(crate) type StatsHandler = Arc<dyn Fn(ServerMetrics) -> String + Send + Sync
 /// reactor (the server counter snapshot is mirrored into the service's
 /// registry before rendering).
 pub(crate) type MetricsHandler = Arc<dyn Fn(ServerMetrics) -> String + Send + Sync>;
+/// Render the `/health` body (liveness plus ingestion-lifecycle status);
+/// runs inline on the reactor.
+pub(crate) type HealthHandler = Arc<dyn Fn() -> String + Send + Sync>;
 /// Render the `/debug/slow` slow-query-log body; runs inline.
 pub(crate) type SlowHandler = Arc<dyn Fn() -> String + Send + Sync>;
 /// Submit a job to the service's worker pool.
@@ -195,6 +198,7 @@ pub(crate) type Executor = Arc<dyn Fn(Box<dyn FnOnce() + Send>) + Send + Sync>;
 #[derive(Clone)]
 pub(crate) struct Handlers {
     pub api: ApiHandler,
+    pub health: HealthHandler,
     pub stats: StatsHandler,
     pub metrics: MetricsHandler,
     pub slow: SlowHandler,
@@ -528,7 +532,8 @@ impl Reactor {
 
         let op = match (request.method.as_str(), request.target.as_str()) {
             ("GET", "/health") => {
-                let bytes = http::encode_response(200, b"{\"status\":\"ok\"}", keep_alive, None);
+                let body = (self.handlers.health)();
+                let bytes = http::encode_response(200, body.as_bytes(), keep_alive, None);
                 self.shared.counters.count_status(200);
                 self.finish(token, seq, bytes, !keep_alive);
                 return;
@@ -1023,6 +1028,7 @@ mod tests {
     fn sync_handlers() -> Handlers {
         Handlers {
             api: Arc::new(|_, _| ApiResponse::json(200, "{}".to_string())),
+            health: Arc::new(|| "{\"status\":\"ok\"}".to_string()),
             stats: Arc::new(|_| String::new()),
             metrics: Arc::new(|_| String::new()),
             slow: Arc::new(String::new),

@@ -15,7 +15,7 @@
 //!
 //! | Method & path | Request body                   | Response body |
 //! |---------------|--------------------------------|---------------|
-//! | `GET /health` | —                              | `{"status":"ok"}` |
+//! | `GET /health` | —                              | [`{"status":"ok","ingest":…}`](encode_health) |
 //! | `GET /stats`  | —                              | service + server statistics |
 //! | `GET /metrics`| —                              | Prometheus text exposition |
 //! | `GET /debug/slow` | —                          | [slow-query log](encode_slow) |
@@ -53,6 +53,34 @@ fn obj(members: Vec<(&str, Json)>) -> Json {
 
 fn err(reason: impl Into<String>) -> WireError {
     reason.into()
+}
+
+/// Encodes the `/health` body: liveness plus the ingestion-lifecycle
+/// status (hot-tail backlog and compaction counters).
+pub fn encode_health(ingest: &tthr_service::IngestStatus) -> String {
+    obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        (
+            "ingest",
+            obj(vec![
+                ("hot_tail", Json::Bool(ingest.hot_tail)),
+                ("hot_batches", Json::Int(ingest.hot.batches as i64)),
+                ("hot_entries", Json::Int(ingest.hot.entries as i64)),
+                ("hot_bytes", Json::Int(ingest.hot.bytes as i64)),
+                ("compactions", Json::Int(ingest.compactions as i64)),
+                (
+                    "compaction_errors",
+                    Json::Int(ingest.compaction_errors as i64),
+                ),
+                ("sealed_batches", Json::Int(ingest.sealed_batches as i64)),
+                (
+                    "dropped_partitions",
+                    Json::Int(ingest.dropped_partitions as i64),
+                ),
+            ]),
+        ),
+    ])
+    .encode()
 }
 
 /// Encodes an error body `{"error": reason}`.

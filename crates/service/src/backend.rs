@@ -20,10 +20,12 @@
 //! overlap a crash can leave behind.
 
 use tthr_core::{
-    IndexBackend, ShardStats, ShardedSntIndex, ShardedWalBatch, SntIndex, Spq, WalBatch,
+    CompactionOutcome, HotStats, IndexBackend, ShardStats, ShardedSntIndex, ShardedWalBatch,
+    SntIndex, Spq, WalBatch,
 };
+use tthr_network::Timestamp;
 use tthr_store::{ByteReader, ByteWriter, Persist, StoreError};
-use tthr_trajectory::{TrajEntry, Trajectory, TrajectorySet, UserId};
+use tthr_trajectory::{TrajEntry, TrajId, Trajectory, TrajectorySet, UserId};
 
 /// What one append did to the backend — the service scopes cache
 /// invalidation with it.
@@ -107,6 +109,57 @@ pub trait ServiceBackend: IndexBackend + Send + Sync + Sized + 'static {
         unreachable!("apply_prepared_shared requires SHARED_APPENDS")
     }
 
+    /// Absorbs the new trajectories of `set` into the backend's mutable
+    /// hot tail instead of sealing them into an immutable partition — the
+    /// cheap write path [`IngestConfig`](crate::IngestConfig) routes
+    /// appends through. Answers stay byte-identical to
+    /// [`Self::apply_append`]; only [`Self::compact`] pays the
+    /// FM-index/wavelet construction cost later.
+    fn absorb_append(&mut self, set: &TrajectorySet) -> AppendEffect;
+
+    /// [`Self::absorb_append`] through `&self` under the backend's
+    /// internal locks. Only called when [`Self::SHARED_APPENDS`]; the
+    /// caller holds [`Self::append_permit`].
+    fn absorb_append_shared(&self, _set: &TrajectorySet) -> AppendEffect {
+        unreachable!("absorb_append_shared requires SHARED_APPENDS")
+    }
+
+    /// Absorbs a batch previously validated by [`Self::prepare_payload`]
+    /// into the hot tail under the exclusive write lock. Takes the batch
+    /// by value: the tail keeps the trajectories, so an owning caller
+    /// (the group-commit leader) hands them over instead of cloning.
+    fn absorb_prepared(&mut self, batch: Vec<Trajectory>) -> AppendEffect;
+
+    /// [`Self::absorb_prepared`] through `&self` under the backend's
+    /// internal locks. Only called when [`Self::SHARED_APPENDS`]; the
+    /// caller holds [`Self::append_permit`].
+    fn absorb_prepared_shared(&self, _batch: Vec<Trajectory>) -> AppendEffect {
+        unreachable!("absorb_prepared_shared requires SHARED_APPENDS")
+    }
+
+    /// Seals every pending hot batch into its own immutable partition (in
+    /// absorb order, byte-identical to the index direct appends would have
+    /// built) and drops partitions fully expired by `horizon`, under the
+    /// exclusive write lock.
+    fn compact(&mut self, horizon: Option<Timestamp>) -> CompactionOutcome;
+
+    /// [`Self::compact`] through `&self` under the backend's internal
+    /// locks (one shard write-locked at a time, so readers of other
+    /// shards proceed undisturbed). Only called when
+    /// [`Self::SHARED_APPENDS`]; the caller holds
+    /// [`Self::append_permit`].
+    fn compact_shared(&self, _horizon: Option<Timestamp>) -> CompactionOutcome {
+        unreachable!("compact_shared requires SHARED_APPENDS")
+    }
+
+    /// Pending hot-tail accounting (batches, entries, heap bytes; summed
+    /// across shards for the sharded backend).
+    fn hot_stats(&self) -> HotStats;
+
+    /// Newest entry timestamp the backend has ever indexed — the
+    /// high-water mark the service's retention horizon is computed from.
+    fn max_data_time(&self) -> Timestamp;
+
     /// Encodes the WAL record logging a raw payload batch appended at
     /// trajectory count `from` (the payload flavor of
     /// [`Self::encode_wal_record`]; both replay through
@@ -142,6 +195,14 @@ pub trait ServiceBackend: IndexBackend + Send + Sync + Sized + 'static {
     /// Reassembles a backend from snapshot bytes (validating magic,
     /// version, CRCs, and cross-section invariants).
     fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError>;
+}
+
+/// The delta of a grown set: references to the members with ids `from..`
+/// (the ones an append/absorb of `set` at trajectory count `from` adds).
+fn new_members(set: &TrajectorySet, from: usize) -> Vec<&Trajectory> {
+    (from as u32..set.len() as u32)
+        .map(|id| set.get(TrajId(id)))
+        .collect()
 }
 
 impl ServiceBackend for SntIndex {
@@ -181,6 +242,33 @@ impl ServiceBackend for SntIndex {
             appended: self.append_trajectories(&refs),
             touched_shards: None,
         }
+    }
+
+    fn absorb_append(&mut self, set: &TrajectorySet) -> AppendEffect {
+        let refs = new_members(set, SntIndex::num_trajectories(self));
+        AppendEffect {
+            appended: self.absorb_trajectories(&refs),
+            touched_shards: None,
+        }
+    }
+
+    fn absorb_prepared(&mut self, batch: Vec<Trajectory>) -> AppendEffect {
+        AppendEffect {
+            appended: self.absorb_trajectories_owned(batch),
+            touched_shards: None,
+        }
+    }
+
+    fn compact(&mut self, horizon: Option<Timestamp>) -> CompactionOutcome {
+        SntIndex::compact(self, horizon)
+    }
+
+    fn hot_stats(&self) -> HotStats {
+        SntIndex::hot_stats(self)
+    }
+
+    fn max_data_time(&self) -> Timestamp {
+        self.data_max()
     }
 
     fn encode_wal_payload(&self, payload: &[(UserId, Vec<TrajEntry>)], from: usize) -> Vec<u8> {
@@ -283,6 +371,51 @@ impl ServiceBackend for ShardedSntIndex {
             appended: effect.appended,
             touched_shards: Some(effect.touched),
         }
+    }
+
+    fn absorb_append(&mut self, set: &TrajectorySet) -> AppendEffect {
+        self.absorb_append_shared(set)
+    }
+
+    fn absorb_append_shared(&self, set: &TrajectorySet) -> AppendEffect {
+        let refs = new_members(set, ShardedSntIndex::num_trajectories(self));
+        let effect = ShardedSntIndex::absorb_trajectories(self, &refs);
+        AppendEffect {
+            appended: effect.appended,
+            touched_shards: Some(effect.touched),
+        }
+    }
+
+    fn absorb_prepared(&mut self, batch: Vec<Trajectory>) -> AppendEffect {
+        self.absorb_prepared_shared(batch)
+    }
+
+    fn absorb_prepared_shared(&self, batch: Vec<Trajectory>) -> AppendEffect {
+        // Sharded absorption clones per touched shard anyway (a
+        // trajectory lands whole on every shard it touches), so the
+        // by-value batch is only borrowed here.
+        let refs: Vec<&Trajectory> = batch.iter().collect();
+        let effect = ShardedSntIndex::absorb_trajectories(self, &refs);
+        AppendEffect {
+            appended: effect.appended,
+            touched_shards: Some(effect.touched),
+        }
+    }
+
+    fn compact(&mut self, horizon: Option<Timestamp>) -> CompactionOutcome {
+        ShardedSntIndex::compact(self, horizon)
+    }
+
+    fn compact_shared(&self, horizon: Option<Timestamp>) -> CompactionOutcome {
+        ShardedSntIndex::compact(self, horizon)
+    }
+
+    fn hot_stats(&self) -> HotStats {
+        ShardedSntIndex::hot_stats(self)
+    }
+
+    fn max_data_time(&self) -> Timestamp {
+        self.data_max()
     }
 
     fn encode_wal_payload(&self, payload: &[(UserId, Vec<TrajEntry>)], from: usize) -> Vec<u8> {

@@ -83,19 +83,63 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tthr_core::{
-    QueryEngine, QueryEngineConfig, QueryTrace, SearchScratch, ShardedSntIndex, SntIndex, Spq,
-    TravelTimeProvider, TravelTimes, TripQuery,
+    CompactionOutcome, HotStats, QueryEngine, QueryEngineConfig, QueryTrace, SearchScratch,
+    ShardedSntIndex, SntIndex, Spq, TimeInterval, TravelTimeProvider, TravelTimes, TripQuery,
 };
 use tthr_metrics::{LogHistogram, MetricsRegistry};
-use tthr_network::RoadNetwork;
+use tthr_network::{RoadNetwork, Timestamp};
 use tthr_store::StoreError;
-use tthr_trajectory::{TrajEntry, TrajectorySet, UserId};
+use tthr_trajectory::{TrajEntry, TrajId, Trajectory, TrajectorySet, UserId};
 
 /// A [`QueryService`] over the partitioned
 /// [`ShardedSntIndex`]: appends stall only the
 /// written shards' readers at the index level, and cache invalidation is
 /// scoped to the touched shards.
 pub type ShardedQueryService = QueryService<ShardedSntIndex>;
+
+/// Live-ingestion lifecycle options: hot-tail absorption, background
+/// compaction, and time-based retention.
+///
+/// With [`IngestConfig::hot_tail`] **off** (the default) every append
+/// seals its batch into an immutable partition immediately — exactly the
+/// behaviour the service always had. Turned on, appends are *absorbed*
+/// into the backend's mutable hot tail (no FM-index or wavelet-tree
+/// construction on the write path; answers stay byte-identical), and a
+/// compaction — background-scheduled, size-triggered, or explicit via
+/// [`QueryService::compact_now`] — later seals the pending batches,
+/// applies the retention horizon, rotates the snapshot, and truncates the
+/// WAL.
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    /// Route appends into the backend's mutable hot tail. Off by default:
+    /// the write path seals immediately, as before.
+    pub hot_tail: bool,
+    /// Background compaction cadence (`None` disables the thread —
+    /// compaction then runs only via the size trigger or
+    /// [`QueryService::compact_now`]). The thread is only spawned when
+    /// [`IngestConfig::hot_tail`] is on.
+    pub compaction_interval: Option<Duration>,
+    /// Hot-tail entry high-water mark: an append that leaves at least
+    /// this many entries pending triggers an immediate compaction on the
+    /// appending thread (0 disables the size trigger).
+    pub hot_max_entries: usize,
+    /// Retention window: each compaction drops immutable partitions whose
+    /// newest entry is older than `max_data_time − retention` (trajectory
+    /// ids are never reused; dropped history simply stops matching).
+    /// `None` keeps everything forever.
+    pub retention: Option<Duration>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            hot_tail: false,
+            compaction_interval: None,
+            hot_max_entries: 1 << 20,
+            retention: None,
+        }
+    }
+}
 
 /// Service construction options.
 #[derive(Clone, Debug)]
@@ -106,6 +150,9 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Total result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Ingestion lifecycle: hot-tail absorption, compaction cadence, and
+    /// retention.
+    pub ingest: IngestConfig,
     /// Engine strategy configuration shared by every query.
     pub engine: QueryEngineConfig,
     /// Enable per-query wall-clock timing inside index search calls
@@ -128,6 +175,7 @@ impl Default for ServiceConfig {
             num_threads: 0,
             cache_shards: 16,
             cache_capacity: 65_536,
+            ingest: IngestConfig::default(),
             engine: QueryEngineConfig::default(),
             trace_timing: false,
             slow_query_log: 32,
@@ -141,6 +189,7 @@ struct Inner<B: ServiceBackend> {
     network: Arc<RoadNetwork>,
     cache: ShardedCache,
     engine_config: QueryEngineConfig,
+    ingest: IngestConfig,
     latency: LatencyLog,
     metrics: ServiceMetrics,
     slow: SlowLog,
@@ -271,6 +320,139 @@ fn replicate_error(error: &StoreError) -> StoreError {
     }
 }
 
+/// Ingestion-lifecycle status snapshot
+/// ([`QueryService::ingest_status`]) — the hot-tail backlog plus
+/// cumulative compaction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStatus {
+    /// Whether appends route through the hot tail
+    /// ([`IngestConfig::hot_tail`]).
+    pub hot_tail: bool,
+    /// Pending hot-tail accounting.
+    pub hot: HotStats,
+    /// Compaction passes completed (including no-ops).
+    pub compactions: u64,
+    /// Background/triggered compaction passes that failed (snapshot
+    /// rotation I/O).
+    pub compaction_errors: u64,
+    /// Hot-tail batches sealed into immutable partitions so far.
+    pub sealed_batches: u64,
+    /// Immutable partitions dropped by the retention horizon so far.
+    pub dropped_partitions: u64,
+}
+
+/// Earliest entry timestamp of the delta `set[index.num_trajectories()..]`
+/// — the time floor of what an append of `set` ingests (`None` when the
+/// set holds nothing new). Trajectory entries are validated
+/// time-monotonic, so each member's floor is its start time.
+fn set_min_time<B: ServiceBackend>(index: &B, set: &TrajectorySet) -> Option<Timestamp> {
+    (index.num_trajectories() as u32..set.len() as u32)
+        .map(|id| set.get(TrajId(id)).start_time())
+        .min()
+}
+
+/// Earliest entry timestamp of a prepared payload batch.
+fn prepared_min_time(batch: &[Trajectory]) -> Option<Timestamp> {
+    batch.iter().map(|t| t.start_time()).min()
+}
+
+/// The retention horizon of one compaction pass: everything strictly
+/// older than `max_data_time − retention` is expired. Computed against
+/// the data's own clock (the newest entry ever indexed), not wall time —
+/// replaying the same history always drops the same partitions.
+fn retention_horizon<B: ServiceBackend>(index: &B, ingest: &IngestConfig) -> Option<Timestamp> {
+    let retention = ingest.retention?;
+    let secs = i64::try_from(retention.as_secs()).unwrap_or(i64::MAX);
+    Some(index.max_data_time().saturating_sub(secs))
+}
+
+/// One compaction pass over the service's backend: seals pending hot
+/// batches, applies the retention horizon, and — when anything changed
+/// and durable storage is attached — rotates the snapshot (truncating the
+/// WAL). Shared by [`QueryService::compact_now`], the append-path size
+/// trigger, and the background compactor thread.
+fn compact_on<B: ServiceBackend>(inner: &Inner<B>) -> Result<CompactionOutcome, StoreError> {
+    let started = Instant::now();
+    let outcome = if B::SHARED_APPENDS {
+        let index = inner.index.read().expect("index lock");
+        // The permit excludes appenders (who also hold it) so the
+        // horizon, the per-shard seals, and `data_max` stay consistent;
+        // readers keep flowing, stalled at most per-shard.
+        let _permit = index.append_permit();
+        let horizon = retention_horizon(&*index, &inner.ingest);
+        // Seqlock write only when retention can change answers: sealing
+        // alone is byte-identity-preserving, so readers racing a pure
+        // seal keep both their results and their cache inserts.
+        if horizon.is_some() {
+            inner.generation.fetch_add(1, Ordering::SeqCst);
+        }
+        let outcome = index.compact_shared(horizon);
+        if horizon.is_some() {
+            inner.generation.fetch_add(1, Ordering::SeqCst);
+        }
+        outcome
+    } else {
+        let mut index = inner.index.write().expect("index lock");
+        let horizon = retention_horizon(&*index, &inner.ingest);
+        let outcome = index.compact(horizon);
+        if horizon.is_some() {
+            inner.generation.fetch_add(2, Ordering::SeqCst);
+        }
+        outcome
+    };
+    if outcome.dropped_partitions > 0 {
+        // Retention changed answers; every cached entry may be stale.
+        // (Pure sealing never clears: cached answers are byte-identical
+        // across it — the hot-tail equivalence invariant.)
+        inner.cache.clear();
+    }
+    let m = &inner.metrics;
+    m.compaction_duration_ns
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    m.compactions.inc();
+    m.compaction_sealed_batches
+        .add(outcome.sealed_batches as u64);
+    m.compaction_sealed_entries
+        .add(outcome.sealed_entries as u64);
+    m.compaction_dropped_partitions
+        .add(outcome.dropped_partitions as u64);
+    m.compaction_dropped_entries
+        .add(outcome.dropped_entries as u64);
+    if outcome.changed() {
+        // Rotate the snapshot so the sealed state is durable and the WAL
+        // shrinks back to empty. A crash before the rotation lands simply
+        // replays the old snapshot + full WAL (pre-compaction state); the
+        // rotation itself is the same atomic rename + stamped-WAL-reset
+        // sequence `save_snapshot` documents.
+        let dir = inner
+            .persist
+            .lock()
+            .expect("persist lock")
+            .as_ref()
+            .map(|p| p.dir.clone());
+        if let Some(dir) = dir {
+            persist::save_snapshot_on(inner, &dir)?;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Background compaction: a detached thread ticking every `interval`,
+/// holding only a weak reference to the service — dropping the last
+/// service handle ends it at its next tick.
+fn spawn_compactor<B: ServiceBackend>(inner: &Arc<Inner<B>>, interval: Duration) {
+    let weak = Arc::downgrade(inner);
+    let _ = std::thread::Builder::new()
+        .name("tthr-compactor".into())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            let Some(inner) = weak.upgrade() else { break };
+            if compact_on(&inner).is_err() {
+                inner.metrics.compaction_errors.inc();
+            }
+        });
+}
+
 /// A multi-threaded query service over one shared index backend.
 ///
 /// `B` defaults to the monolithic [`SntIndex`]; construct with a
@@ -295,12 +477,18 @@ impl<B: ServiceBackend> QueryService<B> {
         };
         let metrics = ServiceMetrics::new();
         let latency = LatencyLog::new(&metrics.registry);
-        QueryService {
+        let compactor = config
+            .ingest
+            .hot_tail
+            .then_some(config.ingest.compaction_interval)
+            .flatten();
+        let service = QueryService {
             inner: Arc::new(Inner {
                 index: RwLock::new(index),
                 network,
                 cache: ShardedCache::new(config.cache_shards, config.cache_capacity),
                 engine_config: config.engine,
+                ingest: config.ingest,
                 latency,
                 metrics,
                 slow: SlowLog::new(config.slow_query_log, config.trace_sample_every),
@@ -310,7 +498,11 @@ impl<B: ServiceBackend> QueryService<B> {
                 group: GroupCommit::new(),
             }),
             pool: Arc::new(ThreadPool::new(threads)),
+        };
+        if let Some(interval) = compactor {
+            spawn_compactor(&service.inner, interval);
         }
+        service
     }
 
     /// Number of pool worker threads.
@@ -443,6 +635,7 @@ impl<B: ServiceBackend> QueryService<B> {
         // slow-query log (a stalled append is worth seeing there).
         self.inner
             .observe(Endpoint::Append, start.elapsed(), 0, &QueryTrace::default());
+        self.maybe_compact_after_append();
         result
     }
 
@@ -487,6 +680,7 @@ impl<B: ServiceBackend> QueryService<B> {
         let result = self.append_new_inner(base, new);
         self.inner
             .observe(Endpoint::Append, start.elapsed(), 0, &QueryTrace::default());
+        self.maybe_compact_after_append();
         result
     }
 
@@ -539,17 +733,27 @@ impl<B: ServiceBackend> QueryService<B> {
                             // post-append, shard B pre-append) can never
                             // pass generation validation — it either
                             // reads an odd counter or sees it change.
+                            let floor = set_min_time(&*index, &set);
                             self.inner.generation.fetch_add(1, Ordering::SeqCst);
-                            let effect = index.apply_append_shared(&set);
+                            let effect = if self.inner.ingest.hot_tail {
+                                index.absorb_append_shared(&set)
+                            } else {
+                                index.apply_append_shared(&set)
+                            };
                             self.inner.generation.fetch_add(1, Ordering::SeqCst);
-                            self.evict_stale(&*index, &effect);
+                            self.evict_stale(&*index, &effect, floor);
                             Ok(effect.appended)
                         }
                         Plan::ApplyPrepared(prepared) => {
+                            let floor = prepared_min_time(&prepared);
                             self.inner.generation.fetch_add(1, Ordering::SeqCst);
-                            let effect = index.apply_prepared_shared(&prepared);
+                            let effect = if self.inner.ingest.hot_tail {
+                                index.absorb_prepared_shared(prepared)
+                            } else {
+                                index.apply_prepared_shared(&prepared)
+                            };
                             self.inner.generation.fetch_add(1, Ordering::SeqCst);
-                            self.evict_stale(&*index, &effect);
+                            self.evict_stale(&*index, &effect, floor);
                             Ok(effect.appended)
                         }
                     };
@@ -568,17 +772,27 @@ impl<B: ServiceBackend> QueryService<B> {
                     let outcome = match plan {
                         Plan::Settled(outcome) => outcome,
                         Plan::ApplySet(set) => {
-                            let effect = index.apply_append(&set);
+                            let floor = set_min_time(&*index, &set);
+                            let effect = if self.inner.ingest.hot_tail {
+                                index.absorb_append(&set)
+                            } else {
+                                index.apply_append(&set)
+                            };
                             // Readers are excluded by the write lock;
                             // keep the counter's even parity in one jump.
                             self.inner.generation.fetch_add(2, Ordering::SeqCst);
-                            self.evict_stale(&*index, &effect);
+                            self.evict_stale(&*index, &effect, floor);
                             Ok(effect.appended)
                         }
                         Plan::ApplyPrepared(prepared) => {
-                            let effect = index.apply_prepared(&prepared);
+                            let floor = prepared_min_time(&prepared);
+                            let effect = if self.inner.ingest.hot_tail {
+                                index.absorb_prepared(prepared)
+                            } else {
+                                index.apply_prepared(&prepared)
+                            };
                             self.inner.generation.fetch_add(2, Ordering::SeqCst);
-                            self.evict_stale(&*index, &effect);
+                            self.evict_stale(&*index, &effect, floor);
                             Ok(effect.appended)
                         }
                     };
@@ -602,13 +816,18 @@ impl<B: ServiceBackend> QueryService<B> {
         let mut running = index.num_trajectories();
         let mut plans = Vec::with_capacity(batch.len());
         let mut records = Vec::new();
+        // Without attached storage `wal_append_group` discards the
+        // records, so don't pay the serialization on every append.
+        let logging = self.inner.persist.lock().expect("persist lock").is_some();
         for (ticket, request) in batch {
             match request {
                 AppendRequest::Set(set) => {
                     if set.len() <= running {
                         plans.push((ticket, Plan::Settled(Ok(0))));
                     } else {
-                        records.push(index.encode_wal_record(&set, running));
+                        if logging {
+                            records.push(index.encode_wal_record(&set, running));
+                        }
                         running = set.len();
                         plans.push((ticket, Plan::ApplySet(set)));
                     }
@@ -624,7 +843,9 @@ impl<B: ServiceBackend> QueryService<B> {
                         _ if new.is_empty() => Plan::Settled(Ok(0)),
                         _ => match index.prepare_payload_at(&new, running) {
                             Ok(prepared) => {
-                                records.push(index.encode_wal_payload(&new, running));
+                                if logging {
+                                    records.push(index.encode_wal_payload(&new, running));
+                                }
                                 running += prepared.len();
                                 Plan::ApplyPrepared(prepared)
                             }
@@ -665,25 +886,50 @@ impl<B: ServiceBackend> QueryService<B> {
         Ok(())
     }
 
-    /// Evicts exactly the entries the append can have changed. Runs
-    /// *after* the generation left the odd (in-progress) state: a racing
-    /// reader's generation-validated insert (see [`CachedIndex`]) either
+    /// Evicts exactly the entries the append can have changed, scoped
+    /// along two independent axes: the **shards** the batch wrote
+    /// ([`AppendEffect::touched_shards`]) and the batch's **time range**
+    /// (`batch_min_time`, the earliest entry it ingested). Runs *after*
+    /// the generation left the odd (in-progress) state: a racing reader's
+    /// generation-validated insert (see [`CachedIndex`]) either
     /// happens-before this eviction or is abandoned, so a stale entry can
     /// never outlive the invalidation.
-    fn evict_stale(&self, index: &B, effect: &AppendEffect) {
+    ///
+    /// Time scoping is only applied where it is provably sound. A
+    /// multi-edge fixed-interval answer admits exactly the traversals
+    /// whose first-edge enter time lies inside the interval, so a batch
+    /// whose earliest entry sits at or past the interval end cannot change
+    /// it. Everything else keeps the unscoped eviction: periodic windows
+    /// recur daily (a batch at any absolute time can land in them),
+    /// single-edge fixed queries stay conservatively eligible for
+    /// count-shortcut serving tied to whole-tree statistics, and an
+    /// engine-level cardinality estimator makes answers depend on global
+    /// index statistics that every append shifts.
+    fn evict_stale(&self, index: &B, effect: &AppendEffect, batch_min_time: Option<Timestamp>) {
         if effect.appended == 0 {
             return;
         }
+        let time_scoped = self.inner.engine_config.estimator.is_none();
+        let keep = |spq: &Spq| match (time_scoped, batch_min_time, &spq.interval) {
+            (true, Some(floor), TimeInterval::Fixed { end, .. }) => {
+                spq.path.len() > 1 && *end <= floor
+            }
+            _ => false,
+        };
         match &effect.touched_shards {
-            // Unpartitioned backend: everything may be stale.
-            None => self.inner.cache.clear(),
+            // Unpartitioned backend: everything overlapping the batch's
+            // time range may be stale.
+            None => {
+                self.inner.cache.clear_where(|spq| !keep(spq));
+            }
             // Partitioned backend: a query's answer can only change if
-            // its owning index shard received leaves — evict exactly
-            // those entries and keep every other shard's warm.
+            // its owning index shard received leaves inside the query's
+            // window — evict exactly those entries and keep every other
+            // shard's (and every provably disjoint window's) warm.
             Some(touched) => {
-                self.inner
-                    .cache
-                    .clear_where(|spq| index.route_shard(spq).is_none_or(|s| touched.contains(&s)));
+                self.inner.cache.clear_where(|spq| {
+                    index.route_shard(spq).is_none_or(|s| touched.contains(&s)) && !keep(spq)
+                });
             }
         }
     }
@@ -691,6 +937,63 @@ impl<B: ServiceBackend> QueryService<B> {
     /// Runs a closure against the current index state (read-locked).
     pub fn with_index<R>(&self, f: impl FnOnce(&B) -> R) -> R {
         f(&self.inner.index.read().expect("index lock"))
+    }
+
+    /// Runs one compaction pass right now, regardless of the background
+    /// cadence: seals every pending hot-tail batch into its own immutable
+    /// partition (in absorb order — byte-identical to the index direct
+    /// appends would have built), drops partitions fully expired by the
+    /// [`IngestConfig::retention`] horizon, and — when anything changed
+    /// and durable storage is attached — rotates the snapshot, which
+    /// truncates the WAL.
+    ///
+    /// Crash safety matches [`QueryService::save_snapshot`]'s ordering: a
+    /// crash before the rotated snapshot's rename lands replays the old
+    /// snapshot plus the full WAL (the pre-compaction state, answer-wise
+    /// identical), a crash after it opens the post-compaction state — the
+    /// two never mix.
+    ///
+    /// Safe (and a cheap no-op) when the hot tail is empty and nothing is
+    /// expired. Concurrent queries keep running; with a shared-append
+    /// backend only one shard at a time is write-locked.
+    pub fn compact_now(&self) -> Result<CompactionOutcome, StoreError> {
+        compact_on(&self.inner)
+    }
+
+    /// Pending hot-tail accounting (batches, entries, approximate heap
+    /// bytes; summed across shards on a sharded backend).
+    pub fn hot_stats(&self) -> HotStats {
+        self.with_index(|i| i.hot_stats())
+    }
+
+    /// Ingestion-lifecycle status: the hot-tail backlog plus cumulative
+    /// compaction counters — what the server's `/health` endpoint reports.
+    pub fn ingest_status(&self) -> IngestStatus {
+        let m = &self.inner.metrics;
+        IngestStatus {
+            hot_tail: self.inner.ingest.hot_tail,
+            hot: self.hot_stats(),
+            compactions: m.compactions.get(),
+            compaction_errors: m.compaction_errors.get(),
+            sealed_batches: m.compaction_sealed_batches.get(),
+            dropped_partitions: m.compaction_dropped_partitions.get(),
+        }
+    }
+
+    /// The size trigger: an append that pushed the hot tail past
+    /// [`IngestConfig::hot_max_entries`] compacts inline — the appending
+    /// thread pays, keeping memory bounded even without the background
+    /// thread.
+    fn maybe_compact_after_append(&self) {
+        let ingest = &self.inner.ingest;
+        if !ingest.hot_tail || ingest.hot_max_entries == 0 {
+            return;
+        }
+        if self.with_index(|i| i.hot_stats().entries) >= ingest.hot_max_entries
+            && self.compact_now().is_err()
+        {
+            self.inner.metrics.compaction_errors.inc();
+        }
     }
 
     /// Point-in-time service statistics.
@@ -760,6 +1063,13 @@ impl<B: ServiceBackend> QueryService<B> {
             if let Some(shards) = index.shard_stats() {
                 m.mirror_shards(&shards);
             }
+            let hot = index.hot_stats();
+            m.hot_tail_batches
+                .set(i64::try_from(hot.batches).unwrap_or(i64::MAX));
+            m.hot_tail_entries
+                .set(i64::try_from(hot.entries).unwrap_or(i64::MAX));
+            m.hot_tail_bytes
+                .set(i64::try_from(hot.bytes).unwrap_or(i64::MAX));
         }
         m.registry.render()
     }
@@ -1173,6 +1483,275 @@ mod tests {
             sharded_payload.get_travel_times(&q).sorted(),
             sharded_set.get_travel_times(&q).sorted()
         );
+    }
+
+    fn hot_service(threads: usize, ingest: IngestConfig) -> QueryService {
+        let network = example_network();
+        let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+        QueryService::new(
+            index,
+            Arc::new(network),
+            ServiceConfig {
+                num_threads: threads,
+                ingest,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn ninth() -> (UserId, Vec<TrajEntry>) {
+        (
+            UserId(9),
+            vec![
+                TrajEntry::new(EDGE_A, 3, 3.0),
+                TrajEntry::new(EDGE_B, 6, 3.0),
+                TrajEntry::new(EDGE_E, 9, 4.0),
+            ],
+        )
+    }
+
+    /// Hot-tail appends answer byte-identically to sealed appends, and a
+    /// compaction seals the backlog without changing any answer — warm
+    /// cache entries survive it.
+    #[test]
+    fn hot_tail_service_matches_sealed_appends_across_compaction() {
+        let hot = hot_service(
+            2,
+            IngestConfig {
+                hot_tail: true,
+                ..IngestConfig::default()
+            },
+        );
+        let cold = service(2);
+        let mut grown = example_trajectories();
+        let (user, entries) = ninth();
+        grown.push(user, entries).unwrap();
+        assert_eq!(hot.append_batch(&grown).unwrap(), 1);
+        assert_eq!(cold.append_batch(&grown).unwrap(), 1);
+        assert_eq!(hot.hot_stats().batches, 1, "absorbed, not sealed");
+        assert_eq!(cold.hot_stats().batches, 0, "default path seals");
+
+        let q = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        );
+        assert_eq!(
+            hot.get_travel_times(&q).sorted(),
+            cold.get_travel_times(&q).sorted()
+        );
+
+        let before = hot.stats().cache;
+        let outcome = hot.compact_now().unwrap();
+        assert_eq!(outcome.sealed_batches, 1);
+        assert_eq!(outcome.dropped_partitions, 0);
+        assert_eq!(hot.hot_stats().entries, 0, "backlog sealed");
+        assert_eq!(
+            hot.get_travel_times(&q).sorted(),
+            cold.get_travel_times(&q).sorted(),
+            "sealing preserves answers"
+        );
+        let after = hot.stats().cache;
+        assert_eq!(after.hits, before.hits + 1, "entry survived the seal");
+        assert_eq!(after.invalidations, before.invalidations);
+
+        let status = hot.ingest_status();
+        assert!(status.hot_tail);
+        assert_eq!(status.compactions, 1);
+        assert_eq!(status.sealed_batches, 1);
+        assert_eq!(status.dropped_partitions, 0);
+    }
+
+    /// Satellite regression for scoped invalidation: with time scoping
+    /// sound (no engine estimator — the default), a multi-edge
+    /// fixed-interval entry whose window closes before the appended
+    /// batch's earliest entry stays warm; hit-rate on it stays flat.
+    #[test]
+    fn append_keeps_disjoint_fixed_window_entries_warm() {
+        let s = service(2);
+        let early = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        );
+        let late = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 200),
+        );
+        let _ = s.get_travel_times(&early);
+        let _ = s.get_travel_times(&late);
+        assert_eq!(s.stats().cache.entries, 2);
+
+        // The batch's earliest entry is t = 100: the [0, 15) answer
+        // provably cannot change, the [0, 200) one can.
+        let mut grown = example_trajectories();
+        grown
+            .push(
+                UserId(9),
+                vec![
+                    TrajEntry::new(EDGE_A, 100, 3.0),
+                    TrajEntry::new(EDGE_B, 103, 3.0),
+                    TrajEntry::new(EDGE_E, 106, 4.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
+        assert_eq!(
+            s.stats().cache.entries,
+            1,
+            "only the overlapping window evicted"
+        );
+
+        let before = s.stats().cache;
+        assert_eq!(s.get_travel_times(&early).sorted(), vec![10.0, 11.0]);
+        let after = s.stats().cache;
+        assert_eq!(after.hits, before.hits + 1, "disjoint window stayed warm");
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(
+            s.get_travel_times(&late).len(),
+            3,
+            "overlapping window recomputes and sees the new traversal"
+        );
+    }
+
+    /// With an engine-level estimator configured, answers depend on global
+    /// index statistics — time scoping turns itself off and every entry is
+    /// evicted, exactly like before the scoping existed.
+    #[test]
+    fn estimator_disables_time_scoped_invalidation() {
+        let network = example_network();
+        let index = SntIndex::build(&network, &example_trajectories(), SntConfig::default());
+        let s = QueryService::new(
+            index,
+            Arc::new(network),
+            ServiceConfig {
+                num_threads: 2,
+                engine: QueryEngineConfig {
+                    estimator: Some(tthr_core::CardinalityMode::CssFast),
+                    ..QueryEngineConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let early = Spq::new(
+            Path::new(vec![EDGE_A, EDGE_B, EDGE_E]),
+            TimeInterval::fixed(0, 15),
+        );
+        let _ = s.get_travel_times(&early);
+        assert_eq!(s.stats().cache.entries, 1);
+        let mut grown = example_trajectories();
+        grown
+            .push(UserId(9), vec![TrajEntry::new(EDGE_F, 500, 6.5)])
+            .unwrap();
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
+        assert_eq!(s.stats().cache.entries, 0, "unscoped eviction");
+    }
+
+    /// Retention drops expired history at compaction: answers change, so
+    /// the whole cache is invalidated; a second pass is a no-op.
+    #[test]
+    fn retention_compaction_drops_expired_partitions_and_invalidates() {
+        let s = hot_service(
+            2,
+            IngestConfig {
+                hot_tail: true,
+                retention: Some(Duration::from_secs(50)),
+                ..IngestConfig::default()
+            },
+        );
+        // A much newer batch pushes the original build past the horizon.
+        let mut grown = example_trajectories();
+        grown
+            .push(UserId(9), vec![TrajEntry::new(EDGE_A, 1000, 3.0)])
+            .unwrap();
+        assert_eq!(s.append_batch(&grown).unwrap(), 1);
+        let q = Spq::new(Path::new(vec![EDGE_A]), TimeInterval::fixed(0, 2000));
+        assert_eq!(s.get_travel_times(&q).len(), 5, "all traversals visible");
+
+        let outcome = s.compact_now().unwrap();
+        assert_eq!(outcome.sealed_batches, 1);
+        assert!(outcome.dropped_partitions >= 1, "the old build expired");
+        assert_eq!(s.stats().cache.entries, 0, "retention invalidates");
+        assert_eq!(
+            s.get_travel_times(&q).len(),
+            1,
+            "only the recent traversal remains"
+        );
+        s.with_index(|i| {
+            assert_eq!(
+                ServiceBackend::num_trajectories(i),
+                5,
+                "ids are never reused"
+            )
+        });
+        assert!(
+            !s.compact_now().unwrap().changed(),
+            "second pass is a no-op"
+        );
+    }
+
+    /// An append that pushes the hot tail past `hot_max_entries` compacts
+    /// inline on the appending thread.
+    #[test]
+    fn hot_max_entries_triggers_inline_compaction() {
+        let s = hot_service(
+            2,
+            IngestConfig {
+                hot_tail: true,
+                hot_max_entries: 1,
+                ..IngestConfig::default()
+            },
+        );
+        let (user, entries) = ninth();
+        assert_eq!(s.append_new(None, &[(user, entries)]).unwrap(), 1);
+        assert_eq!(s.hot_stats().entries, 0, "size trigger sealed the tail");
+        assert_eq!(s.ingest_status().compactions, 1);
+        assert_eq!(s.ingest_status().sealed_batches, 1);
+    }
+
+    /// The background compactor thread drains the hot tail without any
+    /// explicit call, and dies with the service.
+    #[test]
+    fn background_compactor_drains_the_hot_tail() {
+        let s = hot_service(
+            2,
+            IngestConfig {
+                hot_tail: true,
+                compaction_interval: Some(Duration::from_millis(10)),
+                ..IngestConfig::default()
+            },
+        );
+        let (user, entries) = ninth();
+        assert_eq!(s.append_new(None, &[(user, entries)]).unwrap(), 1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while s.hot_stats().entries > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(s.hot_stats().entries, 0, "background thread sealed it");
+        assert!(s.ingest_status().compactions >= 1);
+    }
+
+    /// The compaction and hot-tail series render in the exposition.
+    #[test]
+    fn render_metrics_covers_the_ingestion_lifecycle() {
+        let s = hot_service(
+            2,
+            IngestConfig {
+                hot_tail: true,
+                ..IngestConfig::default()
+            },
+        );
+        let (user, entries) = ninth();
+        assert_eq!(s.append_new(None, &[(user, entries)]).unwrap(), 1);
+        let text = s.render_metrics();
+        tthr_metrics::validate_exposition(&text).expect(&text);
+        assert!(text.contains("tthr_hot_tail_batches 1"), "{text}");
+        assert!(text.contains("tthr_hot_tail_entries 3"), "{text}");
+        assert!(text.contains("tthr_compactions_total 0"));
+        s.compact_now().unwrap();
+        let text = s.render_metrics();
+        assert!(text.contains("tthr_hot_tail_batches 0"));
+        assert!(text.contains("tthr_compactions_total 1"));
+        assert!(text.contains("tthr_compaction_sealed_batches_total 1"));
+        assert!(text.contains("tthr_compaction_duration_ns_count 1"));
     }
 
     #[test]

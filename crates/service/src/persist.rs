@@ -86,58 +86,7 @@ impl<B: ServiceBackend> QueryService<B> {
     /// # Ok::<(), tthr_store::StoreError>(())
     /// ```
     pub fn save_snapshot(&self, dir: impl AsRef<Path>) -> Result<SnapshotInfo, StoreError> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        // Lock order: index, then the append permit, then the persist
-        // mutex (same as `append_batch`). For an exclusive-append backend
-        // the read lock alone keeps writers out; a shared-append backend
-        // admits appends under the read lock, so the permit is what keeps
-        // the snapshot and the WAL reset from interleaving with one.
-        let index = self.inner.index.read().expect("index lock");
-        let _permit = index.append_permit();
-        let mut persist = self.inner.persist.lock().expect("persist lock");
-        let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
-        let started = std::time::Instant::now();
-        let bytes;
-        {
-            let f = std::fs::File::create(&tmp)?;
-            let mut buf = std::io::BufWriter::new(f);
-            index.write_snapshot_to(&mut buf)?;
-            buf.flush()?;
-            let f = buf.get_ref();
-            bytes = f.metadata()?.len();
-            f.sync_all()?;
-        }
-        let metrics = &self.inner.metrics;
-        metrics
-            .snapshot_duration_ns
-            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        metrics
-            .snapshot_bytes
-            .set(i64::try_from(bytes).unwrap_or(i64::MAX));
-        metrics.snapshots.inc();
-        let info = SnapshotInfo {
-            path: dir.join(SNAPSHOT_FILE),
-            bytes,
-            trajectories: index.num_trajectories(),
-            partitions: index.num_partitions(),
-        };
-        std::fs::rename(&tmp, &info.path)?;
-        // Make the rename durable BEFORE truncating the WAL: if the
-        // truncation hit disk first and power failed, a reboot would pair
-        // the OLD snapshot with a NEW empty log — losing every batch the
-        // old log held.
-        sync_dir(dir)?;
-        // The snapshot now covers everything; start a fresh log. (If the
-        // process dies between the rename and here, stale WAL records are
-        // skipped on open thanks to their base stamps.)
-        let wal = WalWriter::create(&dir.join(WAL_FILE))?;
-        sync_dir(dir)?;
-        *persist = Some(Persistence {
-            dir: dir.to_path_buf(),
-            wal,
-        });
-        Ok(info)
+        save_snapshot_on(&self.inner, dir.as_ref())
     }
 
     /// Opens a service from a directory written by
@@ -200,6 +149,66 @@ impl QueryService {
     ) -> Result<QueryService, StoreError> {
         Self::open_with(dir, network, config)
     }
+}
+
+/// [`QueryService::save_snapshot`]'s implementation, callable from
+/// anything holding the service internals — the public method and the
+/// background compactor's snapshot rotation both land here.
+pub(crate) fn save_snapshot_on<B: ServiceBackend>(
+    inner: &crate::Inner<B>,
+    dir: &Path,
+) -> Result<SnapshotInfo, StoreError> {
+    std::fs::create_dir_all(dir)?;
+    // Lock order: index, then the append permit, then the persist
+    // mutex (same as `append_batch`). For an exclusive-append backend
+    // the read lock alone keeps writers out; a shared-append backend
+    // admits appends under the read lock, so the permit is what keeps
+    // the snapshot and the WAL reset from interleaving with one.
+    let index = inner.index.read().expect("index lock");
+    let _permit = index.append_permit();
+    let mut persist = inner.persist.lock().expect("persist lock");
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let started = std::time::Instant::now();
+    let bytes;
+    {
+        let f = std::fs::File::create(&tmp)?;
+        let mut buf = std::io::BufWriter::new(f);
+        index.write_snapshot_to(&mut buf)?;
+        buf.flush()?;
+        let f = buf.get_ref();
+        bytes = f.metadata()?.len();
+        f.sync_all()?;
+    }
+    let metrics = &inner.metrics;
+    metrics
+        .snapshot_duration_ns
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    metrics
+        .snapshot_bytes
+        .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+    metrics.snapshots.inc();
+    let info = SnapshotInfo {
+        path: dir.join(SNAPSHOT_FILE),
+        bytes,
+        trajectories: index.num_trajectories(),
+        partitions: index.num_partitions(),
+    };
+    std::fs::rename(&tmp, &info.path)?;
+    // Make the rename durable BEFORE truncating the WAL: if the
+    // truncation hit disk first and power failed, a reboot would pair
+    // the OLD snapshot with a NEW empty log — losing every batch the
+    // old log held.
+    sync_dir(dir)?;
+    // The snapshot now covers everything; start a fresh log. (If the
+    // process dies between the rename and here, stale WAL records are
+    // skipped on open thanks to their base stamps.)
+    let wal = WalWriter::create(&dir.join(WAL_FILE))?;
+    sync_dir(dir)?;
+    *persist = Some(Persistence {
+        dir: dir.to_path_buf(),
+        wal,
+    });
+    Ok(info)
 }
 
 /// Fsyncs a directory so renames and file creations inside it are

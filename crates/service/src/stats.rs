@@ -274,6 +274,18 @@ pub(crate) struct ServiceMetrics {
     pub(crate) snapshots: Counter,
     pub(crate) snapshot_bytes: Gauge,
     pub(crate) snapshot_duration_ns: HistogramHandle,
+    // Ingestion lifecycle: compaction counters plus scrape-time hot-tail
+    // mirrors (the authoritative numbers live in the backend).
+    pub(crate) compactions: Counter,
+    pub(crate) compaction_errors: Counter,
+    pub(crate) compaction_sealed_batches: Counter,
+    pub(crate) compaction_sealed_entries: Counter,
+    pub(crate) compaction_dropped_partitions: Counter,
+    pub(crate) compaction_dropped_entries: Counter,
+    pub(crate) compaction_duration_ns: HistogramHandle,
+    pub(crate) hot_tail_batches: Gauge,
+    pub(crate) hot_tail_entries: Gauge,
+    pub(crate) hot_tail_bytes: Gauge,
 }
 
 impl ServiceMetrics {
@@ -362,6 +374,48 @@ impl ServiceMetrics {
                 "tthr_snapshot_duration_ns",
                 "Snapshot write+fsync duration in nanoseconds",
                 &[],
+            ),
+            compactions: counter(
+                "tthr_compactions_total",
+                "Compaction passes completed (including no-ops)",
+            ),
+            compaction_errors: counter(
+                "tthr_compaction_errors_total",
+                "Background compaction passes that failed rotating the snapshot",
+            ),
+            compaction_sealed_batches: counter(
+                "tthr_compaction_sealed_batches_total",
+                "Hot-tail batches sealed into immutable partitions",
+            ),
+            compaction_sealed_entries: counter(
+                "tthr_compaction_sealed_entries_total",
+                "Trajectory entries sealed out of the hot tail",
+            ),
+            compaction_dropped_partitions: counter(
+                "tthr_compaction_dropped_partitions_total",
+                "Immutable partitions dropped by the retention horizon",
+            ),
+            compaction_dropped_entries: counter(
+                "tthr_compaction_dropped_entries_total",
+                "Trajectory entries dropped by the retention horizon",
+            ),
+            compaction_duration_ns: registry.histogram(
+                "tthr_compaction_duration_ns",
+                "Compaction pass duration in nanoseconds (seal + retention, \
+                 excluding the snapshot rotation)",
+                &[],
+            ),
+            hot_tail_batches: gauge(
+                "tthr_hot_tail_batches",
+                "Hot-tail batches pending compaction",
+            ),
+            hot_tail_entries: gauge(
+                "tthr_hot_tail_entries",
+                "Trajectory entries pending in the hot tail",
+            ),
+            hot_tail_bytes: gauge(
+                "tthr_hot_tail_bytes",
+                "Approximate heap bytes held by the hot tail",
             ),
             registry,
         }

@@ -2,7 +2,7 @@
 //! protocol.
 //!
 //! ```text
-//! tthr-node --dir <store-dir> [--addr 127.0.0.1:0] [--standby-of <ip:port>]
+//! tthr-node --dir <store-dir> [--addr 127.0.0.1:0] [--standby-of <ip:port>] [--hot-tail]
 //! ```
 //!
 //! Without `--standby-of`, the store directory must have been
@@ -19,6 +19,11 @@
 //! Either way it then tails the primary's WAL, serves reads at its
 //! applied stamp, refuses appends, and accepts a `Promote` request to
 //! take over as primary (e.g. from the failover router).
+//!
+//! With `--hot-tail`, appends are absorbed into the index's hot tail
+//! (cheap ingest, no per-append FM/wavelet work) and sealed at the next
+//! snapshot rotation; answers are byte-identical either way, so the flag
+//! is purely an ingest-cost knob.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -27,7 +32,7 @@ use tthr::server::node::{serve_node, NodeStore};
 use tthr::server::standby::{serve_standby, StandbyConfig};
 
 const USAGE: &str =
-    "usage: tthr-node --dir <store-dir> [--addr <ip:port>] [--standby-of <ip:port>]";
+    "usage: tthr-node --dir <store-dir> [--addr <ip:port>] [--standby-of <ip:port>] [--hot-tail]";
 
 fn die(message: &str) -> ! {
     eprintln!("tthr-node: {message}");
@@ -39,6 +44,7 @@ fn main() {
     let mut dir: Option<String> = None;
     let mut addr = String::from("127.0.0.1:0");
     let mut standby_of: Option<String> = None;
+    let mut hot_tail = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +56,7 @@ fn main() {
                         .unwrap_or_else(|| die("--standby-of needs a value")),
                 )
             }
+            "--hot-tail" => hot_tail = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -102,15 +109,17 @@ fn main() {
         return;
     }
 
-    let store = match NodeStore::open(&dir) {
+    let mut store = match NodeStore::open(&dir) {
         Ok(store) => store,
         Err(e) => die(&format!("cannot open store {dir:?}: {e}")),
     };
+    store.set_hot_tail(hot_tail);
     eprintln!(
-        "tthr-node: shard {} of {} ({} trajectories indexed) on {local}",
+        "tthr-node: shard {} of {} ({} trajectories indexed{}) on {local}",
         store.state().shard(),
         store.state().num_shards(),
         store.state().members().len(),
+        if hot_tail { ", hot-tail ingest" } else { "" },
     );
     println!("LISTENING {local}");
     std::io::stdout().flush().ok();

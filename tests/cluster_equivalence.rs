@@ -90,6 +90,62 @@ fn cluster_matches_in_process_sharded_backend() {
     }
 }
 
+/// Hot-tail nodes: every node runs `--hot-tail`, absorbing appends into
+/// its in-index hot tail while the in-process reference applies them
+/// directly — so each differential round pins the absorb/apply byte
+/// identity across real sockets. A mid-stream `snapshot_all` is the
+/// node-tier compaction (rotation seals the tails and advances the
+/// snapshot stamp), and a full kill/restart cycle proves WAL replay
+/// reconstructs the absorbed batches exactly.
+#[test]
+fn hot_tail_cluster_matches_in_process_reference() {
+    let mut h = ClusterHarness::boot_hot_tail("hot", ClientConfig::default());
+    let mut gen = QueryGen::new("cluster_hot_tail");
+    run_differential(&mut h, &mut gen, 2, 25);
+
+    // Node-tier compaction: rotation seals every hot tail. The stamp on
+    // each node's ReplStatus must advance to its applied stamp, and the
+    // post-seal answers must stay byte-identical.
+    h.cluster.snapshot_all().expect("snapshot rotation");
+    for addr in h.addrs() {
+        let client = tthr::client::NodeClient::new(addr, ClientConfig::default());
+        match client.request(&tthr::rpc::Message::Health) {
+            Ok(tthr::rpc::Message::ReplStatus {
+                applied_stamp,
+                snapshot_stamp,
+                ..
+            }) => assert_eq!(
+                snapshot_stamp, applied_stamp,
+                "rotation must seal the tail and stamp the snapshot at {addr}"
+            ),
+            other => panic!("unexpected health reply from {addr}: {other:?}"),
+        }
+    }
+    run_differential(&mut h, &mut gen, 2, 25);
+
+    // Crash recovery: absorbed-but-unsealed batches live only in the WAL;
+    // replay must reconstruct them byte-identically.
+    for shard in 0..CLUSTER_K {
+        h.kill_node(shard);
+    }
+    for shard in 0..CLUSTER_K {
+        h.respawn_node(shard);
+    }
+    h.reconnect();
+    assert_eq!(
+        h.cluster.num_global() as usize,
+        h.reference.num_trajectories(),
+        "restart lost trajectories"
+    );
+    for i in 0..20 {
+        let spq = gen.spq_from(&h.full, h.applied);
+        h.check_spq(&spq);
+        if i % 5 == 0 {
+            h.check_trip(&spq);
+        }
+    }
+}
+
 /// The router *process* serves the single-process server's JSON wire
 /// format over the cluster: `/health`, `/spq`, `/trip` bodies must be
 /// byte-identical to encoding the reference answers.

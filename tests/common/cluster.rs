@@ -50,8 +50,14 @@ impl NodeProcess {
     /// Spawns `tthr-node --dir <dir>` and waits for its `LISTENING`
     /// line.
     pub fn spawn(shard: usize, dir: &Path) -> NodeProcess {
+        Self::spawn_with(shard, dir, &[])
+    }
+
+    /// [`NodeProcess::spawn`] with extra CLI flags (e.g. `--hot-tail`).
+    pub fn spawn_with(shard: usize, dir: &Path, extra_args: &[&str]) -> NodeProcess {
         let mut child = Command::new(env!("CARGO_BIN_EXE_tthr-node"))
             .args(["--dir", dir.to_str().expect("utf-8 store dir")])
+            .args(extra_args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -172,6 +178,8 @@ pub struct ClusterHarness {
     pub cluster: ClusterRouter,
     client_config: ClientConfig,
     dir: PathBuf,
+    /// Whether nodes run with `--hot-tail` (respawns preserve the mode).
+    hot_tail: bool,
 }
 
 impl ClusterHarness {
@@ -179,6 +187,19 @@ impl ClusterHarness {
     /// synthetic world, bootstraps node stores from its shards, spawns
     /// the node processes, and connects the router.
     pub fn boot(name: &str, client_config: ClientConfig) -> ClusterHarness {
+        Self::boot_with(name, client_config, false)
+    }
+
+    /// [`ClusterHarness::boot`] with every node running `--hot-tail`:
+    /// appends absorb into per-node hot tails and seal at snapshot
+    /// rotations, while the in-process reference applies them directly —
+    /// so every differential check also pins the absorb/apply identity
+    /// across the wire.
+    pub fn boot_hot_tail(name: &str, client_config: ClientConfig) -> ClusterHarness {
+        Self::boot_with(name, client_config, true)
+    }
+
+    fn boot_with(name: &str, client_config: ClientConfig, hot_tail: bool) -> ClusterHarness {
         let (syn, full) = small_world();
         let network = syn.network;
         let applied = full.len() / 3;
@@ -186,12 +207,13 @@ impl ClusterHarness {
         let reference = ShardedSntIndex::build(&network, &initial, SntConfig::default(), CLUSTER_K);
         let dir = std::env::temp_dir().join(format!("tthr-cluster-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
+        let node_args: &[&str] = if hot_tail { &["--hot-tail"] } else { &[] };
         let nodes: Vec<NodeProcess> = (0..CLUSTER_K)
             .map(|shard| {
                 let node_dir = dir.join(format!("node{shard}"));
                 NodeStore::init(&node_dir, ShardNodeState::export_from(&reference, shard))
                     .expect("init node store");
-                NodeProcess::spawn(shard, &node_dir)
+                NodeProcess::spawn_with(shard, &node_dir, node_args)
             })
             .collect();
         let engine_config = QueryEngineConfig::default();
@@ -212,6 +234,7 @@ impl ClusterHarness {
             cluster,
             client_config,
             dir,
+            hot_tail,
         }
     }
 
@@ -373,7 +396,8 @@ impl ClusterHarness {
     /// learns the new addresses.
     pub fn respawn_node(&mut self, shard: usize) {
         let dir = self.nodes[shard].dir.clone();
-        self.nodes[shard] = NodeProcess::spawn(shard, &dir);
+        let args: &[&str] = if self.hot_tail { &["--hot-tail"] } else { &[] };
+        self.nodes[shard] = NodeProcess::spawn_with(shard, &dir, args);
     }
 
     /// [`ClusterHarness::respawn_node`] + [`ClusterHarness::reconnect`]

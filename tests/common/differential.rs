@@ -24,7 +24,7 @@ use tthr::core::{
 };
 use tthr::datagen::{generate_network, generate_workload, NetworkConfig, WorkloadConfig};
 use tthr::network::RoadNetwork;
-use tthr::service::{QueryService, ServiceConfig, ShardedQueryService};
+use tthr::service::{IngestConfig, QueryService, ServiceConfig, ShardedQueryService};
 use tthr::trajectory::{TrajId, TrajectorySet};
 
 use super::{prefix_set, value_bits as bits};
@@ -41,6 +41,10 @@ pub struct DiffHarness {
     config: ServiceConfig,
     monolith: QueryService,
     sharded: Vec<(usize, ShardedQueryService)>,
+    /// In hot-tail mode, a direct-append monolith (ingest lifecycle off)
+    /// fed the same batch schedule — the "re-indexed everything the old
+    /// way" oracle the merged read path must match byte-for-byte.
+    oracle: Option<QueryService>,
     /// Scratch directory for snapshot/reopen cycles (removed on drop).
     dir: PathBuf,
     snapshots: usize,
@@ -56,15 +60,37 @@ impl DiffHarness {
     /// Builds the services over the first third of a small synthetic
     /// world; the rest of the stream feeds [`DiffHarness::append_next`].
     pub fn new(name: &str, engine: QueryEngineConfig) -> DiffHarness {
+        Self::with_ingest(name, engine, IngestConfig::default())
+    }
+
+    /// As [`DiffHarness::new`] with an explicit ingest lifecycle config.
+    /// With `ingest.hot_tail` on, every service absorbs appends into its
+    /// hot tail and an extra direct-append **oracle** monolith (lifecycle
+    /// off) is built over the same stream; every check also asserts the
+    /// hot-tail monolith answers byte-identically to that oracle.
+    pub fn with_ingest(name: &str, engine: QueryEngineConfig, ingest: IngestConfig) -> DiffHarness {
         let syn = generate_network(&NetworkConfig::small());
         let full = generate_workload(&syn, &WorkloadConfig::small());
         let network = Arc::new(syn.network);
         let applied = full.len() / 3;
         let initial = prefix_set(&full, applied);
+        let oracle = ingest.hot_tail.then(|| {
+            QueryService::new(
+                SntIndex::build(&network, &initial, SntConfig::default()),
+                Arc::clone(&network),
+                ServiceConfig {
+                    num_threads: 2,
+                    cache_capacity: 4096,
+                    engine: engine.clone(),
+                    ..ServiceConfig::default()
+                },
+            )
+        });
         let config = ServiceConfig {
             num_threads: 2,
             cache_capacity: 4096,
             engine,
+            ingest,
             ..ServiceConfig::default()
         };
         let monolith = QueryService::new(
@@ -91,6 +117,7 @@ impl DiffHarness {
             config,
             monolith,
             sharded,
+            oracle,
             dir,
             snapshots: 0,
             latest: None,
@@ -154,8 +181,36 @@ impl DiffHarness {
                 "K={k} appended a different count"
             );
         }
+        if let Some(oracle) = &self.oracle {
+            assert_eq!(
+                oracle.append_batch(&grown).expect("oracle append"),
+                appended
+            );
+        }
         self.applied = to;
         appended
+    }
+
+    /// Compacts every lifecycle-enabled service (seals the hot tail into
+    /// the immutable levels) and asserts each tail drained. The oracle is
+    /// deliberately **not** compacted — it has no hot tail; subsequent
+    /// checks prove sealing changed no answer. Returns the entries the
+    /// monolith sealed (sharded services seal more: a trajectory is
+    /// replicated into every shard it touches).
+    pub fn compact_all(&mut self) -> usize {
+        let sealed = self.monolith.compact_now().expect("monolith compact");
+        assert_eq!(self.monolith.hot_stats().entries, 0);
+        for (k, svc) in &self.sharded {
+            svc.compact_now()
+                .unwrap_or_else(|e| panic!("K={k} compact: {e}"));
+            assert_eq!(svc.hot_stats().entries, 0, "K={k} kept a hot tail");
+        }
+        sealed.sealed_entries
+    }
+
+    /// The monolith's hot-tail backlog (0 outside hot-tail mode).
+    pub fn hot_entries(&self) -> usize {
+        self.monolith.hot_stats().entries
     }
 
     /// Snapshots every service into fresh directories and attaches
@@ -201,6 +256,22 @@ impl DiffHarness {
     /// the monolith; on divergence, minimizes and reports.
     pub fn check_spq(&self, spq: &Spq) {
         let want = self.monolith.get_travel_times(spq);
+        if let Some(oracle) = &self.oracle {
+            let direct = oracle.get_travel_times(spq);
+            assert!(
+                bits(&direct.values) == bits(&want.values) && direct.fallback == want.fallback,
+                "hot-tail monolith diverged from the direct-append oracle\n\
+                 query: {spq:?}\n\
+                 oracle:   values {:?} (fallback {})\n\
+                 hot-tail: values {:?} (fallback {})\n\
+                 hot backlog: {:?}",
+                direct.values,
+                direct.fallback,
+                want.values,
+                want.fallback,
+                self.monolith.hot_stats(),
+            );
+        }
         for (k, svc) in &self.sharded {
             let got = svc.get_travel_times(spq);
             if bits(&want.values) != bits(&got.values) || want.fallback != got.fallback {
@@ -213,6 +284,20 @@ impl DiffHarness {
     /// to the monolith (stats, histogram, per-sub results).
     pub fn check_trip(&self, spq: &Spq) {
         let want = self.monolith.trip_query(spq);
+        if let Some(oracle) = &self.oracle {
+            let direct = oracle.trip_query(spq);
+            assert!(
+                trips_equal(&direct, &want),
+                "hot-tail monolith trip diverged from the direct-append oracle\n\
+                 query: {spq:?}\n\
+                 oracle stats:   {:?}\n\
+                 hot-tail stats: {:?}\n\
+                 hot backlog: {:?}",
+                direct.stats,
+                want.stats,
+                self.monolith.hot_stats(),
+            );
+        }
         for (k, svc) in &self.sharded {
             let got = svc.trip_query(spq);
             if !trips_equal(&want, &got) {

@@ -1,0 +1,308 @@
+//! Nightly bounded-memory soak of the live ingestion lifecycle.
+//!
+//! A hot-tail service with time-based retention and a 200 ms background
+//! compactor is served over HTTP while a writer thread streams
+//! future-shifted `/append` batches (the data clock advances one span per
+//! batch, so the retention horizon keeps marching and expired partitions
+//! keep dropping) and reader threads hammer `/spq`. Once per second the
+//! main thread samples `VmRSS` from `/proc/self/status` and scrapes
+//! `/metrics`, deriving each window's reader p95 from deltas of the
+//! cumulative `tthr_request_duration_ns_bucket{endpoint="spq"}` series.
+//!
+//! Pass criteria:
+//!
+//! * **Bounded memory** — the steady-state working set is ~`retention`
+//!   worth of sealed partitions plus the hot tail, so late-soak RSS must
+//!   stay within a modest multiple of the post-warmup baseline. Without
+//!   retention the index keeps every sealed partition forever and RSS
+//!   climbs for the whole run.
+//! * **Flat reader p95** — late-window p95 must stay within a small
+//!   multiple of the early baseline: queries scan a bounded working set,
+//!   not an ever-growing index.
+//! * The lifecycle actually ran: compactions sealed batches and the
+//!   retention horizon dropped partitions.
+//!
+//! `#[ignore]`d — tens of seconds of wall clock; the nightly CI job runs
+//! it via `cargo test --release --test ingest_soak -- --ignored`.
+//! `TTHR_SOAK_SECS` overrides the default 45 s measurement window.
+
+mod common;
+
+use common::http::HttpClient;
+use common::prefix_set;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tthr::core::{SntConfig, SntIndex, Spq, TimeInterval};
+use tthr::server::{serve, wire, ServerConfig};
+use tthr::service::{IngestConfig, QueryService, ServiceConfig};
+use tthr::trajectory::{TrajEntry, UserId};
+
+/// Resident set size of this process, in kB, from `/proc/self/status`.
+fn rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("VmRSS line in /proc/self/status")
+}
+
+/// The cumulative `le → count` map of the `/spq` duration histogram from
+/// one exposition (`+Inf` keyed as `u64::MAX`). Only non-empty buckets
+/// are rendered, so the map is sparse — read it as a step function.
+fn spq_buckets(text: &str) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("tthr_request_duration_ns_bucket{") else {
+            continue;
+        };
+        if !rest.contains("endpoint=\"spq\"") {
+            continue;
+        }
+        let le = rest.split("le=\"").nth(1).expect("le label");
+        let le = &le[..le.find('"').expect("closing quote")];
+        let bound = if le == "+Inf" {
+            u64::MAX
+        } else {
+            le.parse().expect("numeric le bound")
+        };
+        let count: u64 = rest
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("bucket count");
+        out.insert(bound, count);
+    }
+    out
+}
+
+/// Nearest-rank p95 (ns) of the requests recorded between two scrapes:
+/// the delta of the two cumulative step functions is itself a cumulative
+/// histogram of just that window.
+fn window_p95_ns(before: &BTreeMap<u64, u64>, after: &BTreeMap<u64, u64>) -> Option<u64> {
+    let before_at = |b: u64| before.range(..=b).next_back().map_or(0, |(_, c)| *c);
+    let total = after
+        .get(&u64::MAX)
+        .copied()
+        .unwrap_or(0)
+        .saturating_sub(before_at(u64::MAX));
+    if total == 0 {
+        return None;
+    }
+    let need = ((total as f64) * 0.95).ceil() as u64;
+    for (&bound, &cum) in after {
+        if cum.saturating_sub(before_at(bound)) >= need {
+            return Some(bound);
+        }
+    }
+    Some(u64::MAX)
+}
+
+/// The value of an exactly-named counter/gauge sample line.
+fn series_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(series)?.strip_prefix(' ')?.parse().ok())
+        .unwrap_or_else(|| panic!("series {series} missing from exposition"))
+}
+
+fn median(samples: &[u64]) -> u64 {
+    assert!(!samples.is_empty(), "no samples for median");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+#[test]
+#[ignore = "nightly soak: tens of seconds of wall clock; run with --ignored"]
+fn hot_ingest_memory_plateaus_and_reader_p95_stays_flat() {
+    let secs: u64 = std::env::var("TTHR_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(45)
+        .max(16); // the quarter-window analysis below needs ≥ 4 samples/quarter
+    let (syn, full) = common::small_world();
+    let network = Arc::new(syn.network);
+    let initial = prefix_set(&full, full.len() / 2);
+
+    // One "span" is the whole generated data window; each append shifts
+    // the payload a further span into the future, so batch k never
+    // overlaps batch k−1 and the retention horizon advances every append.
+    let lo = full.iter().map(|tr| tr.start_time()).min().expect("data");
+    let hi = full
+        .iter()
+        .flat_map(|tr| tr.entries().iter().map(|e| e.enter_time))
+        .max()
+        .expect("data");
+    let span = hi - lo + 1;
+
+    let service = QueryService::new(
+        SntIndex::build(&network, &initial, SntConfig::default()),
+        network,
+        ServiceConfig {
+            num_threads: 2,
+            ingest: IngestConfig {
+                hot_tail: true,
+                compaction_interval: Some(Duration::from_millis(200)),
+                // Keep ~8 spans of data live: with one span ingested
+                // every few milliseconds, partitions expire continuously
+                // — the working set is a sliding window, not a log.
+                retention: Some(Duration::from_secs(8 * span as u64)),
+                ..IngestConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let server = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("boot server");
+    let addr = server.local_addr();
+
+    let batch: Vec<(UserId, Vec<TrajEntry>)> = full
+        .iter()
+        .take(16)
+        .map(|tr| (tr.user(), tr.entries().to_vec()))
+        .collect();
+    // Wide-open intervals: the queries always scan whatever the sliding
+    // working set currently holds, so their cost tracks the index size —
+    // exactly the signal the flat-p95 assertion wants to watch.
+    let queries: Vec<Spq> = full
+        .iter()
+        .step_by(7)
+        .take(12)
+        .enumerate()
+        .map(|(i, tr)| {
+            let len = tr.len().min(3);
+            let q = Spq::new(
+                tr.path().sub_path(0..len),
+                TimeInterval::fixed(0, i64::MAX / 4),
+            );
+            if i % 2 == 0 {
+                q
+            } else {
+                q.with_beta(15)
+            }
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let (rss, p95s, appended, served) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut client = HttpClient::connect(addr);
+            let mut tick = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                tick += 1;
+                let shift = tick * span;
+                let shifted: Vec<(UserId, Vec<TrajEntry>)> = batch
+                    .iter()
+                    .map(|(user, entries)| {
+                        (
+                            *user,
+                            entries
+                                .iter()
+                                .map(|e| {
+                                    TrajEntry::new(e.edge, e.enter_time + shift, e.travel_time)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let body = wire::encode_append_request(None, &shifted);
+                let r = client.request("POST", "/append", body.as_bytes());
+                assert_eq!(r.status, 200, "append: {}", r.body_str());
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            tick as u64 * batch.len() as u64
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = HttpClient::connect(addr);
+                    let mut served = 0u64;
+                    for q in queries.iter().cycle() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let r = client.request("POST", "/spq", wire::encode_spq(q).as_bytes());
+                        assert_eq!(r.status, 200, "spq: {}", r.body_str());
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Sampler: one RSS reading and one scrape per second.
+        let mut scraper = HttpClient::connect(addr);
+        let mut rss = Vec::new();
+        let mut p95s = Vec::new();
+        let mut prev = spq_buckets(scraper.request("GET", "/metrics", b"").body_str());
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_secs(1));
+            let r = scraper.request("GET", "/metrics", b"");
+            assert_eq!(r.status, 200);
+            let text = r.body_str().to_string();
+            tthr::metrics::validate_exposition(&text)
+                .unwrap_or_else(|e| panic!("malformed exposition mid-soak: {e}"));
+            if let Some(p95) = window_p95_ns(&prev, &spq_buckets(&text)) {
+                p95s.push(p95);
+            }
+            prev = spq_buckets(&text);
+            rss.push(rss_kb());
+        }
+        stop.store(true, Ordering::Relaxed);
+        let appended = writer.join().expect("writer");
+        let served: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        (rss, p95s, appended, served)
+    });
+
+    // The lifecycle must actually have run: batches sealed, partitions
+    // expired. A soak that never compacts or never drops proves nothing.
+    let mut client = HttpClient::connect(addr);
+    let text = client
+        .request("GET", "/metrics", b"")
+        .body_str()
+        .to_string();
+    let compactions = series_value(&text, "tthr_compactions_total");
+    let dropped = series_value(&text, "tthr_compaction_dropped_partitions_total");
+    server.shutdown();
+    assert!(compactions >= 5.0, "compactor barely ran: {compactions}");
+    assert!(
+        dropped >= 1.0,
+        "retention never dropped a partition (horizon not advancing?)"
+    );
+
+    // Memory plateau: compare the last quarter against the second quarter
+    // (the first quarter is warmup — allocator growth, first snapshots).
+    // Generous bounds — trajectory ids are never reused, so the tombstone
+    // map grows ~8 bytes per expired trajectory by design — but an
+    // unbounded index (retention broken) grows far past them.
+    let q = rss.len() / 4;
+    let baseline_kb = *rss[q..2 * q].iter().max().expect("baseline window");
+    let final_kb = *rss[3 * q..].iter().max().expect("final window");
+    assert!(
+        final_kb <= baseline_kb + baseline_kb / 2 + 64 * 1024,
+        "RSS did not plateau: baseline {baseline_kb} kB, final {final_kb} kB \
+         (samples: {rss:?})"
+    );
+
+    // Reader p95 flat: the late-soak windows against the early baseline.
+    assert!(p95s.len() >= 8, "too few busy reader windows: {p95s:?}");
+    let w = p95s.len() / 4;
+    let early_ns = median(&p95s[..2 * w]);
+    let late_ns = median(&p95s[3 * w..]);
+    assert!(
+        late_ns <= early_ns * 2 + 2_000_000,
+        "reader p95 drifted: early {early_ns} ns, late {late_ns} ns \
+         (windows: {p95s:?})"
+    );
+
+    println!(
+        "ingest_soak: {secs}s, {appended} trajs appended, {served} reads, \
+         {compactions} compactions, {dropped} partitions dropped, \
+         RSS {baseline_kb} → {final_kb} kB, reader p95 {:.2} → {:.2} ms",
+        early_ns as f64 / 1e6,
+        late_ns as f64 / 1e6,
+    );
+}

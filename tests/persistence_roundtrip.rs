@@ -647,6 +647,187 @@ fn group_committed_wal_recovers_every_record_prefix() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+// ---------------------------------------------------------------------
+// Compaction rotation crash battery: the rotate-snapshot-then-truncate-
+// WAL sequence (`compact_now` with durable storage attached) can die at
+// any point; `open()` must recover to exactly the pre- or the post-
+// compaction state — never a hybrid that re-applies retention-dropped
+// data out of a stale log.
+// ---------------------------------------------------------------------
+
+use std::time::Duration;
+use tthr::service::IngestConfig;
+
+/// Copies a service directory file-by-file (snapshot + WAL + strays).
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+#[test]
+fn compaction_rotation_crash_battery_recovers_pre_or_post_never_hybrid() {
+    let dir = temp_dir("rotation-crash");
+    let (syn, set) = small_world();
+    let network = Arc::new(syn.network.clone());
+    let queries = workload(&set);
+    let half = set.len() / 2;
+
+    // The original history's time span, for crafting expired-vs-live data.
+    let t_max = set
+        .iter()
+        .flat_map(|t| t.entries().iter().map(|e| e.enter_time))
+        .max()
+        .unwrap();
+    let t_min = set.iter().map(|t| t.start_time()).min().unwrap();
+    let span = (t_max - t_min).max(1);
+    let ingest = IngestConfig {
+        hot_tail: true,
+        retention: Some(Duration::from_secs(span as u64)),
+        ..IngestConfig::default()
+    };
+
+    let service = QueryService::new(
+        SntIndex::build(&syn.network, &prefix_set(&set, half), SntConfig::default()),
+        Arc::clone(&network),
+        ServiceConfig {
+            ingest: ingest.clone(),
+            ..ServiceConfig::default()
+        },
+    );
+    service.save_snapshot(&dir).unwrap();
+    // Two WAL-logged hot-tail appends: the rest of the history, then a
+    // far-future batch that pushes the retention horizon past every
+    // original partition — compaction will drop all of them, so the pre-
+    // and post-compaction states answer differently (a hybrid is
+    // detectable, not silently equal).
+    assert_eq!(service.append_batch(&set).unwrap(), set.len() - half);
+    let mut grown = set.clone();
+    let future = 10 * span;
+    for i in 0..4u32 {
+        let tr = set.get(TrajId(i));
+        let entries: Vec<TrajEntry> = tr
+            .entries()
+            .iter()
+            .map(|e| TrajEntry::new(e.edge, e.enter_time + future, e.travel_time))
+            .collect();
+        grown.push(tr.user(), entries).unwrap();
+    }
+    assert_eq!(service.append_batch(&grown).unwrap(), 4);
+    assert!(
+        service.hot_stats().entries > 0,
+        "appends must sit in the hot tail"
+    );
+
+    // Freeze the PRE-compaction directory, rotate, freeze the POST one.
+    let pre_dir = temp_dir("rotation-crash-pre");
+    copy_dir(&dir, &pre_dir);
+    let outcome = service.compact_now().unwrap();
+    assert!(outcome.sealed_entries > 0);
+    assert!(
+        outcome.dropped_partitions > 0,
+        "retention must drop the expired partitions: {outcome:?}"
+    );
+    let post_dir = temp_dir("rotation-crash-post");
+    copy_dir(&dir, &post_dir);
+
+    let answers_of = |d: &std::path::Path| -> Vec<(Vec<u64>, bool)> {
+        let svc = QueryService::open(d, Arc::clone(&network), ServiceConfig::default()).unwrap();
+        queries.iter().map(|q| bits(&svc, q)).collect()
+    };
+    let pre_answers = answers_of(&pre_dir);
+    let post_answers = answers_of(&post_dir);
+    assert_ne!(
+        pre_answers, post_answers,
+        "retention must change some answer, or a hybrid would be undetectable"
+    );
+
+    // The battery: reconstruct the directory as a crash at each stage of
+    // the rotation would leave it, and require `open()` to land exactly
+    // on one side.
+    let post_snapshot = std::fs::read(post_dir.join(SNAPSHOT_FILE)).unwrap();
+    let pre_wal = std::fs::read(pre_dir.join(WAL_FILE)).unwrap();
+    let tmp_name = format!("{SNAPSHOT_FILE}.tmp");
+    let crash = temp_dir("rotation-crash-stage");
+
+    // Stage 1: died while writing the temp snapshot (torn tmp file). The
+    // rename never happened; the stray tmp must be ignored.
+    copy_dir(&pre_dir, &crash);
+    std::fs::write(
+        crash.join(&tmp_name),
+        &post_snapshot[..post_snapshot.len() / 2],
+    )
+    .unwrap();
+    assert_eq!(answers_of(&crash), pre_answers, "torn tmp snapshot");
+
+    // Stage 2: died after the tmp snapshot was complete, before the
+    // rename. Still the pre state — a complete-but-unrenamed snapshot is
+    // not yet the truth.
+    copy_dir(&pre_dir, &crash);
+    std::fs::write(crash.join(&tmp_name), &post_snapshot).unwrap();
+    assert_eq!(answers_of(&crash), pre_answers, "unrenamed tmp snapshot");
+
+    // Stage 3: died after the rename, before the WAL reset — the rotated
+    // snapshot next to the full stale log. Every WAL record is already
+    // contained in the snapshot; replay must skip them all by stamp
+    // (post state) and MUST NOT re-apply the retention-dropped batches
+    // (the hybrid this battery exists to rule out).
+    copy_dir(&pre_dir, &crash);
+    std::fs::write(crash.join(SNAPSHOT_FILE), &post_snapshot).unwrap();
+    assert_eq!(
+        answers_of(&crash),
+        post_answers,
+        "rotated snapshot + stale WAL"
+    );
+
+    // Stage 4: died mid WAL reset — the log truncated to nothing, or to
+    // a torn header. Recovery rewrites it fresh; still the post state.
+    for torn in [0usize, 6] {
+        copy_dir(&post_dir, &crash);
+        std::fs::write(crash.join(WAL_FILE), &pre_wal[..torn]).unwrap();
+        assert_eq!(
+            answers_of(&crash),
+            post_answers,
+            "torn WAL header ({torn} bytes)"
+        );
+    }
+
+    // Stage 5: the full sequence landed.
+    copy_dir(&post_dir, &crash);
+    assert_eq!(answers_of(&crash), post_answers, "complete rotation");
+
+    // Liveness after recovery: the reopened store ingests, rotates, and
+    // reopens again — the crash left no landmine behind.
+    let lively = QueryService::open(
+        &crash,
+        Arc::clone(&network),
+        ServiceConfig {
+            ingest,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let tr = set.get(TrajId(9));
+    let entries: Vec<TrajEntry> = tr
+        .entries()
+        .iter()
+        .map(|e| TrajEntry::new(e.edge, e.enter_time + future, e.travel_time))
+        .collect();
+    grown.push(tr.user(), entries).unwrap();
+    assert_eq!(lively.append_batch(&grown).unwrap(), 1);
+    lively.compact_now().unwrap();
+    drop(lively);
+    let again = QueryService::open(&crash, Arc::clone(&network), ServiceConfig::default()).unwrap();
+    again.with_index(|i| assert_eq!(i.num_trajectories(), set.len() + 5));
+
+    for d in [&dir, &pre_dir, &post_dir, &crash] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
 #[test]
 fn wal_records_skipping_ahead_are_a_gap_error() {
     let dir = temp_dir("gap");

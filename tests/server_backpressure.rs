@@ -174,12 +174,18 @@ fn pipelining_order_and_garbage_handling() {
     burst.extend_from_slice(&encode_request("POST", "/spq", spq_body.as_bytes()));
     burst.extend_from_slice(&encode_request("GET", "/health", b""));
     client.send_raw(&burst);
-    assert_eq!(client.read_response().body_str(), "{\"status\":\"ok\"}");
+    assert!(client
+        .read_response()
+        .body_str()
+        .starts_with("{\"status\":\"ok\""));
     assert!(client
         .read_response()
         .body_str()
         .starts_with("{\"values\":"));
-    assert_eq!(client.read_response().body_str(), "{\"status\":\"ok\"}");
+    assert!(client
+        .read_response()
+        .body_str()
+        .starts_with("{\"status\":\"ok\""));
 
     // Valid request, then garbage, pipelined together.
     let mut mixed = HttpClient::connect(addr);

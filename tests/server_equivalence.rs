@@ -20,7 +20,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use tthr::core::{ShardedSntIndex, SntConfig, SntIndex, Spq};
 use tthr::server::{serve, wire, ServerConfig, ServerHandle};
-use tthr::service::{QueryService, ServiceBackend, ServiceConfig};
+use tthr::service::{IngestConfig, QueryService, ServiceBackend, ServiceConfig};
 use tthr::trajectory::{TrajEntry, TrajId, TrajectorySet, UserId};
 
 /// One backend flavor under test: a served service + an in-process oracle
@@ -266,6 +266,92 @@ fn concurrent_appends_keep_responses_sound() {
     harness.shutdown();
 }
 
+/// Hot-tail ingestion over HTTP: a served service that absorbs `/append`
+/// payloads into its hot tail answers every endpoint byte-identically to
+/// a direct-append oracle, straight through a mid-stream compaction — and
+/// `/health` + `/metrics` expose the lifecycle while it happens.
+#[test]
+fn hot_tail_server_matches_direct_append_oracle() {
+    let (syn, full) = common::small_world();
+    let network = Arc::new(syn.network);
+    let applied = full.len() * 2 / 3;
+    let initial = prefix_set(&full, applied);
+
+    let served = QueryService::new(
+        SntIndex::build(&network, &initial, SntConfig::default()),
+        network.clone(),
+        ServiceConfig {
+            ingest: IngestConfig {
+                hot_tail: true,
+                ..IngestConfig::default()
+            },
+            ..service_config()
+        },
+    );
+    // Keep a handle on the served service so the test can seal the tail
+    // mid-stream, exactly like the background compactor would.
+    let lifecycle = served.clone();
+    let oracle = QueryService::new(
+        SntIndex::build(&network, &initial, SntConfig::default()),
+        network,
+        service_config(),
+    );
+    let server = serve(served, "127.0.0.1:0", ServerConfig::default()).expect("boot server");
+    let mut harness = Harness {
+        addr: server.local_addr(),
+        server: Some(server),
+        oracle,
+        full,
+        applied,
+    };
+
+    let mut gen = QueryGen::new("hot_tail_endpoints");
+    for round in 0..4 {
+        let queries: Vec<Spq> = (0..12)
+            .map(|_| gen.spq_from(&harness.full, harness.applied))
+            .collect();
+        harness.check_queries(&queries);
+        harness.check_batch(&queries[..6]);
+        if round < 3 {
+            harness.append_next(2 + round);
+            assert!(
+                lifecycle.hot_stats().entries > 0,
+                "round {round}: /append must land in the hot tail"
+            );
+        }
+        if round == 1 {
+            // Seal between rounds: the next round's byte-compares run
+            // against freshly compacted state.
+            let outcome = lifecycle.compact_now().expect("compact");
+            assert!(outcome.sealed_entries > 0);
+            assert_eq!(lifecycle.hot_stats().entries, 0);
+        }
+    }
+
+    // The lifecycle is observable over the wire.
+    let mut client = HttpClient::connect(harness.addr);
+    let health = client.request("GET", "/health", b"");
+    assert_eq!(health.status, 200);
+    let parsed = tthr::server::json::parse(&health.body).expect("health json");
+    let ingest = parsed.get("ingest").expect("ingest status");
+    assert_eq!(ingest.get("hot_tail").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(ingest.get("compactions").and_then(|v| v.as_i64()), Some(1));
+    assert!(ingest.get("hot_entries").and_then(|v| v.as_i64()).unwrap() > 0);
+
+    let exposition = client.request("GET", "/metrics", b"");
+    assert_eq!(exposition.status, 200);
+    let text = exposition.body_str();
+    tthr::metrics::validate_exposition(text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+    assert!(text.contains("tthr_compactions_total 1"), "{text}");
+    assert!(text.contains("tthr_hot_tail_entries"), "{text}");
+    assert!(
+        text.contains("tthr_compaction_sealed_batches_total"),
+        "{text}"
+    );
+    harness.shutdown();
+}
+
 /// The inline endpoints and the error paths of the router.
 #[test]
 fn health_stats_and_router_errors() {
@@ -282,7 +368,14 @@ fn health_stats_and_router_errors() {
     let mut client = HttpClient::connect(addr);
     let health = client.request("GET", "/health", b"");
     assert_eq!(health.status, 200);
-    assert_eq!(health.body_str(), "{\"status\":\"ok\"}");
+    let parsed = tthr::server::json::parse(&health.body).expect("health json");
+    assert_eq!(parsed.get("status").and_then(|v| v.as_str()), Some("ok"));
+    let ingest = parsed.get("ingest").expect("health carries ingest status");
+    assert_eq!(
+        ingest.get("hot_tail").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    assert_eq!(ingest.get("compactions").and_then(|v| v.as_i64()), Some(0));
 
     // Drive some traffic, then check /stats reflects it.
     let mut gen = QueryGen::new("stats_shape");

@@ -11,7 +11,7 @@ use tthr::core::{
     QueryEngine, QueryEngineConfig, SntConfig, SntIndex, Spq, TimeInterval, TripQuery,
 };
 use tthr::datagen::sample_query_trajectories;
-use tthr::service::{QueryService, ServiceConfig};
+use tthr::service::{IngestConfig, QueryService, ServiceConfig};
 use tthr::trajectory::TrajectorySet;
 
 /// A mixed query sample: periodic windows (sequential, shift-and-enlarge
@@ -254,6 +254,86 @@ fn trips_racing_an_append_match_exactly_one_generation() {
         assert_eq!(service.append_batch(&set).unwrap(), set.len() - half);
     });
     assert_eq!(service.stats().generation, 1);
+}
+
+/// A compaction racing live queries never perturbs an answer. Sealing
+/// the hot tail is byte-identity-preserving (unlike an append, which has
+/// two legitimate generations), so every response taken while
+/// `compact_now` runs must equal the single direct-append reference —
+/// there is no "other generation" to tolerate.
+#[test]
+fn queries_racing_compaction_are_unperturbed() {
+    let (syn, set) = small_world();
+    let queries = query_mix(&set);
+    let half = set.len() / 2;
+    let mut prefix = TrajectorySet::new();
+    for tr in set.iter().take(half) {
+        prefix.push(tr.user(), tr.entries().to_vec()).expect("copy");
+    }
+
+    // The hot-tail service absorbs the second half without sealing…
+    let hot = QueryService::new(
+        SntIndex::build(&syn.network, &prefix, SntConfig::default()),
+        Arc::new(syn.network.clone()),
+        ServiceConfig {
+            num_threads: 8,
+            ingest: IngestConfig {
+                hot_tail: true,
+                ..IngestConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    assert_eq!(hot.append_batch(&set).unwrap(), set.len() - half);
+    assert!(hot.hot_stats().entries > 0, "batch must land in the tail");
+
+    // …and the reference applies the same schedule directly.
+    let direct = QueryService::new(
+        SntIndex::build(&syn.network, &prefix, SntConfig::default()),
+        Arc::new(syn.network.clone()),
+        ServiceConfig {
+            num_threads: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    assert_eq!(direct.append_batch(&set).unwrap(), set.len() - half);
+    let expected: Vec<TripQuery> = queries.iter().map(|q| direct.trip_query(q)).collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let (hot, queries, expected) = (&hot, &queries, &expected);
+            scope.spawn(move || {
+                for round in 0..4 {
+                    for i in 0..queries.len() {
+                        let j = (i + client * 5 + round) % queries.len();
+                        let got = hot.trip_query(&queries[j]);
+                        assert_trips_identical(
+                            &got,
+                            &expected[j],
+                            &format!("client {client} round {round} query {j} (racing compaction)"),
+                        );
+                    }
+                }
+            });
+        }
+        // Seal the tail while the clients are mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let outcome = hot.compact_now().expect("compact");
+        assert!(outcome.sealed_entries > 0);
+    });
+    assert_eq!(hot.hot_stats().entries, 0, "tail sealed");
+    assert_eq!(
+        hot.stats().generation,
+        1,
+        "the absorb append is the only generation bump — sealing adds none"
+    );
+    for (i, q) in queries.iter().enumerate() {
+        assert_trips_identical(
+            &hot.trip_query(q),
+            &expected[i],
+            &format!("sealed trip {i}"),
+        );
+    }
 }
 
 #[test]

@@ -13,6 +13,7 @@ mod common;
 
 use common::differential::{DiffHarness, QueryGen, SHARD_COUNTS};
 use tthr::core::{CardinalityMode, QueryEngineConfig};
+use tthr::service::IngestConfig;
 
 fn default_engine() -> QueryEngineConfig {
     QueryEngineConfig::default()
@@ -142,6 +143,78 @@ fn snapshot_reopen_interleaving_differential() {
     }
     assert!(checks >= 200, "only {checks} checks");
     assert!(snapshots >= 1 && reopens >= 1);
+}
+
+/// Hot-tail ingestion lifecycle: appends absorb into per-shard hot tails
+/// and are sealed by randomly interleaved compactions; every check runs
+/// against the direct-append oracle as well as across shard counts, and
+/// a snapshot/reopen leg proves the hot tail survives persistence.
+#[test]
+fn hot_tail_compaction_differential() {
+    let mut h = DiffHarness::with_ingest(
+        "hot_tail_mix",
+        default_engine(),
+        IngestConfig {
+            hot_tail: true,
+            ..IngestConfig::default()
+        },
+    );
+    let mut gen = QueryGen::new("hot_tail_mix");
+    let mut checks = 0usize;
+    let mut compactions = 0usize;
+    let mut sealed = 0usize;
+    let mut max_hot = 0usize;
+    let mut snapshotted = false;
+    let mut round = 0usize;
+    while h.can_append() {
+        h.append_next(1 + gen.range(0..16));
+        max_hot = max_hot.max(h.hot_entries());
+        if !snapshotted && h.applied() > h.stream().len() / 2 {
+            // Snapshot with a live hot tail: later appends WAL-log on
+            // top of the persisted tail.
+            h.snapshot();
+            snapshotted = true;
+        }
+        if gen.range(0..4) == 0 {
+            sealed += h.compact_all();
+            compactions += 1;
+        }
+        for _ in 0..4 {
+            let q = gen.spq(&h);
+            h.check_spq(&q);
+            checks += 1;
+        }
+        if round.is_multiple_of(2) {
+            let q = gen.spq(&h);
+            h.check_trip(&q);
+            checks += 1;
+        }
+        round += 1;
+    }
+    assert!(max_hot > 0, "checks never saw a non-empty hot tail");
+
+    // Persistence leg: reopen restores the snapshot (hot tail included)
+    // and replays every WAL record absorbed since.
+    h.reopen();
+    for _ in 0..12 {
+        let q = gen.spq(&h);
+        h.check_spq(&q);
+        checks += 1;
+    }
+
+    // Final seal: the fully compacted state answers identically too.
+    sealed += h.compact_all();
+    compactions += 1;
+    for _ in 0..12 {
+        let q = gen.spq(&h);
+        h.check_spq(&q);
+        checks += 1;
+    }
+    let q = gen.spq(&h);
+    h.check_trip(&q);
+    checks += 1;
+    assert!(checks >= 100, "only {checks} checks — stream too short");
+    assert!(compactions >= 2 && sealed > 0, "compaction never exercised");
 }
 
 /// Long randomized soak (nightly-style; see `.github/workflows/ci.yml`).
